@@ -1,0 +1,182 @@
+//! Criterion micro-benchmarks for the substrate hot paths: the codecs of
+//! Fig. 3, ValueBlob encode/decode (with tag-oriented projection), B-tree
+//! maintenance (the baselines' per-record cost vs ODH's per-batch cost),
+//! and the end-to-end ingest paths of both engines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use odh_btree::{BTree, KeyBuf};
+use odh_compress::column::{decode_column, encode_column, Policy};
+use odh_compress::{linear, quantize, xor};
+use odh_pager::disk::MemDisk;
+use odh_pager::pool::BufferPool;
+use odh_rdb::{RdbProfile, RowTable};
+use odh_sim::ResourceMeter;
+use odh_storage::blob::ValueBlob;
+use odh_storage::{OdhTable, TableConfig};
+use odh_types::{DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use std::sync::Arc;
+
+fn bench_codecs(c: &mut Criterion) {
+    let n = 4096usize;
+
+    let ts: Vec<i64> = (0..n as i64).map(|i| i * 1_000_000).collect();
+    let smooth: Vec<f64> = (0..n).map(|i| 20.0 + (i as f64 * 0.002).sin() * 8.0).collect();
+    let fluct: Vec<f64> = (0..n).map(|i| (i as f64 * 2.7).sin()).collect();
+
+    let mut g = c.benchmark_group("codecs");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("linear_compress_smooth", |b| {
+        b.iter(|| linear::compress(black_box(&ts), black_box(&smooth), 0.05))
+    });
+    g.bench_function("quantize_encode_fluct", |b| {
+        b.iter(|| quantize::encode(black_box(&fluct), 0.01).unwrap())
+    });
+    g.bench_function("xor_encode", |b| b.iter(|| xor::encode(black_box(&smooth))));
+    let enc = xor::encode(&smooth);
+    g.bench_function("xor_decode", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            xor::decode_at(black_box(&enc), &mut pos).unwrap()
+        })
+    });
+    g.bench_function("column_auto_lossy", |b| {
+        b.iter(|| encode_column(black_box(&ts), black_box(&smooth), Policy::Lossy { max_dev: 0.05 }))
+    });
+    let (codec, bytes) = encode_column(&ts, &fluct, Policy::Lossy { max_dev: 0.01 });
+    g.bench_function("column_decode", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            decode_column(codec, black_box(&bytes), &mut pos, &ts).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_blob(c: &mut Criterion) {
+    let n = 512usize;
+    let tags = 15usize;
+    let ts: Vec<i64> = (0..n as i64).map(|i| i * 23_000_000).collect();
+    let cols: Vec<Vec<Option<f64>>> = (0..tags)
+        .map(|t| {
+            (0..n)
+                .map(|i| if (i + t) % 3 == 0 { Some(15.0 + (i as f64 * 0.01).sin()) } else { None })
+                .collect()
+        })
+        .collect();
+    let mut g = c.benchmark_group("value_blob");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements((n * tags) as u64));
+    g.bench_function("encode_15_tags", |b| {
+        b.iter(|| ValueBlob::encode(black_box(&ts), black_box(&cols), Policy::Lossless))
+    });
+    let blob = ValueBlob::encode(&ts, &cols, Policy::Lossless);
+    let all: Vec<usize> = (0..tags).collect();
+    g.bench_function("decode_all_tags", |b| b.iter(|| blob.decode_tags(&ts, &all).unwrap()));
+    g.bench_function("decode_one_tag_projection", |b| {
+        b.iter(|| blob.decode_tags(&ts, &[7]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    // Whole-tree builds are slow per iteration; keep sampling modest.
+    g.sample_size(10);
+    g.bench_function("sequential_insert_10k", |b| {
+        b.iter(|| {
+            let pool = BufferPool::new(Arc::new(MemDisk::new()), 1024);
+            let t = BTree::create(pool).unwrap();
+            for i in 0..10_000u64 {
+                t.insert(&KeyBuf::new().push_u64(i).build(), i).unwrap();
+            }
+            t.len()
+        })
+    });
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 4096);
+    let t = BTree::create(pool).unwrap();
+    for i in 0..100_000u64 {
+        t.insert(&KeyBuf::new().push_u64(i).build(), i).unwrap();
+    }
+    g.bench_function("point_lookup_100k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 9973) % 100_000;
+            t.get(&KeyBuf::new().push_u64(i).build()).unwrap()
+        })
+    });
+    g.bench_function("range_scan_1k", |b| {
+        b.iter(|| {
+            let lo = KeyBuf::new().push_u64(50_000).build();
+            let hi = KeyBuf::new().push_u64(51_000).build();
+            t.range(Some(&lo), Some(&hi), false).unwrap().count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_ingest_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ingest");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(1));
+
+    // ODH put path: batched, per-batch index touch.
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 4096);
+    let table = OdhTable::create(
+        pool,
+        ResourceMeter::unmetered(),
+        TableConfig::new(SchemaType::new("bench", ["a", "b", "c", "d"])).with_batch_size(512),
+    )
+    .unwrap();
+    table.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+    let mut ts = 0i64;
+    g.bench_function("odh_put", |b| {
+        b.iter(|| {
+            ts += 1000;
+            table
+                .put(&Record::dense(SourceId(1), Timestamp(ts), [1.0, 2.0, 3.0, 4.0]))
+                .unwrap()
+        })
+    });
+
+    // Row-store insert path: per-row tuple + two index entries.
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 4096);
+    let row_table = RowTable::create(
+        pool,
+        ResourceMeter::unmetered(),
+        RelSchema::new(
+            "bench",
+            [
+                ("t_dts", DataType::Ts),
+                ("t_ca_id", DataType::I64),
+                ("a", DataType::F64),
+                ("b", DataType::F64),
+                ("c", DataType::F64),
+                ("d", DataType::F64),
+            ],
+        ),
+        RdbProfile::RDB,
+    );
+    row_table.create_index("idx_ts", &["t_dts"]).unwrap();
+    row_table.create_index("idx_id", &["t_ca_id"]).unwrap();
+    let mut ts2 = 0i64;
+    g.bench_function("rdb_insert", |b| {
+        b.iter(|| {
+            ts2 += 1000;
+            row_table
+                .insert(&Row::new(vec![
+                    Datum::Ts(Timestamp(ts2)),
+                    Datum::I64(1),
+                    Datum::F64(1.0),
+                    Datum::F64(2.0),
+                    Datum::F64(3.0),
+                    Datum::F64(4.0),
+                ]))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_blob, bench_btree, bench_ingest_paths);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 4 — "The Spectrum for Big Operational Data in IoT".
+
+use iotx::spectrum::{paper_scenarios, render, BIG_DATA_THRESHOLD_PPS};
+
+fn main() {
+    odh_bench::banner("Figure 4: the big-operational-data spectrum", "§5, Fig. 4");
+    let scenarios = paper_scenarios();
+    println!("{}", render(&scenarios));
+    println!("threshold: {} points/second\n", BIG_DATA_THRESHOLD_PPS);
+    println!("{:<28} {:>12} {:>12} {:>14}  region", "scenario", "sources", "Hz/source", "points/s");
+    for s in &scenarios {
+        println!(
+            "{:<28} {:>12.0} {:>12.5} {:>14.0}  {}",
+            s.name,
+            s.sources,
+            s.hz_per_source,
+            s.offered_pps(),
+            s.region()
+        );
+    }
+}

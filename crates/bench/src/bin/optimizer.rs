@@ -1,0 +1,53 @@
+//! §5.3's optimizer study: "To test the query optimizer, we constructed a
+//! series of LQ4 queries and logged the query plans."
+//!
+//! The paper's two exemplar queries:
+//! - a tiny lat/long box `(la1=36.803; la2=36.804; lo1=-115.978;
+//!   lo2=-115.977)` involving ~one sensor → the plan locates the sensor in
+//!   LinkedSensor first, then extracts its observations;
+//! - a continental box `(10..80, -150..-50)` involving nearly all sensors
+//!   → the plan scans Observation first and joins sensor locations after.
+//!
+//! This binary loads a small LD dataset and prints the EXPLAIN output for
+//! both, asserting the flip.
+
+use iotx::ld::LdSpec;
+use iotx::ws1::Ws1Options;
+use odh_bench::load_ld_odh;
+
+fn main() {
+    odh_bench::banner("Optimizer study: LQ4 plan selection", "§5.3");
+    let scale = iotx::env_scale(1000);
+    let spec = LdSpec::scaled(5, scale, 60);
+    eprintln!("loading LD(5)/{scale}...");
+    let (odh, _) = load_ld_odh(&spec, Ws1Options { wall_limit_secs: 60.0 }).unwrap();
+
+    let selective = "select timestamp, o.id, airtemperature from observation_v o, linkedsensor l \
+         where l.sensorid = o.id and latitude < 36.9 and latitude > 36.8 \
+         and longitude < -115.9 and longitude > -116.0";
+    let broad = "select timestamp, o.id, airtemperature from observation_v o, linkedsensor l \
+         where l.sensorid = o.id and latitude < 80 and latitude > 10 \
+         and longitude < -50 and longitude > -150";
+
+    let plan_selective = odh.historian.explain(selective).unwrap();
+    let plan_broad = odh.historian.explain(broad).unwrap();
+    println!("selective box (≈1 sensor):\n  {plan_selective}\n");
+    println!("broad box (≈all sensors):\n  {plan_broad}\n");
+
+    let sel_sensor_first = plan_selective.starts_with("scan l") || plan_selective.contains("scan linkedsensor");
+    let broad_obs_first = plan_broad.starts_with("scan o") || plan_broad.contains("scan observation");
+    println!("selective → dimension-first plan: {sel_sensor_first}");
+    println!("broad     → observation-first plan: {broad_obs_first}");
+
+    // Both queries must also *run* and agree with each other's semantics.
+    let r1 = odh.historian.sql(selective).unwrap();
+    let r2 = odh.historian.sql(broad).unwrap();
+    println!("\nselective rows: {}   broad rows: {}", r1.rows.len(), r2.rows.len());
+    assert!(r2.rows.len() >= r1.rows.len());
+    if !(sel_sensor_first && broad_obs_first) {
+        println!("WARNING: plan flip not observed at this scale (cost estimates too coarse)");
+        std::process::exit(1);
+    }
+    println!("\nplan flip reproduced: the cost model (expected ValueBlob bytes) sends the");
+    println!("selective query through the dimension table and the broad one through the fact.");
+}

@@ -1,0 +1,29 @@
+//! Table 1 — "The batch structures vs. data sources and operations".
+//!
+//! Not a measurement: prints the structure-selection policy implemented in
+//! `odh_storage::select` next to the paper's table so any drift is
+//! visible. The same mapping is locked down by unit tests.
+
+use odh_storage::select::{structure_for, Operation};
+use odh_types::{Duration, SourceClass};
+
+fn main() {
+    odh_bench::banner("Table 1: batch structure per source class and operation", "§2, Table 1");
+    let rows = [
+        ("Regular high frequency", SourceClass::regular_high(Duration::from_hz(50.0))),
+        ("Irregular high frequency", SourceClass::irregular_high()),
+        ("Regular low frequency", SourceClass::regular_low(Duration::from_minutes(15))),
+        ("Irregular low frequency", SourceClass::irregular_low()),
+    ];
+    println!("{:<26} {:>10} {:>12} {:>17}", "Data Source", "Ingestion", "Slice Query", "Historical Query");
+    for (name, class) in rows {
+        println!(
+            "{:<26} {:>10} {:>12} {:>17}",
+            name,
+            structure_for(class, Operation::Ingestion).name(),
+            structure_for(class, Operation::SliceQuery).name(),
+            structure_for(class, Operation::HistoricalQuery).name(),
+        );
+    }
+    println!("\npaper Table 1:  RTS/RTS/RTS, IRTS/IRTS/IRTS, MG/MG/RTS, MG/MG/IRTS");
+}

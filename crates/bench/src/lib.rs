@@ -1,0 +1,284 @@
+//! Shared harness plumbing for the per-table/per-figure binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index). This library holds the common
+//! setup: building an ODH historian or a row-store baseline, loading a TD
+//! or LD dataset into it through WS1, wiring WS2 query targets, and
+//! persisting reports as JSON under `results/`.
+
+use iotx::sink::{JdbcSink, OdhSink};
+use iotx::td::{self, TdSpec, TradeGen};
+use iotx::ld::{self, LdSpec, ObservationGen};
+use iotx::ws1::{run_ws1, Ws1Options, Ws1Report};
+use iotx::ws2::{DatasetMeta, OpNames, QueryTarget};
+use odh_core::{Historian, RelTable};
+use odh_pager::disk::MemDisk;
+use odh_pager::pool::BufferPool;
+use odh_rdb::RdbProfile;
+use odh_sim::ResourceMeter;
+use odh_sql::SqlEngine;
+use odh_storage::TableConfig;
+use odh_types::{Result, Row, SourceClass, SourceId};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Core count every benchmark system is modeled with (the paper's
+/// benchmark machine: "an 8-core 4060 MHz Power PC").
+pub const BENCH_CORES: u32 = 8;
+
+/// A row-store baseline system (the paper's "RDB" or "MySQL").
+pub struct Baseline {
+    pub profile: RdbProfile,
+    pub engine: SqlEngine,
+    pub meter: Arc<ResourceMeter>,
+    /// The operational table, shared with the sink that loaded it.
+    pub op_table: Arc<RelTable>,
+}
+
+impl Baseline {
+    pub fn target(&self, names: OpNames) -> QueryTarget<'_> {
+        QueryTarget {
+            system: self.profile.name.to_string(),
+            names,
+            exec: Box::new(move |sql| self.engine.query(sql)),
+            meter: self.meter.clone(),
+            cores: BENCH_CORES,
+        }
+    }
+}
+
+/// An ODH system wrapped for querying.
+pub struct OdhSystem {
+    pub historian: Arc<Historian>,
+}
+
+impl OdhSystem {
+    pub fn target(&self, names: OpNames) -> QueryTarget<'_> {
+        QueryTarget {
+            system: "ODH".to_string(),
+            names,
+            exec: Box::new(move |sql| self.historian.sql(sql)),
+            meter: self.historian.meter().clone(),
+            cores: BENCH_CORES,
+        }
+    }
+}
+
+// ------------------------------------------------------------- TD setup --
+
+/// Build an ODH historian prepared for a TD dataset (accounts registered,
+/// dimension tables loaded and indexed).
+pub fn odh_for_td(spec: &TdSpec, with_dims: bool) -> Result<Arc<Historian>> {
+    let h = Arc::new(
+        Historian::builder().servers(2).metered_cores(BENCH_CORES).build()?,
+    );
+    h.define_schema_type(TableConfig::new(td::trade_schema_type()).with_batch_size(512))?;
+    for a in 0..spec.accounts {
+        h.register_source("trade", SourceId(a), SourceClass::irregular_high())?;
+    }
+    if with_dims {
+        let account = h.create_relational_table(td::account_schema());
+        account.create_index("idx_ca_id", "ca_id")?;
+        account.create_index("idx_ca_name", "ca_name")?;
+        for row in td::accounts(spec) {
+            account.insert(&row)?;
+        }
+        let customer = h.create_relational_table(td::customer_schema());
+        customer.create_index("idx_c_id", "c_id")?;
+        for row in td::customers(spec) {
+            customer.insert(&row)?;
+        }
+    }
+    Ok(h)
+}
+
+/// WS1-load a TD dataset into ODH; returns the system and the report.
+pub fn load_td_odh(spec: &TdSpec, opts: Ws1Options) -> Result<(OdhSystem, Ws1Report)> {
+    let h = odh_for_td(spec, true)?;
+    let mut sink = OdhSink::new(h.clone(), "trade")?;
+    let report =
+        run_ws1(&spec.name(), spec.offered_pps(), TradeGen::new(spec), &mut sink, opts)?;
+    Ok((OdhSystem { historian: h }, report))
+}
+
+/// WS1-load a TD dataset into a row-store baseline with dimensions.
+pub fn load_td_baseline(
+    spec: &TdSpec,
+    profile: RdbProfile,
+    opts: Ws1Options,
+) -> Result<(Baseline, Ws1Report)> {
+    let meter = ResourceMeter::new(BENCH_CORES);
+    let mut sink = JdbcSink::new(profile, td::trade_rel_schema(), meter.clone(), 1000)?;
+    let report =
+        run_ws1(&spec.name(), spec.offered_pps(), TradeGen::new(spec), &mut sink, opts)?;
+    let engine = SqlEngine::new();
+    engine.register(sink.table().clone());
+    register_dim(&engine, &meter, td::account_schema(), td::accounts(spec), &[("idx_ca_id", "ca_id"), ("idx_ca_name", "ca_name")])?;
+    register_dim(&engine, &meter, td::customer_schema(), td::customers(spec), &[("idx_c_id", "c_id")])?;
+    Ok((Baseline { profile, engine, meter, op_table: sink.table().clone() }, report))
+}
+
+// ------------------------------------------------------------- LD setup --
+
+/// Build an ODH historian prepared for an LD dataset.
+pub fn odh_for_ld(spec: &LdSpec, with_dims: bool) -> Result<Arc<Historian>> {
+    let h = Arc::new(
+        Historian::builder().servers(2).metered_cores(BENCH_CORES).build()?,
+    );
+    h.define_schema_type(
+        TableConfig::new(ld::observation_schema_type(spec.tags))
+            .with_batch_size(512)
+            .with_mg_group_size(1000),
+    )?;
+    for s in 0..spec.sensors {
+        h.register_source("observation", SourceId(s), SourceClass::irregular_low())?;
+    }
+    if with_dims {
+        let sensors = h.create_relational_table(ld::linked_sensor_schema());
+        sensors.create_index("idx_sensorid", "sensorid")?;
+        sensors.create_index("idx_sensorname", "sensorname")?;
+        for row in ld::linked_sensors(spec) {
+            sensors.insert(&row)?;
+        }
+    }
+    Ok(h)
+}
+
+pub fn load_ld_odh(spec: &LdSpec, opts: Ws1Options) -> Result<(OdhSystem, Ws1Report)> {
+    let h = odh_for_ld(spec, true)?;
+    let mut sink = OdhSink::new(h.clone(), "observation")?;
+    let report =
+        run_ws1(&spec.name(), spec.offered_pps(), ObservationGen::new(spec), &mut sink, opts)?;
+    Ok((OdhSystem { historian: h }, report))
+}
+
+pub fn load_ld_baseline(
+    spec: &LdSpec,
+    profile: RdbProfile,
+    opts: Ws1Options,
+) -> Result<(Baseline, Ws1Report)> {
+    let meter = ResourceMeter::new(BENCH_CORES);
+    let mut sink =
+        JdbcSink::new(profile, ld::observation_rel_schema(spec.tags), meter.clone(), 1000)?;
+    let report =
+        run_ws1(&spec.name(), spec.offered_pps(), ObservationGen::new(spec), &mut sink, opts)?;
+    let engine = SqlEngine::new();
+    engine.register(sink.table().clone());
+    register_dim(
+        &engine,
+        &meter,
+        ld::linked_sensor_schema(),
+        ld::linked_sensors(spec),
+        &[("idx_sensorid", "sensorid"), ("idx_sensorname", "sensorname")],
+    )?;
+    Ok((Baseline { profile, engine, meter, op_table: sink.table().clone() }, report))
+}
+
+fn register_dim(
+    engine: &SqlEngine,
+    meter: &Arc<ResourceMeter>,
+    schema: odh_types::RelSchema,
+    rows: Vec<Row>,
+    indexes: &[(&str, &str)],
+) -> Result<Arc<RelTable>> {
+    let pool = BufferPool::new(Arc::new(MemDisk::new()), 2048);
+    let t = RelTable::create(pool, meter.clone(), schema, RdbProfile::RDB);
+    for (name, col) in indexes {
+        t.create_index(name, col)?;
+    }
+    for row in rows {
+        t.insert(&row)?;
+    }
+    engine.register(t.clone());
+    Ok(t)
+}
+
+/// Dataset metadata for WS2 parameter generation.
+pub fn td_meta(spec: &TdSpec) -> DatasetMeta {
+    DatasetMeta {
+        sources: spec.accounts,
+        t0: td::td_epoch().micros(),
+        t1: td::td_epoch().micros() + spec.duration.micros(),
+    }
+}
+
+pub fn ld_meta(spec: &LdSpec) -> DatasetMeta {
+    DatasetMeta {
+        sources: spec.sensors,
+        t0: ld::ld_epoch().micros(),
+        t1: ld::ld_epoch().micros() + spec.duration.micros(),
+    }
+}
+
+// -------------------------------------------------------------- results --
+
+/// Repo-level `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).ok();
+    dir
+}
+
+/// Persist a serializable report as pretty JSON; returns the path.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        std::fs::write(&path, json).ok();
+    }
+    path
+}
+
+/// Print a header for a harness binary.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odh_types::Duration;
+
+    #[test]
+    fn td_round_trip_through_harness() {
+        let spec =
+            TdSpec { accounts: 30, hz_per_account: 20.0, duration: Duration::from_secs(2), seed: 1 };
+        let (odh, r) = load_td_odh(&spec, Ws1Options::default()).unwrap();
+        assert!(r.points > 0);
+        let q = odh
+            .historian
+            .sql("select COUNT(*) from trade_v tr, account a where a.ca_id = tr.id and a.ca_name = 'acct_3'")
+            .unwrap();
+        assert!(q.rows[0].get(0).as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn baseline_round_trip_through_harness() {
+        let spec =
+            TdSpec { accounts: 30, hz_per_account: 20.0, duration: Duration::from_secs(2), seed: 1 };
+        let (b, r) = load_td_baseline(&spec, RdbProfile::MYSQL, Ws1Options::default()).unwrap();
+        assert!(r.points > 0);
+        assert_eq!(b.op_table.row_count(), r.records);
+        let q = b.engine.query("select COUNT(*) from trade where t_ca_id = 3").unwrap();
+        assert!(q.rows[0].get(0).as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn ld_setups_work() {
+        let spec = LdSpec {
+            sensors: 50,
+            mean_interval: Duration::from_secs(5),
+            duration: Duration::from_secs(30),
+            tags: 15,
+            seed: 2,
+        };
+        let (odh, r1) = load_ld_odh(&spec, Ws1Options::default()).unwrap();
+        let (b, r2) = load_ld_baseline(&spec, RdbProfile::RDB, Ws1Options::default()).unwrap();
+        assert_eq!(r1.records, r2.records, "same generated stream");
+        let q1 = odh.historian.sql("select COUNT(*) from observation_v").unwrap();
+        let q2 = b.engine.query("select COUNT(*) from observation").unwrap();
+        assert_eq!(q1.rows[0].get(0), q2.rows[0].get(0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Order-preserving key encodings.
+//!
+//! Keys compare as raw byte strings inside the tree, so every component is
+//! encoded such that `memcmp` order equals value order:
+//! - `u64`: big-endian;
+//! - `i64` (and timestamps): sign bit flipped, then big-endian;
+//! - `f64`: IEEE total-order trick (flip all bits when negative, else flip
+//!   the sign bit);
+//! - strings: raw bytes terminated by `0x00`, with interior `0x00` escaped
+//!   as `0x00 0xFF` so the terminator stays unambiguous and order-preserving.
+
+use odh_types::Timestamp;
+
+/// Builder for composite keys.
+#[derive(Debug, Clone, Default)]
+pub struct KeyBuf {
+    bytes: Vec<u8>,
+}
+
+impl KeyBuf {
+    pub fn new() -> KeyBuf {
+        KeyBuf { bytes: Vec::with_capacity(24) }
+    }
+
+    pub fn push_u64(mut self, v: u64) -> KeyBuf {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn push_u32(mut self, v: u32) -> KeyBuf {
+        self.bytes.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    pub fn push_i64(mut self, v: i64) -> KeyBuf {
+        self.bytes.extend_from_slice(&((v as u64) ^ (1u64 << 63)).to_be_bytes());
+        self
+    }
+
+    pub fn push_ts(self, t: Timestamp) -> KeyBuf {
+        self.push_i64(t.micros())
+    }
+
+    pub fn push_f64(mut self, v: f64) -> KeyBuf {
+        let bits = v.to_bits();
+        let ordered = if bits & (1u64 << 63) != 0 { !bits } else { bits ^ (1u64 << 63) };
+        self.bytes.extend_from_slice(&ordered.to_be_bytes());
+        self
+    }
+
+    pub fn push_str(mut self, s: &str) -> KeyBuf {
+        for &b in s.as_bytes() {
+            self.bytes.push(b);
+            if b == 0 {
+                self.bytes.push(0xFF);
+            }
+        }
+        self.bytes.push(0);
+        self
+    }
+
+    pub fn build(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Decode helpers (mainly for tests and debug printing).
+pub fn decode_u64(bytes: &[u8]) -> u64 {
+    u64::from_be_bytes(bytes[..8].try_into().unwrap())
+}
+
+pub fn decode_i64(bytes: &[u8]) -> i64 {
+    (u64::from_be_bytes(bytes[..8].try_into().unwrap()) ^ (1u64 << 63)) as i64
+}
+
+pub fn decode_ts(bytes: &[u8]) -> Timestamp {
+    Timestamp(decode_i64(bytes))
+}
+
+/// Smallest key strictly greater than every key with prefix `p`
+/// (i.e. `p` padded conceptually with 0xFF forever). Returns `None` when `p`
+/// is all-0xFF (no successor exists).
+pub fn prefix_successor(p: &[u8]) -> Option<Vec<u8>> {
+    let mut s = p.to_vec();
+    while let Some(last) = s.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(s);
+        }
+        s.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_order_preserved() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 100, i64::MAX];
+        let mut encoded: Vec<Vec<u8>> =
+            vals.iter().map(|&v| KeyBuf::new().push_i64(v).build()).collect();
+        let sorted = encoded.clone();
+        encoded.sort();
+        assert_eq!(encoded, sorted);
+        assert_eq!(decode_i64(&encoded[0]), i64::MIN);
+    }
+
+    #[test]
+    fn f64_order_preserved() {
+        let vals = [f64::NEG_INFINITY, -1.5, -0.0, 0.0, 1e-9, 2.5, f64::INFINITY];
+        let encoded: Vec<Vec<u8>> =
+            vals.iter().map(|&v| KeyBuf::new().push_f64(v).build()).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn composite_key_orders_lexicographically() {
+        // (id, timestamp) pairs must order by id first, then time — the
+        // layout of the RTS/IRTS index.
+        let k = |id: u64, t: i64| KeyBuf::new().push_u64(id).push_ts(Timestamp(t)).build();
+        assert!(k(1, 999) < k(2, 0));
+        assert!(k(2, 0) < k(2, 1));
+        assert!(k(2, -5) < k(2, 0));
+    }
+
+    #[test]
+    fn string_keys_order_and_escape() {
+        let k = |s: &str| KeyBuf::new().push_str(s).build();
+        assert!(k("abc") < k("abd"));
+        assert!(k("ab") < k("abc"));
+        // A string is never a prefix-collision with a longer one because of
+        // the terminator.
+        assert!(k("ab") < k("ab\u{1}"));
+        // Embedded NUL does not break ordering against the terminator.
+        let with_nul = KeyBuf::new().push_str("a\0b").build();
+        assert!(k("a") < with_nul && with_nul < k("ab"));
+    }
+
+    #[test]
+    fn prefix_successor_bounds_prefix_scans() {
+        assert_eq!(prefix_successor(&[1, 2, 3]).unwrap(), vec![1, 2, 4]);
+        assert_eq!(prefix_successor(&[1, 0xFF]).unwrap(), vec![2]);
+        assert_eq!(prefix_successor(&[0xFF, 0xFF]), None);
+        // Every key beginning with [5,5] is < successor([5,5]).
+        let succ = prefix_successor(&[5, 5]).unwrap();
+        assert!([5u8, 5, 0xFF, 0xFF, 0xFF].as_slice() < succ.as_slice());
+    }
+
+    #[test]
+    fn timestamp_round_trip() {
+        let t = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
+        let k = KeyBuf::new().push_ts(t).build();
+        assert_eq!(decode_ts(&k), t);
+    }
+}

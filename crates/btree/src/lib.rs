@@ -1,0 +1,26 @@
+//! B+tree over the pager.
+//!
+//! Both engines index through this tree: the ODH batch containers keep one
+//! B-tree on the *first two fields* of each batch structure (§2, Fig. 1 —
+//! `(id, begin_time)` for RTS/IRTS, `(group, begin_time)` for MG), and the
+//! baseline row store keeps one entry **per operational record** — the
+//! difference in entry counts is the paper's entire ingestion argument.
+//!
+//! - [`keycodec`]: order-preserving byte encodings so composite keys
+//!   compare with plain `memcmp`;
+//! - [`node`]: on-page node layout (slotted cells, leaf sibling links);
+//! - [`tree`]: the tree itself — insert with split propagation, point and
+//!   range lookups, bulk load, and a leaf-only delete (the paper's
+//!   workloads never delete; underflow is tolerated, documented in
+//!   DESIGN.md).
+//!
+//! Concurrency is a coarse tree-level `RwLock`: concurrent readers, one
+//! writer. Ingest concurrency in the workloads comes from many trees
+//! (per-container, per-server), not intra-tree parallelism.
+
+pub mod keycodec;
+pub mod node;
+pub mod tree;
+
+pub use keycodec::KeyBuf;
+pub use tree::{BTree, RangeIter};

@@ -1,0 +1,276 @@
+//! On-page B+tree node layout.
+//!
+//! ```text
+//! 0  u16 node_type (3 = leaf, 4 = interior)
+//! 2  u16 key_count
+//! 4  u16 free_end            cells grow downward from PAGE_SIZE
+//! 8  u64 link                leaf: right sibling | interior: leftmost child
+//! 16 slot array              (u16 cell_offset, u16 key_len) per entry
+//! ...
+//! cells                      [key bytes][u64 payload]
+//! ```
+//!
+//! Leaf payloads are caller values (packed `RecordId`s); interior payloads
+//! are child page ids. Entry `i` of an interior node is a separator: child
+//! `payload(i)` holds keys `>= key(i)` (and `< key(i+1)`); keys below
+//! `key(0)` descend into the `link` (leftmost) child.
+//!
+//! `remove_at` only drops the slot, leaving the cell bytes as garbage; the
+//! space is reclaimed when the node is next rebuilt by a split. Fine for
+//! this workspace: the paper's workloads never delete.
+
+use odh_pager::page::{get_u16, get_u64, put_u16, put_u64, NO_PAGE, PAGE_SIZE};
+
+pub const NT_LEAF: u16 = 3;
+pub const NT_INTERIOR: u16 = 4;
+
+const H_TYPE: usize = 0;
+const H_COUNT: usize = 2;
+const H_FREE_END: usize = 4;
+const H_LINK: usize = 8;
+pub const HEADER: usize = 16;
+pub const SLOT_SIZE: usize = 4;
+
+/// Maximum supported key length. Guarantees a page fits ≥4 entries so
+/// splits always succeed.
+pub const MAX_KEY: usize = 1024;
+
+pub fn init(buf: &mut [u8], leaf: bool) {
+    put_u16(buf, H_TYPE, if leaf { NT_LEAF } else { NT_INTERIOR });
+    put_u16(buf, H_COUNT, 0);
+    put_u16(buf, H_FREE_END, PAGE_SIZE as u16);
+    put_u64(buf, H_LINK, NO_PAGE);
+}
+
+pub fn is_leaf(buf: &[u8]) -> bool {
+    get_u16(buf, H_TYPE) == NT_LEAF
+}
+
+pub fn count(buf: &[u8]) -> usize {
+    get_u16(buf, H_COUNT) as usize
+}
+
+pub fn link(buf: &[u8]) -> u64 {
+    get_u64(buf, H_LINK)
+}
+
+pub fn set_link(buf: &mut [u8], v: u64) {
+    put_u64(buf, H_LINK, v);
+}
+
+#[inline]
+fn slot(buf: &[u8], i: usize) -> (usize, usize) {
+    let off = HEADER + i * SLOT_SIZE;
+    (get_u16(buf, off) as usize, get_u16(buf, off + 2) as usize)
+}
+
+pub fn key_at(buf: &[u8], i: usize) -> &[u8] {
+    let (cell, klen) = slot(buf, i);
+    &buf[cell..cell + klen]
+}
+
+pub fn payload_at(buf: &[u8], i: usize) -> u64 {
+    let (cell, klen) = slot(buf, i);
+    get_u64(buf, cell + klen)
+}
+
+pub fn set_payload_at(buf: &mut [u8], i: usize, v: u64) {
+    let (cell, klen) = slot(buf, i);
+    put_u64(buf, cell + klen, v);
+}
+
+/// Binary search among keys. `Ok(i)`: first entry equal to `key`.
+/// `Err(i)`: insertion point keeping order (also = count of keys < `key`).
+pub fn search(buf: &[u8], key: &[u8]) -> Result<usize, usize> {
+    let n = count(buf);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if key_at(buf, mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo < n && key_at(buf, lo) == key {
+        Ok(lo)
+    } else {
+        Err(lo)
+    }
+}
+
+/// Count of keys strictly `< key` (lower bound). Interior descents for
+/// *reads* must use this: when duplicates of a key straddle a split, the
+/// separator equals the key and the leftmost duplicates live in the child
+/// to the separator's left.
+pub fn lower_bound(buf: &[u8], key: &[u8]) -> usize {
+    match search(buf, key) {
+        Ok(i) | Err(i) => i,
+    }
+}
+
+/// Count of keys `<= key` (upper bound), used for interior child choice
+/// on *inserts* (new duplicates go to the rightmost run).
+pub fn upper_bound(buf: &[u8], key: &[u8]) -> usize {
+    let n = count(buf);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if key_at(buf, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+pub fn free_space(buf: &[u8]) -> usize {
+    let free_end = get_u16(buf, H_FREE_END) as usize;
+    free_end.saturating_sub(HEADER + count(buf) * SLOT_SIZE)
+}
+
+/// Whether an entry with `key` fits.
+pub fn fits(buf: &[u8], key_len: usize) -> bool {
+    free_space(buf) >= key_len + 8 + SLOT_SIZE
+}
+
+/// Insert `(key, payload)` at slot position `i`, shifting later slots.
+/// Caller must have checked [`fits`].
+pub fn insert_at(buf: &mut [u8], i: usize, key: &[u8], payload: u64) {
+    debug_assert!(key.len() <= MAX_KEY);
+    debug_assert!(fits(buf, key.len()));
+    let n = count(buf);
+    debug_assert!(i <= n);
+    let free_end = get_u16(buf, H_FREE_END) as usize;
+    let cell = free_end - key.len() - 8;
+    buf[cell..cell + key.len()].copy_from_slice(key);
+    put_u64(buf, cell + key.len(), payload);
+    // Shift slot array right of i.
+    let start = HEADER + i * SLOT_SIZE;
+    let end = HEADER + n * SLOT_SIZE;
+    buf.copy_within(start..end, start + SLOT_SIZE);
+    put_u16(buf, start, cell as u16);
+    put_u16(buf, start + 2, key.len() as u16);
+    put_u16(buf, H_COUNT, (n + 1) as u16);
+    put_u16(buf, H_FREE_END, cell as u16);
+}
+
+/// Remove slot `i` (cell bytes become garbage until the next rebuild).
+pub fn remove_at(buf: &mut [u8], i: usize) {
+    let n = count(buf);
+    debug_assert!(i < n);
+    let start = HEADER + (i + 1) * SLOT_SIZE;
+    let end = HEADER + n * SLOT_SIZE;
+    buf.copy_within(start..end, start - SLOT_SIZE);
+    put_u16(buf, H_COUNT, (n - 1) as u16);
+}
+
+/// Deserialize all entries (used by splits and bulk rebuilds).
+pub fn all_entries(buf: &[u8]) -> Vec<(Vec<u8>, u64)> {
+    (0..count(buf)).map(|i| (key_at(buf, i).to_vec(), payload_at(buf, i))).collect()
+}
+
+/// Rewrite the node from scratch with `entries` (compacting garbage).
+pub fn rebuild(buf: &mut [u8], leaf: bool, link_v: u64, entries: &[(Vec<u8>, u64)]) {
+    init(buf, leaf);
+    set_link(buf, link_v);
+    for (i, (k, p)) in entries.iter().enumerate() {
+        insert_at(buf, i, k, *p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn insert_keeps_sorted_order() {
+        let mut b = page();
+        init(&mut b, true);
+        for (i, k) in [b"m", b"a", b"z", b"b"].iter().enumerate() {
+            let pos = search(&b, k.as_slice()).unwrap_err();
+            insert_at(&mut b, pos, k.as_slice(), i as u64);
+        }
+        let keys: Vec<&[u8]> = (0..count(&b)).map(|i| key_at(&b, i)).collect();
+        assert_eq!(keys, [b"a".as_slice(), b"b", b"m", b"z"]);
+        assert_eq!(payload_at(&b, 0), 1); // "a" was inserted second
+    }
+
+    #[test]
+    fn search_exact_and_insertion_point() {
+        let mut b = page();
+        init(&mut b, true);
+        for (i, k) in [b"b", b"d", b"f"].iter().enumerate() {
+            insert_at(&mut b, i, k.as_slice(), i as u64);
+        }
+        assert_eq!(search(&b, b"d"), Ok(1));
+        assert_eq!(search(&b, b"a"), Err(0));
+        assert_eq!(search(&b, b"c"), Err(1));
+        assert_eq!(search(&b, b"g"), Err(3));
+    }
+
+    #[test]
+    fn search_finds_first_duplicate() {
+        let mut b = page();
+        init(&mut b, true);
+        for (i, p) in [10u64, 11, 12].iter().enumerate() {
+            insert_at(&mut b, i, b"dup", *p);
+        }
+        assert_eq!(search(&b, b"dup"), Ok(0));
+        assert_eq!(upper_bound(&b, b"dup"), 3);
+        assert_eq!(upper_bound(&b, b"duo"), 0);
+    }
+
+    #[test]
+    fn remove_shifts_slots() {
+        let mut b = page();
+        init(&mut b, true);
+        for (i, k) in [b"a", b"b", b"c"].iter().enumerate() {
+            insert_at(&mut b, i, k.as_slice(), i as u64);
+        }
+        remove_at(&mut b, 1);
+        assert_eq!(count(&b), 2);
+        assert_eq!(key_at(&b, 0), b"a");
+        assert_eq!(key_at(&b, 1), b"c");
+        assert_eq!(payload_at(&b, 1), 2);
+    }
+
+    #[test]
+    fn fills_until_fits_fails_then_rebuild_compacts() {
+        let mut b = page();
+        init(&mut b, true);
+        let key = [7u8; 16];
+        let mut n = 0;
+        while fits(&b, key.len()) {
+            insert_at(&mut b, n, &key, n as u64);
+            n += 1;
+        }
+        assert!(n > 200); // 16B keys + 8B payload + 4B slot ≈ 28B/entry
+        // Remove half, rebuild, space returns.
+        let keep: Vec<_> = all_entries(&b).into_iter().step_by(2).collect();
+        rebuild(&mut b, true, 99, &keep);
+        assert_eq!(count(&b), n.div_ceil(2));
+        assert_eq!(link(&b), 99);
+        assert!(fits(&b, key.len()));
+    }
+
+    #[test]
+    fn interior_nodes_store_children() {
+        let mut b = page();
+        init(&mut b, false);
+        assert!(!is_leaf(&b));
+        set_link(&mut b, 5); // leftmost child
+        insert_at(&mut b, 0, b"m", 6);
+        // key < "m" → leftmost; key >= "m" → child 6.
+        assert_eq!(upper_bound(&b, b"a"), 0);
+        assert_eq!(upper_bound(&b, b"m"), 1);
+        assert_eq!(upper_bound(&b, b"z"), 1);
+        assert_eq!(payload_at(&b, 0), 6);
+        assert_eq!(link(&b), 5);
+    }
+}

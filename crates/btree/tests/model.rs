@@ -1,0 +1,117 @@
+//! Model-based testing: the B+tree against `BTreeMap<Vec<u8>, Vec<u64>>`
+//! (duplicate keys → multiset of values) under arbitrary interleavings of
+//! inserts, deletes, point lookups, and range scans.
+
+use odh_btree::{BTree, KeyBuf};
+use odh_pager::disk::MemDisk;
+use odh_pager::pool::BufferPool;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u64),
+    Delete(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u16>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k % 512, v)),
+        1 => any::<u16>().prop_map(|k| Op::Delete(k % 512)),
+        2 => any::<u16>().prop_map(|k| Op::Get(k % 512)),
+        2 => (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Op::Range(a % 512, b % 512)),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    KeyBuf::new().push_u64(k as u64).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_btreemap_model(ops in prop::collection::vec(arb_op(), 1..400)) {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 256);
+        let tree = BTree::create(pool).unwrap();
+        let mut model: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    tree.insert(&key(k), v).unwrap();
+                    model.entry(k).or_default().push(v);
+                }
+                Op::Delete(k) => {
+                    let removed = tree.delete(&key(k)).unwrap();
+                    let model_has = model.get(&k).is_some_and(|v| !v.is_empty());
+                    prop_assert_eq!(removed, model_has, "delete({})", k);
+                    if model_has {
+                        // The tree removes *one* duplicate (which one is
+                        // unspecified); mirror by popping one.
+                        let vs = model.get_mut(&k).unwrap();
+                        vs.pop();
+                        if vs.is_empty() {
+                            model.remove(&k);
+                        }
+                    }
+                }
+                Op::Get(k) => {
+                    let got = tree.get(&key(k)).unwrap();
+                    let model_vals = model.get(&k);
+                    match (got, model_vals) {
+                        (Some(v), Some(vs)) => prop_assert!(vs.contains(&v), "get({k}) = {v}"),
+                        (None, None) => {}
+                        (None, Some(vs)) => prop_assert!(vs.is_empty(), "get({k}) missed"),
+                        (Some(v), None) => prop_assert!(false, "phantom get({k}) = {v}"),
+                    }
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got: Vec<u64> = tree
+                        .range(Some(&key(lo)), Some(&key(hi)), true)
+                        .unwrap()
+                        .map(|r| r.unwrap().1)
+                        .collect();
+                    let mut expect: Vec<u64> = model
+                        .range(lo..=hi)
+                        .flat_map(|(_, vs)| vs.iter().copied())
+                        .collect();
+                    let mut got_sorted = got.clone();
+                    got_sorted.sort_unstable();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got_sorted, expect, "range({}, {})", lo, hi);
+                }
+            }
+        }
+        // Final invariants: total entry count and full-scan ordering.
+        let expect_len: usize = model.values().map(|v| v.len()).sum();
+        prop_assert_eq!(tree.len() as usize, expect_len);
+        let keys: Vec<Vec<u8>> = tree
+            .range(None, None, false)
+            .unwrap()
+            .map(|r| r.unwrap().0)
+            .collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]), "scan out of order");
+    }
+
+    #[test]
+    fn prefix_scans_select_exactly_the_prefix(
+        entries in prop::collection::vec((0u64..30, 0i64..1000, any::<u64>()), 0..300),
+        probe in 0u64..30,
+    ) {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 256);
+        let tree = BTree::create(pool).unwrap();
+        for &(id, ts, v) in &entries {
+            tree.insert(&KeyBuf::new().push_u64(id).push_i64(ts).build(), v).unwrap();
+        }
+        let got = tree
+            .scan_prefix(&KeyBuf::new().push_u64(probe).build())
+            .unwrap()
+            .count();
+        let expect = entries.iter().filter(|(id, _, _)| *id == probe).count();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,226 @@
+//! Policy-driven column codec — the entry point ValueBlobs use.
+//!
+//! One tag column of one batch arrives as `(timestamps, values)`. The codec
+//! picks the algorithm per Fig. 3: smooth + lossy → linear (swinging door),
+//! fluctuating + lossy → quantization, lossless → XOR; anything the
+//! preferred codec cannot beat falls back to the next one, and raw is the
+//! universal fallback. The chosen codec id is returned alongside the bytes
+//! and stored in the blob's per-tag section header.
+
+use crate::variability::is_smooth;
+use crate::varint;
+use crate::{linear, quantize, xor};
+use odh_types::{OdhError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Column codecs (ids are stored on disk — do not renumber).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Codec {
+    /// Raw little-endian f64s.
+    Raw = 0,
+    /// Swinging-door linear compression.
+    Linear = 1,
+    /// Uniform quantization.
+    Quantize = 2,
+    /// Gorilla XOR.
+    Xor = 3,
+}
+
+impl Codec {
+    pub fn from_u8(v: u8) -> Result<Codec> {
+        match v {
+            0 => Ok(Codec::Raw),
+            1 => Ok(Codec::Linear),
+            2 => Ok(Codec::Quantize),
+            3 => Ok(Codec::Xor),
+            _ => Err(OdhError::Corrupt(format!("unknown codec id {v}"))),
+        }
+    }
+}
+
+/// Compression policy for a schema type (ODH configuration metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Bit-exact reconstruction.
+    Lossless,
+    /// Reconstruction within `max_dev` of every original value.
+    Lossy { max_dev: f64 },
+}
+
+/// Encode one column. `ts` must parallel `vals`; linear compression is only
+/// chosen when timestamps are strictly increasing (its interpolation model
+/// requires it).
+pub fn encode_column(ts: &[i64], vals: &[f64], policy: Policy) -> (Codec, Vec<u8>) {
+    debug_assert_eq!(ts.len(), vals.len());
+    let raw_len = vals.len() * 8;
+    match policy {
+        Policy::Lossless => {
+            let enc = xor::encode(vals);
+            if enc.len() < raw_len + 8 {
+                (Codec::Xor, enc)
+            } else {
+                (Codec::Raw, encode_raw(vals))
+            }
+        }
+        Policy::Lossy { max_dev } => {
+            if max_dev <= 0.0 {
+                return encode_column(ts, vals, Policy::Lossless);
+            }
+            let monotone = ts.windows(2).all(|w| w[0] < w[1]);
+            if monotone && is_smooth(vals) && vals.iter().all(|v| v.is_finite()) {
+                let spikes = linear::compress(ts, vals, max_dev);
+                let enc = linear::encode(&spikes);
+                if enc.len() < raw_len {
+                    return (Codec::Linear, enc);
+                }
+            }
+            if let Some(enc) = quantize::encode(vals, max_dev) {
+                if enc.len() < raw_len {
+                    return (Codec::Quantize, enc);
+                }
+            }
+            // Fall back to the lossless path (never worse than raw + ε).
+            encode_column(ts, vals, Policy::Lossless)
+        }
+    }
+}
+
+/// Decode a column starting at `pos`, advancing it. `ts` must be the same
+/// timestamps used at encode time (the blob stores them separately).
+pub fn decode_column(codec: Codec, buf: &[u8], pos: &mut usize, ts: &[i64]) -> Result<Vec<f64>> {
+    match codec {
+        Codec::Raw => decode_raw_at(buf, pos),
+        Codec::Linear => {
+            let spikes = linear::decode_at(buf, pos)?;
+            Ok(linear::reconstruct(&spikes, ts))
+        }
+        Codec::Quantize => quantize::decode_at(buf, pos),
+        Codec::Xor => xor::decode_at(buf, pos),
+    }
+}
+
+fn encode_raw(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 8 + 4);
+    varint::write_u64(&mut out, vals.len() as u64);
+    for v in vals {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_raw_at(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
+    let n = varint::read_u64(buf, pos)? as usize;
+    if buf.len() < *pos + n * 8 {
+        return Err(OdhError::Corrupt("raw column truncated".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let off = *pos + i * 8;
+        out.push(f64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
+    }
+    *pos += n * 8;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_ts(n: usize) -> Vec<i64> {
+        (0..n as i64).map(|i| i * 1_000_000).collect()
+    }
+
+    #[test]
+    fn smooth_lossy_picks_linear() {
+        let ts = ramp_ts(500);
+        let vals: Vec<f64> = (0..500).map(|i| 10.0 + 0.02 * i as f64).collect();
+        let (codec, bytes) = encode_column(&ts, &vals, Policy::Lossy { max_dev: 0.1 });
+        assert_eq!(codec, Codec::Linear);
+        assert!(bytes.len() < 100, "linear ramp should collapse, got {}", bytes.len());
+        let mut pos = 0;
+        let out = decode_column(codec, &bytes, &mut pos, &ts).unwrap();
+        for (v, r) in vals.iter().zip(&out) {
+            assert!((v - r).abs() <= 0.1 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fluctuating_lossy_picks_quantize() {
+        let ts = ramp_ts(1000);
+        let vals: Vec<f64> = (0..1000).map(|i| (i as f64 * 2.1).sin()).collect();
+        let (codec, bytes) = encode_column(&ts, &vals, Policy::Lossy { max_dev: 0.01 });
+        assert_eq!(codec, Codec::Quantize);
+        let mut pos = 0;
+        let out = decode_column(codec, &bytes, &mut pos, &ts).unwrap();
+        for (v, r) in vals.iter().zip(&out) {
+            assert!((v - r).abs() <= 0.01 + 1e-9);
+        }
+        assert!(bytes.len() * 4 < vals.len() * 8, "≥4× expected, got {}", bytes.len());
+    }
+
+    #[test]
+    fn lossless_is_bit_exact() {
+        let ts = ramp_ts(300);
+        let mut x = 5u64;
+        let vals: Vec<f64> = (0..300)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 20) as f64) * 1e-3
+            })
+            .collect();
+        let (codec, bytes) = encode_column(&ts, &vals, Policy::Lossless);
+        let mut pos = 0;
+        let out = decode_column(codec, &bytes, &mut pos, &ts).unwrap();
+        for (v, r) in vals.iter().zip(&out) {
+            assert_eq!(v.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_monotone_timestamps_never_use_linear() {
+        let ts = vec![0i64, 10, 10, 30];
+        let vals = vec![1.0, 1.1, 1.2, 1.3];
+        let (codec, _) = encode_column(&ts, &vals, Policy::Lossy { max_dev: 0.5 });
+        assert_ne!(codec, Codec::Linear);
+    }
+
+    #[test]
+    fn nan_column_still_encodes_lossless_path() {
+        let ts = ramp_ts(4);
+        let vals = vec![1.0, f64::NAN, 3.0, f64::INFINITY];
+        let (codec, bytes) = encode_column(&ts, &vals, Policy::Lossy { max_dev: 0.1 });
+        let mut pos = 0;
+        let out = decode_column(codec, &bytes, &mut pos, &ts).unwrap();
+        assert_eq!(out[0], 1.0);
+        assert!(out[1].is_nan());
+        assert_eq!(out[3], f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_dev_lossy_is_lossless() {
+        let ts = ramp_ts(10);
+        let vals: Vec<f64> = (0..10).map(|i| i as f64 * 0.1).collect();
+        let (codec, bytes) = encode_column(&ts, &vals, Policy::Lossy { max_dev: 0.0 });
+        let mut pos = 0;
+        let out = decode_column(codec, &bytes, &mut pos, &ts).unwrap();
+        for (v, r) in vals.iter().zip(&out) {
+            assert_eq!(v.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_ids_round_trip() {
+        for c in [Codec::Raw, Codec::Linear, Codec::Quantize, Codec::Xor] {
+            assert_eq!(Codec::from_u8(c as u8).unwrap(), c);
+        }
+        assert!(Codec::from_u8(9).is_err());
+    }
+
+    #[test]
+    fn empty_column() {
+        let (codec, bytes) = encode_column(&[], &[], Policy::Lossy { max_dev: 0.1 });
+        let mut pos = 0;
+        assert!(decode_column(codec, &bytes, &mut pos, &[]).unwrap().is_empty());
+    }
+}

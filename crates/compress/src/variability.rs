@@ -1,0 +1,97 @@
+//! The data-variability score driving codec selection (Fig. 3).
+//!
+//! "The tags collected by high frequency sensors frequently fluctuate,
+//! while the tags collected by low frequency sensors are relatively
+//! stable." The selector needs one number that separates those regimes: we
+//! use the mean absolute successive difference normalized by the value
+//! range. A ramp, a constant, or a slow drift scores near zero; a waveform
+//! or noise scores high.
+
+/// Fluctuation score in `[0, 1]`: 0 = perfectly smooth (constant/ramp),
+/// towards 1 = alternating at full range every sample.
+pub fn fluctuation_score(vals: &[f64]) -> f64 {
+    if vals.len() < 3 {
+        return 0.0;
+    }
+    let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    if !range.is_finite() {
+        return 1.0;
+    }
+    if range == 0.0 {
+        return 0.0;
+    }
+    // Mean absolute *second* difference: exactly zero on any straight line,
+    // large on oscillation/noise.
+    let mut acc = 0.0;
+    for w in vals.windows(3) {
+        acc += ((w[2] - w[1]) - (w[1] - w[0])).abs();
+    }
+    (acc / ((vals.len() - 2) as f64) / range).min(1.0)
+}
+
+/// Default boundary between "smooth → linear compression" and
+/// "fluctuating → quantization".
+pub const SMOOTH_THRESHOLD: f64 = 0.05;
+
+/// Is this column smooth enough for linear compression?
+pub fn is_smooth(vals: &[f64]) -> bool {
+    fluctuation_score(vals) < SMOOTH_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_and_constants_are_smooth() {
+        let ramp: Vec<f64> = (0..100).map(|i| 3.0 * i as f64 - 7.0).collect();
+        assert_eq!(fluctuation_score(&ramp), 0.0);
+        assert!(is_smooth(&ramp));
+        let constant = vec![5.5; 100];
+        assert_eq!(fluctuation_score(&constant), 0.0);
+    }
+
+    #[test]
+    fn slow_drift_is_smooth() {
+        // A daily temperature curve sampled every 15 minutes.
+        let vals: Vec<f64> =
+            (0..96).map(|i| 15.0 + 10.0 * (i as f64 * std::f64::consts::TAU / 96.0).sin()).collect();
+        assert!(is_smooth(&vals), "score={}", fluctuation_score(&vals));
+    }
+
+    #[test]
+    fn oscillation_is_fluctuating() {
+        let vals: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        assert!(fluctuation_score(&vals) > 0.5);
+        assert!(!is_smooth(&vals));
+    }
+
+    #[test]
+    fn noise_is_fluctuating() {
+        let mut x = 11u64;
+        let vals: Vec<f64> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 40) as f64
+            })
+            .collect();
+        assert!(!is_smooth(&vals), "score={}", fluctuation_score(&vals));
+    }
+
+    #[test]
+    fn short_columns_default_to_smooth() {
+        assert!(is_smooth(&[]));
+        assert!(is_smooth(&[1.0]));
+        assert!(is_smooth(&[1.0, 9999.0]));
+    }
+
+    #[test]
+    fn high_frequency_waveform_is_fluctuating() {
+        // A 50 Hz AC waveform sampled at 120 Hz (undersampled → jumpy).
+        let vals: Vec<f64> =
+            (0..240).map(|i| (i as f64 * std::f64::consts::TAU * 50.0 / 120.0).sin()).collect();
+        assert!(!is_smooth(&vals));
+    }
+}

@@ -1,0 +1,121 @@
+//! LEB128 variable-length integers and zigzag signed mapping.
+
+use odh_types::{OdhError, Result};
+
+/// Append `v` as LEB128.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 value, advancing `pos`.
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| OdhError::Corrupt("varint overruns buffer".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(OdhError::Corrupt("varint longer than 64 bits".into()));
+        }
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-map a signed value to unsigned (small magnitudes stay small).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    Ok(unzigzag(read_u64(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip_boundaries() {
+        let vals = [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn small_values_take_one_byte() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 0);
+        write_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn zigzag_properties() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [i64::MIN, i64::MAX, -1_000_000, 42] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        let vals = [i64::MIN, -1, 0, 1, i64::MAX, -20_000];
+        let mut buf = Vec::new();
+        for &v in &vals {
+            write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            assert_eq!(read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        buf.pop();
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert!(read_u64(&buf, &mut pos).is_err());
+    }
+}

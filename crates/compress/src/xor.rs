@@ -1,0 +1,155 @@
+//! Gorilla-style XOR compression for lossless floats.
+//!
+//! Each value is XORed with its predecessor. A zero XOR costs one bit;
+//! otherwise the meaningful (non-zero) bit window is stored, reusing the
+//! previous window when it still covers the new one ('10' control) or
+//! opening a new window ('11' + 5 leading-zero bits + 6 length bits).
+//! This is the lossless path of the compressor (§3: "both of the
+//! algorithms support lossless compression").
+
+use crate::bits::{BitReader, BitWriter};
+use crate::varint;
+use odh_types::Result;
+
+/// Losslessly encode `vals`.
+pub fn encode(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 2 + 8);
+    varint::write_u64(&mut out, vals.len() as u64);
+    if vals.is_empty() {
+        return out;
+    }
+    let mut w = BitWriter::with_capacity(vals.len());
+    let mut prev = vals[0].to_bits();
+    w.write_bits(prev, 64);
+    let mut prev_lead = 65u8; // invalid: forces a fresh window
+    let mut prev_len = 0u8;
+    for &v in &vals[1..] {
+        let bits = v.to_bits();
+        let xor = bits ^ prev;
+        prev = bits;
+        if xor == 0 {
+            w.write_bit(false);
+            continue;
+        }
+        w.write_bit(true);
+        let lead = (xor.leading_zeros() as u8).min(31);
+        let trail = xor.trailing_zeros() as u8;
+        let len = 64 - lead - trail;
+        if prev_lead <= lead && lead + len <= prev_lead + prev_len {
+            // Previous window [prev_lead, prev_lead+prev_len) covers this
+            // XOR's meaningful bits.
+            w.write_bit(false);
+            w.write_bits(xor >> (64 - prev_lead - prev_len), prev_len);
+        } else {
+            w.write_bit(true);
+            w.write_bits(lead as u64, 5);
+            // len is in 1..=64; store len-1 in 6 bits.
+            w.write_bits((len - 1) as u64, 6);
+            w.write_bits(xor >> trail, len);
+            prev_lead = lead;
+            prev_len = len;
+        }
+    }
+    out.extend_from_slice(&w.finish());
+    out
+}
+
+/// Decode an XOR block starting at `pos`, advancing it.
+pub fn decode_at(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
+    let n = varint::read_u64(buf, pos)? as usize;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut r = BitReader::new(&buf[*pos..]);
+    let mut out = Vec::with_capacity(n);
+    let mut prev = r.read_bits(64)?;
+    out.push(f64::from_bits(prev));
+    let mut lead = 0u8;
+    let mut len = 0u8;
+    for _ in 1..n {
+        if !r.read_bit()? {
+            out.push(f64::from_bits(prev));
+            continue;
+        }
+        if r.read_bit()? {
+            lead = r.read_bits(5)? as u8;
+            len = r.read_bits(6)? as u8 + 1;
+        }
+        let meaningful = r.read_bits(len)?;
+        let xor = meaningful << (64 - lead - len);
+        prev ^= xor;
+        out.push(f64::from_bits(prev));
+    }
+    // Consume this block's bytes (bit stream is byte-padded at the end).
+    let used_bits = buf[*pos..].len() * 8 - r.remaining_bits();
+    *pos += used_bits.div_ceil(8);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(vals: &[f64]) -> usize {
+        let enc = encode(vals);
+        let mut pos = 0;
+        let out = decode_at(&enc, &mut pos).unwrap();
+        assert_eq!(out.len(), vals.len());
+        for (v, r) in vals.iter().zip(&out) {
+            assert_eq!(v.to_bits(), r.to_bits());
+        }
+        enc.len()
+    }
+
+    #[test]
+    fn constant_series_is_tiny() {
+        let vals = vec![98.6; 1000];
+        let bytes = round_trip(&vals);
+        // 64-bit header + ~1 bit/point.
+        assert!(bytes < 1000 / 8 + 32, "got {bytes} bytes");
+    }
+
+    #[test]
+    fn slowly_changing_values_compress() {
+        let vals: Vec<f64> = (0..5000).map(|i| 220.0 + (i / 100) as f64 * 0.25).collect();
+        let bytes = round_trip(&vals);
+        assert!(bytes < 5000 * 8 / 3, "got {bytes} bytes");
+    }
+
+    #[test]
+    fn random_bits_round_trip_even_if_incompressible() {
+        let mut x = 3u64;
+        let vals: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                f64::from_bits(x | 0x3FF0_0000_0000_0000) // keep finite-ish
+            })
+            .collect();
+        round_trip(&vals);
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        round_trip(&[0.0, -0.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        round_trip(&[]);
+        round_trip(&[std::f64::consts::PI]);
+    }
+
+    #[test]
+    fn pos_advances_exactly_one_block() {
+        let a = encode(&[1.0, 2.0, 3.0]);
+        let b = encode(&[9.0, 8.0]);
+        let mut buf = a.clone();
+        buf.extend_from_slice(&b);
+        let mut pos = 0;
+        let first = decode_at(&buf, &mut pos).unwrap();
+        assert_eq!(first, vec![1.0, 2.0, 3.0]);
+        assert_eq!(pos, a.len());
+        let second = decode_at(&buf, &mut pos).unwrap();
+        assert_eq!(second, vec![9.0, 8.0]);
+    }
+}

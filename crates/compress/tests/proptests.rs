@@ -1,0 +1,159 @@
+//! Property-based tests for every codec: round-trips under arbitrary
+//! inputs, and — the invariant the storage engine relies on — lossy error
+//! bounds that are never exceeded.
+
+use odh_compress::bits::{BitReader, BitWriter};
+use odh_compress::column::{decode_column, encode_column, Policy};
+use odh_compress::{delta, linear, quantize, varint, xor};
+use proptest::prelude::*;
+
+/// Strictly increasing timestamps with irregular gaps.
+fn increasing_ts(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..5_000_000, len).prop_map(|gaps| {
+        let mut t = 1_600_000_000_000_000i64;
+        gaps.into_iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+fn finite_vals(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e7f64..1e7, len)
+}
+
+proptest! {
+    #[test]
+    fn varint_u64_round_trips(vals in prop::collection::vec(any::<u64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &vals {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_i64_round_trips(vals in prop::collection::vec(any::<i64>(), 0..100)) {
+        let mut buf = Vec::new();
+        for &v in &vals {
+            varint::write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &vals {
+            prop_assert_eq!(varint::read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn bit_io_round_trips(fields in prop::collection::vec((any::<u64>(), 1u8..=64), 0..50)) {
+        let mut w = BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v & (u64::MAX >> (64 - n)), n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &fields {
+            prop_assert_eq!(r.read_bits(n).unwrap(), v & (u64::MAX >> (64 - n)));
+        }
+    }
+
+    #[test]
+    fn timestamps_round_trip(ts in prop::collection::vec(any::<i32>(), 0..200)) {
+        // i32 inputs avoid i64 overflow in delta-of-delta arithmetic while
+        // still exercising negative and unordered series.
+        let ts: Vec<i64> = ts.into_iter().map(|t| t as i64).collect();
+        let enc = delta::encode_timestamps(&ts);
+        prop_assert_eq!(delta::decode_timestamps(&enc).unwrap(), ts);
+    }
+
+    #[test]
+    fn xor_round_trips_bit_exactly(vals in prop::collection::vec(any::<f64>(), 0..200)) {
+        let enc = xor::encode(&vals);
+        let mut pos = 0;
+        let out = xor::decode_at(&enc, &mut pos).unwrap();
+        prop_assert_eq!(out.len(), vals.len());
+        for (v, r) in vals.iter().zip(&out) {
+            prop_assert_eq!(v.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantize_never_exceeds_bound(
+        vals in finite_vals(64),
+        dev in 1e-4f64..100.0,
+    ) {
+        if let Some(enc) = quantize::encode(&vals, dev) {
+            let mut pos = 0;
+            let out = quantize::decode_at(&enc, &mut pos).unwrap();
+            for (v, r) in vals.iter().zip(&out) {
+                prop_assert!((v - r).abs() <= dev * (1.0 + 1e-9) + 1e-12,
+                    "v={} r={} dev={}", v, r, dev);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_never_exceeds_bound(
+        (ts, vals) in (3usize..80).prop_flat_map(|n| (increasing_ts(n), finite_vals(n))),
+        dev in 0.0f64..50.0,
+    ) {
+        let spikes = linear::compress(&ts, &vals, dev);
+        let recon = linear::reconstruct(&spikes, &ts);
+        for (i, (v, r)) in vals.iter().zip(&recon).enumerate() {
+            prop_assert!((v - r).abs() <= dev + 1e-6 + dev * 1e-9,
+                "i={} v={} r={} dev={}", i, v, r, dev);
+        }
+    }
+
+    #[test]
+    fn linear_spike_serialization_round_trips(
+        (ts, vals) in (1usize..60).prop_flat_map(|n| (increasing_ts(n), finite_vals(n))),
+        dev in 0.0f64..10.0,
+    ) {
+        let spikes = linear::compress(&ts, &vals, dev);
+        let bytes = linear::encode(&spikes);
+        let mut pos = 0;
+        let back = linear::decode_at(&bytes, &mut pos).unwrap();
+        prop_assert_eq!(back.len(), spikes.len());
+        for (a, b) in spikes.iter().zip(&back) {
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.v.to_bits(), b.v.to_bits());
+        }
+    }
+
+    #[test]
+    fn column_codec_respects_policy(
+        (ts, vals) in (0usize..100).prop_flat_map(|n| (increasing_ts(n), finite_vals(n))),
+        dev in prop::option::of(1e-3f64..10.0),
+    ) {
+        let policy = match dev {
+            None => Policy::Lossless,
+            Some(d) => Policy::Lossy { max_dev: d },
+        };
+        let (codec, bytes) = encode_column(&ts, &vals, policy);
+        let mut pos = 0;
+        let out = decode_column(codec, &bytes, &mut pos, &ts).unwrap();
+        prop_assert_eq!(out.len(), vals.len());
+        match policy {
+            Policy::Lossless => {
+                for (v, r) in vals.iter().zip(&out) {
+                    prop_assert_eq!(v.to_bits(), r.to_bits());
+                }
+            }
+            Policy::Lossy { max_dev } => {
+                for (v, r) in vals.iter().zip(&out) {
+                    prop_assert!((v - r).abs() <= max_dev + 1e-6,
+                        "v={} r={} dev={}", v, r, max_dev);
+                }
+            }
+        }
+        // The decoder must consume exactly its block.
+        prop_assert_eq!(pos, bytes.len());
+    }
+}

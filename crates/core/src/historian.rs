@@ -1,0 +1,367 @@
+//! [`Historian`] — the top-level façade of the ODH system.
+//!
+//! One historian = configuration component (schema types, source registry)
+//! + storage component (writers) + query component (SQL engine with
+//! virtual tables, data router, relational tables). Built through
+//! [`HistorianBuilder`]; see `examples/quickstart.rs` for the canonical
+//! usage.
+
+use crate::cluster::Cluster;
+use crate::reltable::RelTable;
+use crate::router::DataRouter;
+use crate::server::DataServer;
+use crate::vtable::VirtualTable;
+use crate::writer::OdhWriter;
+use odh_pager::disk::MemDisk;
+use odh_pager::pool::BufferPool;
+use odh_rdb::RdbProfile;
+use odh_sim::ResourceMeter;
+use odh_sql::{QueryResult, SqlEngine};
+use odh_storage::TableConfig;
+use odh_types::{RelSchema, Result, SourceClass, SourceId};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Builder for a [`Historian`].
+pub struct HistorianBuilder {
+    servers: usize,
+    cores: u32,
+    metered: bool,
+    disk_dir: Option<PathBuf>,
+    pool_frames: usize,
+}
+
+impl HistorianBuilder {
+    pub fn new() -> HistorianBuilder {
+        HistorianBuilder {
+            servers: 1,
+            cores: 8,
+            metered: false,
+            disk_dir: None,
+            pool_frames: crate::server::DEFAULT_POOL_FRAMES,
+        }
+    }
+
+    /// Number of data servers in the cluster.
+    pub fn servers(mut self, n: usize) -> Self {
+        self.servers = n.max(1);
+        self
+    }
+
+    /// Enable the resource models with this core count (Tables 2/3 rows).
+    pub fn metered_cores(mut self, cores: u32) -> Self {
+        self.cores = cores;
+        self.metered = true;
+        self
+    }
+
+    /// Back servers with files in `dir` (storage-footprint experiments).
+    pub fn disk_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk_dir = Some(dir.into());
+        self
+    }
+
+    /// Buffer-pool frames per server.
+    pub fn pool_frames(mut self, frames: usize) -> Self {
+        self.pool_frames = frames.max(16);
+        self
+    }
+
+    pub fn build(self) -> Result<Historian> {
+        let meter = if self.metered {
+            ResourceMeter::new(self.cores)
+        } else {
+            ResourceMeter::unmetered()
+        };
+        let servers: Result<Vec<Arc<DataServer>>> = (0..self.servers)
+            .map(|i| {
+                Ok(match &self.disk_dir {
+                    None => Arc::new(DataServer::with_disk(
+                        i,
+                        meter.clone(),
+                        Arc::new(MemDisk::new()),
+                        self.pool_frames,
+                    )),
+                    Some(dir) => {
+                        std::fs::create_dir_all(dir)?;
+                        let disk = Arc::new(odh_pager::disk::FileDisk::create(
+                            dir.join(format!("server{i}.pages")),
+                        )?);
+                        Arc::new(DataServer::with_disk(i, meter.clone(), disk, self.pool_frames))
+                    }
+                })
+            })
+            .collect();
+        let cluster = Cluster::with_servers(servers?, meter.clone());
+        let router = Arc::new(DataRouter::new(cluster.clone()));
+        Ok(Historian { engine: SqlEngine::new(), cluster, router, meter })
+    }
+}
+
+impl Default for HistorianBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Historian {
+    /// Reopen a historian from a directory of checkpointed server files
+    /// (`server<N>.pages`, as written by [`HistorianBuilder::disk_dir`] +
+    /// [`Historian::checkpoint`]). Relational tables are not persisted —
+    /// only operational data is (the paper's historian owns the
+    /// operational side; dimension tables live in the host RDBMS and are
+    /// reloaded by the application).
+    pub fn open(dir: impl Into<PathBuf>, cores: u32) -> Result<Historian> {
+        let dir = dir.into();
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .map(|n| n.starts_with("server") && n.ends_with(".pages"))
+                    .unwrap_or(false)
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Err(odh_types::OdhError::NotFound(format!(
+                "no server*.pages files under {}",
+                dir.display()
+            )));
+        }
+        let meter = ResourceMeter::new(cores);
+        let mut servers = Vec::with_capacity(paths.len());
+        for (i, p) in paths.iter().enumerate() {
+            let disk = Arc::new(odh_pager::disk::FileDisk::open(p)?);
+            servers.push(Arc::new(DataServer::open(
+                i,
+                meter.clone(),
+                disk,
+                crate::server::DEFAULT_POOL_FRAMES,
+            )?));
+        }
+        let cluster = Cluster::with_servers(servers, meter.clone());
+        let router = Arc::new(DataRouter::new(cluster.clone()));
+        let engine = SqlEngine::new();
+        // Rebuild schema types, virtual tables, and the router catalog
+        // from whatever any server holds.
+        let mut names: Vec<String> = Vec::new();
+        for s in cluster.servers() {
+            for n in s.table_names() {
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+        }
+        for name in &names {
+            let cfg = cluster
+                .servers()
+                .iter()
+                .find_map(|s| s.table(name).ok())
+                .map(|t| t.config().clone())
+                .expect("table name came from a server");
+            cluster.adopt_schema_type(cfg)?;
+            let vtable =
+                VirtualTable::new(cluster.clone(), router.clone(), name, &format!("{name}_v"))?;
+            engine.register(vtable);
+            for s in cluster.servers() {
+                if let Ok(t) = s.table(name) {
+                    for id in t.source_ids() {
+                        router.note_source(name, id);
+                    }
+                }
+            }
+        }
+        Ok(Historian { engine, cluster, router, meter })
+    }
+}
+
+/// The ODH system.
+pub struct Historian {
+    cluster: Arc<Cluster>,
+    router: Arc<DataRouter>,
+    engine: SqlEngine,
+    meter: Arc<ResourceMeter>,
+}
+
+impl Historian {
+    pub fn builder() -> HistorianBuilder {
+        HistorianBuilder::new()
+    }
+
+    /// Quick single-server, unmetered historian.
+    pub fn in_memory() -> Result<Historian> {
+        HistorianBuilder::new().build()
+    }
+
+    pub fn meter(&self) -> &Arc<ResourceMeter> {
+        &self.meter
+    }
+
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Define a schema type and expose it as virtual table
+    /// `<schema name>_v`.
+    pub fn define_schema_type(&self, cfg: TableConfig) -> Result<()> {
+        let name = cfg.schema.name.clone();
+        self.cluster.define_schema_type(cfg)?;
+        let vtable = VirtualTable::new(
+            self.cluster.clone(),
+            self.router.clone(),
+            &name,
+            &format!("{}_v", name.to_ascii_lowercase()),
+        )?;
+        self.engine.register(vtable);
+        Ok(())
+    }
+
+    /// Register a data source (configuration component metadata).
+    pub fn register_source(
+        &self,
+        schema_type: &str,
+        source: SourceId,
+        class: SourceClass,
+    ) -> Result<()> {
+        self.cluster.register_source(schema_type, source, class)?;
+        self.router.note_source(schema_type, source);
+        Ok(())
+    }
+
+    /// Obtain the non-SQL write interface for a schema type.
+    pub fn writer(&self, schema_type: &str) -> Result<OdhWriter> {
+        OdhWriter::new(self.cluster.clone(), schema_type)
+    }
+
+    /// Create an ordinary relational table, registered for SQL fusion.
+    /// Returns the handle for direct loading.
+    pub fn create_relational_table(&self, schema: RelSchema) -> Arc<RelTable> {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 1024);
+        let t = RelTable::create(pool, self.meter.clone(), schema, RdbProfile::RDB);
+        self.engine.register(t.clone());
+        t
+    }
+
+    /// Run a SQL query (fusion of virtual + relational tables).
+    pub fn sql(&self, query: &str) -> Result<QueryResult> {
+        self.engine.query(query)
+    }
+
+    /// EXPLAIN: the optimizer's chosen plan.
+    pub fn explain(&self, query: &str) -> Result<String> {
+        self.engine.explain(query)
+    }
+
+    /// Seal buffers + write back.
+    pub fn flush(&self) -> Result<()> {
+        self.cluster.flush()
+    }
+
+    /// Durably checkpoint every server (see [`Historian::open`]).
+    pub fn checkpoint(&self) -> Result<()> {
+        for s in self.cluster.servers() {
+            s.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Run the MG → RTS/IRTS reorganizer across the cluster.
+    pub fn reorganize(&self) -> Result<u64> {
+        self.cluster.reorganize()
+    }
+
+    /// Total on-disk operational storage (Table 7 metric).
+    pub fn storage_bytes(&self) -> u64 {
+        self.cluster.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odh_types::{DataType, Datum, Record, Row, SchemaType, Timestamp};
+
+    /// End-to-end: the paper's §3 example query over environ_data_v +
+    /// sensor_info.
+    #[test]
+    fn paper_fusion_query() {
+        let h = Historian::builder().servers(2).build().unwrap();
+        h.define_schema_type(
+            TableConfig::new(SchemaType::new("environ_data", ["temperature", "wind"]))
+                .with_batch_size(16),
+        )
+        .unwrap();
+        for id in 0..6u64 {
+            h.register_source("environ_data", SourceId(id), SourceClass::irregular_high())
+                .unwrap();
+        }
+        let sensor_info = h.create_relational_table(RelSchema::new(
+            "sensor_info",
+            [("id", DataType::I64), ("area", DataType::Str)],
+        ));
+        sensor_info.create_index("idx_sensor_id", "id").unwrap();
+        for id in 0..6i64 {
+            sensor_info
+                .insert(&Row::new(vec![
+                    Datum::I64(id),
+                    Datum::str(if id < 3 { "S1" } else { "S2" }),
+                ]))
+                .unwrap();
+        }
+        let base = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
+        let mut w = h.writer("environ_data").unwrap();
+        for i in 0..100i64 {
+            for id in 0..6u64 {
+                w.write(&Record::dense(
+                    SourceId(id),
+                    base + odh_types::Duration::from_secs(i * 3600),
+                    [20.0 + i as f64 * 0.1, id as f64],
+                ))
+                .unwrap();
+            }
+        }
+        w.flush().unwrap();
+
+        let r = h
+            .sql(
+                "SELECT timestamp, temperature, wind FROM environ_data_v a, sensor_info b \
+                 WHERE a.id = b.id AND b.area = 'S1' \
+                 AND timestamp BETWEEN '2013-11-18 00:00:00' AND '2013-11-22 23:59:59'",
+            )
+            .unwrap();
+        // 5 days × 24 hourly samples... first 120 hours → i in 0..120
+        // capped at 100 → 100 samples × 3 sensors in S1.
+        assert_eq!(r.rows.len(), 300);
+        assert_eq!(r.columns, vec!["timestamp", "temperature", "wind"]);
+        // Wind values identify the sensors: only 0,1,2 qualify.
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| row.get(2).as_f64().unwrap() < 3.0));
+    }
+
+    #[test]
+    fn explain_shows_plan() {
+        let h = Historian::in_memory().unwrap();
+        h.define_schema_type(TableConfig::new(SchemaType::new("m", ["v"]))).unwrap();
+        let d = h.explain("select * from m_v where id = 3").unwrap();
+        assert!(d.contains("scan m_v"), "{d}");
+    }
+
+    #[test]
+    fn storage_bytes_grows_with_data() {
+        let h = Historian::in_memory().unwrap();
+        h.define_schema_type(TableConfig::new(SchemaType::new("m", ["v"])).with_batch_size(4))
+            .unwrap();
+        h.register_source("m", SourceId(1), SourceClass::irregular_high()).unwrap();
+        let before = h.storage_bytes();
+        let mut w = h.writer("m").unwrap();
+        for i in 0..64i64 {
+            w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [i as f64])).unwrap();
+        }
+        w.flush().unwrap();
+        assert!(h.storage_bytes() > before);
+    }
+}

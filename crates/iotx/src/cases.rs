@@ -1,0 +1,325 @@
+//! The three real-world case studies of §4, as reproducible drivers.
+//!
+//! - [`wams`] — Power Grid A's Wide Area Measurement System (Table 2):
+//!   thousands of 25/50 Hz PMUs, fixed arrival rate, CPU load per core
+//!   count measured on the deterministic resource model.
+//! - [`ami`] — Province Grid B's Advanced Meter Infrastructure (§4.2):
+//!   15-minute smart-meter sweeps into MG batches; reports sweep insert
+//!   time and the slice-query time for a full reporting interval.
+//! - [`vehicles`] — Company C's connected-vehicle platform (Table 3):
+//!   max-speed multi-threaded load test; reports insert/I-O throughput,
+//!   CPU load over the wall clock, and bytes written.
+
+use odh_core::Historian;
+use odh_sim::cost::UNITS_PER_CORE_SECOND;
+use odh_storage::TableConfig;
+use odh_types::{Duration, Record, Result, SchemaType, SourceClass, SourceId, Timestamp};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------- WAMS --
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy)]
+pub struct WamsSetting {
+    pub pmus: u64,
+    pub hz: f64,
+    pub cores: u32,
+}
+
+impl WamsSetting {
+    /// The paper's three settings.
+    pub fn paper() -> [WamsSetting; 3] {
+        [
+            WamsSetting { pmus: 2000, hz: 25.0, cores: 32 },
+            WamsSetting { pmus: 3000, hz: 50.0, cores: 32 },
+            WamsSetting { pmus: 5000, hz: 50.0, cores: 8 },
+        ]
+    }
+
+    pub fn offered_pps(&self) -> f64 {
+        self.pmus as f64 * self.hz
+    }
+}
+
+#[derive(Debug, Clone, Serialize)]
+pub struct WamsReport {
+    pub pmus: u64,
+    pub hz: f64,
+    pub cores: u32,
+    pub offered_pps: f64,
+    pub points: u64,
+    pub avg_cpu: f64,
+    pub max_cpu: f64,
+}
+
+/// Run one WAMS setting for `virtual_secs` of stream time. PMU sources
+/// are *regular high-frequency* → the RTS path, with implicit timestamps.
+/// `scale` divides the PMU count (points/s and loads are reported at full
+/// scale by linear extrapolation — CPU load is linear in arrival rate,
+/// which is the very claim Table 2 makes).
+pub fn wams(setting: WamsSetting, virtual_secs: i64, scale: u64) -> Result<WamsReport> {
+    let scale = scale.max(1);
+    let pmus = (setting.pmus / scale).max(1);
+    let h = Arc::new(
+        Historian::builder().metered_cores(setting.cores).build()?,
+    );
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("pmu", ["value"])).with_batch_size(512),
+    )?;
+    let interval = Duration::from_hz(setting.hz);
+    for p in 0..pmus {
+        h.register_source("pmu", SourceId(p), SourceClass::regular_high(interval))?;
+    }
+    let mut writer = h.writer("pmu")?;
+    let steps = (virtual_secs as f64 * setting.hz) as i64;
+    let mut points = 0u64;
+    for step in 0..steps {
+        let ts = Timestamp(step * interval.micros());
+        for p in 0..pmus {
+            // 50 Hz AC waveform sample.
+            let v = (step as f64 / setting.hz * std::f64::consts::TAU * 50.0).sin()
+                + p as f64 * 1e-4;
+            writer.write(&Record::dense(SourceId(p), ts, [v]))?;
+            points += 1;
+        }
+    }
+    writer.flush()?;
+    let cpu = h.meter().cpu_report();
+    // Extrapolate the scaled-down run back to full PMU count: charges are
+    // per-point, so load scales linearly with the arrival rate.
+    let f = scale as f64;
+    Ok(WamsReport {
+        pmus: setting.pmus,
+        hz: setting.hz,
+        cores: setting.cores,
+        offered_pps: setting.offered_pps(),
+        points,
+        avg_cpu: cpu.avg_load * f,
+        max_cpu: cpu.max_load * f,
+    })
+}
+
+// ----------------------------------------------------------------- AMI --
+
+#[derive(Debug, Clone, Serialize)]
+pub struct AmiReport {
+    pub meters: u64,
+    pub sweeps: u64,
+    /// Wall seconds to ingest one full 15-minute sweep of all meters
+    /// (the paper: 35M meters "inserted into the database within 7
+    /// minutes").
+    pub sweep_insert_secs: f64,
+    /// Wall seconds for one slice query over all meters (the paper:
+    /// "150 to 200 seconds" at 35M meters).
+    pub slice_query_secs: f64,
+    pub slice_rows: u64,
+    pub avg_cpu: f64,
+    pub storage_bytes: u64,
+}
+
+/// Simulate `sweeps` 15-minute reporting rounds of `meters` smart meters
+/// (regular low-frequency → MG batches) and time a full-population slice
+/// query.
+pub fn ami(meters: u64, sweeps: u64) -> Result<AmiReport> {
+    let h = Arc::new(Historian::builder().metered_cores(16).build()?);
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("meter", ["kwh", "voltage", "current"]))
+            .with_batch_size(512)
+            .with_mg_group_size(1000),
+    )?;
+    let class = SourceClass::regular_low(Duration::from_minutes(15));
+    for m in 0..meters {
+        h.register_source("meter", SourceId(m), class)?;
+    }
+    let mut writer = h.writer("meter")?;
+    let mut last_sweep_secs = 0.0;
+    for s in 0..sweeps {
+        let ts = Timestamp(s as i64 * 900_000_000);
+        let t = Instant::now();
+        for m in 0..meters {
+            writer.write(&Record::dense(
+                SourceId(m),
+                ts,
+                [0.2 + (m % 7) as f64 * 0.01, 230.0 + (m % 5) as f64 * 0.1, 5.0],
+            ))?;
+        }
+        last_sweep_secs = t.elapsed().as_secs_f64();
+        writer.flush()?;
+    }
+    // Real-time power-consumption reporting: one slice over the last sweep.
+    let t1 = Timestamp((sweeps as i64 - 1) * 900_000_000);
+    let q = Instant::now();
+    let r = h.sql(&format!(
+        "select id, kwh from meter_v where timestamp between '{}' and '{}'",
+        t1,
+        t1 + Duration::from_minutes(15)
+    ))?;
+    let slice_query_secs = q.elapsed().as_secs_f64();
+    let cpu = h.meter().cpu_report();
+    Ok(AmiReport {
+        meters,
+        sweeps,
+        sweep_insert_secs: last_sweep_secs,
+        slice_query_secs,
+        slice_rows: r.rows.len() as u64,
+        avg_cpu: cpu.avg_load,
+        storage_bytes: h.storage_bytes(),
+    })
+}
+
+// ------------------------------------------------------------ Vehicles --
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Serialize)]
+pub struct VehiclesReport {
+    pub vehicles: u64,
+    pub threads: usize,
+    pub points: u64,
+    pub wall_secs: f64,
+    /// "Avg Insert Throu. (data points /s)".
+    pub insert_pps: f64,
+    /// "Avg IO Throu. (bytes /s)": physical bytes written per wall second.
+    pub io_bps: f64,
+    /// "Avg CPU Load": model units over machine capacity for the test's
+    /// wall duration (a max-speed load test, unlike Table 2's fixed rate).
+    pub avg_cpu: f64,
+    /// "Total number of MB written".
+    pub mb_written: f64,
+}
+
+/// Telematics schema: the tag set a connected vehicle reports.
+pub fn vehicle_tags() -> Vec<&'static str> {
+    vec![
+        "speed", "rpm", "fuel", "engine_temp", "odometer", "battery", "lat", "lon", "heading",
+        "accel",
+    ]
+}
+
+/// Max-speed load test of `vehicles` vehicles reporting on ~10-second
+/// intervals for `virtual_secs` of data time, ingested by `threads`
+/// concurrent writers (the paper: "the increase of CPU load is mainly due
+/// to the increased number of threads ... which brings additional resource
+/// contention").
+pub fn vehicles(n: u64, threads: usize, virtual_secs: i64) -> Result<VehiclesReport> {
+    let cores = 16;
+    let h = Arc::new(Historian::builder().metered_cores(cores).servers(2).build()?);
+    let tags = vehicle_tags();
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("vehicle", tags.iter().copied()))
+            .with_batch_size(256)
+            .with_mg_group_size(500),
+    )?;
+    for v in 0..n {
+        h.register_source("vehicle", SourceId(v), SourceClass::irregular_low())?;
+    }
+    // Pre-generate per-thread shards so generation cost stays out of the
+    // measured window.
+    let spec_tags = tags.len();
+    let shards: Vec<Vec<Record>> = (0..threads)
+        .map(|t| {
+            let mut out = Vec::new();
+            let mut v = t as u64;
+            while v < n {
+                let mut ts = (v % 10_000) as i64; // staggered start
+                while ts < virtual_secs * 1_000_000 {
+                    let vals: Vec<f64> =
+                        (0..spec_tags).map(|k| (v + k as u64) as f64 * 0.5 + ts as f64 * 1e-9).collect();
+                    out.push(Record::dense(SourceId(v), Timestamp(ts), vals));
+                    ts += 10_000_000 + (v % 997) as i64; // ~10 s, jittered
+                }
+                v += threads as u64;
+            }
+            out.sort_by_key(|r| r.ts);
+            out
+        })
+        .collect();
+
+    let start = Instant::now();
+    let points: u64 = std::thread::scope(|scope| -> Result<u64> {
+        let mut handles = Vec::new();
+        for shard in &shards {
+            let h = h.clone();
+            handles.push(scope.spawn(move || -> Result<u64> {
+                let mut w = h.writer("vehicle")?;
+                let mut pts = 0u64;
+                for r in shard {
+                    w.write(r)?;
+                    pts += r.data_points() as u64;
+                }
+                Ok(pts)
+            }));
+        }
+        let mut total = 0;
+        for hd in handles {
+            total += hd.join().expect("writer thread panicked")?;
+        }
+        Ok(total)
+    })?;
+    h.flush()?;
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let cpu = h.meter().cpu_report();
+    let disk = h.meter().disk_report();
+    let storage = h.storage_bytes();
+    Ok(VehiclesReport {
+        vehicles: n,
+        threads,
+        points,
+        wall_secs: wall,
+        insert_pps: points as f64 / wall,
+        io_bps: disk.bytes as f64 / wall,
+        avg_cpu: cpu.total_units / (cores as f64 * UNITS_PER_CORE_SECOND * wall),
+        mb_written: storage as f64 / 1e6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wams_cpu_scales_linearly_with_rate() {
+        let a = wams(WamsSetting { pmus: 100, hz: 25.0, cores: 8 }, 5, 1).unwrap();
+        let b = wams(WamsSetting { pmus: 300, hz: 25.0, cores: 8 }, 5, 1).unwrap();
+        assert!(a.avg_cpu > 0.0);
+        let ratio = b.avg_cpu / a.avg_cpu;
+        assert!((2.0..4.5).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn wams_cpu_scales_inversely_with_cores() {
+        let a = wams(WamsSetting { pmus: 200, hz: 25.0, cores: 32 }, 4, 1).unwrap();
+        let b = wams(WamsSetting { pmus: 200, hz: 25.0, cores: 8 }, 4, 1).unwrap();
+        let ratio = b.avg_cpu / a.avg_cpu;
+        assert!((3.0..5.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn wams_scale_extrapolates() {
+        let full = wams(WamsSetting { pmus: 200, hz: 25.0, cores: 8 }, 4, 1).unwrap();
+        let scaled = wams(WamsSetting { pmus: 200, hz: 25.0, cores: 8 }, 4, 4).unwrap();
+        let ratio = scaled.avg_cpu / full.avg_cpu;
+        assert!((0.5..2.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn ami_reports_sweep_and_slice() {
+        let r = ami(500, 3).unwrap();
+        assert_eq!(r.slice_rows, 500, "slice sees every meter's last report");
+        assert!(r.sweep_insert_secs >= 0.0);
+        assert!(r.slice_query_secs > 0.0);
+        assert!(r.storage_bytes > 0);
+    }
+
+    #[test]
+    fn vehicles_load_test_runs_multithreaded() {
+        let r = vehicles(600, 3, 30).unwrap();
+        assert_eq!(r.threads, 3);
+        assert!(r.points > 0);
+        assert!(r.insert_pps > 0.0);
+        assert!(r.mb_written > 0.0);
+        // 10 tags per record.
+        assert_eq!(r.points % 10, 0);
+    }
+}

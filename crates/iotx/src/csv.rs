@@ -1,0 +1,165 @@
+//! CSV adapter.
+//!
+//! "A data adapter was developed to convert the RDF data into
+//! comma-separated value (CSV) files, which were consumed by the
+//! workloads" and the WS1 simulator "reads data from standard CSV files"
+//! (§5). Format: `source_id,timestamp_us,v1,v2,...` with empty fields for
+//! NULL tags.
+
+use odh_types::{OdhError, Record, Result, SourceId, Timestamp};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Write records to a CSV file; returns the record count.
+pub fn write_records(
+    path: impl AsRef<Path>,
+    records: impl Iterator<Item = Record>,
+) -> Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let mut n = 0u64;
+    let mut line = String::with_capacity(128);
+    for r in records {
+        line.clear();
+        line.push_str(&r.source.0.to_string());
+        line.push(',');
+        line.push_str(&r.ts.micros().to_string());
+        for v in &r.values {
+            line.push(',');
+            if let Some(x) = v {
+                line.push_str(&format_float(*x));
+            }
+        }
+        line.push('\n');
+        w.write_all(line.as_bytes())?;
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+fn format_float(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Streaming reader over a CSV file produced by [`write_records`].
+pub struct CsvReader {
+    lines: std::io::Lines<BufReader<std::fs::File>>,
+    line_no: u64,
+}
+
+impl CsvReader {
+    pub fn open(path: impl AsRef<Path>) -> Result<CsvReader> {
+        Ok(CsvReader { lines: BufReader::new(std::fs::File::open(path)?).lines(), line_no: 0 })
+    }
+}
+
+impl Iterator for CsvReader {
+    type Item = Result<Record>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let line = match self.lines.next()? {
+            Ok(l) => l,
+            Err(e) => return Some(Err(e.into())),
+        };
+        self.line_no += 1;
+        if line.trim().is_empty() {
+            return self.next();
+        }
+        Some(parse_line(&line).map_err(|e| {
+            OdhError::Corrupt(format!("csv line {}: {}", self.line_no, e.message()))
+        }))
+    }
+}
+
+fn parse_line(line: &str) -> Result<Record> {
+    let mut fields = line.split(',');
+    let source: u64 = fields
+        .next()
+        .and_then(|f| f.trim().parse().ok())
+        .ok_or_else(|| OdhError::Corrupt("bad source id".into()))?;
+    let ts: i64 = fields
+        .next()
+        .and_then(|f| f.trim().parse().ok())
+        .ok_or_else(|| OdhError::Corrupt("bad timestamp".into()))?;
+    let mut values = Vec::new();
+    for f in fields {
+        let f = f.trim();
+        if f.is_empty() {
+            values.push(None);
+        } else {
+            values.push(Some(
+                f.parse::<f64>().map_err(|_| OdhError::Corrupt(format!("bad value '{f}'")))?,
+            ));
+        }
+    }
+    Ok(Record { source: SourceId(source), ts: Timestamp(ts), values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iotx-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn round_trip_with_nulls() {
+        let path = tmp("rt.csv");
+        let records = vec![
+            Record::new(SourceId(1), Timestamp(1_000_000), vec![Some(1.5), None, Some(-3.0)]),
+            Record::new(SourceId(2), Timestamp(2_000_000), vec![None, None, None]),
+            Record::new(SourceId(3), Timestamp(-5), vec![Some(0.0), Some(1e-9), Some(42.0)]),
+        ];
+        let n = write_records(&path, records.clone().into_iter()).unwrap();
+        assert_eq!(n, 3);
+        let back: Vec<Record> = CsvReader::open(&path).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back, records);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn generator_round_trip() {
+        let spec = crate::td::TdSpec {
+            accounts: 20,
+            hz_per_account: 10.0,
+            duration: odh_types::Duration::from_secs(2),
+            seed: 3,
+        };
+        let path = tmp("td.csv");
+        let original: Vec<Record> = crate::td::TradeGen::new(&spec).collect();
+        write_records(&path, original.clone().into_iter()).unwrap();
+        let back: Vec<Record> = CsvReader::open(&path).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), original.len());
+        for (a, b) in original.iter().zip(&back) {
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.ts, b.ts);
+            for (x, y) in a.values.iter().zip(&b.values) {
+                match (x, y) {
+                    (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+                    (None, None) => {}
+                    other => panic!("{other:?}"),
+                }
+            }
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_lines_are_reported_with_position() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1,100,2.5\nnot-a-number,5,1\n").unwrap();
+        let results: Vec<Result<Record>> = CsvReader::open(&path).unwrap().collect();
+        assert!(results[0].is_ok());
+        let err = results[1].as_ref().err().unwrap();
+        assert!(err.message().contains("line 2"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+}

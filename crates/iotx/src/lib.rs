@@ -1,0 +1,49 @@
+//! IoT-X — "the first benchmark to evaluate technologies on operational
+//! data management for IoT" (§5 of the paper).
+//!
+//! Two dataset families over two seeds:
+//! - **TD** ([`td`]): derived from TPC-E — accounts are data sources, each
+//!   trade an operational record; `TD(i, j)` has `i·1000` accounts trading
+//!   at `j·20` Hz (high-frequency, irregular).
+//! - **LD** ([`ld`]): derived from the Linked Sensor Dataset — US weather
+//!   stations with the 15-measurement sparse Observation schema; `LD(i)`
+//!   has `i·1,000,000` stations at a ~23-minute mean interval, replayed at
+//!   60× (low-frequency, irregular, wide-and-sparse rows).
+//!
+//! Two workload suites:
+//! - **WS1** ([`ws1`]): real-time write performance into any
+//!   [`sink::WriteSink`] (ODH writer API, or JDBC-style batch inserts into
+//!   the row-store baselines), reporting avg/max throughput, CPU, storage.
+//! - **WS2** ([`ws2`]): the eight query templates TQ1–TQ4 / LQ1–LQ4 with
+//!   seeded random parameters, reporting data-point throughput and CPU.
+//!
+//! Plus the operational-data spectrum of Fig. 4 ([`spectrum`]), the CSV
+//! adapter the paper's simulator consumes ([`csv`]), and the three
+//! real-world case-study drivers of §4 ([`cases`]).
+//!
+//! **Scale**: full paper scale (35M meters, hour-long streams) is not a
+//! laptop workload; specs expose `paper(...)` (full) and `scaled(...)`
+//! constructors, and every report normalizes to points/second so shapes
+//! are scale-free. The `IOTX_SCALE` environment variable (default shown in
+//! DESIGN.md §7) divides source counts in the harness binaries.
+
+pub mod cases;
+pub mod csv;
+pub mod ld;
+pub mod sink;
+pub mod spectrum;
+pub mod td;
+pub mod ws1;
+pub mod ws2;
+
+/// Deterministic seed used by every generator unless overridden.
+pub const DEFAULT_SEED: u64 = 0x10_75;
+
+/// Scale divisor from the `IOTX_SCALE` environment variable (≥1).
+pub fn env_scale(default: u64) -> u64 {
+    std::env::var("IOTX_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(default)
+}

@@ -1,0 +1,216 @@
+//! Write sinks: the two insert interfaces of the WS1 simulator.
+//!
+//! "Currently, the simulator supports two types of insert interfaces: the
+//! ODH Write Interface and the standard JDBC interface" (§5.2).
+
+use odh_core::{Historian, OdhWriter, RelTable};
+use odh_pager::disk::{DiskManager, FileDisk, MemDisk};
+use odh_pager::pool::BufferPool;
+use odh_rdb::RdbProfile;
+use odh_sim::ResourceMeter;
+use odh_types::{Datum, Record, RelSchema, Result, Row};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Anything WS1 can pour records into.
+pub trait WriteSink {
+    fn system(&self) -> &str;
+    fn write(&mut self, record: &Record) -> Result<()>;
+    /// Seal buffers / commit tails.
+    fn finish(&mut self) -> Result<()>;
+    /// On-disk footprint after `finish` (the Table 7 metric).
+    fn storage_bytes(&self) -> u64;
+    fn meter(&self) -> &Arc<ResourceMeter>;
+}
+
+/// The ODH Write Interface.
+pub struct OdhSink {
+    historian: Arc<Historian>,
+    writer: OdhWriter,
+}
+
+impl OdhSink {
+    pub fn new(historian: Arc<Historian>, schema_type: &str) -> Result<OdhSink> {
+        let writer = historian.writer(schema_type)?;
+        Ok(OdhSink { historian, writer })
+    }
+
+    pub fn historian(&self) -> &Arc<Historian> {
+        &self.historian
+    }
+}
+
+impl WriteSink for OdhSink {
+    fn system(&self) -> &str {
+        "ODH"
+    }
+
+    fn write(&mut self, record: &Record) -> Result<()> {
+        self.writer.write(record)
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.historian.flush()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.historian.storage_bytes()
+    }
+
+    fn meter(&self) -> &Arc<ResourceMeter> {
+        self.historian.meter()
+    }
+}
+
+/// The JDBC interface into a baseline row store: one row per record, a
+/// B-tree entry per row per index, `executeBatch` every `batch_size` rows
+/// (1000 in the paper; 1 = autocommit).
+pub struct JdbcSink {
+    system: String,
+    table: Arc<RelTable>,
+    pool: Arc<BufferPool>,
+    meter: Arc<ResourceMeter>,
+    batch_size: usize,
+    pending: usize,
+}
+
+impl JdbcSink {
+    /// In-memory baseline with indexes on the paper's columns
+    /// (`timestamp`, `source id` — columns 0 and 1 of the operational
+    /// relational schema).
+    pub fn new(
+        profile: RdbProfile,
+        schema: RelSchema,
+        meter: Arc<ResourceMeter>,
+        batch_size: usize,
+    ) -> Result<JdbcSink> {
+        Self::with_disk(profile, schema, meter, batch_size, Arc::new(MemDisk::new()))
+    }
+
+    /// File-backed baseline (Table 7 storage measurements).
+    pub fn on_disk(
+        profile: RdbProfile,
+        schema: RelSchema,
+        meter: Arc<ResourceMeter>,
+        batch_size: usize,
+        path: impl AsRef<Path>,
+    ) -> Result<JdbcSink> {
+        Self::with_disk(profile, schema, meter, batch_size, Arc::new(FileDisk::create(path)?))
+    }
+
+    fn with_disk(
+        profile: RdbProfile,
+        schema: RelSchema,
+        meter: Arc<ResourceMeter>,
+        batch_size: usize,
+        disk: Arc<dyn DiskManager>,
+    ) -> Result<JdbcSink> {
+        let pool = BufferPool::new(disk, 8192);
+        let ts_col = schema.columns[0].name.clone();
+        let id_col = schema.columns[1].name.clone();
+        let table = RelTable::create(pool.clone(), meter.clone(), schema, profile);
+        // "B-tree indices are created on T_DTS and T_CA_ID" (and on
+        // Timestamp and SensorId for LD).
+        table.create_index("idx_ts", &ts_col)?;
+        table.create_index("idx_id", &id_col)?;
+        Ok(JdbcSink {
+            system: profile.name.to_string(),
+            table,
+            pool,
+            meter,
+            batch_size: batch_size.max(1),
+            pending: 0,
+        })
+    }
+
+    pub fn table(&self) -> &Arc<RelTable> {
+        &self.table
+    }
+
+    fn commit(&mut self) -> Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.pool.flush_all()?;
+        self.meter.cpu(self.meter.costs.autocommit);
+        self.pending = 0;
+        Ok(())
+    }
+}
+
+impl WriteSink for JdbcSink {
+    fn system(&self) -> &str {
+        &self.system
+    }
+
+    fn write(&mut self, record: &Record) -> Result<()> {
+        self.meter.set_now(record.ts.micros());
+        let mut cells = Vec::with_capacity(record.values.len() + 2);
+        cells.push(Datum::Ts(record.ts));
+        cells.push(Datum::I64(record.source.0 as i64));
+        for v in &record.values {
+            cells.push(Datum::from(*v));
+        }
+        self.table.insert(&Row::new(cells))?;
+        self.pending += 1;
+        if self.pending >= self.batch_size {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<()> {
+        self.commit()
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.table.size_bytes()
+    }
+
+    fn meter(&self) -> &Arc<ResourceMeter> {
+        &self.meter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odh_storage::TableConfig;
+    use odh_types::{SchemaType, SourceClass, SourceId, Timestamp};
+
+    #[test]
+    fn odh_sink_round_trip() {
+        let h = Arc::new(Historian::in_memory().unwrap());
+        h.define_schema_type(TableConfig::new(SchemaType::new("t", ["a", "b"])).with_batch_size(4))
+            .unwrap();
+        h.register_source("t", SourceId(1), SourceClass::irregular_high()).unwrap();
+        let mut sink = OdhSink::new(h.clone(), "t").unwrap();
+        for i in 0..16i64 {
+            sink.write(&Record::dense(SourceId(1), Timestamp(i * 100), [1.0, 2.0])).unwrap();
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.system(), "ODH");
+        assert!(sink.storage_bytes() > 0);
+        let r = h.sql("select COUNT(*) from t_v where id = 1").unwrap();
+        assert_eq!(r.rows[0].get(0), &Datum::I64(16));
+    }
+
+    #[test]
+    fn jdbc_sink_inserts_rows_with_nulls() {
+        let schema = crate::ld::observation_rel_schema(5);
+        let mut sink =
+            JdbcSink::new(RdbProfile::MYSQL, schema, ResourceMeter::unmetered(), 10).unwrap();
+        for i in 0..25i64 {
+            sink.write(&Record::new(
+                SourceId(7),
+                Timestamp(i * 1000),
+                vec![Some(1.0), None, Some(3.0), None, None],
+            ))
+            .unwrap();
+        }
+        sink.finish().unwrap();
+        assert_eq!(sink.system(), "MySQL");
+        assert_eq!(sink.table().row_count(), 25);
+        assert!(sink.storage_bytes() > 0);
+    }
+}

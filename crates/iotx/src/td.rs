@@ -1,0 +1,322 @@
+//! TD — the TPC-E-derived high-frequency dataset family (IoT-D_TPC-E).
+//!
+//! "We considered accounts as the data sources. Each trade record in the
+//! Trade table is an operational data record." The paper's simplified
+//! schemas are reproduced verbatim:
+//!
+//! ```text
+//! Customer(C_ID, C_L_NAME, C_F_NAME, C_TIER, C_DOB)
+//! Customer_Account(CA_ID, CA_C_ID, CA_NAME, CA_BAL)
+//! Trade(T_DTS, T_CA_ID, T_TRADE_PRICE, T_CHRG, T_COMM, T_TAX)
+//! ```
+//!
+//! `TD(i, j)`: `i·1000` accounts (load-unit 200 → `i·200` customers, five
+//! accounts each), per-account trade frequency `j·20` Hz, one hour long.
+//! Trades arrive with exponential jitter (EGen's sped-up trade process is
+//! a Poisson-like arrival stream), so TD is *irregular high-frequency*
+//! data — it lands in the IRTS structure, as §5.3 observes.
+
+use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Trade measurement tags, in schema order.
+pub const TRADE_TAGS: [&str; 4] = ["t_trade_price", "t_chrg", "t_comm", "t_tax"];
+
+/// Base timestamp of every TD dataset.
+pub fn td_epoch() -> Timestamp {
+    Timestamp::parse_sql("2014-01-01 00:00:00").unwrap()
+}
+
+/// Specification of one TD dataset.
+#[derive(Debug, Clone)]
+pub struct TdSpec {
+    pub accounts: u64,
+    pub hz_per_account: f64,
+    pub duration: Duration,
+    pub seed: u64,
+}
+
+impl TdSpec {
+    /// The paper's `TD(i, j)`: `i·1000` accounts at `j·20` Hz, 1 hour.
+    pub fn paper(i: u32, j: u32) -> TdSpec {
+        assert!((1..=5).contains(&i) && (1..=5).contains(&j));
+        TdSpec {
+            accounts: i as u64 * 1000,
+            hz_per_account: j as f64 * 20.0,
+            duration: Duration::from_secs(3600),
+            seed: crate::DEFAULT_SEED + (i as u64) * 10 + j as u64,
+        }
+    }
+
+    /// `TD(i, j)` truncated to `secs` seconds (laptop-scale runs).
+    pub fn scaled(i: u32, j: u32, secs: i64) -> TdSpec {
+        let mut s = Self::paper(i, j);
+        s.duration = Duration::from_secs(secs);
+        s
+    }
+
+    pub fn customers(&self) -> u64 {
+        // Five accounts per customer; EGen load-unit lowered 1000 → 200.
+        (self.accounts / 5).max(1)
+    }
+
+    /// Offered aggregate rate, points/second (4 tags per trade record —
+    /// the paper counts each non-NULL measurement as a data point).
+    pub fn offered_pps(&self) -> f64 {
+        self.accounts as f64 * self.hz_per_account * TRADE_TAGS.len() as f64
+    }
+
+    /// Offered records/second.
+    pub fn offered_rps(&self) -> f64 {
+        self.accounts as f64 * self.hz_per_account
+    }
+
+    /// Expected record count over the whole duration.
+    pub fn expected_records(&self) -> u64 {
+        (self.offered_rps() * self.duration.as_secs_f64()) as u64
+    }
+
+    pub fn name(&self) -> String {
+        format!(
+            "TD({}k acct, {} Hz, {}s)",
+            self.accounts / 1000,
+            self.hz_per_account,
+            self.duration.micros() / 1_000_000
+        )
+    }
+}
+
+/// The operational schema type for trades.
+pub fn trade_schema_type() -> SchemaType {
+    SchemaType::new("trade", TRADE_TAGS)
+}
+
+/// Relational schema of the Trade table (baseline row stores).
+pub fn trade_rel_schema() -> RelSchema {
+    RelSchema::new(
+        "trade",
+        [
+            ("t_dts", DataType::Ts),
+            ("t_ca_id", DataType::I64),
+            ("t_trade_price", DataType::F64),
+            ("t_chrg", DataType::F64),
+            ("t_comm", DataType::F64),
+            ("t_tax", DataType::F64),
+        ],
+    )
+}
+
+pub fn customer_schema() -> RelSchema {
+    RelSchema::new(
+        "customer",
+        [
+            ("c_id", DataType::I64),
+            ("c_l_name", DataType::Str),
+            ("c_f_name", DataType::Str),
+            ("c_tier", DataType::I64),
+            ("c_dob", DataType::Ts),
+        ],
+    )
+}
+
+pub fn account_schema() -> RelSchema {
+    RelSchema::new(
+        "account",
+        [
+            ("ca_id", DataType::I64),
+            ("ca_c_id", DataType::I64),
+            ("ca_name", DataType::Str),
+            ("ca_bal", DataType::F64),
+        ],
+    )
+}
+
+const LAST_NAMES: [&str; 10] =
+    ["SMITH", "JONES", "TAYLOR", "BROWN", "WILLIAMS", "WILSON", "JOHNSON", "DAVIES", "PATEL", "WRIGHT"];
+const FIRST_NAMES: [&str; 8] = ["JAMES", "MARY", "WEI", "PRIYA", "JOHN", "LI", "ANNA", "OMAR"];
+
+/// The Customer dimension rows.
+pub fn customers(spec: &TdSpec) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xC057);
+    (0..spec.customers())
+        .map(|id| {
+            let year = 1940 + (rng.gen::<u32>() % 60) as i64;
+            let month = 1 + (rng.gen::<u32>() % 12);
+            let day = 1 + (rng.gen::<u32>() % 28);
+            Row::new(vec![
+                Datum::I64(id as i64),
+                Datum::str(LAST_NAMES[(id % 10) as usize]),
+                Datum::str(FIRST_NAMES[(id % 8) as usize]),
+                Datum::I64(1 + (id % 3) as i64),
+                Datum::Ts(
+                    Timestamp::parse_sql(&format!("{year:04}-{month:02}-{day:02} 00:00:00"))
+                        .unwrap(),
+                ),
+            ])
+        })
+        .collect()
+}
+
+/// The Customer_Account dimension rows (five per customer).
+pub fn accounts(spec: &TdSpec) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xACC7);
+    (0..spec.accounts)
+        .map(|id| {
+            Row::new(vec![
+                Datum::I64(id as i64),
+                Datum::I64((id / 5) as i64),
+                Datum::str(format!("acct_{id}")),
+                Datum::F64((rng.gen::<f64>() * 1e6).round() / 100.0),
+            ])
+        })
+        .collect()
+}
+
+/// Streaming generator of the Trade operational records, globally ordered
+/// by timestamp (merged across accounts by a heap of next-arrival times).
+pub struct TradeGen {
+    heap: BinaryHeap<Reverse<(i64, u64)>>,
+    prices: Vec<f64>,
+    rng: StdRng,
+    mean_gap_us: f64,
+    end_us: i64,
+    emitted: u64,
+}
+
+impl TradeGen {
+    pub fn new(spec: &TdSpec) -> TradeGen {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let base = td_epoch().micros();
+        let mean_gap_us = 1e6 / spec.hz_per_account;
+        let mut heap = BinaryHeap::with_capacity(spec.accounts as usize);
+        let mut prices = Vec::with_capacity(spec.accounts as usize);
+        for a in 0..spec.accounts {
+            // Stagger first arrivals uniformly over one mean gap.
+            let first = base + (rng.gen::<f64>() * mean_gap_us) as i64;
+            heap.push(Reverse((first, a)));
+            prices.push(10.0 + rng.gen::<f64>() * 90.0);
+        }
+        TradeGen { heap, prices, rng, mean_gap_us, end_us: base + spec.duration.micros(), emitted: 0 }
+    }
+
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl Iterator for TradeGen {
+    type Item = Record;
+
+    fn next(&mut self) -> Option<Record> {
+        let Reverse((ts, account)) = self.heap.pop()?;
+        if ts >= self.end_us {
+            return None;
+        }
+        // Exponential inter-arrival (the sped-up EGen trade process).
+        let u: f64 = self.rng.gen::<f64>().max(1e-12);
+        let gap = (-u.ln() * self.mean_gap_us).max(1.0) as i64;
+        self.heap.push(Reverse((ts + gap, account)));
+        // Price random walk; charges/commissions/tax small positives.
+        let p = &mut self.prices[account as usize];
+        *p = (*p * (1.0 + (self.rng.gen::<f64>() - 0.5) * 0.002)).max(0.01);
+        let price = (*p * 100.0).round() / 100.0;
+        let chrg = 0.5 + self.rng.gen::<f64>() * 4.5;
+        let comm = price * 0.001;
+        let tax = price * 0.0025;
+        self.emitted += 1;
+        Some(Record::dense(
+            SourceId(account),
+            Timestamp(ts),
+            [price, (chrg * 100.0).round() / 100.0, comm, tax],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TdSpec {
+        TdSpec { accounts: 50, hz_per_account: 20.0, duration: Duration::from_secs(5), seed: 7 }
+    }
+
+    #[test]
+    fn paper_spec_arithmetic() {
+        let s = TdSpec::paper(1, 1);
+        assert_eq!(s.accounts, 1000);
+        assert_eq!(s.customers(), 200); // load-unit 200
+        assert_eq!(s.hz_per_account, 20.0);
+        // "the expected throughput should be 20,000 trades per second"
+        assert_eq!(s.offered_rps(), 20_000.0);
+        assert_eq!(s.offered_pps(), 80_000.0);
+        let s = TdSpec::paper(5, 5);
+        assert_eq!(s.offered_rps(), 500_000.0);
+    }
+
+    #[test]
+    fn generator_is_time_ordered_and_near_expected_count() {
+        let spec = small();
+        let records: Vec<Record> = TradeGen::new(&spec).collect();
+        let expected = spec.expected_records() as f64;
+        assert!(
+            (records.len() as f64 - expected).abs() < expected * 0.15,
+            "got {} expected ~{expected}",
+            records.len()
+        );
+        assert!(records.windows(2).all(|w| w[0].ts <= w[1].ts), "time-ordered");
+        assert!(records.iter().all(|r| r.values.len() == 4 && r.data_points() == 4));
+        let sources: std::collections::HashSet<u64> =
+            records.iter().map(|r| r.source.0).collect();
+        assert_eq!(sources.len(), 50, "every account trades");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a: Vec<Record> = TradeGen::new(&small()).take(100).collect();
+        let b: Vec<Record> = TradeGen::new(&small()).take(100).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_irregular() {
+        let spec = small();
+        let records: Vec<Record> = TradeGen::new(&spec).collect();
+        // Gaps of one account must vary (exponential, not fixed).
+        let times: Vec<i64> = records
+            .iter()
+            .filter(|r| r.source == SourceId(3))
+            .map(|r| r.ts.micros())
+            .collect();
+        let gaps: std::collections::HashSet<i64> =
+            times.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.len() > times.len() / 2, "gaps look regular");
+    }
+
+    #[test]
+    fn dimension_tables_shape() {
+        let spec = small();
+        let c = customers(&spec);
+        let a = accounts(&spec);
+        assert_eq!(c.len(), 10);
+        assert_eq!(a.len(), 50);
+        assert_eq!(a[7].get(1), &Datum::I64(1)); // account 7 → customer 1
+        assert_eq!(a[7].get(2), &Datum::str("acct_7"));
+        // DOBs parse and spread over decades.
+        let dobs: std::collections::HashSet<i64> =
+            c.iter().map(|r| r.get(4).as_ts().unwrap().micros()).collect();
+        assert!(dobs.len() > 5);
+    }
+
+    #[test]
+    fn values_are_positive_and_priced() {
+        let records: Vec<Record> = TradeGen::new(&small()).take(500).collect();
+        for r in &records {
+            let price = r.values[0].unwrap();
+            assert!(price > 0.0 && price < 1000.0);
+            assert!(r.values[1].unwrap() > 0.0);
+        }
+    }
+}

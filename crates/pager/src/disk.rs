@@ -1,0 +1,214 @@
+//! Disk managers: where pages physically live.
+//!
+//! [`MemDisk`] backs experiments that measure CPU-side behaviour;
+//! [`FileDisk`] backs the storage-footprint experiments (Table 7) where the
+//! on-disk byte count is the result. Both are safe for concurrent use.
+
+use crate::page::{PageId, PAGE_SIZE};
+use odh_types::{OdhError, Result};
+use parking_lot::{Mutex, RwLock};
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Abstraction over a page-addressed device.
+pub trait DiskManager: Send + Sync {
+    /// Read page `id` into `buf`. Reading a never-written page yields zeros.
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()>;
+    /// Write `buf` as page `id`.
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()>;
+    /// Allocate a fresh page id (zero-filled until written).
+    fn allocate(&self) -> Result<PageId>;
+    /// Number of allocated pages.
+    fn num_pages(&self) -> u64;
+    /// Flush device buffers.
+    fn sync(&self) -> Result<()>;
+    /// Total allocated bytes (the Table 7 metric).
+    fn size_bytes(&self) -> u64 {
+        self.num_pages() * PAGE_SIZE as u64
+    }
+}
+
+/// Heap-backed device.
+#[derive(Default)]
+pub struct MemDisk {
+    pages: RwLock<Vec<Mutex<Box<[u8; PAGE_SIZE]>>>>,
+}
+
+impl MemDisk {
+    pub fn new() -> MemDisk {
+        MemDisk::default()
+    }
+}
+
+fn boxed_page() -> Box<[u8; PAGE_SIZE]> {
+    vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().unwrap()
+}
+
+impl DiskManager for MemDisk {
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        let pages = self.pages.read();
+        let slot = pages
+            .get(id.0 as usize)
+            .ok_or_else(|| OdhError::Io(format!("read of unallocated page {id}")))?;
+        buf.copy_from_slice(&slot.lock()[..]);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        let pages = self.pages.read();
+        let slot = pages
+            .get(id.0 as usize)
+            .ok_or_else(|| OdhError::Io(format!("write of unallocated page {id}")))?;
+        slot.lock().copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        let mut pages = self.pages.write();
+        pages.push(Mutex::new(boxed_page()));
+        Ok(PageId(pages.len() as u64 - 1))
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.pages.read().len() as u64
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// File-backed device using positioned reads/writes (no shared seek cursor).
+pub struct FileDisk {
+    file: File,
+    next_page: AtomicU64,
+}
+
+impl FileDisk {
+    /// Create or truncate the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> Result<FileDisk> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path.as_ref())?;
+        Ok(FileDisk { file, next_page: AtomicU64::new(0) })
+    }
+
+    /// Open an existing file; page count is derived from its length.
+    pub fn open(path: impl AsRef<Path>) -> Result<FileDisk> {
+        let file = OpenOptions::new().read(true).write(true).open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(OdhError::Corrupt(format!(
+                "file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(FileDisk { file, next_page: AtomicU64::new(len / PAGE_SIZE as u64) })
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        if id.0 >= self.next_page.load(Ordering::Acquire) {
+            return Err(OdhError::Io(format!("read of unallocated page {id}")));
+        }
+        let off = id.0 * PAGE_SIZE as u64;
+        // A page past EOF but below next_page was allocated and never
+        // written; it reads as zeros.
+        let n = self.file.read_at(&mut buf[..], off)?;
+        buf[n..].fill(0);
+        Ok(())
+    }
+
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        if id.0 >= self.next_page.load(Ordering::Acquire) {
+            return Err(OdhError::Io(format!("write of unallocated page {id}")));
+        }
+        self.file.write_all_at(&buf[..], id.0 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    fn allocate(&self) -> Result<PageId> {
+        Ok(PageId(self.next_page.fetch_add(1, Ordering::AcqRel)))
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.next_page.load(Ordering::Acquire)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn DiskManager) {
+        let a = disk.allocate().unwrap();
+        let b = disk.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(disk.num_pages(), 2);
+
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 7;
+        page[PAGE_SIZE - 1] = 9;
+        disk.write_page(b, &page).unwrap();
+
+        let mut out = [1u8; PAGE_SIZE];
+        disk.read_page(b, &mut out).unwrap();
+        assert_eq!(out[0], 7);
+        assert_eq!(out[PAGE_SIZE - 1], 9);
+
+        // Unwritten page reads as zeros.
+        disk.read_page(a, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+
+        // Out-of-range access is an error, not UB.
+        assert!(disk.read_page(PageId(99), &mut out).is_err());
+        assert!(disk.write_page(PageId(99), &page).is_err());
+        disk.sync().unwrap();
+        assert_eq!(disk.size_bytes(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn mem_disk_behaviour() {
+        exercise(&MemDisk::new());
+    }
+
+    #[test]
+    fn file_disk_behaviour() {
+        let dir = std::env::temp_dir().join(format!("odh-pager-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.pages");
+        exercise(&FileDisk::create(&path).unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_disk_reopen_preserves_pages() {
+        let dir = std::env::temp_dir().join(format!("odh-pager-reopen-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.pages");
+        {
+            let d = FileDisk::create(&path).unwrap();
+            let p = d.allocate().unwrap();
+            let mut page = [0u8; PAGE_SIZE];
+            page[10] = 42;
+            d.write_page(p, &page).unwrap();
+            d.sync().unwrap();
+        }
+        let d = FileDisk::open(&path).unwrap();
+        assert_eq!(d.num_pages(), 1);
+        let mut out = [0u8; PAGE_SIZE];
+        d.read_page(PageId(0), &mut out).unwrap();
+        assert_eq!(out[10], 42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,447 @@
+//! Slotted heap pages and append-oriented heap files.
+//!
+//! A heap file stores variable-length records (row-store tuples, ODH batch
+//! records). Records that fit in a page live in slotted cells; larger
+//! records (ValueBlobs are routinely tens of KiB) spill into a chain of
+//! dedicated overflow pages, with the slot cell holding only the chain head
+//! — mirroring how Informix keeps time-series blobs in sbspaces.
+//!
+//! The workloads of the paper are append-only (sensors never update), so
+//! the heap allocates forward and never reclaims; deletes are out of scope.
+//!
+//! Page layout (heap page, type 1):
+//! ```text
+//! 0  u16 page_type      8  u64 next_page (heap-file chain)
+//! 2  u16 slot_count     16 slot array: (u16 cell_offset, u16 len_and_flag)*
+//! 4  u16 free_end       ...cells grow downward from PAGE_SIZE
+//! ```
+//! Bit 15 of a slot's length field marks an overflow-pointer cell whose
+//! 12-byte body is `(u64 head_page, u32 total_len)`.
+
+use crate::page::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, PageId, NO_PAGE, PAGE_SIZE};
+use crate::pool::BufferPool;
+use odh_types::{OdhError, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+const PT_HEAP: u16 = 1;
+const PT_OVERFLOW: u16 = 2;
+
+const H_TYPE: usize = 0;
+const H_SLOTS: usize = 2;
+const H_FREE_END: usize = 4;
+const H_NEXT: usize = 8;
+const HEADER: usize = 16;
+const SLOT_SIZE: usize = 4;
+
+const OVERFLOW_FLAG: u16 = 0x8000;
+const LEN_MASK: u16 = 0x7FFF;
+
+/// Largest payload stored inline in a heap page.
+pub const MAX_INLINE: usize = PAGE_SIZE - HEADER - SLOT_SIZE - 16;
+
+/// Overflow page payload capacity.
+const OV_CAPACITY: usize = PAGE_SIZE - HEADER;
+
+/// Address of a record in a heap file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into a u64 for storage as a B-tree value (page:48, slot:16).
+    pub fn to_u64(self) -> u64 {
+        (self.page.0 << 16) | self.slot as u64
+    }
+
+    pub fn from_u64(v: u64) -> RecordId {
+        RecordId { page: PageId(v >> 16), slot: (v & 0xFFFF) as u16 }
+    }
+}
+
+/// Initialize `buf` as an empty heap page.
+pub fn init_heap_page(buf: &mut [u8]) {
+    put_u16(buf, H_TYPE, PT_HEAP);
+    put_u16(buf, H_SLOTS, 0);
+    put_u16(buf, H_FREE_END, PAGE_SIZE as u16);
+    put_u64(buf, H_NEXT, NO_PAGE);
+}
+
+fn free_space(buf: &[u8]) -> usize {
+    let slots = get_u16(buf, H_SLOTS) as usize;
+    let free_end = get_u16(buf, H_FREE_END) as usize;
+    free_end.saturating_sub(HEADER + slots * SLOT_SIZE)
+}
+
+/// Insert an inline cell; returns the slot number or `None` if it doesn't fit.
+fn page_insert(buf: &mut [u8], payload: &[u8], overflow: bool) -> Option<u16> {
+    debug_assert!(payload.len() <= LEN_MASK as usize);
+    if free_space(buf) < payload.len() + SLOT_SIZE {
+        return None;
+    }
+    let slots = get_u16(buf, H_SLOTS);
+    let free_end = get_u16(buf, H_FREE_END) as usize;
+    let cell_off = free_end - payload.len();
+    buf[cell_off..free_end].copy_from_slice(payload);
+    let slot_off = HEADER + slots as usize * SLOT_SIZE;
+    put_u16(buf, slot_off, cell_off as u16);
+    let mut len = payload.len() as u16;
+    if overflow {
+        len |= OVERFLOW_FLAG;
+    }
+    put_u16(buf, slot_off + 2, len);
+    put_u16(buf, H_SLOTS, slots + 1);
+    put_u16(buf, H_FREE_END, cell_off as u16);
+    Some(slots)
+}
+
+/// Read the raw cell for `slot`: `(bytes, is_overflow_pointer)`.
+fn page_get(buf: &[u8], slot: u16) -> Option<(&[u8], bool)> {
+    let slots = get_u16(buf, H_SLOTS);
+    if slot >= slots {
+        return None;
+    }
+    let slot_off = HEADER + slot as usize * SLOT_SIZE;
+    let cell_off = get_u16(buf, slot_off) as usize;
+    let len_field = get_u16(buf, slot_off + 2);
+    let len = (len_field & LEN_MASK) as usize;
+    Some((&buf[cell_off..cell_off + len], len_field & OVERFLOW_FLAG != 0))
+}
+
+/// Recovery image of a heap file (page list + counters); see
+/// [`HeapFile::snapshot`] / [`HeapFile::restore`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeapSnapshot {
+    pub pages: Vec<u64>,
+    pub records: u64,
+    pub payload_bytes: u64,
+    pub overflow_pages: u64,
+}
+
+/// An append-oriented heap file over a buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    meta: Mutex<HeapMeta>,
+}
+
+struct HeapMeta {
+    pages: Vec<PageId>,
+    records: u64,
+    payload_bytes: u64,
+    overflow_pages: u64,
+}
+
+impl HeapFile {
+    pub fn create(pool: Arc<BufferPool>) -> HeapFile {
+        HeapFile {
+            pool,
+            meta: Mutex::new(HeapMeta {
+                pages: Vec::new(),
+                records: 0,
+                payload_bytes: 0,
+                overflow_pages: 0,
+            }),
+        }
+    }
+
+    /// Capture the file's recovery image. Callers must have flushed the
+    /// pool if the snapshot is to be durable.
+    pub fn snapshot(&self) -> HeapSnapshot {
+        let m = self.meta.lock();
+        HeapSnapshot {
+            pages: m.pages.iter().map(|p| p.0).collect(),
+            records: m.records,
+            payload_bytes: m.payload_bytes,
+            overflow_pages: m.overflow_pages,
+        }
+    }
+
+    /// Re-attach a heap file from its recovery image over an already-opened
+    /// pool (whose disk holds the snapshot's pages).
+    pub fn restore(pool: Arc<BufferPool>, snap: &HeapSnapshot) -> HeapFile {
+        HeapFile {
+            pool,
+            meta: Mutex::new(HeapMeta {
+                pages: snap.pages.iter().map(|&p| PageId(p)).collect(),
+                records: snap.records,
+                payload_bytes: snap.payload_bytes,
+                overflow_pages: snap.overflow_pages,
+            }),
+        }
+    }
+
+    pub fn record_count(&self) -> u64 {
+        self.meta.lock().records
+    }
+
+    /// Total record payload bytes stored (uncompressed-by-the-heap view).
+    pub fn payload_bytes(&self) -> u64 {
+        self.meta.lock().payload_bytes
+    }
+
+    /// Pages owned by this heap file (slotted + overflow).
+    pub fn page_count(&self) -> u64 {
+        let m = self.meta.lock();
+        m.pages.len() as u64 + m.overflow_pages
+    }
+
+    /// On-disk footprint of this file in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.page_count() * PAGE_SIZE as u64
+    }
+
+    /// Append a record; returns its id.
+    pub fn insert(&self, payload: &[u8]) -> Result<RecordId> {
+        if payload.len() <= MAX_INLINE {
+            self.insert_cell(payload, false)
+        } else {
+            let head = self.write_overflow_chain(payload)?;
+            let mut ptr = [0u8; 12];
+            put_u64(&mut ptr, 0, head.0);
+            put_u32(&mut ptr, 8, payload.len() as u32);
+            let rid = self.insert_cell(&ptr, true)?;
+            let mut m = self.meta.lock();
+            // insert_cell counted the 12-byte pointer; count the real payload.
+            m.payload_bytes += payload.len() as u64 - 12;
+            Ok(rid)
+        }
+    }
+
+    fn insert_cell(&self, payload: &[u8], overflow: bool) -> Result<RecordId> {
+        let mut m = self.meta.lock();
+        if let Some(&last) = m.pages.last() {
+            let slot =
+                self.pool.with_page_mut(last, |buf| page_insert(buf, payload, overflow))?;
+            if let Some(slot) = slot {
+                m.records += 1;
+                m.payload_bytes += payload.len() as u64;
+                return Ok(RecordId { page: last, slot });
+            }
+        }
+        // Need a fresh page, linked from the previous tail.
+        let (new_page, slot) = self.pool.allocate_with(|buf| {
+            init_heap_page(buf);
+            page_insert(buf, payload, overflow).expect("fresh page must fit an inline cell")
+        })?;
+        if let Some(&prev) = m.pages.last() {
+            self.pool.with_page_mut(prev, |buf| put_u64(buf, H_NEXT, new_page.0))?;
+        }
+        m.pages.push(new_page);
+        m.records += 1;
+        m.payload_bytes += payload.len() as u64;
+        Ok(RecordId { page: new_page, slot })
+    }
+
+    fn write_overflow_chain(&self, payload: &[u8]) -> Result<PageId> {
+        let mut chunks = payload.chunks(OV_CAPACITY).rev();
+        let mut next = NO_PAGE;
+        let mut pages = 0u64;
+        // Build back-to-front so each page can store its successor's id.
+        for chunk in &mut chunks {
+            let (id, _) = self.pool.allocate_with(|buf| {
+                put_u16(buf, H_TYPE, PT_OVERFLOW);
+                put_u16(buf, H_SLOTS, chunk.len() as u16);
+                put_u64(buf, H_NEXT, next);
+                buf[HEADER..HEADER + chunk.len()].copy_from_slice(chunk);
+            })?;
+            next = id.0;
+            pages += 1;
+        }
+        self.meta.lock().overflow_pages += pages;
+        Ok(PageId(next))
+    }
+
+    /// Fetch a record's payload.
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
+        let cell = self.pool.with_page(rid.page, |buf| {
+            page_get(buf, rid.slot).map(|(bytes, ov)| (bytes.to_vec(), ov))
+        })?;
+        let (bytes, overflow) =
+            cell.ok_or_else(|| OdhError::NotFound(format!("no slot {} on {}", rid.slot, rid.page)))?;
+        if !overflow {
+            return Ok(bytes);
+        }
+        if bytes.len() != 12 {
+            return Err(OdhError::Corrupt("overflow pointer cell must be 12 bytes".into()));
+        }
+        let mut page = PageId(get_u64(&bytes, 0));
+        let total = get_u32(&bytes, 8) as usize;
+        let mut out = Vec::with_capacity(total);
+        while page.is_valid() && out.len() < total {
+            self.pool.with_page(page, |buf| {
+                if get_u16(buf, H_TYPE) != PT_OVERFLOW {
+                    return Err(OdhError::Corrupt(format!("{page} is not an overflow page")));
+                }
+                let used = get_u16(buf, H_SLOTS) as usize;
+                out.extend_from_slice(&buf[HEADER..HEADER + used]);
+                page = PageId(get_u64(buf, H_NEXT));
+                Ok(())
+            })??;
+        }
+        if out.len() != total {
+            return Err(OdhError::Corrupt(format!(
+                "overflow chain truncated: {} of {} bytes",
+                out.len(),
+                total
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Scan every record in insertion order.
+    pub fn scan(&self) -> HeapScan<'_> {
+        let pages = self.meta.lock().pages.clone();
+        HeapScan { heap: self, pages, page_idx: 0, buffered: Vec::new(), buf_idx: 0 }
+    }
+}
+
+/// Iterator over `(RecordId, payload)` pairs of a heap file.
+pub struct HeapScan<'a> {
+    heap: &'a HeapFile,
+    pages: Vec<PageId>,
+    page_idx: usize,
+    buffered: Vec<(RecordId, Vec<u8>, bool)>,
+    buf_idx: usize,
+}
+
+impl Iterator for HeapScan<'_> {
+    type Item = Result<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.buf_idx < self.buffered.len() {
+                let (rid, bytes, overflow) = self.buffered[self.buf_idx].clone();
+                self.buf_idx += 1;
+                if overflow {
+                    // Resolve the chain outside the page closure.
+                    return Some(self.heap.get(rid).map(|b| (rid, b)));
+                }
+                return Some(Ok((rid, bytes)));
+            }
+            if self.page_idx >= self.pages.len() {
+                return None;
+            }
+            let page = self.pages[self.page_idx];
+            self.page_idx += 1;
+            let loaded = self.heap.pool.with_page(page, |buf| {
+                let slots = get_u16(buf, H_SLOTS);
+                (0..slots)
+                    .filter_map(|s| {
+                        page_get(buf, s).map(|(bytes, ov)| {
+                            (RecordId { page, slot: s }, bytes.to_vec(), ov)
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            });
+            match loaded {
+                Ok(v) => {
+                    self.buffered = v;
+                    self.buf_idx = 0;
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn heap() -> HeapFile {
+        HeapFile::create(BufferPool::new(Arc::new(MemDisk::new()), 16))
+    }
+
+    #[test]
+    fn insert_and_get_small_records() {
+        let h = heap();
+        let a = h.insert(b"hello").unwrap();
+        let b = h.insert(b"world!").unwrap();
+        assert_eq!(h.get(a).unwrap(), b"hello");
+        assert_eq!(h.get(b).unwrap(), b"world!");
+        assert_eq!(h.record_count(), 2);
+        assert_eq!(h.payload_bytes(), 11);
+    }
+
+    #[test]
+    fn records_spill_to_new_pages() {
+        let h = heap();
+        let payload = vec![7u8; 2000];
+        let ids: Vec<_> = (0..20).map(|_| h.insert(&payload).unwrap()).collect();
+        assert!(h.page_count() > 1);
+        for id in &ids {
+            assert_eq!(h.get(*id).unwrap().len(), 2000);
+        }
+    }
+
+    #[test]
+    fn overflow_chains_round_trip() {
+        let h = heap();
+        // Bigger than three pages, with a recognizable pattern.
+        let payload: Vec<u8> = (0..30_000usize).map(|i| (i % 251) as u8).collect();
+        let rid = h.insert(&payload).unwrap();
+        assert_eq!(h.get(rid).unwrap(), payload);
+        assert!(h.page_count() >= 4);
+        assert_eq!(h.payload_bytes(), 30_000);
+    }
+
+    #[test]
+    fn boundary_payload_sizes() {
+        let h = heap();
+        for len in [0, 1, MAX_INLINE - 1, MAX_INLINE, MAX_INLINE + 1, OV_CAPACITY, OV_CAPACITY + 1] {
+            let payload = vec![3u8; len];
+            let rid = h.insert(&payload).unwrap();
+            assert_eq!(h.get(rid).unwrap().len(), len, "len={len}");
+        }
+    }
+
+    #[test]
+    fn scan_returns_insertion_order() {
+        let h = heap();
+        let mut expect = Vec::new();
+        for i in 0..200u32 {
+            // Mix small and overflow-sized records.
+            let len = if i % 17 == 0 { MAX_INLINE + 100 } else { 20 + (i as usize % 64) };
+            let payload = vec![(i % 256) as u8; len];
+            h.insert(&payload).unwrap();
+            expect.push(payload);
+        }
+        let got: Vec<Vec<u8>> = h.scan().map(|r| r.unwrap().1).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn get_missing_slot_errors() {
+        let h = heap();
+        let rid = h.insert(b"x").unwrap();
+        let bad = RecordId { page: rid.page, slot: 99 };
+        assert_eq!(h.get(bad).unwrap_err().kind(), "not_found");
+    }
+
+    #[test]
+    fn record_id_u64_round_trip() {
+        let rid = RecordId { page: PageId(123_456_789), slot: 42 };
+        assert_eq!(RecordId::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn concurrent_inserts_preserve_all_records() {
+        let h = std::sync::Arc::new(heap());
+        std::thread::scope(|s| {
+            for t in 0..4u8 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..250 {
+                        h.insert(&[t, (i % 256) as u8, 3, 4]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.record_count(), 1000);
+        assert_eq!(h.scan().count(), 1000);
+    }
+}

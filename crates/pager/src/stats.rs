@@ -1,0 +1,92 @@
+//! Atomic I/O counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for logical (buffer-pool) and physical (disk) page traffic.
+/// All counters are monotone; snapshots are obtained with [`IoStats::snapshot`].
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Buffer-pool fetches (logical reads).
+    pub logical_reads: AtomicU64,
+    /// Fetches satisfied without disk I/O.
+    pub hits: AtomicU64,
+    /// Pages read from the disk manager.
+    pub physical_reads: AtomicU64,
+    /// Pages written to the disk manager.
+    pub physical_writes: AtomicU64,
+    /// Pages allocated.
+    pub allocations: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    pub logical_reads: u64,
+    pub hits: u64,
+    pub physical_reads: u64,
+    pub physical_writes: u64,
+    pub allocations: u64,
+}
+
+impl IoStats {
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_writes: self.physical_writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl IoSnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            hits: self.hits - earlier.hits,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            allocations: self.allocations - earlier.allocations,
+        }
+    }
+
+    /// Fraction of logical reads served from the pool.
+    pub fn hit_rate(&self) -> f64 {
+        if self.logical_reads == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / self.logical_reads as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = IoStats::default();
+        IoStats::bump(&s.logical_reads);
+        IoStats::bump(&s.logical_reads);
+        IoStats::bump(&s.hits);
+        let a = s.snapshot();
+        IoStats::bump(&s.physical_writes);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.physical_writes, 1);
+        assert_eq!(d.logical_reads, 0);
+        assert_eq!(a.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_one() {
+        assert_eq!(IoSnapshot::default().hit_rate(), 1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! JDBC-style insertion: autocommit vs `executeBatch`.
+//!
+//! §5.2: "To be fair to the relational databases that use JDBC, we disabled
+//! the autocommit feature of JDBC and used the batch insert mechanism...
+//! The simulator calls the executeBatch function for every 1000 operational
+//! records. Our experiment shows an average of a 10-fold increase in speed
+//! by using batch inserting." A commit forces the dirty pages out
+//! (`flush_all`) and pays a commit CPU charge; autocommit does that per
+//! row.
+
+use crate::rowstore::RowTable;
+use odh_pager::pool::BufferPool;
+use odh_types::{Result, Row};
+use std::sync::Arc;
+
+/// Batching row writer over one [`RowTable`].
+pub struct BatchInserter<'a> {
+    table: &'a RowTable,
+    pool: Arc<BufferPool>,
+    batch_size: usize,
+    pending: usize,
+    rows: u64,
+    commits: u64,
+}
+
+impl<'a> BatchInserter<'a> {
+    /// `batch_size = 1` is autocommit; the benchmark uses 1000.
+    pub fn new(table: &'a RowTable, pool: Arc<BufferPool>, batch_size: usize) -> Self {
+        assert!(batch_size >= 1);
+        BatchInserter { table, pool, batch_size, pending: 0, rows: 0, commits: 0 }
+    }
+
+    /// The paper's configuration: executeBatch every 1000 records.
+    pub fn jdbc_default(table: &'a RowTable, pool: Arc<BufferPool>) -> Self {
+        Self::new(table, pool, 1000)
+    }
+
+    pub fn push(&mut self, row: &Row) -> Result<()> {
+        self.table.insert(row)?;
+        self.rows += 1;
+        self.pending += 1;
+        if self.pending >= self.batch_size {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Commit the open batch (write back dirty pages + commit charge).
+    pub fn commit(&mut self) -> Result<()> {
+        if self.pending == 0 {
+            return Ok(());
+        }
+        self.pool.flush_all()?;
+        // Commit bookkeeping (log force, lock release).
+        let meter = self.meter();
+        meter.cpu(meter.costs.autocommit);
+        self.commits += 1;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Finish ingestion, committing any tail.
+    pub fn finish(mut self) -> Result<(u64, u64)> {
+        self.commit()?;
+        Ok((self.rows, self.commits))
+    }
+
+    fn meter(&self) -> &Arc<odh_sim::ResourceMeter> {
+        // RowTable holds the meter; expose it via a tiny accessor to keep
+        // the charge co-located with the commit.
+        self.table.meter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::RdbProfile;
+    use odh_pager::disk::MemDisk;
+    use odh_sim::ResourceMeter;
+    use odh_types::{DataType, Datum, RelSchema};
+
+    fn table(pool: &Arc<BufferPool>, meter: Arc<ResourceMeter>) -> RowTable {
+        let schema = RelSchema::new("t", [("a", DataType::I64)]);
+        let t = RowTable::create(pool.clone(), meter, schema, RdbProfile::RDB);
+        t.create_index("idx_a", &["a"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn batched_commits_every_n() {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
+        let t = table(&pool, ResourceMeter::unmetered());
+        let mut ins = BatchInserter::new(&t, pool, 100);
+        for i in 0..250i64 {
+            ins.push(&Row::new(vec![Datum::I64(i)])).unwrap();
+        }
+        let (rows, commits) = ins.finish().unwrap();
+        assert_eq!(rows, 250);
+        assert_eq!(commits, 3); // 100, 100, tail 50
+        assert_eq!(t.row_count(), 250);
+    }
+
+    #[test]
+    fn autocommit_pays_per_row() {
+        let run = |batch: usize| {
+            let meter = ResourceMeter::new(1);
+            meter.set_now(0);
+            let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
+            let t = table(&pool, meter.clone());
+            let mut ins = BatchInserter::new(&t, pool, batch);
+            for i in 0..500i64 {
+                ins.push(&Row::new(vec![Datum::I64(i)])).unwrap();
+            }
+            ins.finish().unwrap();
+            meter.cpu_report().total_units
+        };
+        let auto = run(1);
+        let batched = run(1000);
+        // The paper reports ~10× from batching; our cost model must show a
+        // large multiple too.
+        assert!(auto / batched > 5.0, "auto={auto} batched={batched}");
+    }
+
+    #[test]
+    fn empty_finish_is_fine() {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
+        let t = table(&pool, ResourceMeter::unmetered());
+        let ins = BatchInserter::new(&t, pool, 10);
+        assert_eq!(ins.finish().unwrap(), (0, 0));
+    }
+}

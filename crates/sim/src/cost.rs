@@ -1,0 +1,101 @@
+//! Calibrated cost constants.
+//!
+//! Every engine operation charges a number of abstract cost units. The
+//! absolute scale is arbitrary; what matters is the *ratios* between
+//! operations, which follow conventional storage-engine lore (a page write
+//! costs ~two page reads; an index insert costs a descent plus a leaf
+//! update; assembling a relational cell is a few dozen instructions). The
+//! default `units_per_core_second` is calibrated once so that Table 2's
+//! setting 1 (2000 PMUs @ 25 Hz on 32 cores) lands near the paper's 0.6%
+//! average CPU load, and every other experiment reuses the same constants —
+//! no per-experiment fudging.
+
+/// Cost-unit prices for engine operations. One unit ≈ one microsecond of a
+/// single calibrated core.
+#[derive(Debug, Clone, Copy)]
+pub struct CostConstants {
+    /// Physical page read from the disk manager.
+    pub page_read: f64,
+    /// Physical page write to the disk manager.
+    pub page_write: f64,
+    /// Buffer-pool hit (latch + lookup).
+    pub buffer_hit: f64,
+    /// One B-tree node visited during a descent.
+    pub btree_node_visit: f64,
+    /// Inserting one entry into a B-tree leaf (after the descent).
+    pub btree_leaf_insert: f64,
+    /// Encoding one operational data point into a batch buffer.
+    pub point_encode: f64,
+    /// Decoding one operational data point out of a ValueBlob.
+    pub point_decode: f64,
+    /// Encoding/decoding one row-store tuple (per cell).
+    pub tuple_cell: f64,
+    /// Assembling one relational cell in a virtual table (the VTI overhead).
+    pub vti_cell_assemble: f64,
+    /// One data-router metadata lookup (SQL against the catalog; the paper
+    /// names this as the LQ1 blocker).
+    pub router_lookup: f64,
+    /// Evaluating one predicate against one row.
+    pub predicate_eval: f64,
+    /// Per-record commit overhead when autocommit is on (the 10× JDBC
+    /// penalty §5.2 removes by batching 1000 rows per commit).
+    pub autocommit: f64,
+}
+
+impl CostConstants {
+    pub const fn default_const() -> CostConstants {
+        CostConstants {
+            page_read: 60.0,
+            page_write: 120.0,
+            buffer_hit: 0.4,
+            btree_node_visit: 0.8,
+            btree_leaf_insert: 2.5,
+            point_encode: 0.35,
+            point_decode: 0.25,
+            tuple_cell: 0.12,
+            vti_cell_assemble: 0.45,
+            router_lookup: 12_000.0,
+            predicate_eval: 0.05,
+            autocommit: 400.0,
+        }
+    }
+}
+
+impl Default for CostConstants {
+    fn default() -> Self {
+        Self::default_const()
+    }
+}
+
+/// Calibrated single-core capacity in cost units per second.
+///
+/// Calibration anchor (see crate docs): Table 2 setting 1 — 2000 PMUs at
+/// 25 Hz (50k points/s) through the RTS ingest path charges ≈0.46 units
+/// per point (encode + amortized flush/index/page work); the paper reports
+/// 0.6% average load on 32 cores, which implies ≈1.2e5 units per
+/// core-second. The same constant is used unchanged by every experiment;
+/// sanity cross-check: it prices one `router_lookup` (12k units) at
+/// ≈100 ms, matching §5.3's observation that LQ1 instances finish under
+/// 100 ms everywhere yet the router dominates ODH's LQ1 cost.
+pub const UNITS_PER_CORE_SECOND: f64 = 1.2e5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_cost_more_than_reads() {
+        let c = CostConstants::default();
+        assert!(c.page_write > c.page_read);
+        assert!(c.page_read > c.buffer_hit);
+    }
+
+    #[test]
+    fn router_lookup_dominates_small_queries() {
+        // The paper: LQ1 instances return <100 rows and finish <100 ms on
+        // every system, yet ODH is 100× slower — because the router lookup
+        // dwarfs per-row work. Our constants must preserve that ordering.
+        let c = CostConstants::default();
+        assert!(c.router_lookup > 100.0 * 17.0 * c.vti_cell_assemble);
+    }
+}

@@ -1,0 +1,209 @@
+//! CPU-load model over a virtual clock.
+//!
+//! Work is charged in cost units at virtual timestamps; loads are accounted
+//! per one-second window, exactly how the paper's "Avg CPU Load / Max CPU
+//! Load" columns are produced by a sampling monitor. The model is
+//! deterministic: the same workload always yields the same report.
+
+use crate::cost::UNITS_PER_CORE_SECOND;
+use parking_lot::Mutex;
+
+/// Per-window CPU accounting against a capacity of
+/// `cores × units_per_core_second`.
+#[derive(Debug)]
+pub struct CpuModel {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cores: u32,
+    units_per_core_sec: f64,
+    /// Window length in virtual microseconds.
+    window_us: i64,
+    /// Start of accounting (first charge) in virtual micros.
+    start_us: Option<i64>,
+    cur_window: i64,
+    cur_units: f64,
+    /// Completed windows' charged units.
+    windows: Vec<f64>,
+    total_units: f64,
+    /// Most recent virtual time seen.
+    now_us: i64,
+}
+
+/// Summary of a CPU-model run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuReport {
+    /// Mean load over all windows from first to last charge, 0.0–(may
+    /// exceed 1.0 when the offered work saturates the machine).
+    pub avg_load: f64,
+    /// Peak single-window load.
+    pub max_load: f64,
+    /// Total cost units charged.
+    pub total_units: f64,
+    /// Virtual seconds covered.
+    pub elapsed_secs: f64,
+}
+
+impl CpuReport {
+    /// True when some window demanded more work than the machine supplies —
+    /// the workload cannot run in real time on this configuration.
+    pub fn saturated(&self) -> bool {
+        self.max_load > 1.0
+    }
+}
+
+impl CpuModel {
+    /// A model of `cores` cores at the calibrated default speed.
+    pub fn new(cores: u32) -> CpuModel {
+        Self::with_speed(cores, UNITS_PER_CORE_SECOND)
+    }
+
+    /// A model with an explicit per-core capacity (units/second).
+    pub fn with_speed(cores: u32, units_per_core_sec: f64) -> CpuModel {
+        assert!(cores > 0, "CPU model needs at least one core");
+        CpuModel {
+            inner: Mutex::new(Inner {
+                cores,
+                units_per_core_sec,
+                window_us: 1_000_000,
+                start_us: None,
+                cur_window: 0,
+                cur_units: 0.0,
+                windows: Vec::new(),
+                total_units: 0.0,
+                now_us: 0,
+            }),
+        }
+    }
+
+    pub fn cores(&self) -> u32 {
+        self.inner.lock().cores
+    }
+
+    /// Charge `units` of work at virtual time `at_us` (microseconds).
+    /// Charges may arrive slightly out of order (concurrent writers); each
+    /// lands in the window of its own timestamp when it is the current one,
+    /// otherwise in the newest window.
+    pub fn charge(&self, at_us: i64, units: f64) {
+        debug_assert!(units >= 0.0);
+        let mut g = self.inner.lock();
+        let w = at_us.div_euclid(g.window_us);
+        if g.start_us.is_none() {
+            g.start_us = Some(at_us);
+            g.cur_window = w;
+        }
+        if w > g.cur_window {
+            // Close out windows up to w.
+            let gap = (w - g.cur_window - 1).min(1 << 20) as usize;
+            let closed = g.cur_units;
+            g.windows.push(closed);
+            // Idle windows in between contribute zero load.
+            g.windows.extend(std::iter::repeat_n(0.0, gap));
+            g.cur_window = w;
+            g.cur_units = 0.0;
+        }
+        g.cur_units += units;
+        g.total_units += units;
+        g.now_us = g.now_us.max(at_us);
+    }
+
+    /// Advance the clock without charging (marks idle time).
+    pub fn advance_to(&self, at_us: i64) {
+        self.charge(at_us, 0.0);
+    }
+
+    /// Produce the report. Non-destructive; accounting may continue.
+    pub fn report(&self) -> CpuReport {
+        let g = self.inner.lock();
+        let capacity_per_window =
+            g.cores as f64 * g.units_per_core_sec * (g.window_us as f64 / 1e6);
+        let mut loads: Vec<f64> =
+            g.windows.iter().map(|u| u / capacity_per_window).collect();
+        if g.cur_units > 0.0 || loads.is_empty() {
+            loads.push(g.cur_units / capacity_per_window);
+        }
+        let n = loads.len().max(1) as f64;
+        let avg = loads.iter().sum::<f64>() / n;
+        let max = loads.iter().cloned().fold(0.0f64, f64::max);
+        CpuReport {
+            avg_load: avg,
+            max_load: max,
+            total_units: g.total_units,
+            elapsed_secs: n * (g.window_us as f64 / 1e6),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_rate_yields_constant_load() {
+        // 1 core at 1e6 units/s; charge 10k units each second for 10 s → 1%.
+        let m = CpuModel::with_speed(1, 1e6);
+        for s in 0..10 {
+            m.charge(s * 1_000_000 + 500_000, 10_000.0);
+        }
+        let r = m.report();
+        assert!((r.avg_load - 0.01).abs() < 1e-9, "avg={}", r.avg_load);
+        assert!((r.max_load - 0.01).abs() < 1e-9);
+        assert!(!r.saturated());
+    }
+
+    #[test]
+    fn load_scales_inversely_with_cores() {
+        let charge = |cores| {
+            let m = CpuModel::with_speed(cores, 1e6);
+            for s in 0..4 {
+                m.charge(s * 1_000_000, 100_000.0);
+            }
+            m.report().avg_load
+        };
+        let one = charge(1);
+        let eight = charge(8);
+        assert!((one / eight - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bursts_show_in_max_not_avg() {
+        let m = CpuModel::with_speed(1, 1e6);
+        m.charge(0, 10_000.0);
+        m.charge(1_000_000, 500_000.0); // burst window
+        m.charge(2_000_000, 10_000.0);
+        m.charge(3_000_000, 10_000.0);
+        let r = m.report();
+        assert!((r.max_load - 0.5).abs() < 1e-9);
+        assert!(r.avg_load < 0.2);
+    }
+
+    #[test]
+    fn idle_gaps_count_as_zero_load() {
+        let m = CpuModel::with_speed(1, 1e6);
+        m.charge(0, 100_000.0);
+        m.charge(9 * 1_000_000, 100_000.0); // 8 idle windows between
+        let r = m.report();
+        assert!((r.avg_load - 0.02).abs() < 1e-9, "avg={}", r.avg_load);
+    }
+
+    #[test]
+    fn saturation_detected() {
+        let m = CpuModel::with_speed(1, 1e6);
+        m.charge(0, 2_000_000.0);
+        assert!(m.report().saturated());
+    }
+
+    #[test]
+    fn table2_calibration_anchor() {
+        // 2000 PMUs @ 25 Hz = 50k points/s; ≈0.46 units/point of ingest
+        // work on 32 cores must land near the paper's 0.6% (±0.4 pp).
+        let m = CpuModel::new(32);
+        for s in 0..30i64 {
+            m.charge(s * 1_000_000, 50_000.0 * 0.46);
+        }
+        let r = m.report();
+        assert!(r.avg_load > 0.002 && r.avg_load < 0.010, "load={}", r.avg_load);
+    }
+}

@@ -1,0 +1,131 @@
+//! Disk-time model: seek + transfer.
+//!
+//! The paper attributes two observed effects to disk mechanics: (a) RDB's
+//! surprisingly good LD ingest ("the large size (86 bytes) of each record
+//! dramatically reduced the magnetic arm movements"), and (b) the widening
+//! ODH/RDB gap as records shrink (Fig. 7). Both fall out of the classic
+//! `time = seeks × seek_time + bytes / transfer_rate` model: small records
+//! make a row store seek-bound (time ∝ record count), while ODH's packed
+//! batches amortize seeks over hundreds of points.
+
+use parking_lot::Mutex;
+
+/// A rotational-disk (RAID array) model.
+#[derive(Debug)]
+pub struct DiskModel {
+    inner: Mutex<DiskInner>,
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    /// Cost of one discontiguous I/O (head movement + rotational latency), µs.
+    seek_us: f64,
+    /// Sustained sequential bandwidth, bytes per second.
+    transfer_bytes_per_sec: f64,
+    ops: u64,
+    seq_ops: u64,
+    bytes: u64,
+    busy_us: f64,
+}
+
+/// Summary of disk activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskReport {
+    pub ops: u64,
+    pub bytes: u64,
+    /// Total virtual disk-busy seconds.
+    pub busy_secs: f64,
+    /// Effective bytes/second while busy.
+    pub bytes_per_busy_sec: f64,
+}
+
+impl DiskModel {
+    /// Model of the paper's benchmark array: "RAID5 10 TB storage with
+    /// 2 Gbps data bandwidth" → 250 MB/s, with a typical ~5 ms random I/O.
+    pub fn paper_raid5() -> DiskModel {
+        DiskModel::new(5_000.0, 250.0e6)
+    }
+
+    pub fn new(seek_us: f64, transfer_bytes_per_sec: f64) -> DiskModel {
+        assert!(transfer_bytes_per_sec > 0.0);
+        DiskModel {
+            inner: Mutex::new(DiskInner {
+                seek_us,
+                transfer_bytes_per_sec,
+                ops: 0,
+                seq_ops: 0,
+                bytes: 0,
+                busy_us: 0.0,
+            }),
+        }
+    }
+
+    /// Charge one random I/O of `bytes` and return its virtual latency in µs.
+    pub fn random_io(&self, bytes: usize) -> f64 {
+        let mut g = self.inner.lock();
+        let t = g.seek_us + bytes as f64 / g.transfer_bytes_per_sec * 1e6;
+        g.ops += 1;
+        g.bytes += bytes as u64;
+        g.busy_us += t;
+        t
+    }
+
+    /// Charge one sequential I/O (no seek) of `bytes`; returns latency in µs.
+    pub fn sequential_io(&self, bytes: usize) -> f64 {
+        let mut g = self.inner.lock();
+        let t = bytes as f64 / g.transfer_bytes_per_sec * 1e6;
+        g.ops += 1;
+        g.seq_ops += 1;
+        g.bytes += bytes as u64;
+        g.busy_us += t;
+        t
+    }
+
+    pub fn report(&self) -> DiskReport {
+        let g = self.inner.lock();
+        let busy_secs = g.busy_us / 1e6;
+        DiskReport {
+            ops: g.ops,
+            bytes: g.bytes,
+            busy_secs,
+            bytes_per_busy_sec: if busy_secs > 0.0 { g.bytes as f64 / busy_secs } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_records_are_seek_bound() {
+        // 1000 random 86-byte writes vs 1000 random 8-byte writes: nearly
+        // the same time (seek dominates), so points/s scales with record
+        // width — the Fig. 7 mechanism.
+        let d = DiskModel::new(5_000.0, 250.0e6);
+        let wide: f64 = (0..1000).map(|_| d.random_io(86)).sum();
+        let narrow: f64 = (0..1000).map(|_| d.random_io(8)).sum();
+        assert!((wide / narrow) < 1.01);
+    }
+
+    #[test]
+    fn sequential_io_amortizes_seeks() {
+        let d = DiskModel::new(5_000.0, 250.0e6);
+        let random = d.random_io(8192);
+        let seq = d.sequential_io(8192);
+        assert!(random / seq > 100.0, "random={random} seq={seq}");
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let d = DiskModel::new(1_000.0, 1.0e6);
+        d.random_io(500);
+        d.sequential_io(500);
+        let r = d.report();
+        assert_eq!(r.ops, 2);
+        assert_eq!(r.bytes, 1000);
+        // 1000 µs seek + 2 × 500 µs transfer = 2 ms busy.
+        assert!((r.busy_secs - 0.002).abs() < 1e-9);
+        assert!((r.bytes_per_busy_sec - 500_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Abstract syntax of the supported SQL dialect.
+
+/// A (possibly qualified) column reference as written: `T_CA_ID`,
+/// `a.CA_ID`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnName {
+    pub qualifier: Option<String>,
+    pub column: String,
+}
+
+/// A literal as written.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Number(f64),
+    Str(String),
+}
+
+/// A scalar operand in a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Column(ColumnName),
+    Lit(Literal),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    Cmp { left: Operand, op: CmpOp, right: Operand },
+    Between { col: ColumnName, lo: Literal, hi: Literal },
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// A plain column.
+    Column(ColumnName),
+    /// `AGG(col)` or `COUNT(*)` (`None` column).
+    Aggregate { func: AggFunc, col: Option<ColumnName> },
+}
+
+/// One FROM entry: `TRADE t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub table: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this binding answers to in qualified references.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.table)
+    }
+}
+
+/// ORDER BY entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderBy {
+    pub col: ColumnName,
+    pub desc: bool,
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub predicates: Vec<Predicate>,
+    pub group_by: Vec<ColumnName>,
+    pub order_by: Vec<OrderBy>,
+    pub limit: Option<usize>,
+}
+
+impl Select {
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| matches!(i, SelectItem::Aggregate { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binding_name_prefers_alias() {
+        let t = TableRef { table: "TRADE".into(), alias: Some("t".into()) };
+        assert_eq!(t.binding_name(), "t");
+        let t = TableRef { table: "TRADE".into(), alias: None };
+        assert_eq!(t.binding_name(), "TRADE");
+    }
+
+    #[test]
+    fn agg_parsing() {
+        assert_eq!(AggFunc::parse("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("median"), None);
+        assert_eq!(AggFunc::Sum.name(), "SUM");
+    }
+}

@@ -1,0 +1,54 @@
+//! Table catalog: name → provider.
+
+use crate::provider::TableProvider;
+use odh_types::{OdhError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Case-insensitive table registry.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<dyn TableProvider>>>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn register(&self, provider: Arc<dyn TableProvider>) {
+        self.tables.write().insert(provider.name().to_ascii_lowercase(), provider);
+    }
+
+    pub fn get(&self, name: &str) -> Result<Arc<dyn TableProvider>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| OdhError::Plan(format!("unknown table '{name}'")))
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::MemTable;
+    use odh_types::{DataType, RelSchema};
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let c = Catalog::new();
+        c.register(MemTable::new(RelSchema::new("Trade", [("a", DataType::I64)])));
+        assert!(c.get("TRADE").is_ok());
+        assert!(c.get("trade").is_ok());
+        assert_eq!(c.get("nope").err().unwrap().kind(), "plan");
+        assert_eq!(c.table_names(), vec!["trade"]);
+    }
+}

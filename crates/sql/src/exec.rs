@@ -1,0 +1,588 @@
+//! Physical execution.
+//!
+//! Left-deep pipeline over the optimizer's join order: scan the first
+//! table, then for each later table either index-nested-loop (when the
+//! provider exposes an index on the join column) or hash-join (build on
+//! the new table). Residual predicates run as soon as their bindings are
+//! bound; aggregates, ORDER BY, and LIMIT finish the pipeline.
+
+use crate::ast::{AggFunc, CmpOp};
+use crate::planner::{ColRef, OutputItem, Plan, ROperand, RPred};
+use crate::provider::ScanRequest;
+use odh_types::{Datum, OdhError, Result, Row};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Result of a query: column names plus materialized rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Non-NULL cells across all rows — the paper's "data points" metric
+    /// for query throughput.
+    pub fn data_points(&self) -> u64 {
+        self.rows.iter().map(|r| r.data_points() as u64).sum()
+    }
+}
+
+/// Run an optimized plan.
+pub fn execute(plan: &Plan) -> Result<QueryResult> {
+    let order = &plan.join_order;
+    let first = order[0];
+
+    // Combined-row layout: bindings in FROM order; unjoined cells NULL.
+    let arity = plan.combined_arity();
+    let offset_of = |b: usize| -> usize {
+        (0..b).map(|i| plan.bindings[i].provider.schema().arity()).sum()
+    };
+
+    // Scan the first table.
+    let req = ScanRequest { filters: plan.pushdown[first].clone(), needed: plan.needed[first].clone() };
+    let scanned = plan.bindings[first].provider.scan(&req)?;
+    let mut current: Vec<Row> = Vec::with_capacity(scanned.len());
+    let base = offset_of(first);
+    for r in scanned {
+        let mut cells = vec![Datum::Null; arity];
+        for (i, c) in r.into_cells().into_iter().enumerate() {
+            cells[base + i] = c;
+        }
+        current.push(Row::new(cells));
+    }
+    let mut bound = vec![first];
+    current.retain(|row| residuals_hold(plan, &bound, row));
+
+    // Join the rest.
+    for &b in order.iter().skip(1) {
+        let provider = &plan.bindings[b].provider;
+        let b_off = offset_of(b);
+        let join_col = crate::optimizer::join_column_into(plan, b, &bound);
+        let mut next: Vec<Row> = Vec::new();
+        match join_col {
+            Some(col) => {
+                // Column on the already-bound side this join matches.
+                let other = other_side(plan, b, col);
+                let other_off = plan.combined_offset(other);
+                let use_index = provider.probe_cost(col.column).is_some();
+                if use_index {
+                    for row in &current {
+                        let key = row.get(other_off);
+                        if key.is_null() {
+                            continue;
+                        }
+                        let matches = provider
+                            .index_lookup(col.column, key, &plan.needed[b])
+                            .transpose()?
+                            .unwrap_or_default();
+                        for m in matches {
+                            if !filters_hold(plan, b, &m) {
+                                continue;
+                            }
+                            next.push(splice(row, &m, b_off));
+                        }
+                    }
+                } else {
+                    // Hash join: build on the new table.
+                    let req = ScanRequest {
+                        filters: plan.pushdown[b].clone(),
+                        needed: plan.needed[b].clone(),
+                    };
+                    let mut table: HashMap<Datum, Vec<Row>> = HashMap::new();
+                    for r in provider.scan(&req)? {
+                        let k = r.get(col.column).clone();
+                        if !k.is_null() {
+                            table.entry(k).or_default().push(r);
+                        }
+                    }
+                    for row in &current {
+                        let key = row.get(other_off);
+                        if let Some(matches) = table.get(key) {
+                            for m in matches {
+                                next.push(splice(row, m, b_off));
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                // Cartesian product (no join edge).
+                let req = ScanRequest {
+                    filters: plan.pushdown[b].clone(),
+                    needed: plan.needed[b].clone(),
+                };
+                let rows_b = provider.scan(&req)?;
+                for row in &current {
+                    for m in &rows_b {
+                        next.push(splice(row, m, b_off));
+                    }
+                }
+            }
+        }
+        bound.push(b);
+        next.retain(|row| residuals_hold(plan, &bound, row));
+        current = next;
+    }
+
+    // Aggregate or project.
+    let has_agg = plan.output.iter().any(|o| matches!(o, OutputItem::Agg { .. }));
+    let mut columns: Vec<String> = plan
+        .output
+        .iter()
+        .map(|o| match o {
+            OutputItem::Col { name, .. } | OutputItem::Agg { name, .. } => name.clone(),
+        })
+        .collect();
+    let mut rows: Vec<Row>;
+    if has_agg {
+        rows = aggregate(plan, &current)?;
+        // ORDER BY on aggregate output: sort by matching group-by column
+        // position in the output list.
+        if !plan.order_by.is_empty() {
+            let keys: Vec<(usize, bool)> = plan
+                .order_by
+                .iter()
+                .filter_map(|(c, desc)| {
+                    plan.output.iter().position(|o| matches!(o, OutputItem::Col { col, .. } if col == c)).map(|i| (i, *desc))
+                })
+                .collect();
+            rows.sort_by(|a, b| compare_rows(a, b, &keys));
+        }
+    } else {
+        if !plan.order_by.is_empty() {
+            let keys: Vec<(usize, bool)> = plan
+                .order_by
+                .iter()
+                .map(|(c, desc)| (plan.combined_offset(*c), *desc))
+                .collect();
+            current.sort_by(|a, b| compare_rows(a, b, &keys));
+        }
+        let proj: Vec<usize> = plan
+            .output
+            .iter()
+            .map(|o| match o {
+                OutputItem::Col { col, .. } => plan.combined_offset(*col),
+                OutputItem::Agg { .. } => unreachable!(),
+            })
+            .collect();
+        rows = current.iter().map(|r| r.project(&proj)).collect();
+    }
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit);
+    }
+    if columns.is_empty() {
+        columns = vec!["?".into()];
+    }
+    Ok(QueryResult { columns, rows })
+}
+
+/// The bound-side column of the join edge that connects `b` via `col`.
+fn other_side(plan: &Plan, b: usize, col: ColRef) -> ColRef {
+    for j in &plan.joins {
+        if j.left == col && j.right.binding != b {
+            return j.right;
+        }
+        if j.right == col && j.left.binding != b {
+            return j.left;
+        }
+    }
+    // join_column_into returned col, so an edge must exist.
+    unreachable!("no join edge for binding {b}")
+}
+
+fn splice(base: &Row, add: &Row, at: usize) -> Row {
+    let mut cells = base.cells().to_vec();
+    for (i, c) in add.cells().iter().enumerate() {
+        cells[at + i] = c.clone();
+    }
+    Row::new(cells)
+}
+
+/// Re-apply this binding's pushdown filters (providers may over-return).
+fn filters_hold(plan: &Plan, b: usize, row: &Row) -> bool {
+    plan.pushdown[b].iter().all(|(c, f)| f.matches(row.get(*c)))
+}
+
+/// Residual predicates whose bindings are all bound must hold.
+fn residuals_hold(plan: &Plan, bound: &[usize], row: &Row) -> bool {
+    plan.residual.iter().all(|p| {
+        if !pred_bound(p, bound) {
+            return true;
+        }
+        eval_pred(plan, p, row)
+    })
+}
+
+fn pred_bound(p: &RPred, bound: &[usize]) -> bool {
+    [&p.left, &p.right].into_iter().all(|o| match o {
+        ROperand::Col(c) => bound.contains(&c.binding),
+        ROperand::Lit(_) => true,
+    })
+}
+
+#[allow(clippy::match_like_matches_macro)] // the truth table reads better spelled out
+fn eval_pred(plan: &Plan, p: &RPred, row: &Row) -> bool {
+    let l = operand_value(plan, &p.left, row);
+    let r = operand_value(plan, &p.right, row);
+    match (l.sql_cmp(&r), p.op) {
+        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
+        (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq) => true,
+        (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq) => true,
+        _ => false,
+    }
+}
+
+fn operand_value(plan: &Plan, o: &ROperand, row: &Row) -> Datum {
+    match o {
+        ROperand::Col(c) => row.get(plan.combined_offset(*c)).clone(),
+        ROperand::Lit(d) => d.clone(),
+    }
+}
+
+fn compare_rows(a: &Row, b: &Row, keys: &[(usize, bool)]) -> Ordering {
+    for (i, desc) in keys {
+        let ord = total_cmp(a.get(*i), b.get(*i));
+        let ord = if *desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Total order for sorting: NULLs first, then SQL comparison, with
+/// incomparable type pairs ordered by a type rank (three-valued `sql_cmp`
+/// alone is not transitive and would panic std's sort).
+fn total_cmp(a: &Datum, b: &Datum) -> Ordering {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        (false, false) => {}
+    }
+    // Numeric family: IEEE total order (plain sql_cmp is partial under
+    // NaN, which also breaks sort transitivity).
+    if let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) {
+        return x.total_cmp(&y);
+    }
+    a.sql_cmp(b).unwrap_or_else(|| type_rank(a).cmp(&type_rank(b)))
+}
+
+fn type_rank(d: &Datum) -> u8 {
+    match d {
+        Datum::Null => 0,
+        Datum::I64(_) | Datum::F64(_) | Datum::Ts(_) => 1,
+        Datum::Str(_) => 2,
+    }
+}
+
+/// GROUP BY + aggregates (or global aggregates with no GROUP BY).
+fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
+    struct AggState {
+        count: u64,
+        sum: f64,
+        min: Option<Datum>,
+        max: Option<Datum>,
+    }
+    let group_offsets: Vec<usize> =
+        plan.group_by.iter().map(|c| plan.combined_offset(*c)).collect();
+    let mut groups: HashMap<Vec<Datum>, Vec<AggState>> = HashMap::new();
+    let agg_inputs: Vec<Option<usize>> = plan
+        .output
+        .iter()
+        .filter_map(|o| match o {
+            OutputItem::Agg { input, .. } => {
+                Some(input.map(|c| plan.combined_offset(c)))
+            }
+            OutputItem::Col { .. } => None,
+        })
+        .collect();
+
+    for row in rows {
+        let key: Vec<Datum> = group_offsets.iter().map(|&o| row.get(o).clone()).collect();
+        let states = groups.entry(key).or_insert_with(|| {
+            agg_inputs
+                .iter()
+                .map(|_| AggState { count: 0, sum: 0.0, min: None, max: None })
+                .collect()
+        });
+        for (st, input) in states.iter_mut().zip(&agg_inputs) {
+            let v = match input {
+                None => Some(Datum::I64(1)), // COUNT(*)
+                Some(off) => {
+                    let d = row.get(*off);
+                    if d.is_null() {
+                        None
+                    } else {
+                        Some(d.clone())
+                    }
+                }
+            };
+            if let Some(d) = v {
+                st.count += 1;
+                if let Some(x) = d.as_f64() {
+                    st.sum += x;
+                }
+                if st.min.as_ref().is_none_or(|m| d.sql_cmp(m) == Some(Ordering::Less)) {
+                    st.min = Some(d.clone());
+                }
+                if st.max.as_ref().is_none_or(|m| d.sql_cmp(m) == Some(Ordering::Greater)) {
+                    st.max = Some(d);
+                }
+            }
+        }
+    }
+    // A global aggregate over zero rows still yields one row.
+    if groups.is_empty() && plan.group_by.is_empty() {
+        groups.insert(
+            Vec::new(),
+            agg_inputs.iter().map(|_| AggState { count: 0, sum: 0.0, min: None, max: None }).collect(),
+        );
+    }
+
+    let mut out = Vec::with_capacity(groups.len());
+    let mut keys: Vec<Vec<Datum>> = groups.keys().cloned().collect();
+    keys.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b) {
+            let ord = x.sql_cmp(y).unwrap_or(Ordering::Equal);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    for key in keys {
+        let states = &groups[&key];
+        let mut cells = Vec::with_capacity(plan.output.len());
+        let mut agg_i = 0usize;
+        for o in &plan.output {
+            match o {
+                OutputItem::Col { col, .. } => {
+                    // Must be a GROUP BY column.
+                    let pos = plan
+                        .group_by
+                        .iter()
+                        .position(|g| g == col)
+                        .ok_or_else(|| {
+                            OdhError::Plan(
+                                "non-aggregated column must appear in GROUP BY".into(),
+                            )
+                        })?;
+                    cells.push(key[pos].clone());
+                }
+                OutputItem::Agg { func, .. } => {
+                    let st = &states[agg_i];
+                    agg_i += 1;
+                    cells.push(match func {
+                        AggFunc::Count => Datum::I64(st.count as i64),
+                        AggFunc::Sum => {
+                            if st.count == 0 {
+                                Datum::Null
+                            } else {
+                                Datum::F64(st.sum)
+                            }
+                        }
+                        AggFunc::Avg => {
+                            if st.count == 0 {
+                                Datum::Null
+                            } else {
+                                Datum::F64(st.sum / st.count as f64)
+                            }
+                        }
+                        AggFunc::Min => st.min.clone().unwrap_or(Datum::Null),
+                        AggFunc::Max => st.max.clone().unwrap_or(Datum::Null),
+                    });
+                }
+            }
+        }
+        out.push(Row::new(cells));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::MemTable;
+    use crate::SqlEngine;
+    use odh_types::{DataType, RelSchema, Timestamp};
+
+    fn engine() -> SqlEngine {
+        let e = SqlEngine::new();
+        let trade = MemTable::new(RelSchema::new(
+            "trade",
+            [
+                ("t_dts", DataType::Ts),
+                ("t_ca_id", DataType::I64),
+                ("t_chrg", DataType::F64),
+            ],
+        ));
+        for i in 0..100i64 {
+            trade.insert(Row::new(vec![
+                Datum::Ts(Timestamp::from_secs(i)),
+                Datum::I64(i % 10),
+                Datum::F64(i as f64 * 0.5),
+            ]));
+        }
+        trade.create_index("t_ca_id");
+        e.register(trade);
+        let account = MemTable::new(RelSchema::new(
+            "account",
+            [
+                ("ca_id", DataType::I64),
+                ("ca_c_id", DataType::I64),
+                ("ca_name", DataType::Str),
+            ],
+        ));
+        for i in 0..10i64 {
+            account.insert(Row::new(vec![
+                Datum::I64(i),
+                Datum::I64(i / 5),
+                Datum::str(format!("acct_{i}")),
+            ]));
+        }
+        account.create_index("ca_id");
+        e.register(account);
+        let customer = MemTable::new(RelSchema::new(
+            "customer",
+            [("c_id", DataType::I64), ("c_dob", DataType::Ts)],
+        ));
+        for i in 0..2i64 {
+            customer.insert(Row::new(vec![
+                Datum::I64(i),
+                Datum::Ts(Timestamp::parse_sql(&format!("19{}0-06-01 00:00:00", 6 + i)).unwrap()),
+            ]));
+        }
+        customer.create_index("c_id");
+        e.register(customer);
+        e
+    }
+
+    #[test]
+    fn tq1_point_query() {
+        let e = engine();
+        let r = e.query("select * from trade where t_ca_id = 3").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.columns, vec!["t_dts", "t_ca_id", "t_chrg"]);
+        assert!(r.rows.iter().all(|row| row.get(1) == &Datum::I64(3)));
+    }
+
+    #[test]
+    fn tq2_time_slice() {
+        let e = engine();
+        let r = e
+            .query(
+                "select * from trade where t_dts between '1970-01-01 00:00:10' and '1970-01-01 00:00:20'",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 11);
+    }
+
+    #[test]
+    fn tq3_two_way_join() {
+        let e = engine();
+        let r = e
+            .query(
+                "select t_dts, t_chrg from trade t, account a \
+                 where a.ca_id = t.t_ca_id and a.ca_name = 'acct_4'",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.columns, vec!["t_dts", "t_chrg"]);
+    }
+
+    #[test]
+    fn tq4_three_way_join() {
+        let e = engine();
+        let r = e
+            .query(
+                "select ca_name, t_dts, t_chrg from trade t, account a, customer c \
+                 where a.ca_id = t.t_ca_id and a.ca_c_id = c.c_id \
+                 and c_dob between '1960-01-01 00:00:00' and '1965-01-01 00:00:00'",
+            )
+            .unwrap();
+        // Customer 0 (dob 1960-06-01) matches → accounts 0..5 → 50 trades.
+        assert_eq!(r.rows.len(), 50);
+        assert!(r.rows.iter().all(|row| {
+            let name = row.get(0).as_str().unwrap();
+            ["acct_0", "acct_1", "acct_2", "acct_3", "acct_4"].contains(&name)
+        }));
+    }
+
+    #[test]
+    fn aggregates_global() {
+        let e = engine();
+        let r = e.query("select COUNT(*), AVG(t_chrg), MIN(t_chrg), MAX(t_chrg) from trade").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0), &Datum::I64(100));
+        assert_eq!(r.rows[0].get(1).as_f64().unwrap(), 24.75);
+        assert_eq!(r.rows[0].get(2), &Datum::F64(0.0));
+        assert_eq!(r.rows[0].get(3), &Datum::F64(49.5));
+    }
+
+    #[test]
+    fn aggregates_group_by() {
+        let e = engine();
+        let r = e
+            .query("select t_ca_id, COUNT(*), SUM(t_chrg) from trade group by t_ca_id order by t_ca_id")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows[0].get(0), &Datum::I64(0));
+        assert_eq!(r.rows[0].get(1), &Datum::I64(10));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let e = engine();
+        let r = e.query("select t_chrg from trade order by t_chrg desc limit 3").unwrap();
+        let vals: Vec<f64> = r.rows.iter().map(|r| r.get(0).as_f64().unwrap()).collect();
+        assert_eq!(vals, vec![49.5, 49.0, 48.5]);
+    }
+
+    #[test]
+    fn empty_result_aggregates_to_one_row() {
+        let e = engine();
+        let r = e.query("select COUNT(*) from trade where t_ca_id = 999").unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0].get(0), &Datum::I64(0));
+        let r = e.query("select * from trade where t_ca_id = 999").unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn non_grouped_column_with_aggregate_rejected() {
+        let e = engine();
+        let err = e.query("select t_chrg, COUNT(*) from trade").unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn data_points_counts_non_null_cells() {
+        let e = engine();
+        let r = e.query("select t_dts, t_chrg from trade where t_ca_id = 1").unwrap();
+        assert_eq!(r.data_points(), 20);
+    }
+
+    #[test]
+    fn join_without_index_uses_hash_join() {
+        let e = SqlEngine::new();
+        let a = MemTable::new(RelSchema::new("ta", [("x", DataType::I64)]));
+        let b = MemTable::new(RelSchema::new("tb", [("y", DataType::I64)]));
+        for i in 0..50i64 {
+            a.insert(Row::new(vec![Datum::I64(i)]));
+            b.insert(Row::new(vec![Datum::I64(i * 2)]));
+        }
+        e.register(a);
+        e.register(b);
+        let r = e.query("select x from ta, tb where ta.x = tb.y").unwrap();
+        assert_eq!(r.rows.len(), 25); // even x in 0..50
+    }
+
+    #[test]
+    fn neq_predicate() {
+        let e = engine();
+        let r = e.query("select * from trade where t_ca_id <> 0").unwrap();
+        assert_eq!(r.rows.len(), 90);
+    }
+}

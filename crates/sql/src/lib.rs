@@ -1,0 +1,84 @@
+//! The SQL substrate — the reproduction's stand-in for Informix's SQL layer
+//! and Virtual Table Interface (VTI).
+//!
+//! "The Informix Virtual Table Interface hides the details of the
+//! underlying infrastructure, the data distributions, and the different
+//! types of batch structures. VTI enables the operational data model to be
+//! accessed through virtual tables using standard SQL interfaces, which
+//! enables the fusion with other relational tables" (§3). Here the VTI is
+//! the [`provider::TableProvider`] trait: anything that can report a
+//! relational schema, estimate scan cost/row counts under pushed-down
+//! filters, and produce rows, can be queried — ordinary row-store tables
+//! and ODH virtual tables alike.
+//!
+//! Pipeline: [`token`] → [`parser`] ([`ast`]) → [`planner`] (name
+//! resolution, predicate classification) → [`optimizer`] (filter pushdown,
+//! join order chosen by the paper's cost model: *expected ValueBlob bytes
+//! accessed*) → [`exec`] (index-nested-loop or hash joins, residual
+//! filters, aggregates, ORDER BY/LIMIT).
+//!
+//! Dialect: `SELECT` lists (columns, `*`, `COUNT/SUM/AVG/MIN/MAX`),
+//! comma-separated `FROM` with aliases (implicit joins, as the paper's
+//! examples are written), `WHERE` conjunctions of `=`, `<>`, `<`, `>`,
+//! `<=`, `>=`, `BETWEEN`, `GROUP BY`, `ORDER BY`, `LIMIT`. Identifiers are
+//! case-insensitive; string literals compared to TIMESTAMP columns are
+//! parsed as SQL timestamps.
+
+pub mod ast;
+pub mod catalog;
+pub mod exec;
+pub mod optimizer;
+pub mod parser;
+pub mod planner;
+pub mod provider;
+pub mod stats;
+pub mod token;
+
+pub use catalog::Catalog;
+pub use exec::QueryResult;
+pub use provider::{ColumnFilter, MemTable, ScanRequest, TableProvider};
+
+use odh_types::Result;
+use std::sync::Arc;
+
+/// The SQL engine: a catalog plus the parse→plan→optimize→execute pipeline.
+pub struct SqlEngine {
+    catalog: Catalog,
+}
+
+impl SqlEngine {
+    pub fn new() -> SqlEngine {
+        SqlEngine { catalog: Catalog::new() }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a table (provider) under its schema name.
+    pub fn register(&self, provider: Arc<dyn TableProvider>) {
+        self.catalog.register(provider);
+    }
+
+    /// Parse, plan, optimize, and run `sql`.
+    pub fn query(&self, sql: &str) -> Result<QueryResult> {
+        let stmt = parser::parse(sql)?;
+        let plan = planner::plan(&self.catalog, &stmt)?;
+        let plan = optimizer::optimize(plan);
+        exec::execute(&plan)
+    }
+
+    /// Plan only (EXPLAIN): returns a human-readable plan description.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let stmt = parser::parse(sql)?;
+        let plan = planner::plan(&self.catalog, &stmt)?;
+        let plan = optimizer::optimize(plan);
+        Ok(plan.describe())
+    }
+}
+
+impl Default for SqlEngine {
+    fn default() -> Self {
+        SqlEngine::new()
+    }
+}

@@ -1,0 +1,337 @@
+//! Recursive-descent parser for the dialect in the crate docs.
+
+use crate::ast::*;
+use crate::token::{tokenize, Token};
+use odh_types::{OdhError, Result};
+
+/// Parse one SELECT statement.
+pub fn parse(sql: &str) -> Result<Select> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let select = p.select()?;
+    p.expect_eof()?;
+    Ok(select)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(OdhError::Parse(format!("expected {kw}, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(OdhError::Parse(format!("trailing input at {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(OdhError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.table_ref()?);
+        }
+        let mut predicates = Vec::new();
+        if self.eat_kw("where") {
+            predicates.push(self.predicate()?);
+            while self.eat_kw("and") {
+                predicates.push(self.predicate()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.column_name()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.column_name()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let col = self.column_name()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderBy { col, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw("limit") {
+            match self.next() {
+                Token::Number(n) if n >= 0.0 && n.fract() == 0.0 => limit = Some(n as usize),
+                other => {
+                    return Err(OdhError::Parse(format!("bad LIMIT value {other:?}")))
+                }
+            }
+        }
+        Ok(Select { items, from, predicates, group_by, order_by, limit })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate? IDENT '('
+        if let Token::Ident(name) = self.peek().clone() {
+            if let Some(func) = AggFunc::parse(&name) {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2; // name + (
+                    let col = if self.eat(&Token::Star) {
+                        None
+                    } else {
+                        Some(self.column_name()?)
+                    };
+                    if !self.eat(&Token::RParen) {
+                        return Err(OdhError::Parse("expected ')' after aggregate".into()));
+                    }
+                    return Ok(SelectItem::Aggregate { func, col });
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.column_name()?))
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: a bare identifier that is not a clause keyword.
+        let alias = match self.peek() {
+            Token::Ident(s)
+                if !["where", "group", "order", "limit", "on", "and"]
+                    .iter()
+                    .any(|k| s.eq_ignore_ascii_case(k)) =>
+            {
+                Some(self.ident()?)
+            }
+            _ => None,
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn column_name(&mut self) -> Result<ColumnName> {
+        let first = self.ident()?;
+        if self.eat(&Token::Dot) {
+            let column = self.ident()?;
+            Ok(ColumnName { qualifier: Some(first), column })
+        } else {
+            Ok(ColumnName { qualifier: None, column: first })
+        }
+    }
+
+    fn literal(&mut self) -> Result<Literal> {
+        match self.next() {
+            Token::Number(n) => Ok(Literal::Number(n)),
+            Token::Minus => match self.next() {
+                Token::Number(n) => Ok(Literal::Number(-n)),
+                other => Err(OdhError::Parse(format!("expected number after '-', got {other:?}"))),
+            },
+            Token::Plus => match self.next() {
+                Token::Number(n) => Ok(Literal::Number(n)),
+                other => Err(OdhError::Parse(format!("expected number after '+', got {other:?}"))),
+            },
+            Token::Str(s) => Ok(Literal::Str(s)),
+            other => Err(OdhError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.peek() {
+            Token::Number(_) | Token::Str(_) | Token::Minus | Token::Plus => {
+                Ok(Operand::Lit(self.literal()?))
+            }
+            Token::Ident(_) => Ok(Operand::Column(self.column_name()?)),
+            other => Err(OdhError::Parse(format!("expected operand, found {other:?}"))),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate> {
+        let left = self.operand()?;
+        // BETWEEN only applies to a column left-hand side.
+        if self.peek().is_kw("between") {
+            let col = match left {
+                Operand::Column(c) => c,
+                _ => return Err(OdhError::Parse("BETWEEN needs a column".into())),
+            };
+            self.pos += 1;
+            let lo = self.literal()?;
+            self.expect_kw("and")?;
+            let hi = self.literal()?;
+            return Ok(Predicate::Between { col, lo, hi });
+        }
+        let op = match self.next() {
+            Token::Eq => CmpOp::Eq,
+            Token::Neq => CmpOp::Neq,
+            Token::Lt => CmpOp::Lt,
+            Token::Gt => CmpOp::Gt,
+            Token::Le => CmpOp::Le,
+            Token::Ge => CmpOp::Ge,
+            other => return Err(OdhError::Parse(format!("expected comparison, found {other:?}"))),
+        };
+        let right = self.operand()?;
+        Ok(Predicate::Cmp { left, op, right })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tq1() {
+        let s = parse("select * from TRADE where T_CA_ID=1001").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Wildcard]);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].table, "TRADE");
+        assert_eq!(s.predicates.len(), 1);
+    }
+
+    #[test]
+    fn parses_tq2_between() {
+        let s = parse(
+            "select * from TRADE where T_DTS between '2014-01-01 00:00:00' and '2014-01-01 00:00:10'",
+        )
+        .unwrap();
+        match &s.predicates[0] {
+            Predicate::Between { col, lo, hi } => {
+                assert_eq!(col.column, "T_DTS");
+                assert_eq!(lo, &Literal::Str("2014-01-01 00:00:00".into()));
+                assert_eq!(hi, &Literal::Str("2014-01-01 00:00:10".into()));
+            }
+            other => panic!("wrong predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_tq3_join_with_aliases() {
+        let s = parse(
+            "select T_DTS, T_CHRG from TRADE t, ACCOUNT a \
+             where a.CA_ID = t.T_CA_ID and a.CA_NAME = 'acct_42'",
+        )
+        .unwrap();
+        assert_eq!(s.from[0].binding_name(), "t");
+        assert_eq!(s.from[1].binding_name(), "a");
+        assert_eq!(s.predicates.len(), 2);
+        match &s.predicates[0] {
+            Predicate::Cmp { left: Operand::Column(l), op: CmpOp::Eq, right: Operand::Column(r) } => {
+                assert_eq!(l.qualifier.as_deref(), Some("a"));
+                assert_eq!(r.column, "T_CA_ID");
+            }
+            other => panic!("wrong predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_lq4_lat_long_box() {
+        let s = parse(
+            "select Timestamp, SensorId, AirTemperature from Observation o, LinkedSensor l \
+             where l.SensorId = o.SensorId and Latitude < 36.804 and Latitude > 36.803 \
+             and Longitude < -115.977 and Longitude > -115.978",
+        )
+        .unwrap();
+        assert_eq!(s.predicates.len(), 5);
+        match &s.predicates[3] {
+            Predicate::Cmp { right: Operand::Lit(Literal::Number(v)), op: CmpOp::Lt, .. } => {
+                assert_eq!(*v, -115.977);
+            }
+            other => panic!("wrong predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_group_order_limit() {
+        let s = parse(
+            "select area, COUNT(*), AVG(temperature) from env_v e, sensor_info s \
+             where e.id = s.id group by area order by area desc limit 10",
+        )
+        .unwrap();
+        assert!(s.has_aggregates());
+        assert_eq!(s.group_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(
+            s.items[1],
+            SelectItem::Aggregate { func: AggFunc::Count, col: None }
+        );
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("SELECT * FROM t WHERE a = 1").is_ok());
+        assert!(parse("Select * From t Where a Between 1 And 2").is_ok());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_fragments() {
+        assert!(parse("select * from t where").is_err());
+        assert!(parse("select from t").is_err());
+        assert!(parse("select * from t extra stuff here").is_err());
+        assert!(parse("select * from t where a between 1").is_err());
+    }
+
+    #[test]
+    fn alias_not_confused_with_keywords() {
+        let s = parse("select * from TRADE t where t.x = 1").unwrap();
+        assert_eq!(s.from[0].alias.as_deref(), Some("t"));
+        let s = parse("select * from TRADE where x = 1").unwrap();
+        assert_eq!(s.from[0].alias, None);
+    }
+}

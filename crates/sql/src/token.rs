@@ -1,0 +1,237 @@
+//! SQL lexer.
+
+use odh_types::{OdhError, Result};
+
+/// A lexical token. Identifiers keep their original spelling; keyword
+/// recognition is case-insensitive and done by the parser via
+/// [`Token::is_kw`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Number(f64),
+    Str(String),
+    Comma,
+    Dot,
+    Star,
+    LParen,
+    RParen,
+    Eq,
+    Neq,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Plus,
+    Minus,
+    Eof,
+}
+
+impl Token {
+    /// Case-insensitive keyword test on identifiers.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `sql`.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Comment `--` or minus.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Neq);
+                i += 2;
+            }
+            '<' => {
+                match bytes.get(i + 1) {
+                    Some(b'=') => {
+                        out.push(Token::Le);
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push(Token::Neq);
+                        i += 2;
+                    }
+                    _ => {
+                        out.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(OdhError::Parse("unterminated string literal".into()))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && matches!(bytes[i - 1], b'e' | b'E')))
+                {
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| OdhError::Parse(format!("bad number literal '{text}'")))?;
+                out.push(Token::Number(v));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(sql[start..i].to_string()));
+            }
+            other => return Err(OdhError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_paper_query() {
+        let toks = tokenize(
+            "SELECT timestamp, temperature FROM environ_data_v a WHERE a.id = 5 \
+             AND timestamp BETWEEN '2013-11-18 00:00:00' AND '2013-11-22 23:59:59'",
+        )
+        .unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.iter().any(|t| t.is_kw("between")));
+        assert!(toks.contains(&Token::Str("2013-11-18 00:00:00".into())));
+        assert!(toks.contains(&Token::Number(5.0)));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = tokenize("a <= b >= c <> d != e < f > g = h").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
+            .collect();
+        assert_eq!(
+            ops,
+            [&Token::Le, &Token::Ge, &Token::Neq, &Token::Neq, &Token::Lt, &Token::Gt, &Token::Eq]
+        );
+    }
+
+    #[test]
+    fn numbers_including_float_and_negative_context() {
+        let toks = tokenize("1 2.5 1e3 36.803").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(1000.0),
+                Token::Number(36.803),
+                Token::Eof
+            ]
+        );
+        // Unary minus stays a token; parser folds it into literals.
+        let toks = tokenize("-115.978").unwrap();
+        assert_eq!(toks, vec![Token::Minus, Token::Number(115.978), Token::Eof]);
+    }
+
+    #[test]
+    fn quoted_strings_with_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("select -- the projection\n x").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(tokenize("select @x").is_err());
+    }
+}

@@ -1,0 +1,292 @@
+//! Batch records — the on-heap serialization of the three structures.
+//!
+//! Every batch record carries its `end` timestamp in the header so scans
+//! can decide overlap with a time range without touching the ValueBlob
+//! (I/O-free pruning); only matching records pay blob decode cost.
+
+use crate::blob::ValueBlob;
+use odh_btree::KeyBuf;
+use odh_compress::{delta, varint};
+use odh_types::{GroupId, OdhError, Result, SourceId};
+
+const T_RTS: u8 = 1;
+const T_IRTS: u8 = 2;
+const T_MG: u8 = 3;
+
+/// A Regular Time Series batch: `b` points of one source at a fixed
+/// interval. Timestamps are implicit: `begin + i × interval`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtsBatch {
+    pub source: SourceId,
+    pub begin: i64,
+    pub interval: i64,
+    pub count: u32,
+    pub blob: ValueBlob,
+}
+
+/// An Irregular Time Series batch: `b` points of one source with an
+/// explicit delta-of-delta timestamp block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrtsBatch {
+    pub source: SourceId,
+    pub begin: i64,
+    pub end: i64,
+    pub timestamps: Vec<i64>,
+    pub blob: ValueBlob,
+}
+
+/// A Mixed Grouping batch: `b` points, in timestamp order, from a *group*
+/// of low-frequency sources; `ids[i]` is the source of point `i`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MgBatch {
+    pub group: GroupId,
+    pub begin: i64,
+    pub end: i64,
+    pub ids: Vec<SourceId>,
+    pub timestamps: Vec<i64>,
+    pub blob: ValueBlob,
+}
+
+impl RtsBatch {
+    pub fn end(&self) -> i64 {
+        self.begin + (self.count.max(1) as i64 - 1) * self.interval
+    }
+
+    pub fn timestamps(&self) -> Vec<i64> {
+        (0..self.count as i64).map(|i| self.begin + i * self.interval).collect()
+    }
+
+    /// B-tree key: `(id, begin_time)` — the first two fields (Fig. 1).
+    pub fn key(&self) -> Vec<u8> {
+        KeyBuf::new().push_u64(self.source.0).push_i64(self.begin).build()
+    }
+
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.blob.len() + 32);
+        out.push(T_RTS);
+        varint::write_u64(&mut out, self.source.0);
+        varint::write_i64(&mut out, self.begin);
+        varint::write_i64(&mut out, self.interval);
+        varint::write_u64(&mut out, self.count as u64);
+        out.extend_from_slice(&self.blob.bytes);
+        out
+    }
+}
+
+impl IrtsBatch {
+    pub fn key(&self) -> Vec<u8> {
+        KeyBuf::new().push_u64(self.source.0).push_i64(self.begin).build()
+    }
+
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.blob.len() + self.timestamps.len() + 32);
+        out.push(T_IRTS);
+        varint::write_u64(&mut out, self.source.0);
+        let ts_block = delta::encode_timestamps(&self.timestamps);
+        out.extend_from_slice(&ts_block);
+        out.extend_from_slice(&self.blob.bytes);
+        out
+    }
+}
+
+impl MgBatch {
+    pub fn key(&self) -> Vec<u8> {
+        KeyBuf::new().push_u32(self.group.0).push_i64(self.begin).build()
+    }
+
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.blob.len() + self.timestamps.len() * 2 + 32);
+        out.push(T_MG);
+        varint::write_u64(&mut out, self.group.0 as u64);
+        varint::write_u64(&mut out, self.ids.len() as u64);
+        // Source ids of consecutive points are delta-coded: grouped
+        // low-frequency sources report in near-id-order sweeps, so deltas
+        // are small — this is the "data grouping compresses ids" effect.
+        let mut prev = 0i64;
+        for id in &self.ids {
+            varint::write_i64(&mut out, id.0 as i64 - prev);
+            prev = id.0 as i64;
+        }
+        let ts_block = delta::encode_timestamps(&self.timestamps);
+        out.extend_from_slice(&ts_block);
+        out.extend_from_slice(&self.blob.bytes);
+        out
+    }
+}
+
+/// Any batch record, as read back from a heap file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Batch {
+    Rts(RtsBatch),
+    Irts(IrtsBatch),
+    Mg(MgBatch),
+}
+
+impl Batch {
+    /// Deserialize a heap payload.
+    pub fn deserialize(buf: &[u8]) -> Result<Batch> {
+        let tag = *buf.first().ok_or_else(|| OdhError::Corrupt("empty batch record".into()))?;
+        let mut pos = 1usize;
+        match tag {
+            T_RTS => {
+                let source = SourceId(varint::read_u64(buf, &mut pos)?);
+                let begin = varint::read_i64(buf, &mut pos)?;
+                let interval = varint::read_i64(buf, &mut pos)?;
+                let count = varint::read_u64(buf, &mut pos)? as u32;
+                let blob = ValueBlob { bytes: buf[pos..].to_vec() };
+                Ok(Batch::Rts(RtsBatch { source, begin, interval, count, blob }))
+            }
+            T_IRTS => {
+                let source = SourceId(varint::read_u64(buf, &mut pos)?);
+                let timestamps = delta::decode_timestamps_at(buf, &mut pos)?;
+                let (begin, end) = bounds(&timestamps)?;
+                let blob = ValueBlob { bytes: buf[pos..].to_vec() };
+                Ok(Batch::Irts(IrtsBatch { source, begin, end, timestamps, blob }))
+            }
+            T_MG => {
+                let group = GroupId(varint::read_u64(buf, &mut pos)? as u32);
+                let n = varint::read_u64(buf, &mut pos)? as usize;
+                let mut ids = Vec::with_capacity(n);
+                let mut prev = 0i64;
+                for _ in 0..n {
+                    prev += varint::read_i64(buf, &mut pos)?;
+                    ids.push(SourceId(prev as u64));
+                }
+                let timestamps = delta::decode_timestamps_at(buf, &mut pos)?;
+                if timestamps.len() != n {
+                    return Err(OdhError::Corrupt(format!(
+                        "MG record: {n} ids but {} timestamps",
+                        timestamps.len()
+                    )));
+                }
+                let (begin, end) = bounds(&timestamps)?;
+                let blob = ValueBlob { bytes: buf[pos..].to_vec() };
+                Ok(Batch::Mg(MgBatch { group, begin, end, ids, timestamps, blob }))
+            }
+            other => Err(OdhError::Corrupt(format!("unknown batch tag {other}"))),
+        }
+    }
+
+    /// Time coverage `[begin, end]` of this batch.
+    pub fn time_range(&self) -> (i64, i64) {
+        match self {
+            Batch::Rts(b) => (b.begin, b.end()),
+            Batch::Irts(b) => (b.begin, b.end),
+            Batch::Mg(b) => (b.begin, b.end),
+        }
+    }
+
+    pub fn n_points(&self) -> usize {
+        match self {
+            Batch::Rts(b) => b.count as usize,
+            Batch::Irts(b) => b.timestamps.len(),
+            Batch::Mg(b) => b.timestamps.len(),
+        }
+    }
+
+    pub fn blob(&self) -> &ValueBlob {
+        match self {
+            Batch::Rts(b) => &b.blob,
+            Batch::Irts(b) => &b.blob,
+            Batch::Mg(b) => &b.blob,
+        }
+    }
+}
+
+fn bounds(ts: &[i64]) -> Result<(i64, i64)> {
+    if ts.is_empty() {
+        return Err(OdhError::Corrupt("batch with zero timestamps".into()));
+    }
+    Ok((ts[0], *ts.last().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odh_compress::column::Policy;
+
+    fn blob_for(ts: &[i64], tags: usize) -> ValueBlob {
+        let cols: Vec<Vec<Option<f64>>> = (0..tags)
+            .map(|c| ts.iter().map(|&t| Some(t as f64 * 0.001 + c as f64)).collect())
+            .collect();
+        ValueBlob::encode(ts, &cols, Policy::Lossless)
+    }
+
+    #[test]
+    fn rts_round_trip() {
+        let ts: Vec<i64> = (0..50).map(|i| 1_000_000 + i * 20_000).collect();
+        let b = RtsBatch {
+            source: SourceId(42),
+            begin: ts[0],
+            interval: 20_000,
+            count: 50,
+            blob: blob_for(&ts, 3),
+        };
+        assert_eq!(b.timestamps(), ts);
+        assert_eq!(b.end(), *ts.last().unwrap());
+        let back = Batch::deserialize(&b.serialize()).unwrap();
+        assert_eq!(back, Batch::Rts(b.clone()));
+        assert_eq!(back.time_range(), (b.begin, b.end()));
+        assert_eq!(back.n_points(), 50);
+    }
+
+    #[test]
+    fn irts_round_trip() {
+        let ts = vec![10i64, 17, 40, 41, 1000];
+        let b = IrtsBatch {
+            source: SourceId(7),
+            begin: 10,
+            end: 1000,
+            timestamps: ts.clone(),
+            blob: blob_for(&ts, 2),
+        };
+        let back = Batch::deserialize(&b.serialize()).unwrap();
+        assert_eq!(back, Batch::Irts(b));
+    }
+
+    #[test]
+    fn mg_round_trip() {
+        let ts = vec![100i64, 100, 105, 110];
+        let b = MgBatch {
+            group: GroupId(3),
+            begin: 100,
+            end: 110,
+            ids: vec![SourceId(900), SourceId(901), SourceId(7), SourceId(902)],
+            timestamps: ts.clone(),
+            blob: blob_for(&ts, 4),
+        };
+        let back = Batch::deserialize(&b.serialize()).unwrap();
+        assert_eq!(back, Batch::Mg(b));
+    }
+
+    #[test]
+    fn keys_order_by_id_then_time() {
+        let mk = |src, begin| RtsBatch {
+            source: SourceId(src),
+            begin,
+            interval: 1,
+            count: 1,
+            blob: blob_for(&[begin], 1),
+        };
+        assert!(mk(1, 500).key() < mk(2, 0).key());
+        assert!(mk(2, 0).key() < mk(2, 1).key());
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(Batch::deserialize(&[]).is_err());
+        assert!(Batch::deserialize(&[99, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn single_point_rts_end_is_begin() {
+        let b = RtsBatch {
+            source: SourceId(1),
+            begin: 77,
+            interval: 1000,
+            count: 1,
+            blob: blob_for(&[77], 1),
+        };
+        assert_eq!(b.end(), 77);
+    }
+}

@@ -1,0 +1,190 @@
+//! Ingest buffers — the not-yet-sealed tail of each time series.
+//!
+//! Points accumulate here until `b` of them form a batch (per source for
+//! RTS/IRTS, per group for MG). The paper's query component "adopts a
+//! 'dirty read' isolation level to access uncommitted rows from concurrent
+//! insertions": scans read these buffers directly, so freshly ingested
+//! points are visible before their batch is sealed.
+
+use odh_types::SourceId;
+
+/// Row-accumulating buffer for one source (RTS/IRTS paths).
+#[derive(Debug, Clone)]
+pub struct SourceBuffer {
+    pub ts: Vec<i64>,
+    /// `cols[tag][row]`.
+    pub cols: Vec<Vec<Option<f64>>>,
+}
+
+impl SourceBuffer {
+    pub fn new(tags: usize, capacity: usize) -> SourceBuffer {
+        // Cap the eager reservation: with tens of thousands of slow
+        // sources, full-batch preallocation would burn hundreds of MB
+        // before a single batch seals.
+        let cap = capacity.min(64);
+        SourceBuffer {
+            ts: Vec::with_capacity(cap),
+            cols: (0..tags).map(|_| Vec::with_capacity(cap)).collect(),
+        }
+    }
+
+    pub fn push(&mut self, ts: i64, values: &[Option<f64>]) {
+        debug_assert_eq!(values.len(), self.cols.len());
+        self.ts.push(ts);
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(*v);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Take the contents, leaving an empty buffer with the same shape.
+    pub fn take(&mut self) -> (Vec<i64>, Vec<Vec<Option<f64>>>) {
+        let ts = std::mem::take(&mut self.ts);
+        let cols = self.cols.iter_mut().map(std::mem::take).collect();
+        (ts, cols)
+    }
+
+    /// Rows with `t1 <= ts <= t2`, projected to `tags`, for dirty reads.
+    pub fn rows_in_range<'a>(
+        &'a self,
+        t1: i64,
+        t2: i64,
+        tags: &'a [usize],
+    ) -> impl Iterator<Item = (i64, Vec<Option<f64>>)> + 'a {
+        self.ts.iter().enumerate().filter_map(move |(row, &t)| {
+            if t < t1 || t > t2 {
+                return None;
+            }
+            Some((t, tags.iter().map(|&tag| self.cols[tag][row]).collect()))
+        })
+    }
+}
+
+/// Row-accumulating buffer for one Mixed-Grouping group: rows from many
+/// sources interleaved in arrival (≈ timestamp) order.
+#[derive(Debug, Clone)]
+pub struct MgBuffer {
+    pub ts: Vec<i64>,
+    pub ids: Vec<SourceId>,
+    pub cols: Vec<Vec<Option<f64>>>,
+}
+
+impl MgBuffer {
+    pub fn new(tags: usize, capacity: usize) -> MgBuffer {
+        let cap = capacity.min(64);
+        MgBuffer {
+            ts: Vec::with_capacity(cap),
+            ids: Vec::with_capacity(cap),
+            cols: (0..tags).map(|_| Vec::with_capacity(cap)).collect(),
+        }
+    }
+
+    pub fn push(&mut self, source: SourceId, ts: i64, values: &[Option<f64>]) {
+        debug_assert_eq!(values.len(), self.cols.len());
+        self.ts.push(ts);
+        self.ids.push(source);
+        for (col, v) in self.cols.iter_mut().zip(values) {
+            col.push(*v);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    pub fn take(&mut self) -> (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>) {
+        (
+            std::mem::take(&mut self.ts),
+            std::mem::take(&mut self.ids),
+            self.cols.iter_mut().map(std::mem::take).collect(),
+        )
+    }
+
+    /// Rows with `t1 <= ts <= t2` and (optionally) a specific source.
+    pub fn rows_in_range<'a>(
+        &'a self,
+        t1: i64,
+        t2: i64,
+        tags: &'a [usize],
+        source: Option<SourceId>,
+    ) -> impl Iterator<Item = (SourceId, i64, Vec<Option<f64>>)> + 'a {
+        self.ts.iter().enumerate().filter_map(move |(row, &t)| {
+            if t < t1 || t > t2 {
+                return None;
+            }
+            let id = self.ids[row];
+            if let Some(want) = source {
+                if id != want {
+                    return None;
+                }
+            }
+            Some((id, t, tags.iter().map(|&tag| self.cols[tag][row]).collect()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_buffer_accumulates_and_takes() {
+        let mut b = SourceBuffer::new(2, 8);
+        b.push(10, &[Some(1.0), None]);
+        b.push(20, &[Some(2.0), Some(9.0)]);
+        assert_eq!(b.len(), 2);
+        let (ts, cols) = b.take();
+        assert_eq!(ts, vec![10, 20]);
+        assert_eq!(cols[0], vec![Some(1.0), Some(2.0)]);
+        assert_eq!(cols[1], vec![None, Some(9.0)]);
+        assert!(b.is_empty());
+        assert_eq!(b.cols.len(), 2, "shape preserved after take");
+        b.push(30, &[None, None]);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn source_buffer_range_projection() {
+        let mut b = SourceBuffer::new(3, 8);
+        for i in 0..10 {
+            b.push(i * 10, &[Some(i as f64), Some(-(i as f64)), None]);
+        }
+        let rows: Vec<_> = b.rows_in_range(25, 55, &[1]).collect();
+        assert_eq!(rows.len(), 3); // 30, 40, 50
+        assert_eq!(rows[0], (30, vec![Some(-3.0)]));
+    }
+
+    #[test]
+    fn mg_buffer_filters_by_source() {
+        let mut b = MgBuffer::new(1, 8);
+        b.push(SourceId(1), 10, &[Some(1.0)]);
+        b.push(SourceId(2), 11, &[Some(2.0)]);
+        b.push(SourceId(1), 12, &[Some(3.0)]);
+        let all: Vec<_> = b.rows_in_range(0, 100, &[0], None).collect();
+        assert_eq!(all.len(), 3);
+        let one: Vec<_> = b.rows_in_range(0, 100, &[0], Some(SourceId(1))).collect();
+        assert_eq!(one.len(), 2);
+        assert_eq!(one[1].2, vec![Some(3.0)]);
+    }
+
+    #[test]
+    fn mg_take_clears_ids_too() {
+        let mut b = MgBuffer::new(1, 4);
+        b.push(SourceId(5), 1, &[None]);
+        let (ts, ids, cols) = b.take();
+        assert_eq!((ts.len(), ids.len(), cols[0].len()), (1, 1, 1));
+        assert!(b.is_empty());
+        assert!(b.ids.is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Checkpoint/recovery of an [`OdhTable`].
+//!
+//! A snapshot is the table's *metadata* — container page lists, B-tree
+//! roots, the source registry, configuration, counters — serialized by the
+//! server's checkpoint into its own pager. The page data itself is already
+//! on the disk once the pool is flushed, so recovery is: reopen the disk,
+//! deserialize the snapshot, re-attach the structures. Open ingest buffers
+//! are *not* part of a snapshot (the paper's insert path is explicitly
+//! non-transactional); [`OdhTable::snapshot`] therefore requires a flush
+//! first and refuses to run with unsealed points.
+
+use crate::container::{Container, ContainerSnapshot};
+use crate::stats::{MeterIoHook, StatsSnapshot, StorageStats};
+use crate::table::{OdhTable, TableConfig};
+use odh_pager::pool::BufferPool;
+use odh_sim::ResourceMeter;
+use odh_types::{OdhError, Result, SourceClass};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Recovery image of one operational table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    pub config: TableConfigSnapshot,
+    pub sources: Vec<(u64, SourceClass)>,
+    pub rts: ContainerSnapshot,
+    pub irts: ContainerSnapshot,
+    pub mg: ContainerSnapshot,
+    pub reorganized: bool,
+    pub stats: StatsSnapshot,
+}
+
+/// Serializable form of [`TableConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableConfigSnapshot {
+    pub schema: odh_types::SchemaType,
+    pub batch_size: usize,
+    pub policy: odh_compress::column::Policy,
+    pub mg_group_size: u64,
+}
+
+impl From<&TableConfig> for TableConfigSnapshot {
+    fn from(c: &TableConfig) -> Self {
+        TableConfigSnapshot {
+            schema: c.schema.clone(),
+            batch_size: c.batch_size,
+            policy: c.policy,
+            mg_group_size: c.mg_group_size,
+        }
+    }
+}
+
+impl From<&TableConfigSnapshot> for TableConfig {
+    fn from(s: &TableConfigSnapshot) -> Self {
+        TableConfig::new(s.schema.clone())
+            .with_batch_size(s.batch_size)
+            .with_policy(s.policy)
+            .with_mg_group_size(s.mg_group_size)
+    }
+}
+
+impl OdhTable {
+    /// Capture the table's recovery image. Fails if any ingest buffer
+    /// still holds unsealed points — call [`OdhTable::flush`] first.
+    pub fn snapshot(&self) -> Result<TableSnapshot> {
+        if self.buffered_points() > 0 {
+            return Err(OdhError::Config(
+                "snapshot with unsealed ingest buffers; flush first".into(),
+            ));
+        }
+        let mut sources: Vec<(u64, SourceClass)> =
+            self.sources.read().iter().map(|(&id, m)| (id, m.class)).collect();
+        sources.sort_unstable_by_key(|(id, _)| *id);
+        Ok(TableSnapshot {
+            config: TableConfigSnapshot::from(self.config()),
+            sources,
+            rts: self.rts.snapshot(),
+            irts: self.irts.snapshot(),
+            mg: self.mg.read().snapshot(),
+            reorganized: self.reorganized.load(std::sync::atomic::Ordering::Acquire),
+            stats: self.stats.snapshot(),
+        })
+    }
+
+    /// Re-attach a table from its recovery image over a reopened pool.
+    pub fn restore(
+        pool: Arc<BufferPool>,
+        meter: Arc<ResourceMeter>,
+        snap: &TableSnapshot,
+    ) -> Result<OdhTable> {
+        pool.set_hook(Arc::new(MeterIoHook(meter.clone())));
+        let table = OdhTable::from_parts(
+            TableConfig::from(&snap.config),
+            pool.clone(),
+            meter,
+            Container::restore(pool.clone(), &snap.rts),
+            Container::restore(pool.clone(), &snap.irts),
+            Container::restore(pool, &snap.mg),
+            snap.reorganized,
+            StorageStats::from_snapshot(&snap.stats),
+        );
+        for (id, class) in &snap.sources {
+            table.register_source(odh_types::SourceId(*id), *class)?;
+        }
+        Ok(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odh_pager::disk::FileDisk;
+    use odh_types::{Duration, Record, SchemaType, SourceId, Timestamp};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("odh-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_over_a_real_file() {
+        let path = tmp("table.pages");
+        let snap_json;
+        {
+            let disk = Arc::new(FileDisk::create(&path).unwrap());
+            let pool = BufferPool::new(disk, 256);
+            let t = OdhTable::create(
+                pool,
+                ResourceMeter::unmetered(),
+                TableConfig::new(SchemaType::new("m", ["a", "b"])).with_batch_size(16),
+            )
+            .unwrap();
+            for id in 0..6u64 {
+                t.register_source(SourceId(id), SourceClass::regular_low(Duration::from_minutes(15)))
+                    .unwrap();
+            }
+            for i in 0..40i64 {
+                for id in 0..6u64 {
+                    t.put(&Record::dense(
+                        SourceId(id),
+                        Timestamp(i * 900_000_000),
+                        [i as f64, id as f64],
+                    ))
+                    .unwrap();
+                }
+            }
+            t.flush().unwrap();
+            snap_json = serde_json::to_string(&t.snapshot().unwrap()).unwrap();
+        }
+        // Reopen the file fresh, restore, and query.
+        let disk = Arc::new(FileDisk::open(&path).unwrap());
+        let pool = BufferPool::new(disk, 256);
+        let snap: TableSnapshot = serde_json::from_str(&snap_json).unwrap();
+        let t = OdhTable::restore(pool, ResourceMeter::unmetered(), &snap).unwrap();
+        assert_eq!(t.source_count(), 6);
+        assert_eq!(t.stats().snapshot().points_ingested, 480);
+        let pts = t
+            .historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
+            .unwrap();
+        assert_eq!(pts.len(), 40);
+        assert_eq!(pts[7].values, vec![Some(7.0), Some(3.0)]);
+        // And it accepts new writes.
+        t.put(&Record::dense(SourceId(3), Timestamp(99 * 900_000_000), [9.0, 9.0])).unwrap();
+        t.flush().unwrap();
+        let pts = t
+            .historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0])
+            .unwrap();
+        assert_eq!(pts.len(), 41);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_refuses_unsealed_buffers() {
+        let pool = BufferPool::new(Arc::new(odh_pager::disk::MemDisk::new()), 64);
+        let t = OdhTable::create(
+            pool,
+            ResourceMeter::unmetered(),
+            TableConfig::new(SchemaType::new("m", ["a"])).with_batch_size(1000),
+        )
+        .unwrap();
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        t.put(&Record::dense(SourceId(1), Timestamp(1), [1.0])).unwrap();
+        assert_eq!(t.snapshot().err().unwrap().kind(), "config");
+        t.flush().unwrap();
+        assert!(t.snapshot().is_ok());
+    }
+
+    #[test]
+    fn config_snapshot_round_trips() {
+        let cfg = TableConfig::new(SchemaType::new("x", ["t1", "t2"]))
+            .with_batch_size(77)
+            .with_policy(odh_compress::column::Policy::Lossy { max_dev: 0.25 })
+            .with_mg_group_size(123);
+        let snap = TableConfigSnapshot::from(&cfg);
+        let back = TableConfig::from(&snap);
+        assert_eq!(back.schema, cfg.schema);
+        assert_eq!(back.batch_size, 77);
+        assert_eq!(back.mg_group_size, 123);
+    }
+}

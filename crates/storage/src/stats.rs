@@ -1,0 +1,191 @@
+//! Storage statistics and the sim-meter I/O bridge.
+
+use odh_pager::pool::IoHook;
+use odh_sim::ResourceMeter;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters an [`crate::OdhTable`] maintains.
+#[derive(Debug, Default)]
+pub struct StorageStats {
+    /// Operational data points accepted by `put`.
+    pub points_ingested: AtomicU64,
+    /// Operational records accepted by `put`.
+    pub records_ingested: AtomicU64,
+    /// Smallest timestamp ingested (µs; i64::MAX when empty).
+    pub min_ts: AtomicI64,
+    /// Largest timestamp ingested (µs; i64::MIN when empty).
+    pub max_ts: AtomicI64,
+    /// Batch records sealed and written.
+    pub batches_written: AtomicU64,
+    /// Sum of ValueBlob bytes written.
+    pub blob_bytes: AtomicU64,
+    /// Sum of raw (8 bytes × non-null values) payload represented.
+    pub raw_bytes: AtomicU64,
+    /// Points returned by scans.
+    pub points_scanned: AtomicU64,
+    /// Batches rewritten by the reorganizer.
+    pub batches_reorganized: AtomicU64,
+    /// Batches skipped without blob decode thanks to tag zone bounds.
+    pub batches_zone_pruned: AtomicU64,
+}
+
+/// Snapshot of [`StorageStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    pub points_ingested: u64,
+    pub records_ingested: u64,
+    pub min_ts: i64,
+    pub max_ts: i64,
+    pub batches_written: u64,
+    pub blob_bytes: u64,
+    pub raw_bytes: u64,
+    pub points_scanned: u64,
+    pub batches_reorganized: u64,
+    pub batches_zone_pruned: u64,
+}
+
+impl Default for StatsSnapshot {
+    fn default() -> Self {
+        StatsSnapshot {
+            points_ingested: 0,
+            records_ingested: 0,
+            min_ts: i64::MAX,
+            max_ts: i64::MIN,
+            batches_written: 0,
+            blob_bytes: 0,
+            raw_bytes: 0,
+            points_scanned: 0,
+            batches_reorganized: 0,
+            batches_zone_pruned: 0,
+        }
+    }
+}
+
+impl StorageStats {
+    /// Build stats pre-loaded from a recovered snapshot.
+    pub fn from_snapshot(s: &StatsSnapshot) -> StorageStats {
+        let st = StorageStats::new();
+        st.points_ingested.store(s.points_ingested, Ordering::Relaxed);
+        st.records_ingested.store(s.records_ingested, Ordering::Relaxed);
+        st.min_ts.store(s.min_ts, Ordering::Relaxed);
+        st.max_ts.store(s.max_ts, Ordering::Relaxed);
+        st.batches_written.store(s.batches_written, Ordering::Relaxed);
+        st.blob_bytes.store(s.blob_bytes, Ordering::Relaxed);
+        st.raw_bytes.store(s.raw_bytes, Ordering::Relaxed);
+        st
+    }
+
+    /// Empty stats with the min/max sentinels in place.
+    pub fn new() -> StorageStats {
+        StorageStats {
+            min_ts: AtomicI64::new(i64::MAX),
+            max_ts: AtomicI64::new(i64::MIN),
+            ..Default::default()
+        }
+    }
+
+    /// Record one accepted operational record.
+    pub fn note_put(&self, ts_us: i64, points: u64) {
+        self.points_ingested.fetch_add(points, Ordering::Relaxed);
+        self.records_ingested.fetch_add(1, Ordering::Relaxed);
+        self.min_ts.fetch_min(ts_us, Ordering::Relaxed);
+        self.max_ts.fetch_max(ts_us, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            points_ingested: self.points_ingested.load(Ordering::Relaxed),
+            records_ingested: self.records_ingested.load(Ordering::Relaxed),
+            min_ts: self.min_ts.load(Ordering::Relaxed),
+            max_ts: self.max_ts.load(Ordering::Relaxed),
+            batches_written: self.batches_written.load(Ordering::Relaxed),
+            blob_bytes: self.blob_bytes.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+            points_scanned: self.points_scanned.load(Ordering::Relaxed),
+            batches_reorganized: self.batches_reorganized.load(Ordering::Relaxed),
+            batches_zone_pruned: self.batches_zone_pruned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Blob-level compression ratio achieved so far.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.blob_bytes == 0 {
+            return 1.0;
+        }
+        self.raw_bytes as f64 / self.blob_bytes as f64
+    }
+}
+
+/// Tracks the largest `(end - begin)` span of any batch in a container so
+/// range scans know how far left of `t1` a covering batch may begin.
+#[derive(Debug, Default)]
+pub struct MaxSpan(AtomicI64);
+
+impl MaxSpan {
+    pub fn note(&self, span: i64) {
+        self.0.fetch_max(span, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Buffer-pool hook that forwards physical page traffic into the resource
+/// meter (disk model + per-page CPU cost).
+pub struct MeterIoHook(pub Arc<ResourceMeter>);
+
+impl IoHook for MeterIoHook {
+    fn physical_read(&self, bytes: usize) {
+        self.0.disk_random(bytes);
+        self.0.cpu(self.0.costs.page_read);
+    }
+
+    fn physical_write(&self, bytes: usize) {
+        self.0.disk_random(bytes);
+        self.0.cpu(self.0.costs.page_write);
+    }
+
+    fn logical_access(&self) {
+        self.0.cpu(self.0.costs.buffer_hit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compression_ratio() {
+        let s = StorageStats::default();
+        s.raw_bytes.store(1000, Ordering::Relaxed);
+        s.blob_bytes.store(100, Ordering::Relaxed);
+        assert_eq!(s.snapshot().compression_ratio(), 10.0);
+        assert_eq!(StatsSnapshot::default().compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn max_span_is_monotone() {
+        let m = MaxSpan::default();
+        m.note(100);
+        m.note(50);
+        assert_eq!(m.get(), 100);
+        m.note(200);
+        assert_eq!(m.get(), 200);
+    }
+
+    #[test]
+    fn meter_hook_charges() {
+        let meter = ResourceMeter::new(4);
+        meter.set_now(0);
+        let hook = MeterIoHook(meter.clone());
+        hook.physical_write(8192);
+        hook.physical_read(8192);
+        hook.logical_access();
+        assert_eq!(meter.disk_report().ops, 2);
+        assert!(meter.cpu_report().total_units > 0.0);
+    }
+}

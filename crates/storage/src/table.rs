@@ -1,0 +1,974 @@
+//! [`OdhTable`] — one schema type's operational store.
+//!
+//! The facade ties together structure selection (Table 1), ingest buffers,
+//! the three containers, and the two canonical access paths the paper
+//! optimizes for: **historical queries** (one source, long time window) and
+//! **slice queries** (many sources, short time window). Scans merge sealed
+//! batches with open ingest buffers — the "dirty read" isolation of §3.
+
+use crate::batch::{Batch, IrtsBatch, MgBatch, RtsBatch};
+use crate::blob::ValueBlob;
+use crate::buffer::{MgBuffer, SourceBuffer};
+use crate::container::Container;
+use crate::select::{historical_structure, ingestion_structure, Structure};
+use crate::stats::{MeterIoHook, StorageStats};
+use odh_btree::KeyBuf;
+use odh_compress::column::Policy;
+use odh_pager::pool::BufferPool;
+use odh_sim::ResourceMeter;
+use odh_types::{
+    GroupId, OdhError, Record, Result, SchemaType, SourceClass, SourceId, Timestamp,
+};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+
+/// Drained per-source buffer: `(timestamps, cols[tag][row])`.
+type DrainedRows = (Vec<i64>, Vec<Vec<Option<f64>>>);
+/// Drained MG buffer: `(timestamps, source ids, cols[tag][row])`.
+type DrainedMgRows = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>);
+use std::sync::Arc;
+
+/// Configuration of one operational table.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    pub schema: SchemaType,
+    /// `b`: points per batch ("the batch size set by the user", §2).
+    pub batch_size: usize,
+    /// Compression policy for tag columns.
+    pub policy: Policy,
+    /// Sources per Mixed-Grouping group (contiguous id blocks — meters in
+    /// one feeder area report together).
+    pub mg_group_size: u64,
+}
+
+impl TableConfig {
+    pub fn new(schema: SchemaType) -> TableConfig {
+        TableConfig { schema, batch_size: 256, policy: Policy::Lossless, mg_group_size: 1000 }
+    }
+
+    pub fn with_batch_size(mut self, b: usize) -> TableConfig {
+        assert!(b >= 1);
+        self.batch_size = b;
+        self
+    }
+
+    pub fn with_policy(mut self, p: Policy) -> TableConfig {
+        self.policy = p;
+        self
+    }
+
+    pub fn with_mg_group_size(mut self, g: u64) -> TableConfig {
+        assert!(g >= 1);
+        self.mg_group_size = g;
+        self
+    }
+}
+
+/// One decoded operational point returned by a scan, with `values`
+/// parallel to the scan's requested tag indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanPoint {
+    pub source: SourceId,
+    pub ts: Timestamp,
+    pub values: Vec<Option<f64>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SourceMeta {
+    pub class: SourceClass,
+    pub ingest: Structure,
+    pub group: GroupId,
+}
+
+/// The operational store for one schema type.
+pub struct OdhTable {
+    cfg: TableConfig,
+    pool: Arc<BufferPool>,
+    meter: Arc<ResourceMeter>,
+    pub(crate) rts: Container,
+    pub(crate) irts: Container,
+    pub(crate) mg: RwLock<Arc<Container>>,
+    pub(crate) sources: RwLock<HashMap<u64, SourceMeta>>,
+    buffers: Mutex<HashMap<u64, SourceBuffer>>,
+    mg_buffers: Mutex<HashMap<u32, MgBuffer>>,
+    /// Set once [`OdhTable::reorganize`] has run: slice scans must then also
+    /// consult the per-source containers for MG sources.
+    pub(crate) reorganized: std::sync::atomic::AtomicBool,
+    pub(crate) stats: StorageStats,
+}
+
+impl OdhTable {
+    pub fn create(
+        pool: Arc<BufferPool>,
+        meter: Arc<ResourceMeter>,
+        cfg: TableConfig,
+    ) -> Result<OdhTable> {
+        pool.set_hook(Arc::new(MeterIoHook(meter.clone())));
+        Ok(OdhTable {
+            rts: Container::create(pool.clone(), Structure::Rts)?,
+            irts: Container::create(pool.clone(), Structure::Irts)?,
+            mg: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Mg)?)),
+            sources: RwLock::new(HashMap::new()),
+            buffers: Mutex::new(HashMap::new()),
+            mg_buffers: Mutex::new(HashMap::new()),
+            reorganized: std::sync::atomic::AtomicBool::new(false),
+            stats: StorageStats::new(),
+            cfg,
+            pool,
+            meter,
+        })
+    }
+
+    /// Assemble a table from recovered parts (see `crate::snapshot`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        cfg: TableConfig,
+        pool: Arc<BufferPool>,
+        meter: Arc<ResourceMeter>,
+        rts: Container,
+        irts: Container,
+        mg: Container,
+        reorganized: bool,
+        stats: StorageStats,
+    ) -> OdhTable {
+        OdhTable {
+            rts,
+            irts,
+            mg: RwLock::new(Arc::new(mg)),
+            sources: RwLock::new(HashMap::new()),
+            buffers: Mutex::new(HashMap::new()),
+            mg_buffers: Mutex::new(HashMap::new()),
+            reorganized: std::sync::atomic::AtomicBool::new(reorganized),
+            stats,
+            cfg,
+            pool,
+            meter,
+        }
+    }
+
+    /// Points currently sitting in unsealed ingest buffers.
+    pub fn buffered_points(&self) -> u64 {
+        let a: usize = self.buffers.lock().values().map(|b| b.len()).sum();
+        let b: usize = self.mg_buffers.lock().values().map(|b| b.len()).sum();
+        (a + b) as u64
+    }
+
+    pub fn config(&self) -> &TableConfig {
+        &self.cfg
+    }
+
+    pub fn schema(&self) -> &SchemaType {
+        &self.cfg.schema
+    }
+
+    pub fn stats(&self) -> &StorageStats {
+        &self.stats
+    }
+
+    pub fn meter(&self) -> &Arc<ResourceMeter> {
+        &self.meter
+    }
+
+    pub(crate) fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Declare a data source (the configuration component's metadata).
+    pub fn register_source(&self, id: SourceId, class: SourceClass) -> Result<()> {
+        let mut g = self.sources.write();
+        if g.contains_key(&id.0) {
+            return Err(OdhError::Config(format!("{id} already registered")));
+        }
+        let meta = SourceMeta {
+            class,
+            ingest: ingestion_structure(class),
+            group: GroupId((id.0 / self.cfg.mg_group_size) as u32),
+        };
+        g.insert(id.0, meta);
+        Ok(())
+    }
+
+    pub fn source_count(&self) -> usize {
+        self.sources.read().len()
+    }
+
+    pub fn source_class(&self, id: SourceId) -> Option<SourceClass> {
+        self.sources.read().get(&id.0).map(|m| m.class)
+    }
+
+    /// All registered source ids (ascending).
+    pub fn source_ids(&self) -> Vec<SourceId> {
+        let mut v: Vec<SourceId> = self.sources.read().keys().map(|&k| SourceId(k)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Ingest one operational record.
+    pub fn put(&self, record: &Record) -> Result<()> {
+        self.cfg.schema.check_arity(record.values.len())?;
+        let meta = *self
+            .sources
+            .read()
+            .get(&record.source.0)
+            .ok_or_else(|| OdhError::NotFound(format!("{} not registered", record.source)))?;
+        self.meter.cpu(self.meter.costs.point_encode * record.values.len() as f64);
+        match meta.ingest {
+            Structure::Rts | Structure::Irts => {
+                let mut g = self.buffers.lock();
+                let buf = g.entry(record.source.0).or_insert_with(|| {
+                    SourceBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size)
+                });
+                buf.push(record.ts.micros(), &record.values);
+                if buf.len() >= self.cfg.batch_size {
+                    let (ts, cols) = buf.take();
+                    drop(g);
+                    self.seal_source_batch(record.source, meta, ts, cols)?;
+                }
+            }
+            Structure::Mg => {
+                let mut g = self.mg_buffers.lock();
+                let buf = g.entry(meta.group.0).or_insert_with(|| {
+                    MgBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size)
+                });
+                buf.push(record.source, record.ts.micros(), &record.values);
+                if buf.len() >= self.cfg.batch_size {
+                    let (ts, ids, cols) = buf.take();
+                    drop(g);
+                    self.seal_mg_batch(meta.group, ts, ids, cols)?;
+                }
+            }
+        }
+        self.stats.note_put(record.ts.micros(), record.data_points() as u64);
+        Ok(())
+    }
+
+    /// Seal every open buffer into batches (end of ingest, or checkpoints).
+    pub fn flush(&self) -> Result<()> {
+        let drained: Vec<(u64, DrainedRows)> = {
+            let mut g = self.buffers.lock();
+            g.iter_mut().filter(|(_, b)| !b.is_empty()).map(|(id, b)| (*id, b.take())).collect()
+        };
+        for (id, (ts, cols)) in drained {
+            let meta = *self.sources.read().get(&id).unwrap();
+            self.seal_source_batch(SourceId(id), meta, ts, cols)?;
+        }
+        let drained_mg: Vec<(u32, DrainedMgRows)> = {
+            let mut g = self.mg_buffers.lock();
+            g.iter_mut().filter(|(_, b)| !b.is_empty()).map(|(gid, b)| (*gid, b.take())).collect()
+        };
+        for (gid, (ts, ids, cols)) in drained_mg {
+            self.seal_mg_batch(GroupId(gid), ts, ids, cols)?;
+        }
+        self.pool.flush_all()
+    }
+
+    /// Seal a per-source buffer into RTS (splitting at interval breaks) or
+    /// IRTS batches.
+    fn seal_source_batch(
+        &self,
+        source: SourceId,
+        meta: SourceMeta,
+        mut ts: Vec<i64>,
+        mut cols: Vec<Vec<Option<f64>>>,
+    ) -> Result<()> {
+        if ts.is_empty() {
+            return Ok(());
+        }
+        sort_rows(&mut ts, None, &mut cols);
+        match (meta.ingest, meta.class.interval()) {
+            (Structure::Rts, Some(interval)) => {
+                let dt = interval.micros();
+                // Split into maximal runs of exact `dt` spacing; each run is
+                // one RTS batch (timestamps implicit).
+                let mut run_start = 0usize;
+                for i in 1..=ts.len() {
+                    let breaks = i == ts.len() || ts[i] - ts[i - 1] != dt;
+                    if !breaks {
+                        continue;
+                    }
+                    let run_ts = &ts[run_start..i];
+                    let run_cols: Vec<Vec<Option<f64>>> =
+                        cols.iter().map(|c| c[run_start..i].to_vec()).collect();
+                    let blob = ValueBlob::encode(run_ts, &run_cols, self.cfg.policy);
+                    let batch = RtsBatch {
+                        source,
+                        begin: run_ts[0],
+                        interval: dt,
+                        count: run_ts.len() as u32,
+                        blob,
+                    };
+                    self.note_batch(&batch.blob, &run_cols);
+                    let span = batch.end() - batch.begin;
+                    self.charge_batch_write(&self.rts);
+                    self.rts.insert(&batch.key(), &batch.serialize(), span)?;
+                    run_start = i;
+                }
+                Ok(())
+            }
+            _ => {
+                // Irregular (or regular source mis-declared without an
+                // interval): one IRTS batch.
+                let blob = ValueBlob::encode(&ts, &cols, self.cfg.policy);
+                let batch = IrtsBatch {
+                    source,
+                    begin: ts[0],
+                    end: *ts.last().unwrap(),
+                    timestamps: ts,
+                    blob,
+                };
+                self.note_batch(&batch.blob, &cols);
+                let span = batch.end - batch.begin;
+                self.charge_batch_write(&self.irts);
+                self.irts.insert(&batch.key(), &batch.serialize(), span)
+            }
+        }
+    }
+
+    fn seal_mg_batch(
+        &self,
+        group: GroupId,
+        mut ts: Vec<i64>,
+        mut ids: Vec<SourceId>,
+        mut cols: Vec<Vec<Option<f64>>>,
+    ) -> Result<()> {
+        if ts.is_empty() {
+            return Ok(());
+        }
+        sort_rows(&mut ts, Some(&mut ids), &mut cols);
+        let blob = ValueBlob::encode(&ts, &cols, self.cfg.policy);
+        let batch = MgBatch {
+            group,
+            begin: ts[0],
+            end: *ts.last().unwrap(),
+            ids,
+            timestamps: ts,
+            blob,
+        };
+        self.note_batch(&batch.blob, &cols);
+        let span = batch.end - batch.begin;
+        // Hold the generation lock across the insert: the reorganizer swaps
+        // generations under the write lock, so an insert can never land in
+        // an already-drained container (it either completes before the swap
+        // and is drained, or starts after and goes to the fresh one).
+        let mg = self.mg.read();
+        self.charge_batch_write(&mg);
+        mg.insert(&batch.key(), &batch.serialize(), span)
+    }
+
+    fn note_batch(&self, blob: &ValueBlob, cols: &[Vec<Option<f64>>]) {
+        use std::sync::atomic::Ordering::Relaxed;
+        let raw: u64 =
+            cols.iter().map(|c| c.iter().filter(|v| v.is_some()).count() as u64 * 8).sum();
+        self.stats.batches_written.fetch_add(1, Relaxed);
+        self.stats.blob_bytes.fetch_add(blob.len() as u64, Relaxed);
+        self.stats.raw_bytes.fetch_add(raw, Relaxed);
+    }
+
+    fn charge_batch_write(&self, container: &Container) {
+        let c = &self.meter.costs;
+        self.meter.cpu(
+            c.btree_node_visit * container.index_height() as f64 + c.btree_leaf_insert,
+        );
+    }
+
+    /// Historical query: all points of `source` with `t1 <= ts <= t2`,
+    /// projected to `tags`, in time order (Table 1's third column).
+    pub fn historical_scan(
+        &self,
+        source: SourceId,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+    ) -> Result<Vec<ScanPoint>> {
+        self.historical_scan_filtered(source, t1, t2, tags, &[])
+    }
+
+    /// [`OdhTable::historical_scan`] with **tag zone-map pruning**: batches
+    /// whose per-tag zone bounds cannot intersect every `(tag, lo, hi)`
+    /// range are skipped without decoding their blobs — the paper's §6
+    /// future work ("proper indexing to reduce BLOB scanning for queries
+    /// on attribute values"). Rows are still emitted unfiltered (callers
+    /// re-apply exact predicates); pruning only removes batches that can
+    /// contain no match.
+    pub fn historical_scan_filtered(
+        &self,
+        source: SourceId,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+        tag_ranges: &[(usize, f64, f64)],
+    ) -> Result<Vec<ScanPoint>> {
+        let meta = *self
+            .sources
+            .read()
+            .get(&source.0)
+            .ok_or_else(|| OdhError::NotFound(format!("{source} not registered")))?;
+        let (t1, t2) = (t1.micros(), t2.micros());
+        let mut out = Vec::new();
+
+        // Primary per-source container (for low-frequency sources this is
+        // where the reorganizer put the sealed history).
+        let container = match historical_structure(meta.class) {
+            Structure::Rts => &self.rts,
+            _ => &self.irts,
+        };
+        self.scan_source_container(container, source, t1, t2, tags, tag_ranges, &mut out)?;
+        // Low-frequency sources may also have not-yet-reorganized MG data.
+        if meta.ingest == Structure::Mg {
+            let mg = self.mg.read().clone();
+            let filter: HashSet<SourceId> = [source].into_iter().collect();
+            self.scan_mg_container(&mg, meta.group, t1, t2, tags, Some(&filter), tag_ranges, &mut out)?;
+            let g = self.mg_buffers.lock();
+            if let Some(buf) = g.get(&meta.group.0) {
+                for (id, ts, values) in buf.rows_in_range(t1, t2, tags, Some(source)) {
+                    out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
+                }
+            }
+        } else {
+            let g = self.buffers.lock();
+            if let Some(buf) = g.get(&source.0) {
+                for (ts, values) in buf.rows_in_range(t1, t2, tags) {
+                    out.push(ScanPoint { source, ts: Timestamp(ts), values });
+                }
+            }
+        }
+        out.sort_unstable_by_key(|p| p.ts);
+        self.note_scan(&out);
+        Ok(out)
+    }
+
+    /// Slice query: points of many sources within a short window
+    /// (Table 1's second column). `sources`: optional restriction.
+    pub fn slice_scan(
+        &self,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+        sources: Option<&HashSet<SourceId>>,
+    ) -> Result<Vec<ScanPoint>> {
+        self.slice_scan_filtered(t1, t2, tags, sources, &[])
+    }
+
+    /// [`OdhTable::slice_scan`] with tag zone-map pruning (see
+    /// [`OdhTable::historical_scan_filtered`]).
+    pub fn slice_scan_filtered(
+        &self,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+        sources: Option<&HashSet<SourceId>>,
+        tag_ranges: &[(usize, f64, f64)],
+    ) -> Result<Vec<ScanPoint>> {
+        let (t1, t2) = (t1.micros(), t2.micros());
+        let mut out = Vec::new();
+        // Partition registered sources by slice structure.
+        let mut per_source: Vec<SourceId> = Vec::new();
+        let mut mg_groups: HashSet<u32> = HashSet::new();
+        let reorganized = self.reorganized.load(std::sync::atomic::Ordering::Acquire);
+        {
+            let g = self.sources.read();
+            for (&id, meta) in g.iter() {
+                let sid = SourceId(id);
+                if let Some(f) = sources {
+                    if !f.contains(&sid) {
+                        continue;
+                    }
+                }
+                match meta.ingest {
+                    Structure::Mg => {
+                        mg_groups.insert(meta.group.0);
+                        // Reorganized history lives in per-source batches.
+                        if reorganized {
+                            per_source.push(sid);
+                        }
+                    }
+                    _ => per_source.push(sid),
+                }
+            }
+        }
+        per_source.sort_unstable();
+        // Per-source index descents pay off when a few sources carry long
+        // histories (many batch records each — the steady state at paper
+        // scale). When the source population outnumbers the batch records
+        // (early life, scaled runs), one sequential container scan with
+        // time pruning is strictly cheaper than N descents.
+        for container in [&self.rts, &self.irts] {
+            if per_source.is_empty() || container.record_count() == 0 {
+                continue;
+            }
+            if (per_source.len() as u64) > container.record_count() {
+                self.meter.cpu(
+                    self.meter.costs.buffer_hit * container.record_count() as f64,
+                );
+                for batch in container.scan_all()? {
+                    self.emit_batch(&batch, t1, t2, tags, sources, tag_ranges, &mut out)?;
+                }
+            } else {
+                for sid in &per_source {
+                    self.scan_source_container(container, *sid, t1, t2, tags, tag_ranges, &mut out)?;
+                }
+            }
+        }
+        {
+            let g = self.buffers.lock();
+            for sid in &per_source {
+                if let Some(buf) = g.get(&sid.0) {
+                    for (ts, values) in buf.rows_in_range(t1, t2, tags) {
+                        out.push(ScanPoint { source: *sid, ts: Timestamp(ts), values });
+                    }
+                }
+            }
+        }
+        let mg = self.mg.read().clone();
+        let mut groups: Vec<u32> = mg_groups.into_iter().collect();
+        groups.sort_unstable();
+        for gid in groups {
+            self.scan_mg_container(&mg, GroupId(gid), t1, t2, tags, sources, tag_ranges, &mut out)?;
+            let g = self.mg_buffers.lock();
+            if let Some(buf) = g.get(&gid) {
+                for (id, ts, values) in buf.rows_in_range(t1, t2, tags, None) {
+                    if sources.is_none_or(|f| f.contains(&id)) {
+                        out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|p| (p.ts, p.source));
+        self.note_scan(&out);
+        Ok(out)
+    }
+
+    /// Scan one per-source container for `source` over `[t1, t2]`.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_source_container(
+        &self,
+        container: &Container,
+        source: SourceId,
+        t1: i64,
+        t2: i64,
+        tags: &[usize],
+        tag_ranges: &[(usize, f64, f64)],
+        out: &mut Vec<ScanPoint>,
+    ) -> Result<()> {
+        let lo = KeyBuf::new()
+            .push_u64(source.0)
+            .push_i64(t1.saturating_sub(container.max_span()))
+            .build();
+        let hi = KeyBuf::new().push_u64(source.0).push_i64(t2).build();
+        self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
+        for batch in container.range(&lo, &hi)? {
+            self.emit_batch(&batch, t1, t2, tags, None, tag_ranges, out)?;
+        }
+        Ok(())
+    }
+
+    /// Scan the MG container for one group over `[t1, t2]`.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_mg_container(
+        &self,
+        mg: &Container,
+        group: GroupId,
+        t1: i64,
+        t2: i64,
+        tags: &[usize],
+        filter: Option<&HashSet<SourceId>>,
+        tag_ranges: &[(usize, f64, f64)],
+        out: &mut Vec<ScanPoint>,
+    ) -> Result<()> {
+        let lo = KeyBuf::new()
+            .push_u32(group.0)
+            .push_i64(t1.saturating_sub(mg.max_span()))
+            .build();
+        let hi = KeyBuf::new().push_u32(group.0).push_i64(t2).build();
+        self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
+        for batch in mg.range(&lo, &hi)? {
+            self.emit_batch(&batch, t1, t2, tags, filter, tag_ranges, out)?;
+        }
+        Ok(())
+    }
+
+    /// Decode the rows of `batch` within `[t1, t2]` into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_batch(
+        &self,
+        batch: &Batch,
+        t1: i64,
+        t2: i64,
+        tags: &[usize],
+        filter: Option<&HashSet<SourceId>>,
+        tag_ranges: &[(usize, f64, f64)],
+        out: &mut Vec<ScanPoint>,
+    ) -> Result<()> {
+        let (b_begin, b_end) = batch.time_range();
+        if b_end < t1 || b_begin > t2 {
+            return Ok(());
+        }
+        // Zone-map pruning: a conjunctive tag range that cannot intersect
+        // this batch's bounds (or hits an all-NULL column, which no
+        // comparison matches) rules the whole batch out — header-only work.
+        for &(tag, lo, hi) in tag_ranges {
+            match batch.blob().tag_bounds(tag)? {
+                None => {
+                    self.stats
+                        .batches_zone_pruned
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    return Ok(());
+                }
+                Some((bmin, bmax)) => {
+                    if bmax < lo || bmin > hi {
+                        self.stats
+                            .batches_zone_pruned
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // Charge decode proportional to the *projected* bytes — the
+        // tag-oriented saving.
+        let projected = batch.blob().projected_bytes(tags)? as f64;
+        self.meter.cpu(self.meter.costs.point_decode * projected / 8.0);
+        match batch {
+            Batch::Rts(b) => {
+                if let Some(f) = filter {
+                    if !f.contains(&b.source) {
+                        return Ok(());
+                    }
+                }
+                let ts = b.timestamps();
+                let cols = b.blob.decode_tags(&ts, tags)?;
+                for (row, &t) in ts.iter().enumerate() {
+                    if t < t1 || t > t2 {
+                        continue;
+                    }
+                    out.push(ScanPoint {
+                        source: b.source,
+                        ts: Timestamp(t),
+                        values: cols.iter().map(|c| c[row]).collect(),
+                    });
+                }
+            }
+            Batch::Irts(b) => {
+                if let Some(f) = filter {
+                    if !f.contains(&b.source) {
+                        return Ok(());
+                    }
+                }
+                let cols = b.blob.decode_tags(&b.timestamps, tags)?;
+                for (row, &t) in b.timestamps.iter().enumerate() {
+                    if t < t1 || t > t2 {
+                        continue;
+                    }
+                    out.push(ScanPoint {
+                        source: b.source,
+                        ts: Timestamp(t),
+                        values: cols.iter().map(|c| c[row]).collect(),
+                    });
+                }
+            }
+            Batch::Mg(b) => {
+                let cols = b.blob.decode_tags(&b.timestamps, tags)?;
+                for (row, &t) in b.timestamps.iter().enumerate() {
+                    if t < t1 || t > t2 {
+                        continue;
+                    }
+                    let id = b.ids[row];
+                    if let Some(f) = filter {
+                        if !f.contains(&id) {
+                            continue;
+                        }
+                    }
+                    out.push(ScanPoint {
+                        source: id,
+                        ts: Timestamp(t),
+                        values: cols.iter().map(|c| c[row]).collect(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn note_scan(&self, out: &[ScanPoint]) {
+        let points: u64 =
+            out.iter().map(|p| p.values.iter().filter(|v| v.is_some()).count() as u64).sum();
+        self.stats.points_scanned.fetch_add(points, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// On-disk footprint of the three containers.
+    pub fn size_bytes(&self) -> u64 {
+        self.rts.size_bytes() + self.irts.size_bytes() + self.mg.read().size_bytes()
+    }
+
+    /// Per-structure record counts `(rts, irts, mg)`.
+    pub fn record_counts(&self) -> (u64, u64, u64) {
+        (self.rts.record_count(), self.irts.record_count(), self.mg.read().record_count())
+    }
+}
+
+/// Sort rows by timestamp (stable), carrying ids and columns along.
+fn sort_rows(ts: &mut [i64], ids: Option<&mut Vec<SourceId>>, cols: &mut [Vec<Option<f64>>]) {
+    let n = ts.len();
+    if ts.windows(2).all(|w| w[0] <= w[1]) {
+        return;
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.sort_by_key(|&i| ts[i]);
+    let old_ts = ts.to_vec();
+    for (new, &old) in perm.iter().enumerate() {
+        ts[new] = old_ts[old];
+    }
+    if let Some(ids) = ids {
+        let old = ids.clone();
+        for (new, &o) in perm.iter().enumerate() {
+            ids[new] = old[o];
+        }
+    }
+    for col in cols.iter_mut() {
+        let old = col.clone();
+        for (new, &o) in perm.iter().enumerate() {
+            col[new] = old[o];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odh_pager::disk::MemDisk;
+    use odh_types::Duration;
+
+    fn table(b: usize) -> OdhTable {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 512);
+        let meter = ResourceMeter::unmetered();
+        let schema = SchemaType::new("env", ["temperature", "wind"]);
+        OdhTable::create(pool, meter, TableConfig::new(schema).with_batch_size(b)).unwrap()
+    }
+
+    fn put_regular(t: &OdhTable, src: u64, n: usize, period_us: i64) {
+        for i in 0..n {
+            t.put(&Record::dense(
+                SourceId(src),
+                Timestamp(1_000_000 + i as i64 * period_us),
+                [i as f64, -(i as f64)],
+            ))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn regular_high_goes_to_rts() {
+        let t = table(50);
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(50.0)))
+            .unwrap();
+        put_regular(&t, 1, 200, 20_000);
+        let (rts, irts, mg) = t.record_counts();
+        assert_eq!((rts, irts, mg), (4, 0, 0));
+    }
+
+    #[test]
+    fn irregular_high_goes_to_irts() {
+        let t = table(50);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        for i in 0..100i64 {
+            t.put(&Record::dense(
+                SourceId(1),
+                Timestamp(1_000 + i * 10_000 + (i % 7) * 13),
+                [1.0, 2.0],
+            ))
+            .unwrap();
+        }
+        let (rts, irts, mg) = t.record_counts();
+        assert_eq!((rts, irts, mg), (0, 2, 0));
+    }
+
+    #[test]
+    fn low_frequency_goes_to_mg() {
+        let t = table(10);
+        for id in 0..20u64 {
+            t.register_source(SourceId(id), SourceClass::regular_low(Duration::from_minutes(15)))
+                .unwrap();
+        }
+        // One sweep: each source reports once → 20 points → 2 MG batches.
+        for id in 0..20u64 {
+            t.put(&Record::dense(SourceId(id), Timestamp::from_secs(900), [1.0, 2.0])).unwrap();
+        }
+        let (rts, irts, mg) = t.record_counts();
+        assert_eq!((rts, irts, mg), (0, 0, 2));
+    }
+
+    #[test]
+    fn historical_scan_round_trips() {
+        let t = table(32);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000);
+        t.flush().unwrap();
+        let pts = t
+            .historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
+            .unwrap();
+        assert_eq!(pts.len(), 100);
+        assert_eq!(pts[3].values, vec![Some(3.0), Some(-3.0)]);
+        assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn historical_scan_respects_time_bounds() {
+        let t = table(16);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000);
+        t.flush().unwrap();
+        let t1 = Timestamp(1_000_000 + 200_000);
+        let t2 = Timestamp(1_000_000 + 400_000);
+        let pts = t.historical_scan(SourceId(5), t1, t2, &[0]).unwrap();
+        assert_eq!(pts.len(), 21); // rows 20..=40
+        assert!(pts.iter().all(|p| p.ts >= t1 && p.ts <= t2));
+    }
+
+    #[test]
+    fn dirty_read_sees_unsealed_buffer() {
+        let t = table(1000); // large b: nothing sealed
+        t.register_source(SourceId(9), SourceClass::irregular_high()).unwrap();
+        t.put(&Record::dense(SourceId(9), Timestamp::from_secs(10), [7.0, 8.0])).unwrap();
+        let pts = t
+            .historical_scan(SourceId(9), Timestamp(0), Timestamp::from_secs(100), &[0])
+            .unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].values, vec![Some(7.0)]);
+        // Same for MG sources.
+        t.register_source(SourceId(2000), SourceClass::irregular_low()).unwrap();
+        t.put(&Record::dense(SourceId(2000), Timestamp::from_secs(20), [1.0, 2.0])).unwrap();
+        let pts = t
+            .historical_scan(SourceId(2000), Timestamp(0), Timestamp::from_secs(100), &[1])
+            .unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].values, vec![Some(2.0)]);
+    }
+
+    #[test]
+    fn slice_scan_covers_all_structures() {
+        let t = table(8);
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(1000.0)))
+            .unwrap();
+        t.register_source(SourceId(2), SourceClass::irregular_high()).unwrap();
+        t.register_source(SourceId(5000), SourceClass::regular_low(Duration::from_minutes(15)))
+            .unwrap();
+        for i in 0..32i64 {
+            t.put(&Record::dense(SourceId(1), Timestamp(i * 1_000), [1.0, 0.0])).unwrap();
+            t.put(&Record::dense(SourceId(2), Timestamp(i * 1_001 + 7), [2.0, 0.0])).unwrap();
+        }
+        t.put(&Record::dense(SourceId(5000), Timestamp(5_000), [3.0, 0.0])).unwrap();
+        t.flush().unwrap();
+        let pts = t.slice_scan(Timestamp(0), Timestamp(40_000), &[0], None).unwrap();
+        let by_src = |id: u64| pts.iter().filter(|p| p.source == SourceId(id)).count();
+        assert_eq!(by_src(1), 32);
+        assert_eq!(by_src(2), 32);
+        assert_eq!(by_src(5000), 1);
+        // Restriction to a subset.
+        let only: HashSet<SourceId> = [SourceId(2)].into_iter().collect();
+        let pts = t.slice_scan(Timestamp(0), Timestamp(40_000), &[0], Some(&only)).unwrap();
+        assert!(pts.iter().all(|p| p.source == SourceId(2)));
+        assert_eq!(pts.len(), 32);
+    }
+
+    #[test]
+    fn projection_returns_requested_tags_only() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(10.0)))
+            .unwrap();
+        put_regular(&t, 1, 8, 100_000);
+        t.flush().unwrap();
+        let pts = t
+            .historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[1])
+            .unwrap();
+        assert_eq!(pts[0].values.len(), 1);
+        assert_eq!(pts[2].values[0], Some(-2.0));
+    }
+
+    #[test]
+    fn unregistered_source_rejected() {
+        let t = table(4);
+        let err =
+            t.put(&Record::dense(SourceId(77), Timestamp(0), [0.0, 0.0])).unwrap_err();
+        assert_eq!(err.kind(), "not_found");
+        assert_eq!(
+            t.historical_scan(SourceId(77), Timestamp(0), Timestamp(1), &[0])
+                .unwrap_err()
+                .kind(),
+            "not_found"
+        );
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        let err = t.put(&Record::dense(SourceId(1), Timestamp(0), [1.0])).unwrap_err();
+        assert_eq!(err.kind(), "schema");
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        assert_eq!(
+            t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap_err().kind(),
+            "config"
+        );
+    }
+
+    #[test]
+    fn rts_run_splitting_on_gaps() {
+        // A regular source that misses samples: runs split at the gap, and
+        // every point survives.
+        let t = table(100);
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        let mut n = 0;
+        for i in 0..50i64 {
+            if i % 10 == 7 {
+                continue; // dropped sample
+            }
+            t.put(&Record::dense(SourceId(1), Timestamp(i * 10_000), [i as f64, 0.0]))
+                .unwrap();
+            n += 1;
+        }
+        t.flush().unwrap();
+        let pts =
+            t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), n);
+        let (rts, _, _) = t.record_counts();
+        assert!(rts > 1, "gaps must split runs, got {rts} batch(es)");
+    }
+
+    #[test]
+    fn out_of_order_arrival_is_sorted_at_seal() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        for ts in [40i64, 10, 30, 20] {
+            t.put(&Record::dense(SourceId(1), Timestamp(ts), [ts as f64, 0.0])).unwrap();
+        }
+        t.flush().unwrap();
+        let pts =
+            t.historical_scan(SourceId(1), Timestamp(0), Timestamp(100), &[0]).unwrap();
+        let times: Vec<i64> = pts.iter().map(|p| p.ts.micros()).collect();
+        assert_eq!(times, vec![10, 20, 30, 40]);
+        assert_eq!(pts[0].values[0], Some(10.0));
+    }
+
+    #[test]
+    fn compression_stats_track_ratio() {
+        let t = table(64);
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        // Constant values: the lossless XOR path should crush them.
+        for i in 0..256i64 {
+            t.put(&Record::dense(SourceId(1), Timestamp(i * 10_000), [42.0, 42.0])).unwrap();
+        }
+        t.flush().unwrap();
+        let snap = t.stats().snapshot();
+        assert!(snap.compression_ratio() > 5.0, "ratio={}", snap.compression_ratio());
+        assert_eq!(snap.points_ingested, 512);
+    }
+}

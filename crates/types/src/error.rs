@@ -1,0 +1,125 @@
+//! Workspace-wide error type.
+//!
+//! One flat enum keeps error plumbing out of hot paths: every crate returns
+//! [`Result<T>`] and callers match on the variant when they care. Variants
+//! carry a human-readable message rather than nested source errors — the
+//! workspace has no external I/O beyond `std::io`, which is wrapped eagerly.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, OdhError>;
+
+/// All failure modes of the ODH reproduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OdhError {
+    /// Underlying file or device I/O failed.
+    Io(String),
+    /// On-disk bytes did not decode (torn page, bad magic, short blob...).
+    Corrupt(String),
+    /// Schema mismatch: wrong arity, unknown tag, type clash.
+    Schema(String),
+    /// SQL text failed to lex or parse.
+    Parse(String),
+    /// A parsed query could not be planned (unknown table/column, ambiguous name).
+    Plan(String),
+    /// Runtime execution failure (type error during evaluation, overflow).
+    Exec(String),
+    /// A named entity (table, source, server, container) does not exist.
+    NotFound(String),
+    /// Invalid configuration (bad batch size, zero cores, duplicate source id).
+    Config(String),
+    /// A bounded resource is exhausted (buffer pool all pinned, page full).
+    Full(String),
+    /// The requested operation is not supported by this component.
+    Unsupported(String),
+}
+
+impl OdhError {
+    /// Short machine-readable kind tag, used in logs and test assertions.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OdhError::Io(_) => "io",
+            OdhError::Corrupt(_) => "corrupt",
+            OdhError::Schema(_) => "schema",
+            OdhError::Parse(_) => "parse",
+            OdhError::Plan(_) => "plan",
+            OdhError::Exec(_) => "exec",
+            OdhError::NotFound(_) => "not_found",
+            OdhError::Config(_) => "config",
+            OdhError::Full(_) => "full",
+            OdhError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message carried by the variant.
+    pub fn message(&self) -> &str {
+        match self {
+            OdhError::Io(m)
+            | OdhError::Corrupt(m)
+            | OdhError::Schema(m)
+            | OdhError::Parse(m)
+            | OdhError::Plan(m)
+            | OdhError::Exec(m)
+            | OdhError::NotFound(m)
+            | OdhError::Config(m)
+            | OdhError::Full(m)
+            | OdhError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for OdhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for OdhError {}
+
+impl From<std::io::Error> for OdhError {
+    fn from(e: std::io::Error) -> Self {
+        OdhError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_messages_round_trip() {
+        let e = OdhError::Parse("unexpected token".into());
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(e.to_string(), "parse: unexpected token");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: OdhError = io.into();
+        assert_eq!(e.kind(), "io");
+        assert!(e.message().contains("gone"));
+    }
+
+    #[test]
+    fn every_variant_has_distinct_kind() {
+        let all = [
+            OdhError::Io(String::new()),
+            OdhError::Corrupt(String::new()),
+            OdhError::Schema(String::new()),
+            OdhError::Parse(String::new()),
+            OdhError::Plan(String::new()),
+            OdhError::Exec(String::new()),
+            OdhError::NotFound(String::new()),
+            OdhError::Config(String::new()),
+            OdhError::Full(String::new()),
+            OdhError::Unsupported(String::new()),
+        ];
+        let mut kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), all.len());
+    }
+}

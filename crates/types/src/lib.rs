@@ -1,0 +1,28 @@
+//! Shared vocabulary for the ODH reproduction.
+//!
+//! This crate defines the plain data types every other crate speaks:
+//! timestamps, data-source identities, operational records, SQL values
+//! ([`Datum`]), schemas, and the workspace-wide error type. It has no
+//! behaviour beyond encoding/formatting helpers, so that substrate crates
+//! (pager, B-tree, compression) and system crates (storage, SQL, core) can
+//! depend on it without cycles.
+//!
+//! Terminology follows §2 of the paper:
+//! - a **data source** is a sensor or device emitting operational records;
+//! - an **operational record** is `(timestamp, id, tag_1..tag_k)`;
+//! - sources sharing a schema form a **schema type**;
+//! - a **tag** is one measured attribute (a column of the schema type).
+
+pub mod error;
+pub mod record;
+pub mod schema;
+pub mod source;
+pub mod time;
+pub mod value;
+
+pub use error::{OdhError, Result};
+pub use record::{Record, Row};
+pub use schema::{ColumnDef, DataType, RelSchema, SchemaType, TagDef};
+pub use source::{FrequencyClass, GroupId, Regularity, SourceClass, SourceId};
+pub use time::{Duration, Timestamp};
+pub use value::Datum;

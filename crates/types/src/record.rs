@@ -1,0 +1,155 @@
+//! Operational records and SQL rows.
+
+use crate::source::SourceId;
+use crate::time::Timestamp;
+use crate::value::Datum;
+
+/// One operational data record as emitted by a data source:
+/// `(timestamp, id, tag values...)`. Tag values are nullable — sparse
+/// records (most tags absent) are the norm in LD-style datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub source: SourceId,
+    pub ts: Timestamp,
+    pub values: Vec<Option<f64>>,
+}
+
+impl Record {
+    pub fn new(source: SourceId, ts: Timestamp, values: Vec<Option<f64>>) -> Record {
+        Record { source, ts, values }
+    }
+
+    /// Convenience constructor for fully-populated records.
+    pub fn dense(source: SourceId, ts: Timestamp, values: impl IntoIterator<Item = f64>) -> Record {
+        Record { source, ts, values: values.into_iter().map(Some).collect() }
+    }
+
+    /// Number of non-NULL measurements — the paper's unit of throughput is
+    /// *data points per second*, where each non-NULL tag value is one point.
+    pub fn data_points(&self) -> usize {
+        self.values.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Assemble the relational view of this record: `(id, timestamp, tags...)`.
+    /// This is the per-row work a virtual table does (the VTI overhead).
+    pub fn to_row(&self) -> Row {
+        let mut cells = Vec::with_capacity(self.values.len() + 2);
+        cells.push(Datum::I64(self.source.0 as i64));
+        cells.push(Datum::Ts(self.ts));
+        for v in &self.values {
+            cells.push(Datum::from(*v));
+        }
+        Row::new(cells)
+    }
+}
+
+/// A materialized SQL row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Row {
+    cells: Vec<Datum>,
+}
+
+impl Row {
+    pub fn new(cells: Vec<Datum>) -> Row {
+        Row { cells }
+    }
+
+    pub fn empty() -> Row {
+        Row { cells: Vec::new() }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn get(&self, i: usize) -> &Datum {
+        &self.cells[i]
+    }
+
+    pub fn cells(&self) -> &[Datum] {
+        &self.cells
+    }
+
+    pub fn into_cells(self) -> Vec<Datum> {
+        self.cells
+    }
+
+    pub fn push(&mut self, d: Datum) {
+        self.cells.push(d);
+    }
+
+    /// Concatenate two rows (join output).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut cells = Vec::with_capacity(self.cells.len() + other.cells.len());
+        cells.extend_from_slice(&self.cells);
+        cells.extend_from_slice(&other.cells);
+        Row { cells }
+    }
+
+    /// Keep only the columns at `indices`, in order (projection).
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row { cells: indices.iter().map(|&i| self.cells[i].clone()).collect() }
+    }
+
+    /// Count of non-NULL cells, the "data points" a query returned.
+    pub fn data_points(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_null()).count()
+    }
+}
+
+impl From<Vec<Datum>> for Row {
+    fn from(cells: Vec<Datum>) -> Self {
+        Row { cells }
+    }
+}
+
+impl std::fmt::Display for Row {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_points_count_non_null_only() {
+        let r = Record::new(SourceId(1), Timestamp::from_secs(0), vec![Some(1.0), None, Some(2.0)]);
+        assert_eq!(r.data_points(), 2);
+        assert_eq!(Record::dense(SourceId(1), Timestamp::from_secs(0), [1.0, 2.0]).data_points(), 2);
+    }
+
+    #[test]
+    fn to_row_layout() {
+        let r = Record::new(SourceId(9), Timestamp::from_secs(5), vec![Some(1.5), None]);
+        let row = r.to_row();
+        assert_eq!(row.arity(), 4);
+        assert_eq!(row.get(0), &Datum::I64(9));
+        assert_eq!(row.get(1), &Datum::Ts(Timestamp::from_secs(5)));
+        assert_eq!(row.get(2), &Datum::F64(1.5));
+        assert_eq!(row.get(3), &Datum::Null);
+    }
+
+    #[test]
+    fn row_concat_and_project() {
+        let a = Row::new(vec![Datum::I64(1), Datum::from("x")]);
+        let b = Row::new(vec![Datum::F64(2.0)]);
+        let j = a.concat(&b);
+        assert_eq!(j.arity(), 3);
+        let p = j.project(&[2, 0]);
+        assert_eq!(p.cells(), &[Datum::F64(2.0), Datum::I64(1)]);
+    }
+
+    #[test]
+    fn row_display() {
+        let a = Row::new(vec![Datum::I64(1), Datum::Null]);
+        assert_eq!(a.to_string(), "1 | NULL");
+    }
+}

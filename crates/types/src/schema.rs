@@ -1,0 +1,198 @@
+//! Schema types (operational) and relational schemas.
+//!
+//! An operational [`SchemaType`] describes the fixed record layout shared by
+//! a set of data sources: the implicit `(timestamp, id)` prefix plus a list
+//! of [`TagDef`]s. The paper exposes each schema type to SQL as a virtual
+//! table `(id, timestamp, tag_1, ..., tag_k)`; [`SchemaType::virtual_schema`]
+//! produces exactly that relational view. [`RelSchema`] describes ordinary
+//! relational tables (Customer, Account, LinkedSensor...).
+
+use crate::error::{OdhError, Result};
+use serde::{Deserialize, Serialize};
+
+/// SQL-visible column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    I64,
+    F64,
+    Str,
+    Ts,
+}
+
+impl DataType {
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::I64 => "BIGINT",
+            DataType::F64 => "DOUBLE",
+            DataType::Str => "VARCHAR",
+            DataType::Ts => "TIMESTAMP",
+        }
+    }
+}
+
+/// One measured attribute of an operational record. Tags are always
+/// nullable doubles — sparseness (most tags NULL on most records) is a
+/// first-class property of LD-style datasets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagDef {
+    pub name: String,
+}
+
+impl TagDef {
+    pub fn new(name: impl Into<String>) -> TagDef {
+        TagDef { name: name.into() }
+    }
+}
+
+/// The fixed record layout shared by a set of data sources (§2).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaType {
+    /// Name of the schema type; the virtual table is conventionally exposed
+    /// as `<name>_v` (the paper's `environ_data_v`).
+    pub name: String,
+    pub tags: Vec<TagDef>,
+}
+
+impl SchemaType {
+    pub fn new(name: impl Into<String>, tags: impl IntoIterator<Item = impl Into<String>>) -> SchemaType {
+        SchemaType {
+            name: name.into(),
+            tags: tags.into_iter().map(|t| TagDef::new(t)).collect(),
+        }
+    }
+
+    pub fn tag_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Index of a tag by name (case-insensitive, as SQL identifiers are).
+    pub fn tag_index(&self, name: &str) -> Option<usize> {
+        self.tags.iter().position(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The relational view of this schema type: `(id, timestamp, tags...)`,
+    /// matching the virtual tables of §3.
+    pub fn virtual_schema(&self, table_name: impl Into<String>) -> RelSchema {
+        let mut columns = Vec::with_capacity(self.tags.len() + 2);
+        columns.push(ColumnDef::new("id", DataType::I64));
+        columns.push(ColumnDef::new("timestamp", DataType::Ts));
+        for t in &self.tags {
+            columns.push(ColumnDef::new(t.name.clone(), DataType::F64));
+        }
+        RelSchema { name: table_name.into(), columns }
+    }
+
+    /// Uncompressed size of one record's tag payload in bytes (8 per tag),
+    /// used by cost estimation.
+    pub fn raw_tag_bytes(&self) -> usize {
+        self.tags.len() * 8
+    }
+
+    /// Validate a record arity against this schema.
+    pub fn check_arity(&self, values_len: usize) -> Result<()> {
+        if values_len != self.tags.len() {
+            return Err(OdhError::Schema(format!(
+                "schema type '{}' has {} tags, record carries {}",
+                self.name,
+                self.tags.len(),
+                values_len
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A column of a relational table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    pub fn new(name: impl Into<String>, dtype: DataType) -> ColumnDef {
+        ColumnDef { name: name.into(), dtype }
+    }
+}
+
+/// Schema of an ordinary relational table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl RelSchema {
+    pub fn new(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = (impl Into<String>, DataType)>,
+    ) -> RelSchema {
+        RelSchema {
+            name: name.into(),
+            columns: columns.into_iter().map(|(n, t)| ColumnDef::new(n, t)).collect(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, name: &str) -> Result<&ColumnDef> {
+        self.column_index(name)
+            .map(|i| &self.columns[i])
+            .ok_or_else(|| OdhError::Plan(format!("unknown column '{}' in table '{}'", name, self.name)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn environ() -> SchemaType {
+        SchemaType::new("environ_data", ["temperature", "wind"])
+    }
+
+    #[test]
+    fn virtual_schema_layout_matches_paper() {
+        let v = environ().virtual_schema("environ_data_v");
+        assert_eq!(v.name, "environ_data_v");
+        let names: Vec<_> = v.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["id", "timestamp", "temperature", "wind"]);
+        assert_eq!(v.columns[0].dtype, DataType::I64);
+        assert_eq!(v.columns[1].dtype, DataType::Ts);
+        assert_eq!(v.columns[2].dtype, DataType::F64);
+    }
+
+    #[test]
+    fn tag_lookup_is_case_insensitive() {
+        let s = environ();
+        assert_eq!(s.tag_index("Temperature"), Some(0));
+        assert_eq!(s.tag_index("WIND"), Some(1));
+        assert_eq!(s.tag_index("humidity"), None);
+    }
+
+    #[test]
+    fn arity_check() {
+        let s = environ();
+        assert!(s.check_arity(2).is_ok());
+        let err = s.check_arity(3).unwrap_err();
+        assert_eq!(err.kind(), "schema");
+    }
+
+    #[test]
+    fn rel_schema_column_lookup() {
+        let r = RelSchema::new("sensor_info", [("id", DataType::I64), ("area", DataType::Str)]);
+        assert_eq!(r.column_index("AREA"), Some(1));
+        assert!(r.column("missing").is_err());
+        assert_eq!(r.arity(), 2);
+    }
+
+    #[test]
+    fn raw_tag_bytes() {
+        assert_eq!(environ().raw_tag_bytes(), 16);
+    }
+}

@@ -1,0 +1,158 @@
+//! Data-source identity and classification.
+//!
+//! §2 of the paper classifies data sources along two axes — *regularity*
+//! (fixed vs variable sampling interval) and *frequency* (above or below
+//! 1 Hz) — and Table 1 maps each class to the batch structure used for
+//! ingestion, slice queries, and historical queries. The classification
+//! types live here so both the storage engine and the configuration
+//! component agree on them.
+
+use crate::time::Duration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a data source (sensor, meter, PMU, vehicle, account...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SourceId(pub u64);
+
+/// Identifier of a Mixed-Grouping group: a set of low-frequency sources
+/// whose points are batched together by timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src#{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp#{}", self.0)
+    }
+}
+
+/// Whether a source samples on a fixed interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Regularity {
+    /// Identical sampling intervals; timestamps are implicit from
+    /// `(begin_time, interval)` in an RTS batch.
+    Regular {
+        /// The fixed sampling period.
+        interval: Duration,
+    },
+    /// Variable sampling intervals; timestamps must be stored (delta-encoded).
+    Irregular,
+}
+
+/// The paper's 1 Hz boundary between "high frequency" (few sources, fast)
+/// and "low frequency" (many sources, slow) operational data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrequencyClass {
+    /// Sampling rate above 1 Hz (PMUs at 25–50 Hz, oil sensors at 500 Hz).
+    High,
+    /// Sampling rate at or below 1 Hz (smart meters every 15 min, weather
+    /// stations every ~23 min, vehicles every 10 s).
+    Low,
+}
+
+/// The frequency threshold separating the two classes, in Hz.
+pub const HIGH_FREQUENCY_THRESHOLD_HZ: f64 = 1.0;
+
+/// Full classification of a data source, declared at registration time
+/// (the ODH configuration component owns this metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceClass {
+    pub regularity: Regularity,
+    pub frequency: FrequencyClass,
+}
+
+impl SourceClass {
+    /// Classify from a nominal sampling rate. `interval_hint` is used for
+    /// regular sources; irregular sources only need the rate.
+    pub fn classify(nominal_hz: f64, regular: bool) -> SourceClass {
+        let frequency = if nominal_hz > HIGH_FREQUENCY_THRESHOLD_HZ {
+            FrequencyClass::High
+        } else {
+            FrequencyClass::Low
+        };
+        let regularity = if regular {
+            Regularity::Regular { interval: Duration::from_hz(nominal_hz) }
+        } else {
+            Regularity::Irregular
+        };
+        SourceClass { regularity, frequency }
+    }
+
+    pub fn regular_high(interval: Duration) -> SourceClass {
+        SourceClass {
+            regularity: Regularity::Regular { interval },
+            frequency: FrequencyClass::High,
+        }
+    }
+
+    pub fn irregular_high() -> SourceClass {
+        SourceClass { regularity: Regularity::Irregular, frequency: FrequencyClass::High }
+    }
+
+    pub fn regular_low(interval: Duration) -> SourceClass {
+        SourceClass {
+            regularity: Regularity::Regular { interval },
+            frequency: FrequencyClass::Low,
+        }
+    }
+
+    pub fn irregular_low() -> SourceClass {
+        SourceClass { regularity: Regularity::Irregular, frequency: FrequencyClass::Low }
+    }
+
+    pub fn is_regular(&self) -> bool {
+        matches!(self.regularity, Regularity::Regular { .. })
+    }
+
+    pub fn interval(&self) -> Option<Duration> {
+        match self.regularity {
+            Regularity::Regular { interval } => Some(interval),
+            Regularity::Irregular => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_respects_1hz_boundary() {
+        assert_eq!(SourceClass::classify(50.0, true).frequency, FrequencyClass::High);
+        assert_eq!(SourceClass::classify(1.0, true).frequency, FrequencyClass::Low);
+        assert_eq!(SourceClass::classify(1.0001, true).frequency, FrequencyClass::High);
+        // 15-minute smart meter.
+        assert_eq!(SourceClass::classify(1.0 / 900.0, true).frequency, FrequencyClass::Low);
+    }
+
+    #[test]
+    fn regular_sources_carry_their_interval() {
+        let c = SourceClass::classify(50.0, true);
+        assert_eq!(c.interval(), Some(Duration::from_micros(20_000)));
+        assert!(c.is_regular());
+        let c = SourceClass::classify(50.0, false);
+        assert_eq!(c.interval(), None);
+        assert!(!c.is_regular());
+    }
+
+    #[test]
+    fn constructors_match_classify() {
+        assert_eq!(
+            SourceClass::regular_high(Duration::from_hz(25.0)),
+            SourceClass::classify(25.0, true)
+        );
+        assert_eq!(SourceClass::irregular_low(), SourceClass::classify(0.1, false));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(SourceId(7).to_string(), "src#7");
+        assert_eq!(GroupId(3).to_string(), "grp#3");
+    }
+}

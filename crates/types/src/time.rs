@@ -1,0 +1,294 @@
+//! Timestamps and durations.
+//!
+//! All time in the workspace is **microseconds since the Unix epoch**, signed
+//! 64-bit. Microseconds comfortably cover the paper's fastest sources
+//! (500 Hz oil-detection sensors → 2 ms period) and its longest retention
+//! windows, while staying a single word. [`Timestamp`] is a newtype so that
+//! raw integers never masquerade as times in APIs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds since the Unix epoch (UTC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Timestamp(pub i64);
+
+/// A span of time in microseconds. Always non-negative in practice but
+/// signed so that `Timestamp - Timestamp` is total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Duration(pub i64);
+
+pub const MICROS_PER_SEC: i64 = 1_000_000;
+pub const MICROS_PER_MINUTE: i64 = 60 * MICROS_PER_SEC;
+pub const MICROS_PER_HOUR: i64 = 60 * MICROS_PER_MINUTE;
+pub const MICROS_PER_DAY: i64 = 24 * MICROS_PER_HOUR;
+
+impl Timestamp {
+    pub const MIN: Timestamp = Timestamp(i64::MIN);
+    pub const MAX: Timestamp = Timestamp(i64::MAX);
+
+    pub fn from_micros(us: i64) -> Self {
+        Timestamp(us)
+    }
+
+    pub fn from_secs(s: i64) -> Self {
+        Timestamp(s * MICROS_PER_SEC)
+    }
+
+    pub fn micros(self) -> i64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// Parse `"YYYY-MM-DD HH:MM:SS"` (the literal format the paper's SQL
+    /// examples use) into a timestamp. Dates are interpreted as UTC with the
+    /// proleptic Gregorian calendar. Fractional seconds are accepted.
+    pub fn parse_sql(text: &str) -> Option<Timestamp> {
+        let text = text.trim();
+        let (date, time) = match text.split_once(' ') {
+            Some(p) => p,
+            None => (text, "00:00:00"),
+        };
+        let mut dit = date.split('-');
+        let year: i64 = dit.next()?.parse().ok()?;
+        let month: u32 = dit.next()?.parse().ok()?;
+        let day: u32 = dit.next()?.parse().ok()?;
+        if dit.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        let mut tit = time.split(':');
+        let hour: i64 = tit.next()?.parse().ok()?;
+        let minute: i64 = tit.next()?.parse().ok()?;
+        let sec_part = tit.next()?;
+        if tit.next().is_some() {
+            return None;
+        }
+        let (sec, frac_us) = match sec_part.split_once('.') {
+            Some((s, f)) => {
+                let mut frac = f.to_string();
+                while frac.len() < 6 {
+                    frac.push('0');
+                }
+                (s.parse::<i64>().ok()?, frac[..6].parse::<i64>().ok()?)
+            }
+            None => (sec_part.parse::<i64>().ok()?, 0),
+        };
+        if hour > 23 || minute > 59 || sec > 60 {
+            return None;
+        }
+        let days = days_from_civil(year, month, day);
+        Some(Timestamp(
+            days * MICROS_PER_DAY + hour * MICROS_PER_HOUR + minute * MICROS_PER_MINUTE
+                + sec * MICROS_PER_SEC
+                + frac_us,
+        ))
+    }
+
+    /// Render as `"YYYY-MM-DD HH:MM:SS[.ffffff]"` (UTC).
+    pub fn to_sql(self) -> String {
+        let days = self.0.div_euclid(MICROS_PER_DAY);
+        let mut us = self.0.rem_euclid(MICROS_PER_DAY);
+        let (y, m, d) = civil_from_days(days);
+        let hour = us / MICROS_PER_HOUR;
+        us %= MICROS_PER_HOUR;
+        let minute = us / MICROS_PER_MINUTE;
+        us %= MICROS_PER_MINUTE;
+        let sec = us / MICROS_PER_SEC;
+        us %= MICROS_PER_SEC;
+        if us == 0 {
+            format!("{y:04}-{m:02}-{d:02} {hour:02}:{minute:02}:{sec:02}")
+        } else {
+            format!("{y:04}-{m:02}-{d:02} {hour:02}:{minute:02}:{sec:02}.{us:06}")
+        }
+    }
+
+    pub fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.0))
+    }
+}
+
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date
+/// (Howard Hinnant's `days_from_civil` algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    pub fn from_micros(us: i64) -> Self {
+        Duration(us)
+    }
+
+    pub fn from_millis(ms: i64) -> Self {
+        Duration(ms * 1000)
+    }
+
+    pub fn from_secs(s: i64) -> Self {
+        Duration(s * MICROS_PER_SEC)
+    }
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s * MICROS_PER_SEC as f64).round() as i64)
+    }
+
+    pub fn from_minutes(m: i64) -> Self {
+        Duration(m * MICROS_PER_MINUTE)
+    }
+
+    pub fn micros(self) -> i64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// The sampling period of a source emitting at `hz` points per second.
+    pub fn from_hz(hz: f64) -> Duration {
+        assert!(hz > 0.0, "frequency must be positive");
+        Duration((MICROS_PER_SEC as f64 / hz).round() as i64)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_sql())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_render_round_trip() {
+        let t = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
+        assert_eq!(t.to_sql(), "2013-11-18 00:00:00");
+        let t2 = Timestamp::parse_sql("2013-11-22 23:59:59").unwrap();
+        assert!(t2 > t);
+        assert_eq!((t2 - t).micros(), 4 * MICROS_PER_DAY + MICROS_PER_DAY - MICROS_PER_SEC);
+    }
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(Timestamp::parse_sql("1970-01-01 00:00:00").unwrap(), Timestamp(0));
+        assert_eq!(Timestamp(0).to_sql(), "1970-01-01 00:00:00");
+    }
+
+    #[test]
+    fn fractional_seconds() {
+        let t = Timestamp::parse_sql("2008-09-01 12:00:00.25").unwrap();
+        assert_eq!(t.0 % MICROS_PER_SEC, 250_000);
+        assert_eq!(t.to_sql(), "2008-09-01 12:00:00.250000");
+    }
+
+    #[test]
+    fn date_only_parses_to_midnight() {
+        let a = Timestamp::parse_sql("2008-09-13").unwrap();
+        let b = Timestamp::parse_sql("2008-09-13 00:00:00").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "hello", "2013-13-01 00:00:00", "2013-01-01 25:00:00", "2013-1", "2013-01-01 00:00"] {
+            assert!(Timestamp::parse_sql(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn pre_epoch_dates_work() {
+        let t = Timestamp::parse_sql("1969-12-31 23:59:59").unwrap();
+        assert_eq!(t.0, -MICROS_PER_SEC);
+        assert_eq!(t.to_sql(), "1969-12-31 23:59:59");
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let t = Timestamp::parse_sql("2008-02-29 00:00:00").unwrap();
+        assert_eq!(t.to_sql(), "2008-02-29 00:00:00");
+        let next = t + Duration::from_secs(86_400);
+        assert_eq!(next.to_sql(), "2008-03-01 00:00:00");
+    }
+
+    #[test]
+    fn duration_from_hz() {
+        assert_eq!(Duration::from_hz(50.0).micros(), 20_000);
+        assert_eq!(Duration::from_hz(0.25).micros(), 4_000_000);
+        // The paper's 15-minute smart-meter interval.
+        assert_eq!(Duration::from_minutes(15), Duration::from_hz(1.0 / 900.0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::from_secs(100);
+        assert_eq!((t + Duration::from_secs(5)).micros(), 105 * MICROS_PER_SEC);
+        assert_eq!((t - Duration::from_secs(5)).micros(), 95 * MICROS_PER_SEC);
+        assert_eq!(Timestamp::from_secs(7) - Timestamp::from_secs(3), Duration::from_secs(4));
+    }
+}

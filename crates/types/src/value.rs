@@ -1,0 +1,246 @@
+//! SQL values.
+//!
+//! [`Datum`] is the runtime value type of the SQL layer: every cell of every
+//! row the executor touches is one of these. Operational tag values are
+//! plain `f64` inside the storage engine; they become `Datum::F64` (or
+//! `Datum::Null`) only when a virtual table assembles relational rows — that
+//! assembly cost is exactly the "VTI overhead" the paper measures.
+
+use crate::time::Timestamp;
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single SQL value.
+#[derive(Debug, Clone)]
+pub enum Datum {
+    /// SQL NULL. Compares as "unknown": ordering against NULL yields `None`.
+    Null,
+    /// 64-bit signed integer (ids, counts, tiers).
+    I64(i64),
+    /// 64-bit float (tag values, balances, prices).
+    F64(f64),
+    /// Interned string (names, areas).
+    Str(Arc<str>),
+    /// Timestamp (see [`Timestamp`]).
+    Ts(Timestamp),
+}
+
+impl Datum {
+    pub fn str(s: impl Into<Arc<str>>) -> Datum {
+        Datum::Str(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Numeric view: integers widen to f64, timestamps expose their micros.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::I64(v) => Some(*v as f64),
+            Datum::F64(v) => Some(*v),
+            Datum::Ts(t) => Some(t.micros() as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::I64(v) => Some(*v),
+            Datum::F64(v) if v.fract() == 0.0 => Some(*v as i64),
+            Datum::Ts(t) => Some(t.micros()),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_ts(&self) -> Option<Timestamp> {
+        match self {
+            Datum::Ts(t) => Some(*t),
+            Datum::I64(v) => Some(Timestamp(*v)),
+            _ => None,
+        }
+    }
+
+    /// Three-valued SQL comparison. `None` means "unknown" (either side NULL
+    /// or incomparable types); predicates treat unknown as not-satisfied.
+    pub fn sql_cmp(&self, other: &Datum) -> Option<Ordering> {
+        use Datum::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Ts(a), Ts(b)) => Some(a.cmp(b)),
+            // Numeric family (and timestamp-vs-number, used by literal
+            // comparisons after the planner coerces) compare as f64.
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (NULL never equals anything, including NULL).
+    pub fn sql_eq(&self, other: &Datum) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// Approximate in-memory footprint in bytes, used by throughput metrics
+    /// that report "data points per second" in terms of assembled values.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Datum::Null => 1,
+            Datum::I64(_) | Datum::F64(_) | Datum::Ts(_) => 8,
+            Datum::Str(s) => s.len(),
+        }
+    }
+}
+
+/// Total equality for tests/grouping: NULL == NULL here (unlike SQL), and
+/// floats compare bitwise-by-value so NaN == NaN.
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (I64(a), I64(b)) => a == b,
+            (F64(a), F64(b)) => a.to_bits() == b.to_bits(),
+            (Str(a), Str(b)) => a == b,
+            (Ts(a), Ts(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Datum {}
+
+impl std::hash::Hash for Datum {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        use Datum::*;
+        match self {
+            Null => state.write_u8(0),
+            I64(v) => {
+                state.write_u8(1);
+                state.write_i64(*v);
+            }
+            F64(v) => {
+                state.write_u8(2);
+                state.write_u64(v.to_bits());
+            }
+            Str(s) => {
+                state.write_u8(3);
+                state.write(s.as_bytes());
+            }
+            Ts(t) => {
+                state.write_u8(4);
+                state.write_i64(t.micros());
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => f.write_str("NULL"),
+            Datum::I64(v) => write!(f, "{v}"),
+            Datum::F64(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Ts(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::I64(v)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::F64(v)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Str(Arc::from(v))
+    }
+}
+
+impl From<Timestamp> for Datum {
+    fn from(v: Timestamp) -> Self {
+        Datum::Ts(v)
+    }
+}
+
+impl From<Option<f64>> for Datum {
+    fn from(v: Option<f64>) -> Self {
+        match v {
+            Some(x) => Datum::F64(x),
+            None => Datum::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_comparisons_are_unknown() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::I64(1)), None);
+        assert_eq!(Datum::I64(1).sql_cmp(&Datum::Null), None);
+        assert!(!Datum::Null.sql_eq(&Datum::Null));
+    }
+
+    #[test]
+    fn numeric_family_compares_across_types() {
+        assert!(Datum::I64(2).sql_eq(&Datum::F64(2.0)));
+        assert_eq!(Datum::I64(1).sql_cmp(&Datum::F64(1.5)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(Datum::from("a").sql_cmp(&Datum::from("b")), Some(Ordering::Less));
+        assert!(Datum::from("S1").sql_eq(&Datum::from("S1")));
+    }
+
+    #[test]
+    fn string_vs_number_is_unknown() {
+        assert_eq!(Datum::from("1").sql_cmp(&Datum::I64(1)), None);
+    }
+
+    #[test]
+    fn timestamps_order() {
+        let a = Datum::Ts(Timestamp::from_secs(1));
+        let b = Datum::Ts(Timestamp::from_secs(2));
+        assert_eq!(a.sql_cmp(&b), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn total_eq_treats_nan_as_equal() {
+        assert_eq!(Datum::F64(f64::NAN), Datum::F64(f64::NAN));
+        assert_eq!(Datum::Null, Datum::Null);
+    }
+
+    #[test]
+    fn option_f64_conversion() {
+        assert_eq!(Datum::from(Some(1.5)), Datum::F64(1.5));
+        assert_eq!(Datum::from(None::<f64>), Datum::Null);
+    }
+
+    #[test]
+    fn display_matches_sql_expectations() {
+        assert_eq!(Datum::Null.to_string(), "NULL");
+        assert_eq!(Datum::I64(42).to_string(), "42");
+        assert_eq!(Datum::from("x").to_string(), "x");
+    }
+}

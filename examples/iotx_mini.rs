@@ -1,0 +1,82 @@
+//! IoT-X in miniature: the whole benchmark pipeline of §5 — generate a TD
+//! and an LD dataset, round-trip the operational stream through CSV (the
+//! paper's simulator reads CSV), run WS1 against ODH and both row-store
+//! baselines, then WS2's eight templates — at a scale that finishes in
+//! seconds. The `odh-bench` binaries run the real thing; this example
+//! shows how to drive the `iotx` crate as a library.
+//!
+//! Run: `cargo run --release --example iotx_mini`
+
+use iotx::csv;
+use iotx::ld::LdSpec;
+use iotx::sink::{JdbcSink, OdhSink};
+use iotx::td::{TdSpec, TradeGen};
+use iotx::ws1::{format_reports as ws1_table, run_ws1, Ws1Options};
+use iotx::ws2::{format_reports as ws2_table, run_template, OpNames, Template};
+use odh_rdb::RdbProfile;
+use odh_sim::ResourceMeter;
+use odh_types::{Duration, Record};
+
+fn main() -> odh_types::Result<()> {
+    let td = TdSpec { accounts: 200, hz_per_account: 20.0, duration: Duration::from_secs(3), seed: 1 };
+    let ld = LdSpec {
+        sensors: 2_000,
+        mean_interval: Duration::from_secs(23),
+        duration: Duration::from_secs(60),
+        tags: 15,
+        seed: 2,
+    };
+    let opts = Ws1Options { wall_limit_secs: 30.0 };
+
+    // The paper's simulator consumes CSV; demonstrate the adapter.
+    let csv_path = std::env::temp_dir().join("iotx_mini_td.csv");
+    let n = csv::write_records(&csv_path, TradeGen::new(&td))?;
+    println!("exported {n} TD records to {}", csv_path.display());
+
+    // ---- WS1: write suite ----
+    let mut ws1 = Vec::new();
+    {
+        let h = odh_bench::odh_for_td(&td, true)?;
+        let mut sink = OdhSink::new(h, "trade")?;
+        let records = csv::CsvReader::open(&csv_path)?.collect::<odh_types::Result<Vec<Record>>>()?;
+        ws1.push(run_ws1("TD(mini)", td.offered_pps(), records.into_iter(), &mut sink, opts)?);
+    }
+    for profile in [RdbProfile::RDB, RdbProfile::MYSQL] {
+        let meter = ResourceMeter::new(8);
+        let mut sink = JdbcSink::new(profile, iotx::td::trade_rel_schema(), meter, 1000)?;
+        ws1.push(run_ws1("TD(mini)", td.offered_pps(), TradeGen::new(&td), &mut sink, opts)?);
+    }
+    println!("\nWS1 (write suite):\n{}", ws1_table(&ws1));
+
+    // ---- WS2: read suite over freshly loaded systems ----
+    let mut ws2 = Vec::new();
+    let td_meta = odh_bench::td_meta(&td);
+    let ld_meta = odh_bench::ld_meta(&ld);
+    let (odh_td, _) = odh_bench::load_td_odh(&td, opts)?;
+    let (rdb_td, _) = odh_bench::load_td_baseline(&td, RdbProfile::RDB, opts)?;
+    let (odh_ld, _) = odh_bench::load_ld_odh(&ld, opts)?;
+    let (rdb_ld, _) = odh_bench::load_ld_baseline(&ld, RdbProfile::RDB, opts)?;
+    let queries = 20;
+    for tpl in Template::TD {
+        ws2.push(run_template(&odh_td.target(OpNames::odh("trade")), tpl, &td_meta, queries, 5)?);
+        ws2.push(run_template(&rdb_td.target(OpNames::rdb_trade()), tpl, &td_meta, queries, 5)?);
+    }
+    for tpl in Template::LD {
+        ws2.push(run_template(&odh_ld.target(OpNames::odh("observation")), tpl, &ld_meta, queries, 6)?);
+        ws2.push(run_template(&rdb_ld.target(OpNames::rdb_observation()), tpl, &ld_meta, queries, 6)?);
+    }
+    println!("WS2 (read suite, {queries} queries per template):\n{}", ws2_table(&ws2));
+
+    // Cross-engine agreement: the same template with the same seed must
+    // return the same number of rows on both engines.
+    for pair in ws2.chunks(2) {
+        assert_eq!(
+            pair[0].rows, pair[1].rows,
+            "{}: ODH={} rows, {}={} rows",
+            pair[0].template, pair[0].rows, pair[1].system, pair[1].rows
+        );
+    }
+    println!("cross-engine row counts agree for all 8 templates ✓");
+    std::fs::remove_file(&csv_path).ok();
+    Ok(())
+}

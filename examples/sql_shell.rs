@@ -1,0 +1,110 @@
+//! An interactive SQL shell over a demo historian — or over a recovered
+//! one.
+//!
+//! ```bash
+//! cargo run --release --example sql_shell             # demo dataset
+//! cargo run --release --example sql_shell -- /path/to/checkpoint/dir
+//! ```
+//!
+//! Commands: any `SELECT ...`; `\e <sql>` for EXPLAIN; `\t` lists tables;
+//! `\q` quits. The demo dataset is the quickstart's environment sensors.
+
+use odh_core::Historian;
+use odh_storage::TableConfig;
+use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use std::io::{BufRead, Write};
+
+fn demo() -> odh_types::Result<Historian> {
+    let h = Historian::builder().servers(2).build()?;
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("environ_data", ["temperature", "wind"]))
+            .with_batch_size(128),
+    )?;
+    for id in 0..10u64 {
+        h.register_source("environ_data", SourceId(id), SourceClass::irregular_low())?;
+    }
+    let info = h.create_relational_table(RelSchema::new(
+        "sensor_info",
+        [("id", DataType::I64), ("area", DataType::Str)],
+    ));
+    info.create_index("idx_id", "id")?;
+    for id in 0..10i64 {
+        info.insert(&Row::new(vec![
+            Datum::I64(id),
+            Datum::str(if id < 4 { "S1" } else { "S2" }),
+        ]))?;
+    }
+    let base = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
+    let mut w = h.writer("environ_data")?;
+    for step in 0..2000i64 {
+        for id in 0..10u64 {
+            let ts = base + Duration::from_secs(step * 30);
+            w.write(&Record::dense(
+                SourceId(id),
+                ts,
+                [15.0 + (step as f64 * 0.01).sin() * 8.0, 3.0 + (id % 4) as f64],
+            ))?;
+        }
+    }
+    h.flush()?;
+    Ok(h)
+}
+
+fn main() -> odh_types::Result<()> {
+    let h = match std::env::args().nth(1) {
+        Some(dir) => {
+            eprintln!("recovering historian from {dir} ...");
+            Historian::open(dir, 8)?
+        }
+        None => {
+            eprintln!("loading demo dataset (10 sensors × 2000 samples) ...");
+            demo()?
+        }
+    };
+    eprintln!("ready. try:  SELECT area, COUNT(*), AVG(temperature) FROM environ_data_v a, sensor_info b WHERE a.id = b.id GROUP BY area");
+    eprintln!("commands: \\e <sql> = explain, \\t = tables (demo set), \\q = quit\n");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("odh> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" || line == "quit" || line == "exit" {
+            break;
+        }
+        if line == "\\t" {
+            println!("environ_data_v (id, timestamp, temperature, wind)");
+            println!("sensor_info    (id, area)");
+            continue;
+        }
+        if let Some(sql) = line.strip_prefix("\\e ") {
+            match h.explain(sql) {
+                Ok(plan) => println!("{plan}"),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        let start = std::time::Instant::now();
+        match h.sql(line) {
+            Ok(result) => {
+                println!("{}", result.columns.join(" | "));
+                for row in result.rows.iter().take(40) {
+                    println!("{row}");
+                }
+                if result.rows.len() > 40 {
+                    println!("... ({} rows total)", result.rows.len());
+                }
+                println!("({} rows, {:.1} ms)", result.rows.len(), start.elapsed().as_secs_f64() * 1e3);
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

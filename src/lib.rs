@@ -1,0 +1,1 @@
+//! Umbrella crate re-exporting the ODH reproduction workspace.

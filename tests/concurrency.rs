@@ -1,0 +1,146 @@
+//! Concurrency: parallel writers, dirty reads under load, and the
+//! non-transactional guarantees §3 describes ("the insertion process does
+//! not support transactions ... the query component adopts a 'dirty read'
+//! isolation level").
+
+use odh_core::Historian;
+use odh_storage::TableConfig;
+use odh_types::{Datum, Record, SchemaType, SourceClass, SourceId, Timestamp};
+use std::sync::Arc;
+
+#[test]
+fn parallel_writers_lose_nothing() {
+    let h = Arc::new(Historian::builder().servers(2).build().unwrap());
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("t", ["v"]))
+            .with_batch_size(32)
+            .with_mg_group_size(4),
+    )
+    .unwrap();
+    let threads = 4u64;
+    let per_thread = 2_000i64;
+    for id in 0..threads {
+        h.register_source("t", SourceId(id), SourceClass::irregular_high()).unwrap();
+    }
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let h = h.clone();
+            s.spawn(move || {
+                let mut w = h.writer("t").unwrap();
+                for i in 0..per_thread {
+                    w.write(&Record::dense(
+                        SourceId(t),
+                        Timestamp(i * 1_000 + t as i64),
+                        [i as f64],
+                    ))
+                    .unwrap();
+                }
+            });
+        }
+    });
+    h.flush().unwrap();
+    let r = h.sql("select COUNT(*) from t_v").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(threads as i64 * per_thread));
+    for id in 0..threads {
+        let r = h.sql(&format!("select COUNT(*) from t_v where id = {id}")).unwrap();
+        assert_eq!(r.rows[0].get(0), &Datum::I64(per_thread));
+    }
+}
+
+#[test]
+fn readers_run_against_live_writers() {
+    // Queries interleaved with ingest must never error and must observe a
+    // monotonically growing (dirty-read) count.
+    let h = Arc::new(Historian::builder().servers(2).build().unwrap());
+    h.define_schema_type(TableConfig::new(SchemaType::new("live", ["v"])).with_batch_size(64))
+        .unwrap();
+    for id in 0..8u64 {
+        h.register_source("live", SourceId(id), SourceClass::irregular_high()).unwrap();
+    }
+    let total = 8_000i64;
+    std::thread::scope(|s| {
+        let writer_h = h.clone();
+        let writer = s.spawn(move || {
+            let mut w = writer_h.writer("live").unwrap();
+            for i in 0..total {
+                w.write(&Record::dense(
+                    SourceId((i % 8) as u64),
+                    Timestamp(i * 100),
+                    [i as f64],
+                ))
+                .unwrap();
+            }
+        });
+        let reader_h = h.clone();
+        s.spawn(move || {
+            let mut last = 0i64;
+            while !writer.is_finished() {
+                let r = reader_h.sql("select COUNT(*) from live_v").unwrap();
+                let n = r.rows[0].get(0).as_i64().unwrap();
+                assert!(n >= last, "count went backwards: {last} -> {n}");
+                last = n;
+            }
+        });
+    });
+    h.flush().unwrap();
+    let r = h.sql("select COUNT(*) from live_v").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(total));
+}
+
+#[test]
+fn dirty_read_sees_points_before_any_batch_seals() {
+    let h = Historian::builder().build().unwrap();
+    // Batch size far above what we write: everything stays in buffers.
+    h.define_schema_type(TableConfig::new(SchemaType::new("buf", ["v"])).with_batch_size(10_000))
+        .unwrap();
+    h.register_source("buf", SourceId(1), SourceClass::irregular_high()).unwrap();
+    let mut w = h.writer("buf").unwrap();
+    for i in 0..50i64 {
+        w.write(&Record::dense(SourceId(1), Timestamp(i), [i as f64])).unwrap();
+    }
+    // No flush. The query must still see all 50 uncommitted points.
+    let r = h.sql("select COUNT(*), MAX(v) from buf_v where id = 1").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(50));
+    assert_eq!(r.rows[0].get(1), &Datum::F64(49.0));
+}
+
+#[test]
+fn reorganize_races_with_ingest_safely() {
+    let h = Arc::new(Historian::builder().build().unwrap());
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("m", ["v"]))
+            .with_batch_size(16)
+            .with_mg_group_size(8),
+    )
+    .unwrap();
+    for id in 0..16u64 {
+        h.register_source("m", SourceId(id), SourceClass::irregular_low()).unwrap();
+    }
+    std::thread::scope(|s| {
+        let writer_h = h.clone();
+        let writer = s.spawn(move || {
+            let mut w = writer_h.writer("m").unwrap();
+            for i in 0..4_000i64 {
+                w.write(&Record::dense(
+                    SourceId((i % 16) as u64),
+                    Timestamp(i * 1_000),
+                    [i as f64],
+                ))
+                .unwrap();
+                if i % 1000 == 0 {
+                    writer_h.flush().unwrap();
+                }
+            }
+        });
+        let reorg_h = h.clone();
+        s.spawn(move || {
+            while !writer.is_finished() {
+                reorg_h.reorganize().unwrap();
+            }
+        });
+    });
+    h.flush().unwrap();
+    h.reorganize().unwrap();
+    let r = h.sql("select COUNT(*) from m_v").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(4_000));
+}

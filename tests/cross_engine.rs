@@ -1,0 +1,126 @@
+//! Differential testing: the same IoT-X dataset loaded into ODH and into
+//! the row-store baseline must give **identical result multisets** for
+//! every one of the eight query templates. This is the strongest
+//! correctness check in the workspace — two completely different storage
+//! engines (batched blobs + VTI vs heap tuples + per-row indexes), one
+//! answer.
+
+use iotx::ld::LdSpec;
+use iotx::td::TdSpec;
+use iotx::ws1::Ws1Options;
+use iotx::ws2::{instantiate, OpNames, Template};
+use odh_bench::{ld_meta, load_ld_baseline, load_ld_odh, load_td_baseline, load_td_odh, td_meta};
+use odh_rdb::RdbProfile;
+use odh_types::{Duration, Row};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Canonical multiset form of a result: rows rendered and sorted.
+/// (Column orders already match because both engines run the same
+/// template with the same projection list.)
+fn canon(rows: &[Row]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn td_templates_agree_between_engines() {
+    let spec =
+        TdSpec { accounts: 60, hz_per_account: 20.0, duration: Duration::from_secs(4), seed: 17 };
+    let opts = Ws1Options { wall_limit_secs: 60.0 };
+    let (odh, r1) = load_td_odh(&spec, opts).unwrap();
+    let (rdb, r2) = load_td_baseline(&spec, RdbProfile::RDB, opts).unwrap();
+    assert_eq!(r1.records, r2.records, "identical generated stream");
+    let meta = td_meta(&spec);
+    let odh_names = OpNames::odh("trade");
+    let rdb_names = OpNames::rdb_trade();
+    for (k, tpl) in Template::TD.into_iter().enumerate() {
+        let mut rng_a = StdRng::seed_from_u64(900 + k as u64);
+        let mut rng_b = StdRng::seed_from_u64(900 + k as u64);
+        for q in 0..8 {
+            let qa = instantiate(tpl, &odh_names, &meta, &mut rng_a);
+            let qb = instantiate(tpl, &rdb_names, &meta, &mut rng_b);
+            let ra = odh.historian.sql(&qa).unwrap_or_else(|e| panic!("{qa}: {e}"));
+            let rb = rdb.engine.query(&qb).unwrap_or_else(|e| panic!("{qb}: {e}"));
+            // TQ1/TQ2 are `select *`; the engines' column orders differ
+            // (id,timestamp,... vs t_dts,t_ca_id,...), so compare counts
+            // there and exact multisets on the projected templates.
+            match tpl {
+                Template::Tq1 | Template::Tq2 => {
+                    assert_eq!(ra.rows.len(), rb.rows.len(), "{tpl:?} q{q}\n{qa}\n{qb}");
+                    assert_eq!(ra.data_points(), rb.data_points(), "{tpl:?} q{q}");
+                }
+                _ => {
+                    assert_eq!(canon(&ra.rows), canon(&rb.rows), "{tpl:?} q{q}\n{qa}\n{qb}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ld_templates_agree_between_engines() {
+    let spec = LdSpec {
+        sensors: 120,
+        mean_interval: Duration::from_secs(10),
+        duration: Duration::from_secs(60),
+        tags: 15,
+        seed: 23,
+    };
+    let opts = Ws1Options { wall_limit_secs: 60.0 };
+    let (odh, r1) = load_ld_odh(&spec, opts).unwrap();
+    let (rdb, r2) = load_ld_baseline(&spec, RdbProfile::MYSQL, opts).unwrap();
+    assert_eq!(r1.records, r2.records);
+    let meta = ld_meta(&spec);
+    let odh_names = OpNames::odh("observation");
+    let rdb_names = OpNames::rdb_observation();
+    for (k, tpl) in Template::LD.into_iter().enumerate() {
+        let mut rng_a = StdRng::seed_from_u64(700 + k as u64);
+        let mut rng_b = StdRng::seed_from_u64(700 + k as u64);
+        for q in 0..8 {
+            let qa = instantiate(tpl, &odh_names, &meta, &mut rng_a);
+            let qb = instantiate(tpl, &rdb_names, &meta, &mut rng_b);
+            let ra = odh.historian.sql(&qa).unwrap_or_else(|e| panic!("{qa}: {e}"));
+            let rb = rdb.engine.query(&qb).unwrap_or_else(|e| panic!("{qb}: {e}"));
+            match tpl {
+                Template::Lq1 => {
+                    assert_eq!(ra.rows.len(), rb.rows.len(), "{tpl:?} q{q}\n{qa}");
+                    assert_eq!(ra.data_points(), rb.data_points(), "{tpl:?} q{q}");
+                }
+                _ => {
+                    assert_eq!(canon(&ra.rows), canon(&rb.rows), "{tpl:?} q{q}\n{qa}\n{qb}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ld_agreement_survives_reorganization() {
+    let spec = LdSpec {
+        sensors: 80,
+        mean_interval: Duration::from_secs(8),
+        duration: Duration::from_secs(40),
+        tags: 15,
+        seed: 31,
+    };
+    let opts = Ws1Options { wall_limit_secs: 60.0 };
+    let (odh, _) = load_ld_odh(&spec, opts).unwrap();
+    let (rdb, _) = load_ld_baseline(&spec, RdbProfile::RDB, opts).unwrap();
+    odh.historian.reorganize().unwrap();
+    let meta = ld_meta(&spec);
+    let odh_names = OpNames::odh("observation");
+    let rdb_names = OpNames::rdb_observation();
+    for tpl in [Template::Lq2, Template::Lq3, Template::Lq4] {
+        let mut rng_a = StdRng::seed_from_u64(55);
+        let mut rng_b = StdRng::seed_from_u64(55);
+        for _ in 0..5 {
+            let qa = instantiate(tpl, &odh_names, &meta, &mut rng_a);
+            let qb = instantiate(tpl, &rdb_names, &meta, &mut rng_b);
+            let ra = odh.historian.sql(&qa).unwrap();
+            let rb = rdb.engine.query(&qb).unwrap();
+            assert_eq!(canon(&ra.rows), canon(&rb.rows), "{tpl:?}\n{qa}\n{qb}");
+        }
+    }
+}

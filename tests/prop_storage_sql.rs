@@ -1,0 +1,143 @@
+//! Property-based cross-checks at the system level:
+//! - the storage engine vs a naive in-memory model (arbitrary record
+//!   streams, arbitrary scan windows);
+//! - the SQL executor vs a naive evaluator on random mini-datasets.
+
+use odh_core::Historian;
+use odh_sql::provider::MemTable;
+use odh_sql::SqlEngine;
+use odh_storage::TableConfig;
+use odh_types::{Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use proptest::prelude::*;
+
+/// Arbitrary operational stream: (source 0..4, ts, value, maybe-null).
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, i64, f64, bool)>> {
+    prop::collection::vec(
+        (0u64..4, 0i64..500_000, -100.0f64..100.0, any::<bool>()),
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn scans_match_naive_model(stream in arb_stream(), win in (0i64..500_000, 1i64..250_000)) {
+        let h = Historian::builder().servers(2).build().unwrap();
+        h.define_schema_type(
+            TableConfig::new(SchemaType::new("p", ["v"]))
+                .with_batch_size(16)
+                .with_mg_group_size(2),
+        )
+        .unwrap();
+        for id in 0..4u64 {
+            h.register_source("p", SourceId(id), SourceClass::irregular_high()).unwrap();
+        }
+        let mut w = h.writer("p").unwrap();
+        for &(id, ts, v, null) in &stream {
+            let values = if null { vec![None] } else { vec![Some(v)] };
+            w.write(&Record::new(SourceId(id), Timestamp(ts), values)).unwrap();
+        }
+        h.flush().unwrap();
+
+        let (t1, t2) = (win.0, win.0 + win.1);
+        // Naive model: count rows per source in window.
+        for id in 0..4u64 {
+            let expect = stream
+                .iter()
+                .filter(|(s, ts, _, _)| *s == id && (t1..=t2).contains(ts))
+                .count() as i64;
+            let r = h
+                .sql(&format!(
+                    "select COUNT(*) from p_v where id = {id} and timestamp between '{}' and '{}'",
+                    Timestamp(t1),
+                    Timestamp(t2)
+                ))
+                .unwrap();
+            prop_assert_eq!(r.rows[0].get(0), &Datum::I64(expect), "id={}", id);
+        }
+        // Slice across all sources, non-null values only.
+        let expect_sum: f64 = stream
+            .iter()
+            .filter(|(_, ts, _, null)| !null && (t1..=t2).contains(ts))
+            .map(|(_, _, v, _)| v)
+            .sum();
+        let r = h
+            .sql(&format!(
+                "select SUM(v) from p_v where timestamp between '{}' and '{}'",
+                Timestamp(t1),
+                Timestamp(t2)
+            ))
+            .unwrap();
+        match r.rows[0].get(0) {
+            Datum::Null => prop_assert!(expect_sum == 0.0),
+            d => prop_assert!((d.as_f64().unwrap() - expect_sum).abs() < 1e-6),
+        }
+    }
+
+    #[test]
+    fn sql_filters_match_naive_evaluator(
+        rows in prop::collection::vec((0i64..20, -50.0f64..50.0), 0..80),
+        threshold in -50.0f64..50.0,
+        key in 0i64..20,
+    ) {
+        let engine = SqlEngine::new();
+        let t = MemTable::new(RelSchema::new(
+            "data",
+            [("k", odh_types::DataType::I64), ("x", odh_types::DataType::F64)],
+        ));
+        for &(k, x) in &rows {
+            t.insert(Row::new(vec![Datum::I64(k), Datum::F64(x)]));
+        }
+        t.create_index("k");
+        engine.register(t);
+
+        let r = engine.query(&format!("select k, x from data where x > {threshold}")).unwrap();
+        let expect = rows.iter().filter(|(_, x)| *x > threshold).count();
+        prop_assert_eq!(r.rows.len(), expect);
+
+        let r = engine.query(&format!("select COUNT(*) from data where k = {key}")).unwrap();
+        let expect = rows.iter().filter(|(k, _)| *k == key).count() as i64;
+        prop_assert_eq!(r.rows[0].get(0), &Datum::I64(expect));
+
+        // Conjunction.
+        let r = engine
+            .query(&format!("select x from data where k = {key} and x > {threshold}"))
+            .unwrap();
+        let expect = rows.iter().filter(|(k, x)| *k == key && *x > threshold).count();
+        prop_assert_eq!(r.rows.len(), expect);
+
+        // GROUP BY totals must cover every row exactly once.
+        let r = engine.query("select k, COUNT(*) from data group by k").unwrap();
+        let total: i64 = r.rows.iter().map(|row| row.get(1).as_i64().unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64);
+    }
+
+    #[test]
+    fn join_matches_naive_nested_loops(
+        left in prop::collection::vec(0i64..10, 0..40),
+        right in prop::collection::vec(0i64..10, 0..40),
+    ) {
+        let engine = SqlEngine::new();
+        let a = MemTable::new(RelSchema::new("a", [("x", odh_types::DataType::I64)]));
+        for &x in &left {
+            a.insert(Row::new(vec![Datum::I64(x)]));
+        }
+        let b = MemTable::new(RelSchema::new("b", [("y", odh_types::DataType::I64)]));
+        for &y in &right {
+            b.insert(Row::new(vec![Datum::I64(y)]));
+        }
+        b.create_index("y");
+        engine.register(a);
+        engine.register(b);
+        let r = engine.query("select x, y from a, b where a.x = b.y").unwrap();
+        let expect: usize = left
+            .iter()
+            .map(|x| right.iter().filter(|y| *y == x).count())
+            .sum();
+        prop_assert_eq!(r.rows.len(), expect);
+        for row in &r.rows {
+            prop_assert_eq!(row.get(0), row.get(1));
+        }
+    }
+}

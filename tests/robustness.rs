@@ -1,0 +1,134 @@
+//! Error paths through the public APIs: every failure must be a typed
+//! `OdhError`, never a panic or silent corruption.
+
+use odh_core::Historian;
+use odh_storage::batch::Batch;
+use odh_storage::TableConfig;
+use odh_types::{DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+
+fn historian() -> Historian {
+    let h = Historian::builder().build().unwrap();
+    h.define_schema_type(TableConfig::new(SchemaType::new("t", ["a", "b"])).with_batch_size(8))
+        .unwrap();
+    h.register_source("t", SourceId(1), SourceClass::irregular_high()).unwrap();
+    h
+}
+
+#[test]
+fn writes_to_unknown_sources_and_types_fail_cleanly() {
+    let h = historian();
+    let mut w = h.writer("t").unwrap();
+    let err = w.write(&Record::dense(SourceId(99), Timestamp(0), [1.0, 2.0])).err().unwrap();
+    assert_eq!(err.kind(), "not_found");
+    assert!(h.writer("missing_type").is_err());
+    let err = w.write(&Record::dense(SourceId(1), Timestamp(0), [1.0])).err().unwrap();
+    assert_eq!(err.kind(), "schema");
+}
+
+#[test]
+fn sql_errors_are_typed() {
+    let h = historian();
+    assert_eq!(h.sql("this is not sql").err().unwrap().kind(), "parse");
+    assert_eq!(h.sql("select nope from t_v").err().unwrap().kind(), "plan");
+    assert_eq!(h.sql("select * from missing").err().unwrap().kind(), "plan");
+    assert_eq!(
+        h.sql("select * from t_v where timestamp > 'not a time'").err().unwrap().kind(),
+        "plan"
+    );
+    assert_eq!(h.sql("select a, COUNT(*) from t_v").err().unwrap().kind(), "plan");
+    // A well-formed query on an empty table is NOT an error.
+    assert_eq!(h.sql("select * from t_v where id = 1").unwrap().rows.len(), 0);
+}
+
+#[test]
+fn corrupt_batch_payloads_are_rejected() {
+    assert_eq!(Batch::deserialize(&[]).err().unwrap().kind(), "corrupt");
+    assert_eq!(Batch::deserialize(&[42, 1, 2, 3]).err().unwrap().kind(), "corrupt");
+    // A valid RTS batch, truncated mid-blob, must fail decode — not panic.
+    use odh_compress::column::Policy;
+    use odh_storage::blob::ValueBlob;
+    let ts: Vec<i64> = (0..50).map(|i| i * 1_000).collect();
+    let cols = vec![ts.iter().map(|&t| Some(t as f64)).collect::<Vec<_>>()];
+    let b = odh_storage::batch::RtsBatch {
+        source: SourceId(1),
+        begin: 0,
+        interval: 1_000,
+        count: 50,
+        blob: ValueBlob::encode(&ts, &cols, Policy::Lossless),
+    };
+    let bytes = b.serialize();
+    for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 3] {
+        match Batch::deserialize(&bytes[..cut]) {
+            // Header may survive the cut; decoding the blob must not.
+            Ok(Batch::Rts(r)) => {
+                assert!(r.blob.decode_tags(&r.timestamps(), &[0]).is_err(), "cut={cut}");
+            }
+            Ok(other) => panic!("wrong structure {other:?}"),
+            Err(e) => assert_eq!(e.kind(), "corrupt"),
+        }
+    }
+}
+
+#[test]
+fn relational_inserts_validate_types() {
+    let h = historian();
+    let t = h.create_relational_table(RelSchema::new(
+        "dim",
+        [("id", DataType::I64), ("name", DataType::Str)],
+    ));
+    let err = t.insert(&Row::new(vec![Datum::str("x"), Datum::str("y")])).err().unwrap();
+    assert_eq!(err.kind(), "schema");
+    let err = t.insert(&Row::new(vec![Datum::I64(1)])).err().unwrap();
+    assert_eq!(err.kind(), "schema");
+    t.insert(&Row::new(vec![Datum::I64(1), Datum::str("ok")])).unwrap();
+    assert_eq!(t.row_count(), 1);
+}
+
+#[test]
+fn csv_reader_surfaces_errors_and_keeps_going_until_then() {
+    let dir = std::env::temp_dir().join(format!("odh-robust-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join("mixed.csv");
+    std::fs::write(&p, "1,1000,1.5\n2,2000,\n3,broken\n").unwrap();
+    let rows: Vec<_> = iotx::csv::CsvReader::open(&p).unwrap().collect();
+    assert!(rows[0].is_ok());
+    assert!(rows[1].is_ok(), "empty value field is NULL, not an error");
+    assert_eq!(rows[2].as_ref().err().unwrap().kind(), "corrupt");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn queries_with_empty_ranges_and_extreme_bounds() {
+    let h = historian();
+    let mut w = h.writer("t").unwrap();
+    for i in 0..20i64 {
+        w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [1.0, 2.0])).unwrap();
+    }
+    h.flush().unwrap();
+    // Inverted range → empty, not error.
+    let r = h
+        .sql("select * from t_v where timestamp between '2020-01-01 00:00:00' and '2019-01-01 00:00:00'")
+        .unwrap();
+    assert!(r.rows.is_empty());
+    // Range ending before epoch.
+    let r = h
+        .sql("select * from t_v where timestamp between '1960-01-01 00:00:00' and '1961-01-01 00:00:00'")
+        .unwrap();
+    assert!(r.rows.is_empty());
+    // Negative ids simply match nothing.
+    let r = h.sql("select * from t_v where id = -5").unwrap();
+    assert!(r.rows.is_empty());
+}
+
+#[test]
+fn duplicate_definitions_rejected() {
+    let h = historian();
+    let err = h
+        .define_schema_type(TableConfig::new(SchemaType::new("t", ["a", "b"])))
+        .err()
+        .unwrap();
+    assert_eq!(err.kind(), "config");
+    let err =
+        h.register_source("t", SourceId(1), SourceClass::irregular_high()).err().unwrap();
+    assert_eq!(err.kind(), "config");
+}

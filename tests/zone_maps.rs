@@ -1,0 +1,147 @@
+//! The paper's §6 future work, implemented and verified: per-tag zone
+//! bounds in ValueBlob headers let scans with attribute-value predicates
+//! skip batches without decoding their blobs.
+
+use odh_core::Historian;
+use odh_storage::TableConfig;
+use odh_types::{Datum, Record, SchemaType, SourceClass, SourceId, Timestamp};
+
+/// Build a historian where each source's temperature lives in a disjoint
+/// band, so a narrow predicate can only match one source's batches.
+fn banded_historian() -> Historian {
+    let h = Historian::builder().build().unwrap();
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("s", ["temperature", "noise"])).with_batch_size(32),
+    )
+    .unwrap();
+    for id in 0..8u64 {
+        h.register_source("s", SourceId(id), SourceClass::irregular_high()).unwrap();
+    }
+    let mut w = h.writer("s").unwrap();
+    for i in 0..256i64 {
+        for id in 0..8u64 {
+            // Band for source k: [100k, 100k + 10).
+            let temp = 100.0 * id as f64 + (i % 10) as f64;
+            w.write(&Record::dense(
+                SourceId(id),
+                Timestamp(i * 1_000 + id as i64),
+                [temp, (i * 37 % 101) as f64],
+            ))
+            .unwrap();
+        }
+    }
+    h.flush().unwrap();
+    h
+}
+
+fn pruned(h: &Historian) -> u64 {
+    h.cluster()
+        .servers()
+        .iter()
+        .map(|s| s.table("s").unwrap().stats().snapshot().batches_zone_pruned)
+        .sum()
+}
+
+#[test]
+fn tag_predicates_prune_batches_without_changing_results() {
+    let h = banded_historian();
+    // Ground truth from an unprunable query (id only).
+    let all = h.sql("select temperature from s_v where id = 3").unwrap();
+    assert_eq!(all.rows.len(), 256);
+
+    let before = pruned(&h);
+    // Only source 3's band intersects [300, 310).
+    let r = h
+        .sql("select id, temperature, noise from s_v where temperature >= 300 and temperature < 310")
+        .unwrap();
+    assert_eq!(r.rows.len(), 8 * 256 / 8); // all 256 rows of source 3
+    assert!(r.rows.iter().all(|row| row.get(0) == &Datum::I64(3)));
+    let after = pruned(&h);
+    // 7 of 8 sources' batches (8 batches each at b=32) skipped undecoded.
+    assert_eq!(after - before, 7 * 8, "expected zone pruning to skip 56 batches");
+}
+
+#[test]
+fn equality_predicates_prune_too() {
+    let h = banded_historian();
+    let before = pruned(&h);
+    let r = h.sql("select id from s_v where temperature = 405").unwrap();
+    assert!(r.rows.iter().all(|row| row.get(0) == &Datum::I64(4)));
+    assert!(!r.rows.is_empty());
+    assert!(pruned(&h) > before);
+}
+
+#[test]
+fn out_of_range_predicate_prunes_everything() {
+    let h = banded_historian();
+    let before = pruned(&h);
+    let r = h.sql("select COUNT(*) from s_v where temperature > 10000").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(0));
+    assert_eq!(pruned(&h) - before, 64, "every batch pruned by its header");
+}
+
+#[test]
+fn lossy_policy_widens_bounds_soundly() {
+    use odh_compress::column::Policy;
+    let h = Historian::builder().build().unwrap();
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("m", ["v"]))
+            .with_batch_size(64)
+            .with_policy(Policy::Lossy { max_dev: 5.0 }),
+    )
+    .unwrap();
+    h.register_source("m", SourceId(1), SourceClass::irregular_high()).unwrap();
+    let mut w = h.writer("m").unwrap();
+    for i in 0..128i64 {
+        w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [50.0 + (i % 3) as f64]))
+            .unwrap();
+    }
+    h.flush().unwrap();
+    // Raw values are in [50, 52]; reconstruction may wander ±5. A
+    // predicate just outside the raw range must NOT be zone-pruned into a
+    // wrong empty result: the bounds were widened by max_dev at encode.
+    let r = h.sql("select COUNT(*) from m_v where v > 49").unwrap();
+    assert!(r.rows[0].get(0).as_i64().unwrap() > 0);
+    // But far outside the widened range still prunes.
+    let before: u64 = h
+        .cluster()
+        .servers()
+        .iter()
+        .map(|s| s.table("m").unwrap().stats().snapshot().batches_zone_pruned)
+        .sum();
+    let r = h.sql("select COUNT(*) from m_v where v > 100").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(0));
+    let after: u64 = h
+        .cluster()
+        .servers()
+        .iter()
+        .map(|s| s.table("m").unwrap().stats().snapshot().batches_zone_pruned)
+        .sum();
+    assert!(after > before);
+}
+
+#[test]
+fn all_null_columns_prune_comparisons() {
+    let h = Historian::builder().build().unwrap();
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("n", ["a", "b"])).with_batch_size(16),
+    )
+    .unwrap();
+    h.register_source("n", SourceId(1), SourceClass::irregular_high()).unwrap();
+    let mut w = h.writer("n").unwrap();
+    for i in 0..64i64 {
+        // Column b is never measured.
+        w.write(&Record::new(SourceId(1), Timestamp(i * 1000), vec![Some(i as f64), None]))
+            .unwrap();
+    }
+    h.flush().unwrap();
+    let r = h.sql("select COUNT(*) from n_v where b > 0").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(0));
+    let prunes: u64 = h
+        .cluster()
+        .servers()
+        .iter()
+        .map(|s| s.table("n").unwrap().stats().snapshot().batches_zone_pruned)
+        .sum();
+    assert_eq!(prunes, 4, "all four batches skipped via the NULL zone");
+}
