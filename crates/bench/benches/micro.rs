@@ -13,7 +13,9 @@ use odh_rdb::{RdbProfile, RowTable};
 use odh_sim::ResourceMeter;
 use odh_storage::blob::ValueBlob;
 use odh_storage::{OdhTable, TableConfig};
-use odh_types::{DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 use std::sync::Arc;
 
 fn bench_codecs(c: &mut Criterion) {
@@ -41,7 +43,9 @@ fn bench_codecs(c: &mut Criterion) {
         })
     });
     g.bench_function("column_auto_lossy", |b| {
-        b.iter(|| encode_column(black_box(&ts), black_box(&smooth), Policy::Lossy { max_dev: 0.05 }))
+        b.iter(|| {
+            encode_column(black_box(&ts), black_box(&smooth), Policy::Lossy { max_dev: 0.05 })
+        })
     });
     let (codec, bytes) = encode_column(&ts, &fluct, Policy::Lossy { max_dev: 0.01 });
     g.bench_function("column_decode", |b| {
@@ -133,9 +137,7 @@ fn bench_ingest_paths(c: &mut Criterion) {
     g.bench_function("odh_put", |b| {
         b.iter(|| {
             ts += 1000;
-            table
-                .put(&Record::dense(SourceId(1), Timestamp(ts), [1.0, 2.0, 3.0, 4.0]))
-                .unwrap()
+            table.put(&Record::dense(SourceId(1), Timestamp(ts), [1.0, 2.0, 3.0, 4.0])).unwrap()
         })
     });
 
@@ -178,5 +180,51 @@ fn bench_ingest_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codecs, bench_blob, bench_btree, bench_ingest_paths);
+fn bench_ingest_parallel(c: &mut Criterion) {
+    use iotx::td::{trade_schema_type, TdSpec, TradeGen};
+    use odh_core::{Cluster, ParallelWriter};
+
+    // A TD(1,1) slice: 1000 accounts at 20 Hz. Generated once; every
+    // iteration ingests the same records into a fresh two-server cluster.
+    let spec = TdSpec::scaled(1, 1, 1);
+    let records: Vec<Record> = TradeGen::new(&spec).collect();
+    let points: u64 = records.iter().map(|r| r.data_points() as u64).sum();
+
+    let mut g = c.benchmark_group("ingest_parallel");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(points));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let cluster = Cluster::in_memory(2, ResourceMeter::unmetered());
+                cluster
+                    .define_schema_type(
+                        TableConfig::new(trade_schema_type())
+                            .with_batch_size(512)
+                            .with_mg_group_size(1),
+                    )
+                    .unwrap();
+                for a in 0..spec.accounts {
+                    cluster
+                        .register_source("trade", SourceId(a), SourceClass::irregular_high())
+                        .unwrap();
+                }
+                let w = ParallelWriter::new(cluster, "trade").unwrap().with_threads(threads);
+                w.write_batch(black_box(&records)).unwrap();
+                w.flush().unwrap();
+                w.written()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_blob,
+    bench_btree,
+    bench_ingest_paths,
+    bench_ingest_parallel
+);
 criterion_main!(benches);

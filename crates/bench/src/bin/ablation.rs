@@ -40,7 +40,13 @@ fn regular_stream(n_sources: u64, points_per_source: i64) -> Vec<Record> {
     out
 }
 
-fn build(b: usize, group: u64, policy: Policy, class: SourceClass, n_sources: u64) -> Arc<Historian> {
+fn build(
+    b: usize,
+    group: u64,
+    policy: Policy,
+    class: SourceClass,
+    n_sources: u64,
+) -> Arc<Historian> {
     let h = Arc::new(Historian::builder().build().unwrap());
     h.define_schema_type(
         TableConfig::new(SchemaType::new("t", ["v"]))
@@ -56,7 +62,7 @@ fn build(b: usize, group: u64, policy: Policy, class: SourceClass, n_sources: u6
 }
 
 fn ingest(h: &Arc<Historian>, records: &[Record]) -> f64 {
-    let mut w = h.writer("t").unwrap();
+    let w = h.writer("t").unwrap();
     let t = Instant::now();
     for r in records {
         w.write(r).unwrap();

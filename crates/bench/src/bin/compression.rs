@@ -100,7 +100,10 @@ fn main() {
         max_dev,
     };
     println!("RDB storage:            {:>10.2} MB", report.rdb_mb);
-    println!("ODH lossless:           {:>10.2} MB ({:.1}x vs RDB)", report.odh_lossless_mb, report.lossless_factor_vs_rdb);
+    println!(
+        "ODH lossless:           {:>10.2} MB ({:.1}x vs RDB)",
+        report.odh_lossless_mb, report.lossless_factor_vs_rdb
+    );
     println!(
         "ODH lossy (dev {max_dev}):   {:>10.2} MB ({:.1}x vs RDB; paper: >35x)",
         report.odh_lossy_mb, report.lossy_factor_vs_rdb
@@ -114,7 +117,11 @@ fn main() {
     let (c1, b1) = encode_column(&ts, &smooth, Policy::Lossy { max_dev: 0.05 });
     let (c2, b2) = encode_column(&ts, &fluct, Policy::Lossy { max_dev: 0.01 });
     println!("  smooth weather column → {:?}, {:.1}x", c1, 4096.0 * 8.0 / b1.len() as f64);
-    println!("  PMU-style waveform    → {:?}, {:.1}x (paper band: 4–16x)", c2, 4096.0 * 8.0 / b2.len() as f64);
+    println!(
+        "  PMU-style waveform    → {:?}, {:.1}x (paper band: 4–16x)",
+        c2,
+        4096.0 * 8.0 / b2.len() as f64
+    );
     assert_eq!(c1, Codec::Linear);
     assert_eq!(c2, Codec::Quantize);
 

@@ -24,6 +24,12 @@ use odh_types::{SourceClass, SourceId};
 use std::sync::Arc;
 
 fn main() {
+    // `--threads 1,2,4,8`: run the parallel-ingest scaling sweep on the
+    // TD(1,1) slice instead of the figure grid; emits BENCH_ingest.json.
+    if let Some(counts) = odh_bench::parse_threads_arg() {
+        odh_bench::run_ingest_bench_cli(&counts).expect("ingest bench");
+        return;
+    }
     odh_bench::banner("Figure 5: TD insert throughput and CPU rate", "§5.3, Fig. 5(a,b)");
     let secs: i64 = std::env::var("TD_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
     let wall: f64 =
@@ -41,13 +47,10 @@ fn main() {
     for &(i, j) in &cells {
         let spec = TdSpec::scaled(i, j, secs);
         // ODH.
-        let h = Arc::new(
-            Historian::builder().servers(2).metered_cores(BENCH_CORES).build().unwrap(),
-        );
-        h.define_schema_type(
-            TableConfig::new(iotx::td::trade_schema_type()).with_batch_size(128),
-        )
-        .unwrap();
+        let h =
+            Arc::new(Historian::builder().servers(2).metered_cores(BENCH_CORES).build().unwrap());
+        h.define_schema_type(TableConfig::new(iotx::td::trade_schema_type()).with_batch_size(128))
+            .unwrap();
         for a in 0..spec.accounts {
             h.register_source("trade", SourceId(a), SourceClass::irregular_high()).unwrap();
         }

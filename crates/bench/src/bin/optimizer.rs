@@ -34,8 +34,10 @@ fn main() {
     println!("selective box (≈1 sensor):\n  {plan_selective}\n");
     println!("broad box (≈all sensors):\n  {plan_broad}\n");
 
-    let sel_sensor_first = plan_selective.starts_with("scan l") || plan_selective.contains("scan linkedsensor");
-    let broad_obs_first = plan_broad.starts_with("scan o") || plan_broad.contains("scan observation");
+    let sel_sensor_first =
+        plan_selective.starts_with("scan l") || plan_selective.contains("scan linkedsensor");
+    let broad_obs_first =
+        plan_broad.starts_with("scan o") || plan_broad.contains("scan observation");
     println!("selective → dimension-first plan: {sel_sensor_first}");
     println!("broad     → observation-first plan: {broad_obs_first}");
 

@@ -15,7 +15,10 @@ fn main() {
         ("Regular low frequency", SourceClass::regular_low(Duration::from_minutes(15))),
         ("Irregular low frequency", SourceClass::irregular_low()),
     ];
-    println!("{:<26} {:>10} {:>12} {:>17}", "Data Source", "Ingestion", "Slice Query", "Historical Query");
+    println!(
+        "{:<26} {:>10} {:>12} {:>17}",
+        "Data Source", "Ingestion", "Slice Query", "Historical Query"
+    );
     for (name, class) in rows {
         println!(
             "{:<26} {:>10} {:>12} {:>17}",

@@ -13,10 +13,15 @@
 use iotx::cases::vehicles;
 
 fn main() {
+    // `--threads 1,2,4,8`: run the parallel-ingest scaling sweep instead
+    // of the load test; emits BENCH_ingest.json.
+    if let Some(counts) = odh_bench::parse_threads_arg() {
+        odh_bench::run_ingest_bench_cli(&counts).expect("ingest bench");
+        return;
+    }
     odh_bench::banner("Table 3: connected-vehicles load test", "§4.3, Table 3");
     let scale = iotx::env_scale(100);
-    let secs: i64 =
-        std::env::var("VEHICLE_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(120);
+    let secs: i64 = std::env::var("VEHICLE_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(120);
     println!("vehicle scale divisor: {scale}; virtual seconds: {secs}\n");
     println!(
         "{:<3} {:>10} {:>8} {:>14} {:>14} {:>10} {:>12}   paper dp/s | CPU",

@@ -81,8 +81,7 @@ fn main() {
                 .build()
                 .unwrap(),
         );
-        h.define_schema_type(TableConfig::new(trade_schema_type()).with_batch_size(512))
-            .unwrap();
+        h.define_schema_type(TableConfig::new(trade_schema_type()).with_batch_size(512)).unwrap();
         for a in 0..spec.accounts {
             h.register_source("trade", SourceId(a), SourceClass::irregular_high()).unwrap();
         }

@@ -11,11 +11,11 @@
 //! Env: `TD_SECS` (default 20), `LD_SECS` (default 120), `IOTX_SCALE` LD
 //! divisor (default 500), `WS2_QUERIES` per template (default 100).
 
-use iotx::ws2::{format_reports, run_template, OpNames, Template, Ws2Report};
-use odh_bench::{ld_meta, load_ld_baseline, load_ld_odh, load_td_baseline, load_td_odh, td_meta};
 use iotx::ld::LdSpec;
 use iotx::td::TdSpec;
 use iotx::ws1::Ws1Options;
+use iotx::ws2::{format_reports, run_template, OpNames, Template, Ws2Report};
+use odh_bench::{ld_meta, load_ld_baseline, load_ld_odh, load_td_baseline, load_td_odh, td_meta};
 use odh_rdb::RdbProfile;
 
 fn main() {
@@ -39,8 +39,7 @@ fn main() {
     let (odh, _) = load_td_odh(&td_spec, opts).unwrap();
     let odh_target = odh.target(OpNames::odh("trade"));
     for (k, tpl) in Template::TD.into_iter().enumerate() {
-        reports
-            .push(run_template(&odh_target, tpl, &meta, n_queries, 42 + k as u64).unwrap());
+        reports.push(run_template(&odh_target, tpl, &meta, n_queries, 42 + k as u64).unwrap());
         eprintln!("  ODH {} done", tpl.id());
     }
     drop(odh_target);
@@ -69,8 +68,7 @@ fn main() {
     }
     let odh_target = odh.target(OpNames::odh("observation"));
     for (k, tpl) in Template::LD.into_iter().enumerate() {
-        reports
-            .push(run_template(&odh_target, tpl, &meta, n_queries, 77 + k as u64).unwrap());
+        reports.push(run_template(&odh_target, tpl, &meta, n_queries, 77 + k as u64).unwrap());
         eprintln!("  ODH {} done", tpl.id());
     }
     drop(odh_target);

@@ -251,7 +251,7 @@ mod tests {
             n += 1;
         }
         assert!(n > 200); // 16B keys + 8B payload + 4B slot ≈ 28B/entry
-        // Remove half, rebuild, space returns.
+                          // Remove half, rebuild, space returns.
         let keep: Vec<_> = all_entries(&b).into_iter().step_by(2).collect();
         rebuild(&mut b, true, 99, &keep);
         assert_eq!(count(&b), n.div_ceil(2));

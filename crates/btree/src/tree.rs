@@ -126,7 +126,12 @@ impl BTree {
 
     /// Recursive insert; returns the separator and new right sibling when
     /// `page` split.
-    fn insert_rec(&self, page: PageId, key: &[u8], value: u64) -> Result<Option<(Vec<u8>, PageId)>> {
+    fn insert_rec(
+        &self,
+        page: PageId,
+        key: &[u8],
+        value: u64,
+    ) -> Result<Option<(Vec<u8>, PageId)>> {
         let (is_leaf, child) = self.pool.with_page(page, |buf| {
             if node::is_leaf(buf) {
                 (true, PageId(NO_PAGE))
@@ -191,7 +196,12 @@ impl BTree {
         Ok((sep, right_page))
     }
 
-    fn split_interior(&self, page: PageId, sep: &[u8], new_child: PageId) -> Result<(Vec<u8>, PageId)> {
+    fn split_interior(
+        &self,
+        page: PageId,
+        sep: &[u8],
+        new_child: PageId,
+    ) -> Result<(Vec<u8>, PageId)> {
         let (mut entries, leftmost) =
             self.pool.with_page(page, |buf| (node::all_entries(buf), node::link(buf)))?;
         let pos = entries.partition_point(|(k, _)| k.as_slice() <= sep);
@@ -445,8 +455,9 @@ impl RangeIter {
             for i in start_pos..n {
                 let k = node::key_at(buf, i);
                 match &self.end {
-                    Some(e) if (self.inclusive_end && k > e.as_slice())
-                        || (!self.inclusive_end && k >= e.as_slice()) =>
+                    Some(e)
+                        if (self.inclusive_end && k > e.as_slice())
+                            || (!self.inclusive_end && k >= e.as_slice()) =>
                     {
                         past_end = true;
                         break;
@@ -555,11 +566,7 @@ mod tests {
             }
         }
         assert!(t.height() >= 2, "expected splits, height={}", t.height());
-        let got: Vec<u64> = t
-            .range(None, None, false)
-            .unwrap()
-            .map(|r| r.unwrap().1)
-            .collect();
+        let got: Vec<u64> = t.range(None, None, false).unwrap().map(|r| r.unwrap().1).collect();
         let mut expect: Vec<u64> = seen.into_iter().collect();
         expect.sort_unstable();
         assert_eq!(got, expect);
@@ -577,8 +584,7 @@ mod tests {
             t.insert(&k(i), i).unwrap();
         }
         assert_eq!(t.len(), 3000);
-        let sum: u64 =
-            t.range(None, None, false).unwrap().map(|r| r.unwrap().1).sum();
+        let sum: u64 = t.range(None, None, false).unwrap().map(|r| r.unwrap().1).sum();
         assert_eq!(sum, 2999 * 3000 / 2);
     }
 
@@ -588,17 +594,11 @@ mod tests {
         for i in 0..100u64 {
             t.insert(&k(i), i).unwrap();
         }
-        let got: Vec<u64> = t
-            .range(Some(&k(10)), Some(&k(20)), false)
-            .unwrap()
-            .map(|r| r.unwrap().1)
-            .collect();
+        let got: Vec<u64> =
+            t.range(Some(&k(10)), Some(&k(20)), false).unwrap().map(|r| r.unwrap().1).collect();
         assert_eq!(got, (10..20).collect::<Vec<_>>());
-        let got: Vec<u64> = t
-            .range(Some(&k(10)), Some(&k(20)), true)
-            .unwrap()
-            .map(|r| r.unwrap().1)
-            .collect();
+        let got: Vec<u64> =
+            t.range(Some(&k(10)), Some(&k(20)), true).unwrap().map(|r| r.unwrap().1).collect();
         assert_eq!(got, (10..=20).collect::<Vec<_>>());
         let got: Vec<u64> =
             t.range(Some(&k(95)), None, false).unwrap().map(|r| r.unwrap().1).collect();
@@ -668,11 +668,8 @@ mod tests {
         assert_eq!(t.len(), 20_000);
         assert!(t.height() >= 2);
         assert_eq!(t.get(&k(12_345)).unwrap(), Some(12_345 * 3));
-        let got: Vec<u64> = t
-            .range(Some(&k(19_990)), None, false)
-            .unwrap()
-            .map(|r| r.unwrap().1)
-            .collect();
+        let got: Vec<u64> =
+            t.range(Some(&k(19_990)), None, false).unwrap().map(|r| r.unwrap().1).collect();
         assert_eq!(got, (19_990..20_000).map(|i| i * 3).collect::<Vec<_>>());
     }
 
@@ -690,11 +687,8 @@ mod tests {
                 t.insert(&dup_key, 1_000_000 + i).unwrap();
             }
         }
-        let dups: Vec<u64> = t
-            .range(Some(&dup_key), Some(&dup_key), true)
-            .unwrap()
-            .map(|r| r.unwrap().1)
-            .collect();
+        let dups: Vec<u64> =
+            t.range(Some(&dup_key), Some(&dup_key), true).unwrap().map(|r| r.unwrap().1).collect();
         // 600 inserted duplicates + the unique k(500) entry.
         assert_eq!(dups.len(), 601);
         assert!(t.get(&dup_key).unwrap().is_some());
@@ -705,10 +699,7 @@ mod tests {
         }
         assert_eq!(removed, 601);
         assert_eq!(t.get(&dup_key).unwrap(), None);
-        assert_eq!(
-            t.range(Some(&dup_key), Some(&dup_key), true).unwrap().count(),
-            0
-        );
+        assert_eq!(t.range(Some(&dup_key), Some(&dup_key), true).unwrap().count(), 0);
         // Neighbours intact.
         assert_eq!(t.get(&k(499)).unwrap(), Some(499));
         assert_eq!(t.get(&k(501)).unwrap(), Some(501));

@@ -58,10 +58,7 @@ pub fn compress(ts: &[i64], vals: &[f64], max_dev: f64) -> Vec<Spike> {
             }
             if last.t != pivot.t {
                 let slope = mid_slope(slope_lo, slope_hi);
-                spikes.push(Spike {
-                    t: last.t,
-                    v: pivot.v + slope * (last.t - pivot.t) as f64,
-                });
+                spikes.push(Spike { t: last.t, v: pivot.v + slope * (last.t - pivot.t) as f64 });
             }
             pivot = Spike { t, v };
             spikes.push(pivot);
@@ -188,10 +185,7 @@ mod tests {
         let spikes = compress(ts, vals, dev);
         let recon = reconstruct(&spikes, ts);
         for (i, (&v, r)) in vals.iter().zip(&recon).enumerate() {
-            assert!(
-                (v - r).abs() <= dev + 1e-9,
-                "point {i}: v={v} recon={r} dev={dev}"
-            );
+            assert!((v - r).abs() <= dev + 1e-9, "point {i}: v={v} recon={r} dev={dev}");
         }
         spikes.len()
     }
@@ -211,9 +205,8 @@ mod tests {
     #[test]
     fn piecewise_linear_keeps_knees() {
         let ts: Vec<i64> = (0..60).map(|i| i * 10).collect();
-        let vals: Vec<f64> = (0..60)
-            .map(|i| if i < 30 { i as f64 } else { 30.0 - (i - 30) as f64 })
-            .collect();
+        let vals: Vec<f64> =
+            (0..60).map(|i| if i < 30 { i as f64 } else { 30.0 - (i - 30) as f64 }).collect();
         let n = check_bound(&ts, &vals, 0.0);
         assert!(n <= 4, "expected ~3 spikes, got {n}");
     }

@@ -56,8 +56,9 @@ mod tests {
     #[test]
     fn slow_drift_is_smooth() {
         // A daily temperature curve sampled every 15 minutes.
-        let vals: Vec<f64> =
-            (0..96).map(|i| 15.0 + 10.0 * (i as f64 * std::f64::consts::TAU / 96.0).sin()).collect();
+        let vals: Vec<f64> = (0..96)
+            .map(|i| 15.0 + 10.0 * (i as f64 * std::f64::consts::TAU / 96.0).sin())
+            .collect();
         assert!(is_smooth(&vals), "score={}", fluctuation_score(&vals));
     }
 

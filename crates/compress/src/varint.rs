@@ -20,9 +20,8 @@ pub fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
-        let byte = *buf
-            .get(*pos)
-            .ok_or_else(|| OdhError::Corrupt("varint overruns buffer".into()))?;
+        let byte =
+            *buf.get(*pos).ok_or_else(|| OdhError::Corrupt("varint overruns buffer".into()))?;
         *pos += 1;
         if shift >= 64 {
             return Err(OdhError::Corrupt("varint longer than 64 bits".into()));

@@ -97,10 +97,9 @@ impl Cluster {
             s.create_table(cfg.clone())?;
         }
         let stats = Arc::new(TypeStats::new());
-        self.types.write().insert(
-            cfg.schema.name.to_ascii_lowercase(),
-            TypeEntry { cfg, stats: stats.clone() },
-        );
+        self.types
+            .write()
+            .insert(cfg.schema.name.to_ascii_lowercase(), TypeEntry { cfg, stats: stats.clone() });
         Ok(stats)
     }
 
@@ -134,11 +133,8 @@ impl Cluster {
 
     /// The server owning `source` for `schema_type` (group-preserving).
     pub fn server_for(&self, schema_type: &str, source: SourceId) -> Arc<DataServer> {
-        let group_size = self
-            .type_config(schema_type)
-            .map(|c| c.mg_group_size)
-            .unwrap_or(1000)
-            .max(1);
+        let group_size =
+            self.type_config(schema_type).map(|c| c.mg_group_size).unwrap_or(1000).max(1);
         let idx = ((source.0 / group_size) % self.servers.len() as u64) as usize;
         self.servers[idx].clone()
     }
@@ -194,10 +190,8 @@ mod tests {
     #[test]
     fn group_preserving_routing() {
         let c = Cluster::in_memory(4, ResourceMeter::unmetered());
-        c.define_schema_type(
-            TableConfig::new(SchemaType::new("m", ["v"])).with_mg_group_size(100),
-        )
-        .unwrap();
+        c.define_schema_type(TableConfig::new(SchemaType::new("m", ["v"])).with_mg_group_size(100))
+            .unwrap();
         // All sources of one group land on the same server.
         let s0 = c.server_for("m", SourceId(0)).id;
         for id in 0..100 {
@@ -214,20 +208,16 @@ mod tests {
     #[test]
     fn stats_track_ingest() {
         let c = Cluster::in_memory(2, ResourceMeter::unmetered());
-        let stats = c
-            .define_schema_type(TableConfig::new(SchemaType::new("m", ["v"])))
-            .unwrap();
+        let stats = c.define_schema_type(TableConfig::new(SchemaType::new("m", ["v"]))).unwrap();
         c.register_source("m", SourceId(5), SourceClass::regular_low(Duration::from_minutes(15)))
             .unwrap();
         let server = c.server_for("m", SourceId(5));
         let table = server.table("m").unwrap();
-        c.put("m", &table, &Record::dense(SourceId(5), Timestamp::from_secs(900), [1.0]))
-            .unwrap();
+        c.put("m", &table, &Record::dense(SourceId(5), Timestamp::from_secs(900), [1.0])).unwrap();
         assert_eq!(stats.sources.load(Ordering::Relaxed), 1);
         assert_eq!(stats.points.load(Ordering::Relaxed), 1);
         assert_eq!(stats.span_us(), 0);
-        c.put("m", &table, &Record::dense(SourceId(5), Timestamp::from_secs(1800), [2.0]))
-            .unwrap();
+        c.put("m", &table, &Record::dense(SourceId(5), Timestamp::from_secs(1800), [2.0])).unwrap();
         assert_eq!(stats.span_us(), 900 * 1_000_000);
     }
 }

@@ -1,10 +1,10 @@
 //! [`Historian`] — the top-level façade of the ODH system.
 //!
-//! One historian = configuration component (schema types, source registry)
-//! + storage component (writers) + query component (SQL engine with
-//! virtual tables, data router, relational tables). Built through
-//! [`HistorianBuilder`]; see `examples/quickstart.rs` for the canonical
-//! usage.
+//! One historian = configuration component (schema types, source
+//! registry) plus storage component (writers) plus query component (SQL
+//! engine with virtual tables, data router, relational tables). Built
+//! through [`HistorianBuilder`]; see `examples/quickstart.rs` for the
+//! canonical usage.
 
 use crate::cluster::Cluster;
 use crate::reltable::RelTable;
@@ -68,11 +68,8 @@ impl HistorianBuilder {
     }
 
     pub fn build(self) -> Result<Historian> {
-        let meter = if self.metered {
-            ResourceMeter::new(self.cores)
-        } else {
-            ResourceMeter::unmetered()
-        };
+        let meter =
+            if self.metered { ResourceMeter::new(self.cores) } else { ResourceMeter::unmetered() };
         let servers: Result<Vec<Arc<DataServer>>> = (0..self.servers)
             .map(|i| {
                 Ok(match &self.disk_dir {
@@ -294,8 +291,7 @@ mod tests {
         )
         .unwrap();
         for id in 0..6u64 {
-            h.register_source("environ_data", SourceId(id), SourceClass::irregular_high())
-                .unwrap();
+            h.register_source("environ_data", SourceId(id), SourceClass::irregular_high()).unwrap();
         }
         let sensor_info = h.create_relational_table(RelSchema::new(
             "sensor_info",
@@ -311,7 +307,7 @@ mod tests {
                 .unwrap();
         }
         let base = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
-        let mut w = h.writer("environ_data").unwrap();
+        let w = h.writer("environ_data").unwrap();
         for i in 0..100i64 {
             for id in 0..6u64 {
                 w.write(&Record::dense(
@@ -336,10 +332,7 @@ mod tests {
         assert_eq!(r.rows.len(), 300);
         assert_eq!(r.columns, vec!["timestamp", "temperature", "wind"]);
         // Wind values identify the sensors: only 0,1,2 qualify.
-        assert!(r
-            .rows
-            .iter()
-            .all(|row| row.get(2).as_f64().unwrap() < 3.0));
+        assert!(r.rows.iter().all(|row| row.get(2).as_f64().unwrap() < 3.0));
     }
 
     #[test]
@@ -357,7 +350,7 @@ mod tests {
             .unwrap();
         h.register_source("m", SourceId(1), SourceClass::irregular_high()).unwrap();
         let before = h.storage_bytes();
-        let mut w = h.writer("m").unwrap();
+        let w = h.writer("m").unwrap();
         for i in 0..64i64 {
             w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [i as f64])).unwrap();
         }

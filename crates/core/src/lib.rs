@@ -30,4 +30,4 @@ pub mod writer;
 pub use cluster::Cluster;
 pub use historian::{Historian, HistorianBuilder};
 pub use reltable::RelTable;
-pub use writer::OdhWriter;
+pub use writer::{OdhWriter, ParallelWriter};

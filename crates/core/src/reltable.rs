@@ -7,12 +7,12 @@
 //! baseline systems are built from (RDB/MySQL = a SqlEngine whose only
 //! providers are RelTables, including one for the operational records).
 
+use odh_pager::pool::BufferPool;
 use odh_rdb::{RdbProfile, RowTable};
 use odh_sim::ResourceMeter;
 use odh_sql::provider::{ColumnFilter, ScanRequest, TableProvider};
 use odh_sql::stats::ColumnStats;
 use odh_types::{Datum, OdhError, RelSchema, Result, Row};
-use odh_pager::pool::BufferPool;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -102,11 +102,7 @@ impl RelTable {
 }
 
 /// Type-appropriate minimal/maximal datum for open range bounds.
-fn bound_or_extreme(
-    b: &Option<(Datum, bool)>,
-    dtype: odh_types::DataType,
-    low: bool,
-) -> Datum {
+fn bound_or_extreme(b: &Option<(Datum, bool)>, dtype: odh_types::DataType, low: bool) -> Datum {
     if let Some((d, _)) = b {
         return d.clone();
     }
@@ -183,7 +179,12 @@ impl TableProvider for RelTable {
         Some(st[column].rows_per_key() * self.row_bytes() + 256.0)
     }
 
-    fn index_lookup(&self, column: usize, key: &Datum, _needed: &[usize]) -> Option<Result<Vec<Row>>> {
+    fn index_lookup(
+        &self,
+        column: usize,
+        key: &Datum,
+        _needed: &[usize],
+    ) -> Option<Result<Vec<Row>>> {
         let name = self.indexed.read().get(&column)?.clone();
         Some(self.inner.index_eq(&name, std::slice::from_ref(key)))
     }
@@ -247,17 +248,13 @@ mod tests {
     #[test]
     fn full_scan_when_no_index_applies() {
         let t = table();
-        let req = ScanRequest {
-            filters: vec![(2, ColumnFilter::Eq(Datum::F64(5.0)))],
-            needed: vec![2],
-        };
+        let req =
+            ScanRequest { filters: vec![(2, ColumnFilter::Eq(Datum::F64(5.0)))], needed: vec![2] };
         let rows = t.scan(&req).unwrap();
         assert_eq!(rows.len(), 1);
         // Cost model reflects the full scan.
-        let idx_req = ScanRequest {
-            filters: vec![(1, ColumnFilter::Eq(Datum::I64(7)))],
-            needed: vec![1],
-        };
+        let idx_req =
+            ScanRequest { filters: vec![(1, ColumnFilter::Eq(Datum::I64(7)))], needed: vec![1] };
         assert!(t.estimate_cost(&req) > t.estimate_cost(&idx_req));
     }
 

@@ -60,9 +60,8 @@ impl DataRouter {
     pub fn route_source(&self, source: SourceId) -> Result<usize> {
         let meter = self.cluster.meter();
         meter.cpu(meter.costs.router_lookup);
-        let r = self
-            .meta
-            .query(&format!("select server from odh_sources where id = {}", source.0))?;
+        let r =
+            self.meta.query(&format!("select server from odh_sources where id = {}", source.0))?;
         let row = r
             .rows
             .first()
@@ -118,10 +117,7 @@ mod tests {
     fn routes_source_to_owning_server() {
         let (c, r) = setup();
         for id in [0u64, 9, 10, 25] {
-            assert_eq!(
-                r.route_source(SourceId(id)).unwrap(),
-                c.server_for("env", SourceId(id)).id
-            );
+            assert_eq!(r.route_source(SourceId(id)).unwrap(), c.server_for("env", SourceId(id)).id);
         }
         assert_eq!(r.route_source(SourceId(999)).unwrap_err().kind(), "not_found");
     }

@@ -36,7 +36,11 @@ impl DataServer {
     }
 
     /// File-backed server (storage-footprint experiments, Table 7).
-    pub fn on_disk(id: usize, meter: Arc<ResourceMeter>, path: impl AsRef<Path>) -> Result<DataServer> {
+    pub fn on_disk(
+        id: usize,
+        meter: Arc<ResourceMeter>,
+        path: impl AsRef<Path>,
+    ) -> Result<DataServer> {
         let disk = Arc::new(FileDisk::create(path)?);
         Ok(Self::with_disk(id, meter, disk, DEFAULT_POOL_FRAMES))
     }
@@ -97,8 +101,7 @@ impl DataServer {
         {
             let mut g = server.tables.write();
             for (name, snap) in &catalog {
-                let table =
-                    OdhTable::restore(server.pool.clone(), server.meter.clone(), snap)?;
+                let table = OdhTable::restore(server.pool.clone(), server.meter.clone(), snap)?;
                 g.insert(name.clone(), Arc::new(table));
             }
         }
@@ -161,16 +164,9 @@ impl DataServer {
     }
 
     pub fn table(&self, schema_type: &str) -> Result<Arc<OdhTable>> {
-        self.tables
-            .read()
-            .get(&schema_type.to_ascii_lowercase())
-            .cloned()
-            .ok_or_else(|| {
-                OdhError::NotFound(format!(
-                    "schema type '{schema_type}' on server {}",
-                    self.id
-                ))
-            })
+        self.tables.read().get(&schema_type.to_ascii_lowercase()).cloned().ok_or_else(|| {
+            OdhError::NotFound(format!("schema type '{schema_type}' on server {}", self.id))
+        })
     }
 
     pub fn pool(&self) -> &Arc<BufferPool> {

@@ -62,25 +62,21 @@ pub struct WamsReport {
 pub fn wams(setting: WamsSetting, virtual_secs: i64, scale: u64) -> Result<WamsReport> {
     let scale = scale.max(1);
     let pmus = (setting.pmus / scale).max(1);
-    let h = Arc::new(
-        Historian::builder().metered_cores(setting.cores).build()?,
-    );
-    h.define_schema_type(
-        TableConfig::new(SchemaType::new("pmu", ["value"])).with_batch_size(512),
-    )?;
+    let h = Arc::new(Historian::builder().metered_cores(setting.cores).build()?);
+    h.define_schema_type(TableConfig::new(SchemaType::new("pmu", ["value"])).with_batch_size(512))?;
     let interval = Duration::from_hz(setting.hz);
     for p in 0..pmus {
         h.register_source("pmu", SourceId(p), SourceClass::regular_high(interval))?;
     }
-    let mut writer = h.writer("pmu")?;
+    let writer = h.writer("pmu")?;
     let steps = (virtual_secs as f64 * setting.hz) as i64;
     let mut points = 0u64;
     for step in 0..steps {
         let ts = Timestamp(step * interval.micros());
         for p in 0..pmus {
             // 50 Hz AC waveform sample.
-            let v = (step as f64 / setting.hz * std::f64::consts::TAU * 50.0).sin()
-                + p as f64 * 1e-4;
+            let v =
+                (step as f64 / setting.hz * std::f64::consts::TAU * 50.0).sin() + p as f64 * 1e-4;
             writer.write(&Record::dense(SourceId(p), ts, [v]))?;
             points += 1;
         }
@@ -133,7 +129,7 @@ pub fn ami(meters: u64, sweeps: u64) -> Result<AmiReport> {
     for m in 0..meters {
         h.register_source("meter", SourceId(m), class)?;
     }
-    let mut writer = h.writer("meter")?;
+    let writer = h.writer("meter")?;
     let mut last_sweep_secs = 0.0;
     for s in 0..sweeps {
         let ts = Timestamp(s as i64 * 900_000_000);
@@ -192,7 +188,15 @@ pub struct VehiclesReport {
 /// Telematics schema: the tag set a connected vehicle reports.
 pub fn vehicle_tags() -> Vec<&'static str> {
     vec![
-        "speed", "rpm", "fuel", "engine_temp", "odometer", "battery", "lat", "lon", "heading",
+        "speed",
+        "rpm",
+        "fuel",
+        "engine_temp",
+        "odometer",
+        "battery",
+        "lat",
+        "lon",
+        "heading",
         "accel",
     ]
 }
@@ -224,8 +228,9 @@ pub fn vehicles(n: u64, threads: usize, virtual_secs: i64) -> Result<VehiclesRep
             while v < n {
                 let mut ts = (v % 10_000) as i64; // staggered start
                 while ts < virtual_secs * 1_000_000 {
-                    let vals: Vec<f64> =
-                        (0..spec_tags).map(|k| (v + k as u64) as f64 * 0.5 + ts as f64 * 1e-9).collect();
+                    let vals: Vec<f64> = (0..spec_tags)
+                        .map(|k| (v + k as u64) as f64 * 0.5 + ts as f64 * 1e-9)
+                        .collect();
                     out.push(Record::dense(SourceId(v), Timestamp(ts), vals));
                     ts += 10_000_000 + (v % 997) as i64; // ~10 s, jittered
                 }
@@ -242,7 +247,7 @@ pub fn vehicles(n: u64, threads: usize, virtual_secs: i64) -> Result<VehiclesRep
         for shard in &shards {
             let h = h.clone();
             handles.push(scope.spawn(move || -> Result<u64> {
-                let mut w = h.writer("vehicle")?;
+                let w = h.writer("vehicle")?;
                 let mut pts = 0u64;
                 for r in shard {
                     w.write(r)?;

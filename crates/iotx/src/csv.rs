@@ -11,10 +11,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Write records to a CSV file; returns the record count.
-pub fn write_records(
-    path: impl AsRef<Path>,
-    records: impl Iterator<Item = Record>,
-) -> Result<u64> {
+pub fn write_records(path: impl AsRef<Path>, records: impl Iterator<Item = Record>) -> Result<u64> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
     let mut n = 0u64;
@@ -70,9 +67,11 @@ impl Iterator for CsvReader {
         if line.trim().is_empty() {
             return self.next();
         }
-        Some(parse_line(&line).map_err(|e| {
-            OdhError::Corrupt(format!("csv line {}: {}", self.line_no, e.message()))
-        }))
+        Some(
+            parse_line(&line).map_err(|e| {
+                OdhError::Corrupt(format!("csv line {}: {}", self.line_no, e.message()))
+            }),
+        )
     }
 }
 

@@ -10,7 +10,9 @@
 //! second-aligned reporting schedules, and smooth weather-like values —
 //! the properties the paper's compression results depend on.
 
-use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceId, Timestamp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -223,8 +225,7 @@ fn tag_profile(tag: usize) -> (f64, f64, f64) {
 
 /// Is this tag in the precipitation family (zero outside rain events)?
 fn is_precip(tag: usize) -> bool {
-    OBSERVATION_TAGS[tag].starts_with("precipitation")
-        || OBSERVATION_TAGS[tag] == "precipitation"
+    OBSERVATION_TAGS[tag].starts_with("precipitation") || OBSERVATION_TAGS[tag] == "precipitation"
 }
 
 impl ObservationGen {
@@ -358,8 +359,7 @@ mod tests {
         }
         // Same sensor always measures the same subset.
         let mask = |r: &Record| -> Vec<bool> { r.values.iter().map(|v| v.is_some()).collect() };
-        let per_sensor: Vec<&Record> =
-            records.iter().filter(|r| r.source == SourceId(5)).collect();
+        let per_sensor: Vec<&Record> = records.iter().filter(|r| r.source == SourceId(5)).collect();
         assert!(per_sensor.len() >= 2);
         assert!(per_sensor.windows(2).all(|w| mask(w[0]) == mask(w[1])));
     }

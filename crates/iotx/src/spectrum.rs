@@ -79,7 +79,14 @@ pub fn paper_scenarios() -> Vec<Scenario> {
 pub fn render(scenarios: &[Scenario]) -> String {
     let mut s = String::new();
     s.push_str("      sources →  1e3    1e4    1e5    1e6    1e7    1e8\n");
-    let freq_rows = [(1000.0, "1kHz"), (100.0, "100Hz"), (10.0, "10 Hz"), (1.0, "1 Hz"), (0.01, "0.01"), (0.0001, "1e-4")];
+    let freq_rows = [
+        (1000.0, "1kHz"),
+        (100.0, "100Hz"),
+        (10.0, "10 Hz"),
+        (1.0, "1 Hz"),
+        (0.01, "0.01"),
+        (0.0001, "1e-4"),
+    ];
     for (hz, label) in freq_rows {
         s.push_str(&format!("{label:>6} Hz | "));
         for exp in 3..=8 {
@@ -112,7 +119,8 @@ mod tests {
         assert_eq!(classify(1_000.0, 50.0), SpectrumRegion::NotBig); // 50k
         assert_eq!(classify(2_000.0, 50.0), SpectrumRegion::HighFrequency); // 100k
         assert_eq!(classify(1_000_000.0, 0.5), SpectrumRegion::LowFrequency); // 500k
-        assert_eq!(classify(10_000_000.0, 1.0 / 900.0), SpectrumRegion::NotBig); // ~11k
+        assert_eq!(classify(10_000_000.0, 1.0 / 900.0), SpectrumRegion::NotBig);
+        // ~11k
     }
 
     #[test]

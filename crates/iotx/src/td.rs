@@ -16,7 +16,9 @@
 //! a Poisson-like arrival stream), so TD is *irregular high-frequency*
 //! data — it lands in the IRTS structure, as §5.3 observes.
 
-use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceId, Timestamp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
@@ -134,8 +136,10 @@ pub fn account_schema() -> RelSchema {
     )
 }
 
-const LAST_NAMES: [&str; 10] =
-    ["SMITH", "JONES", "TAYLOR", "BROWN", "WILLIAMS", "WILSON", "JOHNSON", "DAVIES", "PATEL", "WRIGHT"];
+const LAST_NAMES: [&str; 10] = [
+    "SMITH", "JONES", "TAYLOR", "BROWN", "WILLIAMS", "WILSON", "JOHNSON", "DAVIES", "PATEL",
+    "WRIGHT",
+];
 const FIRST_NAMES: [&str; 8] = ["JAMES", "MARY", "WEI", "PRIYA", "JOHN", "LI", "ANNA", "OMAR"];
 
 /// The Customer dimension rows.
@@ -199,7 +203,14 @@ impl TradeGen {
             heap.push(Reverse((first, a)));
             prices.push(10.0 + rng.gen::<f64>() * 90.0);
         }
-        TradeGen { heap, prices, rng, mean_gap_us, end_us: base + spec.duration.micros(), emitted: 0 }
+        TradeGen {
+            heap,
+            prices,
+            rng,
+            mean_gap_us,
+            end_us: base + spec.duration.micros(),
+            emitted: 0,
+        }
     }
 
     pub fn emitted(&self) -> u64 {
@@ -268,8 +279,7 @@ mod tests {
         );
         assert!(records.windows(2).all(|w| w[0].ts <= w[1].ts), "time-ordered");
         assert!(records.iter().all(|r| r.values.len() == 4 && r.data_points() == 4));
-        let sources: std::collections::HashSet<u64> =
-            records.iter().map(|r| r.source.0).collect();
+        let sources: std::collections::HashSet<u64> = records.iter().map(|r| r.source.0).collect();
         assert_eq!(sources.len(), 50, "every account trades");
     }
 
@@ -285,13 +295,9 @@ mod tests {
         let spec = small();
         let records: Vec<Record> = TradeGen::new(&spec).collect();
         // Gaps of one account must vary (exponential, not fixed).
-        let times: Vec<i64> = records
-            .iter()
-            .filter(|r| r.source == SourceId(3))
-            .map(|r| r.ts.micros())
-            .collect();
-        let gaps: std::collections::HashSet<i64> =
-            times.windows(2).map(|w| w[1] - w[0]).collect();
+        let times: Vec<i64> =
+            records.iter().filter(|r| r.source == SourceId(3)).map(|r| r.ts.micros()).collect();
+        let gaps: std::collections::HashSet<i64> = times.windows(2).map(|w| w[1] - w[0]).collect();
         assert!(gaps.len() > times.len() / 2, "gaps look regular");
     }
 

@@ -129,8 +129,15 @@ pub fn format_reports(reports: &[Ws1Report]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
         "{:<28} {:>8} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10} {:>6}\n",
-        "dataset", "system", "offered p/s", "capacity p/s", "achieved p/s", "avgCPU", "maxCPU",
-        "storageMB", "RT?"
+        "dataset",
+        "system",
+        "offered p/s",
+        "capacity p/s",
+        "achieved p/s",
+        "avgCPU",
+        "maxCPU",
+        "storageMB",
+        "RT?"
     ));
     for r in reports {
         s.push_str(&format!(
@@ -211,13 +218,9 @@ mod tests {
         )
         .unwrap();
         // Baseline.
-        let mut jdbc = JdbcSink::new(
-            RdbProfile::RDB,
-            trade_rel_schema(),
-            ResourceMeter::new(8),
-            1000,
-        )
-        .unwrap();
+        let mut jdbc =
+            JdbcSink::new(RdbProfile::RDB, trade_rel_schema(), ResourceMeter::new(8), 1000)
+                .unwrap();
         let r_rdb = run_ws1(
             &spec.name(),
             spec.offered_pps(),

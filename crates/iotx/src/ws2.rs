@@ -44,11 +44,14 @@ impl OpNames {
     }
 }
 
+/// The SQL entry point of a system under test.
+pub type QueryExec<'a> = Box<dyn Fn(&str) -> Result<QueryResult> + 'a>;
+
 /// A system under test.
 pub struct QueryTarget<'a> {
     pub system: String,
     pub names: OpNames,
-    pub exec: Box<dyn Fn(&str) -> Result<QueryResult> + 'a>,
+    pub exec: QueryExec<'a>,
     pub meter: Arc<ResourceMeter>,
     pub cores: u32,
 }
@@ -258,7 +261,13 @@ pub fn format_reports(reports: &[Ws2Report]) -> String {
     for r in reports {
         s.push_str(&format!(
             "{:<6} {:<8} {:>8} {:>10} {:>12} {:>12.0} {:>10.2} {:>8.2}\n",
-            r.template, r.system, r.queries, r.rows, r.data_points, r.dp_per_sec, r.avg_query_ms,
+            r.template,
+            r.system,
+            r.queries,
+            r.rows,
+            r.data_points,
+            r.dp_per_sec,
+            r.avg_query_ms,
             r.cpu_pct
         ));
     }

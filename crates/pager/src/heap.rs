@@ -18,7 +18,9 @@
 //! Bit 15 of a slot's length field marks an overflow-pointer cell whose
 //! 12-byte body is `(u64 head_page, u32 total_len)`.
 
-use crate::page::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, PageId, NO_PAGE, PAGE_SIZE};
+use crate::page::{
+    get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, PageId, NO_PAGE, PAGE_SIZE,
+};
 use crate::pool::BufferPool;
 use odh_types::{OdhError, Result};
 use parking_lot::Mutex;
@@ -213,8 +215,7 @@ impl HeapFile {
     fn insert_cell(&self, payload: &[u8], overflow: bool) -> Result<RecordId> {
         let mut m = self.meta.lock();
         if let Some(&last) = m.pages.last() {
-            let slot =
-                self.pool.with_page_mut(last, |buf| page_insert(buf, payload, overflow))?;
+            let slot = self.pool.with_page_mut(last, |buf| page_insert(buf, payload, overflow))?;
             if let Some(slot) = slot {
                 m.records += 1;
                 m.payload_bytes += payload.len() as u64;
@@ -259,8 +260,8 @@ impl HeapFile {
         let cell = self.pool.with_page(rid.page, |buf| {
             page_get(buf, rid.slot).map(|(bytes, ov)| (bytes.to_vec(), ov))
         })?;
-        let (bytes, overflow) =
-            cell.ok_or_else(|| OdhError::NotFound(format!("no slot {} on {}", rid.slot, rid.page)))?;
+        let (bytes, overflow) = cell
+            .ok_or_else(|| OdhError::NotFound(format!("no slot {} on {}", rid.slot, rid.page)))?;
         if !overflow {
             return Ok(bytes);
         }
@@ -330,9 +331,8 @@ impl Iterator for HeapScan<'_> {
                 let slots = get_u16(buf, H_SLOTS);
                 (0..slots)
                     .filter_map(|s| {
-                        page_get(buf, s).map(|(bytes, ov)| {
-                            (RecordId { page, slot: s }, bytes.to_vec(), ov)
-                        })
+                        page_get(buf, s)
+                            .map(|(bytes, ov)| (RecordId { page, slot: s }, bytes.to_vec(), ov))
                     })
                     .collect::<Vec<_>>()
             });
@@ -392,7 +392,8 @@ mod tests {
     #[test]
     fn boundary_payload_sizes() {
         let h = heap();
-        for len in [0, 1, MAX_INLINE - 1, MAX_INLINE, MAX_INLINE + 1, OV_CAPACITY, OV_CAPACITY + 1] {
+        for len in [0, 1, MAX_INLINE - 1, MAX_INLINE, MAX_INLINE + 1, OV_CAPACITY, OV_CAPACITY + 1]
+        {
             let payload = vec![3u8; len];
             let rid = h.insert(&payload).unwrap();
             assert_eq!(h.get(rid).unwrap().len(), len, "len={len}");

@@ -28,4 +28,4 @@ pub use disk::{DiskManager, FileDisk, MemDisk};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pool::{BufferPool, IoHook};
-pub use stats::IoStats;
+pub use stats::{ConcurrencyStats, IoStats};

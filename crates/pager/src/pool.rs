@@ -104,7 +104,10 @@ impl BufferPool {
     }
 
     /// Allocate a fresh zeroed page and run `f` on its writable buffer.
-    pub fn allocate_with<R>(&self, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> Result<(PageId, R)> {
+    pub fn allocate_with<R>(
+        &self,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<(PageId, R)> {
         let id = self.disk.allocate()?;
         IoStats::bump(&self.stats.allocations);
         let frame_idx = self.pin_frame(id, /*load=*/ false)?;
@@ -135,7 +138,11 @@ impl BufferPool {
     }
 
     /// Run `f` with write access to page `id`; the page is marked dirty.
-    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R) -> Result<R> {
+    pub fn with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut [u8; PAGE_SIZE]) -> R,
+    ) -> Result<R> {
         let frame_idx = self.pin_frame(id, /*load=*/ true)?;
         let frame = &self.frames[frame_idx];
         let mut st = frame.state.write();
@@ -309,9 +316,7 @@ mod tests {
         let p = pool(4);
         let a = p.allocate().unwrap();
         let b = p.allocate().unwrap();
-        let v = p
-            .with_page(a, |_| p.with_page(b, |_| 42).unwrap())
-            .unwrap();
+        let v = p.with_page(a, |_| p.with_page(b, |_| 42).unwrap()).unwrap();
         assert_eq!(v, 42);
     }
 

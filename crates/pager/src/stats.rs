@@ -1,6 +1,86 @@
-//! Atomic I/O counters.
+//! Atomic I/O and concurrency counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for lock striping and parallel execution, shared by the
+/// sharded ingest buffers and the cluster fan-out paths. All counters are
+/// monotone; `shard_contended / shard_locks` is the observed contention
+/// rate, the signal the stripe count is tuned against.
+#[derive(Debug, Default)]
+pub struct ConcurrencyStats {
+    /// Shard mutex acquisitions on the ingest path.
+    pub shard_locks: AtomicU64,
+    /// Acquisitions that found the shard already locked (`try_lock`
+    /// failed and the caller had to block).
+    pub shard_contended: AtomicU64,
+    /// Tasks executed on worker threads (batch-ingest slices, per-server
+    /// scan fan-outs).
+    pub parallel_tasks: AtomicU64,
+    /// Multi-server scans that actually fanned out to >1 server.
+    pub fanout_scans: AtomicU64,
+}
+
+/// A point-in-time copy of [`ConcurrencyStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConcurrencySnapshot {
+    pub shard_locks: u64,
+    pub shard_contended: u64,
+    pub parallel_tasks: u64,
+    pub fanout_scans: u64,
+}
+
+impl ConcurrencyStats {
+    pub fn snapshot(&self) -> ConcurrencySnapshot {
+        ConcurrencySnapshot {
+            shard_locks: self.shard_locks.load(Ordering::Relaxed),
+            shard_contended: self.shard_contended.load(Ordering::Relaxed),
+            parallel_tasks: self.parallel_tasks.load(Ordering::Relaxed),
+            fanout_scans: self.fanout_scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Record one shard-lock acquisition; `contended` marks that the
+    /// fast-path `try_lock` failed.
+    #[inline]
+    pub fn note_shard_lock(&self, contended: bool) {
+        self.shard_locks.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.shard_contended.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record `n` tasks handed to worker threads.
+    #[inline]
+    pub fn note_parallel_tasks(&self, n: u64) {
+        self.parallel_tasks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a scan that fanned out to more than one server.
+    #[inline]
+    pub fn note_fanout_scan(&self) {
+        self.fanout_scans.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl ConcurrencySnapshot {
+    /// Difference since an earlier snapshot.
+    pub fn since(&self, earlier: &ConcurrencySnapshot) -> ConcurrencySnapshot {
+        ConcurrencySnapshot {
+            shard_locks: self.shard_locks - earlier.shard_locks,
+            shard_contended: self.shard_contended - earlier.shard_contended,
+            parallel_tasks: self.parallel_tasks - earlier.parallel_tasks,
+            fanout_scans: self.fanout_scans - earlier.fanout_scans,
+        }
+    }
+
+    /// Fraction of shard-lock acquisitions that had to block.
+    pub fn contention_rate(&self) -> f64 {
+        if self.shard_locks == 0 {
+            return 0.0;
+        }
+        self.shard_contended as f64 / self.shard_locks as f64
+    }
+}
 
 /// Counters for logical (buffer-pool) and physical (disk) page traffic.
 /// All counters are monotone; snapshots are obtained with [`IoStats::snapshot`].
@@ -88,5 +168,23 @@ mod tests {
     #[test]
     fn empty_hit_rate_is_one() {
         assert_eq!(IoSnapshot::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn contention_rate_tracks_blocked_acquisitions() {
+        let c = ConcurrencyStats::default();
+        assert_eq!(c.snapshot().contention_rate(), 0.0);
+        c.note_shard_lock(false);
+        c.note_shard_lock(true);
+        c.note_shard_lock(false);
+        c.note_shard_lock(false);
+        let snap = c.snapshot();
+        assert_eq!(snap.shard_locks, 4);
+        assert_eq!(snap.shard_contended, 1);
+        assert_eq!(snap.contention_rate(), 0.25);
+        c.parallel_tasks.fetch_add(3, Ordering::Relaxed);
+        let d = c.snapshot().since(&snap);
+        assert_eq!(d.shard_locks, 0);
+        assert_eq!(d.parallel_tasks, 3);
     }
 }

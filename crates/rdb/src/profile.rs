@@ -22,8 +22,7 @@ impl RdbProfile {
 
     /// MySQL/InnoDB-like — slightly bigger rows (Table 7 shows ~4% more
     /// storage), slightly more CPU per insert.
-    pub const MYSQL: RdbProfile =
-        RdbProfile { name: "MySQL", row_overhead: 26, cpu_factor: 1.25 };
+    pub const MYSQL: RdbProfile = RdbProfile { name: "MySQL", row_overhead: 26, cpu_factor: 1.25 };
 }
 
 impl Default for RdbProfile {
@@ -38,8 +37,11 @@ mod tests {
 
     #[test]
     fn mysql_is_slightly_heavier() {
-        assert!(RdbProfile::MYSQL.row_overhead > RdbProfile::RDB.row_overhead);
-        assert!(RdbProfile::MYSQL.cpu_factor > RdbProfile::RDB.cpu_factor);
+        // Read through locals so the profile relation stays asserted
+        // without tripping clippy's constant-assertion lint.
+        let (mysql, rdb) = (RdbProfile::MYSQL, RdbProfile::RDB);
+        assert!(mysql.row_overhead > rdb.row_overhead);
+        assert!(mysql.cpu_factor > rdb.cpu_factor);
         // Storage gap stays in the few-percent band the paper shows, for a
         // typical ~80-byte payload row.
         let payload = 80.0;

@@ -74,9 +74,8 @@ impl RowTable {
         let rid = self.heap.insert(&payload)?;
         for idx in self.indexes.read().iter() {
             let key = encode_index_key(&self.schema, row, &idx.columns)?;
-            self.meter.cpu(
-                (c.btree_node_visit * idx.tree.height() as f64 + c.btree_leaf_insert) * f,
-            );
+            self.meter
+                .cpu((c.btree_node_visit * idx.tree.height() as f64 + c.btree_leaf_insert) * f);
             idx.tree.insert(&key, rid.to_u64())?;
         }
         Ok(rid)
@@ -138,9 +137,7 @@ impl RowTable {
             hi.push(0); // just past the exact key (duplicates included)
         }
         self.meter.cpu(
-            self.meter.costs.btree_node_visit
-                * idx.tree.height() as f64
-                * self.profile.cpu_factor,
+            self.meter.costs.btree_node_visit * idx.tree.height() as f64 * self.profile.cpu_factor,
         );
         let mut rows = Vec::new();
         for entry in idx.tree.range(Some(&lo), Some(&hi), false)? {
@@ -214,11 +211,7 @@ mod tests {
         let pool = BufferPool::new(Arc::new(MemDisk::new()), 256);
         let schema = RelSchema::new(
             "trade",
-            [
-                ("t_dts", DataType::Ts),
-                ("t_ca_id", DataType::I64),
-                ("t_trade_price", DataType::F64),
-            ],
+            [("t_dts", DataType::Ts), ("t_ca_id", DataType::I64), ("t_trade_price", DataType::F64)],
         );
         let t = RowTable::create(pool, ResourceMeter::unmetered(), schema, RdbProfile::RDB);
         t.create_index("idx_dts", &["t_dts"]).unwrap();
@@ -283,10 +276,7 @@ mod tests {
     #[test]
     fn missing_index_is_not_found() {
         let t = trade_table();
-        assert_eq!(
-            t.index_eq("nope", &[Datum::I64(1)]).unwrap_err().kind(),
-            "not_found"
-        );
+        assert_eq!(t.index_eq("nope", &[Datum::I64(1)]).unwrap_err().kind(), "not_found");
     }
 
     #[test]
@@ -308,8 +298,7 @@ mod tests {
     #[test]
     fn string_index_range() {
         let pool = BufferPool::new(Arc::new(MemDisk::new()), 128);
-        let schema =
-            RelSchema::new("acct", [("ca_id", DataType::I64), ("ca_name", DataType::Str)]);
+        let schema = RelSchema::new("acct", [("ca_id", DataType::I64), ("ca_name", DataType::Str)]);
         let t = RowTable::create(pool, ResourceMeter::unmetered(), schema, RdbProfile::RDB);
         t.create_index("idx_name", &["ca_name"]).unwrap();
         for (i, name) in ["alpha", "beta", "beta", "gamma"].iter().enumerate() {

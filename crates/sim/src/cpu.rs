@@ -119,8 +119,7 @@ impl CpuModel {
         let g = self.inner.lock();
         let capacity_per_window =
             g.cores as f64 * g.units_per_core_sec * (g.window_us as f64 / 1e6);
-        let mut loads: Vec<f64> =
-            g.windows.iter().map(|u| u / capacity_per_window).collect();
+        let mut loads: Vec<f64> = g.windows.iter().map(|u| u / capacity_per_window).collect();
         if g.cur_units > 0.0 || loads.is_empty() {
             loads.push(g.cur_units / capacity_per_window);
         }

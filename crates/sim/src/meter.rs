@@ -9,7 +9,7 @@
 use crate::cost::CostConstants;
 use crate::cpu::{CpuModel, CpuReport};
 use crate::disk::{DiskModel, DiskReport};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared resource-accounting context.
@@ -21,6 +21,20 @@ pub struct ResourceMeter {
     /// Virtual "now" in microseconds, advanced by the workload driver.
     now_us: AtomicI64,
     enabled: AtomicBool,
+    /// Scoped parallel regions entered (batch ingests, scan fan-outs).
+    parallel_regions: AtomicU64,
+    /// Worker tasks spawned across all parallel regions.
+    parallel_tasks: AtomicU64,
+    /// Widest single region observed (degree of parallelism actually used).
+    max_parallel_width: AtomicU64,
+}
+
+/// Point-in-time copy of the meter's parallelism counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParallelReport {
+    pub regions: u64,
+    pub tasks: u64,
+    pub max_width: u64,
 }
 
 impl ResourceMeter {
@@ -33,6 +47,9 @@ impl ResourceMeter {
             disk: DiskModel::paper_raid5(),
             now_us: AtomicI64::new(0),
             enabled: AtomicBool::new(true),
+            parallel_regions: AtomicU64::new(0),
+            parallel_tasks: AtomicU64::new(0),
+            max_parallel_width: AtomicU64::new(0),
         })
     }
 
@@ -82,6 +99,23 @@ impl ResourceMeter {
         }
     }
 
+    /// Record entry into a parallel region of `width` concurrent tasks.
+    /// Tracked even when metering is disabled: parallelism observability
+    /// is wanted exactly on the unmetered wall-clock benchmark paths.
+    pub fn note_parallel(&self, width: usize) {
+        self.parallel_regions.fetch_add(1, Ordering::Relaxed);
+        self.parallel_tasks.fetch_add(width as u64, Ordering::Relaxed);
+        self.max_parallel_width.fetch_max(width as u64, Ordering::Relaxed);
+    }
+
+    pub fn parallel_report(&self) -> ParallelReport {
+        ParallelReport {
+            regions: self.parallel_regions.load(Ordering::Relaxed),
+            tasks: self.parallel_tasks.load(Ordering::Relaxed),
+            max_width: self.max_parallel_width.load(Ordering::Relaxed),
+        }
+    }
+
     pub fn cpu_report(&self) -> CpuReport {
         self.cpu.report()
     }
@@ -103,6 +137,17 @@ mod tests {
         m.disk_random(1 << 20);
         assert_eq!(m.cpu_report().total_units, 0.0);
         assert_eq!(m.disk_report().ops, 0);
+    }
+
+    #[test]
+    fn parallel_counters_accumulate() {
+        let m = ResourceMeter::unmetered();
+        m.note_parallel(4);
+        m.note_parallel(2);
+        let r = m.parallel_report();
+        assert_eq!(r.regions, 2);
+        assert_eq!(r.tasks, 6);
+        assert_eq!(r.max_width, 4);
     }
 
     #[test]

@@ -35,12 +35,12 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
 
     // Combined-row layout: bindings in FROM order; unjoined cells NULL.
     let arity = plan.combined_arity();
-    let offset_of = |b: usize| -> usize {
-        (0..b).map(|i| plan.bindings[i].provider.schema().arity()).sum()
-    };
+    let offset_of =
+        |b: usize| -> usize { (0..b).map(|i| plan.bindings[i].provider.schema().arity()).sum() };
 
     // Scan the first table.
-    let req = ScanRequest { filters: plan.pushdown[first].clone(), needed: plan.needed[first].clone() };
+    let req =
+        ScanRequest { filters: plan.pushdown[first].clone(), needed: plan.needed[first].clone() };
     let scanned = plan.bindings[first].provider.scan(&req)?;
     let mut current: Vec<Row> = Vec::with_capacity(scanned.len());
     let base = offset_of(first);
@@ -144,18 +144,18 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
                 .order_by
                 .iter()
                 .filter_map(|(c, desc)| {
-                    plan.output.iter().position(|o| matches!(o, OutputItem::Col { col, .. } if col == c)).map(|i| (i, *desc))
+                    plan.output
+                        .iter()
+                        .position(|o| matches!(o, OutputItem::Col { col, .. } if col == c))
+                        .map(|i| (i, *desc))
                 })
                 .collect();
             rows.sort_by(|a, b| compare_rows(a, b, &keys));
         }
     } else {
         if !plan.order_by.is_empty() {
-            let keys: Vec<(usize, bool)> = plan
-                .order_by
-                .iter()
-                .map(|(c, desc)| (plan.combined_offset(*c), *desc))
-                .collect();
+            let keys: Vec<(usize, bool)> =
+                plan.order_by.iter().map(|(c, desc)| (plan.combined_offset(*c), *desc)).collect();
             current.sort_by(|a, b| compare_rows(a, b, &keys));
         }
         let proj: Vec<usize> = plan
@@ -292,9 +292,7 @@ fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
         .output
         .iter()
         .filter_map(|o| match o {
-            OutputItem::Agg { input, .. } => {
-                Some(input.map(|c| plan.combined_offset(c)))
-            }
+            OutputItem::Agg { input, .. } => Some(input.map(|c| plan.combined_offset(c))),
             OutputItem::Col { .. } => None,
         })
         .collect();
@@ -337,7 +335,10 @@ fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
     if groups.is_empty() && plan.group_by.is_empty() {
         groups.insert(
             Vec::new(),
-            agg_inputs.iter().map(|_| AggState { count: 0, sum: 0.0, min: None, max: None }).collect(),
+            agg_inputs
+                .iter()
+                .map(|_| AggState { count: 0, sum: 0.0, min: None, max: None })
+                .collect(),
         );
     }
 
@@ -360,15 +361,9 @@ fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
             match o {
                 OutputItem::Col { col, .. } => {
                     // Must be a GROUP BY column.
-                    let pos = plan
-                        .group_by
-                        .iter()
-                        .position(|g| g == col)
-                        .ok_or_else(|| {
-                            OdhError::Plan(
-                                "non-aggregated column must appear in GROUP BY".into(),
-                            )
-                        })?;
+                    let pos = plan.group_by.iter().position(|g| g == col).ok_or_else(|| {
+                        OdhError::Plan("non-aggregated column must appear in GROUP BY".into())
+                    })?;
                     cells.push(key[pos].clone());
                 }
                 OutputItem::Agg { func, .. } => {
@@ -412,11 +407,7 @@ mod tests {
         let e = SqlEngine::new();
         let trade = MemTable::new(RelSchema::new(
             "trade",
-            [
-                ("t_dts", DataType::Ts),
-                ("t_ca_id", DataType::I64),
-                ("t_chrg", DataType::F64),
-            ],
+            [("t_dts", DataType::Ts), ("t_ca_id", DataType::I64), ("t_chrg", DataType::F64)],
         ));
         for i in 0..100i64 {
             trade.insert(Row::new(vec![
@@ -429,11 +420,7 @@ mod tests {
         e.register(trade);
         let account = MemTable::new(RelSchema::new(
             "account",
-            [
-                ("ca_id", DataType::I64),
-                ("ca_c_id", DataType::I64),
-                ("ca_name", DataType::Str),
-            ],
+            [("ca_id", DataType::I64), ("ca_c_id", DataType::I64), ("ca_name", DataType::Str)],
         ));
         for i in 0..10i64 {
             account.insert(Row::new(vec![
@@ -513,7 +500,8 @@ mod tests {
     #[test]
     fn aggregates_global() {
         let e = engine();
-        let r = e.query("select COUNT(*), AVG(t_chrg), MIN(t_chrg), MAX(t_chrg) from trade").unwrap();
+        let r =
+            e.query("select COUNT(*), AVG(t_chrg), MIN(t_chrg), MAX(t_chrg) from trade").unwrap();
         assert_eq!(r.rows.len(), 1);
         assert_eq!(r.rows[0].get(0), &Datum::I64(100));
         assert_eq!(r.rows[0].get(1).as_f64().unwrap(), 24.75);

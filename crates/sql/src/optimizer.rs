@@ -92,8 +92,7 @@ fn order_cost(plan: &Plan, order: &[usize]) -> f64 {
         let provider = &plan.bindings[b].provider;
         match join_column_into(plan, b, prefix) {
             Some(col) => {
-                let per_key_rows = est_rows(plan, b)
-                    / provider.estimate_rows(&[]).max(1.0)
+                let per_key_rows = est_rows(plan, b) / provider.estimate_rows(&[]).max(1.0)
                     * provider_rows_per_key(plan, b, col.column);
                 match provider.probe_cost(col.column) {
                     Some(probe) => {
@@ -148,19 +147,15 @@ mod tests {
     /// when its filter is selective.
     fn catalog() -> Catalog {
         let c = Catalog::new();
-        let fact = MemTable::new(RelSchema::new(
-            "fact",
-            [("k", DataType::I64), ("v", DataType::F64)],
-        ));
+        let fact =
+            MemTable::new(RelSchema::new("fact", [("k", DataType::I64), ("v", DataType::F64)]));
         for i in 0..10_000i64 {
             fact.insert(Row::new(vec![Datum::I64(i % 100), Datum::F64(i as f64)]));
         }
         fact.create_index("k");
         c.register(fact);
-        let dim = MemTable::new(RelSchema::new(
-            "dim",
-            [("k", DataType::I64), ("name", DataType::Str)],
-        ));
+        let dim =
+            MemTable::new(RelSchema::new("dim", [("k", DataType::I64), ("name", DataType::Str)]));
         for i in 0..100i64 {
             dim.insert(Row::new(vec![Datum::I64(i), Datum::str(format!("n{i}"))]));
         }

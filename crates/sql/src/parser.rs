@@ -119,9 +119,7 @@ impl Parser {
         if self.eat_kw("limit") {
             match self.next() {
                 Token::Number(n) if n >= 0.0 && n.fract() == 0.0 => limit = Some(n as usize),
-                other => {
-                    return Err(OdhError::Parse(format!("bad LIMIT value {other:?}")))
-                }
+                other => return Err(OdhError::Parse(format!("bad LIMIT value {other:?}"))),
             }
         }
         Ok(Select { items, from, predicates, group_by, order_by, limit })
@@ -136,11 +134,7 @@ impl Parser {
             if let Some(func) = AggFunc::parse(&name) {
                 if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
                     self.pos += 2; // name + (
-                    let col = if self.eat(&Token::Star) {
-                        None
-                    } else {
-                        Some(self.column_name()?)
-                    };
+                    let col = if self.eat(&Token::Star) { None } else { Some(self.column_name()?) };
                     if !self.eat(&Token::RParen) {
                         return Err(OdhError::Parse("expected ')' after aggregate".into()));
                     }
@@ -271,7 +265,11 @@ mod tests {
         assert_eq!(s.from[1].binding_name(), "a");
         assert_eq!(s.predicates.len(), 2);
         match &s.predicates[0] {
-            Predicate::Cmp { left: Operand::Column(l), op: CmpOp::Eq, right: Operand::Column(r) } => {
+            Predicate::Cmp {
+                left: Operand::Column(l),
+                op: CmpOp::Eq,
+                right: Operand::Column(r),
+            } => {
                 assert_eq!(l.qualifier.as_deref(), Some("a"));
                 assert_eq!(r.column, "T_CA_ID");
             }
@@ -307,10 +305,7 @@ mod tests {
         assert_eq!(s.group_by.len(), 1);
         assert!(s.order_by[0].desc);
         assert_eq!(s.limit, Some(10));
-        assert_eq!(
-            s.items[1],
-            SelectItem::Aggregate { func: AggFunc::Count, col: None }
-        );
+        assert_eq!(s.items[1], SelectItem::Aggregate { func: AggFunc::Count, col: None });
     }
 
     #[test]

@@ -102,9 +102,7 @@ impl Plan {
             let bt = &self.bindings[b];
             let filters = self.pushdown[b]
                 .iter()
-                .map(|(c, f)| {
-                    format!("{} {:?}", bt.provider.schema().columns[*c].name, f)
-                })
+                .map(|(c, f)| format!("{} {:?}", bt.provider.schema().columns[*c].name, f))
                 .collect::<Vec<_>>()
                 .join(", ");
             if step == 0 {
@@ -173,9 +171,7 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
                 let l = resolver.resolve_operand(left, right)?;
                 let r = resolver.resolve_operand(right, left)?;
                 match (&l, &r, op) {
-                    (ROperand::Col(a), ROperand::Col(b), CmpOp::Eq)
-                        if a.binding != b.binding =>
-                    {
+                    (ROperand::Col(a), ROperand::Col(b), CmpOp::Eq) if a.binding != b.binding => {
                         joins.push(JoinEdge { left: *a, right: *b });
                     }
                     (ROperand::Col(c), ROperand::Lit(v), _) => {
@@ -225,8 +221,7 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
         }
     }
 
-    let group_by: Result<Vec<ColRef>> =
-        stmt.group_by.iter().map(|c| resolver.resolve(c)).collect();
+    let group_by: Result<Vec<ColRef>> = stmt.group_by.iter().map(|c| resolver.resolve(c)).collect();
     let order_by: Result<Vec<(ColRef, bool)>> =
         stmt.order_by.iter().map(|o| Ok((resolver.resolve(&o.col)?, o.desc))).collect();
 
@@ -299,13 +294,10 @@ impl Resolver<'_> {
                 .iter()
                 .position(|b| b.binding_name.eq_ignore_ascii_case(q))
                 .ok_or_else(|| OdhError::Plan(format!("unknown table alias '{q}'")))?;
-            let column = self.bindings[binding]
-                .provider
-                .schema()
-                .column_index(&name.column)
-                .ok_or_else(|| {
-                    OdhError::Plan(format!("no column '{}' in '{q}'", name.column))
-                })?;
+            let column =
+                self.bindings[binding].provider.schema().column_index(&name.column).ok_or_else(
+                    || OdhError::Plan(format!("no column '{}' in '{q}'", name.column)),
+                )?;
             return Ok(ColRef { binding, column });
         }
         // Unqualified: must be unique across bindings.
@@ -313,10 +305,7 @@ impl Resolver<'_> {
         for (bi, b) in self.bindings.iter().enumerate() {
             if let Some(ci) = b.provider.schema().column_index(&name.column) {
                 if found.is_some() {
-                    return Err(OdhError::Plan(format!(
-                        "ambiguous column '{}'",
-                        name.column
-                    )));
+                    return Err(OdhError::Plan(format!("ambiguous column '{}'", name.column)));
                 }
                 found = Some(ColRef { binding: bi, column: ci });
             }
@@ -361,9 +350,10 @@ pub fn coerce(l: &Literal, dtype: DataType) -> Result<Datum> {
         (Literal::Number(n), DataType::I64) => Datum::F64(*n),
         (Literal::Number(n), DataType::F64) => Datum::F64(*n),
         (Literal::Number(n), DataType::Ts) => Datum::Ts(Timestamp(*n as i64)),
-        (Literal::Str(s), DataType::Ts) => Datum::Ts(Timestamp::parse_sql(s).ok_or_else(
-            || OdhError::Plan(format!("'{s}' is not a valid timestamp literal")),
-        )?),
+        (Literal::Str(s), DataType::Ts) => Datum::Ts(
+            Timestamp::parse_sql(s)
+                .ok_or_else(|| OdhError::Plan(format!("'{s}' is not a valid timestamp literal")))?,
+        ),
         (Literal::Str(s), _) => Datum::str(s.as_str()),
         (Literal::Number(n), DataType::Str) => Datum::F64(*n),
     })
@@ -411,11 +401,7 @@ mod tests {
         let c = Catalog::new();
         c.register(MemTable::new(RelSchema::new(
             "trade",
-            [
-                ("t_dts", DataType::Ts),
-                ("t_ca_id", DataType::I64),
-                ("t_chrg", DataType::F64),
-            ],
+            [("t_dts", DataType::Ts), ("t_ca_id", DataType::I64), ("t_chrg", DataType::F64)],
         )));
         c.register(MemTable::new(RelSchema::new(
             "account",
@@ -445,7 +431,10 @@ mod tests {
         .unwrap();
         match &p.pushdown[0][0] {
             (0, ColumnFilter::Range { lo: Some((lo, true)), hi: Some((hi, true)) }) => {
-                assert_eq!(lo.as_ts().unwrap(), Timestamp::parse_sql("2014-01-01 00:00:00").unwrap());
+                assert_eq!(
+                    lo.as_ts().unwrap(),
+                    Timestamp::parse_sql("2014-01-01 00:00:00").unwrap()
+                );
                 assert!(hi.as_ts().unwrap() > lo.as_ts().unwrap());
             }
             other => panic!("{other:?}"),
@@ -527,12 +516,9 @@ mod tests {
     #[test]
     fn bad_timestamp_literal_rejected() {
         let c = catalog();
-        let err = plan(
-            &c,
-            &parse("select * from trade where t_dts > 'yesterday'").unwrap(),
-        )
-        .err()
-        .unwrap();
+        let err = plan(&c, &parse("select * from trade where t_dts > 'yesterday'").unwrap())
+            .err()
+            .unwrap();
         assert_eq!(err.kind(), "plan");
     }
 }

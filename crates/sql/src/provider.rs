@@ -20,7 +20,10 @@ use std::sync::Arc;
 pub enum ColumnFilter {
     Eq(Datum),
     /// `(bound, inclusive)` on either side; `None` = open.
-    Range { lo: Option<(Datum, bool)>, hi: Option<(Datum, bool)> },
+    Range {
+        lo: Option<(Datum, bool)>,
+        hi: Option<(Datum, bool)>,
+    },
 }
 
 impl ColumnFilter {
@@ -118,7 +121,12 @@ pub trait TableProvider: Send + Sync {
     }
 
     /// Point lookup by `column == key`, if an index exists.
-    fn index_lookup(&self, _column: usize, _key: &Datum, _needed: &[usize]) -> Option<Result<Vec<Row>>> {
+    fn index_lookup(
+        &self,
+        _column: usize,
+        _key: &Datum,
+        _needed: &[usize],
+    ) -> Option<Result<Vec<Row>>> {
         None
     }
 }
@@ -225,7 +233,12 @@ impl TableProvider for MemTable {
         }
     }
 
-    fn index_lookup(&self, column: usize, key: &Datum, _needed: &[usize]) -> Option<Result<Vec<Row>>> {
+    fn index_lookup(
+        &self,
+        column: usize,
+        key: &Datum,
+        _needed: &[usize],
+    ) -> Option<Result<Vec<Row>>> {
         let idxs = self.indexes.read();
         let map = idxs.get(&column)?;
         let rows = self.rows.read();
@@ -247,10 +260,7 @@ mod tests {
             [("id", DataType::I64), ("area", DataType::Str)],
         ));
         for i in 0..100i64 {
-            t.insert(Row::new(vec![
-                Datum::I64(i),
-                Datum::str(format!("S{}", i % 4)),
-            ]));
+            t.insert(Row::new(vec![Datum::I64(i), Datum::str(format!("S{}", i % 4))]));
         }
         t.create_index("id");
         t

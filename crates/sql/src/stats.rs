@@ -95,16 +95,8 @@ impl ColumnStats {
                     return 0.3; // non-numeric column: fixed guess
                 };
                 let width = (max - min).max(f64::MIN_POSITIVE);
-                let lo_v = lo
-                    .as_ref()
-                    .and_then(|(d, _)| d.as_f64())
-                    .unwrap_or(min)
-                    .clamp(min, max);
-                let hi_v = hi
-                    .as_ref()
-                    .and_then(|(d, _)| d.as_f64())
-                    .unwrap_or(max)
-                    .clamp(min, max);
+                let lo_v = lo.as_ref().and_then(|(d, _)| d.as_f64()).unwrap_or(min).clamp(min, max);
+                let hi_v = hi.as_ref().and_then(|(d, _)| d.as_f64()).unwrap_or(max).clamp(min, max);
                 ((hi_v - lo_v) / width).clamp(0.0, 1.0).max(1.0 / self.count as f64)
             }
         }

@@ -85,22 +85,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 out.push(Token::Neq);
                 i += 2;
             }
-            '<' => {
-                match bytes.get(i + 1) {
-                    Some(b'=') => {
-                        out.push(Token::Le);
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push(Token::Neq);
-                        i += 2;
-                    }
-                    _ => {
-                        out.push(Token::Lt);
-                        i += 1;
-                    }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
                     out.push(Token::Ge);
@@ -115,9 +113,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(OdhError::Parse("unterminated string literal".into()))
-                        }
+                        None => return Err(OdhError::Parse("unterminated string literal".into())),
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
                             s.push('\'');
                             i += 2;
@@ -154,9 +150,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token::Ident(sql[start..i].to_string()));
@@ -189,10 +183,8 @@ mod tests {
     #[test]
     fn operators() {
         let toks = tokenize("a <= b >= c <> d != e < f > g = h").unwrap();
-        let ops: Vec<&Token> = toks
-            .iter()
-            .filter(|t| !matches!(t, Token::Ident(_) | Token::Eof))
-            .collect();
+        let ops: Vec<&Token> =
+            toks.iter().filter(|t| !matches!(t, Token::Ident(_) | Token::Eof)).collect();
         assert_eq!(
             ops,
             [&Token::Le, &Token::Ge, &Token::Neq, &Token::Neq, &Token::Lt, &Token::Gt, &Token::Eq]

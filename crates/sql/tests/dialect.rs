@@ -32,9 +32,7 @@ fn engine() -> SqlEngine {
 #[test]
 fn order_by_multiple_keys_and_direction() {
     let e = engine();
-    let r = e
-        .query("select area, v from readings order by area asc, v desc limit 5")
-        .unwrap();
+    let r = e.query("select area, v from readings order by area asc, v desc limit 5").unwrap();
     assert_eq!(r.rows.len(), 5);
     assert!(r.rows.iter().all(|row| row.get(0) == &Datum::str("east")));
     let vs: Vec<f64> = r.rows.iter().filter_map(|row| row.get(1).as_f64()).collect();
@@ -89,9 +87,7 @@ fn timestamp_comparisons_and_between_edges() {
         .unwrap();
     assert_eq!(r.rows[0].get(0), &Datum::I64(11));
     // Strict comparisons.
-    let r = e
-        .query("select COUNT(*) from readings where ts > '1970-01-01 00:00:58'")
-        .unwrap();
+    let r = e.query("select COUNT(*) from readings where ts > '1970-01-01 00:00:58'").unwrap();
     assert_eq!(r.rows[0].get(0), &Datum::I64(1));
 }
 
@@ -100,9 +96,7 @@ fn self_join_through_aliases() {
     let e = engine();
     // Pair rows of the same id at different times: |pairs| = Σ n_i²
     // per id (10 rows each) = 6 × 100.
-    let r = e
-        .query("select a.ts, b.ts from readings a, readings b where a.id = b.id")
-        .unwrap();
+    let r = e.query("select a.ts, b.ts from readings a, readings b where a.id = b.id").unwrap();
     assert_eq!(r.rows.len(), 600);
 }
 

@@ -75,12 +75,11 @@ impl ValueBlob {
                     }
                     present_ts.push(ts[i]);
                     present_vals.push(*x);
-                    if !(lo <= *x) {
-                        // true also when lo is NaN (first value)
-                        lo = if lo.is_nan() { *x } else { lo.min(*x) };
+                    if lo.is_nan() || *x < lo {
+                        lo = *x;
                     }
-                    if !(hi >= *x) {
-                        hi = if hi.is_nan() { *x } else { hi.max(*x) };
+                    if hi.is_nan() || *x > hi {
+                        hi = *x;
                     }
                 }
             }
@@ -278,9 +277,8 @@ mod tests {
     #[test]
     fn dense_round_trip() {
         let t = ts(100);
-        let cols: Vec<Vec<Option<f64>>> = (0..4)
-            .map(|c| (0..100).map(|i| Some((c * 100 + i) as f64 * 0.5)).collect())
-            .collect();
+        let cols: Vec<Vec<Option<f64>>> =
+            (0..4).map(|c| (0..100).map(|i| Some((c * 100 + i) as f64 * 0.5)).collect()).collect();
         let blob = ValueBlob::encode(&t, &cols, Policy::Lossless);
         assert_eq!(blob.n_points().unwrap(), 100);
         let out = blob.decode_tags(&t, &[0, 1, 2, 3]).unwrap();
@@ -380,7 +378,8 @@ mod tests {
         let col: Vec<Option<f64>> = (0..300)
             .map(|i| if i % 3 == 0 { Some(20.0 + 0.01 * i as f64) } else { None })
             .collect();
-        let blob = ValueBlob::encode(&t, &[col.clone()], Policy::Lossy { max_dev: 0.05 });
+        let blob =
+            ValueBlob::encode(&t, std::slice::from_ref(&col), Policy::Lossy { max_dev: 0.05 });
         let out = blob.decode_tags(&t, &[0]).unwrap();
         for (a, b) in col.iter().zip(&out[0]) {
             match (a, b) {

@@ -8,11 +8,11 @@
 use crate::batch::Batch;
 use crate::select::Structure;
 use crate::stats::MaxSpan;
+use odh_btree::tree::TreeSnapshot;
 use odh_btree::BTree;
+use odh_pager::heap::HeapSnapshot;
 use odh_pager::heap::{HeapFile, RecordId};
 use odh_pager::pool::BufferPool;
-use odh_pager::heap::HeapSnapshot;
-use odh_btree::tree::TreeSnapshot;
 use odh_types::Result;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;

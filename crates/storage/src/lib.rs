@@ -31,6 +31,7 @@ pub mod reorg;
 pub mod select;
 pub mod snapshot;
 pub mod stats;
+pub mod stripe;
 pub mod table;
 
 pub use blob::ValueBlob;

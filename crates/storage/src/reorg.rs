@@ -63,9 +63,7 @@ impl OdhTable {
         for id in source_ids {
             let (mut ts, mut cols) = per_source.remove(&id).unwrap();
             sort_by_ts(&mut ts, &mut cols);
-            let class = self
-                .source_class(SourceId(id))
-                .expect("MG data for unregistered source");
+            let class = self.source_class(SourceId(id)).expect("MG data for unregistered source");
             let n = ts.len();
             let mut start = 0usize;
             while start < n {
@@ -74,9 +72,7 @@ impl OdhTable {
                 let chunk_cols: Vec<Vec<Option<f64>>> =
                     cols.iter().map(|c| c[start..end].to_vec()).collect();
                 match class.interval() {
-                    Some(interval)
-                        if is_regular_run(chunk_ts, interval.micros()) =>
-                    {
+                    Some(interval) if is_regular_run(chunk_ts, interval.micros()) => {
                         let blob = ValueBlob::encode(chunk_ts, &chunk_cols, policy);
                         let batch = RtsBatch {
                             source: SourceId(id),
@@ -101,9 +97,7 @@ impl OdhTable {
                         self.irts.insert(&batch.key(), &batch.serialize(), span)?;
                     }
                 }
-                self.stats
-                    .batches_reorganized
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.stats.batches_reorganized.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 start = end;
             }
         }
@@ -191,14 +185,12 @@ mod tests {
     fn historical_query_equivalent_before_and_after() {
         let t = meter_table(50, 100);
         fill(&t, 20, 10);
-        let before = t
-            .historical_scan(SourceId(7), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
-            .unwrap();
+        let before =
+            t.historical_scan(SourceId(7), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
         assert_eq!(before.len(), 10);
         t.reorganize().unwrap();
-        let after = t
-            .historical_scan(SourceId(7), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
-            .unwrap();
+        let after =
+            t.historical_scan(SourceId(7), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
         assert_eq!(before, after);
     }
 
@@ -222,13 +214,10 @@ mod tests {
         t.reorganize().unwrap();
         // New sweeps land in the fresh MG generation.
         for id in 0..5u64 {
-            t.put(&Record::dense(SourceId(id), Timestamp(100 * 900_000_000), [9.0, 9.0]))
-                .unwrap();
+            t.put(&Record::dense(SourceId(id), Timestamp(100 * 900_000_000), [9.0, 9.0])).unwrap();
         }
         t.flush().unwrap();
-        let pts = t
-            .historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0])
-            .unwrap();
+        let pts = t.historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
         assert_eq!(pts.len(), 5);
         assert_eq!(pts.last().unwrap().values[0], Some(9.0));
     }
@@ -255,9 +244,7 @@ mod tests {
         assert_eq!(rts, 0);
         assert!(irts > 0);
         assert_eq!(mg, 0);
-        let pts = t
-            .historical_scan(SourceId(2), Timestamp(0), Timestamp(i64::MAX), &[0])
-            .unwrap();
+        let pts = t.historical_scan(SourceId(2), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
         assert_eq!(pts.len(), 5);
     }
 }

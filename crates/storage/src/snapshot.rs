@@ -132,8 +132,11 @@ mod tests {
             )
             .unwrap();
             for id in 0..6u64 {
-                t.register_source(SourceId(id), SourceClass::regular_low(Duration::from_minutes(15)))
-                    .unwrap();
+                t.register_source(
+                    SourceId(id),
+                    SourceClass::regular_low(Duration::from_minutes(15)),
+                )
+                .unwrap();
             }
             for i in 0..40i64 {
                 for id in 0..6u64 {
@@ -155,17 +158,14 @@ mod tests {
         let t = OdhTable::restore(pool, ResourceMeter::unmetered(), &snap).unwrap();
         assert_eq!(t.source_count(), 6);
         assert_eq!(t.stats().snapshot().points_ingested, 480);
-        let pts = t
-            .historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
-            .unwrap();
+        let pts =
+            t.historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
         assert_eq!(pts.len(), 40);
         assert_eq!(pts[7].values, vec![Some(7.0), Some(3.0)]);
         // And it accepts new writes.
         t.put(&Record::dense(SourceId(3), Timestamp(99 * 900_000_000), [9.0, 9.0])).unwrap();
         t.flush().unwrap();
-        let pts = t
-            .historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0])
-            .unwrap();
+        let pts = t.historical_scan(SourceId(3), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
         assert_eq!(pts.len(), 41);
         std::fs::remove_file(&path).ok();
     }

@@ -12,20 +12,15 @@ use crate::buffer::{MgBuffer, SourceBuffer};
 use crate::container::Container;
 use crate::select::{historical_structure, ingestion_structure, Structure};
 use crate::stats::{MeterIoHook, StorageStats};
+use crate::stripe::StripedBuffers;
 use odh_btree::KeyBuf;
 use odh_compress::column::Policy;
 use odh_pager::pool::BufferPool;
+use odh_pager::stats::ConcurrencyStats;
 use odh_sim::ResourceMeter;
-use odh_types::{
-    GroupId, OdhError, Record, Result, SchemaType, SourceClass, SourceId, Timestamp,
-};
-use parking_lot::{Mutex, RwLock};
+use odh_types::{GroupId, OdhError, Record, Result, SchemaType, SourceClass, SourceId, Timestamp};
+use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
-
-/// Drained per-source buffer: `(timestamps, cols[tag][row])`.
-type DrainedRows = (Vec<i64>, Vec<Vec<Option<f64>>>);
-/// Drained MG buffer: `(timestamps, source ids, cols[tag][row])`.
-type DrainedMgRows = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>);
 use std::sync::Arc;
 
 /// Configuration of one operational table.
@@ -89,8 +84,9 @@ pub struct OdhTable {
     pub(crate) irts: Container,
     pub(crate) mg: RwLock<Arc<Container>>,
     pub(crate) sources: RwLock<HashMap<u64, SourceMeta>>,
-    buffers: Mutex<HashMap<u64, SourceBuffer>>,
-    mg_buffers: Mutex<HashMap<u32, MgBuffer>>,
+    /// Open ingest buffers, lock-striped so concurrent writers to
+    /// different sources don't contend (see [`crate::stripe`]).
+    buffers: StripedBuffers,
     /// Set once [`OdhTable::reorganize`] has run: slice scans must then also
     /// consult the per-source containers for MG sources.
     pub(crate) reorganized: std::sync::atomic::AtomicBool,
@@ -109,8 +105,7 @@ impl OdhTable {
             irts: Container::create(pool.clone(), Structure::Irts)?,
             mg: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Mg)?)),
             sources: RwLock::new(HashMap::new()),
-            buffers: Mutex::new(HashMap::new()),
-            mg_buffers: Mutex::new(HashMap::new()),
+            buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
             reorganized: std::sync::atomic::AtomicBool::new(false),
             stats: StorageStats::new(),
             cfg,
@@ -136,8 +131,7 @@ impl OdhTable {
             irts,
             mg: RwLock::new(Arc::new(mg)),
             sources: RwLock::new(HashMap::new()),
-            buffers: Mutex::new(HashMap::new()),
-            mg_buffers: Mutex::new(HashMap::new()),
+            buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
             reorganized: std::sync::atomic::AtomicBool::new(reorganized),
             stats,
             cfg,
@@ -148,9 +142,12 @@ impl OdhTable {
 
     /// Points currently sitting in unsealed ingest buffers.
     pub fn buffered_points(&self) -> u64 {
-        let a: usize = self.buffers.lock().values().map(|b| b.len()).sum();
-        let b: usize = self.mg_buffers.lock().values().map(|b| b.len()).sum();
-        (a + b) as u64
+        self.buffers.points()
+    }
+
+    /// Shard-lock and parallelism counters for this table's ingest path.
+    pub fn concurrency(&self) -> &Arc<ConcurrencyStats> {
+        self.buffers.concurrency()
     }
 
     pub fn config(&self) -> &TableConfig {
@@ -214,19 +211,22 @@ impl OdhTable {
         self.meter.cpu(self.meter.costs.point_encode * record.values.len() as f64);
         match meta.ingest {
             Structure::Rts | Structure::Irts => {
-                let mut g = self.buffers.lock();
+                let mut g = self.buffers.lock_source(record.source.0);
                 let buf = g.entry(record.source.0).or_insert_with(|| {
                     SourceBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size)
                 });
                 buf.push(record.ts.micros(), &record.values);
                 if buf.len() >= self.cfg.batch_size {
                     let (ts, cols) = buf.take();
+                    // Seal outside the shard lock: blob encoding is the
+                    // expensive part, and other sources on this shard can
+                    // keep ingesting meanwhile.
                     drop(g);
                     self.seal_source_batch(record.source, meta, ts, cols)?;
                 }
             }
             Structure::Mg => {
-                let mut g = self.mg_buffers.lock();
+                let mut g = self.buffers.lock_mg(meta.group.0);
                 let buf = g.entry(meta.group.0).or_insert_with(|| {
                     MgBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size)
                 });
@@ -243,20 +243,14 @@ impl OdhTable {
     }
 
     /// Seal every open buffer into batches (end of ingest, or checkpoints).
+    /// Shards are drained one at a time; sealing happens outside any shard
+    /// lock, so ingest to untouched shards proceeds during a flush.
     pub fn flush(&self) -> Result<()> {
-        let drained: Vec<(u64, DrainedRows)> = {
-            let mut g = self.buffers.lock();
-            g.iter_mut().filter(|(_, b)| !b.is_empty()).map(|(id, b)| (*id, b.take())).collect()
-        };
-        for (id, (ts, cols)) in drained {
+        for (id, (ts, cols)) in self.buffers.drain_sources() {
             let meta = *self.sources.read().get(&id).unwrap();
             self.seal_source_batch(SourceId(id), meta, ts, cols)?;
         }
-        let drained_mg: Vec<(u32, DrainedMgRows)> = {
-            let mut g = self.mg_buffers.lock();
-            g.iter_mut().filter(|(_, b)| !b.is_empty()).map(|(gid, b)| (*gid, b.take())).collect()
-        };
-        for (gid, (ts, ids, cols)) in drained_mg {
+        for (gid, (ts, ids, cols)) in self.buffers.drain_mg() {
             self.seal_mg_batch(GroupId(gid), ts, ids, cols)?;
         }
         self.pool.flush_all()
@@ -336,14 +330,8 @@ impl OdhTable {
         }
         sort_rows(&mut ts, Some(&mut ids), &mut cols);
         let blob = ValueBlob::encode(&ts, &cols, self.cfg.policy);
-        let batch = MgBatch {
-            group,
-            begin: ts[0],
-            end: *ts.last().unwrap(),
-            ids,
-            timestamps: ts,
-            blob,
-        };
+        let batch =
+            MgBatch { group, begin: ts[0], end: *ts.last().unwrap(), ids, timestamps: ts, blob };
         self.note_batch(&batch.blob, &cols);
         let span = batch.end - batch.begin;
         // Hold the generation lock across the insert: the reorganizer swaps
@@ -366,9 +354,7 @@ impl OdhTable {
 
     fn charge_batch_write(&self, container: &Container) {
         let c = &self.meter.costs;
-        self.meter.cpu(
-            c.btree_node_visit * container.index_height() as f64 + c.btree_leaf_insert,
-        );
+        self.meter.cpu(c.btree_node_visit * container.index_height() as f64 + c.btree_leaf_insert);
     }
 
     /// Historical query: all points of `source` with `t1 <= ts <= t2`,
@@ -417,15 +403,24 @@ impl OdhTable {
         if meta.ingest == Structure::Mg {
             let mg = self.mg.read().clone();
             let filter: HashSet<SourceId> = [source].into_iter().collect();
-            self.scan_mg_container(&mg, meta.group, t1, t2, tags, Some(&filter), tag_ranges, &mut out)?;
-            let g = self.mg_buffers.lock();
+            self.scan_mg_container(
+                &mg,
+                meta.group,
+                t1,
+                t2,
+                tags,
+                Some(&filter),
+                tag_ranges,
+                &mut out,
+            )?;
+            let g = self.buffers.lock_mg(meta.group.0);
             if let Some(buf) = g.get(&meta.group.0) {
                 for (id, ts, values) in buf.rows_in_range(t1, t2, tags, Some(source)) {
                     out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
                 }
             }
         } else {
-            let g = self.buffers.lock();
+            let g = self.buffers.lock_source(source.0);
             if let Some(buf) = g.get(&source.0) {
                 for (ts, values) in buf.rows_in_range(t1, t2, tags) {
                     out.push(ScanPoint { source, ts: Timestamp(ts), values });
@@ -497,25 +492,23 @@ impl OdhTable {
                 continue;
             }
             if (per_source.len() as u64) > container.record_count() {
-                self.meter.cpu(
-                    self.meter.costs.buffer_hit * container.record_count() as f64,
-                );
+                self.meter.cpu(self.meter.costs.buffer_hit * container.record_count() as f64);
                 for batch in container.scan_all()? {
                     self.emit_batch(&batch, t1, t2, tags, sources, tag_ranges, &mut out)?;
                 }
             } else {
                 for sid in &per_source {
-                    self.scan_source_container(container, *sid, t1, t2, tags, tag_ranges, &mut out)?;
+                    self.scan_source_container(
+                        container, *sid, t1, t2, tags, tag_ranges, &mut out,
+                    )?;
                 }
             }
         }
-        {
-            let g = self.buffers.lock();
-            for sid in &per_source {
-                if let Some(buf) = g.get(&sid.0) {
-                    for (ts, values) in buf.rows_in_range(t1, t2, tags) {
-                        out.push(ScanPoint { source: *sid, ts: Timestamp(ts), values });
-                    }
+        for sid in &per_source {
+            let g = self.buffers.lock_source(sid.0);
+            if let Some(buf) = g.get(&sid.0) {
+                for (ts, values) in buf.rows_in_range(t1, t2, tags) {
+                    out.push(ScanPoint { source: *sid, ts: Timestamp(ts), values });
                 }
             }
         }
@@ -524,7 +517,7 @@ impl OdhTable {
         groups.sort_unstable();
         for gid in groups {
             self.scan_mg_container(&mg, GroupId(gid), t1, t2, tags, sources, tag_ranges, &mut out)?;
-            let g = self.mg_buffers.lock();
+            let g = self.buffers.lock_mg(gid);
             if let Some(buf) = g.get(&gid) {
                 for (id, ts, values) in buf.rows_in_range(t1, t2, tags, None) {
                     if sources.is_none_or(|f| f.contains(&id)) {
@@ -575,10 +568,7 @@ impl OdhTable {
         tag_ranges: &[(usize, f64, f64)],
         out: &mut Vec<ScanPoint>,
     ) -> Result<()> {
-        let lo = KeyBuf::new()
-            .push_u32(group.0)
-            .push_i64(t1.saturating_sub(mg.max_span()))
-            .build();
+        let lo = KeyBuf::new().push_u32(group.0).push_i64(t1.saturating_sub(mg.max_span())).build();
         let hi = KeyBuf::new().push_u32(group.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
         for batch in mg.range(&lo, &hi)? {
@@ -759,8 +749,7 @@ mod tests {
     #[test]
     fn regular_high_goes_to_rts() {
         let t = table(50);
-        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(50.0)))
-            .unwrap();
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(50.0))).unwrap();
         put_regular(&t, 1, 200, 20_000);
         let (rts, irts, mg) = t.record_counts();
         assert_eq!((rts, irts, mg), (4, 0, 0));
@@ -804,9 +793,8 @@ mod tests {
             .unwrap();
         put_regular(&t, 5, 100, 10_000);
         t.flush().unwrap();
-        let pts = t
-            .historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
-            .unwrap();
+        let pts =
+            t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
         assert_eq!(pts.len(), 100);
         assert_eq!(pts[3].values, vec![Some(3.0), Some(-3.0)]);
         assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
@@ -831,9 +819,8 @@ mod tests {
         let t = table(1000); // large b: nothing sealed
         t.register_source(SourceId(9), SourceClass::irregular_high()).unwrap();
         t.put(&Record::dense(SourceId(9), Timestamp::from_secs(10), [7.0, 8.0])).unwrap();
-        let pts = t
-            .historical_scan(SourceId(9), Timestamp(0), Timestamp::from_secs(100), &[0])
-            .unwrap();
+        let pts =
+            t.historical_scan(SourceId(9), Timestamp(0), Timestamp::from_secs(100), &[0]).unwrap();
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].values, vec![Some(7.0)]);
         // Same for MG sources.
@@ -875,13 +862,10 @@ mod tests {
     #[test]
     fn projection_returns_requested_tags_only() {
         let t = table(4);
-        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(10.0)))
-            .unwrap();
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(10.0))).unwrap();
         put_regular(&t, 1, 8, 100_000);
         t.flush().unwrap();
-        let pts = t
-            .historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[1])
-            .unwrap();
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[1]).unwrap();
         assert_eq!(pts[0].values.len(), 1);
         assert_eq!(pts[2].values[0], Some(-2.0));
     }
@@ -889,13 +873,10 @@ mod tests {
     #[test]
     fn unregistered_source_rejected() {
         let t = table(4);
-        let err =
-            t.put(&Record::dense(SourceId(77), Timestamp(0), [0.0, 0.0])).unwrap_err();
+        let err = t.put(&Record::dense(SourceId(77), Timestamp(0), [0.0, 0.0])).unwrap_err();
         assert_eq!(err.kind(), "not_found");
         assert_eq!(
-            t.historical_scan(SourceId(77), Timestamp(0), Timestamp(1), &[0])
-                .unwrap_err()
-                .kind(),
+            t.historical_scan(SourceId(77), Timestamp(0), Timestamp(1), &[0]).unwrap_err().kind(),
             "not_found"
         );
     }
@@ -930,13 +911,11 @@ mod tests {
             if i % 10 == 7 {
                 continue; // dropped sample
             }
-            t.put(&Record::dense(SourceId(1), Timestamp(i * 10_000), [i as f64, 0.0]))
-                .unwrap();
+            t.put(&Record::dense(SourceId(1), Timestamp(i * 10_000), [i as f64, 0.0])).unwrap();
             n += 1;
         }
         t.flush().unwrap();
-        let pts =
-            t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
         assert_eq!(pts.len(), n);
         let (rts, _, _) = t.record_counts();
         assert!(rts > 1, "gaps must split runs, got {rts} batch(es)");
@@ -950,8 +929,7 @@ mod tests {
             t.put(&Record::dense(SourceId(1), Timestamp(ts), [ts as f64, 0.0])).unwrap();
         }
         t.flush().unwrap();
-        let pts =
-            t.historical_scan(SourceId(1), Timestamp(0), Timestamp(100), &[0]).unwrap();
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(100), &[0]).unwrap();
         let times: Vec<i64> = pts.iter().map(|p| p.ts.micros()).collect();
         assert_eq!(times, vec![10, 20, 30, 40]);
         assert_eq!(pts[0].values[0], Some(10.0));

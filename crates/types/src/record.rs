@@ -123,7 +123,10 @@ mod tests {
     fn data_points_count_non_null_only() {
         let r = Record::new(SourceId(1), Timestamp::from_secs(0), vec![Some(1.0), None, Some(2.0)]);
         assert_eq!(r.data_points(), 2);
-        assert_eq!(Record::dense(SourceId(1), Timestamp::from_secs(0), [1.0, 2.0]).data_points(), 2);
+        assert_eq!(
+            Record::dense(SourceId(1), Timestamp::from_secs(0), [1.0, 2.0]).data_points(),
+            2
+        );
     }
 
     #[test]

@@ -54,11 +54,11 @@ pub struct SchemaType {
 }
 
 impl SchemaType {
-    pub fn new(name: impl Into<String>, tags: impl IntoIterator<Item = impl Into<String>>) -> SchemaType {
-        SchemaType {
-            name: name.into(),
-            tags: tags.into_iter().map(|t| TagDef::new(t)).collect(),
-        }
+    pub fn new(
+        name: impl Into<String>,
+        tags: impl IntoIterator<Item = impl Into<String>>,
+    ) -> SchemaType {
+        SchemaType { name: name.into(), tags: tags.into_iter().map(|t| TagDef::new(t)).collect() }
     }
 
     pub fn tag_count(&self) -> usize {
@@ -142,9 +142,9 @@ impl RelSchema {
     }
 
     pub fn column(&self, name: &str) -> Result<&ColumnDef> {
-        self.column_index(name)
-            .map(|i| &self.columns[i])
-            .ok_or_else(|| OdhError::Plan(format!("unknown column '{}' in table '{}'", name, self.name)))
+        self.column_index(name).map(|i| &self.columns[i]).ok_or_else(|| {
+            OdhError::Plan(format!("unknown column '{}' in table '{}'", name, self.name))
+        })
     }
 }
 

@@ -12,12 +12,16 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a data source (sensor, meter, PMU, vehicle, account...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SourceId(pub u64);
 
 /// Identifier of a Mixed-Grouping group: a set of low-frequency sources
 /// whose points are batched together by timestamp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct GroupId(pub u32);
 
 impl fmt::Display for SourceId {
@@ -96,10 +100,7 @@ impl SourceClass {
     }
 
     pub fn regular_low(interval: Duration) -> SourceClass {
-        SourceClass {
-            regularity: Regularity::Regular { interval },
-            frequency: FrequencyClass::Low,
-        }
+        SourceClass { regularity: Regularity::Regular { interval }, frequency: FrequencyClass::Low }
     }
 
     pub fn irregular_low() -> SourceClass {

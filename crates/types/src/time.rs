@@ -11,12 +11,16 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// Microseconds since the Unix epoch (UTC).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Timestamp(pub i64);
 
 /// A span of time in microseconds. Always non-negative in practice but
 /// signed so that `Timestamp - Timestamp` is total.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Duration(pub i64);
 
 pub const MICROS_PER_SEC: i64 = 1_000_000;
@@ -82,7 +86,9 @@ impl Timestamp {
         }
         let days = days_from_civil(year, month, day);
         Some(Timestamp(
-            days * MICROS_PER_DAY + hour * MICROS_PER_HOUR + minute * MICROS_PER_MINUTE
+            days * MICROS_PER_DAY
+                + hour * MICROS_PER_HOUR
+                + minute * MICROS_PER_MINUTE
                 + sec * MICROS_PER_SEC
                 + frac_us,
         ))
@@ -256,7 +262,14 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        for bad in ["", "hello", "2013-13-01 00:00:00", "2013-01-01 25:00:00", "2013-1", "2013-01-01 00:00"] {
+        for bad in [
+            "",
+            "hello",
+            "2013-13-01 00:00:00",
+            "2013-01-01 25:00:00",
+            "2013-1",
+            "2013-01-01 00:00",
+        ] {
             assert!(Timestamp::parse_sql(bad).is_none(), "accepted {bad:?}");
         }
     }

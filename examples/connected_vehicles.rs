@@ -8,7 +8,9 @@
 
 use odh_core::Historian;
 use odh_storage::TableConfig;
-use odh_types::{DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -47,7 +49,7 @@ fn main() -> odh_types::Result<()> {
     println!("ingesting {MINUTES} minutes of {VEHICLES} vehicles...");
     let mut rng = StdRng::seed_from_u64(99);
     let t = Instant::now();
-    let mut w = h.writer("vehicle")?;
+    let w = h.writer("vehicle")?;
     let mut records = 0u64;
     // Per-vehicle state: odometer and fuel drain.
     let mut odo: Vec<f64> = (0..VEHICLES).map(|v| 10_000.0 + v as f64).collect();

@@ -18,7 +18,8 @@ use odh_sim::ResourceMeter;
 use odh_types::{Duration, Record};
 
 fn main() -> odh_types::Result<()> {
-    let td = TdSpec { accounts: 200, hz_per_account: 20.0, duration: Duration::from_secs(3), seed: 1 };
+    let td =
+        TdSpec { accounts: 200, hz_per_account: 20.0, duration: Duration::from_secs(3), seed: 1 };
     let ld = LdSpec {
         sensors: 2_000,
         mean_interval: Duration::from_secs(23),
@@ -38,7 +39,8 @@ fn main() -> odh_types::Result<()> {
     {
         let h = odh_bench::odh_for_td(&td, true)?;
         let mut sink = OdhSink::new(h, "trade")?;
-        let records = csv::CsvReader::open(&csv_path)?.collect::<odh_types::Result<Vec<Record>>>()?;
+        let records =
+            csv::CsvReader::open(&csv_path)?.collect::<odh_types::Result<Vec<Record>>>()?;
         ws1.push(run_ws1("TD(mini)", td.offered_pps(), records.into_iter(), &mut sink, opts)?);
     }
     for profile in [RdbProfile::RDB, RdbProfile::MYSQL] {
@@ -62,8 +64,20 @@ fn main() -> odh_types::Result<()> {
         ws2.push(run_template(&rdb_td.target(OpNames::rdb_trade()), tpl, &td_meta, queries, 5)?);
     }
     for tpl in Template::LD {
-        ws2.push(run_template(&odh_ld.target(OpNames::odh("observation")), tpl, &ld_meta, queries, 6)?);
-        ws2.push(run_template(&rdb_ld.target(OpNames::rdb_observation()), tpl, &ld_meta, queries, 6)?);
+        ws2.push(run_template(
+            &odh_ld.target(OpNames::odh("observation")),
+            tpl,
+            &ld_meta,
+            queries,
+            6,
+        )?);
+        ws2.push(run_template(
+            &rdb_ld.target(OpNames::rdb_observation()),
+            tpl,
+            &ld_meta,
+            queries,
+            6,
+        )?);
     }
     println!("WS2 (read suite, {queries} queries per template):\n{}", ws2_table(&ws2));
 

@@ -10,7 +10,9 @@
 
 use odh_core::Historian;
 use odh_storage::TableConfig;
-use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 
 fn main() -> odh_types::Result<()> {
     // 1. Build a historian: two data servers, resource models on.
@@ -46,7 +48,7 @@ fn main() -> odh_types::Result<()> {
 
     // 5. Storage component: the high-throughput, non-transactional writer.
     let base = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
-    let mut writer = h.writer("environ_data")?;
+    let writer = h.writer("environ_data")?;
     for step in 0..1000i64 {
         for id in 0..10u64 {
             let ts = base + Duration::from_secs(step * 30) + Duration::from_micros(id as i64 * 137);

@@ -11,7 +11,9 @@
 
 use odh_core::Historian;
 use odh_storage::TableConfig;
-use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 use std::time::Instant;
 
 const METERS: u64 = 20_000;
@@ -41,7 +43,7 @@ fn main() -> odh_types::Result<()> {
     // One day of sweeps: every meter reports on the 15-minute grid.
     println!("ingesting {SWEEPS} sweeps of {METERS} meters...");
     let t = Instant::now();
-    let mut w = h.writer("meter")?;
+    let w = h.writer("meter")?;
     for s in 0..SWEEPS {
         let ts = Timestamp(s * 900_000_000);
         for m in 0..METERS {

@@ -11,7 +11,9 @@
 
 use odh_core::Historian;
 use odh_storage::TableConfig;
-use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 use std::io::{BufRead, Write};
 
 fn demo() -> odh_types::Result<Historian> {
@@ -29,13 +31,10 @@ fn demo() -> odh_types::Result<Historian> {
     ));
     info.create_index("idx_id", "id")?;
     for id in 0..10i64 {
-        info.insert(&Row::new(vec![
-            Datum::I64(id),
-            Datum::str(if id < 4 { "S1" } else { "S2" }),
-        ]))?;
+        info.insert(&Row::new(vec![Datum::I64(id), Datum::str(if id < 4 { "S1" } else { "S2" })]))?;
     }
     let base = Timestamp::parse_sql("2013-11-18 00:00:00").unwrap();
-    let mut w = h.writer("environ_data")?;
+    let w = h.writer("environ_data")?;
     for step in 0..2000i64 {
         for id in 0..10u64 {
             let ts = base + Duration::from_secs(step * 30);
@@ -101,7 +100,11 @@ fn main() -> odh_types::Result<()> {
                 if result.rows.len() > 40 {
                     println!("... ({} rows total)", result.rows.len());
                 }
-                println!("({} rows, {:.1} ms)", result.rows.len(), start.elapsed().as_secs_f64() * 1e3);
+                println!(
+                    "({} rows, {:.1} ms)",
+                    result.rows.len(),
+                    start.elapsed().as_secs_f64() * 1e3
+                );
             }
             Err(e) => println!("error: {e}"),
         }

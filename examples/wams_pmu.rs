@@ -11,7 +11,9 @@
 use odh_compress::column::Policy;
 use odh_core::Historian;
 use odh_storage::TableConfig;
-use odh_types::{DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 use std::time::Instant;
 
 const PMUS: u64 = 200;
@@ -47,7 +49,7 @@ fn main() -> odh_types::Result<()> {
 
     println!("ingesting {SECONDS}s of {PMUS} PMUs @ {HZ} Hz...");
     let t = Instant::now();
-    let mut w = h.writer("pmu")?;
+    let w = h.writer("pmu")?;
     let steps = (SECONDS as f64 * HZ) as i64;
     for step in 0..steps {
         let ts = Timestamp(step * interval.micros());
@@ -58,7 +60,7 @@ fn main() -> odh_types::Result<()> {
             let fault = if p == 7 && (30.0..30.5).contains(&wt) { 0.25 } else { 0.0 };
             let v = 1.0 + 0.01 * (wt * 0.6).sin() - fault;
             let i = 0.8 + 0.02 * (wt * 0.6 + 1.0).sin() + fault * 2.0;
-            let angle = (wt * std::f64::consts::TAU * 0.1 + p as f64 * 0.01) % 3.14;
+            let angle = (wt * std::f64::consts::TAU * 0.1 + p as f64 * 0.01) % std::f64::consts::PI;
             let freq = 50.0 + 0.01 * (wt * 0.05).sin();
             w.write(&Record::dense(SourceId(p), ts, [v, i, angle, freq]))?;
         }
@@ -71,7 +73,11 @@ fn main() -> odh_types::Result<()> {
         points as f64 / took.as_secs_f64()
     );
     let cpu = h.meter().cpu_report();
-    println!("  modeled CPU on 32 cores: avg {:.2}%, max {:.2}%", cpu.avg_load * 100.0, cpu.max_load * 100.0);
+    println!(
+        "  modeled CPU on 32 cores: avg {:.2}%, max {:.2}%",
+        cpu.avg_load * 100.0,
+        cpu.max_load * 100.0
+    );
 
     // Historical query: the fault window on PMU 7 (tag-oriented: only
     // v_mag is decoded).
@@ -81,11 +87,7 @@ fn main() -> odh_types::Result<()> {
          ORDER BY timestamp",
     )?;
     println!("\nfault window on PMU 7 ({} samples):", r.rows.len());
-    let dip = r
-        .rows
-        .iter()
-        .filter(|row| row.get(1).as_f64().unwrap_or(1.0) < 0.9)
-        .count();
+    let dip = r.rows.iter().filter(|row| row.get(1).as_f64().unwrap_or(1.0) < 0.9).count();
     println!("  samples below 0.9 pu: {dip}");
     assert!(dip > 0, "the fault must be visible in the archive");
 
@@ -112,7 +114,10 @@ fn main() -> odh_types::Result<()> {
             n += 1;
         }
     }
-    println!("\nstorage: {:.1} MB, blob compression {:.1}x (quantization, Fig. 3)",
-        h.storage_bytes() as f64 / 1e6, ratio_sum / n as f64);
+    println!(
+        "\nstorage: {:.1} MB, blob compression {:.1}x (quantization, Fig. 3)",
+        h.storage_bytes() as f64 / 1e6,
+        ratio_sum / n as f64
+    );
     Ok(())
 }

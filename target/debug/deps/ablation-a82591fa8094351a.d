@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-a82591fa8094351a.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-a82591fa8094351a: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compression-df12172f36f903d3.d: crates/bench/src/bin/compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompression-df12172f36f903d3.rmeta: crates/bench/src/bin/compression.rs Cargo.toml
+
+crates/bench/src/bin/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compression-f7b980dbd7518db2.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/debug/deps/compression-f7b980dbd7518db2: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-8336c418438099f2.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-8336c418438099f2: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-70210d41f0432685.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-70210d41f0432685: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dialect-a0a94894ddad74a3.d: crates/sql/tests/dialect.rs
+
+/root/repo/target/debug/deps/dialect-a0a94894ddad74a3: crates/sql/tests/dialect.rs
+
+crates/sql/tests/dialect.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dialect-c8cd69fb10438a1c.d: crates/sql/tests/dialect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdialect-c8cd69fb10438a1c.rmeta: crates/sql/tests/dialect.rs Cargo.toml
+
+crates/sql/tests/dialect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-fe0cc350ab71e72f.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-fe0cc350ab71e72f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-e4667137dff5af51.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-e4667137dff5af51: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

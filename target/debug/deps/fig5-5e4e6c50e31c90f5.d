@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-5e4e6c50e31c90f5.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-5e4e6c50e31c90f5: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

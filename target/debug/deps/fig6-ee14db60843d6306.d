@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ee14db60843d6306.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ee14db60843d6306: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

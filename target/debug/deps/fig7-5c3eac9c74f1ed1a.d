@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5c3eac9c74f1ed1a.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5c3eac9c74f1ed1a: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

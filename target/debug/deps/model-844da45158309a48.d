@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model-844da45158309a48.d: crates/btree/tests/model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel-844da45158309a48.rmeta: crates/btree/tests/model.rs Cargo.toml
+
+crates/btree/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

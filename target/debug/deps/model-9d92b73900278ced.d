@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model-9d92b73900278ced.d: crates/btree/tests/model.rs
+
+/root/repo/target/debug/deps/model-9d92b73900278ced: crates/btree/tests/model.rs
+
+crates/btree/tests/model.rs:

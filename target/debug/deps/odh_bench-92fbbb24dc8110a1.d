@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odh_bench-92fbbb24dc8110a1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libodh_bench-92fbbb24dc8110a1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libodh_bench-92fbbb24dc8110a1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odh_bench-a3d2a80488d786ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/odh_bench-a3d2a80488d786ce: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

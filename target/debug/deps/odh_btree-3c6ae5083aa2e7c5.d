@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odh_btree-3c6ae5083aa2e7c5.d: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_btree-3c6ae5083aa2e7c5.rmeta: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs Cargo.toml
+
+crates/btree/src/lib.rs:
+crates/btree/src/keycodec.rs:
+crates/btree/src/node.rs:
+crates/btree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/odh_btree-d9b413e4a20480e7.d: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+/root/repo/target/debug/deps/odh_btree-d9b413e4a20480e7: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keycodec.rs:
+crates/btree/src/node.rs:
+crates/btree/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/odh_btree-e52a0ca974366b2c.d: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+/root/repo/target/debug/deps/libodh_btree-e52a0ca974366b2c.rlib: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+/root/repo/target/debug/deps/libodh_btree-e52a0ca974366b2c.rmeta: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keycodec.rs:
+crates/btree/src/node.rs:
+crates/btree/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/odh_compress-07555c62f38aca2f.d: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+/root/repo/target/debug/deps/libodh_compress-07555c62f38aca2f.rlib: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+/root/repo/target/debug/deps/libodh_compress-07555c62f38aca2f.rmeta: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/column.rs:
+crates/compress/src/delta.rs:
+crates/compress/src/linear.rs:
+crates/compress/src/quantize.rs:
+crates/compress/src/variability.rs:
+crates/compress/src/varint.rs:
+crates/compress/src/xor.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/odh_compress-46f37d4d882bfd81.d: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_compress-46f37d4d882bfd81.rmeta: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs Cargo.toml
+
+crates/compress/src/lib.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/column.rs:
+crates/compress/src/delta.rs:
+crates/compress/src/linear.rs:
+crates/compress/src/quantize.rs:
+crates/compress/src/variability.rs:
+crates/compress/src/varint.rs:
+crates/compress/src/xor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odh_rdb-46caf2d3ff943884.d: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_rdb-46caf2d3ff943884.rmeta: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs Cargo.toml
+
+crates/rdb/src/lib.rs:
+crates/rdb/src/batch.rs:
+crates/rdb/src/profile.rs:
+crates/rdb/src/rowstore.rs:
+crates/rdb/src/tuple.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odh_rdb-c42bd781e0db15b3.d: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+/root/repo/target/debug/deps/odh_rdb-c42bd781e0db15b3: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+crates/rdb/src/lib.rs:
+crates/rdb/src/batch.rs:
+crates/rdb/src/profile.rs:
+crates/rdb/src/rowstore.rs:
+crates/rdb/src/tuple.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odh_rdb-cc5ddad8e2e5a2c9.d: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+/root/repo/target/debug/deps/libodh_rdb-cc5ddad8e2e5a2c9.rlib: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+/root/repo/target/debug/deps/libodh_rdb-cc5ddad8e2e5a2c9.rmeta: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+crates/rdb/src/lib.rs:
+crates/rdb/src/batch.rs:
+crates/rdb/src/profile.rs:
+crates/rdb/src/rowstore.rs:
+crates/rdb/src/tuple.rs:

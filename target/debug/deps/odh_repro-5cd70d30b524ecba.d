@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/odh_repro-5cd70d30b524ecba.d: src/lib.rs
+
+/root/repo/target/debug/deps/odh_repro-5cd70d30b524ecba: src/lib.rs
+
+src/lib.rs:

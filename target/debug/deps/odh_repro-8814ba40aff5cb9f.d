@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odh_repro-8814ba40aff5cb9f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_repro-8814ba40aff5cb9f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

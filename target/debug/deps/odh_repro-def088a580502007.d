@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odh_repro-def088a580502007.d: src/lib.rs
+
+/root/repo/target/debug/deps/libodh_repro-def088a580502007.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libodh_repro-def088a580502007.rmeta: src/lib.rs
+
+src/lib.rs:

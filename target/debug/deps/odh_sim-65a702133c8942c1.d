@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odh_sim-65a702133c8942c1.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+/root/repo/target/debug/deps/libodh_sim-65a702133c8942c1.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+/root/repo/target/debug/deps/libodh_sim-65a702133c8942c1.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/disk.rs:
+crates/sim/src/meter.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odh_sim-86086c238fc8aee4.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+/root/repo/target/debug/deps/odh_sim-86086c238fc8aee4: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/disk.rs:
+crates/sim/src/meter.rs:

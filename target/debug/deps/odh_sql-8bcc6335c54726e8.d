@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odh_sql-8bcc6335c54726e8.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/odh_sql-8bcc6335c54726e8: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/optimizer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/planner.rs:
+crates/sql/src/provider.rs:
+crates/sql/src/stats.rs:
+crates/sql/src/token.rs:

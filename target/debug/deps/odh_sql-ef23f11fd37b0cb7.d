@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/odh_sql-ef23f11fd37b0cb7.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_sql-ef23f11fd37b0cb7.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/optimizer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/planner.rs:
+crates/sql/src/provider.rs:
+crates/sql/src/stats.rs:
+crates/sql/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

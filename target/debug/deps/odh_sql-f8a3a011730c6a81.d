@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/odh_sql-f8a3a011730c6a81.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/libodh_sql-f8a3a011730c6a81.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+/root/repo/target/debug/deps/libodh_sql-f8a3a011730c6a81.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/optimizer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/planner.rs:
+crates/sql/src/provider.rs:
+crates/sql/src/stats.rs:
+crates/sql/src/token.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/odh_types-4fc561784ecc7e5b.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/odh_types-4fc561784ecc7e5b: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/record.rs:
+crates/types/src/schema.rs:
+crates/types/src/source.rs:
+crates/types/src/time.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/odh_types-825dbd0af624f521.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libodh_types-825dbd0af624f521.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+/root/repo/target/debug/deps/libodh_types-825dbd0af624f521.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/record.rs:
+crates/types/src/schema.rs:
+crates/types/src/source.rs:
+crates/types/src/time.rs:
+crates/types/src/value.rs:

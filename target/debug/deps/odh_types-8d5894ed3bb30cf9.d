@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/odh_types-8d5894ed3bb30cf9.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_types-8d5894ed3bb30cf9.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs Cargo.toml
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/record.rs:
+crates/types/src/schema.rs:
+crates/types/src/source.rs:
+crates/types/src/time.rs:
+crates/types/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer-7d3c8ab0a0b1f3b6.d: crates/bench/src/bin/optimizer.rs
+
+/root/repo/target/debug/deps/optimizer-7d3c8ab0a0b1f3b6: crates/bench/src/bin/optimizer.rs
+
+crates/bench/src/bin/optimizer.rs:

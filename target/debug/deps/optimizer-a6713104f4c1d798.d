@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer-a6713104f4c1d798.d: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer-a6713104f4c1d798.rmeta: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+crates/bench/src/bin/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer-e720050e91b41ebc.d: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer-e720050e91b41ebc.rmeta: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+crates/bench/src/bin/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

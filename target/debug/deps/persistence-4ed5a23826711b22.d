@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-4ed5a23826711b22.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-4ed5a23826711b22: tests/persistence.rs
+
+tests/persistence.rs:

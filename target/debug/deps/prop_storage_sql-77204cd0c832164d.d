@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_storage_sql-77204cd0c832164d.d: tests/prop_storage_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_storage_sql-77204cd0c832164d.rmeta: tests/prop_storage_sql.rs Cargo.toml
+
+tests/prop_storage_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage_sql-aa56917b7e16acaa.d: tests/prop_storage_sql.rs
+
+/root/repo/target/debug/deps/prop_storage_sql-aa56917b7e16acaa: tests/prop_storage_sql.rs
+
+tests/prop_storage_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-5165d63a4e44cb1d.d: crates/pager/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-5165d63a4e44cb1d: crates/pager/tests/proptests.rs
+
+crates/pager/tests/proptests.rs:

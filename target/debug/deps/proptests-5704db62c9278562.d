@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-5704db62c9278562.d: crates/pager/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-5704db62c9278562.rmeta: crates/pager/tests/proptests.rs Cargo.toml
+
+crates/pager/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

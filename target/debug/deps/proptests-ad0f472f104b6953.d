@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-ad0f472f104b6953.d: crates/compress/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-ad0f472f104b6953.rmeta: crates/compress/tests/proptests.rs Cargo.toml
+
+crates/compress/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b1b14f6f6bd19aa8.d: crates/compress/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b1b14f6f6bd19aa8: crates/compress/tests/proptests.rs
+
+crates/compress/tests/proptests.rs:

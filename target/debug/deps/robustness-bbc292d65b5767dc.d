@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-bbc292d65b5767dc.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-bbc292d65b5767dc: tests/robustness.rs
+
+tests/robustness.rs:

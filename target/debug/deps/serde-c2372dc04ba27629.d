@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-c2372dc04ba27629.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c2372dc04ba27629.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-c2372dc04ba27629.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

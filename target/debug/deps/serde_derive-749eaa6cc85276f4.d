@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-749eaa6cc85276f4.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-749eaa6cc85276f4: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-a3f1efe4c014909b.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-a3f1efe4c014909b.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

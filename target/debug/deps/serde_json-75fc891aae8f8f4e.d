@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-75fc891aae8f8f4e.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-75fc891aae8f8f4e.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-75fc891aae8f8f4e.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

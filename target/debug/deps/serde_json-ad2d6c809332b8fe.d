@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-ad2d6c809332b8fe.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-ad2d6c809332b8fe: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-180cca6ba01918b0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-180cca6ba01918b0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a7aed42aefcad17d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a7aed42aefcad17d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

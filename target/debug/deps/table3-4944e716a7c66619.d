@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-4944e716a7c66619.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-4944e716a7c66619: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

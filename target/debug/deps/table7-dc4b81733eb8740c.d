@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-dc4b81733eb8740c.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-dc4b81733eb8740c: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

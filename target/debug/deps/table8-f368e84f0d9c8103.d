@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-f368e84f0d9c8103.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-f368e84f0d9c8103: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zone_maps-04e787d609684a1f.d: tests/zone_maps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzone_maps-04e787d609684a1f.rmeta: tests/zone_maps.rs Cargo.toml
+
+tests/zone_maps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zone_maps-0fae886aeea6fbc6.d: tests/zone_maps.rs
+
+/root/repo/target/debug/deps/zone_maps-0fae886aeea6fbc6: tests/zone_maps.rs
+
+tests/zone_maps.rs:

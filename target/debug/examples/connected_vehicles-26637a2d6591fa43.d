@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/connected_vehicles-26637a2d6591fa43.d: examples/connected_vehicles.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconnected_vehicles-26637a2d6591fa43.rmeta: examples/connected_vehicles.rs Cargo.toml
+
+examples/connected_vehicles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/connected_vehicles-536cb5be74628a01.d: examples/connected_vehicles.rs
+
+/root/repo/target/debug/examples/connected_vehicles-536cb5be74628a01: examples/connected_vehicles.rs
+
+examples/connected_vehicles.rs:

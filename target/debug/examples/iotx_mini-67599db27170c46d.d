@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iotx_mini-67599db27170c46d.d: examples/iotx_mini.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiotx_mini-67599db27170c46d.rmeta: examples/iotx_mini.rs Cargo.toml
+
+examples/iotx_mini.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

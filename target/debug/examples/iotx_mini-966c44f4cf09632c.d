@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iotx_mini-966c44f4cf09632c.d: examples/iotx_mini.rs
+
+/root/repo/target/debug/examples/iotx_mini-966c44f4cf09632c: examples/iotx_mini.rs
+
+examples/iotx_mini.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c7079257abd0fcb4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c7079257abd0fcb4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_meters-8ecbfdcbe970255f.d: examples/smart_meters.rs
+
+/root/repo/target/debug/examples/smart_meters-8ecbfdcbe970255f: examples/smart_meters.rs
+
+examples/smart_meters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_meters-bb3f373544426288.d: examples/smart_meters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_meters-bb3f373544426288.rmeta: examples/smart_meters.rs Cargo.toml
+
+examples/smart_meters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_shell-62d230b3103d8532.d: examples/sql_shell.rs
+
+/root/repo/target/debug/examples/sql_shell-62d230b3103d8532: examples/sql_shell.rs
+
+examples/sql_shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_shell-e1c1965514d901d8.d: examples/sql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_shell-e1c1965514d901d8.rmeta: examples/sql_shell.rs Cargo.toml
+
+examples/sql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

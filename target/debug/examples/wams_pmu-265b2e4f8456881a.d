@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wams_pmu-265b2e4f8456881a.d: examples/wams_pmu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwams_pmu-265b2e4f8456881a.rmeta: examples/wams_pmu.rs Cargo.toml
+
+examples/wams_pmu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

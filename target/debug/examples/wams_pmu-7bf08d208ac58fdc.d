@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wams_pmu-7bf08d208ac58fdc.d: examples/wams_pmu.rs
+
+/root/repo/target/debug/examples/wams_pmu-7bf08d208ac58fdc: examples/wams_pmu.rs
+
+examples/wams_pmu.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-08d88aba940e48ce.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-08d88aba940e48ce: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-5a0ddef835d8da16.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-5a0ddef835d8da16: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

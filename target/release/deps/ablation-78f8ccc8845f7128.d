@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablation-78f8ccc8845f7128.d: crates/bench/src/bin/ablation.rs Cargo.toml
+
+/root/repo/target/release/deps/libablation-78f8ccc8845f7128.rmeta: crates/bench/src/bin/ablation.rs Cargo.toml
+
+crates/bench/src/bin/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compression-0d6be6e7536ee21b.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/release/deps/compression-0d6be6e7536ee21b: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

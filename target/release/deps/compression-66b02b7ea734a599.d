@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compression-66b02b7ea734a599.d: crates/bench/src/bin/compression.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompression-66b02b7ea734a599.rmeta: crates/bench/src/bin/compression.rs Cargo.toml
+
+crates/bench/src/bin/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compression-b99f022dd5ab41cd.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/release/deps/compression-b99f022dd5ab41cd: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/compression-dc67013fa61bcbde.d: crates/bench/src/bin/compression.rs Cargo.toml
+
+/root/repo/target/release/deps/libcompression-dc67013fa61bcbde.rmeta: crates/bench/src/bin/compression.rs Cargo.toml
+
+crates/bench/src/bin/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/concurrency-063a1ecf1df5158f.d: tests/concurrency.rs Cargo.toml
+
+/root/repo/target/release/deps/libconcurrency-063a1ecf1df5158f.rmeta: tests/concurrency.rs Cargo.toml
+
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

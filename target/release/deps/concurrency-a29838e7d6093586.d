@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-a29838e7d6093586.d: tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-a29838e7d6093586: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_engine-8751444813e81e60.d: tests/cross_engine.rs
+
+/root/repo/target/release/deps/cross_engine-8751444813e81e60: tests/cross_engine.rs
+
+tests/cross_engine.rs:

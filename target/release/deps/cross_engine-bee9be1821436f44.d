@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_engine-bee9be1821436f44.d: tests/cross_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_engine-bee9be1821436f44.rmeta: tests/cross_engine.rs Cargo.toml
+
+tests/cross_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dialect-c667c72b9b8377c7.d: crates/sql/tests/dialect.rs Cargo.toml
+
+/root/repo/target/release/deps/libdialect-c667c72b9b8377c7.rmeta: crates/sql/tests/dialect.rs Cargo.toml
+
+crates/sql/tests/dialect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

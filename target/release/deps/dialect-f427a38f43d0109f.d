@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dialect-f427a38f43d0109f.d: crates/sql/tests/dialect.rs
+
+/root/repo/target/release/deps/dialect-f427a38f43d0109f: crates/sql/tests/dialect.rs
+
+crates/sql/tests/dialect.rs:

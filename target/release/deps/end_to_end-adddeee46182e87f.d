@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-adddeee46182e87f.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-adddeee46182e87f: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4-28c78144d8b2f8eb.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4-28c78144d8b2f8eb.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-4054b11e2cc0754c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-4054b11e2cc0754c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig4-7d6bdc799e6cf9ae.d: crates/bench/src/bin/fig4.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig4-7d6bdc799e6cf9ae.rmeta: crates/bench/src/bin/fig4.rs Cargo.toml
+
+crates/bench/src/bin/fig4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-b9a2ff875b309cc4.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-b9a2ff875b309cc4: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5-06be0c79dd8e5ba8.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5-06be0c79dd8e5ba8.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-0e680985108b51a4.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-0e680985108b51a4: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

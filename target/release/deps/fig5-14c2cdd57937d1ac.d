@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5-14c2cdd57937d1ac.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5-14c2cdd57937d1ac.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

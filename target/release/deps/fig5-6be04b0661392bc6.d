@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-6be04b0661392bc6.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-6be04b0661392bc6: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

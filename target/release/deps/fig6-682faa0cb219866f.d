@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-682faa0cb219866f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-682faa0cb219866f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-bdf31d60175e501f.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-bdf31d60175e501f: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

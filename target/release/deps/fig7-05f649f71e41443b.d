@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-05f649f71e41443b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-05f649f71e41443b: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

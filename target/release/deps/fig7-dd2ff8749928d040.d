@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7-dd2ff8749928d040.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7-dd2ff8749928d040.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/iotx-4ddabc6218ac2d26.d: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+/root/repo/target/release/deps/libiotx-4ddabc6218ac2d26.rlib: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+/root/repo/target/release/deps/libiotx-4ddabc6218ac2d26.rmeta: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+crates/iotx/src/lib.rs:
+crates/iotx/src/cases.rs:
+crates/iotx/src/csv.rs:
+crates/iotx/src/ld.rs:
+crates/iotx/src/sink.rs:
+crates/iotx/src/spectrum.rs:
+crates/iotx/src/td.rs:
+crates/iotx/src/ws1.rs:
+crates/iotx/src/ws2.rs:

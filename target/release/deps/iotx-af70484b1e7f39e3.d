@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/iotx-af70484b1e7f39e3.d: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+/root/repo/target/release/deps/iotx-af70484b1e7f39e3: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+crates/iotx/src/lib.rs:
+crates/iotx/src/cases.rs:
+crates/iotx/src/csv.rs:
+crates/iotx/src/ld.rs:
+crates/iotx/src/sink.rs:
+crates/iotx/src/spectrum.rs:
+crates/iotx/src/td.rs:
+crates/iotx/src/ws1.rs:
+crates/iotx/src/ws2.rs:

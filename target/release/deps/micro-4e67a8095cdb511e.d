@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micro-4e67a8095cdb511e.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/release/deps/libmicro-4e67a8095cdb511e.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-fa6af4325c3daae0.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-fa6af4325c3daae0: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model-03379700492577e1.d: crates/btree/tests/model.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel-03379700492577e1.rmeta: crates/btree/tests/model.rs Cargo.toml
+
+crates/btree/tests/model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model-9faf315e19db7f1b.d: crates/btree/tests/model.rs
+
+/root/repo/target/release/deps/model-9faf315e19db7f1b: crates/btree/tests/model.rs
+
+crates/btree/tests/model.rs:

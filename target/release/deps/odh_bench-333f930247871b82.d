@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odh_bench-333f930247871b82.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/odh_bench-333f930247871b82: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

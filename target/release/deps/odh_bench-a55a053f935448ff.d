@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odh_bench-a55a053f935448ff.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_bench-a55a053f935448ff.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odh_bench-de2ca7b069a8cc0e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_bench-de2ca7b069a8cc0e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

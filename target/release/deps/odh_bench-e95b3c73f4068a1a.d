@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odh_bench-e95b3c73f4068a1a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodh_bench-e95b3c73f4068a1a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodh_bench-e95b3c73f4068a1a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odh_btree-83e150fbf00df813.d: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_btree-83e150fbf00df813.rmeta: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs Cargo.toml
+
+crates/btree/src/lib.rs:
+crates/btree/src/keycodec.rs:
+crates/btree/src/node.rs:
+crates/btree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/odh_btree-a26b22927a34333c.d: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+/root/repo/target/release/deps/libodh_btree-a26b22927a34333c.rlib: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+/root/repo/target/release/deps/libodh_btree-a26b22927a34333c.rmeta: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs
+
+crates/btree/src/lib.rs:
+crates/btree/src/keycodec.rs:
+crates/btree/src/node.rs:
+crates/btree/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/odh_btree-b44333c500951ad7.d: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_btree-b44333c500951ad7.rmeta: crates/btree/src/lib.rs crates/btree/src/keycodec.rs crates/btree/src/node.rs crates/btree/src/tree.rs Cargo.toml
+
+crates/btree/src/lib.rs:
+crates/btree/src/keycodec.rs:
+crates/btree/src/node.rs:
+crates/btree/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

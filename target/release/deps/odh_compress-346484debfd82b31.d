@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/odh_compress-346484debfd82b31.d: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+/root/repo/target/release/deps/odh_compress-346484debfd82b31: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/column.rs:
+crates/compress/src/delta.rs:
+crates/compress/src/linear.rs:
+crates/compress/src/quantize.rs:
+crates/compress/src/variability.rs:
+crates/compress/src/varint.rs:
+crates/compress/src/xor.rs:

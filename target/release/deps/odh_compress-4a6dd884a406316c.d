@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/odh_compress-4a6dd884a406316c.d: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+/root/repo/target/release/deps/libodh_compress-4a6dd884a406316c.rlib: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+/root/repo/target/release/deps/libodh_compress-4a6dd884a406316c.rmeta: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs
+
+crates/compress/src/lib.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/column.rs:
+crates/compress/src/delta.rs:
+crates/compress/src/linear.rs:
+crates/compress/src/quantize.rs:
+crates/compress/src/variability.rs:
+crates/compress/src/varint.rs:
+crates/compress/src/xor.rs:

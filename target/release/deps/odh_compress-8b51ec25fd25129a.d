@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/odh_compress-8b51ec25fd25129a.d: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_compress-8b51ec25fd25129a.rmeta: crates/compress/src/lib.rs crates/compress/src/bits.rs crates/compress/src/column.rs crates/compress/src/delta.rs crates/compress/src/linear.rs crates/compress/src/quantize.rs crates/compress/src/variability.rs crates/compress/src/varint.rs crates/compress/src/xor.rs Cargo.toml
+
+crates/compress/src/lib.rs:
+crates/compress/src/bits.rs:
+crates/compress/src/column.rs:
+crates/compress/src/delta.rs:
+crates/compress/src/linear.rs:
+crates/compress/src/quantize.rs:
+crates/compress/src/variability.rs:
+crates/compress/src/varint.rs:
+crates/compress/src/xor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/odh_core-0925c3dbe3844b42.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_core-0925c3dbe3844b42.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/historian.rs:
+crates/core/src/reltable.rs:
+crates/core/src/router.rs:
+crates/core/src/server.rs:
+crates/core/src/vtable.rs:
+crates/core/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

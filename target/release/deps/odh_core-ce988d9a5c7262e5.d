@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/odh_core-ce988d9a5c7262e5.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+/root/repo/target/release/deps/libodh_core-ce988d9a5c7262e5.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+/root/repo/target/release/deps/libodh_core-ce988d9a5c7262e5.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/historian.rs:
+crates/core/src/reltable.rs:
+crates/core/src/router.rs:
+crates/core/src/server.rs:
+crates/core/src/vtable.rs:
+crates/core/src/writer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/odh_pager-daee1c64de5c49af.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_pager-daee1c64de5c49af.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs Cargo.toml
+
+crates/pager/src/lib.rs:
+crates/pager/src/disk.rs:
+crates/pager/src/heap.rs:
+crates/pager/src/page.rs:
+crates/pager/src/pool.rs:
+crates/pager/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

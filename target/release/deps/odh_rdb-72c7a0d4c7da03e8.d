@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odh_rdb-72c7a0d4c7da03e8.d: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+/root/repo/target/release/deps/libodh_rdb-72c7a0d4c7da03e8.rlib: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+/root/repo/target/release/deps/libodh_rdb-72c7a0d4c7da03e8.rmeta: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+crates/rdb/src/lib.rs:
+crates/rdb/src/batch.rs:
+crates/rdb/src/profile.rs:
+crates/rdb/src/rowstore.rs:
+crates/rdb/src/tuple.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odh_rdb-c535d7f0e079b199.d: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+/root/repo/target/release/deps/odh_rdb-c535d7f0e079b199: crates/rdb/src/lib.rs crates/rdb/src/batch.rs crates/rdb/src/profile.rs crates/rdb/src/rowstore.rs crates/rdb/src/tuple.rs
+
+crates/rdb/src/lib.rs:
+crates/rdb/src/batch.rs:
+crates/rdb/src/profile.rs:
+crates/rdb/src/rowstore.rs:
+crates/rdb/src/tuple.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odh_repro-6a29ca2a78c2643e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_repro-6a29ca2a78c2643e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/odh_repro-98be75b112b34135.d: src/lib.rs
+
+/root/repo/target/release/deps/odh_repro-98be75b112b34135: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odh_repro-b2bf16c0d3782748.d: src/lib.rs
+
+/root/repo/target/release/deps/libodh_repro-b2bf16c0d3782748.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libodh_repro-b2bf16c0d3782748.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odh_repro-c76ff82f0a8f941e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_repro-c76ff82f0a8f941e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/odh_sim-3952a70898a90f93.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_sim-3952a70898a90f93.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/disk.rs:
+crates/sim/src/meter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

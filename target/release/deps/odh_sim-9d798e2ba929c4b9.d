@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odh_sim-9d798e2ba929c4b9.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+/root/repo/target/release/deps/libodh_sim-9d798e2ba929c4b9.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+/root/repo/target/release/deps/libodh_sim-9d798e2ba929c4b9.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/disk.rs:
+crates/sim/src/meter.rs:

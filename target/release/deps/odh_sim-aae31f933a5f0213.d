@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odh_sim-aae31f933a5f0213.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+/root/repo/target/release/deps/odh_sim-aae31f933a5f0213: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/cpu.rs crates/sim/src/disk.rs crates/sim/src/meter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/disk.rs:
+crates/sim/src/meter.rs:

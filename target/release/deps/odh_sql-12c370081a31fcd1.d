@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/odh_sql-12c370081a31fcd1.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+/root/repo/target/release/deps/libodh_sql-12c370081a31fcd1.rlib: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+/root/repo/target/release/deps/libodh_sql-12c370081a31fcd1.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/optimizer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/planner.rs:
+crates/sql/src/provider.rs:
+crates/sql/src/stats.rs:
+crates/sql/src/token.rs:

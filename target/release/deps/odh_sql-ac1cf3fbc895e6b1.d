@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/odh_sql-ac1cf3fbc895e6b1.d: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_sql-ac1cf3fbc895e6b1.rmeta: crates/sql/src/lib.rs crates/sql/src/ast.rs crates/sql/src/catalog.rs crates/sql/src/exec.rs crates/sql/src/optimizer.rs crates/sql/src/parser.rs crates/sql/src/planner.rs crates/sql/src/provider.rs crates/sql/src/stats.rs crates/sql/src/token.rs Cargo.toml
+
+crates/sql/src/lib.rs:
+crates/sql/src/ast.rs:
+crates/sql/src/catalog.rs:
+crates/sql/src/exec.rs:
+crates/sql/src/optimizer.rs:
+crates/sql/src/parser.rs:
+crates/sql/src/planner.rs:
+crates/sql/src/provider.rs:
+crates/sql/src/stats.rs:
+crates/sql/src/token.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

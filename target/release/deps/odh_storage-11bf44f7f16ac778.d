@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/odh_storage-11bf44f7f16ac778.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libodh_storage-11bf44f7f16ac778.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/blob.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/container.rs:
+crates/storage/src/reorg.rs:
+crates/storage/src/select.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/stripe.rs:
+crates/storage/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

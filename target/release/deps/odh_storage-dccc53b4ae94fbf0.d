@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/odh_storage-dccc53b4ae94fbf0.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libodh_storage-dccc53b4ae94fbf0.rlib: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+
+/root/repo/target/release/deps/libodh_storage-dccc53b4ae94fbf0.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/blob.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/container.rs:
+crates/storage/src/reorg.rs:
+crates/storage/src/select.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/stripe.rs:
+crates/storage/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/odh_types-0ab5195a6de5bcac.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/odh_types-0ab5195a6de5bcac: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/record.rs:
+crates/types/src/schema.rs:
+crates/types/src/source.rs:
+crates/types/src/time.rs:
+crates/types/src/value.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/odh_types-72a207ffe5cb26dd.d: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/libodh_types-72a207ffe5cb26dd.rlib: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+/root/repo/target/release/deps/libodh_types-72a207ffe5cb26dd.rmeta: crates/types/src/lib.rs crates/types/src/error.rs crates/types/src/record.rs crates/types/src/schema.rs crates/types/src/source.rs crates/types/src/time.rs crates/types/src/value.rs
+
+crates/types/src/lib.rs:
+crates/types/src/error.rs:
+crates/types/src/record.rs:
+crates/types/src/schema.rs:
+crates/types/src/source.rs:
+crates/types/src/time.rs:
+crates/types/src/value.rs:

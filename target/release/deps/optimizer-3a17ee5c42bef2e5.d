@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer-3a17ee5c42bef2e5.d: crates/bench/src/bin/optimizer.rs
+
+/root/repo/target/release/deps/optimizer-3a17ee5c42bef2e5: crates/bench/src/bin/optimizer.rs
+
+crates/bench/src/bin/optimizer.rs:

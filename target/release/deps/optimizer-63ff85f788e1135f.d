@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer-63ff85f788e1135f.d: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer-63ff85f788e1135f.rmeta: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+crates/bench/src/bin/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

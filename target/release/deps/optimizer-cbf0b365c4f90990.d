@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer-cbf0b365c4f90990.d: crates/bench/src/bin/optimizer.rs
+
+/root/repo/target/release/deps/optimizer-cbf0b365c4f90990: crates/bench/src/bin/optimizer.rs
+
+crates/bench/src/bin/optimizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/optimizer-e70f90d919a54bc2.d: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+/root/repo/target/release/deps/liboptimizer-e70f90d919a54bc2.rmeta: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+crates/bench/src/bin/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

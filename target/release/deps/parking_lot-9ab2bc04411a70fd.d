@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-9ab2bc04411a70fd.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-9ab2bc04411a70fd: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

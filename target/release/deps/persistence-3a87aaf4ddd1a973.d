@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/persistence-3a87aaf4ddd1a973.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/release/deps/libpersistence-3a87aaf4ddd1a973.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persistence-4ec3f8683e6a505d.d: tests/persistence.rs
+
+/root/repo/target/release/deps/persistence-4ec3f8683e6a505d: tests/persistence.rs
+
+tests/persistence.rs:

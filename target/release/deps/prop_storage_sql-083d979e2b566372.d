@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop_storage_sql-083d979e2b566372.d: tests/prop_storage_sql.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop_storage_sql-083d979e2b566372.rmeta: tests/prop_storage_sql.rs Cargo.toml
+
+tests/prop_storage_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

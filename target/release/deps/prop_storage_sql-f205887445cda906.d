@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_storage_sql-f205887445cda906.d: tests/prop_storage_sql.rs
+
+/root/repo/target/release/deps/prop_storage_sql-f205887445cda906: tests/prop_storage_sql.rs
+
+tests/prop_storage_sql.rs:

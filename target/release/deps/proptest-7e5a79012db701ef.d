@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-7e5a79012db701ef.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-7e5a79012db701ef: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

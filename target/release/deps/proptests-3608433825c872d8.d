@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-3608433825c872d8.d: crates/pager/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-3608433825c872d8: crates/pager/tests/proptests.rs
+
+crates/pager/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-a8ec70d63b14666e.d: crates/compress/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-a8ec70d63b14666e.rmeta: crates/compress/tests/proptests.rs Cargo.toml
+
+crates/compress/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

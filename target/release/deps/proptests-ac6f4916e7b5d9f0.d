@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-ac6f4916e7b5d9f0.d: crates/pager/tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-ac6f4916e7b5d9f0.rmeta: crates/pager/tests/proptests.rs Cargo.toml
+
+crates/pager/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

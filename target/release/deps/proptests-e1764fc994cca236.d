@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-e1764fc994cca236.d: crates/compress/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-e1764fc994cca236: crates/compress/tests/proptests.rs
+
+crates/compress/tests/proptests.rs:

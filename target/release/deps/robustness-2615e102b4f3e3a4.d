@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/robustness-2615e102b4f3e3a4.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/release/deps/librobustness-2615e102b4f3e3a4.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-e12d421558af3d6a.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-e12d421558af3d6a: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-79e7a165898744e0.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-79e7a165898744e0: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

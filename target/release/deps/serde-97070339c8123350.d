@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-97070339c8123350.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-97070339c8123350.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-97070339c8123350.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-17235d2f3cf83435.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-17235d2f3cf83435: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

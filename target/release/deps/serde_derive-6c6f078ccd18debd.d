@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-6c6f078ccd18debd.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-6c6f078ccd18debd.so: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

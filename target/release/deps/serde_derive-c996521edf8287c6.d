@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-c996521edf8287c6.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-c996521edf8287c6.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

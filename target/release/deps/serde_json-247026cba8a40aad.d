@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-247026cba8a40aad.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-247026cba8a40aad: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

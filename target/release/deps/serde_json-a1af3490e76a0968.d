@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-a1af3490e76a0968.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a1af3490e76a0968.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-a1af3490e76a0968.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

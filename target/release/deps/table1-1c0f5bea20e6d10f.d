@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-1c0f5bea20e6d10f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-1c0f5bea20e6d10f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

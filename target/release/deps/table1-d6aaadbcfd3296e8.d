@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d6aaadbcfd3296e8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d6aaadbcfd3296e8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-10e25df8fbfbd2cd.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-10e25df8fbfbd2cd: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

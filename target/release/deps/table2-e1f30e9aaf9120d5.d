@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-e1f30e9aaf9120d5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-e1f30e9aaf9120d5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

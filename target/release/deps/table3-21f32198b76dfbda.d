@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-21f32198b76dfbda.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-21f32198b76dfbda: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

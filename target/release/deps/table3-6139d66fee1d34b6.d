@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-6139d66fee1d34b6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-6139d66fee1d34b6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3-8dadc9f128e5e7af.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3-8dadc9f128e5e7af.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

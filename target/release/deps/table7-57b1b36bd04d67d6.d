@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-57b1b36bd04d67d6.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-57b1b36bd04d67d6: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-5b080ef0f95aecc8.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-5b080ef0f95aecc8: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

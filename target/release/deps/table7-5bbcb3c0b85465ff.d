@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table7-5bbcb3c0b85465ff.d: crates/bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable7-5bbcb3c0b85465ff.rmeta: crates/bench/src/bin/table7.rs Cargo.toml
+
+crates/bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

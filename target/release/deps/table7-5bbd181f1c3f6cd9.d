@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table7-5bbd181f1c3f6cd9.d: crates/bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable7-5bbd181f1c3f6cd9.rmeta: crates/bench/src/bin/table7.rs Cargo.toml
+
+crates/bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-142ddcb50d6f4644.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-142ddcb50d6f4644: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-cedbc9d83c1dbe96.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-cedbc9d83c1dbe96: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

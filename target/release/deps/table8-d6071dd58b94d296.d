@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table8-d6071dd58b94d296.d: crates/bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable8-d6071dd58b94d296.rmeta: crates/bench/src/bin/table8.rs Cargo.toml
+
+crates/bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

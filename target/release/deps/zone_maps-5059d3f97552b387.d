@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zone_maps-5059d3f97552b387.d: tests/zone_maps.rs
+
+/root/repo/target/release/deps/zone_maps-5059d3f97552b387: tests/zone_maps.rs
+
+tests/zone_maps.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zone_maps-e44f1162e811958e.d: tests/zone_maps.rs Cargo.toml
+
+/root/repo/target/release/deps/libzone_maps-e44f1162e811958e.rmeta: tests/zone_maps.rs Cargo.toml
+
+tests/zone_maps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

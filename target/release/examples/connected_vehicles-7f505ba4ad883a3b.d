@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/connected_vehicles-7f505ba4ad883a3b.d: examples/connected_vehicles.rs
+
+/root/repo/target/release/examples/connected_vehicles-7f505ba4ad883a3b: examples/connected_vehicles.rs
+
+examples/connected_vehicles.rs:

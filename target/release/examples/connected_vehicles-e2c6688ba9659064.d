@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/connected_vehicles-e2c6688ba9659064.d: examples/connected_vehicles.rs Cargo.toml
+
+/root/repo/target/release/examples/libconnected_vehicles-e2c6688ba9659064.rmeta: examples/connected_vehicles.rs Cargo.toml
+
+examples/connected_vehicles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/iotx_mini-188c539839ff3b71.d: examples/iotx_mini.rs Cargo.toml
+
+/root/repo/target/release/examples/libiotx_mini-188c539839ff3b71.rmeta: examples/iotx_mini.rs Cargo.toml
+
+examples/iotx_mini.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

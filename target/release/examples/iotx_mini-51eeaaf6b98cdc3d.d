@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/iotx_mini-51eeaaf6b98cdc3d.d: examples/iotx_mini.rs
+
+/root/repo/target/release/examples/iotx_mini-51eeaaf6b98cdc3d: examples/iotx_mini.rs
+
+examples/iotx_mini.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c3ba37640e4fb550.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c3ba37640e4fb550: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_meters-895629c9534e2019.d: examples/smart_meters.rs
+
+/root/repo/target/release/examples/smart_meters-895629c9534e2019: examples/smart_meters.rs
+
+examples/smart_meters.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/smart_meters-f1a8a79a22806b5f.d: examples/smart_meters.rs Cargo.toml
+
+/root/repo/target/release/examples/libsmart_meters-f1a8a79a22806b5f.rmeta: examples/smart_meters.rs Cargo.toml
+
+examples/smart_meters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sql_shell-0c162fae79c50647.d: examples/sql_shell.rs
+
+/root/repo/target/release/examples/sql_shell-0c162fae79c50647: examples/sql_shell.rs
+
+examples/sql_shell.rs:

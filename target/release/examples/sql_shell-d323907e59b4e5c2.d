@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sql_shell-d323907e59b4e5c2.d: examples/sql_shell.rs Cargo.toml
+
+/root/repo/target/release/examples/libsql_shell-d323907e59b4e5c2.rmeta: examples/sql_shell.rs Cargo.toml
+
+examples/sql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

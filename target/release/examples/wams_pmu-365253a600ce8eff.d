@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/wams_pmu-365253a600ce8eff.d: examples/wams_pmu.rs Cargo.toml
+
+/root/repo/target/release/examples/libwams_pmu-365253a600ce8eff.rmeta: examples/wams_pmu.rs Cargo.toml
+
+examples/wams_pmu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

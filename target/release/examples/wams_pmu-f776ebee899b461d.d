@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wams_pmu-f776ebee899b461d.d: examples/wams_pmu.rs
+
+/root/repo/target/release/examples/wams_pmu-f776ebee899b461d: examples/wams_pmu.rs
+
+examples/wams_pmu.rs:

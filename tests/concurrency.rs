@@ -3,7 +3,11 @@
 //! not support transactions ... the query component adopts a 'dirty read'
 //! isolation level").
 
-use odh_core::Historian;
+use odh_core::router::DataRouter;
+use odh_core::vtable::VirtualTable;
+use odh_core::{Cluster, Historian, OdhWriter, ParallelWriter};
+use odh_sim::ResourceMeter;
+use odh_sql::provider::{ScanRequest, TableProvider};
 use odh_storage::TableConfig;
 use odh_types::{Datum, Record, SchemaType, SourceClass, SourceId, Timestamp};
 use std::sync::Arc;
@@ -12,9 +16,7 @@ use std::sync::Arc;
 fn parallel_writers_lose_nothing() {
     let h = Arc::new(Historian::builder().servers(2).build().unwrap());
     h.define_schema_type(
-        TableConfig::new(SchemaType::new("t", ["v"]))
-            .with_batch_size(32)
-            .with_mg_group_size(4),
+        TableConfig::new(SchemaType::new("t", ["v"])).with_batch_size(32).with_mg_group_size(4),
     )
     .unwrap();
     let threads = 4u64;
@@ -26,7 +28,7 @@ fn parallel_writers_lose_nothing() {
         for t in 0..threads {
             let h = h.clone();
             s.spawn(move || {
-                let mut w = h.writer("t").unwrap();
+                let w = h.writer("t").unwrap();
                 for i in 0..per_thread {
                     w.write(&Record::dense(
                         SourceId(t),
@@ -61,14 +63,10 @@ fn readers_run_against_live_writers() {
     std::thread::scope(|s| {
         let writer_h = h.clone();
         let writer = s.spawn(move || {
-            let mut w = writer_h.writer("live").unwrap();
+            let w = writer_h.writer("live").unwrap();
             for i in 0..total {
-                w.write(&Record::dense(
-                    SourceId((i % 8) as u64),
-                    Timestamp(i * 100),
-                    [i as f64],
-                ))
-                .unwrap();
+                w.write(&Record::dense(SourceId((i % 8) as u64), Timestamp(i * 100), [i as f64]))
+                    .unwrap();
             }
         });
         let reader_h = h.clone();
@@ -94,7 +92,7 @@ fn dirty_read_sees_points_before_any_batch_seals() {
     h.define_schema_type(TableConfig::new(SchemaType::new("buf", ["v"])).with_batch_size(10_000))
         .unwrap();
     h.register_source("buf", SourceId(1), SourceClass::irregular_high()).unwrap();
-    let mut w = h.writer("buf").unwrap();
+    let w = h.writer("buf").unwrap();
     for i in 0..50i64 {
         w.write(&Record::dense(SourceId(1), Timestamp(i), [i as f64])).unwrap();
     }
@@ -104,13 +102,128 @@ fn dirty_read_sees_points_before_any_batch_seals() {
     assert_eq!(r.rows[0].get(1), &Datum::F64(49.0));
 }
 
+/// A 3-server cluster with 16 registered irregular sources, plus the
+/// interleaved record stream the parallel-vs-serial tests ingest: 500
+/// records per source (not a multiple of the batch size 32, so 20 points
+/// per source stay in open shard buffers until a flush).
+fn stress_setup() -> (Arc<Cluster>, Vec<Record>) {
+    let c = Cluster::in_memory(3, ResourceMeter::unmetered());
+    c.define_schema_type(
+        TableConfig::new(SchemaType::new("t", ["v"])).with_batch_size(32).with_mg_group_size(1),
+    )
+    .unwrap();
+    for id in 0..16u64 {
+        c.register_source("t", SourceId(id), SourceClass::irregular_high()).unwrap();
+    }
+    let records: Vec<Record> = (0..8_000i64)
+        .map(|i| {
+            Record::dense(SourceId((i % 16) as u64), Timestamp(i * 100), [(i * 7 % 1000) as f64])
+        })
+        .collect();
+    (c, records)
+}
+
+/// Per-source history as the storage engine returns it: `(ts, v)` in
+/// timestamp order, open buffers included (dirty read).
+fn source_history(c: &Arc<Cluster>, id: u64) -> Vec<(i64, f64)> {
+    c.server_for("t", SourceId(id))
+        .table("t")
+        .unwrap()
+        .historical_scan(SourceId(id), Timestamp::MIN, Timestamp::MAX, &[0])
+        .unwrap()
+        .into_iter()
+        .map(|p| (p.ts.0, p.values[0].unwrap()))
+        .collect()
+}
+
+#[test]
+fn parallel_ingest_equals_serial() {
+    let (serial, records) = stress_setup();
+    let (parallel, _) = stress_setup();
+
+    let sw = OdhWriter::new(serial.clone(), "t").unwrap();
+    sw.write_batch(&records).unwrap();
+    let pw = ParallelWriter::new(parallel.clone(), "t").unwrap().with_threads(4);
+    pw.write_batch(&records).unwrap();
+    assert_eq!(sw.written(), pw.written());
+
+    // No flush yet: the tail of every source (500 % 32 = 20 points) sits
+    // in open shard buffers and must already be visible (dirty read),
+    // identically on both systems.
+    let compare_all = |label: &str| {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        for id in 0..16u64 {
+            let s = source_history(&serial, id);
+            let p = source_history(&parallel, id);
+            assert_eq!(s, p, "{label}: source {id} history diverged");
+            assert!(s.windows(2).all(|w| w[0].0 < w[1].0), "{label}: ts order broken");
+            count += p.len();
+            sum += p.iter().map(|(_, v)| v).sum::<f64>();
+        }
+        (count, sum)
+    };
+    let (count, sum) = compare_all("pre-flush");
+    assert_eq!(count, records.len());
+    let expected_sum: f64 = (0..8_000i64).map(|i| (i * 7 % 1000) as f64).sum();
+    assert_eq!(sum, expected_sum);
+
+    // After both flush, sealed batches must agree too.
+    serial.flush().unwrap();
+    parallel.flush().unwrap();
+    let (count, sum) = compare_all("post-flush");
+    assert_eq!(count, records.len());
+    assert_eq!(sum, expected_sum);
+}
+
+#[test]
+fn parallel_scan_order_matches_serial_merge() {
+    let (c, records) = stress_setup();
+    let pw = ParallelWriter::new(c.clone(), "t").unwrap().with_threads(4);
+    pw.write_batch(&records).unwrap();
+    // Deliberately no flush: the fan-out must also see open shard buffers.
+
+    let router = Arc::new(DataRouter::new(c.clone()));
+    for id in 0..16u64 {
+        router.note_source("t", SourceId(id));
+    }
+    let v = VirtualTable::new(c.clone(), router, "t", "t_v").unwrap();
+    let rows = v.scan(&ScanRequest { filters: vec![], needed: vec![0, 1, 2] }).unwrap();
+    let keys: Vec<(i64, i64)> = rows
+        .iter()
+        .map(|r| (r.get(1).as_ts().unwrap().micros(), r.get(0).as_i64().unwrap()))
+        .collect();
+
+    // Serial reference: scan every server on this thread and merge by
+    // (ts, id) — with sources disjoint across servers this equals sorting
+    // the concatenation.
+    let mut reference: Vec<(i64, i64)> = c
+        .servers()
+        .iter()
+        .flat_map(|s| {
+            s.table("t")
+                .unwrap()
+                .slice_scan_filtered(Timestamp::MIN, Timestamp::MAX, &[0], None, &[])
+                .unwrap()
+        })
+        .map(|p| (p.ts.0, p.source.0 as i64))
+        .collect();
+    reference.sort_unstable();
+    assert_eq!(keys.len(), records.len());
+    assert_eq!(keys, reference, "parallel fan-out must be order-identical to serial merge");
+
+    // The fan-out was counted on every involved server and on the meter.
+    for s in c.servers() {
+        assert!(s.table("t").unwrap().concurrency().snapshot().fanout_scans >= 1);
+    }
+    assert!(c.meter().parallel_report().regions >= 1);
+}
+
 #[test]
 fn reorganize_races_with_ingest_safely() {
     let h = Arc::new(Historian::builder().build().unwrap());
     h.define_schema_type(
-        TableConfig::new(SchemaType::new("m", ["v"]))
-            .with_batch_size(16)
-            .with_mg_group_size(8),
+        TableConfig::new(SchemaType::new("m", ["v"])).with_batch_size(16).with_mg_group_size(8),
     )
     .unwrap();
     for id in 0..16u64 {
@@ -119,7 +232,7 @@ fn reorganize_races_with_ingest_safely() {
     std::thread::scope(|s| {
         let writer_h = h.clone();
         let writer = s.spawn(move || {
-            let mut w = writer_h.writer("m").unwrap();
+            let w = writer_h.writer("m").unwrap();
             for i in 0..4_000i64 {
                 w.write(&Record::dense(
                     SourceId((i % 16) as u64),

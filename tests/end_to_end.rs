@@ -4,8 +4,7 @@
 use odh_core::Historian;
 use odh_storage::TableConfig;
 use odh_types::{
-    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId,
-    Timestamp,
+    DataType, Datum, Duration, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
 };
 
 fn historian() -> Historian {
@@ -26,8 +25,8 @@ fn two_schema_types_coexist() {
     h.register_source("meter", SourceId(1), SourceClass::regular_low(Duration::from_minutes(15)))
         .unwrap();
 
-    let mut wp = h.writer("pmu").unwrap();
-    let mut wm = h.writer("meter").unwrap();
+    let wp = h.writer("pmu").unwrap();
+    let wm = h.writer("meter").unwrap();
     for i in 0..100i64 {
         wp.write(&Record::dense(SourceId(1), Timestamp(i * 20_000), [i as f64])).unwrap();
     }
@@ -47,15 +46,13 @@ fn two_schema_types_coexist() {
 fn partition_elimination_touches_one_server() {
     let h = historian();
     h.define_schema_type(
-        TableConfig::new(SchemaType::new("env", ["t"]))
-            .with_batch_size(8)
-            .with_mg_group_size(10),
+        TableConfig::new(SchemaType::new("env", ["t"])).with_batch_size(8).with_mg_group_size(10),
     )
     .unwrap();
     for id in 0..30u64 {
         h.register_source("env", SourceId(id), SourceClass::irregular_high()).unwrap();
     }
-    let mut w = h.writer("env").unwrap();
+    let w = h.writer("env").unwrap();
     for i in 0..20i64 {
         for id in 0..30u64 {
             w.write(&Record::dense(SourceId(id), Timestamp(i * 1000 + id as i64), [i as f64]))
@@ -80,9 +77,7 @@ fn partition_elimination_touches_one_server() {
         .servers()
         .iter()
         .enumerate()
-        .filter(|(i, s)| {
-            s.table("env").unwrap().stats().snapshot().points_scanned > before[*i]
-        })
+        .filter(|(i, s)| s.table("env").unwrap().stats().snapshot().points_scanned > before[*i])
         .map(|(i, _)| i)
         .collect();
     assert_eq!(touched.len(), 1, "id filter must prune to one server, touched {touched:?}");
@@ -98,7 +93,7 @@ fn historical_and_slice_agree_with_ground_truth() {
     }
     // Ground truth kept in a plain Vec.
     let mut truth: Vec<Record> = Vec::new();
-    let mut w = h.writer("s").unwrap();
+    let w = h.writer("s").unwrap();
     for i in 0..200i64 {
         let id = (i % 5) as u64;
         let r = Record::dense(SourceId(id), Timestamp(i * 1_000), [i as f64, -i as f64]);
@@ -116,9 +111,7 @@ fn historical_and_slice_agree_with_ground_truth() {
         .unwrap();
     let expect: Vec<&Record> = truth
         .iter()
-        .filter(|t| {
-            t.source == SourceId(3) && (50_000..=150_000).contains(&t.ts.micros())
-        })
+        .filter(|t| t.source == SourceId(3) && (50_000..=150_000).contains(&t.ts.micros()))
         .collect();
     assert_eq!(r.rows.len(), expect.len());
     for (row, t) in r.rows.iter().zip(&expect) {
@@ -133,10 +126,7 @@ fn historical_and_slice_agree_with_ground_truth() {
              between '1970-01-01 00:00:00.100000' and '1970-01-01 00:00:00.110000'",
         )
         .unwrap();
-    let expect = truth
-        .iter()
-        .filter(|t| (100_000..=110_000).contains(&t.ts.micros()))
-        .count();
+    let expect = truth.iter().filter(|t| (100_000..=110_000).contains(&t.ts.micros())).count();
     assert_eq!(r.rows.len(), expect);
 }
 
@@ -144,16 +134,14 @@ fn historical_and_slice_agree_with_ground_truth() {
 fn reorganize_preserves_sql_results() {
     let h = historian();
     h.define_schema_type(
-        TableConfig::new(SchemaType::new("m", ["x"]))
-            .with_batch_size(64)
-            .with_mg_group_size(20),
+        TableConfig::new(SchemaType::new("m", ["x"])).with_batch_size(64).with_mg_group_size(20),
     )
     .unwrap();
     for id in 0..60u64 {
         h.register_source("m", SourceId(id), SourceClass::regular_low(Duration::from_minutes(15)))
             .unwrap();
     }
-    let mut w = h.writer("m").unwrap();
+    let w = h.writer("m").unwrap();
     for sweep in 0..12i64 {
         for id in 0..60u64 {
             w.write(&Record::dense(
@@ -192,17 +180,14 @@ fn fusion_join_order_is_cost_based() {
     for id in 0..50i64 {
         dim.insert(&Row::new(vec![Datum::I64(id), Datum::str(format!("st{id}"))])).unwrap();
     }
-    let mut w = h.writer("obs").unwrap();
+    let w = h.writer("obs").unwrap();
     for i in 0..2000i64 {
-        w.write(&Record::dense(SourceId((i % 50) as u64), Timestamp(i * 500), [i as f64]))
-            .unwrap();
+        w.write(&Record::dense(SourceId((i % 50) as u64), Timestamp(i * 500), [i as f64])).unwrap();
     }
     h.flush().unwrap();
     // Selective dimension predicate → dimension scanned first.
     let plan = h
-        .explain(
-            "select temp from obs_v o, stations s where s.sensorid = o.id and s.name = 'st7'",
-        )
+        .explain("select temp from obs_v o, stations s where s.sensorid = o.id and s.name = 'st7'")
         .unwrap();
     assert!(plan.starts_with("scan s"), "expected dimension-first, got: {plan}");
     let r = h
@@ -223,7 +208,7 @@ fn virtual_table_projection_is_tag_oriented() {
     )
     .unwrap();
     h.register_source("wide", SourceId(1), SourceClass::irregular_high()).unwrap();
-    let mut w = h.writer("wide").unwrap();
+    let w = h.writer("wide").unwrap();
     for i in 0..200i64 {
         let vals: Vec<f64> = (0..16).map(|k| (i * k) as f64).collect();
         w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), vals)).unwrap();

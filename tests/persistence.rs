@@ -36,7 +36,7 @@ fn checkpoint_and_reopen_round_trip() {
             )
             .unwrap();
         }
-        let mut w = h.writer("meter").unwrap();
+        let w = h.writer("meter").unwrap();
         for sweep in 0..20i64 {
             for id in 0..24u64 {
                 w.write(&Record::dense(
@@ -58,10 +58,9 @@ fn checkpoint_and_reopen_round_trip() {
     assert_eq!(h.sql(q_slice).unwrap().rows, slice_before.rows);
 
     // Recovered system keeps ingesting and re-checkpointing.
-    let mut w = h.writer("meter").unwrap();
+    let w = h.writer("meter").unwrap();
     for id in 0..24u64 {
-        w.write(&Record::dense(SourceId(id), Timestamp(50 * 900_000_000), [9.9, 231.0]))
-            .unwrap();
+        w.write(&Record::dense(SourceId(id), Timestamp(50 * 900_000_000), [9.9, 231.0])).unwrap();
     }
     h.flush().unwrap();
     let r = h.sql("select COUNT(*) from meter_v where id = 11").unwrap();
@@ -89,7 +88,7 @@ fn recovery_preserves_structures_and_reorg_state() {
         for id in 0..20u64 {
             h.register_source("m", SourceId(id), SourceClass::irregular_low()).unwrap();
         }
-        let mut w = h.writer("m").unwrap();
+        let w = h.writer("m").unwrap();
         for i in 0..10i64 {
             for id in 0..20u64 {
                 w.write(&Record::dense(
@@ -128,7 +127,7 @@ fn opening_nothing_fails_cleanly_and_unsealed_checkpoint_refuses() {
     h.define_schema_type(TableConfig::new(SchemaType::new("m", ["x"])).with_batch_size(1000))
         .unwrap();
     h.register_source("m", SourceId(1), SourceClass::irregular_high()).unwrap();
-    let mut w = h.writer("m").unwrap();
+    let w = h.writer("m").unwrap();
     w.write(&Record::dense(SourceId(1), Timestamp(1), [1.0])).unwrap();
     // flush() seals buffers, so checkpoint() (which flushes) succeeds even
     // mid-stream — but the storage-level snapshot API alone refuses.

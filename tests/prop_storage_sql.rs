@@ -12,10 +12,7 @@ use proptest::prelude::*;
 
 /// Arbitrary operational stream: (source 0..4, ts, value, maybe-null).
 fn arb_stream() -> impl Strategy<Value = Vec<(u64, i64, f64, bool)>> {
-    prop::collection::vec(
-        (0u64..4, 0i64..500_000, -100.0f64..100.0, any::<bool>()),
-        1..120,
-    )
+    prop::collection::vec((0u64..4, 0i64..500_000, -100.0f64..100.0, any::<bool>()), 1..120)
 }
 
 proptest! {
@@ -33,7 +30,7 @@ proptest! {
         for id in 0..4u64 {
             h.register_source("p", SourceId(id), SourceClass::irregular_high()).unwrap();
         }
-        let mut w = h.writer("p").unwrap();
+        let w = h.writer("p").unwrap();
         for &(id, ts, v, null) in &stream {
             let values = if null { vec![None] } else { vec![Some(v)] };
             w.write(&Record::new(SourceId(id), Timestamp(ts), values)).unwrap();

@@ -4,7 +4,9 @@
 use odh_core::Historian;
 use odh_storage::batch::Batch;
 use odh_storage::TableConfig;
-use odh_types::{DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
+use odh_types::{
+    DataType, Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp,
+};
 
 fn historian() -> Historian {
     let h = Historian::builder().build().unwrap();
@@ -17,7 +19,7 @@ fn historian() -> Historian {
 #[test]
 fn writes_to_unknown_sources_and_types_fail_cleanly() {
     let h = historian();
-    let mut w = h.writer("t").unwrap();
+    let w = h.writer("t").unwrap();
     let err = w.write(&Record::dense(SourceId(99), Timestamp(0), [1.0, 2.0])).err().unwrap();
     assert_eq!(err.kind(), "not_found");
     assert!(h.writer("missing_type").is_err());
@@ -100,7 +102,7 @@ fn csv_reader_surfaces_errors_and_keeps_going_until_then() {
 #[test]
 fn queries_with_empty_ranges_and_extreme_bounds() {
     let h = historian();
-    let mut w = h.writer("t").unwrap();
+    let w = h.writer("t").unwrap();
     for i in 0..20i64 {
         w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [1.0, 2.0])).unwrap();
     }
@@ -123,12 +125,9 @@ fn queries_with_empty_ranges_and_extreme_bounds() {
 #[test]
 fn duplicate_definitions_rejected() {
     let h = historian();
-    let err = h
-        .define_schema_type(TableConfig::new(SchemaType::new("t", ["a", "b"])))
-        .err()
-        .unwrap();
-    assert_eq!(err.kind(), "config");
     let err =
-        h.register_source("t", SourceId(1), SourceClass::irregular_high()).err().unwrap();
+        h.define_schema_type(TableConfig::new(SchemaType::new("t", ["a", "b"]))).err().unwrap();
+    assert_eq!(err.kind(), "config");
+    let err = h.register_source("t", SourceId(1), SourceClass::irregular_high()).err().unwrap();
     assert_eq!(err.kind(), "config");
 }

@@ -17,7 +17,7 @@ fn banded_historian() -> Historian {
     for id in 0..8u64 {
         h.register_source("s", SourceId(id), SourceClass::irregular_high()).unwrap();
     }
-    let mut w = h.writer("s").unwrap();
+    let w = h.writer("s").unwrap();
     for i in 0..256i64 {
         for id in 0..8u64 {
             // Band for source k: [100k, 100k + 10).
@@ -52,7 +52,9 @@ fn tag_predicates_prune_batches_without_changing_results() {
     let before = pruned(&h);
     // Only source 3's band intersects [300, 310).
     let r = h
-        .sql("select id, temperature, noise from s_v where temperature >= 300 and temperature < 310")
+        .sql(
+            "select id, temperature, noise from s_v where temperature >= 300 and temperature < 310",
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 8 * 256 / 8); // all 256 rows of source 3
     assert!(r.rows.iter().all(|row| row.get(0) == &Datum::I64(3)));
@@ -91,10 +93,9 @@ fn lossy_policy_widens_bounds_soundly() {
     )
     .unwrap();
     h.register_source("m", SourceId(1), SourceClass::irregular_high()).unwrap();
-    let mut w = h.writer("m").unwrap();
+    let w = h.writer("m").unwrap();
     for i in 0..128i64 {
-        w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [50.0 + (i % 3) as f64]))
-            .unwrap();
+        w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [50.0 + (i % 3) as f64])).unwrap();
     }
     h.flush().unwrap();
     // Raw values are in [50, 52]; reconstruction may wander ±5. A
@@ -123,12 +124,10 @@ fn lossy_policy_widens_bounds_soundly() {
 #[test]
 fn all_null_columns_prune_comparisons() {
     let h = Historian::builder().build().unwrap();
-    h.define_schema_type(
-        TableConfig::new(SchemaType::new("n", ["a", "b"])).with_batch_size(16),
-    )
-    .unwrap();
+    h.define_schema_type(TableConfig::new(SchemaType::new("n", ["a", "b"])).with_batch_size(16))
+        .unwrap();
     h.register_source("n", SourceId(1), SourceClass::irregular_high()).unwrap();
-    let mut w = h.writer("n").unwrap();
+    let w = h.writer("n").unwrap();
     for i in 0..64i64 {
         // Column b is never measured.
         w.write(&Record::new(SourceId(1), Timestamp(i * 1000), vec![Some(i as f64), None]))

@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking API subset the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`,
+//! the `criterion_group!`/`criterion_main!` macros) with a simple
+//! calibrate-then-measure harness instead of criterion's statistical
+//! engine. Results print as `ns/iter` plus derived throughput. When the
+//! binary is run with `--test` (as `cargo test` does for bench targets)
+//! each benchmark body executes once, unmeasured, so test runs stay
+//! fast.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Calibrate and measure, then report.
+    Measure,
+    /// `--test`: run each body once so `cargo test` stays fast.
+    Smoke,
+}
+
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    /// Wall-clock budget per benchmark, seconds.
+    measure_secs: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--test") { Mode::Smoke } else { Mode::Measure };
+        // First free argument (if any) filters benchmarks by substring,
+        // mirroring `cargo bench -- <filter>`.
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        Criterion { mode, filter, measure_secs: 0.6 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let label = name.to_string();
+        run_one(self, &label, None, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measure_secs = d.as_secs_f64();
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let throughput = self.throughput;
+        run_one(self.c, &label, throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    c: &mut Criterion,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = &c.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    match c.mode {
+        Mode::Smoke => {
+            let mut b =
+                Bencher { mode: Mode::Smoke, budget: 0.0, iters: 0, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {label} ... ok (smoke)");
+        }
+        Mode::Measure => {
+            let mut b = Bencher {
+                mode: Mode::Measure,
+                budget: c.measure_secs,
+                iters: 0,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let iters = b.iters.max(1);
+            let ns_per_iter = b.elapsed.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  {:>12.0} elem/s", n as f64 * 1e9 / ns_per_iter)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  {:>12.1} MiB/s", n as f64 * 1e9 / ns_per_iter / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("{label:<44} {ns_per_iter:>14.1} ns/iter ({iters} iters){rate}");
+        }
+    }
+}
+
+pub struct Bencher {
+    mode: Mode,
+    budget: f64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        if matches!(self.mode, Mode::Smoke) {
+            black_box(body());
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: find an iteration count that fills ~1/10 of the
+        // budget, then measure batches until the budget is spent.
+        let warm_start = Instant::now();
+        black_box(body());
+        let once = warm_start.elapsed().as_secs_f64().max(1e-9);
+        let batch = ((self.budget / 10.0 / once) as u64).clamp(1, 1_000_000);
+
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..batch {
+                black_box(body());
+            }
+            total_iters += batch;
+            if start.elapsed().as_secs_f64() >= self.budget {
+                break;
+            }
+        }
+        self.iters = total_iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { mode: Mode::Measure, filter: None, measure_secs: 0.05 };
+        let mut g = c.benchmark_group("t");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher { mode: Mode::Smoke, budget: 0.0, iters: 0, elapsed: Duration::ZERO };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate depends on `syn`/`quote`, which are unavailable in this
+//! offline build, so the item grammar is parsed directly from the
+//! `proc_macro` token stream. Only the shapes this workspace derives are
+//! supported: non-generic named structs, tuple structs, and enums whose
+//! variants are unit, named, or tuple. Representations match real serde's
+//! externally-tagged JSON defaults:
+//!
+//! - named struct      -> object of fields
+//! - 1-field tuple     -> transparent newtype
+//! - n-field tuple     -> array
+//! - unit variant      -> `"Name"`
+//! - named variant     -> `{"Name": {fields...}}`
+//! - 1-field tuple var -> `{"Name": value}`
+//!
+//! Unsupported inputs (generics, unions, `#[serde(...)]` attributes)
+//! produce a `compile_error!` rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("::std::compile_error!({:?});", msg),
+    };
+    code.parse().expect("serde_derive: generated code failed to parse")
+}
+
+// ------------------------------------------------------------------ parsing
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skip `#[...]` attributes (incl. expanded doc comments) and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(toks: &mut Tokens) -> Result<(), String> {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    _ => return Err("malformed attribute".into()),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+fn next_ident(toks: &mut Tokens, what: &str) -> Result<String, String> {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected {what}, found {other:?}")),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks)?;
+    let kw = next_ident(&mut toks, "`struct` or `enum`")?;
+    let name = next_ident(&mut toks, "item name")?;
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde derive stub: generic type `{name}` is unsupported"));
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(field_names(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => return Err(format!("malformed struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("malformed enum body: {other:?}")),
+        },
+        other => return Err(format!("serde derive stub: `{other}` items are unsupported")),
+    };
+    Ok(Item { name, kind })
+}
+
+/// Consume tokens up to (and including) the next comma that sits outside
+/// every `<...>` pair. Commas inside parens/brackets/braces are token
+/// groups and never seen here; only angle brackets need explicit depth.
+fn skip_to_comma(toks: &mut Tokens) {
+    let mut angle = 0i32;
+    for tt in toks.by_ref() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks)?;
+        if toks.peek().is_none() {
+            return Ok(names);
+        }
+        names.push(next_ident(&mut toks, "field name")?);
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        skip_to_comma(&mut toks);
+    }
+}
+
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for tt in body {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    fields += 1;
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    fields + usize::from(pending)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks)?;
+        if toks.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = next_ident(&mut toks, "variant name")?;
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = field_names(g.stream())?;
+                toks.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = tuple_arity(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Swallow an optional `= discriminant` plus the trailing comma.
+        skip_to_comma(&mut toks);
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+const SER: &str = "::serde::Serialize::to_value";
+const DE: &str = "::serde::Deserialize::from_value";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut pairs = String::new();
+            for f in fields {
+                let _ = write!(pairs, "(::std::string::String::from({f:?}), {SER}(&self.{f})),");
+            }
+            format!("::serde::Value::Object(::std::vec![{pairs}])")
+        }
+        ItemKind::TupleStruct(1) => format!("{SER}(&self.0)"),
+        ItemKind::TupleStruct(n) => {
+            let mut elems = String::new();
+            for i in 0..*n {
+                let _ = write!(elems, "{SER}(&self.{i}),");
+            }
+            format!("::serde::Value::Array(::std::vec![{elems}])")
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from({vname:?})),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut pairs = String::new();
+                        for f in fields {
+                            let _ =
+                                write!(pairs, "(::std::string::String::from({f:?}), {SER}({f})),");
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), \
+                              ::serde::Value::Object(::std::vec![{pairs}]))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            format!("{SER}(f0)")
+                        } else {
+                            let mut elems = String::new();
+                            for b in &binds {
+                                let _ = write!(elems, "{SER}({b}),");
+                            }
+                            format!("::serde::Value::Array(::std::vec![{elems}])")
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({vname:?}), {inner})]),",
+                            binds = binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = write!(inits, "{f}: {DE}(v.field({f:?}))?,");
+            }
+            format!("::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}({DE}(v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let mut elems = String::new();
+            for i in 0..*n {
+                let _ = write!(elems, "{DE}(__items.get({i}).unwrap_or(&::serde::Value::Null))?,");
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({elems})),\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"array of {n}\", other)),\n\
+                 }}"
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            unit_arms,
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = write!(inits, "{f}: {DE}(__inner.field({f:?}))?,");
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => ::std::result::Result::Ok(\
+                             {name}::{vname} {{ {inits} }}),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => ::std::result::Result::Ok(\
+                             {name}::{vname}({DE}(__inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let mut elems = String::new();
+                        for i in 0..*n {
+                            let _ = write!(
+                                elems,
+                                "{DE}(match __inner {{ \
+                                     ::serde::Value::Array(a) => \
+                                         a.get({i}).unwrap_or(&::serde::Value::Null), \
+                                     _ => &::serde::Value::Null }})?,"
+                            );
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}({elems})),"
+                        );
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         let _ = __inner;\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 ::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"{name} variant\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ let _ = v; {body} }}\n\
+         }}"
+    )
+}
