@@ -190,27 +190,45 @@ fn bench_ingest_parallel(c: &mut Criterion) {
     let records: Vec<Record> = TradeGen::new(&spec).collect();
     let points: u64 = records.iter().map(|r| r.data_points() as u64).sum();
 
+    let make_cluster = |durable: bool| {
+        let cluster = if durable {
+            Cluster::in_memory_durable(2, ResourceMeter::unmetered()).unwrap()
+        } else {
+            Cluster::in_memory(2, ResourceMeter::unmetered())
+        };
+        cluster
+            .define_schema_type(
+                TableConfig::new(trade_schema_type()).with_batch_size(512).with_mg_group_size(1),
+            )
+            .unwrap();
+        for a in 0..spec.accounts {
+            cluster.register_source("trade", SourceId(a), SourceClass::irregular_high()).unwrap();
+        }
+        cluster
+    };
+
     let mut g = c.benchmark_group("ingest_parallel");
     g.sample_size(10);
     g.throughput(Throughput::Elements(points));
     for threads in [1usize, 2, 4, 8] {
         g.bench_function(&format!("threads_{threads}"), |b| {
             b.iter(|| {
-                let cluster = Cluster::in_memory(2, ResourceMeter::unmetered());
-                cluster
-                    .define_schema_type(
-                        TableConfig::new(trade_schema_type())
-                            .with_batch_size(512)
-                            .with_mg_group_size(1),
-                    )
-                    .unwrap();
-                for a in 0..spec.accounts {
-                    cluster
-                        .register_source("trade", SourceId(a), SourceClass::irregular_high())
-                        .unwrap();
-                }
-                let w = ParallelWriter::new(cluster, "trade").unwrap().with_threads(threads);
+                let w = ParallelWriter::new(make_cluster(false), "trade")
+                    .unwrap()
+                    .with_threads(threads);
                 w.write_batch(black_box(&records)).unwrap();
+                w.flush().unwrap();
+                w.written()
+            })
+        });
+        // Same ingest against WAL-attached servers, closed by the
+        // group-commit barrier — the durability tax at this width.
+        g.bench_function(&format!("threads_{threads}_wal"), |b| {
+            b.iter(|| {
+                let w =
+                    ParallelWriter::new(make_cluster(true), "trade").unwrap().with_threads(threads);
+                w.write_batch(black_box(&records)).unwrap();
+                w.sync().unwrap();
                 w.flush().unwrap();
                 w.written()
             })

@@ -1,0 +1,122 @@
+//! CI performance gate over the committed ingest baseline.
+//!
+//! Re-runs the parallel-ingest sweep and compares it against the
+//! committed `results/BENCH_ingest.json`:
+//!
+//! - **Regression gate**: per matching thread count, current `wall_pps`
+//!   must stay within `BENCH_GATE_TOLERANCE_PCT` (default 20%) of the
+//!   baseline.
+//! - **Durability gate**: the **median** `wal_overhead_pct` across the
+//!   swept thread counts must stay below `BENCH_GATE_WAL_OVERHEAD_PCT`
+//!   (default 25%) — the WAL may not tax ingest more than a quarter of
+//!   its throughput. The median is the gated statistic because the tax
+//!   is per-point encoding work and therefore width-independent; a
+//!   single oversubscribed width on a small CI runner can spike its own
+//!   ratio without the durability path having regressed.
+//!
+//! The fresh sweep is saved as `results/BENCH_ingest_current.json` so CI
+//! can upload it as an artifact next to the baseline. Exits non-zero on
+//! any gate failure; a missing or old-format baseline is an error (the
+//! baseline is regenerated with
+//! `cargo run --release --bin fig5 -- --threads 1,2,4,8`).
+
+use odh_bench::IngestBenchPoint;
+use odh_bench::{banner, parallel_ingest_bench, parse_threads_arg, results_dir, save_json};
+
+fn env_pct(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    banner("Ingest performance gate", "CI guard on fig5 wall throughput + WAL overhead");
+    let tolerance = env_pct("BENCH_GATE_TOLERANCE_PCT", 20.0);
+    let wal_cap = env_pct("BENCH_GATE_WAL_OVERHEAD_PCT", 25.0);
+
+    let baseline_path = results_dir().join("BENCH_ingest.json");
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        }
+    };
+    let baseline: Vec<IngestBenchPoint> = match serde_json::from_str(&baseline_json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "FAIL: baseline {} does not parse ({e}); regenerate it with \
+                 `cargo run --release --bin fig5 -- --threads 1,2,4,8`",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let threads = parse_threads_arg().unwrap_or_else(|| vec![1, 2, 4, 8]);
+    let current = match parallel_ingest_bench(&threads) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL: ingest sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = save_json("BENCH_ingest_current", &current);
+    println!("current sweep saved: {}", path.display());
+
+    let mut failures = 0u32;
+    println!(
+        "{:>8} {:>14} {:>14} {:>8} {:>9}  gate",
+        "threads", "base pts/s", "now pts/s", "delta", "wal tax"
+    );
+    for p in &current {
+        let base = baseline.iter().find(|b| b.threads == p.threads);
+        let (delta_pct, wall_ok, base_pps) = match base {
+            Some(b) => {
+                let d = (p.wall_pps / b.wall_pps.max(1e-9) - 1.0) * 100.0;
+                (d, d >= -tolerance, b.wall_pps)
+            }
+            // No baseline point for this thread count: nothing to regress
+            // against, only the overhead gate applies.
+            None => (0.0, true, f64::NAN),
+        };
+        if !wall_ok {
+            failures += 1;
+        }
+        println!(
+            "{:>8} {:>14.0} {:>14.0} {:>+7.1}% {:>8.1}%  {}",
+            p.threads,
+            base_pps,
+            p.wall_pps,
+            delta_pct,
+            p.wal_overhead_pct,
+            if wall_ok { "ok" } else { "REGRESSED" }
+        );
+    }
+
+    let mut taxes: Vec<f64> = current.iter().map(|p| p.wal_overhead_pct).collect();
+    taxes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median_tax = if taxes.is_empty() {
+        0.0
+    } else if taxes.len() % 2 == 1 {
+        taxes[taxes.len() / 2]
+    } else {
+        (taxes[taxes.len() / 2 - 1] + taxes[taxes.len() / 2]) / 2.0
+    };
+    let wal_ok = median_tax < wal_cap;
+    if !wal_ok {
+        failures += 1;
+    }
+    println!(
+        "\nmedian wal tax across widths: {median_tax:.1}% (cap {wal_cap:.0}%) — {}",
+        if wal_ok { "ok" } else { "WAL-OVERHEAD" }
+    );
+    println!(
+        "gates: wall_pps within -{tolerance:.0}% of baseline per width, \
+         median wal_overhead_pct < {wal_cap:.0}%"
+    );
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gate check(s) failed");
+        std::process::exit(1);
+    }
+    println!("PASS");
+}

@@ -220,7 +220,7 @@ pub fn ld_meta(spec: &LdSpec) -> DatasetMeta {
 
 /// One measured point of the parallel-ingest scaling sweep.
 ///
-/// Two measurements are combined per thread count:
+/// Three measurements are combined per thread count:
 ///
 /// 1. a **real threaded run** — the record batch partitioned by source
 ///    across `threads` scoped workers ingesting concurrently — yielding
@@ -233,8 +233,14 @@ pub fn ld_meta(spec: &LdSpec) -> DatasetMeta {
 ///    preemption cannot inflate them. `modeled_pps` divides the point
 ///    count by the longest slice (the critical path): with slices
 ///    lock-independent (measurement 1), that is the wall time on a
-///    machine with cores ≥ threads, e.g. the paper's 8-core Power PC.
-#[derive(Debug, Clone, serde::Serialize)]
+///    machine with cores ≥ threads, e.g. the paper's 8-core Power PC;
+/// 3. a **WAL-attached threaded run** — the same partition ingested into
+///    a cluster whose servers log every point through the per-server
+///    write-ahead log (group-commit stripes), ending with a full
+///    group-commit `sync()` barrier inside the timed region.
+///    `wal_overhead_pct` is the throughput the durable path gives up
+///    versus measurement 1; the CI durability gate bounds it.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct IngestBenchPoint {
     pub threads: u64,
     pub records: u64,
@@ -256,6 +262,16 @@ pub struct IngestBenchPoint {
     pub modeled_pps: f64,
     /// modeled_pps relative to the 1-thread run.
     pub modeled_speedup: f64,
+    /// Wall seconds of the WAL-attached run (includes the final sync).
+    pub wal_wall_secs: f64,
+    /// points / wal_wall_secs for the WAL-attached run.
+    pub wal_wall_pps: f64,
+    /// The durability tax: median over repetitions of the *paired* ratio
+    /// `wal_secs / plain_secs`, expressed as the percentage of throughput
+    /// given up. Paired per repetition (the arms run back to back) so a
+    /// noisy scheduler phase cancels out of the ratio instead of skewing
+    /// one arm.
+    pub wal_overhead_pct: f64,
 }
 
 /// Parse a `--threads 1,2,4,8` (or `--threads=1,2,4,8`) argument.
@@ -282,8 +298,15 @@ pub fn parse_threads_arg() -> Option<Vec<usize>> {
 /// Build the fig5 ODH topology ready to ingest the TD(1,1) stream: a
 /// fresh two-server in-memory cluster with `mg_group_size = 1` so the
 /// group-based partition spreads the 1000 accounts across all workers.
-fn ingest_bench_cluster(spec: &TdSpec) -> Result<Arc<odh_core::Cluster>> {
-    let cluster = odh_core::Cluster::in_memory(2, ResourceMeter::unmetered());
+/// With `durable` each server also carries a write-ahead log (heap-backed
+/// `MemLog`, so the delta versus the plain cluster is the WAL code path —
+/// frame encode, stripe locking, group commit — not device latency).
+fn ingest_bench_cluster(spec: &TdSpec, durable: bool) -> Result<Arc<odh_core::Cluster>> {
+    let cluster = if durable {
+        odh_core::Cluster::in_memory_durable(2, ResourceMeter::unmetered())?
+    } else {
+        odh_core::Cluster::in_memory(2, ResourceMeter::unmetered())
+    };
     cluster.define_schema_type(
         TableConfig::new(td::trade_schema_type()).with_batch_size(512).with_mg_group_size(1),
     )?;
@@ -291,6 +314,55 @@ fn ingest_bench_cluster(spec: &TdSpec) -> Result<Arc<odh_core::Cluster>> {
         cluster.register_source("trade", SourceId(a), SourceClass::irregular_high())?;
     }
     Ok(cluster)
+}
+
+/// Median of a sample (sorts in place; midpoint average for even sizes).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = xs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
+/// One threaded ingest of `buckets` into `cluster`; returns wall seconds.
+/// `sync` adds the group-commit barrier inside the timed region (the
+/// durable run's acknowledgement point).
+fn threaded_ingest(
+    cluster: Arc<odh_core::Cluster>,
+    buckets: &[Vec<&odh_types::Record>],
+    sync: bool,
+) -> Result<f64> {
+    let writer = odh_core::OdhWriter::new(cluster, "trade")?;
+    let wall_start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buckets
+            .iter()
+            .map(|bucket| {
+                let writer = &writer;
+                scope.spawn(move || {
+                    for r in bucket {
+                        writer.write(r)?;
+                    }
+                    Ok::<(), odh_types::OdhError>(())
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("ingest worker panicked")?;
+        }
+        Ok::<(), odh_types::OdhError>(())
+    })?;
+    if sync {
+        writer.sync()?;
+    }
+    writer.flush()?;
+    Ok(wall_start.elapsed().as_secs_f64())
 }
 
 /// Measure parallel ingest of a TD(1,1) slice at each thread count.
@@ -311,7 +383,7 @@ pub fn parallel_ingest_bench(thread_counts: &[usize]) -> Result<Vec<IngestBenchP
     // timed (the first measured run would otherwise look ~2x slower than
     // the rest and skew every speedup).
     {
-        let cluster = ingest_bench_cluster(&spec)?;
+        let cluster = ingest_bench_cluster(&spec, false)?;
         let writer = odh_core::OdhWriter::new(cluster, "trade")?;
         writer.write_batch(&records)?;
         writer.flush()?;
@@ -324,36 +396,37 @@ pub fn parallel_ingest_bench(thread_counts: &[usize]) -> Result<Vec<IngestBenchP
             buckets[(r.source.0 % threads as u64) as usize].push(r);
         }
 
-        // Run 1 — real threaded ingest: wall clock + shard contention.
-        let cluster = ingest_bench_cluster(&spec)?;
-        let writer = odh_core::OdhWriter::new(cluster.clone(), "trade")?;
-        let wall_start = std::time::Instant::now();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .iter()
-                .map(|bucket| {
-                    let writer = &writer;
-                    scope.spawn(move || {
-                        for r in bucket {
-                            writer.write(r)?;
-                        }
-                        Ok::<(), odh_types::OdhError>(())
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().expect("ingest worker panicked")?;
-            }
-            Ok::<(), odh_types::OdhError>(())
-        })?;
-        writer.flush()?;
-        let wall_secs = wall_start.elapsed().as_secs_f64();
+        // Runs 1 and 3 — real threaded ingest, without and with the WAL.
+        // The two arms are interleaved and each reports its **median** of
+        // five repetitions: interleaving lands a noisy system phase on
+        // both arms, and the median (unlike a best-of) is immune to one
+        // arm catching a single lucky or unlucky run — important because
+        // the two arms are combined into the WAL-overhead *ratio*.
+        let mut plain_secs = Vec::new();
+        let mut wal_secs = Vec::new();
+        let mut rep_ratios = Vec::new();
         let (mut locks, mut contended) = (0u64, 0u64);
-        for s in cluster.servers() {
-            let snap = s.table("trade")?.concurrency().snapshot();
-            locks += snap.shard_locks;
-            contended += snap.shard_contended;
+        for _rep in 0..5 {
+            let cluster = ingest_bench_cluster(&spec, false)?;
+            let plain = threaded_ingest(cluster.clone(), &buckets, false)?;
+            plain_secs.push(plain);
+            (locks, contended) = (0, 0);
+            for s in cluster.servers() {
+                let snap = s.table("trade")?.concurrency().snapshot();
+                locks += snap.shard_locks;
+                contended += snap.shard_contended;
+            }
+            // The WAL arm: same partition, WAL-attached servers, closed by
+            // a group-commit sync barrier — what durability costs. The
+            // per-rep ratio pairs the two arms inside one noise phase.
+            let durable = ingest_bench_cluster(&spec, true)?;
+            let wal = threaded_ingest(durable, &buckets, true)?;
+            wal_secs.push(wal);
+            rep_ratios.push(wal / plain.max(1e-9));
         }
+        let wall_secs = median(&mut plain_secs);
+        let wal_wall_secs = median(&mut wal_secs);
+        let wal_ratio = median(&mut rep_ratios).max(1e-9);
 
         // Run 2 — each slice timed in isolation (fresh cluster, one slice
         // at a time on the calling thread): the critical path without
@@ -361,7 +434,7 @@ pub fn parallel_ingest_bench(thread_counts: &[usize]) -> Result<Vec<IngestBenchP
         // repetitions per slice to shed residual noise.
         let mut slice_secs: Vec<f64> = vec![f64::INFINITY; threads];
         for _rep in 0..3 {
-            let cluster = ingest_bench_cluster(&spec)?;
+            let cluster = ingest_bench_cluster(&spec, false)?;
             let writer = odh_core::OdhWriter::new(cluster, "trade")?;
             for (i, bucket) in buckets.iter().enumerate() {
                 let t0 = std::time::Instant::now();
@@ -375,13 +448,15 @@ pub fn parallel_ingest_bench(thread_counts: &[usize]) -> Result<Vec<IngestBenchP
 
         let slice_max = slice_secs.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
         let slice_sum: f64 = slice_secs.iter().sum();
+        let wall_pps = points as f64 / wall_secs.max(1e-9);
+        let wal_wall_pps = points as f64 / wal_wall_secs.max(1e-9);
         out.push(IngestBenchPoint {
             threads: threads as u64,
             records: records.len() as u64,
             points,
             host_cores,
             wall_secs,
-            wall_pps: points as f64 / wall_secs.max(1e-9),
+            wall_pps,
             shard_locks: locks,
             shard_contended: contended,
             contention_rate: if locks == 0 { 0.0 } else { contended as f64 / locks as f64 },
@@ -389,6 +464,9 @@ pub fn parallel_ingest_bench(thread_counts: &[usize]) -> Result<Vec<IngestBenchP
             slice_sum_secs: slice_sum,
             modeled_pps: points as f64 / slice_max,
             modeled_speedup: 0.0, // filled in below, relative to the first run
+            wal_wall_secs,
+            wal_wall_pps,
+            wal_overhead_pct: (1.0 - 1.0 / wal_ratio) * 100.0,
         });
     }
     let base = out.first().map(|p| p.modeled_pps).unwrap_or(1.0).max(1e-9);
@@ -405,18 +483,27 @@ pub fn run_ingest_bench_cli(thread_counts: &[usize]) -> Result<()> {
     banner("Parallel ingest scaling: TD(1,1) slice", "§3 writer API, sharded ingest buffers");
     let reports = parallel_ingest_bench(thread_counts)?;
     println!(
-        "{:>8} {:>12} {:>14} {:>14} {:>9} {:>11}",
-        "threads", "points", "wall pts/s", "modeled pts/s", "speedup", "contention"
+        "{:>8} {:>12} {:>14} {:>14} {:>9} {:>11} {:>13} {:>9}",
+        "threads",
+        "points",
+        "wall pts/s",
+        "modeled pts/s",
+        "speedup",
+        "contention",
+        "wal pts/s",
+        "wal tax"
     );
     for p in &reports {
         println!(
-            "{:>8} {:>12} {:>14.0} {:>14.0} {:>8.2}x {:>10.3}%",
+            "{:>8} {:>12} {:>14.0} {:>14.0} {:>8.2}x {:>10.3}% {:>13.0} {:>8.1}%",
             p.threads,
             p.points,
             p.wall_pps,
             p.modeled_pps,
             p.modeled_speedup,
-            p.contention_rate * 100.0
+            p.contention_rate * 100.0,
+            p.wal_wall_pps,
+            p.wal_overhead_pct
         );
     }
     let cores = reports.first().map(|p| p.host_cores).unwrap_or(1);
@@ -425,7 +512,9 @@ pub fn run_ingest_bench_cli(thread_counts: &[usize]) -> Result<()> {
          slice timed in isolation (the critical path) — the wall-clock figure on\n\
          a machine with cores >= threads, e.g. the paper's 8-core benchmark host.\n\
          `contention` is the shard-lock blocking rate of the real threaded run,\n\
-         validating that the striped slices do not serialize."
+         validating that the striped slices do not serialize. `wal pts/s` is the\n\
+         same run against WAL-attached servers closed by a group-commit sync;\n\
+         `wal tax` is the throughput given up for durability (CI bounds it)."
     );
     let path = save_json("BENCH_ingest", &reports);
     println!("saved: {}", path.display());

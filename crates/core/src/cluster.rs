@@ -78,9 +78,36 @@ impl Cluster {
         })
     }
 
+    /// In-memory cluster with per-server WALs over [`odh_pager::log::MemLog`]
+    /// — the crash-recovery tests' and the WAL benchmarks' configuration
+    /// (heap-backed media survive as long as their `Arc`s do).
+    pub fn in_memory_durable(n_servers: usize, meter: Arc<ResourceMeter>) -> Result<Arc<Cluster>> {
+        assert!(n_servers >= 1);
+        let servers = (0..n_servers)
+            .map(|i| {
+                Ok(Arc::new(DataServer::with_disk_wal(
+                    i,
+                    meter.clone(),
+                    Arc::new(odh_pager::disk::MemDisk::new()),
+                    crate::server::DEFAULT_POOL_FRAMES,
+                    Arc::new(odh_pager::log::MemLog::new()),
+                )?))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Cluster::with_servers(servers, meter))
+    }
+
     pub fn with_servers(servers: Vec<Arc<DataServer>>, meter: Arc<ResourceMeter>) -> Arc<Cluster> {
         assert!(!servers.is_empty());
         Arc::new(Cluster { servers, meter, types: RwLock::new(HashMap::new()) })
+    }
+
+    /// Group-commit barrier across the fleet (see [`DataServer::sync`]).
+    pub fn sync(&self) -> Result<()> {
+        for s in &self.servers {
+            s.sync()?;
+        }
+        Ok(())
     }
 
     pub fn meter(&self) -> &Arc<ResourceMeter> {

@@ -29,6 +29,7 @@ pub struct HistorianBuilder {
     metered: bool,
     disk_dir: Option<PathBuf>,
     pool_frames: usize,
+    durable: Option<bool>,
 }
 
 impl HistorianBuilder {
@@ -39,6 +40,7 @@ impl HistorianBuilder {
             metered: false,
             disk_dir: None,
             pool_frames: crate::server::DEFAULT_POOL_FRAMES,
+            durable: None,
         }
     }
 
@@ -67,24 +69,64 @@ impl HistorianBuilder {
         self
     }
 
+    /// Force crash durability on or off. Defaults to **on** for
+    /// disk-backed historians (each server gets a `server<N>.wal` next to
+    /// its `server<N>.pages`) and **off** for in-memory ones.
+    pub fn durable(mut self, on: bool) -> Self {
+        self.durable = Some(on);
+        self
+    }
+
     pub fn build(self) -> Result<Historian> {
         let meter =
             if self.metered { ResourceMeter::new(self.cores) } else { ResourceMeter::unmetered() };
+        let durable = self.durable.unwrap_or(self.disk_dir.is_some());
         let servers: Result<Vec<Arc<DataServer>>> = (0..self.servers)
             .map(|i| {
                 Ok(match &self.disk_dir {
-                    None => Arc::new(DataServer::with_disk(
-                        i,
-                        meter.clone(),
-                        Arc::new(MemDisk::new()),
-                        self.pool_frames,
-                    )),
+                    None => {
+                        let disk = Arc::new(MemDisk::new());
+                        if durable {
+                            Arc::new(DataServer::with_disk_wal(
+                                i,
+                                meter.clone(),
+                                disk,
+                                self.pool_frames,
+                                Arc::new(odh_pager::log::MemLog::new()),
+                            )?)
+                        } else {
+                            Arc::new(DataServer::with_disk(
+                                i,
+                                meter.clone(),
+                                disk,
+                                self.pool_frames,
+                            ))
+                        }
+                    }
                     Some(dir) => {
                         std::fs::create_dir_all(dir)?;
                         let disk = Arc::new(odh_pager::disk::FileDisk::create(
                             dir.join(format!("server{i}.pages")),
                         )?);
-                        Arc::new(DataServer::with_disk(i, meter.clone(), disk, self.pool_frames))
+                        if durable {
+                            let log = Arc::new(odh_pager::log::FileLog::create(
+                                dir.join(format!("server{i}.wal")),
+                            )?);
+                            Arc::new(DataServer::with_disk_wal(
+                                i,
+                                meter.clone(),
+                                disk,
+                                self.pool_frames,
+                                log,
+                            )?)
+                        } else {
+                            Arc::new(DataServer::with_disk(
+                                i,
+                                meter.clone(),
+                                disk,
+                                self.pool_frames,
+                            ))
+                        }
                     }
                 })
             })
@@ -131,12 +173,20 @@ impl Historian {
         let mut servers = Vec::with_capacity(paths.len());
         for (i, p) in paths.iter().enumerate() {
             let disk = Arc::new(odh_pager::disk::FileDisk::open(p)?);
-            servers.push(Arc::new(DataServer::open(
-                i,
-                meter.clone(),
-                disk,
-                crate::server::DEFAULT_POOL_FRAMES,
-            )?));
+            let wal_path = p.with_extension("wal");
+            servers.push(Arc::new(if wal_path.exists() {
+                // Crash recovery: restore the checkpoint, replay the log.
+                let log = Arc::new(odh_pager::log::FileLog::open(&wal_path)?);
+                DataServer::open_with_wal(
+                    i,
+                    meter.clone(),
+                    disk,
+                    crate::server::DEFAULT_POOL_FRAMES,
+                    log,
+                )?
+            } else {
+                DataServer::open(i, meter.clone(), disk, crate::server::DEFAULT_POOL_FRAMES)?
+            }));
         }
         let cluster = Cluster::with_servers(servers, meter.clone());
         let router = Arc::new(DataRouter::new(cluster.clone()));
@@ -254,6 +304,17 @@ impl Historian {
     /// Seal buffers + write back.
     pub fn flush(&self) -> Result<()> {
         self.cluster.flush()
+    }
+
+    /// Group-commit barrier: make every write issued so far durable on
+    /// every server's WAL. Writes are only *acknowledged* (guaranteed to
+    /// survive a crash) once a sync covering them returns. No-op without
+    /// durability.
+    pub fn sync(&self) -> Result<()> {
+        for s in self.cluster.servers() {
+            s.sync()?;
+        }
+        Ok(())
     }
 
     /// Durably checkpoint every server (see [`Historian::open`]).

@@ -1,10 +1,24 @@
 //! A data server: one storage node holding one `OdhTable` per schema type.
+//!
+//! # Durability
+//!
+//! A server can run with a per-server write-ahead log. With one attached,
+//! every table mutation (table creation, source registration, point
+//! ingest) is framed into the WAL *before* it touches in-memory state, the
+//! buffer pool runs in no-steal mode (dirty pages only reach the disk at a
+//! checkpoint), and [`DataServer::checkpoint`] becomes lenient: open
+//! ingest buffers are allowed, because the log above the checkpoint LSN
+//! replays them. Recovery ([`DataServer::open_with_wal`]) restores the
+//! checkpoint image, then replays the WAL tail idempotently — frames at or
+//! below the checkpoint LSN or a source's sealed low-water mark are
+//! skipped, and a torn or corrupt tail is truncated with a warning.
 
 use odh_pager::disk::{DiskManager, FileDisk, MemDisk};
+use odh_pager::log::LogStore;
 use odh_pager::page::{get_u32, get_u64, put_u32, put_u64, PageId, NO_PAGE, PAGE_SIZE};
 use odh_pager::pool::BufferPool;
 use odh_sim::ResourceMeter;
-use odh_storage::{OdhTable, TableConfig, TableSnapshot};
+use odh_storage::{OdhTable, TableConfig, TableSnapshot, Wal, WalEntry};
 use odh_types::{OdhError, Result};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -14,6 +28,9 @@ use std::sync::Arc;
 /// Superblock magic ("ODHS"). Page 0 of every server device is reserved
 /// for the checkpoint superblock.
 const SUPER_MAGIC: u32 = 0x4F44_4853;
+/// Superblock format version. v2 added the checkpoint LSN at offset 24;
+/// v1 superblocks read as checkpoint LSN 0 (replay everything).
+const SUPER_VERSION: u32 = 2;
 /// Catalog chain page payload capacity.
 const CHAIN_CAPACITY: usize = PAGE_SIZE - 16;
 
@@ -27,6 +44,7 @@ pub struct DataServer {
     pool: Arc<BufferPool>,
     meter: Arc<ResourceMeter>,
     tables: RwLock<HashMap<String, Arc<OdhTable>>>,
+    wal: Option<Arc<Wal>>,
 }
 
 impl DataServer {
@@ -57,28 +75,95 @@ impl DataServer {
             // Reserve page 0 for the checkpoint superblock.
             pool.allocate().expect("reserving the superblock page");
         }
-        DataServer { id, pool, meter, tables: RwLock::new(HashMap::new()) }
+        DataServer { id, pool, meter, tables: RwLock::new(HashMap::new()), wal: None }
     }
 
-    /// Reopen a server from a previously checkpointed device.
+    /// Fresh server with a write-ahead log: the log is truncated and every
+    /// subsequent mutation is logged before it is applied.
+    pub fn with_disk_wal(
+        id: usize,
+        meter: Arc<ResourceMeter>,
+        disk: Arc<dyn DiskManager>,
+        frames: usize,
+        log: Arc<dyn LogStore>,
+    ) -> Result<DataServer> {
+        let mut server = Self::with_disk(id, meter.clone(), disk, frames);
+        let wal = Wal::create(log, meter)?;
+        server.pool.set_no_steal(true);
+        server.wal = Some(wal);
+        Ok(server)
+    }
+
+    /// Reopen a server from a previously checkpointed device (no WAL).
     pub fn open(
         id: usize,
         meter: Arc<ResourceMeter>,
         disk: Arc<dyn DiskManager>,
         frames: usize,
     ) -> Result<DataServer> {
+        Ok(Self::open_inner(id, meter, disk, frames)?.0)
+    }
+
+    /// Crash recovery: reopen the device, restore the last checkpoint,
+    /// then replay the WAL tail. Torn or corrupt log tails are truncated
+    /// (with a warning) — everything past the last valid frame was never
+    /// acknowledged. Returns the recovered server; the log stays attached
+    /// for further writes.
+    pub fn open_with_wal(
+        id: usize,
+        meter: Arc<ResourceMeter>,
+        disk: Arc<dyn DiskManager>,
+        frames: usize,
+        log: Arc<dyn LogStore>,
+    ) -> Result<DataServer> {
+        let (mut server, checkpoint_lsn) = Self::open_inner(id, meter.clone(), disk, frames)?;
+        // Re-bind restored tables to the log under their original ids
+        // before replay, so replayed source registrations and points
+        // resolve table ids to the right shards.
+        let (wal, recovery) = Wal::open(log, meter)?;
+        if let Some(w) = &recovery.warning {
+            eprintln!(
+                "server {id}: WAL tail truncated ({} bytes dropped): {w}",
+                recovery.truncated_bytes
+            );
+        }
+        for table in server.tables.read().values() {
+            if let Some(tid) = table.restored_wal_table_id() {
+                table.attach_wal(wal.clone(), tid, false)?;
+            }
+        }
+        server.replay(&wal, &recovery.frames, checkpoint_lsn)?;
+        server.pool.set_no_steal(true);
+        server.wal = Some(wal);
+        Ok(server)
+    }
+
+    fn open_inner(
+        id: usize,
+        meter: Arc<ResourceMeter>,
+        disk: Arc<dyn DiskManager>,
+        frames: usize,
+    ) -> Result<(DataServer, u64)> {
         if disk.num_pages() == 0 {
-            return Ok(Self::with_disk(id, meter, disk, frames));
+            return Ok((Self::with_disk(id, meter, disk, frames), 0));
         }
         let pool = BufferPool::new(disk, frames);
-        let (magic, head, total_len) = pool.with_page(PageId(0), |buf| {
-            (get_u32(buf, 0), get_u64(buf, 8), get_u64(buf, 16) as usize)
-        })?;
-        let server = DataServer { id, pool, meter, tables: RwLock::new(HashMap::new()) };
+        let (magic, version, head, total_len, checkpoint_lsn) =
+            pool.with_page(PageId(0), |buf| {
+                (
+                    get_u32(buf, 0),
+                    get_u32(buf, 4),
+                    get_u64(buf, 8),
+                    get_u64(buf, 16) as usize,
+                    get_u64(buf, 24),
+                )
+            })?;
+        let server = DataServer { id, pool, meter, tables: RwLock::new(HashMap::new()), wal: None };
         if magic != SUPER_MAGIC {
             // Device exists but was never checkpointed: treat as fresh.
-            return Ok(server);
+            return Ok((server, 0));
         }
+        let checkpoint_lsn = if version >= 2 { checkpoint_lsn } else { 0 };
         // Read the catalog chain.
         let mut bytes = Vec::with_capacity(total_len);
         let mut page = PageId(head);
@@ -105,17 +190,121 @@ impl DataServer {
                 g.insert(name.clone(), Arc::new(table));
             }
         }
-        Ok(server)
+        Ok((server, checkpoint_lsn))
     }
 
-    /// Durably checkpoint: flush every table, snapshot the catalog into a
-    /// fresh page chain, point the superblock at it, and sync.
+    /// Replay recovered WAL frames (sorted by LSN) on top of the restored
+    /// checkpoint. Frames at or below `checkpoint_lsn` are already in the
+    /// image; point frames are additionally guarded by the per-source
+    /// sealed low-water marks inside the table (idempotent replay). Frames
+    /// referencing unknown tables or sources are skipped with a warning —
+    /// their prerequisite frames were lost with an unsynced stripe, which
+    /// means they were never acknowledged.
+    fn replay(
+        &self,
+        wal: &Arc<Wal>,
+        frames: &[odh_storage::WalFrame],
+        checkpoint_lsn: u64,
+    ) -> Result<()> {
+        let mut by_id: HashMap<u16, Arc<OdhTable>> = HashMap::new();
+        for table in self.tables.read().values() {
+            if let Some(tid) = table.wal_table_id() {
+                by_id.insert(tid, table.clone());
+            }
+        }
+        for frame in frames {
+            if frame.lsn <= checkpoint_lsn {
+                continue;
+            }
+            match &frame.entry {
+                WalEntry::TableDef { table, config } => {
+                    if by_id.contains_key(table) {
+                        continue;
+                    }
+                    let cfg = TableConfig::from(config);
+                    let name = cfg.schema.name.to_ascii_lowercase();
+                    let mut g = self.tables.write();
+                    if g.contains_key(&name) {
+                        continue;
+                    }
+                    let t = Arc::new(OdhTable::create(self.pool.clone(), self.meter.clone(), cfg)?);
+                    t.attach_wal(wal.clone(), *table, false)?;
+                    g.insert(name, t.clone());
+                    drop(g);
+                    by_id.insert(*table, t);
+                }
+                WalEntry::Source { table, source, class } => match by_id.get(table) {
+                    Some(t) => t.adopt_source(*source, *class),
+                    None => eprintln!(
+                        "server {}: WAL replay skipped source {source} for unknown table {table} \
+                         (never acknowledged)",
+                        self.id
+                    ),
+                },
+                WalEntry::Point { table, record } => match by_id.get(table) {
+                    Some(t) => match t.replay_put(record, frame.lsn) {
+                        Ok(_) => {}
+                        Err(e) if e.kind() == "not_found" => eprintln!(
+                            "server {}: WAL replay skipped point at LSN {} ({e}; never \
+                             acknowledged)",
+                            self.id, frame.lsn
+                        ),
+                        Err(e) => return Err(e),
+                    },
+                    None => eprintln!(
+                        "server {}: WAL replay skipped point for unknown table {table} (never \
+                         acknowledged)",
+                        self.id
+                    ),
+                },
+            }
+        }
+        Ok(())
+    }
+
+    /// Durably checkpoint.
+    ///
+    /// Without a WAL this flushes every table (sealing all buffers) and
+    /// write-backs the pool. With one, the checkpoint is *lenient*: open
+    /// ingest buffers stay open, the catalog snapshot excludes them, and
+    /// the WAL is truncated up to the oldest LSN still buffered — the tail
+    /// above it replays the buffers on recovery.
     ///
     /// Old chains are not reclaimed (the pager never frees pages); each
     /// checkpoint costs `ceil(catalog/8176)` pages, negligible next to the
     /// data.
     pub fn checkpoint(&self) -> Result<()> {
-        self.flush()?;
+        match self.wal.clone() {
+            None => {
+                self.flush()?;
+                self.write_catalog(0)?;
+                self.pool.flush_all()
+            }
+            Some(wal) => {
+                // Make the log durable first: every row about to enter the
+                // checkpoint image has its frame on stable storage before
+                // the image referencing it exists.
+                wal.sync()?;
+                let safe = self
+                    .tables
+                    .read()
+                    .values()
+                    .filter_map(|t| t.min_open_lsn())
+                    .min()
+                    .map(|oldest_open| oldest_open - 1)
+                    .unwrap_or_else(|| wal.max_lsn());
+                self.write_catalog(safe)?;
+                self.pool.flush_all()?;
+                // Only after the superblock points at the new catalog is it
+                // safe to drop frames at or below `safe`. A crash in the
+                // truncation window leaves extra frames, which replay then
+                // skips (they're at or below the checkpoint LSN).
+                wal.truncate_through(safe)
+            }
+        }
+    }
+
+    fn write_catalog(&self, checkpoint_lsn: u64) -> Result<()> {
         let mut catalog: HashMap<String, TableSnapshot> = HashMap::new();
         for (name, table) in self.tables.read().iter() {
             catalog.insert(name.clone(), table.snapshot()?);
@@ -132,13 +321,32 @@ impl DataServer {
             })?;
             next = page.0;
         }
+        // Two-phase: make the new chain (and all data pages) durable while
+        // the superblock still points at the old catalog, then repoint it
+        // with a single-page write. A crash between the phases recovers
+        // from the old checkpoint — the WAL is only truncated afterwards.
+        self.pool.flush_all()?;
         self.pool.with_page_mut(PageId(0), |buf| {
             put_u32(buf, 0, SUPER_MAGIC);
-            put_u32(buf, 4, 1); // format version
+            put_u32(buf, 4, SUPER_VERSION);
             put_u64(buf, 8, next);
             put_u64(buf, 16, bytes.len() as u64);
-        })?;
-        self.pool.flush_all()
+            put_u64(buf, 24, checkpoint_lsn);
+        })
+    }
+
+    /// Force every acknowledged-pending write to stable storage: flushes
+    /// all WAL stripes and syncs the log. Returns the durable LSN (0
+    /// without a WAL).
+    pub fn sync(&self) -> Result<u64> {
+        match &self.wal {
+            Some(wal) => wal.sync(),
+            None => Ok(0),
+        }
+    }
+
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// Names of the schema types this server holds shards for.
@@ -159,6 +367,13 @@ impl DataServer {
             )));
         }
         let table = Arc::new(OdhTable::create(self.pool.clone(), self.meter.clone(), cfg)?);
+        if let Some(wal) = &self.wal {
+            // Ids are per-server and never reused (tables can't be dropped);
+            // the definition frame precedes every source/point frame of the
+            // table in the log.
+            let tid = g.values().filter_map(|t| t.wal_table_id()).max().map_or(0, |m| m + 1);
+            table.attach_wal(wal.clone(), tid, true)?;
+        }
         g.insert(name, table.clone());
         Ok(table)
     }

@@ -95,6 +95,12 @@ impl OdhWriter {
     pub fn flush(&self) -> Result<()> {
         self.cluster.flush()
     }
+
+    /// Group-commit barrier: every record written before this call is
+    /// durable once it returns (WAL-backed clusters only; no-op otherwise).
+    pub fn sync(&self) -> Result<()> {
+        self.cluster.sync()
+    }
 }
 
 /// Multi-threaded batch ingest for one schema type.
@@ -184,6 +190,11 @@ impl ParallelWriter {
     /// Seal open buffers and write back dirty pages.
     pub fn flush(&self) -> Result<()> {
         self.writer.flush()
+    }
+
+    /// Group-commit barrier (see [`OdhWriter::sync`]).
+    pub fn sync(&self) -> Result<()> {
+        self.writer.sync()
     }
 }
 

@@ -19,13 +19,17 @@
 //! in `odh-sim` observe physical I/O without this crate depending on them.
 
 pub mod disk;
+pub mod fault;
 pub mod heap;
+pub mod log;
 pub mod page;
 pub mod pool;
 pub mod stats;
 
 pub use disk::{DiskManager, FileDisk, MemDisk};
+pub use fault::{FailDisk, FailWal, FaultMode, FaultPlan};
 pub use heap::{HeapFile, RecordId};
+pub use log::{FileLog, LogStore, MemLog};
 pub use page::{Page, PageId, PAGE_SIZE};
 pub use pool::{BufferPool, IoHook};
 pub use stats::{ConcurrencyStats, IoStats};

@@ -49,6 +49,7 @@ pub struct BufferPool {
     map: Mutex<MapState>,
     stats: IoStats,
     hook: RwLock<Option<Arc<dyn IoHook>>>,
+    no_steal: AtomicBool,
 }
 
 struct MapState {
@@ -83,12 +84,21 @@ impl BufferPool {
             }),
             stats: IoStats::default(),
             hook: RwLock::new(None),
+            no_steal: AtomicBool::new(false),
         })
     }
 
     /// Install a physical-I/O observer.
     pub fn set_hook(&self, hook: Arc<dyn IoHook>) {
         *self.hook.write() = Some(hook);
+    }
+
+    /// In no-steal mode eviction never writes back a dirty frame, so the
+    /// on-disk image only changes at an explicit [`BufferPool::flush_all`]
+    /// (i.e. a checkpoint). WAL-covered servers rely on this: the disk
+    /// state a recovery starts from is always exactly the last checkpoint.
+    pub fn set_no_steal(&self, on: bool) {
+        self.no_steal.store(on, Ordering::Release);
     }
 
     pub fn stats(&self) -> &IoStats {
@@ -217,6 +227,7 @@ impl BufferPool {
         }
         // Clock sweep: clear reference bits; give up after two full laps
         // (everything pinned).
+        let no_steal = self.no_steal.load(Ordering::Acquire);
         let n = self.frames.len();
         for _ in 0..2 * n {
             let idx = map.hand;
@@ -228,7 +239,17 @@ impl BufferPool {
             if frame.referenced.swap(false, Ordering::Relaxed) {
                 continue;
             }
+            // Unpinned frames cannot be write-locked (closures hold a pin),
+            // so the dirty probe does not block.
+            if no_steal && frame.state.read().dirty {
+                continue;
+            }
             return Ok(idx);
+        }
+        if no_steal {
+            return Err(OdhError::Full(
+                "buffer pool: no clean frame to evict (no-steal mode; checkpoint needed)".into(),
+            ));
         }
         Err(OdhError::Full("buffer pool: all frames pinned".into()))
     }

@@ -32,6 +32,8 @@ struct DiskInner {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DiskReport {
     pub ops: u64,
+    /// Of which: sequential (seek-free) ops — log appends, mostly.
+    pub seq_ops: u64,
     pub bytes: u64,
     /// Total virtual disk-busy seconds.
     pub busy_secs: f64,
@@ -86,6 +88,7 @@ impl DiskModel {
         let busy_secs = g.busy_us / 1e6;
         DiskReport {
             ops: g.ops,
+            seq_ops: g.seq_ops,
             bytes: g.bytes,
             busy_secs,
             bytes_per_busy_sec: if busy_secs > 0.0 { g.bytes as f64 / busy_secs } else { 0.0 },

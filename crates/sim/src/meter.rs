@@ -27,6 +27,20 @@ pub struct ResourceMeter {
     parallel_tasks: AtomicU64,
     /// Widest single region observed (degree of parallelism actually used).
     max_parallel_width: AtomicU64,
+    /// Bytes appended to the write-ahead log (group commits).
+    wal_bytes: AtomicU64,
+    /// WAL group commits issued.
+    wal_writes: AtomicU64,
+    /// WAL fsyncs (durability acknowledgements).
+    wal_syncs: AtomicU64,
+}
+
+/// Point-in-time copy of the meter's WAL counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalReport {
+    pub bytes: u64,
+    pub writes: u64,
+    pub syncs: u64,
 }
 
 /// Point-in-time copy of the meter's parallelism counters.
@@ -50,6 +64,9 @@ impl ResourceMeter {
             parallel_regions: AtomicU64::new(0),
             parallel_tasks: AtomicU64::new(0),
             max_parallel_width: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            wal_writes: AtomicU64::new(0),
+            wal_syncs: AtomicU64::new(0),
         })
     }
 
@@ -96,6 +113,31 @@ impl ResourceMeter {
     pub fn disk_sequential(&self, bytes: usize) {
         if self.is_enabled() {
             self.disk.sequential_io(bytes);
+        }
+    }
+
+    /// Charge one WAL group commit: an append-only write, which the disk
+    /// model prices as sequential I/O (the log is the one component laid
+    /// out for pure appends). Counted even when metering is disabled so
+    /// wall-clock benches can report WAL traffic.
+    pub fn wal_write(&self, bytes: usize) {
+        self.wal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.wal_writes.fetch_add(1, Ordering::Relaxed);
+        self.disk_sequential(bytes);
+    }
+
+    /// Charge one WAL fsync (the commit barrier): one device round-trip
+    /// with no payload, so one seek-priced random I/O of zero bytes.
+    pub fn wal_sync(&self) {
+        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        self.disk_random(0);
+    }
+
+    pub fn wal_report(&self) -> WalReport {
+        WalReport {
+            bytes: self.wal_bytes.load(Ordering::Relaxed),
+            writes: self.wal_writes.load(Ordering::Relaxed),
+            syncs: self.wal_syncs.load(Ordering::Relaxed),
         }
     }
 
@@ -148,6 +190,25 @@ mod tests {
         assert_eq!(r.regions, 2);
         assert_eq!(r.tasks, 6);
         assert_eq!(r.max_width, 4);
+    }
+
+    #[test]
+    fn wal_charges_are_sequential() {
+        let m = ResourceMeter::new(1);
+        m.set_now(0);
+        m.wal_write(8192);
+        m.wal_write(8192);
+        m.wal_sync();
+        let w = m.wal_report();
+        assert_eq!((w.bytes, w.writes, w.syncs), (16384, 2, 1));
+        let d = m.disk_report();
+        assert_eq!(d.ops, 3);
+        assert_eq!(d.seq_ops, 2, "group commits must be priced sequentially");
+        // Counters survive an unmetered meter; disk charges do not.
+        let u = ResourceMeter::unmetered();
+        u.wal_write(100);
+        assert_eq!(u.wal_report().writes, 1);
+        assert_eq!(u.disk_report().ops, 0);
     }
 
     #[test]

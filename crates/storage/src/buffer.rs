@@ -14,6 +14,11 @@ pub struct SourceBuffer {
     pub ts: Vec<i64>,
     /// `cols[tag][row]`.
     pub cols: Vec<Vec<Option<f64>>>,
+    /// WAL LSN of the oldest / newest unsealed row (0 when empty or when
+    /// the table has no WAL). Rows arrive in LSN order (the shard lock is
+    /// held across append + push), so these bound every row in between.
+    pub first_lsn: u64,
+    pub last_lsn: u64,
 }
 
 impl SourceBuffer {
@@ -25,11 +30,17 @@ impl SourceBuffer {
         SourceBuffer {
             ts: Vec::with_capacity(cap),
             cols: (0..tags).map(|_| Vec::with_capacity(cap)).collect(),
+            first_lsn: 0,
+            last_lsn: 0,
         }
     }
 
-    pub fn push(&mut self, ts: i64, values: &[Option<f64>]) {
+    pub fn push(&mut self, ts: i64, values: &[Option<f64>], lsn: u64) {
         debug_assert_eq!(values.len(), self.cols.len());
+        if self.ts.is_empty() {
+            self.first_lsn = lsn;
+        }
+        self.last_lsn = lsn;
         self.ts.push(ts);
         for (col, v) in self.cols.iter_mut().zip(values) {
             col.push(*v);
@@ -45,10 +56,15 @@ impl SourceBuffer {
     }
 
     /// Take the contents, leaving an empty buffer with the same shape.
-    pub fn take(&mut self) -> (Vec<i64>, Vec<Vec<Option<f64>>>) {
+    /// Returns `(timestamps, cols, last_lsn)` — the seal records
+    /// `last_lsn` as the source's sealed low-water mark.
+    pub fn take(&mut self) -> (Vec<i64>, Vec<Vec<Option<f64>>>, u64) {
         let ts = std::mem::take(&mut self.ts);
         let cols = self.cols.iter_mut().map(std::mem::take).collect();
-        (ts, cols)
+        let last = self.last_lsn;
+        self.first_lsn = 0;
+        self.last_lsn = 0;
+        (ts, cols, last)
     }
 
     /// Rows with `t1 <= ts <= t2`, projected to `tags`, for dirty reads.
@@ -67,6 +83,10 @@ impl SourceBuffer {
     }
 }
 
+/// What [`MgBuffer::take`] drains: `(timestamps, source ids, per-tag
+/// columns, last WAL LSN)`.
+pub type MgDrain = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64);
+
 /// Row-accumulating buffer for one Mixed-Grouping group: rows from many
 /// sources interleaved in arrival (≈ timestamp) order.
 #[derive(Debug, Clone)]
@@ -74,6 +94,9 @@ pub struct MgBuffer {
     pub ts: Vec<i64>,
     pub ids: Vec<SourceId>,
     pub cols: Vec<Vec<Option<f64>>>,
+    /// See [`SourceBuffer::first_lsn`].
+    pub first_lsn: u64,
+    pub last_lsn: u64,
 }
 
 impl MgBuffer {
@@ -83,11 +106,17 @@ impl MgBuffer {
             ts: Vec::with_capacity(cap),
             ids: Vec::with_capacity(cap),
             cols: (0..tags).map(|_| Vec::with_capacity(cap)).collect(),
+            first_lsn: 0,
+            last_lsn: 0,
         }
     }
 
-    pub fn push(&mut self, source: SourceId, ts: i64, values: &[Option<f64>]) {
+    pub fn push(&mut self, source: SourceId, ts: i64, values: &[Option<f64>], lsn: u64) {
         debug_assert_eq!(values.len(), self.cols.len());
+        if self.ts.is_empty() {
+            self.first_lsn = lsn;
+        }
+        self.last_lsn = lsn;
         self.ts.push(ts);
         self.ids.push(source);
         for (col, v) in self.cols.iter_mut().zip(values) {
@@ -103,11 +132,16 @@ impl MgBuffer {
         self.ts.is_empty()
     }
 
-    pub fn take(&mut self) -> (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>) {
+    /// `(timestamps, source ids, per-tag columns, last WAL LSN)`.
+    pub fn take(&mut self) -> MgDrain {
+        let last = self.last_lsn;
+        self.first_lsn = 0;
+        self.last_lsn = 0;
         (
             std::mem::take(&mut self.ts),
             std::mem::take(&mut self.ids),
             self.cols.iter_mut().map(std::mem::take).collect(),
+            last,
         )
     }
 
@@ -141,16 +175,19 @@ mod tests {
     #[test]
     fn source_buffer_accumulates_and_takes() {
         let mut b = SourceBuffer::new(2, 8);
-        b.push(10, &[Some(1.0), None]);
-        b.push(20, &[Some(2.0), Some(9.0)]);
+        b.push(10, &[Some(1.0), None], 5);
+        b.push(20, &[Some(2.0), Some(9.0)], 6);
         assert_eq!(b.len(), 2);
-        let (ts, cols) = b.take();
+        assert_eq!((b.first_lsn, b.last_lsn), (5, 6));
+        let (ts, cols, last) = b.take();
+        assert_eq!(last, 6);
         assert_eq!(ts, vec![10, 20]);
         assert_eq!(cols[0], vec![Some(1.0), Some(2.0)]);
         assert_eq!(cols[1], vec![None, Some(9.0)]);
         assert!(b.is_empty());
         assert_eq!(b.cols.len(), 2, "shape preserved after take");
-        b.push(30, &[None, None]);
+        b.push(30, &[None, None], 7);
+        assert_eq!((b.first_lsn, b.last_lsn), (7, 7));
         assert_eq!(b.len(), 1);
     }
 
@@ -158,7 +195,7 @@ mod tests {
     fn source_buffer_range_projection() {
         let mut b = SourceBuffer::new(3, 8);
         for i in 0..10 {
-            b.push(i * 10, &[Some(i as f64), Some(-(i as f64)), None]);
+            b.push(i * 10, &[Some(i as f64), Some(-(i as f64)), None], 0);
         }
         let rows: Vec<_> = b.rows_in_range(25, 55, &[1]).collect();
         assert_eq!(rows.len(), 3); // 30, 40, 50
@@ -168,9 +205,9 @@ mod tests {
     #[test]
     fn mg_buffer_filters_by_source() {
         let mut b = MgBuffer::new(1, 8);
-        b.push(SourceId(1), 10, &[Some(1.0)]);
-        b.push(SourceId(2), 11, &[Some(2.0)]);
-        b.push(SourceId(1), 12, &[Some(3.0)]);
+        b.push(SourceId(1), 10, &[Some(1.0)], 1);
+        b.push(SourceId(2), 11, &[Some(2.0)], 2);
+        b.push(SourceId(1), 12, &[Some(3.0)], 3);
         let all: Vec<_> = b.rows_in_range(0, 100, &[0], None).collect();
         assert_eq!(all.len(), 3);
         let one: Vec<_> = b.rows_in_range(0, 100, &[0], Some(SourceId(1))).collect();
@@ -181,8 +218,9 @@ mod tests {
     #[test]
     fn mg_take_clears_ids_too() {
         let mut b = MgBuffer::new(1, 4);
-        b.push(SourceId(5), 1, &[None]);
-        let (ts, ids, cols) = b.take();
+        b.push(SourceId(5), 1, &[None], 9);
+        let (ts, ids, cols, last) = b.take();
+        assert_eq!(last, 9);
         assert_eq!((ts.len(), ids.len(), cols[0].len()), (1, 1, 1));
         assert!(b.is_empty());
         assert!(b.ids.is_empty());

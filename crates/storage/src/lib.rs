@@ -33,9 +33,11 @@ pub mod snapshot;
 pub mod stats;
 pub mod stripe;
 pub mod table;
+pub mod wal;
 
 pub use blob::ValueBlob;
 pub use select::Structure;
-pub use snapshot::TableSnapshot;
+pub use snapshot::{TableConfigSnapshot, TableSnapshot};
 pub use stats::StorageStats;
 pub use table::{OdhTable, ScanPoint, TableConfig};
+pub use wal::{Wal, WalEntry, WalFrame, WalRecovery, WalStats};

@@ -28,6 +28,14 @@ pub struct TableSnapshot {
     pub mg: ContainerSnapshot,
     pub reorganized: bool,
     pub stats: StatsSnapshot,
+    /// Sealed low-water marks (highest container-sealed WAL LSN) per
+    /// source and per MG group; replay skips frames at or below them.
+    /// `None` in pre-WAL snapshots (the vendored serde stub has no field
+    /// defaults, so optional fields are `Option`s).
+    pub sealed: Option<Vec<(u64, u64)>>,
+    pub mg_sealed: Option<Vec<(u32, u64)>>,
+    /// The table id this table logs WAL frames under, when durable.
+    pub wal_table_id: Option<u16>,
 }
 
 /// Serializable form of [`TableConfig`].
@@ -37,6 +45,8 @@ pub struct TableConfigSnapshot {
     pub batch_size: usize,
     pub policy: odh_compress::column::Policy,
     pub mg_group_size: u64,
+    /// `None` in pre-WAL snapshots (treated as `false`).
+    pub strict_snapshot: Option<bool>,
 }
 
 impl From<&TableConfig> for TableConfigSnapshot {
@@ -46,6 +56,7 @@ impl From<&TableConfig> for TableConfigSnapshot {
             batch_size: c.batch_size,
             policy: c.policy,
             mg_group_size: c.mg_group_size,
+            strict_snapshot: Some(c.strict_snapshot),
         }
     }
 }
@@ -56,14 +67,24 @@ impl From<&TableConfigSnapshot> for TableConfig {
             .with_batch_size(s.batch_size)
             .with_policy(s.policy)
             .with_mg_group_size(s.mg_group_size)
+            .with_strict_snapshot(s.strict_snapshot.unwrap_or(false))
     }
 }
 
 impl OdhTable {
-    /// Capture the table's recovery image. Fails if any ingest buffer
-    /// still holds unsealed points — call [`OdhTable::flush`] first.
+    /// Capture the table's recovery image.
+    ///
+    /// Without a WAL (or with [`TableConfig::with_strict_snapshot`]) this
+    /// fails if any ingest buffer still holds unsealed points — call
+    /// [`OdhTable::flush`] first. With a WAL attached the checkpoint is
+    /// *lenient*: open buffers are simply left out of the image (their
+    /// rows sit above the checkpoint LSN in the log, so recovery replays
+    /// them), and the persisted counters are reduced by the buffered rows
+    /// that replay will re-count.
     pub fn snapshot(&self) -> Result<TableSnapshot> {
-        if self.buffered_points() > 0 {
+        let buffered = self.buffered_points();
+        let lenient = self.wal_table_id().is_some() && !self.config().strict_snapshot;
+        if buffered > 0 && !lenient {
             return Err(OdhError::Config(
                 "snapshot with unsealed ingest buffers; flush first".into(),
             ));
@@ -71,6 +92,18 @@ impl OdhTable {
         let mut sources: Vec<(u64, SourceClass)> =
             self.sources.read().iter().map(|(&id, m)| (id, m.class)).collect();
         sources.sort_unstable_by_key(|(id, _)| *id);
+        let mut stats = self.stats.snapshot();
+        if buffered > 0 {
+            let (records, points) = self.buffered_totals();
+            stats.records_ingested = stats.records_ingested.saturating_sub(records);
+            stats.points_ingested = stats.points_ingested.saturating_sub(points);
+        }
+        let mut sealed: Vec<(u64, u64)> =
+            self.sealed.lock().iter().map(|(&s, &l)| (s, l)).collect();
+        sealed.sort_unstable();
+        let mut mg_sealed: Vec<(u32, u64)> =
+            self.mg_sealed.lock().iter().map(|(&g, &l)| (g, l)).collect();
+        mg_sealed.sort_unstable();
         Ok(TableSnapshot {
             config: TableConfigSnapshot::from(self.config()),
             sources,
@@ -78,7 +111,10 @@ impl OdhTable {
             irts: self.irts.snapshot(),
             mg: self.mg.read().snapshot(),
             reorganized: self.reorganized.load(std::sync::atomic::Ordering::Acquire),
-            stats: self.stats.snapshot(),
+            stats,
+            sealed: Some(sealed),
+            mg_sealed: Some(mg_sealed),
+            wal_table_id: self.wal_table_id(),
         })
     }
 
@@ -101,6 +137,14 @@ impl OdhTable {
         );
         for (id, class) in &snap.sources {
             table.register_source(odh_types::SourceId(*id), *class)?;
+        }
+        // Restore the sealed low-water marks so WAL replay stays idempotent
+        // after re-attaching the log. (register_source above never logs:
+        // the WAL is only bound after restore.)
+        table.sealed.lock().extend(snap.sealed.iter().flatten().copied());
+        table.mg_sealed.lock().extend(snap.mg_sealed.iter().flatten().copied());
+        if let Some(tid) = snap.wal_table_id {
+            let _ = table.restored_wal_table_id.set(tid);
         }
         Ok(table)
     }

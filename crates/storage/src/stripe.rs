@@ -31,10 +31,12 @@ use std::sync::Arc;
 /// `writers / SHARD_COUNT`.
 pub const SHARD_COUNT: usize = 16;
 
-/// Rows drained from one per-source buffer: `(timestamps, cols[tag][row])`.
-pub type DrainedRows = (Vec<i64>, Vec<Vec<Option<f64>>>);
-/// Rows drained from one MG buffer: `(timestamps, ids, cols[tag][row])`.
-pub type DrainedMgRows = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>);
+/// Rows drained from one per-source buffer:
+/// `(timestamps, cols[tag][row], last_lsn)`.
+pub type DrainedRows = (Vec<i64>, Vec<Vec<Option<f64>>>, u64);
+/// Rows drained from one MG buffer:
+/// `(timestamps, ids, cols[tag][row], last_lsn)`.
+pub type DrainedMgRows = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64);
 
 /// The open ingest buffers of one table, striped across independent locks.
 pub struct StripedBuffers {
@@ -95,6 +97,52 @@ impl StripedBuffers {
         n as u64
     }
 
+    /// Rows and non-NULL points currently sitting in unsealed buffers —
+    /// what a lenient checkpoint subtracts from the persisted statistics
+    /// (the WAL replay re-counts exactly these rows).
+    pub fn buffered_totals(&self) -> (u64, u64) {
+        let (mut records, mut points) = (0u64, 0u64);
+        let mut tally_cols = |len: usize, cols: &[Vec<Option<f64>>]| {
+            records += len as u64;
+            points +=
+                cols.iter().map(|c| c.iter().filter(|v| v.is_some()).count() as u64).sum::<u64>();
+        };
+        for shard in &self.source {
+            for b in self.lock_counted(shard).values() {
+                tally_cols(b.len(), &b.cols);
+            }
+        }
+        for shard in &self.mg {
+            for b in self.lock_counted(shard).values() {
+                tally_cols(b.len(), &b.cols);
+            }
+        }
+        (records, points)
+    }
+
+    /// Smallest `first_lsn` across all non-empty buffers — one past the
+    /// checkpoint's safe truncation point. `None` when everything is
+    /// sealed.
+    pub fn min_first_lsn(&self) -> Option<u64> {
+        let mut min: Option<u64> = None;
+        let mut note = |is_empty: bool, first: u64| {
+            if !is_empty && first > 0 {
+                min = Some(min.map_or(first, |m| m.min(first)));
+            }
+        };
+        for shard in &self.source {
+            for b in self.lock_counted(shard).values() {
+                note(b.is_empty(), b.first_lsn);
+            }
+        }
+        for shard in &self.mg {
+            for b in self.lock_counted(shard).values() {
+                note(b.is_empty(), b.first_lsn);
+            }
+        }
+        min
+    }
+
     /// Take every non-empty per-source buffer (flush). Shards are drained
     /// one at a time; each lock is held only for the take.
     pub fn drain_sources(&self) -> Vec<(u64, DrainedRows)> {
@@ -148,12 +196,19 @@ mod tests {
         let s = StripedBuffers::new(Arc::new(ConcurrencyStats::default()));
         for id in 0..100u64 {
             let mut g = s.lock_source(id);
-            g.entry(id).or_insert_with(|| SourceBuffer::new(1, 4)).push(id as i64, &[Some(1.0)]);
+            g.entry(id).or_insert_with(|| SourceBuffer::new(1, 4)).push(
+                id as i64,
+                &[Some(1.0)],
+                id + 1,
+            );
         }
         assert_eq!(s.points(), 100);
+        assert_eq!(s.buffered_totals(), (100, 100));
+        assert_eq!(s.min_first_lsn(), Some(1));
         let drained = s.drain_sources();
         assert_eq!(drained.len(), 100);
         assert_eq!(s.points(), 0);
+        assert_eq!(s.min_first_lsn(), None);
         let locks = s.concurrency().snapshot();
         assert!(locks.shard_locks >= 100);
     }

@@ -13,6 +13,7 @@ use crate::container::Container;
 use crate::select::{historical_structure, ingestion_structure, Structure};
 use crate::stats::{MeterIoHook, StorageStats};
 use crate::stripe::StripedBuffers;
+use crate::wal::Wal;
 use odh_btree::KeyBuf;
 use odh_compress::column::Policy;
 use odh_pager::pool::BufferPool;
@@ -34,11 +35,21 @@ pub struct TableConfig {
     /// Sources per Mixed-Grouping group (contiguous id blocks — meters in
     /// one feeder area report together).
     pub mg_group_size: u64,
+    /// Refuse [`OdhTable::snapshot`] while ingest buffers hold unsealed
+    /// points, even when a WAL could replay them. The pre-WAL behaviour,
+    /// for deployments that checkpoint without a log.
+    pub strict_snapshot: bool,
 }
 
 impl TableConfig {
     pub fn new(schema: SchemaType) -> TableConfig {
-        TableConfig { schema, batch_size: 256, policy: Policy::Lossless, mg_group_size: 1000 }
+        TableConfig {
+            schema,
+            batch_size: 256,
+            policy: Policy::Lossless,
+            mg_group_size: 1000,
+            strict_snapshot: false,
+        }
     }
 
     pub fn with_batch_size(mut self, b: usize) -> TableConfig {
@@ -55,6 +66,11 @@ impl TableConfig {
     pub fn with_mg_group_size(mut self, g: u64) -> TableConfig {
         assert!(g >= 1);
         self.mg_group_size = g;
+        self
+    }
+
+    pub fn with_strict_snapshot(mut self, strict: bool) -> TableConfig {
+        self.strict_snapshot = strict;
         self
     }
 }
@@ -91,6 +107,21 @@ pub struct OdhTable {
     /// consult the per-source containers for MG sources.
     pub(crate) reorganized: std::sync::atomic::AtomicBool,
     pub(crate) stats: StorageStats,
+    /// Write-ahead log binding, set once by [`OdhTable::attach_wal`].
+    wal: std::sync::OnceLock<WalBinding>,
+    /// Per-source / per-MG-group sealed low-water marks: the highest WAL
+    /// LSN whose row has been sealed into a container. Recovery skips
+    /// replayed frames at or below these marks — the idempotence guard.
+    pub(crate) sealed: parking_lot::Mutex<HashMap<u64, u64>>,
+    pub(crate) mg_sealed: parking_lot::Mutex<HashMap<u32, u64>>,
+    /// The WAL table id recorded in the snapshot this table was restored
+    /// from, if any — recovery re-attaches the log under the same id.
+    pub(crate) restored_wal_table_id: std::sync::OnceLock<u16>,
+}
+
+struct WalBinding {
+    wal: Arc<Wal>,
+    table_id: u16,
 }
 
 impl OdhTable {
@@ -108,6 +139,10 @@ impl OdhTable {
             buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
             reorganized: std::sync::atomic::AtomicBool::new(false),
             stats: StorageStats::new(),
+            wal: std::sync::OnceLock::new(),
+            sealed: parking_lot::Mutex::new(HashMap::new()),
+            mg_sealed: parking_lot::Mutex::new(HashMap::new()),
+            restored_wal_table_id: std::sync::OnceLock::new(),
             cfg,
             pool,
             meter,
@@ -134,10 +169,42 @@ impl OdhTable {
             buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
             reorganized: std::sync::atomic::AtomicBool::new(reorganized),
             stats,
+            wal: std::sync::OnceLock::new(),
+            sealed: parking_lot::Mutex::new(HashMap::new()),
+            mg_sealed: parking_lot::Mutex::new(HashMap::new()),
+            restored_wal_table_id: std::sync::OnceLock::new(),
             cfg,
             pool,
             meter,
         }
+    }
+
+    /// The WAL table id this table was checkpointed under, for re-attaching
+    /// the log after a restore. `None` for fresh or WAL-less tables.
+    pub fn restored_wal_table_id(&self) -> Option<u16> {
+        self.restored_wal_table_id.get().copied()
+    }
+
+    /// Bind this table to the server's WAL under `table_id`. `announce`
+    /// appends a table-definition frame (table creation); recovery re-binds
+    /// without announcing (the definition is already in the log or the
+    /// catalog). May be called at most once.
+    pub fn attach_wal(&self, wal: Arc<Wal>, table_id: u16, announce: bool) -> Result<()> {
+        if announce {
+            wal.append_table_def(table_id, &crate::snapshot::TableConfigSnapshot::from(&self.cfg))?;
+        }
+        self.wal
+            .set(WalBinding { wal, table_id })
+            .map_err(|_| OdhError::Config("table already has a WAL attached".into()))
+    }
+
+    /// The WAL table id, when a WAL is attached.
+    pub fn wal_table_id(&self) -> Option<u16> {
+        self.wal.get().map(|b| b.table_id)
+    }
+
+    fn wal_binding(&self) -> Option<&WalBinding> {
+        self.wal.get()
     }
 
     /// Points currently sitting in unsealed ingest buffers.
@@ -176,6 +243,12 @@ impl OdhTable {
         if g.contains_key(&id.0) {
             return Err(OdhError::Config(format!("{id} already registered")));
         }
+        // Log before inserting, under the registry lock: a registration is
+        // only acknowledged once its frame is in the WAL stream, and every
+        // point of this source is appended strictly after it.
+        if let Some(b) = self.wal_binding() {
+            b.wal.append_source(b.table_id, id, &class)?;
+        }
         let meta = SourceMeta {
             class,
             ingest: ingestion_structure(class),
@@ -183,6 +256,17 @@ impl OdhTable {
         };
         g.insert(id.0, meta);
         Ok(())
+    }
+
+    /// Re-register a source during recovery without re-logging it (its
+    /// frame is already in the WAL or the catalog). Idempotent.
+    pub fn adopt_source(&self, id: SourceId, class: SourceClass) {
+        let mut g = self.sources.write();
+        g.entry(id.0).or_insert_with(|| SourceMeta {
+            class,
+            ingest: ingestion_structure(class),
+            group: GroupId((id.0 / self.cfg.mg_group_size) as u32),
+        });
     }
 
     pub fn source_count(&self) -> usize {
@@ -200,8 +284,22 @@ impl OdhTable {
         v
     }
 
-    /// Ingest one operational record.
+    /// Ingest one operational record. With a WAL attached the record is
+    /// appended to the log (write-ahead) before it enters the buffer;
+    /// durability is acknowledged at the next [`Wal::sync`].
     pub fn put(&self, record: &Record) -> Result<()> {
+        self.put_at(record, None).map(|_| ())
+    }
+
+    /// Replay one recovered WAL frame: re-buffers the point under its
+    /// original LSN without re-logging it, and skips frames whose row was
+    /// already sealed into a container before the checkpoint (idempotent
+    /// replay). Returns whether the point was applied.
+    pub fn replay_put(&self, record: &Record, lsn: u64) -> Result<bool> {
+        self.put_at(record, Some(lsn))
+    }
+
+    fn put_at(&self, record: &Record, replay: Option<u64>) -> Result<bool> {
         self.cfg.schema.check_arity(record.values.len())?;
         let meta = *self
             .sources
@@ -212,53 +310,120 @@ impl OdhTable {
         match meta.ingest {
             Structure::Rts | Structure::Irts => {
                 let mut g = self.buffers.lock_source(record.source.0);
+                // WAL append happens *inside* the shard lock: per-source
+                // LSN order then equals buffer order, which is what lets
+                // recovery reproduce arrival order exactly.
+                let lsn = match replay {
+                    Some(l) => {
+                        if l <= self.sealed.lock().get(&record.source.0).copied().unwrap_or(0) {
+                            return Ok(false);
+                        }
+                        l
+                    }
+                    None => match self.wal_binding() {
+                        Some(b) => b.wal.append_point(b.table_id, record)?,
+                        None => 0,
+                    },
+                };
                 let buf = g.entry(record.source.0).or_insert_with(|| {
                     SourceBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size)
                 });
-                buf.push(record.ts.micros(), &record.values);
+                buf.push(record.ts.micros(), &record.values, lsn);
                 if buf.len() >= self.cfg.batch_size {
-                    let (ts, cols) = buf.take();
+                    let (ts, cols, last_lsn) = buf.take();
                     // Seal outside the shard lock: blob encoding is the
                     // expensive part, and other sources on this shard can
                     // keep ingesting meanwhile.
                     drop(g);
-                    self.seal_source_batch(record.source, meta, ts, cols)?;
+                    self.seal_source_batch(record.source, meta, ts, cols, last_lsn)?;
                 }
             }
             Structure::Mg => {
                 let mut g = self.buffers.lock_mg(meta.group.0);
+                let lsn = match replay {
+                    Some(l) => {
+                        if l <= self.mg_sealed.lock().get(&meta.group.0).copied().unwrap_or(0) {
+                            return Ok(false);
+                        }
+                        l
+                    }
+                    None => match self.wal_binding() {
+                        Some(b) => b.wal.append_point(b.table_id, record)?,
+                        None => 0,
+                    },
+                };
                 let buf = g.entry(meta.group.0).or_insert_with(|| {
                     MgBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size)
                 });
-                buf.push(record.source, record.ts.micros(), &record.values);
+                buf.push(record.source, record.ts.micros(), &record.values, lsn);
                 if buf.len() >= self.cfg.batch_size {
-                    let (ts, ids, cols) = buf.take();
+                    let (ts, ids, cols, last_lsn) = buf.take();
                     drop(g);
-                    self.seal_mg_batch(meta.group, ts, ids, cols)?;
+                    self.seal_mg_batch(meta.group, ts, ids, cols, last_lsn)?;
                 }
             }
         }
         self.stats.note_put(record.ts.micros(), record.data_points() as u64);
-        Ok(())
+        Ok(true)
     }
 
     /// Seal every open buffer into batches (end of ingest, or checkpoints).
     /// Shards are drained one at a time; sealing happens outside any shard
     /// lock, so ingest to untouched shards proceeds during a flush.
+    ///
+    /// Without a WAL this also write-backs dirty pages. With one, the pool
+    /// is deliberately *not* flushed: the on-disk image must keep matching
+    /// the last checkpoint (see [`odh_pager::pool::BufferPool::set_no_steal`]),
+    /// and sealed batches remain recoverable via the log until the next
+    /// checkpoint truncates it.
     pub fn flush(&self) -> Result<()> {
-        for (id, (ts, cols)) in self.buffers.drain_sources() {
+        for (id, (ts, cols, last_lsn)) in self.buffers.drain_sources() {
             let meta = *self.sources.read().get(&id).unwrap();
-            self.seal_source_batch(SourceId(id), meta, ts, cols)?;
+            self.seal_source_batch(SourceId(id), meta, ts, cols, last_lsn)?;
         }
-        for (gid, (ts, ids, cols)) in self.buffers.drain_mg() {
-            self.seal_mg_batch(GroupId(gid), ts, ids, cols)?;
+        for (gid, (ts, ids, cols, last_lsn)) in self.buffers.drain_mg() {
+            self.seal_mg_batch(GroupId(gid), ts, ids, cols, last_lsn)?;
+        }
+        if self.wal_binding().is_some() {
+            return Ok(());
         }
         self.pool.flush_all()
     }
 
+    /// Smallest WAL LSN still sitting in an open ingest buffer, if any —
+    /// the bound on how far a checkpoint may truncate the log.
+    pub fn min_open_lsn(&self) -> Option<u64> {
+        self.buffers.min_first_lsn()
+    }
+
+    /// Rows and non-NULL points in open buffers (for lenient snapshots).
+    pub(crate) fn buffered_totals(&self) -> (u64, u64) {
+        self.buffers.buffered_totals()
+    }
+
     /// Seal a per-source buffer into RTS (splitting at interval breaks) or
-    /// IRTS batches.
+    /// IRTS batches. `last_lsn` is the WAL LSN of the newest row being
+    /// sealed (0 without a WAL): once the batch lands in its container the
+    /// source's sealed low-water mark advances so recovery never replays
+    /// these rows a second time.
     fn seal_source_batch(
+        &self,
+        source: SourceId,
+        meta: SourceMeta,
+        ts: Vec<i64>,
+        cols: Vec<Vec<Option<f64>>>,
+        last_lsn: u64,
+    ) -> Result<()> {
+        self.seal_source_rows(source, meta, ts, cols)?;
+        if last_lsn > 0 {
+            let mut sealed = self.sealed.lock();
+            let e = sealed.entry(source.0).or_insert(0);
+            *e = (*e).max(last_lsn);
+        }
+        Ok(())
+    }
+
+    fn seal_source_rows(
         &self,
         source: SourceId,
         meta: SourceMeta,
@@ -324,6 +489,7 @@ impl OdhTable {
         mut ts: Vec<i64>,
         mut ids: Vec<SourceId>,
         mut cols: Vec<Vec<Option<f64>>>,
+        last_lsn: u64,
     ) -> Result<()> {
         if ts.is_empty() {
             return Ok(());
@@ -340,7 +506,13 @@ impl OdhTable {
         // and is drained, or starts after and goes to the fresh one).
         let mg = self.mg.read();
         self.charge_batch_write(&mg);
-        mg.insert(&batch.key(), &batch.serialize(), span)
+        mg.insert(&batch.key(), &batch.serialize(), span)?;
+        if last_lsn > 0 {
+            let mut sealed = self.mg_sealed.lock();
+            let e = sealed.entry(group.0).or_insert(0);
+            *e = (*e).max(last_lsn);
+        }
+        Ok(())
     }
 
     fn note_batch(&self, blob: &ValueBlob, cols: &[Vec<Option<f64>>]) {

@@ -1,0 +1,674 @@
+//! Per-server write-ahead log.
+//!
+//! The paper's insert path is explicitly non-transactional: points sit in
+//! ingest buffers until `b` of them seal into a batch, and a crash loses
+//! the open tail. The WAL closes that hole without giving up the
+//! striped-parallel ingest of the previous PR:
+//!
+//! - **Frames.** Every entry is `len:u32 | crc32:u32 | payload`, where the
+//!   payload is `lsn:u64 | kind:u8 | body`. LSNs are assigned from one
+//!   atomic counter, so they are globally monotone; the CRC covers the
+//!   whole payload. Three kinds exist: point appends, table definitions,
+//!   and source registrations — enough to rebuild a server from an empty
+//!   disk image.
+//! - **Group commit per stripe.** Appends encode into one of
+//!   [`WAL_STRIPES`] staging buffers selected by the same multiplicative
+//!   hash as the ingest shards, so the WAL adds no cross-source lock
+//!   contention. A stripe flushes to the [`LogStore`] when it exceeds the
+//!   group-commit threshold; [`Wal::sync`] flushes every stripe and
+//!   fsyncs, advancing the *durable LSN* — the acknowledgement boundary.
+//! - **Ordering.** The table holds the ingest-shard lock across
+//!   `append → buffer push`, and a source maps to exactly one stripe, so
+//!   per-source LSN order equals buffer order equals arrival order. File
+//!   order is *not* LSN order (stripes flush independently); recovery
+//!   sorts frames by LSN before replay.
+//! - **Recovery.** [`Wal::open`] scans the log once, stops at the first
+//!   torn or corrupt frame, truncates the log back to the last good byte,
+//!   and hands the parsed frames to the server for idempotent replay.
+//! - **Checkpoints.** [`Wal::truncate_through`] drops every frame at or
+//!   below the checkpoint's low-water-mark LSN and keeps the tail.
+
+use crate::snapshot::TableConfigSnapshot;
+use odh_pager::log::LogStore;
+use odh_sim::ResourceMeter;
+use odh_types::{OdhError, Record, Result, SourceClass, SourceId, Timestamp};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Staging stripes; matches `stripe::SHARD_COUNT` so a source's WAL stripe
+/// is as contention-free as its ingest shard.
+pub const WAL_STRIPES: usize = 16;
+
+/// Flush a stripe to the log once its staging buffer exceeds this many
+/// bytes (group commit).
+pub const GROUP_COMMIT_BYTES: usize = 64 * 1024;
+
+/// Upper bound on one frame; larger length prefixes mean garbage.
+const MAX_FRAME: usize = 1 << 20;
+
+const KIND_POINT: u8 = 1;
+const KIND_TABLE_DEF: u8 = 2;
+const KIND_SOURCE: u8 = 3;
+
+/// One recovered WAL entry.
+#[derive(Debug, Clone)]
+pub enum WalEntry {
+    Point { table: u16, record: Record },
+    TableDef { table: u16, config: TableConfigSnapshot },
+    Source { table: u16, source: SourceId, class: SourceClass },
+}
+
+/// A parsed frame: the entry plus its LSN.
+#[derive(Debug, Clone)]
+pub struct WalFrame {
+    pub lsn: u64,
+    pub entry: WalEntry,
+}
+
+/// What [`Wal::open`] found.
+pub struct WalRecovery {
+    /// All valid frames, sorted by LSN (replay order).
+    pub frames: Vec<WalFrame>,
+    /// Bytes cut off the tail (torn/corrupt frames).
+    pub truncated_bytes: u64,
+    /// Human-readable note when the tail was truncated.
+    pub warning: Option<String>,
+}
+
+/// Aggregate WAL counters (for benches and the resource model).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct WalStats {
+    pub appends: u64,
+    pub bytes_appended: u64,
+    pub group_commits: u64,
+    pub syncs: u64,
+}
+
+/// One staging stripe: the encode buffer plus its append counters. The
+/// counters live under the stripe lock (already held on every append)
+/// instead of shared atomics, so hot-path appends touch no cross-stripe
+/// cache line.
+#[derive(Default)]
+struct Stripe {
+    buf: Vec<u8>,
+    appends: u64,
+    bytes_appended: u64,
+}
+
+/// The write-ahead log of one data server.
+pub struct Wal {
+    log: Arc<dyn LogStore>,
+    meter: Arc<ResourceMeter>,
+    /// Next LSN to assign (LSNs start at 1).
+    next_lsn: AtomicU64,
+    /// Highest LSN known durable (flushed + synced).
+    durable_lsn: AtomicU64,
+    stripes: Vec<Mutex<Stripe>>,
+    group_commit_bytes: usize,
+    group_commits: AtomicU64,
+    syncs: AtomicU64,
+}
+
+#[inline]
+fn stripe_of(key: u64) -> usize {
+    (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize & (WAL_STRIPES - 1)
+}
+
+impl Wal {
+    /// Start a WAL over an empty (or to-be-discarded) log.
+    pub fn create(log: Arc<dyn LogStore>, meter: Arc<ResourceMeter>) -> Result<Arc<Wal>> {
+        log.set_len(0)?;
+        Ok(Arc::new(Wal::with_state(log, meter, 1, 0)))
+    }
+
+    /// Reopen an existing log: parse every frame, truncate a torn or
+    /// corrupt tail, and return the surviving frames sorted by LSN.
+    pub fn open(
+        log: Arc<dyn LogStore>,
+        meter: Arc<ResourceMeter>,
+    ) -> Result<(Arc<Wal>, WalRecovery)> {
+        let bytes = log.read_all()?;
+        let (mut frames, good_len, reason) = parse_frames(&bytes);
+        let truncated = (bytes.len() - good_len) as u64;
+        let warning = if truncated > 0 {
+            let w = format!(
+                "wal: truncated {truncated} byte(s) of torn/corrupt tail at offset {good_len} ({})",
+                reason.unwrap_or_default()
+            );
+            eprintln!("warning: {w}");
+            log.set_len(good_len as u64)?;
+            Some(w)
+        } else {
+            None
+        };
+        frames.sort_by_key(|f| f.lsn);
+        let max_lsn = frames.last().map(|f| f.lsn).unwrap_or(0);
+        let wal = Arc::new(Wal::with_state(log, meter, max_lsn + 1, max_lsn));
+        Ok((wal, WalRecovery { frames, truncated_bytes: truncated, warning }))
+    }
+
+    fn with_state(
+        log: Arc<dyn LogStore>,
+        meter: Arc<ResourceMeter>,
+        next_lsn: u64,
+        durable: u64,
+    ) -> Wal {
+        Wal {
+            log,
+            meter,
+            next_lsn: AtomicU64::new(next_lsn),
+            durable_lsn: AtomicU64::new(durable),
+            stripes: (0..WAL_STRIPES).map(|_| Mutex::new(Stripe::default())).collect(),
+            group_commit_bytes: GROUP_COMMIT_BYTES,
+            group_commits: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// Append one point. The caller must hold the ingest-shard lock of
+    /// `record.source` across this call and the buffer push, which makes
+    /// per-source LSN order identical to buffer order.
+    pub fn append_point(&self, table: u16, record: &Record) -> Result<u64> {
+        self.append(stripe_of(record.source.0), KIND_POINT, |buf| {
+            buf.extend_from_slice(&table.to_le_bytes());
+            buf.extend_from_slice(&record.source.0.to_le_bytes());
+            buf.extend_from_slice(&record.ts.micros().to_le_bytes());
+            buf.extend_from_slice(&(record.values.len() as u16).to_le_bytes());
+            for chunk in record.values.chunks(8) {
+                let mut bm = 0u8;
+                for (i, v) in chunk.iter().enumerate() {
+                    if v.is_some() {
+                        bm |= 1 << i;
+                    }
+                }
+                buf.push(bm);
+            }
+            for v in record.values.iter().flatten() {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        })
+    }
+
+    /// Append a table definition (so a server can be rebuilt from an
+    /// empty disk image).
+    pub fn append_table_def(&self, table: u16, config: &TableConfigSnapshot) -> Result<u64> {
+        let json = serde_json::to_vec(config)
+            .map_err(|e| OdhError::Corrupt(format!("wal: encode table def: {e}")))?;
+        self.append(0, KIND_TABLE_DEF, |buf| {
+            buf.extend_from_slice(&table.to_le_bytes());
+            buf.extend_from_slice(&json);
+        })
+    }
+
+    /// Append a source registration.
+    pub fn append_source(&self, table: u16, source: SourceId, class: &SourceClass) -> Result<u64> {
+        let json = serde_json::to_vec(class)
+            .map_err(|e| OdhError::Corrupt(format!("wal: encode source class: {e}")))?;
+        self.append(stripe_of(source.0), KIND_SOURCE, |buf| {
+            buf.extend_from_slice(&table.to_le_bytes());
+            buf.extend_from_slice(&source.0.to_le_bytes());
+            buf.extend_from_slice(&json);
+        })
+    }
+
+    /// The shared frame writer: encodes `len | crc | lsn | kind | body`
+    /// **directly into the stripe's staging buffer** — the body writer
+    /// appends in place, then the length and CRC placeholders are patched.
+    /// No temporary allocation happens on the append path.
+    fn append(
+        &self,
+        stripe: usize,
+        kind: u8,
+        write_body: impl FnOnce(&mut Vec<u8>),
+    ) -> Result<u64> {
+        let mut s = self.stripes[stripe].lock();
+        // LSN assignment and encoding are atomic under the stripe lock, so
+        // within a stripe (hence within a source) file order is LSN order.
+        let lsn = self.next_lsn.fetch_add(1, Ordering::AcqRel);
+        let frame_start = s.buf.len();
+        s.buf.extend_from_slice(&[0u8; 8]); // len + crc placeholders
+        let payload_start = s.buf.len();
+        s.buf.extend_from_slice(&lsn.to_le_bytes());
+        s.buf.push(kind);
+        write_body(&mut s.buf);
+        let payload_len = s.buf.len() - payload_start;
+        if payload_len > MAX_FRAME {
+            s.buf.truncate(frame_start);
+            return Err(OdhError::Config(format!(
+                "wal: frame of {payload_len} bytes exceeds limit"
+            )));
+        }
+        let crc = crc32(&s.buf[payload_start..]);
+        s.buf[frame_start..frame_start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+        s.buf[frame_start + 4..frame_start + 8].copy_from_slice(&crc.to_le_bytes());
+        s.appends += 1;
+        s.bytes_appended += (8 + payload_len) as u64;
+        if s.buf.len() >= self.group_commit_bytes {
+            self.flush_stripe(&mut s)?;
+        }
+        Ok(lsn)
+    }
+
+    fn flush_stripe(&self, s: &mut MutexGuard<'_, Stripe>) -> Result<()> {
+        if s.buf.is_empty() {
+            return Ok(());
+        }
+        self.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.meter.wal_write(s.buf.len());
+        let r = self.log.append(&s.buf);
+        s.buf.clear();
+        r
+    }
+
+    /// Flush every stripe and fsync the log. Returns the durable LSN: every
+    /// record appended before this call is now crash-safe (the group-commit
+    /// acknowledgement point).
+    pub fn sync(&self) -> Result<u64> {
+        let target = self.next_lsn.load(Ordering::Acquire) - 1;
+        for stripe in &self.stripes {
+            self.flush_stripe(&mut stripe.lock())?;
+        }
+        self.log.sync()?;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.meter.wal_sync();
+        self.durable_lsn.fetch_max(target, Ordering::AcqRel);
+        Ok(target)
+    }
+
+    /// Highest LSN assigned so far (0 when none).
+    pub fn max_lsn(&self) -> u64 {
+        self.next_lsn.load(Ordering::Acquire) - 1
+    }
+
+    /// Highest LSN known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.durable_lsn.load(Ordering::Acquire)
+    }
+
+    /// Drop every frame with `lsn <= low_water` and keep the tail — the
+    /// checkpoint's log truncation. Appends are blocked for the duration
+    /// (all stripe locks are held). The rewrite is not atomic; a crash in
+    /// the middle can lose tail frames, which is why the server only calls
+    /// this *after* the checkpoint image (covering those frames) is
+    /// durable, and why the common offline-checkpoint case (`low_water ==
+    /// max_lsn`) reduces to a single truncate-to-zero.
+    pub fn truncate_through(&self, low_water: u64) -> Result<()> {
+        let mut guards: Vec<MutexGuard<'_, Stripe>> =
+            self.stripes.iter().map(|s| s.lock()).collect();
+        for g in guards.iter_mut() {
+            self.flush_stripe(g)?;
+        }
+        let bytes = self.log.read_all()?;
+        let (frames, good_len, _) = parse_frames_raw(&bytes);
+        debug_assert_eq!(good_len, bytes.len(), "wal must be fully valid before truncation");
+        let mut kept = Vec::new();
+        for (frame, range) in frames {
+            if frame.lsn > low_water {
+                kept.extend_from_slice(&bytes[range]);
+            }
+        }
+        self.log.set_len(0)?;
+        if !kept.is_empty() {
+            self.meter.wal_write(kept.len());
+            self.log.append(&kept)?;
+        }
+        self.log.sync()?;
+        Ok(())
+    }
+
+    /// Current log size in bytes (excluding staged, unflushed entries).
+    pub fn log_bytes(&self) -> u64 {
+        self.log.len()
+    }
+
+    pub fn stats(&self) -> WalStats {
+        let (mut appends, mut bytes) = (0u64, 0u64);
+        for s in &self.stripes {
+            let s = s.lock();
+            appends += s.appends;
+            bytes += s.bytes_appended;
+        }
+        WalStats {
+            appends,
+            bytes_appended: bytes,
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A decoded frame together with the byte range it occupied in the log.
+type RangedFrame = (WalFrame, std::ops::Range<usize>);
+
+/// Parse frames with their byte ranges; returns `(frames, good_len,
+/// reason)` where `good_len` is the offset of the first invalid byte.
+fn parse_frames_raw(bytes: &[u8]) -> (Vec<RangedFrame>, usize, Option<String>) {
+    let mut frames = Vec::new();
+    let mut off = 0usize;
+    let reason;
+    loop {
+        if off + 8 > bytes.len() {
+            reason = if off == bytes.len() { None } else { Some("partial frame header".into()) };
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        if !(9..=MAX_FRAME).contains(&len) {
+            reason = Some(format!("implausible frame length {len}"));
+            break;
+        }
+        if off + 8 + len > bytes.len() {
+            reason = Some("partial frame payload".into());
+            break;
+        }
+        let payload = &bytes[off + 8..off + 8 + len];
+        if crc32(payload) != crc {
+            reason = Some("crc mismatch".into());
+            break;
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        match decode_entry(payload[8], &payload[9..]) {
+            Ok(entry) => frames.push((WalFrame { lsn, entry }, off..off + 8 + len)),
+            Err(e) => {
+                reason = Some(format!("undecodable frame: {e}"));
+                break;
+            }
+        }
+        off += 8 + len;
+    }
+    (frames, off, reason)
+}
+
+fn parse_frames(bytes: &[u8]) -> (Vec<WalFrame>, usize, Option<String>) {
+    let (raw, good, reason) = parse_frames_raw(bytes);
+    (raw.into_iter().map(|(f, _)| f).collect(), good, reason)
+}
+
+fn decode_entry(kind: u8, body: &[u8]) -> Result<WalEntry> {
+    let short = || OdhError::Corrupt("wal: truncated frame body".into());
+    match kind {
+        KIND_POINT => {
+            if body.len() < 20 {
+                return Err(short());
+            }
+            let table = u16::from_le_bytes(body[0..2].try_into().unwrap());
+            let source = u64::from_le_bytes(body[2..10].try_into().unwrap());
+            let ts = i64::from_le_bytes(body[10..18].try_into().unwrap());
+            let n = u16::from_le_bytes(body[18..20].try_into().unwrap()) as usize;
+            let bm_len = n.div_ceil(8);
+            if body.len() < 20 + bm_len {
+                return Err(short());
+            }
+            let bitmap = &body[20..20 + bm_len];
+            let mut values = Vec::with_capacity(n);
+            let mut voff = 20 + bm_len;
+            for i in 0..n {
+                if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                    if body.len() < voff + 8 {
+                        return Err(short());
+                    }
+                    values.push(Some(f64::from_le_bytes(body[voff..voff + 8].try_into().unwrap())));
+                    voff += 8;
+                } else {
+                    values.push(None);
+                }
+            }
+            Ok(WalEntry::Point {
+                table,
+                record: Record::new(SourceId(source), Timestamp(ts), values),
+            })
+        }
+        KIND_TABLE_DEF => {
+            if body.len() < 2 {
+                return Err(short());
+            }
+            let table = u16::from_le_bytes(body[0..2].try_into().unwrap());
+            let config: TableConfigSnapshot = serde_json::from_slice(&body[2..])
+                .map_err(|e| OdhError::Corrupt(format!("wal: table def: {e}")))?;
+            Ok(WalEntry::TableDef { table, config })
+        }
+        KIND_SOURCE => {
+            if body.len() < 10 {
+                return Err(short());
+            }
+            let table = u16::from_le_bytes(body[0..2].try_into().unwrap());
+            let source = u64::from_le_bytes(body[2..10].try_into().unwrap());
+            let class: SourceClass = serde_json::from_slice(&body[10..])
+                .map_err(|e| OdhError::Corrupt(format!("wal: source class: {e}")))?;
+            Ok(WalEntry::Source { table, source: SourceId(source), class })
+        }
+        k => Err(OdhError::Corrupt(format!("wal: unknown frame kind {k}"))),
+    }
+}
+
+/// Slicing-by-8 lookup tables for CRC-32 (IEEE 802.3), built at compile
+/// time. `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k]`
+/// advances a byte through `k` further zero bytes, letting the loop fold
+/// 8 input bytes per iteration with independent lookups (the
+/// byte-at-a-time serial dependency is what made CRC the hottest part of
+/// the WAL append path).
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+/// CRC-32 (IEEE 802.3), slicing-by-8; the standard reflected polynomial.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().unwrap()) ^ c;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().unwrap());
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLES[0][((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableConfig;
+    use odh_pager::log::MemLog;
+    use odh_types::SchemaType;
+
+    fn mem_wal() -> (Arc<MemLog>, Arc<Wal>) {
+        let log = Arc::new(MemLog::new());
+        let wal = Wal::create(log.clone(), ResourceMeter::unmetered()).unwrap();
+        (log, wal)
+    }
+
+    fn point(src: u64, ts: i64) -> Record {
+        Record::new(SourceId(src), Timestamp(ts), vec![Some(ts as f64), None, Some(-1.0)])
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip_with_monotone_lsns() {
+        let (log, wal) = mem_wal();
+        let cfg = TableConfigSnapshot::from(&TableConfig::new(SchemaType::new("m", ["a"])));
+        wal.append_table_def(3, &cfg).unwrap();
+        wal.append_source(3, SourceId(7), &SourceClass::irregular_high()).unwrap();
+        for i in 0..10i64 {
+            wal.append_point(3, &point(7, i)).unwrap();
+        }
+        assert_eq!(wal.sync().unwrap(), 12);
+        assert_eq!(wal.durable_lsn(), 12);
+
+        let (wal2, rec) = Wal::open(log, ResourceMeter::unmetered()).unwrap();
+        assert_eq!(rec.frames.len(), 12);
+        assert!(rec.warning.is_none());
+        assert!(rec.frames.windows(2).all(|w| w[0].lsn < w[1].lsn));
+        assert_eq!(wal2.max_lsn(), 12);
+        match &rec.frames[0].entry {
+            WalEntry::TableDef { table, config } => {
+                assert_eq!(*table, 3);
+                assert_eq!(config.schema.name, "m");
+            }
+            e => panic!("expected table def, got {e:?}"),
+        }
+        match &rec.frames[5].entry {
+            WalEntry::Point { table, record } => {
+                assert_eq!(*table, 3);
+                assert_eq!(record.ts, Timestamp(3));
+                assert_eq!(record.values, vec![Some(3.0), None, Some(-1.0)]);
+            }
+            e => panic!("expected point, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn group_commit_batches_appends() {
+        let (log, wal) = mem_wal();
+        for i in 0..100i64 {
+            wal.append_point(0, &point(1, i)).unwrap();
+        }
+        // Nothing flushed yet (well under the threshold), one commit on sync.
+        assert_eq!(log.len(), 0);
+        wal.sync().unwrap();
+        let s = wal.stats();
+        assert_eq!(s.appends, 100);
+        assert_eq!(s.group_commits, 1);
+        assert_eq!(log.len(), s.bytes_appended);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_survivors_parse() {
+        let (log, wal) = mem_wal();
+        for i in 0..5i64 {
+            wal.append_point(0, &point(2, i)).unwrap();
+        }
+        wal.sync().unwrap();
+        let good = log.len();
+        // A torn frame: header promising more bytes than exist.
+        log.append(&[64, 0, 0, 0, 1, 2, 3, 4, 9, 9]).unwrap();
+        let (_, rec) = Wal::open(log.clone(), ResourceMeter::unmetered()).unwrap();
+        assert_eq!(rec.frames.len(), 5);
+        assert_eq!(rec.truncated_bytes, 10);
+        assert!(rec.warning.is_some());
+        assert_eq!(log.len(), good, "log physically truncated to last good frame");
+    }
+
+    #[test]
+    fn bit_flip_stops_parse_at_corrupt_frame() {
+        let (log, wal) = mem_wal();
+        for i in 0..8i64 {
+            wal.append_point(0, &point(3, i)).unwrap();
+        }
+        wal.sync().unwrap();
+        // Flip a bit in the 6th frame's payload; frames 1..=5 survive.
+        let frame_len = log.len() / 8;
+        log.flip_bit(5 * frame_len + 10);
+        let (_, rec) = Wal::open(log, ResourceMeter::unmetered()).unwrap();
+        assert_eq!(rec.frames.len(), 5);
+        assert!(rec.warning.unwrap().contains("crc"));
+    }
+
+    #[test]
+    fn truncate_through_keeps_tail_frames() {
+        let (log, wal) = mem_wal();
+        for i in 0..10i64 {
+            wal.append_point(0, &point(4, i)).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.truncate_through(7).unwrap();
+        let (_, rec) = Wal::open(log, ResourceMeter::unmetered()).unwrap();
+        let lsns: Vec<u64> = rec.frames.iter().map(|f| f.lsn).collect();
+        assert_eq!(lsns, vec![8, 9, 10]);
+        // New appends continue above the old maximum.
+        assert_eq!(wal.append_point(0, &point(4, 99)).unwrap(), 11);
+    }
+
+    #[test]
+    fn truncate_everything_empties_the_log() {
+        let (log, wal) = mem_wal();
+        for i in 0..10i64 {
+            wal.append_point(0, &point(4, i)).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.truncate_through(wal.max_lsn()).unwrap();
+        assert_eq!(log.len(), 0);
+    }
+
+    #[test]
+    fn sparse_and_empty_value_vectors_round_trip() {
+        let (log, wal) = mem_wal();
+        wal.append_point(0, &Record::new(SourceId(1), Timestamp(5), vec![None, None])).unwrap();
+        wal.append_point(0, &Record::new(SourceId(1), Timestamp(6), vec![])).unwrap();
+        wal.sync().unwrap();
+        let (_, rec) = Wal::open(log, ResourceMeter::unmetered()).unwrap();
+        match &rec.frames[0].entry {
+            WalEntry::Point { record, .. } => assert_eq!(record.values, vec![None, None]),
+            e => panic!("{e:?}"),
+        }
+        match &rec.frames[1].entry {
+            WalEntry::Point { record, .. } => assert!(record.values.is_empty()),
+            e => panic!("{e:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_appends_keep_per_source_lsn_order() {
+        let (_, wal) = mem_wal();
+        let mut seen: Vec<Vec<u64>> = vec![Vec::new(); 4];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4u64)
+                .map(|src| {
+                    let wal = &wal;
+                    s.spawn(move || {
+                        (0..200i64)
+                            .map(|i| wal.append_point(0, &point(src, i)).unwrap())
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                seen[i] = h.join().unwrap();
+            }
+        });
+        for lsns in &seen {
+            assert!(lsns.windows(2).all(|w| w[0] < w[1]), "per-source LSNs must be monotone");
+        }
+        let mut all: Vec<u64> = seen.concat();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800, "LSNs are globally unique");
+    }
+}

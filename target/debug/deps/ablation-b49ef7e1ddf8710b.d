@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b49ef7e1ddf8710b.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b49ef7e1ddf8710b: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_gate-3a270815463ba809.d: crates/bench/src/bin/bench_gate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_gate-3a270815463ba809.rmeta: crates/bench/src/bin/bench_gate.rs Cargo.toml
+
+crates/bench/src/bin/bench_gate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

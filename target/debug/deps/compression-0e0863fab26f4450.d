@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compression-0e0863fab26f4450.d: crates/bench/src/bin/compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompression-0e0863fab26f4450.rmeta: crates/bench/src/bin/compression.rs Cargo.toml
+
+crates/bench/src/bin/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

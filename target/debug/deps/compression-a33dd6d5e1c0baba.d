@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compression-a33dd6d5e1c0baba.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/debug/deps/compression-a33dd6d5e1c0baba: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compression-f248bc4e706bec27.d: crates/bench/src/bin/compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompression-f248bc4e706bec27.rmeta: crates/bench/src/bin/compression.rs Cargo.toml
+
+crates/bench/src/bin/compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

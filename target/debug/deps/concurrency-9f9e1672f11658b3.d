@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-9f9e1672f11658b3.d: tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-9f9e1672f11658b3.rmeta: tests/concurrency.rs Cargo.toml
+
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-d9a6cd50b6fd3fae.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-d9a6cd50b6fd3fae: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_recovery-817cc6b06fde8a05.d: tests/crash_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_recovery-817cc6b06fde8a05.rmeta: tests/crash_recovery.rs Cargo.toml
+
+tests/crash_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_recovery-c8002ebfc6b26103.d: tests/crash_recovery.rs
+
+/root/repo/target/debug/deps/crash_recovery-c8002ebfc6b26103: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-6152a684de84df4c.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-6152a684de84df4c: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cross_engine-e9820e379f2c6d6f.d: tests/cross_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcross_engine-e9820e379f2c6d6f.rmeta: tests/cross_engine.rs Cargo.toml
+
+tests/cross_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-afb20f8430efe3ae.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-afb20f8430efe3ae: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-8c1650228d16f462.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-8c1650228d16f462: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

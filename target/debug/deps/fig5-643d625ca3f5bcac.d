@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5-643d625ca3f5bcac.d: crates/bench/src/bin/fig5.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5-643d625ca3f5bcac.rmeta: crates/bench/src/bin/fig5.rs Cargo.toml
+
+crates/bench/src/bin/fig5.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-6565ed0c3be928b3.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-6565ed0c3be928b3: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-fdc181d2eb2dd28c.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-fdc181d2eb2dd28c: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-137693cf50e8f0f0.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-137693cf50e8f0f0: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-fb7e45789a97908d.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-fb7e45789a97908d.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/iotx-12df3fbc2ee97c7d.d: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+/root/repo/target/debug/deps/iotx-12df3fbc2ee97c7d: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+crates/iotx/src/lib.rs:
+crates/iotx/src/cases.rs:
+crates/iotx/src/csv.rs:
+crates/iotx/src/ld.rs:
+crates/iotx/src/sink.rs:
+crates/iotx/src/spectrum.rs:
+crates/iotx/src/td.rs:
+crates/iotx/src/ws1.rs:
+crates/iotx/src/ws2.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/iotx-5aa65cc57817d03b.d: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiotx-5aa65cc57817d03b.rmeta: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs Cargo.toml
+
+crates/iotx/src/lib.rs:
+crates/iotx/src/cases.rs:
+crates/iotx/src/csv.rs:
+crates/iotx/src/ld.rs:
+crates/iotx/src/sink.rs:
+crates/iotx/src/spectrum.rs:
+crates/iotx/src/td.rs:
+crates/iotx/src/ws1.rs:
+crates/iotx/src/ws2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/iotx-d287f9d8d603b304.d: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+/root/repo/target/debug/deps/libiotx-d287f9d8d603b304.rlib: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+/root/repo/target/debug/deps/libiotx-d287f9d8d603b304.rmeta: crates/iotx/src/lib.rs crates/iotx/src/cases.rs crates/iotx/src/csv.rs crates/iotx/src/ld.rs crates/iotx/src/sink.rs crates/iotx/src/spectrum.rs crates/iotx/src/td.rs crates/iotx/src/ws1.rs crates/iotx/src/ws2.rs
+
+crates/iotx/src/lib.rs:
+crates/iotx/src/cases.rs:
+crates/iotx/src/csv.rs:
+crates/iotx/src/ld.rs:
+crates/iotx/src/sink.rs:
+crates/iotx/src/spectrum.rs:
+crates/iotx/src/td.rs:
+crates/iotx/src/ws1.rs:
+crates/iotx/src/ws2.rs:

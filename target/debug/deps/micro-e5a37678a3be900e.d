@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro-e5a37678a3be900e.d: crates/bench/benches/micro.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro-e5a37678a3be900e.rmeta: crates/bench/benches/micro.rs Cargo.toml
+
+crates/bench/benches/micro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odh_bench-287ad2ff9046fc7f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/odh_bench-287ad2ff9046fc7f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

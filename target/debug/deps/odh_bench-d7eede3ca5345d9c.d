@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odh_bench-d7eede3ca5345d9c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libodh_bench-d7eede3ca5345d9c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libodh_bench-d7eede3ca5345d9c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

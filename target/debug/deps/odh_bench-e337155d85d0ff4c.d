@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/odh_bench-e337155d85d0ff4c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_bench-e337155d85d0ff4c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

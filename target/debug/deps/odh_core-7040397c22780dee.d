@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/odh_core-7040397c22780dee.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_core-7040397c22780dee.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/historian.rs:
+crates/core/src/reltable.rs:
+crates/core/src/router.rs:
+crates/core/src/server.rs:
+crates/core/src/vtable.rs:
+crates/core/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

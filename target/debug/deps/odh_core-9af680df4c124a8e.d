@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/odh_core-9af680df4c124a8e.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+/root/repo/target/debug/deps/odh_core-9af680df4c124a8e: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/historian.rs:
+crates/core/src/reltable.rs:
+crates/core/src/router.rs:
+crates/core/src/server.rs:
+crates/core/src/vtable.rs:
+crates/core/src/writer.rs:

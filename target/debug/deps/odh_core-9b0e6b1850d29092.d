@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/odh_core-9b0e6b1850d29092.d: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+/root/repo/target/debug/deps/libodh_core-9b0e6b1850d29092.rlib: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+/root/repo/target/debug/deps/libodh_core-9b0e6b1850d29092.rmeta: crates/core/src/lib.rs crates/core/src/cluster.rs crates/core/src/historian.rs crates/core/src/reltable.rs crates/core/src/router.rs crates/core/src/server.rs crates/core/src/vtable.rs crates/core/src/writer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cluster.rs:
+crates/core/src/historian.rs:
+crates/core/src/reltable.rs:
+crates/core/src/router.rs:
+crates/core/src/server.rs:
+crates/core/src/vtable.rs:
+crates/core/src/writer.rs:

@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/odh_pager-1c40939db1bb815b.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/debug/deps/odh_pager-1c40939db1bb815b.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
-/root/repo/target/debug/deps/libodh_pager-1c40939db1bb815b.rlib: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/debug/deps/libodh_pager-1c40939db1bb815b.rlib: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
-/root/repo/target/debug/deps/libodh_pager-1c40939db1bb815b.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/debug/deps/libodh_pager-1c40939db1bb815b.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
 crates/pager/src/lib.rs:
 crates/pager/src/disk.rs:
+crates/pager/src/fault.rs:
 crates/pager/src/heap.rs:
+crates/pager/src/log.rs:
 crates/pager/src/page.rs:
 crates/pager/src/pool.rs:
 crates/pager/src/stats.rs:

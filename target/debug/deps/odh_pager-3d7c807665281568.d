@@ -1,14 +1,16 @@
-/root/repo/target/debug/deps/odh_pager-3d7c807665281568.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/odh_pager-3d7c807665281568.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libodh_pager-3d7c807665281568.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libodh_pager-3d7c807665281568.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs Cargo.toml
 
 crates/pager/src/lib.rs:
 crates/pager/src/disk.rs:
+crates/pager/src/fault.rs:
 crates/pager/src/heap.rs:
+crates/pager/src/log.rs:
 crates/pager/src/page.rs:
 crates/pager/src/pool.rs:
 crates/pager/src/stats.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

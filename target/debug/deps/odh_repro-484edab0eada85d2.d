@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/odh_repro-484edab0eada85d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/odh_repro-484edab0eada85d2: src/lib.rs
+
+src/lib.rs:

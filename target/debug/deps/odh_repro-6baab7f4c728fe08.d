@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/odh_repro-6baab7f4c728fe08.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_repro-6baab7f4c728fe08.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

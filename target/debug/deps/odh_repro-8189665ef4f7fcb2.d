@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/odh_repro-8189665ef4f7fcb2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libodh_repro-8189665ef4f7fcb2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libodh_repro-8189665ef4f7fcb2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/odh_storage-31b80923beefd740.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libodh_storage-31b80923beefd740.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/blob.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/container.rs:
+crates/storage/src/reorg.rs:
+crates/storage/src/select.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/stripe.rs:
+crates/storage/src/table.rs:
+crates/storage/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/odh_storage-6671a3a40c427541.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/odh_storage-6671a3a40c427541.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
 
-/root/repo/target/debug/deps/odh_storage-6671a3a40c427541: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+/root/repo/target/debug/deps/odh_storage-6671a3a40c427541: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/batch.rs:
@@ -13,3 +13,4 @@ crates/storage/src/snapshot.rs:
 crates/storage/src/stats.rs:
 crates/storage/src/stripe.rs:
 crates/storage/src/table.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/odh_storage-94453db76a9d9963.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libodh_storage-94453db76a9d9963.rlib: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/libodh_storage-94453db76a9d9963.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/blob.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/container.rs:
+crates/storage/src/reorg.rs:
+crates/storage/src/select.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/stripe.rs:
+crates/storage/src/table.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer-9cf4c57d49392d9a.d: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer-9cf4c57d49392d9a.rmeta: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+crates/bench/src/bin/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer-c7d217d1fa5b55a1.d: crates/bench/src/bin/optimizer.rs
+
+/root/repo/target/debug/deps/optimizer-c7d217d1fa5b55a1: crates/bench/src/bin/optimizer.rs
+
+crates/bench/src/bin/optimizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer-e3f7cd0d60b41eff.d: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer-e3f7cd0d60b41eff.rmeta: crates/bench/src/bin/optimizer.rs Cargo.toml
+
+crates/bench/src/bin/optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

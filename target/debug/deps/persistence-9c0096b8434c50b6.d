@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-9c0096b8434c50b6.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-9c0096b8434c50b6: tests/persistence.rs
+
+tests/persistence.rs:

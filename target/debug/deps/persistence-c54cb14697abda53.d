@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/persistence-c54cb14697abda53.d: tests/persistence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpersistence-c54cb14697abda53.rmeta: tests/persistence.rs Cargo.toml
+
+tests/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_storage_sql-2d1bcad4911a5508.d: tests/prop_storage_sql.rs
+
+/root/repo/target/debug/deps/prop_storage_sql-2d1bcad4911a5508: tests/prop_storage_sql.rs
+
+tests/prop_storage_sql.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_storage_sql-ae5878d0e3801938.d: tests/prop_storage_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_storage_sql-ae5878d0e3801938.rmeta: tests/prop_storage_sql.rs Cargo.toml
+
+tests/prop_storage_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

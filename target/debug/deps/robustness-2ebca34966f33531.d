@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-2ebca34966f33531.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-2ebca34966f33531.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-9031a247bfa511a1.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-9031a247bfa511a1: tests/robustness.rs
+
+tests/robustness.rs:

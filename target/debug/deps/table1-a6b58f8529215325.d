@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a6b58f8529215325.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a6b58f8529215325: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

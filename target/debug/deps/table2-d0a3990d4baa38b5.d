@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-d0a3990d4baa38b5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-d0a3990d4baa38b5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

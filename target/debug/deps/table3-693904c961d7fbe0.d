@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-693904c961d7fbe0.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-693904c961d7fbe0.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c5e94947380ce4ac.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c5e94947380ce4ac: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-1cce45569ef78209.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-1cce45569ef78209: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

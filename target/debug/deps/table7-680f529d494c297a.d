@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7-680f529d494c297a.d: crates/bench/src/bin/table7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7-680f529d494c297a.rmeta: crates/bench/src/bin/table7.rs Cargo.toml
+
+crates/bench/src/bin/table7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

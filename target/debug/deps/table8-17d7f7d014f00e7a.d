@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-17d7f7d014f00e7a.d: crates/bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-17d7f7d014f00e7a.rmeta: crates/bench/src/bin/table8.rs Cargo.toml
+
+crates/bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

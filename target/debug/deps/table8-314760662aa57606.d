@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8-314760662aa57606.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/debug/deps/table8-314760662aa57606: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8-487ee5ffd65ecf96.d: crates/bench/src/bin/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8-487ee5ffd65ecf96.rmeta: crates/bench/src/bin/table8.rs Cargo.toml
+
+crates/bench/src/bin/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zone_maps-cccab537487b9736.d: tests/zone_maps.rs
+
+/root/repo/target/debug/deps/zone_maps-cccab537487b9736: tests/zone_maps.rs
+
+tests/zone_maps.rs:

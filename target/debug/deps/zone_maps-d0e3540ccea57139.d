@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zone_maps-d0e3540ccea57139.d: tests/zone_maps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzone_maps-d0e3540ccea57139.rmeta: tests/zone_maps.rs Cargo.toml
+
+tests/zone_maps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/connected_vehicles-60fd04502a7433fe.d: examples/connected_vehicles.rs
+
+/root/repo/target/debug/examples/connected_vehicles-60fd04502a7433fe: examples/connected_vehicles.rs
+
+examples/connected_vehicles.rs:

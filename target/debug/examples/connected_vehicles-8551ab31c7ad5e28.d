@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/connected_vehicles-8551ab31c7ad5e28.d: examples/connected_vehicles.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconnected_vehicles-8551ab31c7ad5e28.rmeta: examples/connected_vehicles.rs Cargo.toml
+
+examples/connected_vehicles.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iotx_mini-2420ca613273f2ae.d: examples/iotx_mini.rs
+
+/root/repo/target/debug/examples/iotx_mini-2420ca613273f2ae: examples/iotx_mini.rs
+
+examples/iotx_mini.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iotx_mini-38fa2092dcd15994.d: examples/iotx_mini.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiotx_mini-38fa2092dcd15994.rmeta: examples/iotx_mini.rs Cargo.toml
+
+examples/iotx_mini.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

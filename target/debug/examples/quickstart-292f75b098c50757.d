@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-292f75b098c50757.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-292f75b098c50757.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

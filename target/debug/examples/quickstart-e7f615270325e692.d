@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e7f615270325e692.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e7f615270325e692: examples/quickstart.rs
+
+examples/quickstart.rs:

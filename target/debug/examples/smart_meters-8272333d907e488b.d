@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_meters-8272333d907e488b.d: examples/smart_meters.rs
+
+/root/repo/target/debug/examples/smart_meters-8272333d907e488b: examples/smart_meters.rs
+
+examples/smart_meters.rs:

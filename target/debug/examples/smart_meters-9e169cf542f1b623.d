@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_meters-9e169cf542f1b623.d: examples/smart_meters.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_meters-9e169cf542f1b623.rmeta: examples/smart_meters.rs Cargo.toml
+
+examples/smart_meters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

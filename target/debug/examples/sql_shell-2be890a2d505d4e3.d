@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql_shell-2be890a2d505d4e3.d: examples/sql_shell.rs
+
+/root/repo/target/debug/examples/sql_shell-2be890a2d505d4e3: examples/sql_shell.rs
+
+examples/sql_shell.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql_shell-581ea2b65e415c51.d: examples/sql_shell.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql_shell-581ea2b65e415c51.rmeta: examples/sql_shell.rs Cargo.toml
+
+examples/sql_shell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wams_pmu-3ab9823214a3a006.d: examples/wams_pmu.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwams_pmu-3ab9823214a3a006.rmeta: examples/wams_pmu.rs Cargo.toml
+
+examples/wams_pmu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

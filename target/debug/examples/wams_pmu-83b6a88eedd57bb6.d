@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wams_pmu-83b6a88eedd57bb6.d: examples/wams_pmu.rs
+
+/root/repo/target/debug/examples/wams_pmu-83b6a88eedd57bb6: examples/wams_pmu.rs
+
+examples/wams_pmu.rs:

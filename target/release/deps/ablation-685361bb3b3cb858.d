@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-685361bb3b3cb858.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-685361bb3b3cb858: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

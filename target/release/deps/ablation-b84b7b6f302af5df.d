@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-b84b7b6f302af5df.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-b84b7b6f302af5df: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_gate-4c6fe17e1ba55b04.d: crates/bench/src/bin/bench_gate.rs
+
+/root/repo/target/release/deps/bench_gate-4c6fe17e1ba55b04: crates/bench/src/bin/bench_gate.rs
+
+crates/bench/src/bin/bench_gate.rs:

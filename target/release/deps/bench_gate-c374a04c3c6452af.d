@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_gate-c374a04c3c6452af.d: crates/bench/src/bin/bench_gate.rs
+
+/root/repo/target/release/deps/bench_gate-c374a04c3c6452af: crates/bench/src/bin/bench_gate.rs
+
+crates/bench/src/bin/bench_gate.rs:

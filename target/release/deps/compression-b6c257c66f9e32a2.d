@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compression-b6c257c66f9e32a2.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/release/deps/compression-b6c257c66f9e32a2: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compression-cfc2c96b6c26321b.d: crates/bench/src/bin/compression.rs
+
+/root/repo/target/release/deps/compression-cfc2c96b6c26321b: crates/bench/src/bin/compression.rs
+
+crates/bench/src/bin/compression.rs:

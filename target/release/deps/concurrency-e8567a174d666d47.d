@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-e8567a174d666d47.d: tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-e8567a174d666d47: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_recovery-0ee84ba9745b21ba.d: tests/crash_recovery.rs
+
+/root/repo/target/release/deps/crash_recovery-0ee84ba9745b21ba: tests/crash_recovery.rs
+
+tests/crash_recovery.rs:

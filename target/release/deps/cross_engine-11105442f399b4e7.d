@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cross_engine-11105442f399b4e7.d: tests/cross_engine.rs
+
+/root/repo/target/release/deps/cross_engine-11105442f399b4e7: tests/cross_engine.rs
+
+tests/cross_engine.rs:

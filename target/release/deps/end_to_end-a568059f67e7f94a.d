@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a568059f67e7f94a.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a568059f67e7f94a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

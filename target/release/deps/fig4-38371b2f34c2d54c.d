@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-38371b2f34c2d54c.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-38371b2f34c2d54c: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-55a2a0614119db52.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-55a2a0614119db52: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-af9ebff1b903e5d7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-af9ebff1b903e5d7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

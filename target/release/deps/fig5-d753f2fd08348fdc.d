@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-d753f2fd08348fdc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-d753f2fd08348fdc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-444f90f51afe514e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-444f90f51afe514e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-e108347cc1edd1f5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-e108347cc1edd1f5: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-204de27e6a2f372e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-204de27e6a2f372e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

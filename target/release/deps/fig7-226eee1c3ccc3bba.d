@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-226eee1c3ccc3bba.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-226eee1c3ccc3bba: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-136970650c5e3f63.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-136970650c5e3f63: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odh_bench-366a8be51827ede2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/odh_bench-366a8be51827ede2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/odh_bench-3dfd65d241e3cdbb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodh_bench-3dfd65d241e3cdbb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libodh_bench-3dfd65d241e3cdbb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/odh_pager-68fc487159b6ede2.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/release/deps/odh_pager-68fc487159b6ede2.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
-/root/repo/target/release/deps/libodh_pager-68fc487159b6ede2.rlib: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/release/deps/libodh_pager-68fc487159b6ede2.rlib: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
-/root/repo/target/release/deps/libodh_pager-68fc487159b6ede2.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/release/deps/libodh_pager-68fc487159b6ede2.rmeta: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
 crates/pager/src/lib.rs:
 crates/pager/src/disk.rs:
+crates/pager/src/fault.rs:
 crates/pager/src/heap.rs:
+crates/pager/src/log.rs:
 crates/pager/src/page.rs:
 crates/pager/src/pool.rs:
 crates/pager/src/stats.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/release/deps/odh_pager-772bf4ee88f9fc6f.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/release/deps/odh_pager-772bf4ee88f9fc6f.d: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
-/root/repo/target/release/deps/odh_pager-772bf4ee88f9fc6f: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/heap.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
+/root/repo/target/release/deps/odh_pager-772bf4ee88f9fc6f: crates/pager/src/lib.rs crates/pager/src/disk.rs crates/pager/src/fault.rs crates/pager/src/heap.rs crates/pager/src/log.rs crates/pager/src/page.rs crates/pager/src/pool.rs crates/pager/src/stats.rs
 
 crates/pager/src/lib.rs:
 crates/pager/src/disk.rs:
+crates/pager/src/fault.rs:
 crates/pager/src/heap.rs:
+crates/pager/src/log.rs:
 crates/pager/src/page.rs:
 crates/pager/src/pool.rs:
 crates/pager/src/stats.rs:

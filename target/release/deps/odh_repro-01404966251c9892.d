@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/odh_repro-01404966251c9892.d: src/lib.rs
+
+/root/repo/target/release/deps/odh_repro-01404966251c9892: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/odh_repro-21bb98cc6282bb3e.d: src/lib.rs
+
+/root/repo/target/release/deps/libodh_repro-21bb98cc6282bb3e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libodh_repro-21bb98cc6282bb3e.rmeta: src/lib.rs
+
+src/lib.rs:

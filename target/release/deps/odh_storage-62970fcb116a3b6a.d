@@ -1,6 +1,6 @@
-/root/repo/target/release/deps/odh_storage-62970fcb116a3b6a.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+/root/repo/target/release/deps/odh_storage-62970fcb116a3b6a.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
 
-/root/repo/target/release/deps/odh_storage-62970fcb116a3b6a: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs
+/root/repo/target/release/deps/odh_storage-62970fcb116a3b6a: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
 
 crates/storage/src/lib.rs:
 crates/storage/src/batch.rs:
@@ -13,3 +13,4 @@ crates/storage/src/snapshot.rs:
 crates/storage/src/stats.rs:
 crates/storage/src/stripe.rs:
 crates/storage/src/table.rs:
+crates/storage/src/wal.rs:

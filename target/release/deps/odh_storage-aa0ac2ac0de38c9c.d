@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/odh_storage-aa0ac2ac0de38c9c.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libodh_storage-aa0ac2ac0de38c9c.rlib: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libodh_storage-aa0ac2ac0de38c9c.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/blob.rs crates/storage/src/buffer.rs crates/storage/src/container.rs crates/storage/src/reorg.rs crates/storage/src/select.rs crates/storage/src/snapshot.rs crates/storage/src/stats.rs crates/storage/src/stripe.rs crates/storage/src/table.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/batch.rs:
+crates/storage/src/blob.rs:
+crates/storage/src/buffer.rs:
+crates/storage/src/container.rs:
+crates/storage/src/reorg.rs:
+crates/storage/src/select.rs:
+crates/storage/src/snapshot.rs:
+crates/storage/src/stats.rs:
+crates/storage/src/stripe.rs:
+crates/storage/src/table.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer-290dc0fe4b909cf5.d: crates/bench/src/bin/optimizer.rs
+
+/root/repo/target/release/deps/optimizer-290dc0fe4b909cf5: crates/bench/src/bin/optimizer.rs
+
+crates/bench/src/bin/optimizer.rs:

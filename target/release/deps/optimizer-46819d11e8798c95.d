@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizer-46819d11e8798c95.d: crates/bench/src/bin/optimizer.rs
+
+/root/repo/target/release/deps/optimizer-46819d11e8798c95: crates/bench/src/bin/optimizer.rs
+
+crates/bench/src/bin/optimizer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/persistence-11714e002a03c9f4.d: tests/persistence.rs
+
+/root/repo/target/release/deps/persistence-11714e002a03c9f4: tests/persistence.rs
+
+tests/persistence.rs:

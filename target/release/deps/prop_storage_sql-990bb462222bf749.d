@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_storage_sql-990bb462222bf749.d: tests/prop_storage_sql.rs
+
+/root/repo/target/release/deps/prop_storage_sql-990bb462222bf749: tests/prop_storage_sql.rs
+
+tests/prop_storage_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness-ab9aab9df509da4b.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-ab9aab9df509da4b: tests/robustness.rs
+
+tests/robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-b51c0d5e17699c72.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-b51c0d5e17699c72: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

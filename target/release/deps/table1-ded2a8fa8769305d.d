@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ded2a8fa8769305d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ded2a8fa8769305d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-504e42966dbe8f70.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-504e42966dbe8f70: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

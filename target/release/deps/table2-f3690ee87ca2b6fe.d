@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-f3690ee87ca2b6fe.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-f3690ee87ca2b6fe: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-cf60a957d06373e9.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-cf60a957d06373e9: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-d5ed764294bdab65.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-d5ed764294bdab65: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-335a846f5ffcbcca.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-335a846f5ffcbcca: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

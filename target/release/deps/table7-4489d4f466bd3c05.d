@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-4489d4f466bd3c05.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-4489d4f466bd3c05: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

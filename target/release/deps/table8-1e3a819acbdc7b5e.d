@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-1e3a819acbdc7b5e.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-1e3a819acbdc7b5e: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8-89c65e208c430e3d.d: crates/bench/src/bin/table8.rs
+
+/root/repo/target/release/deps/table8-89c65e208c430e3d: crates/bench/src/bin/table8.rs
+
+crates/bench/src/bin/table8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zone_maps-66805a5401dabc09.d: tests/zone_maps.rs
+
+/root/repo/target/release/deps/zone_maps-66805a5401dabc09: tests/zone_maps.rs
+
+tests/zone_maps.rs:

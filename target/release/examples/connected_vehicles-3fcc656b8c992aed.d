@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/connected_vehicles-3fcc656b8c992aed.d: examples/connected_vehicles.rs
+
+/root/repo/target/release/examples/connected_vehicles-3fcc656b8c992aed: examples/connected_vehicles.rs
+
+examples/connected_vehicles.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/iotx_mini-224ba8a8b8eb1682.d: examples/iotx_mini.rs
+
+/root/repo/target/release/examples/iotx_mini-224ba8a8b8eb1682: examples/iotx_mini.rs
+
+examples/iotx_mini.rs:

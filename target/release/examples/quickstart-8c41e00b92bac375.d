@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-8c41e00b92bac375.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-8c41e00b92bac375: examples/quickstart.rs
+
+examples/quickstart.rs:

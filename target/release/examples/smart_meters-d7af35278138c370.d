@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smart_meters-d7af35278138c370.d: examples/smart_meters.rs
+
+/root/repo/target/release/examples/smart_meters-d7af35278138c370: examples/smart_meters.rs
+
+examples/smart_meters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sql_shell-8ea4dd3082cfe5af.d: examples/sql_shell.rs
+
+/root/repo/target/release/examples/sql_shell-8ea4dd3082cfe5af: examples/sql_shell.rs
+
+examples/sql_shell.rs:

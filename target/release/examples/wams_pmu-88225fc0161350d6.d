@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wams_pmu-88225fc0161350d6.d: examples/wams_pmu.rs
+
+/root/repo/target/release/examples/wams_pmu-88225fc0161350d6: examples/wams_pmu.rs
+
+examples/wams_pmu.rs:
