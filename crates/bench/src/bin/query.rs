@@ -1,0 +1,17 @@
+//! Read-path sweep — summary pushdown, decode cache, boundary coverage.
+//!
+//! Runs the aggregate / scan query shapes of [`odh_bench::query_path_bench`]
+//! against a sealed two-server historian and reports, per shape, the median
+//! wall time plus the read-path counters (summary-answered batches,
+//! decode-cache hits/misses, blob decodes). Persists the committed CI
+//! baseline `results/BENCH_query.json`.
+//!
+//! Env: `QUERY_SOURCES` (default 48), `QUERY_POINTS` per source (default
+//! 1024), `QUERY_REPEATS` per shape (default 15).
+
+fn main() {
+    if let Err(e) = odh_bench::run_query_bench_cli() {
+        eprintln!("query sweep failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,139 @@
+//! CI performance gate over the committed read-path baseline.
+//!
+//! Re-runs the query sweep and checks it two ways against the committed
+//! `results/BENCH_query.json`:
+//!
+//! - **Counter gates** (deterministic, always enforced):
+//!   - the fully-covered pushdown aggregate decodes **zero** blobs and
+//!     answers at least one batch from summaries;
+//!   - the boundary-range aggregate decodes fewer blobs than it answers
+//!     from summaries (only boundary batches pay decode);
+//!   - warm-cache scans decode at least 5x fewer blobs than cold scans.
+//! - **Regression gate**: per matching op, current `qps` must stay within
+//!   `BENCH_GATE_TOLERANCE_PCT` (default 50%) of the baseline. The loose
+//!   default reflects that these are sub-30ms shapes on shared CI
+//!   hardware; the counter gates above carry the hard guarantees.
+//!
+//! The fresh sweep is saved as `results/BENCH_query_current.json` for CI
+//! artifact upload. Exits non-zero on any failure; a missing baseline is
+//! an error (regenerate with `cargo run --release --bin query`).
+
+use odh_bench::QueryBenchPoint;
+use odh_bench::{banner, print_query_points, query_path_bench, results_dir, save_json};
+
+fn env_pct(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn find<'a>(points: &'a [QueryBenchPoint], op: &str) -> Option<&'a QueryBenchPoint> {
+    points.iter().find(|p| p.op == op)
+}
+
+fn main() {
+    banner("Read-path performance gate", "CI guard on summary pushdown + decode cache");
+    let tolerance = env_pct("BENCH_GATE_TOLERANCE_PCT", 50.0);
+
+    let baseline_path = results_dir().join("BENCH_query.json");
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        }
+    };
+    let baseline: Vec<QueryBenchPoint> = match serde_json::from_str(&baseline_json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "FAIL: baseline {} does not parse ({e}); regenerate it with \
+                 `cargo run --release --bin query`",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let current = match query_path_bench() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL: query sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = save_json("BENCH_query_current", &current);
+    println!("current sweep saved: {}", path.display());
+    print_query_points(&current);
+    println!();
+
+    let mut failures = 0u32;
+    let mut check = |ok: bool, what: &str| {
+        println!("  {} {what}", if ok { "ok    " } else { "FAILED" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // Counter gates — deterministic properties of the read path.
+    match find(&current, "agg_full_pushdown") {
+        Some(p) => {
+            check(p.blob_decodes == 0, "fully-covered aggregate decodes zero blobs");
+            check(p.summary_answered_batches > 0, "fully-covered aggregate uses summaries");
+        }
+        None => check(false, "agg_full_pushdown point present"),
+    }
+    match find(&current, "agg_boundary_pushdown") {
+        Some(p) => {
+            check(
+                p.blob_decodes < p.summary_answered_batches,
+                "boundary aggregate decodes only boundary batches",
+            );
+        }
+        None => check(false, "agg_boundary_pushdown point present"),
+    }
+    match (find(&current, "scan_cold"), find(&current, "scan_warm")) {
+        (Some(cold), Some(warm)) => {
+            check(
+                warm.blob_decodes * 5 <= cold.blob_decodes.max(1),
+                "warm scans decode >=5x fewer blobs than cold",
+            );
+            check(warm.cache_hits > 0, "warm scans hit the decode cache");
+        }
+        _ => check(false, "scan_cold and scan_warm points present"),
+    }
+    match (find(&current, "agg_full_pushdown"), find(&current, "agg_full_rowpath_cold")) {
+        (Some(push), Some(row)) => {
+            check(push.blob_decodes < row.blob_decodes, "pushdown decodes less than the row path");
+        }
+        _ => check(false, "pushdown and rowpath points present"),
+    }
+
+    // Regression gate — wall-time tolerance per op against the baseline.
+    println!("\n{:>24} {:>10} {:>10} {:>8}  gate", "op", "base qps", "now qps", "delta");
+    for p in &current {
+        let (delta_pct, ok, base_qps) = match find(&baseline, &p.op) {
+            Some(b) => {
+                let d = (p.qps / b.qps.max(1e-9) - 1.0) * 100.0;
+                (d, d >= -tolerance, b.qps)
+            }
+            // New op with no baseline: nothing to regress against.
+            None => (0.0, true, f64::NAN),
+        };
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:>24} {:>10.1} {:>10.1} {:>+7.1}%  {}",
+            p.op,
+            base_qps,
+            p.qps,
+            delta_pct,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gate check(s) failed");
+        std::process::exit(1);
+    }
+    println!("PASS");
+}

@@ -521,6 +521,186 @@ pub fn run_ingest_bench_cli(thread_counts: &[usize]) -> Result<()> {
     Ok(())
 }
 
+// ----------------------------------------------------------- query path --
+
+/// One measured point of the read-path sweep: a query shape run `repeats`
+/// times, with the median wall time and the read-path counter movement of
+/// a single representative execution (the last repetition).
+///
+/// The sweep contrasts three axes:
+/// - **pushdown on/off** — the same aggregate answered from seal-time
+///   batch summaries versus by decoding every blob and folding rows;
+/// - **cold/warm cache** — the decoded-batch cache cleared before every
+///   repetition versus left warm from the previous one;
+/// - **full/boundary coverage** — a whole-table range (every batch
+///   summary-answered) versus one clipping batches at both ends (only the
+///   boundary batches pay decode).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct QueryBenchPoint {
+    pub op: String,
+    pub sources: u64,
+    pub points: u64,
+    pub repeats: u64,
+    pub wall_secs: f64,
+    pub qps: f64,
+    /// Batches answered from their summary block (last repetition).
+    pub summary_answered_batches: u64,
+    /// Decode-cache hits / misses (last repetition).
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Blob decode events (last repetition).
+    pub blob_decodes: u64,
+}
+
+fn clear_decode_caches(h: &Historian, schema: &str) {
+    for s in h.cluster().servers() {
+        if let Ok(t) = s.table(schema) {
+            t.decode_cache().clear();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_query_point(
+    h: &Historian,
+    schema: &str,
+    op: &str,
+    sql: &str,
+    repeats: usize,
+    cold: bool,
+    sources: u64,
+    points: u64,
+) -> Result<QueryBenchPoint> {
+    // Warm arm: one throwaway execution so the cache (and allocator) are
+    // hot before anything is timed. Cold arm: the cache is cleared inside
+    // the timed region's setup instead.
+    if cold {
+        clear_decode_caches(h, schema);
+    } else {
+        h.sql(sql)?;
+    }
+    let mut walls = Vec::with_capacity(repeats);
+    let mut delta = odh_core::ExplainStats::default();
+    for _ in 0..repeats {
+        if cold {
+            clear_decode_caches(h, schema);
+        }
+        let before = h.explain_stats(schema);
+        let t0 = std::time::Instant::now();
+        let r = h.sql(sql)?;
+        walls.push(t0.elapsed().as_secs_f64());
+        std::hint::black_box(r.rows.len());
+        delta = before.delta(&h.explain_stats(schema));
+    }
+    let wall_secs = median(&mut walls);
+    Ok(QueryBenchPoint {
+        op: op.to_string(),
+        sources,
+        points,
+        repeats: repeats as u64,
+        wall_secs,
+        qps: 1.0 / wall_secs.max(1e-9),
+        summary_answered_batches: delta.summary_answered_batches,
+        cache_hits: delta.cache_hits,
+        cache_misses: delta.cache_misses,
+        blob_decodes: delta.blob_decodes,
+    })
+}
+
+/// Build the query-bench historian: `QUERY_SOURCES` irregular sources
+/// (default 48) with `QUERY_POINTS` records each (default 1024) across
+/// four tags, sealed into 128-point batches on a two-server cluster
+/// (eight batches per source, so a clipped range leaves six interior
+/// batches summary-answered for every two boundary decodes).
+pub fn query_bench_historian() -> Result<(Arc<Historian>, u64, u64)> {
+    let sources: u64 =
+        std::env::var("QUERY_SOURCES").ok().and_then(|v| v.parse().ok()).unwrap_or(48);
+    let per_source: i64 =
+        std::env::var("QUERY_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let h = Arc::new(Historian::builder().servers(2).metered_cores(BENCH_CORES).build()?);
+    h.define_schema_type(
+        TableConfig::new(odh_types::SchemaType::new("qb", ["t0", "t1", "t2", "t3"]))
+            .with_batch_size(128),
+    )?;
+    for s in 0..sources {
+        h.register_source("qb", SourceId(s), SourceClass::irregular_high())?;
+    }
+    let w = h.writer("qb")?;
+    for i in 0..per_source {
+        for s in 0..sources {
+            let x = i as f64;
+            w.write(&odh_types::Record::dense(
+                SourceId(s),
+                odh_types::Timestamp(i * 1_000_000),
+                [x, x * 0.5, -x, s as f64],
+            ))?;
+        }
+    }
+    w.flush()?;
+    Ok((h, sources, (per_source as u64) * sources))
+}
+
+/// The read-path sweep behind `results/BENCH_query.json`.
+pub fn query_path_bench() -> Result<Vec<QueryBenchPoint>> {
+    let (h, sources, points) = query_bench_historian()?;
+    let repeats: usize =
+        std::env::var("QUERY_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(15);
+    let full_agg = "select COUNT(*), SUM(t0), AVG(t1), MIN(t2), MAX(t3) from qb_v";
+    // Clips the first and last sealed batch of every source: only those
+    // boundary batches pay decode, interior ones answer from summaries.
+    let boundary_agg = "select COUNT(*), SUM(t0), AVG(t1) from qb_v \
+                        where timestamp between 100000000 and 900000000";
+    let scan = "select t0, t1 from qb_v";
+    let run = |op: &str, sql: &str, cold: bool| {
+        run_query_point(&h, "qb", op, sql, repeats, cold, sources, points)
+    };
+    let mut out = Vec::new();
+    out.push(run("agg_full_pushdown", full_agg, true)?);
+    out.push(run("agg_boundary_pushdown", boundary_agg, true)?);
+    odh_sql::set_aggregate_pushdown(false);
+    let ablation = (|| -> Result<()> {
+        out.push(run("agg_full_rowpath_cold", full_agg, true)?);
+        out.push(run("agg_full_rowpath_warm", full_agg, false)?);
+        Ok(())
+    })();
+    odh_sql::set_aggregate_pushdown(true);
+    ablation?;
+    out.push(run("scan_cold", scan, true)?);
+    out.push(run("scan_warm", scan, false)?);
+    Ok(out)
+}
+
+/// Print the sweep and persist `BENCH_query.json` (shared by the `query`
+/// binary; `query_gate` re-runs the sweep itself).
+pub fn run_query_bench_cli() -> Result<()> {
+    banner("Read-path sweep: summary pushdown x decode cache", "§5.3 query component, Table 8");
+    let reports = query_path_bench()?;
+    print_query_points(&reports);
+    let path = save_json("BENCH_query", &reports);
+    println!("saved: {}", path.display());
+    Ok(())
+}
+
+/// Shared table printer for the sweep and the gate.
+pub fn print_query_points(reports: &[QueryBenchPoint]) {
+    println!(
+        "{:>24} {:>10} {:>10} {:>9} {:>8} {:>8} {:>8}",
+        "op", "wall ms", "qps", "summary", "hits", "misses", "decodes"
+    );
+    for p in reports {
+        println!(
+            "{:>24} {:>10.3} {:>10.1} {:>9} {:>8} {:>8} {:>8}",
+            p.op,
+            p.wall_secs * 1e3,
+            p.qps,
+            p.summary_answered_batches,
+            p.cache_hits,
+            p.cache_misses,
+            p.blob_decodes
+        );
+    }
+}
+
 // -------------------------------------------------------------- results --
 
 /// Repo-level `results/` directory.

@@ -15,8 +15,9 @@
 
 use crate::cluster::Cluster;
 use crate::router::DataRouter;
-use odh_sql::provider::{ColumnFilter, ScanRequest, TableProvider};
-use odh_storage::{OdhTable, ScanPoint};
+use odh_sql::ast::AggFunc;
+use odh_sql::provider::{AggRequest, ColumnFilter, ScanRequest, TableProvider};
+use odh_storage::{OdhTable, RangeAggregate, ScanPoint, TagSummary};
 use odh_types::{Datum, RelSchema, Result, Row, SourceId, Timestamp};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -57,6 +58,24 @@ fn merge_sorted(mut runs: Vec<Vec<ScanPoint>>) -> Vec<ScanPoint> {
 /// Byte-equivalent charged per router resolution in the cost model (a
 /// metadata SQL query is roughly a page's worth of work).
 const ROUTER_COST_BYTES: f64 = 64.0 * 1024.0;
+
+/// Finalize one pushed-down aggregate with the executor's SQL semantics:
+/// `COUNT` is never NULL, the rest are NULL over zero non-NULL inputs.
+/// `slot` indexes the folded tag summaries; `None` is `COUNT(*)`.
+fn finalize_agg(func: AggFunc, slot: Option<usize>, agg: &RangeAggregate) -> Datum {
+    let Some(pos) = slot else {
+        return Datum::I64(agg.rows as i64); // COUNT(*)
+    };
+    let s = &agg.tags[pos];
+    match func {
+        AggFunc::Count => Datum::I64(s.count as i64),
+        AggFunc::Sum if s.count > 0 => Datum::F64(s.sum),
+        AggFunc::Avg if s.count > 0 => Datum::F64(s.sum / s.count as f64),
+        AggFunc::Min if s.count > 0 => Datum::F64(s.min),
+        AggFunc::Max if s.count > 0 => Datum::F64(s.max),
+        _ => Datum::Null,
+    }
+}
 
 /// VTI provider over one schema type of a cluster.
 pub struct VirtualTable {
@@ -151,6 +170,81 @@ impl VirtualTable {
             }
         }
         out
+    }
+
+    /// Exact `(source, t1, t2)` bounds for an aggregate pushdown, when
+    /// every filter is one this provider can honor *exactly*: `id =` plus
+    /// `timestamp` equality/ranges. There are no rows left for the
+    /// executor to re-check, so bound inclusivity must be respected here —
+    /// timestamps are integer microseconds, so an open bound is the
+    /// closed bound one tick in. Anything else (tag filters, id ranges,
+    /// mistyped literals) declines the pushdown.
+    fn agg_bounds(
+        filters: &[(usize, ColumnFilter)],
+    ) -> Option<(Option<SourceId>, Timestamp, Timestamp)> {
+        let mut source = None;
+        let mut t1 = Timestamp::MIN;
+        let mut t2 = Timestamp::MAX;
+        for (c, f) in filters {
+            match (*c, f) {
+                (0, ColumnFilter::Eq(d)) => source = Some(SourceId(d.as_i64()? as u64)),
+                (1, ColumnFilter::Eq(d)) => {
+                    let t = d.as_ts()?;
+                    t1 = t1.max(t);
+                    t2 = t2.min(t);
+                }
+                (1, ColumnFilter::Range { lo, hi }) => {
+                    if let Some((d, inc)) = lo {
+                        let t = d.as_ts()?.micros();
+                        t1 = t1.max(Timestamp(if *inc { t } else { t.saturating_add(1) }));
+                    }
+                    if let Some((d, inc)) = hi {
+                        let t = d.as_ts()?.micros();
+                        t2 = t2.min(Timestamp(if *inc { t } else { t.saturating_sub(1) }));
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some((source, t1, t2))
+    }
+
+    /// Run [`OdhTable::aggregate_range`] on the server(s) holding this
+    /// type and merge the per-server partials.
+    fn aggregate_cluster(
+        &self,
+        source: Option<SourceId>,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+    ) -> Result<RangeAggregate> {
+        let empty = || RangeAggregate { rows: 0, tags: vec![TagSummary::empty(); tags.len()] };
+        if t1 > t2 {
+            return Ok(empty());
+        }
+        if let Some(sid) = source {
+            // Partition elimination, as in `scan`: one source, one server.
+            let server_idx = match self.router.route_source(sid) {
+                Ok(idx) => idx,
+                // An id that was never registered matches nothing: the
+                // zero-row aggregate.
+                Err(e) if e.kind() == "not_found" => return Ok(empty()),
+                Err(e) => return Err(e),
+            };
+            let table = self.cluster.servers()[server_idx].table(&self.schema_type)?;
+            return table.aggregate_range(Some(sid), t1, t2, tags);
+        }
+        let servers = self.router.route_type(&self.schema_type)?;
+        let mut total = empty();
+        for &idx in &servers {
+            let table = self.cluster.servers()[idx].table(&self.schema_type)?;
+            let part = table.aggregate_range(None, t1, t2, tags)?;
+            total.rows += part.rows;
+            for (a, b) in total.tags.iter_mut().zip(&part.tags) {
+                a.merge(b);
+            }
+        }
+        Ok(total)
     }
 
     fn id_eq(filters: &[(usize, ColumnFilter)]) -> Option<SourceId> {
@@ -299,6 +393,51 @@ impl TableProvider for VirtualTable {
                 .collect::<Result<_>>()?
         };
         Ok(self.assemble(merge_sorted(per_server), &tags))
+    }
+
+    fn aggregate_scan(
+        &self,
+        filters: &[(usize, ColumnFilter)],
+        aggs: &[AggRequest],
+    ) -> Option<Result<Vec<Datum>>> {
+        let (source, t1, t2) = Self::agg_bounds(filters)?;
+        // Map each aggregate to a slot in the folded tag summaries; only
+        // COUNT(*) and tag-column aggregates are summary-answerable
+        // (aggregates over id/timestamp fall back to the row path).
+        let mut tags: Vec<usize> = Vec::new();
+        let mut slots: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+        for a in aggs {
+            match a.input {
+                None if a.func == AggFunc::Count => slots.push(None),
+                Some(c) if c >= 2 && c - 2 < self.tag_count => {
+                    let tag = c - 2;
+                    let pos = tags.iter().position(|&t| t == tag).unwrap_or_else(|| {
+                        tags.push(tag);
+                        tags.len() - 1
+                    });
+                    slots.push(Some(pos));
+                }
+                _ => return None,
+            }
+        }
+        Some((|| {
+            let agg = self.aggregate_cluster(source, t1, t2, &tags)?;
+            // One result row's worth of VTI assembly.
+            let meter = self.cluster.meter();
+            meter.cpu(meter.costs.vti_cell_assemble * aggs.len() as f64);
+            Ok(aggs.iter().zip(&slots).map(|(a, s)| finalize_agg(a.func, *s, &agg)).collect())
+        })())
+    }
+
+    fn estimate_aggregate_cost(&self, filters: &[(usize, ColumnFilter)]) -> Option<f64> {
+        Self::agg_bounds(filters)?;
+        // Fully-covered batches answer from their seal-time summaries
+        // (tens of bytes each); only boundary batches decode blobs. Model:
+        // summary bytes per covered batch plus two batch decodes.
+        let rows = self.estimate_rows(filters);
+        let summary_bytes = (rows / 64.0).max(1.0) * 40.0;
+        let boundary = 2.0 * 64.0 * self.bytes_per_row_per_tag() * self.tag_count as f64;
+        Some(ROUTER_COST_BYTES + summary_bytes + boundary)
     }
 
     fn probe_cost(&self, column: usize) -> Option<f64> {
@@ -505,6 +644,80 @@ mod tests {
         let req_all = ScanRequest { filters: vec![], needed: vec![0, 1, 2, 3] };
         let req_one_tag = ScanRequest { filters: vec![], needed: vec![0, 1, 2] };
         assert!(v.estimate_cost(&req_one_tag) < v.estimate_cost(&req_all));
+    }
+
+    #[test]
+    fn aggregate_scan_matches_row_fold() {
+        let (_, v) = setup();
+        let aggs = [
+            AggRequest { func: AggFunc::Count, input: None },
+            AggRequest { func: AggFunc::Count, input: Some(2) },
+            AggRequest { func: AggFunc::Sum, input: Some(2) },
+            AggRequest { func: AggFunc::Avg, input: Some(2) },
+            AggRequest { func: AggFunc::Min, input: Some(3) },
+            AggRequest { func: AggFunc::Max, input: Some(3) },
+        ];
+        // Exclusive upper bound: the pushdown must honor it exactly (the
+        // scan path over-returns and lets the executor re-check; here
+        // nobody re-checks).
+        let filters = vec![(
+            1,
+            ColumnFilter::Range {
+                lo: Some((Datum::Ts(Timestamp(1_000_000)), true)),
+                hi: Some((Datum::Ts(Timestamp(2_000_000)), false)),
+            },
+        )];
+        let cells = v.aggregate_scan(&filters, &aggs).unwrap().unwrap();
+        let rows = v
+            .scan(&ScanRequest { filters: filters.clone(), needed: vec![0, 1, 2, 3] })
+            .unwrap()
+            .into_iter()
+            .filter(|r| filters.iter().all(|(c, f)| f.matches(r.get(*c))))
+            .collect::<Vec<_>>();
+        let temps: Vec<f64> = rows.iter().filter_map(|r| r.get(2).as_f64()).collect();
+        let winds: Vec<f64> = rows.iter().filter_map(|r| r.get(3).as_f64()).collect();
+        assert_eq!(cells[0], Datum::I64(rows.len() as i64));
+        assert_eq!(cells[1], Datum::I64(temps.len() as i64));
+        assert_eq!(cells[2].as_f64().unwrap(), temps.iter().sum::<f64>());
+        assert_eq!(cells[3].as_f64().unwrap(), temps.iter().sum::<f64>() / temps.len() as f64);
+        assert_eq!(cells[4].as_f64().unwrap(), winds.iter().cloned().fold(f64::INFINITY, f64::min));
+        assert_eq!(
+            cells[5].as_f64().unwrap(),
+            winds.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
+    }
+
+    #[test]
+    fn aggregate_scan_declines_what_it_cannot_answer_exactly() {
+        let (_, v) = setup();
+        let count = [AggRequest { func: AggFunc::Count, input: None }];
+        // Tag filters and id ranges are not expressible over summaries.
+        assert!(v.aggregate_scan(&[(2, ColumnFilter::Eq(Datum::F64(20.0)))], &count).is_none());
+        assert!(v
+            .aggregate_scan(
+                &[(0, ColumnFilter::Range { lo: Some((Datum::I64(1), true)), hi: None })],
+                &count,
+            )
+            .is_none());
+        // Aggregates over id/timestamp fall back to the row path.
+        assert!(v
+            .aggregate_scan(&[], &[AggRequest { func: AggFunc::Min, input: Some(1) }])
+            .is_none());
+        // An unregistered id is the zero-row aggregate, not an error.
+        let cells = v
+            .aggregate_scan(
+                &[(0, ColumnFilter::Eq(Datum::I64(999)))],
+                &[
+                    AggRequest { func: AggFunc::Count, input: None },
+                    AggRequest { func: AggFunc::Sum, input: Some(2) },
+                ],
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(cells, vec![Datum::I64(0), Datum::Null]);
+        // And the cost hook prices what it would accept, nothing else.
+        assert!(v.estimate_aggregate_cost(&[]).is_some());
+        assert!(v.estimate_aggregate_cost(&[(2, ColumnFilter::Eq(Datum::F64(20.0)))]).is_none());
     }
 
     #[test]

@@ -1,17 +1,23 @@
-//! Buffer pool with clock (second-chance) eviction.
+//! Buffer pool with clock (second-chance) eviction and a sharded page
+//! table.
 //!
 //! Design notes:
-//! - One global mapping mutex (page table + clock hand). Misses are
-//!   serialized; hits only take the mutex briefly to pin the frame. For this
-//!   workspace's workloads (bulk ingest, range scans) the simplicity is
-//!   worth far more than a sharded table.
+//! - The page table is split into up to [`MAX_SHARDS`] shards, each a
+//!   mutex over its own `PageId → frame` map, clock hand, and free list.
+//!   Frames are statically partitioned round-robin across shards, and a
+//!   page lives only in the shard its id hashes to — so concurrent scan
+//!   fan-out misses in different shards proceed in parallel instead of
+//!   convoying on one global mapping mutex. Small pools (< 2 × 16 frames)
+//!   collapse to one shard, which is exactly the old single-mutex pool.
 //! - Page access is closure-based ([`BufferPool::with_page`] /
 //!   [`BufferPool::with_page_mut`]): the frame is pinned, its `RwLock` is
 //!   held for the closure, then unpinned. Closures may fetch *other* pages
 //!   (B-tree descents, overflow chains) but must never re-enter the same
 //!   page — the lock is not reentrant.
-//! - Eviction only considers unpinned frames, so a closure's frame can never
-//!   be stolen underneath it; dirty victims are written back on eviction.
+//! - Eviction only considers unpinned frames of the evicting shard, and
+//!   pinning a frame requires that same shard's lock (pages never move
+//!   between shards), so a closure's frame can never be stolen underneath
+//!   it; dirty victims are written back on eviction.
 
 use crate::disk::DiskManager;
 use crate::page::{PageId, PAGE_SIZE};
@@ -42,20 +48,32 @@ struct Frame {
     referenced: AtomicBool,
 }
 
+/// Upper bound on page-table shards.
+const MAX_SHARDS: usize = 8;
+/// Minimum frames a shard must own before the pool splits further; keeps
+/// per-shard capacity comfortably above the deepest nested pin chain
+/// (B-tree descent + heap record + overflow pages).
+const MIN_FRAMES_PER_SHARD: usize = 16;
+
 /// The buffer pool.
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     frames: Vec<Frame>,
-    map: Mutex<MapState>,
+    shards: Vec<Mutex<ShardState>>,
     stats: IoStats,
     hook: RwLock<Option<Arc<dyn IoHook>>>,
     no_steal: AtomicBool,
 }
 
-struct MapState {
+struct ShardState {
+    /// Pages resident in this shard's frames.
     table: HashMap<PageId, usize>,
+    /// Global frame indices this shard owns (fixed at construction).
+    owned: Vec<usize>,
+    /// Clock hand: position within `owned`.
     hand: usize,
-    /// Frames never used yet (cheaper than clock sweeps while warming up).
+    /// Owned frames never used yet (cheaper than clock sweeps while
+    /// warming up).
     free: Vec<usize>,
 }
 
@@ -63,7 +81,7 @@ impl BufferPool {
     /// A pool of `capacity` frames over `disk`.
     pub fn new(disk: Arc<dyn DiskManager>, capacity: usize) -> Arc<BufferPool> {
         assert!(capacity >= 2, "buffer pool needs at least two frames");
-        let frames = (0..capacity)
+        let frames: Vec<Frame> = (0..capacity)
             .map(|_| Frame {
                 state: RwLock::new(FrameState {
                     page: None,
@@ -74,18 +92,36 @@ impl BufferPool {
                 referenced: AtomicBool::new(false),
             })
             .collect();
+        let n_shards = (capacity / (2 * MIN_FRAMES_PER_SHARD)).clamp(1, MAX_SHARDS);
+        let shards = (0..n_shards)
+            .map(|s| {
+                let owned: Vec<usize> = (s..capacity).step_by(n_shards).collect();
+                Mutex::new(ShardState {
+                    table: HashMap::with_capacity(owned.len()),
+                    hand: 0,
+                    free: owned.iter().rev().copied().collect(),
+                    owned,
+                })
+            })
+            .collect();
         Arc::new(BufferPool {
             disk,
             frames,
-            map: Mutex::new(MapState {
-                table: HashMap::with_capacity(capacity),
-                hand: 0,
-                free: (0..capacity).rev().collect(),
-            }),
+            shards,
             stats: IoStats::default(),
             hook: RwLock::new(None),
             no_steal: AtomicBool::new(false),
         })
+    }
+
+    /// Page-table shards in this pool (1 for small pools).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, id: PageId) -> &Mutex<ShardState> {
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
     /// Install a physical-I/O observer.
@@ -183,17 +219,19 @@ impl BufferPool {
         if let Some(h) = self.hook.read().as_ref() {
             h.logical_access();
         }
-        let mut map = self.map.lock();
-        if let Some(&idx) = map.table.get(&id) {
+        let mut shard = self.shard_of(id).lock();
+        if let Some(&idx) = shard.table.get(&id) {
             IoStats::bump(&self.stats.hits);
             self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
             self.frames[idx].referenced.store(true, Ordering::Relaxed);
             return Ok(idx);
         }
-        // Miss: find a victim frame while holding the map lock.
-        let idx = self.find_victim(&mut map)?;
-        // Evict whatever the victim holds (it is unpinned; nobody can pin it
-        // because pinning requires the map lock we hold).
+        // Miss: find a victim frame while holding the shard lock. Other
+        // shards keep serving hits and misses meanwhile.
+        let idx = self.find_victim(&mut shard)?;
+        // Evict whatever the victim holds (it is unpinned; nobody can pin
+        // it because pinning a frame requires the lock of the shard that
+        // owns it — the one we hold).
         {
             let mut st = self.frames[idx].state.write();
             if let Some(old) = st.page {
@@ -202,7 +240,7 @@ impl BufferPool {
                     self.note_write();
                     st.dirty = false;
                 }
-                map.table.remove(&old);
+                shard.table.remove(&old);
             }
             if load {
                 self.disk.read_page(id, &mut st.data)?;
@@ -215,27 +253,29 @@ impl BufferPool {
             }
             st.page = Some(id);
         }
-        map.table.insert(id, idx);
+        shard.table.insert(id, idx);
         self.frames[idx].pins.fetch_add(1, Ordering::AcqRel);
         self.frames[idx].referenced.store(true, Ordering::Relaxed);
         Ok(idx)
     }
 
-    fn find_victim(&self, map: &mut MapState) -> Result<usize> {
-        if let Some(idx) = map.free.pop() {
+    fn find_victim(&self, shard: &mut ShardState) -> Result<usize> {
+        if let Some(idx) = shard.free.pop() {
             return Ok(idx);
         }
-        // Clock sweep: clear reference bits; give up after two full laps
-        // (everything pinned).
+        // Clock sweep over this shard's frames: clear reference bits; give
+        // up after two full laps.
         let no_steal = self.no_steal.load(Ordering::Acquire);
-        let n = self.frames.len();
+        let n = shard.owned.len();
+        let mut saw_unpinned = false;
         for _ in 0..2 * n {
-            let idx = map.hand;
-            map.hand = (map.hand + 1) % n;
+            let idx = shard.owned[shard.hand];
+            shard.hand = (shard.hand + 1) % n;
             let frame = &self.frames[idx];
             if frame.pins.load(Ordering::Acquire) != 0 {
                 continue;
             }
+            saw_unpinned = true;
             if frame.referenced.swap(false, Ordering::Relaxed) {
                 continue;
             }
@@ -246,12 +286,7 @@ impl BufferPool {
             }
             return Ok(idx);
         }
-        if no_steal {
-            return Err(OdhError::Full(
-                "buffer pool: no clean frame to evict (no-steal mode; checkpoint needed)".into(),
-            ));
-        }
-        Err(OdhError::Full("buffer pool: all frames pinned".into()))
+        Err(victim_error(saw_unpinned, no_steal))
     }
 
     fn unpin(&self, idx: usize) {
@@ -264,6 +299,26 @@ impl BufferPool {
             h.physical_write(PAGE_SIZE);
         }
     }
+}
+
+/// Why a two-lap clock sweep produced no victim. The three causes need
+/// three messages: "all frames pinned" used to be reported even when
+/// frames were merely referenced-hot or dirty-under-no-steal, which sent
+/// operators hunting for pin leaks that did not exist.
+fn victim_error(saw_unpinned: bool, no_steal: bool) -> OdhError {
+    if !saw_unpinned {
+        return OdhError::Full("buffer pool: all frames pinned".into());
+    }
+    if no_steal {
+        return OdhError::Full(
+            "buffer pool: no clean frame to evict (no-steal mode; checkpoint needed)".into(),
+        );
+    }
+    OdhError::Full(
+        "buffer pool: unpinned frames stayed referenced-hot across two clock laps \
+         (concurrent pins keep re-setting reference bits); retry"
+            .into(),
+    )
 }
 
 #[cfg(test)]
@@ -412,5 +467,87 @@ mod tests {
             })
             .unwrap();
         assert_eq!(err.kind(), "full");
+    }
+
+    #[test]
+    fn victim_error_distinguishes_pinned_hot_and_dirty() {
+        // Regression: the sweep used to report "all frames pinned" for
+        // referenced-hot frames, and "no clean frame" for fully-pinned
+        // pools in no-steal mode. Each cause has its own message now.
+        let all_pinned = victim_error(false, false);
+        assert_eq!(all_pinned.kind(), "full");
+        assert!(all_pinned.to_string().contains("all frames pinned"), "{all_pinned}");
+        // All pinned is all pinned even in no-steal mode.
+        assert!(victim_error(false, true).to_string().contains("all frames pinned"));
+        let hot = victim_error(true, false);
+        assert_eq!(hot.kind(), "full");
+        assert!(hot.to_string().contains("referenced-hot"), "{hot}");
+        assert!(!hot.to_string().contains("pinned)"), "{hot}");
+        let no_clean = victim_error(true, true);
+        assert_eq!(no_clean.kind(), "full");
+        assert!(no_clean.to_string().contains("no clean frame"), "{no_clean}");
+    }
+
+    #[test]
+    fn no_steal_all_pinned_blames_pins_not_checkpoint() {
+        // End-to-end cousin of the unit test above: a fully-pinned pool in
+        // no-steal mode must not tell the operator to checkpoint.
+        let p = pool(2);
+        p.set_no_steal(true);
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        let err = p
+            .with_page(a, |_| {
+                p.with_page(b, |_| {
+                    let c = p.disk().allocate().unwrap();
+                    p.with_page(c, |_| ()).unwrap_err()
+                })
+                .unwrap()
+            })
+            .unwrap();
+        assert!(err.to_string().contains("all frames pinned"), "{err}");
+    }
+
+    #[test]
+    fn no_steal_dirty_frames_report_checkpoint_needed() {
+        let p = pool(2);
+        p.set_no_steal(true);
+        // Dirty both frames (unpinned afterwards), then demand a third page.
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |buf| put_u64(buf, 0, 1)).unwrap();
+        p.with_page_mut(b, |buf| put_u64(buf, 0, 2)).unwrap();
+        let c = p.disk().allocate().unwrap();
+        let err = p.with_page(c, |_| ()).unwrap_err();
+        assert!(err.to_string().contains("no clean frame"), "{err}");
+        // A checkpoint clears the dirt and unblocks eviction.
+        p.flush_all().unwrap();
+        p.with_page(c, |_| ()).unwrap();
+    }
+
+    #[test]
+    fn large_pools_shard_and_small_pools_do_not() {
+        assert_eq!(pool(4).shard_count(), 1);
+        assert_eq!(pool(31).shard_count(), 1);
+        let p = pool(256);
+        assert!(p.shard_count() > 1, "256 frames must shard");
+        // Correctness through sharded eviction: more pages than frames,
+        // hammered from several threads.
+        let ids: Vec<PageId> = (0..512).map(|_| p.allocate().unwrap()).collect();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let p = &p;
+                let ids = &ids;
+                s.spawn(move || {
+                    for (i, id) in ids.iter().enumerate() {
+                        p.with_page_mut(*id, |buf| put_u64(buf, 8, (t + i) as u64)).unwrap();
+                        p.with_page(*id, |buf| assert!(get_u64(buf, 8) < 520)).unwrap();
+                    }
+                });
+            }
+        });
+        for id in &ids {
+            p.with_page(*id, |_| ()).unwrap();
+        }
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::ast::{AggFunc, CmpOp};
 use crate::planner::{ColRef, OutputItem, Plan, ROperand, RPred};
-use crate::provider::ScanRequest;
+use crate::provider::{AggRequest, ColumnFilter, ScanRequest};
 use odh_types::{Datum, OdhError, Result, Row};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -32,6 +32,31 @@ impl QueryResult {
 pub fn execute(plan: &Plan) -> Result<QueryResult> {
     let order = &plan.join_order;
     let first = order[0];
+
+    // Aggregate pushdown: a single-table, aggregate-only query whose WHERE
+    // clause is fully absorbed by the pushed filters can be answered by the
+    // provider's native aggregate path (batch summaries for ODH virtual
+    // tables) — no rows materialize, no per-cell assembly.
+    if let Some(aggs) = aggregate_pushdown_request(plan).filter(|_| aggregate_pushdown_enabled()) {
+        if let Some(cells) = plan.bindings[first]
+            .provider
+            .aggregate_scan(&plan.pushdown[first], &aggs)
+            .transpose()?
+        {
+            let columns = plan
+                .output
+                .iter()
+                .map(|o| match o {
+                    OutputItem::Col { name, .. } | OutputItem::Agg { name, .. } => name.clone(),
+                })
+                .collect();
+            let mut rows = vec![Row::new(cells)];
+            if let Some(limit) = plan.limit {
+                rows.truncate(limit);
+            }
+            return Ok(QueryResult { columns, rows });
+        }
+    }
 
     // Combined-row layout: bindings in FROM order; unjoined cells NULL.
     let arity = plan.combined_arity();
@@ -175,6 +200,106 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
         columns = vec!["?".into()];
     }
     Ok(QueryResult { columns, rows })
+}
+
+/// The aggregate-pushdown request for a plan whose *shape* allows a native
+/// answer: exactly one table, no GROUP BY, aggregate-only outputs, and
+/// Process-wide ablation switch for the aggregate fast path. On by
+/// default; benches flip it off to measure what summary pushdown saves
+/// (the row path gives identical answers, just by decoding blobs).
+static AGG_PUSHDOWN_ENABLED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable aggregate pushdown process-wide (ablation knob —
+/// not meant for concurrent toggling while queries run).
+pub fn set_aggregate_pushdown(enabled: bool) {
+    AGG_PUSHDOWN_ENABLED.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the aggregate fast path is currently enabled.
+pub fn aggregate_pushdown_enabled() -> bool {
+    AGG_PUSHDOWN_ENABLED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// every residual predicate already implied by a pushed filter (so no row
+/// the provider aggregates was meant to be dropped). `None` otherwise.
+/// Whether the provider actually accepts is its own decision.
+pub(crate) fn aggregate_pushdown_request(plan: &Plan) -> Option<Vec<AggRequest>> {
+    if plan.bindings.len() != 1 || !plan.group_by.is_empty() || plan.output.is_empty() {
+        return None;
+    }
+    let aggs: Option<Vec<AggRequest>> = plan
+        .output
+        .iter()
+        .map(|o| match o {
+            OutputItem::Agg { func, input, .. } => {
+                Some(AggRequest { func: *func, input: input.map(|c| c.column) })
+            }
+            OutputItem::Col { .. } => None,
+        })
+        .collect();
+    let aggs = aggs?;
+    if plan.residual.iter().all(|p| residual_absorbed(plan, p)) {
+        Some(aggs)
+    } else {
+        None
+    }
+}
+
+/// Is `p` guaranteed by the pushed filters on its column, making its
+/// re-check redundant?
+fn residual_absorbed(plan: &Plan, p: &RPred) -> bool {
+    let (col, op, lit) = match (&p.left, &p.right) {
+        (ROperand::Col(c), ROperand::Lit(v)) => (*c, p.op, v),
+        (ROperand::Lit(v), ROperand::Col(c)) => (*c, flip_cmp(p.op), v),
+        _ => return false,
+    };
+    plan.pushdown[col.binding].iter().any(|(c, f)| *c == col.column && filter_implies(f, op, lit))
+}
+
+/// `lit OP col` → `col OP' lit`.
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// Does every non-NULL datum accepted by `f` also satisfy `d OP lit`?
+/// Conservative — `false` whenever unsure.
+fn filter_implies(f: &ColumnFilter, op: CmpOp, lit: &Datum) -> bool {
+    match f {
+        ColumnFilter::Eq(k) => matches!(
+            (k.sql_cmp(lit), op),
+            (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge)
+                | (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq)
+                | (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq)
+        ),
+        ColumnFilter::Range { lo, hi } => match op {
+            CmpOp::Ge | CmpOp::Gt => {
+                let Some((b, inc)) = lo else { return false };
+                match b.sql_cmp(lit) {
+                    Some(Ordering::Greater) => true,
+                    // b == lit: `d >= b` gives `d >= lit`; only an
+                    // exclusive bound (`d > b`) gives the strict `d > lit`.
+                    Some(Ordering::Equal) => op == CmpOp::Ge || !*inc,
+                    _ => false,
+                }
+            }
+            CmpOp::Le | CmpOp::Lt => {
+                let Some((b, inc)) = hi else { return false };
+                match b.sql_cmp(lit) {
+                    Some(Ordering::Less) => true,
+                    Some(Ordering::Equal) => op == CmpOp::Le || !*inc,
+                    _ => false,
+                }
+            }
+            CmpOp::Eq | CmpOp::Neq => false,
+        },
+    }
 }
 
 /// The bound-side column of the join edge that connects `b` via `col`.
@@ -399,9 +524,10 @@ fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::provider::MemTable;
+    use crate::provider::{MemTable, TableProvider};
     use crate::SqlEngine;
     use odh_types::{DataType, RelSchema, Timestamp};
+    use std::sync::Arc;
 
     fn engine() -> SqlEngine {
         let e = SqlEngine::new();
@@ -572,5 +698,103 @@ mod tests {
         let e = engine();
         let r = e.query("select * from trade where t_ca_id <> 0").unwrap();
         assert_eq!(r.rows.len(), 90);
+    }
+
+    /// A MemTable wrapper with a native COUNT path, to observe when the
+    /// executor takes the aggregate pushdown.
+    struct NativeCount {
+        inner: Arc<MemTable>,
+        calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl TableProvider for NativeCount {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn schema(&self) -> &RelSchema {
+            self.inner.schema()
+        }
+        fn estimate_rows(&self, f: &[(usize, ColumnFilter)]) -> f64 {
+            self.inner.estimate_rows(f)
+        }
+        fn estimate_cost(&self, r: &ScanRequest) -> f64 {
+            self.inner.estimate_cost(r)
+        }
+        fn scan(&self, r: &ScanRequest) -> Result<Vec<Row>> {
+            self.inner.scan(r)
+        }
+        fn aggregate_scan(
+            &self,
+            filters: &[(usize, ColumnFilter)],
+            aggs: &[AggRequest],
+        ) -> Option<Result<Vec<Datum>>> {
+            if aggs.iter().any(|a| a.input.is_some() || a.func != AggFunc::Count) {
+                return None;
+            }
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let req = ScanRequest { filters: filters.to_vec(), needed: vec![] };
+            Some(
+                self.inner
+                    .scan(&req)
+                    .map(|rows| aggs.iter().map(|_| Datum::I64(rows.len() as i64)).collect()),
+            )
+        }
+    }
+
+    #[test]
+    fn count_pushdown_used_only_when_where_fully_absorbed() {
+        use std::sync::atomic::Ordering::Relaxed;
+        let e = SqlEngine::new();
+        let inner =
+            MemTable::new(RelSchema::new("t", [("k", DataType::I64), ("v", DataType::F64)]));
+        for i in 0..100i64 {
+            inner.insert(Row::new(vec![Datum::I64(i % 10), Datum::F64(i as f64)]));
+        }
+        let native = Arc::new(NativeCount { inner, calls: std::sync::atomic::AtomicUsize::new(0) });
+        e.register(native.clone());
+        let r = e.query("select COUNT(*) from t where k = 3").unwrap();
+        assert_eq!(r.rows[0].get(0), &Datum::I64(10));
+        assert_eq!(r.columns, vec!["COUNT(*)"]);
+        assert_eq!(native.calls.load(Relaxed), 1, "answered natively");
+        // `<>` can't be expressed as a pushed filter, so its residual
+        // blocks the pushdown — the row path must run.
+        let r = e.query("select COUNT(*) from t where k <> 3").unwrap();
+        assert_eq!(r.rows[0].get(0), &Datum::I64(90));
+        assert_eq!(native.calls.load(Relaxed), 1, "fell back to the row path");
+        // Range residuals are absorbed bound-exactly.
+        let r = e.query("select COUNT(*) from t where k > 3 and k <= 7").unwrap();
+        assert_eq!(r.rows[0].get(0), &Datum::I64(40));
+        assert_eq!(native.calls.load(Relaxed), 2);
+        // GROUP BY and declined functions (SUM here) use the row path,
+        // and both agree with the pushdown-free engine.
+        let r = e.query("select k, COUNT(*) from t group by k order by k").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        let r = e.query("select SUM(v) from t where k = 3").unwrap();
+        // v ∈ {3, 13, …, 93} where k == 3.
+        assert_eq!(
+            r.rows[0].get(0).as_f64().unwrap(),
+            (0..10).map(|j| 3.0 + j as f64 * 10.0).sum::<f64>()
+        );
+        assert_eq!(native.calls.load(Relaxed), 2, "SUM declined natively");
+    }
+
+    #[test]
+    fn filter_implication_is_bound_exact() {
+        let lo_excl = ColumnFilter::Range { lo: Some((Datum::I64(5), false)), hi: None };
+        assert!(filter_implies(&lo_excl, CmpOp::Gt, &Datum::I64(5)));
+        assert!(filter_implies(&lo_excl, CmpOp::Ge, &Datum::I64(5)));
+        assert!(!filter_implies(&lo_excl, CmpOp::Gt, &Datum::I64(6)));
+        let lo_incl = ColumnFilter::Range { lo: Some((Datum::I64(5), true)), hi: None };
+        assert!(!filter_implies(&lo_incl, CmpOp::Gt, &Datum::I64(5)), "d >= 5 allows d == 5");
+        assert!(filter_implies(&lo_incl, CmpOp::Ge, &Datum::I64(5)));
+        let eq = ColumnFilter::Eq(Datum::I64(5));
+        assert!(filter_implies(&eq, CmpOp::Eq, &Datum::I64(5)));
+        assert!(filter_implies(&eq, CmpOp::Le, &Datum::I64(7)));
+        assert!(filter_implies(&eq, CmpOp::Neq, &Datum::I64(3)));
+        assert!(!filter_implies(&eq, CmpOp::Neq, &Datum::I64(5)));
+        let hi = ColumnFilter::Range { lo: None, hi: Some((Datum::I64(9), true)) };
+        assert!(filter_implies(&hi, CmpOp::Le, &Datum::I64(9)));
+        assert!(!filter_implies(&hi, CmpOp::Lt, &Datum::I64(9)));
+        assert!(!filter_implies(&hi, CmpOp::Ge, &Datum::I64(0)), "no lower bound");
     }
 }

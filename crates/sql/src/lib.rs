@@ -35,8 +35,8 @@ pub mod stats;
 pub mod token;
 
 pub use catalog::Catalog;
-pub use exec::QueryResult;
-pub use provider::{ColumnFilter, MemTable, ScanRequest, TableProvider};
+pub use exec::{aggregate_pushdown_enabled, set_aggregate_pushdown, QueryResult};
+pub use provider::{AggRequest, ColumnFilter, MemTable, ScanRequest, TableProvider};
 
 use odh_types::Result;
 use std::sync::Arc;

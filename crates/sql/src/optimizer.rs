@@ -28,7 +28,13 @@ use crate::provider::ScanRequest;
 pub fn optimize(mut plan: Plan) -> Plan {
     let n = plan.bindings.len();
     if n <= 1 {
-        plan.estimated_cost = scan_cost(&plan, 0);
+        // Single-table aggregate-only plans that qualify for aggregate
+        // pushdown are priced by the provider's native aggregate path:
+        // summary-answered batches cost near zero ValueBlob bytes.
+        let agg_cost = crate::exec::aggregate_pushdown_request(&plan)
+            .filter(|_| crate::exec::aggregate_pushdown_enabled())
+            .and_then(|_| plan.bindings[0].provider.estimate_aggregate_cost(&plan.pushdown[0]));
+        plan.estimated_cost = agg_cost.unwrap_or_else(|| scan_cost(&plan, 0));
         return plan;
     }
     let mut best: Option<(f64, Vec<usize>)> = None;

@@ -81,6 +81,14 @@ fn tighter(
     }
 }
 
+/// One aggregate a provider is asked to answer natively (aggregate
+/// pushdown): the function plus its input column, `None` for `COUNT(*)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggRequest {
+    pub func: crate::ast::AggFunc,
+    pub input: Option<usize>,
+}
+
 /// What a scan must produce: pushed-down filters plus the set of columns
 /// the query will actually read (projection ∪ predicate ∪ join columns).
 /// Providers may leave un-needed cells NULL — the tag-oriented ODH virtual
@@ -114,6 +122,30 @@ pub trait TableProvider: Send + Sync {
     /// return a superset (the executor re-applies every predicate) and may
     /// leave non-`needed` cells NULL.
     fn scan(&self, req: &ScanRequest) -> Result<Vec<Row>>;
+
+    /// Answer `aggs` natively under `filters`, without materializing rows.
+    ///
+    /// `None` declines — the executor falls back to scan + fold. A provider
+    /// that accepts must honor `filters` *exactly* (no over-returning: there
+    /// are no rows left for the executor to re-check) and finalize with SQL
+    /// semantics: `COUNT` never NULL, `SUM/AVG/MIN/MAX` NULL over zero
+    /// non-NULL inputs. ODH virtual tables answer these from seal-time
+    /// batch summaries, decoding only range-boundary batches.
+    fn aggregate_scan(
+        &self,
+        _filters: &[(usize, ColumnFilter)],
+        _aggs: &[AggRequest],
+    ) -> Option<Result<Vec<Datum>>> {
+        None
+    }
+
+    /// Expected bytes touched by a native [`TableProvider::aggregate_scan`]
+    /// under `filters`, when the provider would accept them. The optimizer
+    /// uses this in place of [`TableProvider::estimate_cost`] for
+    /// aggregate-only plans — summary-answered batches cost near zero.
+    fn estimate_aggregate_cost(&self, _filters: &[(usize, ColumnFilter)]) -> Option<f64> {
+        None
+    }
 
     /// Cost in bytes of one indexed probe on `column`, if an index exists.
     fn probe_cost(&self, _column: usize) -> Option<f64> {

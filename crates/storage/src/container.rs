@@ -15,7 +15,13 @@ use odh_pager::heap::{HeapFile, RecordId};
 use odh_pager::pool::BufferPool;
 use odh_types::Result;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-unique container ids. Every container (created or restored)
+/// gets a fresh one, so decode-cache keys from a dropped generation can
+/// never alias a live container's records.
+static NEXT_CONTAINER_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Recovery image of a container.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +51,7 @@ fn structure_from_u8(v: u8) -> Structure {
 /// Heap + index for one batch structure of one schema type.
 pub struct Container {
     pub structure: Structure,
+    id: u64,
     heap: HeapFile,
     index: BTree,
     max_span: MaxSpan,
@@ -54,10 +61,18 @@ impl Container {
     pub fn create(pool: Arc<BufferPool>, structure: Structure) -> Result<Container> {
         Ok(Container {
             structure,
+            id: NEXT_CONTAINER_ID.fetch_add(1, Ordering::Relaxed),
             heap: HeapFile::create(pool.clone()),
             index: BTree::create(pool)?,
             max_span: MaxSpan::default(),
         })
+    }
+
+    /// Process-unique id; half of a decode-cache key. Heap record ids are
+    /// never reused within a container, so `(id, rid)` identifies an
+    /// immutable sealed batch for the container's lifetime.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Store one serialized batch under its structure key.
@@ -70,13 +85,34 @@ impl Container {
 
     /// Batches whose key lies in `[lo, hi]`.
     pub fn range(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<Batch>> {
+        self.rids_in_range(lo, hi)?.into_iter().map(|rid| self.get_batch(rid)).collect()
+    }
+
+    /// Heap record ids of batches whose key lies in `[lo, hi]`, in key
+    /// order. Scans resolve these through the decode cache.
+    pub fn rids_in_range(&self, lo: &[u8], hi: &[u8]) -> Result<Vec<u64>> {
         let mut out = Vec::new();
         for entry in self.index.range(Some(lo), Some(hi), true)? {
             let (_, rid) = entry?;
-            let payload = self.heap.get(RecordId::from_u64(rid))?;
-            out.push(Batch::deserialize(&payload)?);
+            out.push(rid);
         }
         Ok(out)
+    }
+
+    /// Heap record ids of every batch, in key order.
+    pub fn all_rids(&self) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in self.index.range(None, None, true)? {
+            let (_, rid) = entry?;
+            out.push(rid);
+        }
+        Ok(out)
+    }
+
+    /// Fetch and deserialize one batch by heap record id.
+    pub fn get_batch(&self, rid: u64) -> Result<Batch> {
+        let payload = self.heap.get(RecordId::from_u64(rid))?;
+        Batch::deserialize(&payload)
     }
 
     /// Every batch in the container (reorganizer input).
@@ -105,6 +141,7 @@ impl Container {
         max_span.note(snap.max_span);
         Container {
             structure: structure_from_u8(snap.structure),
+            id: NEXT_CONTAINER_ID.fetch_add(1, Ordering::Relaxed),
             heap: HeapFile::restore(pool.clone(), &snap.heap),
             index: BTree::restore(pool, &snap.index),
             max_span,
@@ -158,6 +195,7 @@ mod tests {
             interval: 1000,
             count: n,
             blob: ValueBlob::encode(&ts, &cols, Policy::Lossless),
+            summaries: None,
         }
     }
 

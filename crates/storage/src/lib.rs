@@ -26,6 +26,7 @@
 pub mod batch;
 pub mod blob;
 pub mod buffer;
+pub mod cache;
 pub mod container;
 pub mod reorg;
 pub mod select;
@@ -35,9 +36,11 @@ pub mod stripe;
 pub mod table;
 pub mod wal;
 
+pub use batch::TagSummary;
 pub use blob::ValueBlob;
+pub use cache::DecodeCache;
 pub use select::Structure;
 pub use snapshot::{TableConfigSnapshot, TableSnapshot};
 pub use stats::StorageStats;
-pub use table::{OdhTable, ScanPoint, TableConfig};
+pub use table::{OdhTable, RangeAggregate, ScanPoint, TableConfig};
 pub use wal::{Wal, WalEntry, WalFrame, WalRecovery, WalStats};

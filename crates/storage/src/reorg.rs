@@ -13,7 +13,7 @@
 //! while the old generation is drained (points are never visible twice:
 //! scans read the new container plus the rewritten per-source batches).
 
-use crate::batch::{Batch, IrtsBatch, RtsBatch};
+use crate::batch::{summarize_columns, Batch, IrtsBatch, RtsBatch};
 use crate::blob::ValueBlob;
 use crate::container::Container;
 use crate::select::Structure;
@@ -80,6 +80,7 @@ impl OdhTable {
                             interval: interval.micros(),
                             count: chunk_ts.len() as u32,
                             blob,
+                            summaries: Some(summarize_columns(&chunk_cols)),
                         };
                         let span = batch.end() - batch.begin;
                         self.rts.insert(&batch.key(), &batch.serialize(), span)?;
@@ -92,6 +93,7 @@ impl OdhTable {
                             end: *chunk_ts.last().unwrap(),
                             timestamps: chunk_ts.to_vec(),
                             blob,
+                            summaries: Some(summarize_columns(&chunk_cols)),
                         };
                         let span = batch.end - batch.begin;
                         self.irts.insert(&batch.key(), &batch.serialize(), span)?;
@@ -102,6 +104,11 @@ impl OdhTable {
             }
         }
         self.reorganized.store(true, std::sync::atomic::Ordering::Release);
+        // The drained generation is unreachable (its container id is
+        // retired with it); evict its decode-cache entries so the budget
+        // goes back to live batches. Done last: concurrent scans that
+        // started against the old generation keep their `Arc`s alive.
+        self.decode_cache().invalidate_container(old.id());
         Ok(moved)
     }
 }

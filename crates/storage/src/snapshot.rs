@@ -47,6 +47,9 @@ pub struct TableConfigSnapshot {
     pub mg_group_size: u64,
     /// `None` in pre-WAL snapshots (treated as `false`).
     pub strict_snapshot: Option<bool>,
+    /// Decoded-batch cache budget; `None` in pre-read-path snapshots
+    /// (treated as the default).
+    pub decode_cache_bytes: Option<usize>,
 }
 
 impl From<&TableConfig> for TableConfigSnapshot {
@@ -57,6 +60,7 @@ impl From<&TableConfig> for TableConfigSnapshot {
             policy: c.policy,
             mg_group_size: c.mg_group_size,
             strict_snapshot: Some(c.strict_snapshot),
+            decode_cache_bytes: Some(c.decode_cache_bytes),
         }
     }
 }
@@ -68,6 +72,9 @@ impl From<&TableConfigSnapshot> for TableConfig {
             .with_policy(s.policy)
             .with_mg_group_size(s.mg_group_size)
             .with_strict_snapshot(s.strict_snapshot.unwrap_or(false))
+            .with_decode_cache_bytes(
+                s.decode_cache_bytes.unwrap_or(crate::table::DEFAULT_DECODE_CACHE_BYTES),
+            )
     }
 }
 

@@ -28,6 +28,16 @@ pub struct StorageStats {
     pub batches_reorganized: AtomicU64,
     /// Batches skipped without blob decode thanks to tag zone bounds.
     pub batches_zone_pruned: AtomicU64,
+    /// Batches whose aggregate contribution came entirely from sealed
+    /// per-tag summaries (no blob decode).
+    pub summary_answered_batches: AtomicU64,
+    /// Sealed-batch fetches served from the decode cache.
+    pub cache_hits: AtomicU64,
+    /// Sealed-batch fetches that missed the decode cache.
+    pub cache_misses: AtomicU64,
+    /// ValueBlob tag-section decode events (one per batch whose requested
+    /// tags were not already decoded in cache).
+    pub blob_decodes: AtomicU64,
 }
 
 /// Snapshot of [`StorageStats`].
@@ -43,6 +53,12 @@ pub struct StatsSnapshot {
     pub points_scanned: u64,
     pub batches_reorganized: u64,
     pub batches_zone_pruned: u64,
+    // Read-path counters added in the query overhaul; `Option` keeps old
+    // snapshots deserializable (missing → `None`).
+    pub summary_answered_batches: Option<u64>,
+    pub cache_hits: Option<u64>,
+    pub cache_misses: Option<u64>,
+    pub blob_decodes: Option<u64>,
 }
 
 impl Default for StatsSnapshot {
@@ -58,6 +74,10 @@ impl Default for StatsSnapshot {
             points_scanned: 0,
             batches_reorganized: 0,
             batches_zone_pruned: 0,
+            summary_answered_batches: Some(0),
+            cache_hits: Some(0),
+            cache_misses: Some(0),
+            blob_decodes: Some(0),
         }
     }
 }
@@ -105,6 +125,10 @@ impl StorageStats {
             points_scanned: self.points_scanned.load(Ordering::Relaxed),
             batches_reorganized: self.batches_reorganized.load(Ordering::Relaxed),
             batches_zone_pruned: self.batches_zone_pruned.load(Ordering::Relaxed),
+            summary_answered_batches: Some(self.summary_answered_batches.load(Ordering::Relaxed)),
+            cache_hits: Some(self.cache_hits.load(Ordering::Relaxed)),
+            cache_misses: Some(self.cache_misses.load(Ordering::Relaxed)),
+            blob_decodes: Some(self.blob_decodes.load(Ordering::Relaxed)),
         }
     }
 }

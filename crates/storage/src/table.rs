@@ -6,9 +6,10 @@
 //! **slice queries** (many sources, short time window). Scans merge sealed
 //! batches with open ingest buffers — the "dirty read" isolation of §3.
 
-use crate::batch::{Batch, IrtsBatch, MgBatch, RtsBatch};
+use crate::batch::{summarize_columns, Batch, IrtsBatch, MgBatch, RtsBatch, TagSummary};
 use crate::blob::ValueBlob;
 use crate::buffer::{MgBuffer, SourceBuffer};
+use crate::cache::{CachedBatch, DecodeCache};
 use crate::container::Container;
 use crate::select::{historical_structure, ingestion_structure, Structure};
 use crate::stats::{MeterIoHook, StorageStats};
@@ -23,6 +24,9 @@ use odh_types::{GroupId, OdhError, Record, Result, SchemaType, SourceClass, Sour
 use parking_lot::RwLock;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+
+/// Default byte budget of the decoded-batch cache.
+pub const DEFAULT_DECODE_CACHE_BYTES: usize = 32 << 20;
 
 /// Configuration of one operational table.
 #[derive(Debug, Clone)]
@@ -39,6 +43,9 @@ pub struct TableConfig {
     /// points, even when a WAL could replay them. The pre-WAL behaviour,
     /// for deployments that checkpoint without a log.
     pub strict_snapshot: bool,
+    /// Byte budget of the decoded-batch cache (see [`crate::cache`]);
+    /// 0 disables caching.
+    pub decode_cache_bytes: usize,
 }
 
 impl TableConfig {
@@ -49,6 +56,7 @@ impl TableConfig {
             policy: Policy::Lossless,
             mg_group_size: 1000,
             strict_snapshot: false,
+            decode_cache_bytes: DEFAULT_DECODE_CACHE_BYTES,
         }
     }
 
@@ -73,6 +81,11 @@ impl TableConfig {
         self.strict_snapshot = strict;
         self
     }
+
+    pub fn with_decode_cache_bytes(mut self, bytes: usize) -> TableConfig {
+        self.decode_cache_bytes = bytes;
+        self
+    }
 }
 
 /// One decoded operational point returned by a scan, with `values`
@@ -82,6 +95,69 @@ pub struct ScanPoint {
     pub source: SourceId,
     pub ts: Timestamp,
     pub values: Vec<Option<f64>>,
+}
+
+/// Result of [`OdhTable::aggregate_range`]: the row count of the matching
+/// range plus one folded [`TagSummary`] per requested tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeAggregate {
+    /// Rows (records) in the range — what `COUNT(*)` sees.
+    pub rows: u64,
+    /// Folded per-tag summaries, parallel to the requested tag list.
+    pub tags: Vec<TagSummary>,
+}
+
+impl RangeAggregate {
+    /// Fold one row of projected values (from an open ingest buffer).
+    fn add_row(&mut self, values: &[Option<f64>]) {
+        self.rows += 1;
+        for (s, &v) in self.tags.iter_mut().zip(values) {
+            s.add(v);
+        }
+    }
+}
+
+/// Seqlock-style counters bracketing every buffer→container transition.
+///
+/// A sealer increments `started` *before* rows leave their ingest buffer
+/// and `done` once the sealed batch is queryable in its container, so
+/// `started == done` means no points are mid-flight. Composite readers
+/// (scans and aggregates merge containers with open buffers) snapshot the
+/// epoch, run, and retry if any seal began meanwhile — without this a
+/// reader can walk a container before the insert and the buffer after the
+/// take, missing whole batches (counts go backwards under live writers).
+#[derive(Default)]
+struct SealSync {
+    started: std::sync::atomic::AtomicU64,
+    done: std::sync::atomic::AtomicU64,
+}
+
+impl SealSync {
+    /// Writer side: RAII ticket held from before the buffer take until the
+    /// batch is queryable (dropped on error paths too).
+    fn begin(&self) -> SealTicket<'_> {
+        self.started.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        SealTicket(self)
+    }
+
+    /// Reader side: the current epoch, or `None` while a seal is in flight.
+    fn stable(&self) -> Option<u64> {
+        let s = self.started.load(std::sync::atomic::Ordering::SeqCst);
+        (self.done.load(std::sync::atomic::Ordering::SeqCst) == s).then_some(s)
+    }
+
+    /// Reader side: true when no seal has started since `epoch`.
+    fn still(&self, epoch: u64) -> bool {
+        self.started.load(std::sync::atomic::Ordering::SeqCst) == epoch
+    }
+}
+
+struct SealTicket<'a>(&'a SealSync);
+
+impl Drop for SealTicket<'_> {
+    fn drop(&mut self) {
+        self.0.done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -103,10 +179,14 @@ pub struct OdhTable {
     /// Open ingest buffers, lock-striped so concurrent writers to
     /// different sources don't contend (see [`crate::stripe`]).
     buffers: StripedBuffers,
+    /// Seal seqlock: keeps buffer→container moves atomic to readers.
+    seals: SealSync,
     /// Set once [`OdhTable::reorganize`] has run: slice scans must then also
     /// consult the per-source containers for MG sources.
     pub(crate) reorganized: std::sync::atomic::AtomicBool,
     pub(crate) stats: StorageStats,
+    /// Decoded sealed-batch cache shared by every scan of this table.
+    pub(crate) cache: DecodeCache,
     /// Write-ahead log binding, set once by [`OdhTable::attach_wal`].
     wal: std::sync::OnceLock<WalBinding>,
     /// Per-source / per-MG-group sealed low-water marks: the highest WAL
@@ -137,8 +217,10 @@ impl OdhTable {
             mg: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Mg)?)),
             sources: RwLock::new(HashMap::new()),
             buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
+            seals: SealSync::default(),
             reorganized: std::sync::atomic::AtomicBool::new(false),
             stats: StorageStats::new(),
+            cache: DecodeCache::new(cfg.decode_cache_bytes),
             wal: std::sync::OnceLock::new(),
             sealed: parking_lot::Mutex::new(HashMap::new()),
             mg_sealed: parking_lot::Mutex::new(HashMap::new()),
@@ -167,8 +249,10 @@ impl OdhTable {
             mg: RwLock::new(Arc::new(mg)),
             sources: RwLock::new(HashMap::new()),
             buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
+            seals: SealSync::default(),
             reorganized: std::sync::atomic::AtomicBool::new(reorganized),
             stats,
+            cache: DecodeCache::new(cfg.decode_cache_bytes),
             wal: std::sync::OnceLock::new(),
             sealed: parking_lot::Mutex::new(HashMap::new()),
             mg_sealed: parking_lot::Mutex::new(HashMap::new()),
@@ -330,6 +414,9 @@ impl OdhTable {
                 });
                 buf.push(record.ts.micros(), &record.values, lsn);
                 if buf.len() >= self.cfg.batch_size {
+                    // Ticket before the take: readers must find these rows
+                    // in the buffer or the container at every instant.
+                    let _seal = self.seals.begin();
                     let (ts, cols, last_lsn) = buf.take();
                     // Seal outside the shard lock: blob encoding is the
                     // expensive part, and other sources on this shard can
@@ -357,6 +444,7 @@ impl OdhTable {
                 });
                 buf.push(record.source, record.ts.micros(), &record.values, lsn);
                 if buf.len() >= self.cfg.batch_size {
+                    let _seal = self.seals.begin();
                     let (ts, ids, cols, last_lsn) = buf.take();
                     drop(g);
                     self.seal_mg_batch(meta.group, ts, ids, cols, last_lsn)?;
@@ -377,6 +465,9 @@ impl OdhTable {
     /// and sealed batches remain recoverable via the log until the next
     /// checkpoint truncates it.
     pub fn flush(&self) -> Result<()> {
+        // One ticket for the whole drain: `drain_sources` empties every
+        // buffer before the first batch lands, so readers must wait it out.
+        let _seal = self.seals.begin();
         for (id, (ts, cols, last_lsn)) in self.buffers.drain_sources() {
             let meta = *self.sources.read().get(&id).unwrap();
             self.seal_source_batch(SourceId(id), meta, ts, cols, last_lsn)?;
@@ -455,6 +546,7 @@ impl OdhTable {
                         interval: dt,
                         count: run_ts.len() as u32,
                         blob,
+                        summaries: Some(summarize_columns(&run_cols)),
                     };
                     self.note_batch(&batch.blob, &run_cols);
                     let span = batch.end() - batch.begin;
@@ -474,6 +566,7 @@ impl OdhTable {
                     end: *ts.last().unwrap(),
                     timestamps: ts,
                     blob,
+                    summaries: Some(summarize_columns(&cols)),
                 };
                 self.note_batch(&batch.blob, &cols);
                 let span = batch.end - batch.begin;
@@ -496,8 +589,15 @@ impl OdhTable {
         }
         sort_rows(&mut ts, Some(&mut ids), &mut cols);
         let blob = ValueBlob::encode(&ts, &cols, self.cfg.policy);
-        let batch =
-            MgBatch { group, begin: ts[0], end: *ts.last().unwrap(), ids, timestamps: ts, blob };
+        let batch = MgBatch {
+            group,
+            begin: ts[0],
+            end: *ts.last().unwrap(),
+            ids,
+            timestamps: ts,
+            blob,
+            summaries: Some(summarize_columns(&cols)),
+        };
         self.note_batch(&batch.blob, &cols);
         let span = batch.end - batch.begin;
         // Hold the generation lock across the insert: the reorganizer swaps
@@ -556,6 +656,22 @@ impl OdhTable {
         tags: &[usize],
         tag_ranges: &[(usize, f64, f64)],
     ) -> Result<Vec<ScanPoint>> {
+        let out =
+            self.read_consistent(|t| t.historical_scan_once(source, t1, t2, tags, tag_ranges))?;
+        self.note_scan(&out);
+        Ok(out)
+    }
+
+    /// One optimistic pass of [`OdhTable::historical_scan_filtered`]; only
+    /// valid if no seal overlapped it (see [`SealSync`]).
+    fn historical_scan_once(
+        &self,
+        source: SourceId,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+        tag_ranges: &[(usize, f64, f64)],
+    ) -> Result<Vec<ScanPoint>> {
         let meta = *self
             .sources
             .read()
@@ -600,8 +716,24 @@ impl OdhTable {
             }
         }
         out.sort_unstable_by_key(|p| p.ts);
-        self.note_scan(&out);
         Ok(out)
+    }
+
+    /// Run one optimistic read pass under the seal seqlock, retrying until
+    /// no buffer→container transition overlapped it. Retries are rare
+    /// (a seal must land mid-read) and each pass starts from scratch, so
+    /// merged container+buffer reads observe every point exactly once.
+    fn read_consistent<T>(&self, mut read: impl FnMut(&Self) -> Result<T>) -> Result<T> {
+        loop {
+            let Some(epoch) = self.seals.stable() else {
+                std::thread::yield_now();
+                continue;
+            };
+            let out = read(self)?;
+            if self.seals.still(epoch) {
+                return Ok(out);
+            }
+        }
     }
 
     /// Slice query: points of many sources within a short window
@@ -619,6 +751,21 @@ impl OdhTable {
     /// [`OdhTable::slice_scan`] with tag zone-map pruning (see
     /// [`OdhTable::historical_scan_filtered`]).
     pub fn slice_scan_filtered(
+        &self,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+        sources: Option<&HashSet<SourceId>>,
+        tag_ranges: &[(usize, f64, f64)],
+    ) -> Result<Vec<ScanPoint>> {
+        let out = self.read_consistent(|t| t.slice_scan_once(t1, t2, tags, sources, tag_ranges))?;
+        self.note_scan(&out);
+        Ok(out)
+    }
+
+    /// One optimistic pass of [`OdhTable::slice_scan_filtered`]; only valid
+    /// if no seal overlapped it (see [`SealSync`]).
+    fn slice_scan_once(
         &self,
         t1: Timestamp,
         t2: Timestamp,
@@ -665,8 +812,9 @@ impl OdhTable {
             }
             if (per_source.len() as u64) > container.record_count() {
                 self.meter.cpu(self.meter.costs.buffer_hit * container.record_count() as f64);
-                for batch in container.scan_all()? {
-                    self.emit_batch(&batch, t1, t2, tags, sources, tag_ranges, &mut out)?;
+                for rid in container.all_rids()? {
+                    let entry = self.fetch_cached(container, rid)?;
+                    self.emit_cached(&entry, t1, t2, tags, sources, tag_ranges, &mut out)?;
                 }
             } else {
                 for sid in &per_source {
@@ -699,7 +847,6 @@ impl OdhTable {
             }
         }
         out.sort_unstable_by_key(|p| (p.ts, p.source));
-        self.note_scan(&out);
         Ok(out)
     }
 
@@ -721,8 +868,9 @@ impl OdhTable {
             .build();
         let hi = KeyBuf::new().push_u64(source.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
-        for batch in container.range(&lo, &hi)? {
-            self.emit_batch(&batch, t1, t2, tags, None, tag_ranges, out)?;
+        for rid in container.rids_in_range(&lo, &hi)? {
+            let entry = self.fetch_cached(container, rid)?;
+            self.emit_cached(&entry, t1, t2, tags, None, tag_ranges, out)?;
         }
         Ok(())
     }
@@ -743,17 +891,57 @@ impl OdhTable {
         let lo = KeyBuf::new().push_u32(group.0).push_i64(t1.saturating_sub(mg.max_span())).build();
         let hi = KeyBuf::new().push_u32(group.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
-        for batch in mg.range(&lo, &hi)? {
-            self.emit_batch(&batch, t1, t2, tags, filter, tag_ranges, out)?;
+        for rid in mg.rids_in_range(&lo, &hi)? {
+            let entry = self.fetch_cached(mg, rid)?;
+            self.emit_cached(&entry, t1, t2, tags, filter, tag_ranges, out)?;
         }
         Ok(())
     }
 
-    /// Decode the rows of `batch` within `[t1, t2]` into `out`.
-    #[allow(clippy::too_many_arguments)]
-    fn emit_batch(
+    /// Fetch a sealed batch through the decode cache: a hit returns the
+    /// shared entry (decoded columns and all); a miss deserializes the
+    /// record, admits it, and lets the caller decode lazily.
+    fn fetch_cached(&self, container: &Container, rid: u64) -> Result<Arc<CachedBatch>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key = (container.id(), rid);
+        if let Some(entry) = self.cache.get(key) {
+            self.stats.cache_hits.fetch_add(1, Relaxed);
+            self.meter.cpu(self.meter.costs.buffer_hit);
+            return Ok(entry);
+        }
+        self.stats.cache_misses.fetch_add(1, Relaxed);
+        let batch = container.get_batch(rid)?;
+        let entry = Arc::new(CachedBatch::new(batch, self.cfg.schema.tag_count()));
+        self.cache.insert(key, entry.clone());
+        Ok(entry)
+    }
+
+    /// Project `tags` out of a cached batch, charging the meter for a
+    /// decode only when the cache had to decode now, and counting the
+    /// decode event.
+    fn project_cached(
         &self,
-        batch: &Batch,
+        entry: &CachedBatch,
+        tags: &[usize],
+    ) -> Result<Vec<Arc<Vec<Option<f64>>>>> {
+        let (cols, decoded) = entry.cols_for(tags)?;
+        if decoded {
+            // Charge decode proportional to the *projected* bytes — the
+            // tag-oriented saving.
+            let projected = entry.batch.blob().projected_bytes(tags)? as f64;
+            self.meter.cpu(self.meter.costs.point_decode * projected / 8.0);
+            self.stats.blob_decodes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        } else {
+            self.meter.cpu(self.meter.costs.buffer_hit);
+        }
+        Ok(cols)
+    }
+
+    /// Emit the rows of a cached batch within `[t1, t2]` into `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_cached(
+        &self,
+        entry: &CachedBatch,
         t1: i64,
         t2: i64,
         tags: &[usize],
@@ -761,13 +949,16 @@ impl OdhTable {
         tag_ranges: &[(usize, f64, f64)],
         out: &mut Vec<ScanPoint>,
     ) -> Result<()> {
+        let batch = &entry.batch;
         let (b_begin, b_end) = batch.time_range();
         if b_end < t1 || b_begin > t2 {
             return Ok(());
         }
         // Zone-map pruning: a conjunctive tag range that cannot intersect
         // this batch's bounds (or hits an all-NULL column, which no
-        // comparison matches) rules the whole batch out — header-only work.
+        // comparison matches) rules the whole batch out — header-only
+        // work. Applied on cache hits too, so the cached path emits
+        // exactly what the uncached path would.
         for &(tag, lo, hi) in tag_ranges {
             match batch.blob().tag_bounds(tag)? {
                 None => {
@@ -786,51 +977,15 @@ impl OdhTable {
                 }
             }
         }
-        // Charge decode proportional to the *projected* bytes — the
-        // tag-oriented saving.
-        let projected = batch.blob().projected_bytes(tags)? as f64;
-        self.meter.cpu(self.meter.costs.point_decode * projected / 8.0);
+        if let (Some(f), Some(source)) = (filter, batch.source()) {
+            if !f.contains(&source) {
+                return Ok(());
+            }
+        }
+        let cols = self.project_cached(entry, tags)?;
         match batch {
-            Batch::Rts(b) => {
-                if let Some(f) = filter {
-                    if !f.contains(&b.source) {
-                        return Ok(());
-                    }
-                }
-                let ts = b.timestamps();
-                let cols = b.blob.decode_tags(&ts, tags)?;
-                for (row, &t) in ts.iter().enumerate() {
-                    if t < t1 || t > t2 {
-                        continue;
-                    }
-                    out.push(ScanPoint {
-                        source: b.source,
-                        ts: Timestamp(t),
-                        values: cols.iter().map(|c| c[row]).collect(),
-                    });
-                }
-            }
-            Batch::Irts(b) => {
-                if let Some(f) = filter {
-                    if !f.contains(&b.source) {
-                        return Ok(());
-                    }
-                }
-                let cols = b.blob.decode_tags(&b.timestamps, tags)?;
-                for (row, &t) in b.timestamps.iter().enumerate() {
-                    if t < t1 || t > t2 {
-                        continue;
-                    }
-                    out.push(ScanPoint {
-                        source: b.source,
-                        ts: Timestamp(t),
-                        values: cols.iter().map(|c| c[row]).collect(),
-                    });
-                }
-            }
             Batch::Mg(b) => {
-                let cols = b.blob.decode_tags(&b.timestamps, tags)?;
-                for (row, &t) in b.timestamps.iter().enumerate() {
+                for (row, &t) in entry.ts.iter().enumerate() {
                     if t < t1 || t > t2 {
                         continue;
                     }
@@ -847,8 +1002,222 @@ impl OdhTable {
                     });
                 }
             }
+            Batch::Rts(b) => emit_rows(&entry.ts, &cols, b.source, t1, t2, out),
+            Batch::Irts(b) => emit_rows(&entry.ts, &cols, b.source, t1, t2, out),
         }
         Ok(())
+    }
+
+    /// Aggregate `tags` over `[t1, t2]` (optionally one `source`) without
+    /// materializing rows. Batches fully covered by the range — and not
+    /// subject to a source filter their summaries cannot express — are
+    /// answered straight from their seal-time [`TagSummary`] block;
+    /// everything else (boundary batches, filtered MG groups, pre-v2
+    /// records) pays decode through the cache. Open ingest buffers are
+    /// folded in row-by-row (the same dirty-read isolation scans give).
+    ///
+    /// Equivalent to folding the rows of the matching scan, except that
+    /// floating-point sums may associate differently (per-batch partials
+    /// instead of row order).
+    pub fn aggregate_range(
+        &self,
+        source: Option<SourceId>,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+    ) -> Result<RangeAggregate> {
+        self.read_consistent(|t| t.aggregate_range_once(source, t1, t2, tags))
+    }
+
+    /// One optimistic pass of [`OdhTable::aggregate_range`]; only valid if
+    /// no seal overlapped it (see [`SealSync`]).
+    fn aggregate_range_once(
+        &self,
+        source: Option<SourceId>,
+        t1: Timestamp,
+        t2: Timestamp,
+        tags: &[usize],
+    ) -> Result<RangeAggregate> {
+        let (t1, t2) = (t1.micros(), t2.micros());
+        let mut agg = RangeAggregate { rows: 0, tags: vec![TagSummary::empty(); tags.len()] };
+        match source {
+            Some(sid) => {
+                let meta = *self
+                    .sources
+                    .read()
+                    .get(&sid.0)
+                    .ok_or_else(|| OdhError::NotFound(format!("{sid} not registered")))?;
+                let container = match historical_structure(meta.class) {
+                    Structure::Rts => &self.rts,
+                    _ => &self.irts,
+                };
+                let lo = KeyBuf::new()
+                    .push_u64(sid.0)
+                    .push_i64(t1.saturating_sub(container.max_span()))
+                    .build();
+                let hi = KeyBuf::new().push_u64(sid.0).push_i64(t2).build();
+                self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
+                for rid in container.rids_in_range(&lo, &hi)? {
+                    self.aggregate_batch(container, rid, t1, t2, tags, None, &mut agg)?;
+                }
+                if meta.ingest == Structure::Mg {
+                    let mg = self.mg.read().clone();
+                    let filter: HashSet<SourceId> = [sid].into_iter().collect();
+                    let lo = KeyBuf::new()
+                        .push_u32(meta.group.0)
+                        .push_i64(t1.saturating_sub(mg.max_span()))
+                        .build();
+                    let hi = KeyBuf::new().push_u32(meta.group.0).push_i64(t2).build();
+                    self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
+                    for rid in mg.rids_in_range(&lo, &hi)? {
+                        self.aggregate_batch(&mg, rid, t1, t2, tags, Some(&filter), &mut agg)?;
+                    }
+                    let g = self.buffers.lock_mg(meta.group.0);
+                    if let Some(buf) = g.get(&meta.group.0) {
+                        for (_, _, values) in buf.rows_in_range(t1, t2, tags, Some(sid)) {
+                            agg.add_row(&values);
+                        }
+                    }
+                } else {
+                    let g = self.buffers.lock_source(sid.0);
+                    if let Some(buf) = g.get(&sid.0) {
+                        for (_, values) in buf.rows_in_range(t1, t2, tags) {
+                            agg.add_row(&values);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Whole-table aggregate: walk every sealed batch (the time
+                // reject in `aggregate_batch` skips non-intersecting ones
+                // at header cost) plus every open buffer.
+                for container in [&self.rts, &self.irts] {
+                    if container.record_count() == 0 {
+                        continue;
+                    }
+                    self.meter
+                        .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
+                    for rid in container.all_rids()? {
+                        self.aggregate_batch(container, rid, t1, t2, tags, None, &mut agg)?;
+                    }
+                }
+                let mg = self.mg.read().clone();
+                if mg.record_count() > 0 {
+                    self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
+                    for rid in mg.all_rids()? {
+                        self.aggregate_batch(&mg, rid, t1, t2, tags, None, &mut agg)?;
+                    }
+                }
+                let (per_source, groups) = {
+                    let g = self.sources.read();
+                    let mut per_source = Vec::new();
+                    let mut groups = HashSet::new();
+                    for (&id, meta) in g.iter() {
+                        match meta.ingest {
+                            Structure::Mg => {
+                                groups.insert(meta.group.0);
+                            }
+                            _ => per_source.push(id),
+                        }
+                    }
+                    (per_source, groups)
+                };
+                for id in per_source {
+                    let g = self.buffers.lock_source(id);
+                    if let Some(buf) = g.get(&id) {
+                        for (_, values) in buf.rows_in_range(t1, t2, tags) {
+                            agg.add_row(&values);
+                        }
+                    }
+                }
+                for gid in groups {
+                    let g = self.buffers.lock_mg(gid);
+                    if let Some(buf) = g.get(&gid) {
+                        for (_, _, values) in buf.rows_in_range(t1, t2, tags, None) {
+                            agg.add_row(&values);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(agg)
+    }
+
+    /// Fold one sealed batch into `agg`: summary fast path when the range
+    /// fully covers the batch and no per-row filter applies; cached decode
+    /// otherwise.
+    #[allow(clippy::too_many_arguments)]
+    fn aggregate_batch(
+        &self,
+        container: &Container,
+        rid: u64,
+        t1: i64,
+        t2: i64,
+        tags: &[usize],
+        filter: Option<&HashSet<SourceId>>,
+        agg: &mut RangeAggregate,
+    ) -> Result<()> {
+        let entry = self.fetch_cached(container, rid)?;
+        let batch = &entry.batch;
+        let (b_begin, b_end) = batch.time_range();
+        if b_end < t1 || b_begin > t2 {
+            return Ok(());
+        }
+        if let (Some(f), Some(source)) = (filter, batch.source()) {
+            if !f.contains(&source) {
+                return Ok(());
+            }
+        }
+        let fully_covered = b_begin >= t1 && b_end <= t2;
+        let filtered_mg = filter.is_some() && batch.source().is_none();
+        if fully_covered && !filtered_mg {
+            if let Some(sums) = batch.summaries() {
+                agg.rows += batch.n_points() as u64;
+                for (i, &tag) in tags.iter().enumerate() {
+                    agg.tags[i].merge(&sums[tag]);
+                }
+                self.stats
+                    .summary_answered_batches
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        let cols = self.project_cached(&entry, tags)?;
+        match batch {
+            Batch::Mg(b) => {
+                for (row, &t) in entry.ts.iter().enumerate() {
+                    if t < t1 || t > t2 {
+                        continue;
+                    }
+                    if let Some(f) = filter {
+                        if !f.contains(&b.ids[row]) {
+                            continue;
+                        }
+                    }
+                    agg.rows += 1;
+                    for (i, col) in cols.iter().enumerate() {
+                        agg.tags[i].add(col[row]);
+                    }
+                }
+            }
+            _ => {
+                for (row, &t) in entry.ts.iter().enumerate() {
+                    if t < t1 || t > t2 {
+                        continue;
+                    }
+                    agg.rows += 1;
+                    for (i, col) in cols.iter().enumerate() {
+                        agg.tags[i].add(col[row]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The decoded-batch cache (benchmarks clear it to measure cold runs).
+    pub fn decode_cache(&self) -> &DecodeCache {
+        &self.cache
     }
 
     fn note_scan(&self, out: &[ScanPoint]) {
@@ -865,6 +1234,27 @@ impl OdhTable {
     /// Per-structure record counts `(rts, irts, mg)`.
     pub fn record_counts(&self) -> (u64, u64, u64) {
         (self.rts.record_count(), self.irts.record_count(), self.mg.read().record_count())
+    }
+}
+
+/// Emit the in-range rows of one per-source batch.
+fn emit_rows(
+    ts: &[i64],
+    cols: &[Arc<Vec<Option<f64>>>],
+    source: SourceId,
+    t1: i64,
+    t2: i64,
+    out: &mut Vec<ScanPoint>,
+) {
+    for (row, &t) in ts.iter().enumerate() {
+        if t < t1 || t > t2 {
+            continue;
+        }
+        out.push(ScanPoint {
+            source,
+            ts: Timestamp(t),
+            values: cols.iter().map(|c| c[row]).collect(),
+        });
     }
 }
 
@@ -1105,6 +1495,110 @@ mod tests {
         let times: Vec<i64> = pts.iter().map(|p| p.ts.micros()).collect();
         assert_eq!(times, vec![10, 20, 30, 40]);
         assert_eq!(pts[0].values[0], Some(10.0));
+    }
+
+    #[test]
+    fn aggregate_range_fully_covered_answers_from_summaries() {
+        let t = table(16);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000); // values (i, -i), integer-exact
+        t.flush().unwrap(); // 6 full batches + 1 remainder = 7 sealed
+        let agg = t
+            .aggregate_range(Some(SourceId(5)), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
+            .unwrap();
+        assert_eq!(agg.rows, 100);
+        assert_eq!(agg.tags[0].count, 100);
+        assert_eq!(agg.tags[0].sum, (0..100).sum::<i64>() as f64);
+        assert_eq!(agg.tags[0].min, 0.0);
+        assert_eq!(agg.tags[0].max, 99.0);
+        assert_eq!(agg.tags[1].min, -99.0);
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.summary_answered_batches, Some(7), "all batches summary-answered");
+        assert_eq!(snap.blob_decodes, Some(0), "no blob touched");
+    }
+
+    #[test]
+    fn aggregate_range_decodes_only_boundary_batches() {
+        let t = table(16);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000);
+        t.flush().unwrap();
+        // Rows 20..=70: batches 1 and 4 are boundaries, 2 and 3 covered.
+        let t1 = Timestamp(1_000_000 + 200_000);
+        let t2 = Timestamp(1_000_000 + 700_000);
+        let agg = t.aggregate_range(Some(SourceId(5)), t1, t2, &[0]).unwrap();
+        assert_eq!(agg.rows, 51);
+        assert_eq!(agg.tags[0].sum, (20..=70).sum::<i64>() as f64);
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.summary_answered_batches, Some(2));
+        assert_eq!(snap.blob_decodes, Some(2), "only boundary batches decode");
+        // Equivalent to folding the scan.
+        let pts = t.historical_scan(SourceId(5), t1, t2, &[0]).unwrap();
+        let sum: f64 = pts.iter().filter_map(|p| p.values[0]).sum();
+        assert_eq!(sum, agg.tags[0].sum);
+        assert_eq!(pts.len() as u64, agg.rows);
+    }
+
+    #[test]
+    fn aggregate_range_sees_open_buffers() {
+        let t = table(1000); // nothing seals
+        t.register_source(SourceId(9), SourceClass::irregular_high()).unwrap();
+        for i in 0..5i64 {
+            t.put(&Record::dense(SourceId(9), Timestamp(i * 100), [i as f64, 0.0])).unwrap();
+        }
+        let agg =
+            t.aggregate_range(Some(SourceId(9)), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(agg.rows, 5);
+        assert_eq!(agg.tags[0].sum, 10.0);
+        // Whole-table form folds the same buffer.
+        let all = t.aggregate_range(None, Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(all.rows, 5);
+        assert_eq!(all.tags[0].sum, 10.0);
+    }
+
+    #[test]
+    fn warm_scans_decode_nothing_new() {
+        let t = table(16);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000);
+        t.flush().unwrap();
+        let cold_pts =
+            t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
+        let cold = t.stats().snapshot();
+        assert_eq!(cold.blob_decodes, Some(7));
+        assert_eq!(cold.cache_misses, Some(7));
+        let warm_pts =
+            t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
+        let warm = t.stats().snapshot();
+        assert_eq!(warm_pts, cold_pts, "cached scan ≡ uncached scan");
+        assert_eq!(warm.blob_decodes, Some(7), "warm scan decodes nothing");
+        assert_eq!(warm.cache_hits.unwrap(), cold.cache_hits.unwrap() + 7);
+    }
+
+    #[test]
+    fn zero_cache_budget_disables_caching_without_changing_results() {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 512);
+        let schema = SchemaType::new("env", ["temperature", "wind"]);
+        let t = OdhTable::create(
+            pool,
+            ResourceMeter::unmetered(),
+            TableConfig::new(schema).with_batch_size(16).with_decode_cache_bytes(0),
+        )
+        .unwrap();
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 64, 10_000);
+        t.flush().unwrap();
+        let a = t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        let b = t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(t.decode_cache().len(), 0);
+        let snap = t.stats().snapshot();
+        assert_eq!(snap.cache_hits, Some(0));
+        assert_eq!(snap.cache_misses, Some(8), "every fetch misses with a zero budget");
     }
 
     #[test]

@@ -257,3 +257,77 @@ fn reorganize_races_with_ingest_safely() {
     let r = h.sql("select COUNT(*) from m_v").unwrap();
     assert_eq!(r.rows[0].get(0), &Datum::I64(4_000));
 }
+
+/// Readers hammer scans and aggregates while the reorganizer swaps MG
+/// generations under them: the decode cache is invalidated per dropped
+/// generation, and because container ids are process-unique a stale entry
+/// can never alias a live record — every point a reader sees must carry
+/// the value written for its timestamp.
+#[test]
+fn cache_stays_fresh_across_reorganizations() {
+    let h = Arc::new(Historian::builder().build().unwrap());
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("c", ["v"])).with_batch_size(16).with_mg_group_size(8),
+    )
+    .unwrap();
+    for id in 0..16u64 {
+        h.register_source("c", SourceId(id), SourceClass::irregular_low()).unwrap();
+    }
+    let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|s| {
+        let writer_h = h.clone();
+        let writer_done = done.clone();
+        s.spawn(move || {
+            let w = writer_h.writer("c").unwrap();
+            for i in 0..4_000i64 {
+                w.write(&Record::dense(
+                    SourceId((i % 16) as u64),
+                    Timestamp(i * 1_000),
+                    [i as f64],
+                ))
+                .unwrap();
+                if i % 1000 == 0 {
+                    writer_h.flush().unwrap();
+                }
+            }
+            writer_done.store(true, std::sync::atomic::Ordering::Release);
+        });
+        let reorg_h = h.clone();
+        let reorg_done = done.clone();
+        s.spawn(move || {
+            while !reorg_done.load(std::sync::atomic::Ordering::Acquire) {
+                reorg_h.reorganize().unwrap();
+            }
+        });
+        for _ in 0..2 {
+            let read_h = h.clone();
+            let read_done = done.clone();
+            s.spawn(move || {
+                while !read_done.load(std::sync::atomic::Ordering::Acquire) {
+                    // Writes encode v = ts / 1000; a stale cached column
+                    // would pair some timestamp with another batch's value.
+                    let r = read_h.sql("select timestamp, v from c_v").unwrap();
+                    for row in &r.rows {
+                        let ts = row.get(0).as_ts().unwrap().micros();
+                        let v = row.get(1).as_f64().unwrap();
+                        assert_eq!(v, (ts / 1_000) as f64, "stale point at ts {ts}");
+                    }
+                    // The summary fast path must stay within the written
+                    // value domain mid-reorganization too.
+                    let a = read_h.sql("select MIN(v), MAX(v) from c_v").unwrap();
+                    for d in [a.rows[0].get(0), a.rows[0].get(1)] {
+                        if let Some(x) = d.as_f64() {
+                            assert!((0.0..=3_999.0).contains(&x), "aggregate out of domain: {x}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    h.flush().unwrap();
+    h.reorganize().unwrap();
+    let r = h.sql("select COUNT(*), SUM(v) from c_v").unwrap();
+    assert_eq!(r.rows[0].get(0), &Datum::I64(4_000));
+    let expect: f64 = (0..4_000i64).map(|i| i as f64).sum();
+    assert_eq!(r.rows[0].get(1).as_f64().unwrap(), expect);
+}

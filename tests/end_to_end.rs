@@ -68,10 +68,10 @@ fn partition_elimination_touches_one_server() {
         .iter()
         .map(|s| s.table("env").unwrap().stats().snapshot().points_scanned)
         .collect();
-    // Project a tag so the scan actually decodes points (COUNT(*) alone
-    // decodes nothing, which would leave every counter untouched).
-    let r = h.sql("select COUNT(*), AVG(t) from env_v where id = 7").unwrap();
-    assert_eq!(r.rows[0].get(0), &Datum::I64(20));
+    // Project rows so the scan actually decodes points (aggregates are
+    // answered from seal-time summaries without touching any row).
+    let r = h.sql("select t from env_v where id = 7").unwrap();
+    assert_eq!(r.rows.len(), 20);
     let touched: Vec<usize> = h
         .cluster()
         .servers()
@@ -81,6 +81,33 @@ fn partition_elimination_touches_one_server() {
         .map(|(i, _)| i)
         .collect();
     assert_eq!(touched.len(), 1, "id filter must prune to one server, touched {touched:?}");
+    // The pushed-down aggregate must route to the same single server: only
+    // its summary counter may move.
+    let sums_before: Vec<u64> = h
+        .cluster()
+        .servers()
+        .iter()
+        .map(|s| {
+            let snap = s.table("env").unwrap().stats().snapshot();
+            snap.summary_answered_batches.unwrap_or(0) + snap.blob_decodes.unwrap_or(0)
+        })
+        .collect();
+    let m = h.sql("select COUNT(*), AVG(t) from env_v where id = 7").unwrap();
+    assert_eq!(m.rows[0].get(0), &Datum::I64(20));
+    let agg_touched: Vec<usize> = h
+        .cluster()
+        .servers()
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| {
+            let snap = s.table("env").unwrap().stats().snapshot();
+            snap.summary_answered_batches.unwrap_or(0) + snap.blob_decodes.unwrap_or(0)
+                > sums_before[*i]
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(agg_touched.len(), 1, "aggregate must prune to one server, {agg_touched:?}");
+    assert_eq!(agg_touched, touched);
 }
 
 #[test]

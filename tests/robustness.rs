@@ -57,6 +57,7 @@ fn corrupt_batch_payloads_are_rejected() {
         interval: 1_000,
         count: 50,
         blob: ValueBlob::encode(&ts, &cols, Policy::Lossless),
+        summaries: None,
     };
     let bytes = b.serialize();
     for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 3] {
