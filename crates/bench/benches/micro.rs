@@ -234,6 +234,26 @@ fn bench_ingest_parallel(c: &mut Criterion) {
             })
         });
     }
+    // Observability tax: the identical ingest with the metrics registry
+    // disabled (no span timing; the counters themselves are never gated).
+    // Comparing these against threads_4/threads_4_wal bounds the metrics
+    // hot-path overhead — the budget is ≤5%.
+    for durable in [false, true] {
+        let suffix = if durable { "_wal" } else { "" };
+        g.bench_function(&format!("threads_4{suffix}_obs_off"), |b| {
+            b.iter(|| {
+                let cluster = make_cluster(durable);
+                cluster.meter().registry().set_enabled(false);
+                let w = ParallelWriter::new(cluster, "trade").unwrap().with_threads(4);
+                w.write_batch(black_box(&records)).unwrap();
+                if durable {
+                    w.sync().unwrap();
+                }
+                w.flush().unwrap();
+                w.written()
+            })
+        });
+    }
     g.finish();
 }
 

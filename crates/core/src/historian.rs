@@ -133,7 +133,7 @@ impl HistorianBuilder {
             .collect();
         let cluster = Cluster::with_servers(servers?, meter.clone());
         let router = Arc::new(DataRouter::new(cluster.clone()));
-        Ok(Historian { engine: SqlEngine::new(), cluster, router, meter })
+        Ok(Historian::assemble(SqlEngine::new(), cluster, router, meter))
     }
 }
 
@@ -220,7 +220,7 @@ impl Historian {
                 }
             }
         }
-        Ok(Historian { engine, cluster, router, meter })
+        Ok(Historian::assemble(engine, cluster, router, meter))
     }
 }
 
@@ -253,17 +253,42 @@ impl ExplainStats {
     }
 }
 
+/// Registry counters whose per-query movement EXPLAIN ANALYZE reports
+/// (summed across all tables and servers).
+const ATTRIBUTION_COUNTERS: [&str; 4] = [
+    "odh_table_summary_answered_batches_total",
+    "odh_table_cache_hits_total",
+    "odh_table_cache_misses_total",
+    "odh_table_blob_decodes_total",
+];
+
 /// The ODH system.
 pub struct Historian {
     cluster: Arc<Cluster>,
     router: Arc<DataRouter>,
     engine: SqlEngine,
     meter: Arc<ResourceMeter>,
+    sql_plan_hist: Arc<odh_obs::Histogram>,
+    sql_exec_hist: Arc<odh_obs::Histogram>,
 }
 
 impl Historian {
     pub fn builder() -> HistorianBuilder {
         HistorianBuilder::new()
+    }
+
+    fn assemble(
+        engine: SqlEngine,
+        cluster: Arc<Cluster>,
+        router: Arc<DataRouter>,
+        meter: Arc<ResourceMeter>,
+    ) -> Historian {
+        // Created eagerly so the metric catalog does not depend on whether
+        // any SQL ran before the first scrape.
+        let registry = meter.registry();
+        let sql_plan_hist = registry.histogram("odh_sql_plan_seconds", &[]);
+        let sql_exec_hist = registry.histogram("odh_sql_exec_seconds", &[]);
+        Historian { engine, cluster, router, meter, sql_plan_hist, sql_exec_hist }
     }
 
     /// Quick single-server, unmetered historian.
@@ -320,14 +345,98 @@ impl Historian {
         t
     }
 
-    /// Run a SQL query (fusion of virtual + relational tables).
+    /// Run a SQL query (fusion of virtual + relational tables). With the
+    /// registry enabled, plan and execution time land in
+    /// `odh_sql_plan_seconds` / `odh_sql_exec_seconds` and over-threshold
+    /// queries hit the slow-op log.
     pub fn sql(&self, query: &str) -> Result<QueryResult> {
-        self.engine.query(query)
+        let registry = self.meter.registry();
+        if !registry.enabled() {
+            return self.engine.query(query);
+        }
+        let (result, _, profile) = self.engine.query_profiled(query)?;
+        self.sql_plan_hist.record(profile.plan_nanos);
+        self.sql_exec_hist.record(profile.exec_nanos);
+        registry.note_duration("sql_exec", profile.exec_nanos);
+        Ok(result)
     }
 
     /// EXPLAIN: the optimizer's chosen plan.
     pub fn explain(&self, query: &str) -> Result<String> {
         self.engine.explain(query)
+    }
+
+    /// EXPLAIN ANALYZE: run the query and describe what actually happened
+    /// — the optimized plan, one `op=` line per executed operator (rows,
+    /// bytes, wall time), the plan/exec time split, and the read-path
+    /// attribution the registry observed during the run (batches answered
+    /// from summaries vs decode-cache traffic vs actual blob decodes).
+    pub fn explain_analyze(&self, query: &str) -> Result<String> {
+        let registry = self.meter.registry();
+        let before: Vec<u64> =
+            ATTRIBUTION_COUNTERS.iter().map(|n| registry.sum_counter(n)).collect();
+        let (result, plan, profile) = self.engine.query_profiled(query)?;
+        self.sql_plan_hist.record(profile.plan_nanos);
+        self.sql_exec_hist.record(profile.exec_nanos);
+        registry.note_duration("sql_exec", profile.exec_nanos);
+        let mut out = plan;
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str(&profile.render());
+        out.push_str(&format!(
+            "rows_returned={} plan_time={}ns exec_time={}ns\n",
+            result.rows.len(),
+            profile.plan_nanos,
+            profile.exec_nanos
+        ));
+        for (name, b) in ATTRIBUTION_COUNTERS.iter().zip(before) {
+            let short = name.trim_start_matches("odh_table_").trim_end_matches("_total");
+            out.push_str(&format!("{short}={}\n", registry.sum_counter(name).saturating_sub(b)));
+        }
+        Ok(out)
+    }
+
+    /// The shared metrics registry (enable/disable spans, slow-op
+    /// threshold, raw handle access).
+    pub fn registry(&self) -> &Arc<odh_obs::Registry> {
+        self.meter.registry()
+    }
+
+    /// Full metrics exposition: every registry metric plus per-server
+    /// buffer-pool and per-table concurrency counters.
+    pub fn metrics_text(&self) -> String {
+        let mut out = self.meter.registry().render();
+        for s in self.cluster.servers() {
+            let server = s.id.to_string();
+            let io = s.pool().stats().snapshot();
+            for (name, v) in [
+                ("odh_pool_logical_reads_total", io.logical_reads),
+                ("odh_pool_hits_total", io.hits),
+                ("odh_pool_physical_reads_total", io.physical_reads),
+                ("odh_pool_physical_writes_total", io.physical_writes),
+                ("odh_pool_allocations_total", io.allocations),
+                ("odh_pool_evict_fail_all_pinned_total", io.evict_fail_all_pinned),
+                ("odh_pool_evict_fail_hot_total", io.evict_fail_hot),
+                ("odh_pool_evict_fail_no_clean_total", io.evict_fail_no_clean),
+            ] {
+                out.push_str(&format!("{name}{{server=\"{server}\"}} {v}\n"));
+            }
+            for t in s.table_names() {
+                if let Ok(table) = s.table(&t) {
+                    let c = table.concurrency().snapshot();
+                    for (name, v) in [
+                        ("odh_concurrency_shard_locks_total", c.shard_locks),
+                        ("odh_concurrency_shard_contended_total", c.shard_contended),
+                        ("odh_concurrency_parallel_tasks_total", c.parallel_tasks),
+                        ("odh_concurrency_fanout_scans_total", c.fanout_scans),
+                    ] {
+                        out.push_str(&format!("{name}{{server=\"{server}\",table=\"{t}\"}} {v}\n"));
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Seal buffers + write back.
@@ -526,6 +635,42 @@ mod tests {
             tail.split(' ').next().unwrap().parse().unwrap()
         };
         assert!(est(&agg_cost) < est(&scan_cost), "{agg_cost} vs {scan_cost}");
+    }
+
+    #[test]
+    fn explain_analyze_and_metrics_text() {
+        let h = Historian::in_memory().unwrap();
+        h.define_schema_type(TableConfig::new(SchemaType::new("m", ["v"])).with_batch_size(8))
+            .unwrap();
+        h.register_source("m", SourceId(1), SourceClass::irregular_high()).unwrap();
+        let w = h.writer("m").unwrap();
+        for i in 0..64i64 {
+            w.write(&Record::dense(SourceId(1), Timestamp(i * 1000), [i as f64])).unwrap();
+        }
+        w.flush().unwrap();
+
+        let ea = h.explain_analyze("select COUNT(*), SUM(v) from m_v").unwrap();
+        assert!(ea.contains("op=aggregate_pushdown m_v"), "{ea}");
+        assert!(ea.contains("rows_returned=1"), "{ea}");
+        assert!(ea.contains("blob_decodes=0"), "summaries answer, nothing decodes: {ea}");
+        assert!(ea.contains("summary_answered_batches=8"), "{ea}");
+
+        // Row path: the same table scanned decodes blobs and reports it.
+        let ea = h.explain_analyze("select v from m_v").unwrap();
+        assert!(ea.contains("op=scan m_v"), "{ea}");
+        assert!(ea.contains("rows_returned=64"), "{ea}");
+        assert!(!ea.contains("blob_decodes=0"), "{ea}");
+
+        let text = h.metrics_text();
+        for needle in [
+            "odh_table_points_ingested_total{table=\"m\",inst=",
+            "odh_sql_exec_seconds_count",
+            "odh_pool_logical_reads_total{server=\"0\"}",
+            "odh_concurrency_shard_locks_total{server=\"0\",table=\"m\"}",
+            "odh_seal_seconds_count{table=\"m\"}",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
     }
 
     #[test]

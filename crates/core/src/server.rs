@@ -47,6 +47,31 @@ pub struct DataServer {
     wal: Option<Arc<Wal>>,
 }
 
+/// Per-server crash-recovery counters, registered under
+/// `odh_recovery_*{server="N"}`. Created eagerly (at zero) whenever a WAL
+/// is attached, so the metric catalog is identical whether or not a crash
+/// ever happened.
+struct RecoveryObs {
+    replayed: Arc<odh_obs::Counter>,
+    skipped: Arc<odh_obs::Counter>,
+    truncated_events: Arc<odh_obs::Counter>,
+    truncated_bytes: Arc<odh_obs::Counter>,
+}
+
+impl RecoveryObs {
+    fn new(meter: &ResourceMeter, server: usize) -> RecoveryObs {
+        let registry = meter.registry();
+        let server = server.to_string();
+        let labels: &[(&str, &str)] = &[("server", &server)];
+        RecoveryObs {
+            replayed: registry.counter("odh_recovery_replayed_records_total", labels),
+            skipped: registry.counter("odh_recovery_skipped_records_total", labels),
+            truncated_events: registry.counter("odh_recovery_truncated_tail_events_total", labels),
+            truncated_bytes: registry.counter("odh_recovery_truncated_bytes_total", labels),
+        }
+    }
+}
+
 impl DataServer {
     /// Memory-backed server (CPU-side experiments).
     pub fn in_memory(id: usize, meter: Arc<ResourceMeter>) -> DataServer {
@@ -88,6 +113,7 @@ impl DataServer {
         log: Arc<dyn LogStore>,
     ) -> Result<DataServer> {
         let mut server = Self::with_disk(id, meter.clone(), disk, frames);
+        RecoveryObs::new(&meter, id); // catalog stability: counters exist at 0
         let wal = Wal::create(log, meter)?;
         server.pool.set_no_steal(true);
         server.wal = Some(wal);
@@ -117,6 +143,7 @@ impl DataServer {
         log: Arc<dyn LogStore>,
     ) -> Result<DataServer> {
         let (mut server, checkpoint_lsn) = Self::open_inner(id, meter.clone(), disk, frames)?;
+        let obs = RecoveryObs::new(&meter, id);
         // Re-bind restored tables to the log under their original ids
         // before replay, so replayed source registrations and points
         // resolve table ids to the right shards.
@@ -126,13 +153,15 @@ impl DataServer {
                 "server {id}: WAL tail truncated ({} bytes dropped): {w}",
                 recovery.truncated_bytes
             );
+            obs.truncated_events.inc();
+            obs.truncated_bytes.add(recovery.truncated_bytes);
         }
         for table in server.tables.read().values() {
             if let Some(tid) = table.restored_wal_table_id() {
                 table.attach_wal(wal.clone(), tid, false)?;
             }
         }
-        server.replay(&wal, &recovery.frames, checkpoint_lsn)?;
+        server.replay(&wal, &recovery.frames, checkpoint_lsn, &obs)?;
         server.pool.set_no_steal(true);
         server.wal = Some(wal);
         Ok(server)
@@ -205,6 +234,7 @@ impl DataServer {
         wal: &Arc<Wal>,
         frames: &[odh_storage::WalFrame],
         checkpoint_lsn: u64,
+        obs: &RecoveryObs,
     ) -> Result<()> {
         let mut by_id: HashMap<u16, Arc<OdhTable>> = HashMap::new();
         for table in self.tables.read().values() {
@@ -214,6 +244,9 @@ impl DataServer {
         }
         for frame in frames {
             if frame.lsn <= checkpoint_lsn {
+                if matches!(frame.entry, WalEntry::Point { .. }) {
+                    obs.skipped.inc();
+                }
                 continue;
             }
             match &frame.entry {
@@ -243,19 +276,26 @@ impl DataServer {
                 },
                 WalEntry::Point { table, record } => match by_id.get(table) {
                     Some(t) => match t.replay_put(record, frame.lsn) {
-                        Ok(_) => {}
-                        Err(e) if e.kind() == "not_found" => eprintln!(
-                            "server {}: WAL replay skipped point at LSN {} ({e}; never \
-                             acknowledged)",
-                            self.id, frame.lsn
-                        ),
+                        Ok(true) => obs.replayed.inc(),
+                        Ok(false) => obs.skipped.inc(),
+                        Err(e) if e.kind() == "not_found" => {
+                            obs.skipped.inc();
+                            eprintln!(
+                                "server {}: WAL replay skipped point at LSN {} ({e}; never \
+                                 acknowledged)",
+                                self.id, frame.lsn
+                            )
+                        }
                         Err(e) => return Err(e),
                     },
-                    None => eprintln!(
-                        "server {}: WAL replay skipped point for unknown table {table} (never \
-                         acknowledged)",
-                        self.id
-                    ),
+                    None => {
+                        obs.skipped.inc();
+                        eprintln!(
+                            "server {}: WAL replay skipped point for unknown table {table} (never \
+                             acknowledged)",
+                            self.id
+                        )
+                    }
                 },
             }
         }

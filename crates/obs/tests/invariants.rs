@@ -1,0 +1,108 @@
+//! Property tests for the registry primitives: percentile monotonicity,
+//! merge == union, and counter monotonicity under concurrent recording.
+
+use odh_obs::{Counter, Histogram, Registry};
+use proptest::prelude::*;
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..u64::MAX / 2, 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50 ≤ p95 ≤ p99, and percentiles never exceed max or undercut min's
+    /// bucket for any recorded distribution.
+    #[test]
+    fn percentiles_are_monotone(values in arb_values(), qs in prop::collection::vec(0.0f64..=1.0, 2..8)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted_q = qs.clone();
+        sorted_q.sort_by(f64::total_cmp);
+        let ps: Vec<u64> = sorted_q.iter().map(|&q| h.percentile(q)).collect();
+        for w in ps.windows(2) {
+            prop_assert!(w[0] <= w[1], "percentiles not monotone: {:?} for {:?}", ps, sorted_q);
+        }
+        let fixed = [h.percentile(0.5), h.percentile(0.95), h.percentile(0.99)];
+        prop_assert!(fixed[0] <= fixed[1] && fixed[1] <= fixed[2], "{:?}", fixed);
+        if !values.is_empty() {
+            let max = *values.iter().max().unwrap();
+            // Upper-bound quantiles stay within one bucket (2x) of max.
+            prop_assert!(fixed[2] <= max.saturating_mul(2).max(1), "p99 {} vs max {}", fixed[2], max);
+        }
+    }
+
+    /// merge(a, b) is indistinguishable from recording the union.
+    #[test]
+    fn merge_equals_recording_union(a in arb_values(), b in arb_values()) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge_from(&hb);
+        prop_assert_eq!(ha.snapshot(), hu.snapshot());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(ha.percentile(q), hu.percentile(q));
+        }
+    }
+
+    /// Under 8 threads hammering the same counter, every observed value is
+    /// monotone and the final total is exact.
+    #[test]
+    fn counters_never_decrease_under_concurrency(per_thread in 1u64..2_000) {
+        let c = std::sync::Arc::new(Counter::new());
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        c.inc();
+                    }
+                });
+            }
+            // A racing observer must only ever see the value grow.
+            let c = c.clone();
+            s.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..1_000 {
+                    let v = c.get();
+                    assert!(v >= last, "counter went backwards: {last} -> {v}");
+                    last = v;
+                }
+            });
+        });
+        prop_assert_eq!(c.get(), threads * per_thread);
+    }
+
+    /// Concurrent histogram recording loses nothing: count and sum are
+    /// exact after the threads join.
+    #[test]
+    fn histogram_recording_is_lossless_under_concurrency(values in prop::collection::vec(0u64..1_000_000, 1..64)) {
+        let r = Registry::new();
+        let h = r.histogram("odh_t_seconds", &[]);
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let h = h.clone();
+                let values = values.clone();
+                s.spawn(move || {
+                    for &v in &values {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(h.count(), threads * values.len() as u64);
+        prop_assert_eq!(h.sum(), threads * values.iter().sum::<u64>());
+    }
+}

@@ -286,6 +286,16 @@ impl BufferPool {
             }
             return Ok(idx);
         }
+        // Count the failure under its specific cause before surfacing it;
+        // each cause has a distinct recovery action (find the pin leak /
+        // retry / checkpoint) and used to be indistinguishable in stats.
+        IoStats::bump(if !saw_unpinned {
+            &self.stats.evict_fail_all_pinned
+        } else if no_steal {
+            &self.stats.evict_fail_no_clean
+        } else {
+            &self.stats.evict_fail_hot
+        });
         Err(victim_error(saw_unpinned, no_steal))
     }
 
@@ -467,6 +477,9 @@ mod tests {
             })
             .unwrap();
         assert_eq!(err.kind(), "full");
+        let snap = p.stats().snapshot();
+        assert_eq!(snap.evict_fail_all_pinned, 1, "pinned-cause counter: {snap:?}");
+        assert_eq!(snap.evict_fail_hot + snap.evict_fail_no_clean, 0, "{snap:?}");
     }
 
     #[test]
@@ -520,9 +533,13 @@ mod tests {
         let c = p.disk().allocate().unwrap();
         let err = p.with_page(c, |_| ()).unwrap_err();
         assert!(err.to_string().contains("no clean frame"), "{err}");
+        assert_eq!(p.stats().snapshot().evict_fail_no_clean, 1);
+        assert_eq!(p.stats().snapshot().evict_fail_all_pinned, 0);
         // A checkpoint clears the dirt and unblocks eviction.
         p.flush_all().unwrap();
         p.with_page(c, |_| ()).unwrap();
+        // The failure counters are monotone; success adds nothing.
+        assert_eq!(p.stats().snapshot().evict_fail_no_clean, 1);
     }
 
     #[test]

@@ -96,6 +96,14 @@ pub struct IoStats {
     pub physical_writes: AtomicU64,
     /// Pages allocated.
     pub allocations: AtomicU64,
+    /// Eviction failures: every frame in the shard was pinned.
+    pub evict_fail_all_pinned: AtomicU64,
+    /// Eviction failures: unpinned frames stayed referenced-hot across
+    /// two clock laps.
+    pub evict_fail_hot: AtomicU64,
+    /// Eviction failures: no clean frame under no-steal (checkpoint
+    /// needed).
+    pub evict_fail_no_clean: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -106,6 +114,9 @@ pub struct IoSnapshot {
     pub physical_reads: u64,
     pub physical_writes: u64,
     pub allocations: u64,
+    pub evict_fail_all_pinned: u64,
+    pub evict_fail_hot: u64,
+    pub evict_fail_no_clean: u64,
 }
 
 impl IoStats {
@@ -116,6 +127,9 @@ impl IoStats {
             physical_reads: self.physical_reads.load(Ordering::Relaxed),
             physical_writes: self.physical_writes.load(Ordering::Relaxed),
             allocations: self.allocations.load(Ordering::Relaxed),
+            evict_fail_all_pinned: self.evict_fail_all_pinned.load(Ordering::Relaxed),
+            evict_fail_hot: self.evict_fail_hot.load(Ordering::Relaxed),
+            evict_fail_no_clean: self.evict_fail_no_clean.load(Ordering::Relaxed),
         }
     }
 
@@ -134,6 +148,9 @@ impl IoSnapshot {
             physical_reads: self.physical_reads - earlier.physical_reads,
             physical_writes: self.physical_writes - earlier.physical_writes,
             allocations: self.allocations - earlier.allocations,
+            evict_fail_all_pinned: self.evict_fail_all_pinned - earlier.evict_fail_all_pinned,
+            evict_fail_hot: self.evict_fail_hot - earlier.evict_fail_hot,
+            evict_fail_no_clean: self.evict_fail_no_clean - earlier.evict_fail_no_clean,
         }
     }
 

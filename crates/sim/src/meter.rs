@@ -9,10 +9,17 @@
 use crate::cost::CostConstants;
 use crate::cpu::{CpuModel, CpuReport};
 use crate::disk::{DiskModel, DiskReport};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use odh_obs::{Counter, Gauge, Registry};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Shared resource-accounting context.
+///
+/// The meter also owns the process's [`Registry`]: it is the one object
+/// already threaded through every engine constructor (tables, WALs,
+/// servers), so it is where the unified observability layer hangs its
+/// metric handles. The meter's own counters live in that registry
+/// (`odh_meter_*`).
 #[derive(Debug)]
 pub struct ResourceMeter {
     pub costs: CostConstants,
@@ -21,18 +28,20 @@ pub struct ResourceMeter {
     /// Virtual "now" in microseconds, advanced by the workload driver.
     now_us: AtomicI64,
     enabled: AtomicBool,
+    /// The metrics registry shared by every component this meter reaches.
+    registry: Arc<Registry>,
     /// Scoped parallel regions entered (batch ingests, scan fan-outs).
-    parallel_regions: AtomicU64,
+    parallel_regions: Arc<Counter>,
     /// Worker tasks spawned across all parallel regions.
-    parallel_tasks: AtomicU64,
+    parallel_tasks: Arc<Counter>,
     /// Widest single region observed (degree of parallelism actually used).
-    max_parallel_width: AtomicU64,
+    max_parallel_width: Arc<Gauge>,
     /// Bytes appended to the write-ahead log (group commits).
-    wal_bytes: AtomicU64,
+    wal_bytes: Arc<Counter>,
     /// WAL group commits issued.
-    wal_writes: AtomicU64,
+    wal_writes: Arc<Counter>,
     /// WAL fsyncs (durability acknowledgements).
-    wal_syncs: AtomicU64,
+    wal_syncs: Arc<Counter>,
 }
 
 /// Point-in-time copy of the meter's WAL counters.
@@ -55,18 +64,20 @@ impl ResourceMeter {
     /// A meter for a machine with `cores` calibrated cores and the paper's
     /// RAID5 array.
     pub fn new(cores: u32) -> Arc<ResourceMeter> {
+        let registry = Registry::new();
         Arc::new(ResourceMeter {
             costs: CostConstants::default(),
             cpu: CpuModel::new(cores),
             disk: DiskModel::paper_raid5(),
             now_us: AtomicI64::new(0),
             enabled: AtomicBool::new(true),
-            parallel_regions: AtomicU64::new(0),
-            parallel_tasks: AtomicU64::new(0),
-            max_parallel_width: AtomicU64::new(0),
-            wal_bytes: AtomicU64::new(0),
-            wal_writes: AtomicU64::new(0),
-            wal_syncs: AtomicU64::new(0),
+            parallel_regions: registry.counter("odh_meter_parallel_regions_total", &[]),
+            parallel_tasks: registry.counter("odh_meter_parallel_tasks_total", &[]),
+            max_parallel_width: registry.gauge("odh_meter_max_parallel_width", &[]),
+            wal_bytes: registry.counter("odh_meter_wal_bytes_total", &[]),
+            wal_writes: registry.counter("odh_meter_wal_writes_total", &[]),
+            wal_syncs: registry.counter("odh_meter_wal_syncs_total", &[]),
+            registry,
         })
     }
 
@@ -80,6 +91,11 @@ impl ResourceMeter {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// The metrics registry every component charging this meter shares.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Advance the virtual clock (monotone; lagging calls are ignored).
@@ -121,23 +137,23 @@ impl ResourceMeter {
     /// out for pure appends). Counted even when metering is disabled so
     /// wall-clock benches can report WAL traffic.
     pub fn wal_write(&self, bytes: usize) {
-        self.wal_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.wal_writes.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.add(bytes as u64);
+        self.wal_writes.inc();
         self.disk_sequential(bytes);
     }
 
     /// Charge one WAL fsync (the commit barrier): one device round-trip
     /// with no payload, so one seek-priced random I/O of zero bytes.
     pub fn wal_sync(&self) {
-        self.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        self.wal_syncs.inc();
         self.disk_random(0);
     }
 
     pub fn wal_report(&self) -> WalReport {
         WalReport {
-            bytes: self.wal_bytes.load(Ordering::Relaxed),
-            writes: self.wal_writes.load(Ordering::Relaxed),
-            syncs: self.wal_syncs.load(Ordering::Relaxed),
+            bytes: self.wal_bytes.get(),
+            writes: self.wal_writes.get(),
+            syncs: self.wal_syncs.get(),
         }
     }
 
@@ -145,16 +161,16 @@ impl ResourceMeter {
     /// Tracked even when metering is disabled: parallelism observability
     /// is wanted exactly on the unmetered wall-clock benchmark paths.
     pub fn note_parallel(&self, width: usize) {
-        self.parallel_regions.fetch_add(1, Ordering::Relaxed);
-        self.parallel_tasks.fetch_add(width as u64, Ordering::Relaxed);
-        self.max_parallel_width.fetch_max(width as u64, Ordering::Relaxed);
+        self.parallel_regions.inc();
+        self.parallel_tasks.add(width as u64);
+        self.max_parallel_width.raise(width as i64);
     }
 
     pub fn parallel_report(&self) -> ParallelReport {
         ParallelReport {
-            regions: self.parallel_regions.load(Ordering::Relaxed),
-            tasks: self.parallel_tasks.load(Ordering::Relaxed),
-            max_width: self.max_parallel_width.load(Ordering::Relaxed),
+            regions: self.parallel_regions.get(),
+            tasks: self.parallel_tasks.get(),
+            max_width: self.max_parallel_width.get() as u64,
         }
     }
 

@@ -28,8 +28,83 @@ impl QueryResult {
     }
 }
 
+/// Per-operator execution statistics (EXPLAIN ANALYZE).
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// Operator label, e.g. `scan trade` or `hash_join account`.
+    pub op: String,
+    /// Rows the operator emitted downstream.
+    pub rows: u64,
+    /// Approximate bytes of those rows (8 per numeric cell, string
+    /// length for text, 1 per NULL).
+    pub bytes: u64,
+    /// Wall-clock time inside the operator.
+    pub nanos: u64,
+}
+
+/// What one execution actually did, operator by operator.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    pub ops: Vec<OpStats>,
+    /// Whether the aggregate fast path answered the query natively.
+    pub used_aggregate_pushdown: bool,
+    /// Time spent in parse + plan + optimize (filled by the engine).
+    pub plan_nanos: u64,
+    /// Total execution time (filled by the engine).
+    pub exec_nanos: u64,
+}
+
+impl ExecProfile {
+    fn note(&mut self, op: impl Into<String>, rows: &[Row], started: std::time::Instant) {
+        self.ops.push(OpStats {
+            op: op.into(),
+            rows: rows.len() as u64,
+            bytes: rows.iter().map(approx_row_bytes).sum(),
+            nanos: started.elapsed().as_nanos() as u64,
+        });
+    }
+
+    /// One line per operator: `op=<name> rows=<n> bytes=<n> time=<n>ns`.
+    /// Timings vary run to run; consumers comparing output (golden tests)
+    /// normalize the `time=` token.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.ops {
+            out.push_str(&format!(
+                "op={} rows={} bytes={} time={}ns\n",
+                o.op, o.rows, o.bytes, o.nanos
+            ));
+        }
+        out
+    }
+}
+
+fn approx_row_bytes(r: &Row) -> u64 {
+    r.cells()
+        .iter()
+        .map(|d| match d {
+            Datum::Null => 1u64,
+            Datum::Str(s) => s.len() as u64,
+            _ => 8,
+        })
+        .sum()
+}
+
 /// Run an optimized plan.
 pub fn execute(plan: &Plan) -> Result<QueryResult> {
+    execute_profiled(plan).map(|(r, _)| r)
+}
+
+/// Run an optimized plan, recording per-operator row/byte/time stats.
+pub fn execute_profiled(plan: &Plan) -> Result<(QueryResult, ExecProfile)> {
+    let total = std::time::Instant::now();
+    let mut prof = ExecProfile::default();
+    let result = run(plan, &mut prof)?;
+    prof.exec_nanos = total.elapsed().as_nanos() as u64;
+    Ok((result, prof))
+}
+
+fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
     let order = &plan.join_order;
     let first = order[0];
 
@@ -38,6 +113,7 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
     // provider's native aggregate path (batch summaries for ODH virtual
     // tables) — no rows materialize, no per-cell assembly.
     if let Some(aggs) = aggregate_pushdown_request(plan).filter(|_| aggregate_pushdown_enabled()) {
+        let started = std::time::Instant::now();
         if let Some(cells) = plan.bindings[first]
             .provider
             .aggregate_scan(&plan.pushdown[first], &aggs)
@@ -54,6 +130,12 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
             if let Some(limit) = plan.limit {
                 rows.truncate(limit);
             }
+            prof.used_aggregate_pushdown = true;
+            prof.note(
+                format!("aggregate_pushdown {}", plan.bindings[first].provider.name()),
+                &rows,
+                started,
+            );
             return Ok(QueryResult { columns, rows });
         }
     }
@@ -64,6 +146,7 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
         |b: usize| -> usize { (0..b).map(|i| plan.bindings[i].provider.schema().arity()).sum() };
 
     // Scan the first table.
+    let scan_started = std::time::Instant::now();
     let req =
         ScanRequest { filters: plan.pushdown[first].clone(), needed: plan.needed[first].clone() };
     let scanned = plan.bindings[first].provider.scan(&req)?;
@@ -78,12 +161,15 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
     }
     let mut bound = vec![first];
     current.retain(|row| residuals_hold(plan, &bound, row));
+    prof.note(format!("scan {}", plan.bindings[first].provider.name()), &current, scan_started);
 
     // Join the rest.
     for &b in order.iter().skip(1) {
+        let join_started = std::time::Instant::now();
         let provider = &plan.bindings[b].provider;
         let b_off = offset_of(b);
         let join_col = crate::optimizer::join_column_into(plan, b, &bound);
+        let mut join_op = "cartesian";
         let mut next: Vec<Row> = Vec::new();
         match join_col {
             Some(col) => {
@@ -91,6 +177,7 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
                 let other = other_side(plan, b, col);
                 let other_off = plan.combined_offset(other);
                 let use_index = provider.probe_cost(col.column).is_some();
+                join_op = if use_index { "index_join" } else { "hash_join" };
                 if use_index {
                     for row in &current {
                         let key = row.get(other_off);
@@ -148,6 +235,7 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
         bound.push(b);
         next.retain(|row| residuals_hold(plan, &bound, row));
         current = next;
+        prof.note(format!("{join_op} {}", provider.name()), &current, join_started);
     }
 
     // Aggregate or project.
@@ -160,6 +248,7 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
         })
         .collect();
     let mut rows: Vec<Row>;
+    let finish_started = std::time::Instant::now();
     if has_agg {
         rows = aggregate(plan, &current)?;
         // ORDER BY on aggregate output: sort by matching group-by column
@@ -177,6 +266,7 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
                 .collect();
             rows.sort_by(|a, b| compare_rows(a, b, &keys));
         }
+        prof.note("aggregate", &rows, finish_started);
     } else {
         if !plan.order_by.is_empty() {
             let keys: Vec<(usize, bool)> =
@@ -192,9 +282,12 @@ pub fn execute(plan: &Plan) -> Result<QueryResult> {
             })
             .collect();
         rows = current.iter().map(|r| r.project(&proj)).collect();
+        prof.note("project", &rows, finish_started);
     }
     if let Some(limit) = plan.limit {
+        let limit_started = std::time::Instant::now();
         rows.truncate(limit);
+        prof.note("limit", &rows, limit_started);
     }
     if columns.is_empty() {
         columns = vec!["?".into()];

@@ -35,7 +35,9 @@ pub mod stats;
 pub mod token;
 
 pub use catalog::Catalog;
-pub use exec::{aggregate_pushdown_enabled, set_aggregate_pushdown, QueryResult};
+pub use exec::{
+    aggregate_pushdown_enabled, set_aggregate_pushdown, ExecProfile, OpStats, QueryResult,
+};
 pub use provider::{AggRequest, ColumnFilter, MemTable, ScanRequest, TableProvider};
 
 use odh_types::Result;
@@ -74,6 +76,21 @@ impl SqlEngine {
         let plan = planner::plan(&self.catalog, &stmt)?;
         let plan = optimizer::optimize(plan);
         Ok(plan.describe())
+    }
+
+    /// EXPLAIN ANALYZE: run `sql` and return the result, the optimized
+    /// plan description, and a per-operator execution profile (rows,
+    /// bytes, wall time, plan vs exec split).
+    pub fn query_profiled(&self, sql: &str) -> Result<(QueryResult, String, ExecProfile)> {
+        let plan_started = std::time::Instant::now();
+        let stmt = parser::parse(sql)?;
+        let plan = planner::plan(&self.catalog, &stmt)?;
+        let plan = optimizer::optimize(plan);
+        let plan_nanos = plan_started.elapsed().as_nanos() as u64;
+        let described = plan.describe();
+        let (result, mut profile) = exec::execute_profiled(&plan)?;
+        profile.plan_nanos = plan_nanos;
+        Ok((result, described, profile))
     }
 }
 

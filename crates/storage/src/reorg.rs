@@ -29,6 +29,7 @@ impl OdhTable {
     /// Rewrite every sealed MG batch into per-source RTS/IRTS batches.
     /// Returns the number of points moved.
     pub fn reorganize(&self) -> Result<u64> {
+        let _span = self.obs.registry.span("reorg", &self.obs.reorg);
         // Swap in a fresh MG generation; drain the old one.
         let old = {
             let fresh = Arc::new(Container::create(self.pool().clone(), Structure::Mg)?);
@@ -99,7 +100,7 @@ impl OdhTable {
                         self.irts.insert(&batch.key(), &batch.serialize(), span)?;
                     }
                 }
-                self.stats.batches_reorganized.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.stats.batches_reorganized.inc();
                 start = end;
             }
         }

@@ -1,43 +1,50 @@
 //! Storage statistics and the sim-meter I/O bridge.
 
+use odh_obs::{Counter, Registry};
 use odh_pager::pool::IoHook;
 use odh_sim::ResourceMeter;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 /// Counters an [`crate::OdhTable`] maintains.
+///
+/// Each counter is an [`odh_obs::Counter`] handle, so a table can publish
+/// the very atomics it increments into the shared metrics registry
+/// ([`StorageStats::register_into`]) — one source of truth, no shadow
+/// copies. A bare `StorageStats::new()` keeps standalone counters for
+/// tables built outside a registry (unit tests, scratch tools).
 #[derive(Debug, Default)]
 pub struct StorageStats {
     /// Operational data points accepted by `put`.
-    pub points_ingested: AtomicU64,
+    pub points_ingested: Arc<Counter>,
     /// Operational records accepted by `put`.
-    pub records_ingested: AtomicU64,
+    pub records_ingested: Arc<Counter>,
     /// Smallest timestamp ingested (µs; i64::MAX when empty).
     pub min_ts: AtomicI64,
     /// Largest timestamp ingested (µs; i64::MIN when empty).
     pub max_ts: AtomicI64,
     /// Batch records sealed and written.
-    pub batches_written: AtomicU64,
+    pub batches_written: Arc<Counter>,
     /// Sum of ValueBlob bytes written.
-    pub blob_bytes: AtomicU64,
+    pub blob_bytes: Arc<Counter>,
     /// Sum of raw (8 bytes × non-null values) payload represented.
-    pub raw_bytes: AtomicU64,
+    pub raw_bytes: Arc<Counter>,
     /// Points returned by scans.
-    pub points_scanned: AtomicU64,
+    pub points_scanned: Arc<Counter>,
     /// Batches rewritten by the reorganizer.
-    pub batches_reorganized: AtomicU64,
+    pub batches_reorganized: Arc<Counter>,
     /// Batches skipped without blob decode thanks to tag zone bounds.
-    pub batches_zone_pruned: AtomicU64,
+    pub batches_zone_pruned: Arc<Counter>,
     /// Batches whose aggregate contribution came entirely from sealed
     /// per-tag summaries (no blob decode).
-    pub summary_answered_batches: AtomicU64,
+    pub summary_answered_batches: Arc<Counter>,
     /// Sealed-batch fetches served from the decode cache.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Sealed-batch fetches that missed the decode cache.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// ValueBlob tag-section decode events (one per batch whose requested
     /// tags were not already decoded in cache).
-    pub blob_decodes: AtomicU64,
+    pub blob_decodes: Arc<Counter>,
 }
 
 /// Snapshot of [`StorageStats`].
@@ -86,13 +93,13 @@ impl StorageStats {
     /// Build stats pre-loaded from a recovered snapshot.
     pub fn from_snapshot(s: &StatsSnapshot) -> StorageStats {
         let st = StorageStats::new();
-        st.points_ingested.store(s.points_ingested, Ordering::Relaxed);
-        st.records_ingested.store(s.records_ingested, Ordering::Relaxed);
+        st.points_ingested.store(s.points_ingested);
+        st.records_ingested.store(s.records_ingested);
         st.min_ts.store(s.min_ts, Ordering::Relaxed);
         st.max_ts.store(s.max_ts, Ordering::Relaxed);
-        st.batches_written.store(s.batches_written, Ordering::Relaxed);
-        st.blob_bytes.store(s.blob_bytes, Ordering::Relaxed);
-        st.raw_bytes.store(s.raw_bytes, Ordering::Relaxed);
+        st.batches_written.store(s.batches_written);
+        st.blob_bytes.store(s.blob_bytes);
+        st.raw_bytes.store(s.raw_bytes);
         st
     }
 
@@ -105,31 +112,80 @@ impl StorageStats {
         }
     }
 
+    /// Publish every counter into `registry` under `odh_table_*`, labeled
+    /// with the table name and a process-unique instance id (two servers
+    /// of one cluster can host same-named tables; their counters must not
+    /// alias).
+    pub fn register_into(&self, registry: &Registry, table: &str, inst: u64) {
+        let inst = inst.to_string();
+        let labels: &[(&str, &str)] = &[("table", table), ("inst", &inst)];
+        for (name, counter) in [
+            ("odh_table_points_ingested_total", &self.points_ingested),
+            ("odh_table_records_ingested_total", &self.records_ingested),
+            ("odh_table_batches_written_total", &self.batches_written),
+            ("odh_table_blob_bytes_total", &self.blob_bytes),
+            ("odh_table_raw_bytes_total", &self.raw_bytes),
+            ("odh_table_points_scanned_total", &self.points_scanned),
+            ("odh_table_batches_reorganized_total", &self.batches_reorganized),
+            ("odh_table_batches_zone_pruned_total", &self.batches_zone_pruned),
+            ("odh_table_summary_answered_batches_total", &self.summary_answered_batches),
+            ("odh_table_cache_hits_total", &self.cache_hits),
+            ("odh_table_cache_misses_total", &self.cache_misses),
+            ("odh_table_blob_decodes_total", &self.blob_decodes),
+        ] {
+            registry.adopt_counter(name, labels, counter);
+        }
+    }
+
     /// Record one accepted operational record.
     pub fn note_put(&self, ts_us: i64, points: u64) {
-        self.points_ingested.fetch_add(points, Ordering::Relaxed);
-        self.records_ingested.fetch_add(1, Ordering::Relaxed);
+        self.points_ingested.add(points);
+        self.records_ingested.inc();
         self.min_ts.fetch_min(ts_us, Ordering::Relaxed);
         self.max_ts.fetch_max(ts_us, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            points_ingested: self.points_ingested.load(Ordering::Relaxed),
-            records_ingested: self.records_ingested.load(Ordering::Relaxed),
+            points_ingested: self.points_ingested.get(),
+            records_ingested: self.records_ingested.get(),
             min_ts: self.min_ts.load(Ordering::Relaxed),
             max_ts: self.max_ts.load(Ordering::Relaxed),
-            batches_written: self.batches_written.load(Ordering::Relaxed),
-            blob_bytes: self.blob_bytes.load(Ordering::Relaxed),
-            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
-            points_scanned: self.points_scanned.load(Ordering::Relaxed),
-            batches_reorganized: self.batches_reorganized.load(Ordering::Relaxed),
-            batches_zone_pruned: self.batches_zone_pruned.load(Ordering::Relaxed),
-            summary_answered_batches: Some(self.summary_answered_batches.load(Ordering::Relaxed)),
-            cache_hits: Some(self.cache_hits.load(Ordering::Relaxed)),
-            cache_misses: Some(self.cache_misses.load(Ordering::Relaxed)),
-            blob_decodes: Some(self.blob_decodes.load(Ordering::Relaxed)),
+            batches_written: self.batches_written.get(),
+            blob_bytes: self.blob_bytes.get(),
+            raw_bytes: self.raw_bytes.get(),
+            points_scanned: self.points_scanned.get(),
+            batches_reorganized: self.batches_reorganized.get(),
+            batches_zone_pruned: self.batches_zone_pruned.get(),
+            summary_answered_batches: Some(self.summary_answered_batches.get()),
+            cache_hits: Some(self.cache_hits.get()),
+            cache_misses: Some(self.cache_misses.get()),
+            blob_decodes: Some(self.blob_decodes.get()),
         }
+    }
+}
+
+/// Read-path attribution accumulated over one optimistic read pass and
+/// committed to [`StorageStats`] only if that pass validates (see
+/// `OdhTable::read_consistent`). Keeping the scratch local makes the
+/// published counters exact under concurrent sealing: a discarded retry
+/// contributes nothing.
+#[derive(Debug, Default)]
+pub(crate) struct ReadTally {
+    pub summary_answered_batches: u64,
+    pub batches_zone_pruned: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub blob_decodes: u64,
+}
+
+impl ReadTally {
+    pub(crate) fn commit(&self, stats: &StorageStats) {
+        stats.summary_answered_batches.add(self.summary_answered_batches);
+        stats.batches_zone_pruned.add(self.batches_zone_pruned);
+        stats.cache_hits.add(self.cache_hits);
+        stats.cache_misses.add(self.cache_misses);
+        stats.blob_decodes.add(self.blob_decodes);
     }
 }
 
@@ -185,10 +241,30 @@ mod tests {
     #[test]
     fn compression_ratio() {
         let s = StorageStats::default();
-        s.raw_bytes.store(1000, Ordering::Relaxed);
-        s.blob_bytes.store(100, Ordering::Relaxed);
+        s.raw_bytes.store(1000);
+        s.blob_bytes.store(100);
         assert_eq!(s.snapshot().compression_ratio(), 10.0);
         assert_eq!(StatsSnapshot::default().compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn register_into_shares_the_live_counters() {
+        let reg = odh_obs::Registry::new();
+        let s = StorageStats::new();
+        s.register_into(&reg, "t", 7);
+        s.note_put(1_000, 3);
+        // The registry reads the same atomic the table bumps.
+        assert_eq!(
+            reg.counter_value("odh_table_points_ingested_total", &[("table", "t"), ("inst", "7")]),
+            Some(3)
+        );
+        // A same-named table under a different instance does not alias.
+        let other = StorageStats::new();
+        other.register_into(&reg, "t", 8);
+        assert_eq!(
+            reg.counter_value("odh_table_points_ingested_total", &[("table", "t"), ("inst", "8")]),
+            Some(0)
+        );
     }
 
     #[test]

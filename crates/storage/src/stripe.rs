@@ -43,6 +43,10 @@ pub struct StripedBuffers {
     source: Vec<Mutex<HashMap<u64, SourceBuffer>>>,
     mg: Vec<Mutex<HashMap<u32, MgBuffer>>>,
     stats: Arc<ConcurrencyStats>,
+    /// Optional tracing: the metrics registry plus the shard-acquire
+    /// latency histogram. Only the *contended* path is timed — an
+    /// uncontended `try_lock` stays free of `Instant::now`.
+    obs: Option<(Arc<odh_obs::Registry>, Arc<odh_obs::Histogram>)>,
 }
 
 /// Stripe selection: Fibonacci multiplicative hash, top bits. Contiguous
@@ -59,7 +63,20 @@ impl StripedBuffers {
             source: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
             mg: (0..SHARD_COUNT).map(|_| Mutex::new(HashMap::new())).collect(),
             stats,
+            obs: None,
         }
+    }
+
+    /// Like [`StripedBuffers::new`], but contended shard acquisitions are
+    /// additionally timed into `hist` (and the registry's slow-op log).
+    pub fn with_obs(
+        stats: Arc<ConcurrencyStats>,
+        registry: Arc<odh_obs::Registry>,
+        hist: Arc<odh_obs::Histogram>,
+    ) -> StripedBuffers {
+        let mut s = StripedBuffers::new(stats);
+        s.obs = Some((registry, hist));
+        s
     }
 
     fn lock_counted<'a, T>(&self, m: &'a Mutex<T>) -> MutexGuard<'a, T> {
@@ -70,6 +87,10 @@ impl StripedBuffers {
             }
             None => {
                 self.stats.note_shard_lock(true);
+                let _span = self
+                    .obs
+                    .as_ref()
+                    .map(|(registry, hist)| registry.span("ingest_shard_acquire", hist));
                 m.lock()
             }
         }

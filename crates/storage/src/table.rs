@@ -12,7 +12,7 @@ use crate::buffer::{MgBuffer, SourceBuffer};
 use crate::cache::{CachedBatch, DecodeCache};
 use crate::container::Container;
 use crate::select::{historical_structure, ingestion_structure, Structure};
-use crate::stats::{MeterIoHook, StorageStats};
+use crate::stats::{MeterIoHook, ReadTally, StorageStats};
 use crate::stripe::StripedBuffers;
 use crate::wal::Wal;
 use odh_btree::KeyBuf;
@@ -167,6 +167,31 @@ pub(crate) struct SourceMeta {
     pub group: GroupId,
 }
 
+/// Process-unique table instance id: the `inst` metric label that keeps
+/// same-named tables on different servers from aliasing in the registry.
+static NEXT_TABLE_INST: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Span histograms of one table (taxonomy in DESIGN.md §Observability).
+pub(crate) struct TableObs {
+    pub registry: Arc<odh_obs::Registry>,
+    /// Batch seal latency (buffer take → container insert).
+    pub seal: Arc<odh_obs::Histogram>,
+    /// Whole-table reorganization latency.
+    pub reorg: Arc<odh_obs::Histogram>,
+}
+
+impl TableObs {
+    fn new(meter: &ResourceMeter, table: &str) -> TableObs {
+        let registry = meter.registry().clone();
+        let labels = [("table", table)];
+        TableObs {
+            seal: registry.histogram("odh_seal_seconds", &labels),
+            reorg: registry.histogram("odh_reorg_seconds", &labels),
+            registry,
+        }
+    }
+}
+
 /// The operational store for one schema type.
 pub struct OdhTable {
     cfg: TableConfig,
@@ -185,6 +210,8 @@ pub struct OdhTable {
     /// consult the per-source containers for MG sources.
     pub(crate) reorganized: std::sync::atomic::AtomicBool,
     pub(crate) stats: StorageStats,
+    /// Span histograms + registry handle (shared via the meter).
+    pub(crate) obs: TableObs,
     /// Decoded sealed-batch cache shared by every scan of this table.
     pub(crate) cache: DecodeCache,
     /// Write-ahead log binding, set once by [`OdhTable::attach_wal`].
@@ -211,15 +238,24 @@ impl OdhTable {
         cfg: TableConfig,
     ) -> Result<OdhTable> {
         pool.set_hook(Arc::new(MeterIoHook(meter.clone())));
+        let stats = StorageStats::new();
+        let inst = NEXT_TABLE_INST.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats.register_into(meter.registry(), &cfg.schema.name, inst);
+        let obs = TableObs::new(&meter, &cfg.schema.name);
         Ok(OdhTable {
             rts: Container::create(pool.clone(), Structure::Rts)?,
             irts: Container::create(pool.clone(), Structure::Irts)?,
             mg: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Mg)?)),
             sources: RwLock::new(HashMap::new()),
-            buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
+            buffers: StripedBuffers::with_obs(
+                Arc::new(ConcurrencyStats::default()),
+                meter.registry().clone(),
+                meter.registry().histogram("odh_ingest_shard_acquire_seconds", &[]),
+            ),
             seals: SealSync::default(),
             reorganized: std::sync::atomic::AtomicBool::new(false),
-            stats: StorageStats::new(),
+            stats,
+            obs,
             cache: DecodeCache::new(cfg.decode_cache_bytes),
             wal: std::sync::OnceLock::new(),
             sealed: parking_lot::Mutex::new(HashMap::new()),
@@ -243,15 +279,23 @@ impl OdhTable {
         reorganized: bool,
         stats: StorageStats,
     ) -> OdhTable {
+        let inst = NEXT_TABLE_INST.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        stats.register_into(meter.registry(), &cfg.schema.name, inst);
+        let obs = TableObs::new(&meter, &cfg.schema.name);
         OdhTable {
             rts,
             irts,
             mg: RwLock::new(Arc::new(mg)),
             sources: RwLock::new(HashMap::new()),
-            buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
+            buffers: StripedBuffers::with_obs(
+                Arc::new(ConcurrencyStats::default()),
+                meter.registry().clone(),
+                meter.registry().histogram("odh_ingest_shard_acquire_seconds", &[]),
+            ),
             seals: SealSync::default(),
             reorganized: std::sync::atomic::AtomicBool::new(reorganized),
             stats,
+            obs,
             cache: DecodeCache::new(cfg.decode_cache_bytes),
             wal: std::sync::OnceLock::new(),
             sealed: parking_lot::Mutex::new(HashMap::new()),
@@ -505,6 +549,7 @@ impl OdhTable {
         cols: Vec<Vec<Option<f64>>>,
         last_lsn: u64,
     ) -> Result<()> {
+        let _span = self.obs.registry.span("seal", &self.obs.seal);
         self.seal_source_rows(source, meta, ts, cols)?;
         if last_lsn > 0 {
             let mut sealed = self.sealed.lock();
@@ -587,6 +632,7 @@ impl OdhTable {
         if ts.is_empty() {
             return Ok(());
         }
+        let _span = self.obs.registry.span("seal", &self.obs.seal);
         sort_rows(&mut ts, Some(&mut ids), &mut cols);
         let blob = ValueBlob::encode(&ts, &cols, self.cfg.policy);
         let batch = MgBatch {
@@ -616,12 +662,11 @@ impl OdhTable {
     }
 
     fn note_batch(&self, blob: &ValueBlob, cols: &[Vec<Option<f64>>]) {
-        use std::sync::atomic::Ordering::Relaxed;
         let raw: u64 =
             cols.iter().map(|c| c.iter().filter(|v| v.is_some()).count() as u64 * 8).sum();
-        self.stats.batches_written.fetch_add(1, Relaxed);
-        self.stats.blob_bytes.fetch_add(blob.len() as u64, Relaxed);
-        self.stats.raw_bytes.fetch_add(raw, Relaxed);
+        self.stats.batches_written.inc();
+        self.stats.blob_bytes.add(blob.len() as u64);
+        self.stats.raw_bytes.add(raw);
     }
 
     fn charge_batch_write(&self, container: &Container) {
@@ -656,14 +701,16 @@ impl OdhTable {
         tags: &[usize],
         tag_ranges: &[(usize, f64, f64)],
     ) -> Result<Vec<ScanPoint>> {
-        let out =
-            self.read_consistent(|t| t.historical_scan_once(source, t1, t2, tags, tag_ranges))?;
+        let out = self.read_consistent(|t, tally| {
+            t.historical_scan_once(source, t1, t2, tags, tag_ranges, tally)
+        })?;
         self.note_scan(&out);
         Ok(out)
     }
 
     /// One optimistic pass of [`OdhTable::historical_scan_filtered`]; only
     /// valid if no seal overlapped it (see [`SealSync`]).
+    #[allow(clippy::too_many_arguments)]
     fn historical_scan_once(
         &self,
         source: SourceId,
@@ -671,6 +718,7 @@ impl OdhTable {
         t2: Timestamp,
         tags: &[usize],
         tag_ranges: &[(usize, f64, f64)],
+        tally: &mut ReadTally,
     ) -> Result<Vec<ScanPoint>> {
         let meta = *self
             .sources
@@ -686,7 +734,7 @@ impl OdhTable {
             Structure::Rts => &self.rts,
             _ => &self.irts,
         };
-        self.scan_source_container(container, source, t1, t2, tags, tag_ranges, &mut out)?;
+        self.scan_source_container(container, source, t1, t2, tags, tag_ranges, tally, &mut out)?;
         // Low-frequency sources may also have not-yet-reorganized MG data.
         if meta.ingest == Structure::Mg {
             let mg = self.mg.read().clone();
@@ -699,6 +747,7 @@ impl OdhTable {
                 tags,
                 Some(&filter),
                 tag_ranges,
+                tally,
                 &mut out,
             )?;
             let g = self.buffers.lock_mg(meta.group.0);
@@ -723,15 +772,25 @@ impl OdhTable {
     /// no buffer→container transition overlapped it. Retries are rare
     /// (a seal must land mid-read) and each pass starts from scratch, so
     /// merged container+buffer reads observe every point exactly once.
-    fn read_consistent<T>(&self, mut read: impl FnMut(&Self) -> Result<T>) -> Result<T> {
+    ///
+    /// Read-path attribution (cache probes, decodes, summary answers) is
+    /// tallied per pass and committed to [`StorageStats`] only for the
+    /// pass whose result is returned, so discarded retries never inflate
+    /// the counters — they stay exact under concurrent sealing.
+    fn read_consistent<T>(
+        &self,
+        mut read: impl FnMut(&Self, &mut ReadTally) -> Result<T>,
+    ) -> Result<T> {
         loop {
             let Some(epoch) = self.seals.stable() else {
                 std::thread::yield_now();
                 continue;
             };
-            let out = read(self)?;
-            if self.seals.still(epoch) {
-                return Ok(out);
+            let mut tally = ReadTally::default();
+            let out = read(self, &mut tally);
+            if out.is_err() || self.seals.still(epoch) {
+                tally.commit(&self.stats);
+                return out;
             }
         }
     }
@@ -758,7 +817,9 @@ impl OdhTable {
         sources: Option<&HashSet<SourceId>>,
         tag_ranges: &[(usize, f64, f64)],
     ) -> Result<Vec<ScanPoint>> {
-        let out = self.read_consistent(|t| t.slice_scan_once(t1, t2, tags, sources, tag_ranges))?;
+        let out = self.read_consistent(|t, tally| {
+            t.slice_scan_once(t1, t2, tags, sources, tag_ranges, tally)
+        })?;
         self.note_scan(&out);
         Ok(out)
     }
@@ -772,6 +833,7 @@ impl OdhTable {
         tags: &[usize],
         sources: Option<&HashSet<SourceId>>,
         tag_ranges: &[(usize, f64, f64)],
+        tally: &mut ReadTally,
     ) -> Result<Vec<ScanPoint>> {
         let (t1, t2) = (t1.micros(), t2.micros());
         let mut out = Vec::new();
@@ -813,13 +875,13 @@ impl OdhTable {
             if (per_source.len() as u64) > container.record_count() {
                 self.meter.cpu(self.meter.costs.buffer_hit * container.record_count() as f64);
                 for rid in container.all_rids()? {
-                    let entry = self.fetch_cached(container, rid)?;
-                    self.emit_cached(&entry, t1, t2, tags, sources, tag_ranges, &mut out)?;
+                    let entry = self.fetch_cached(container, rid, tally)?;
+                    self.emit_cached(&entry, t1, t2, tags, sources, tag_ranges, tally, &mut out)?;
                 }
             } else {
                 for sid in &per_source {
                     self.scan_source_container(
-                        container, *sid, t1, t2, tags, tag_ranges, &mut out,
+                        container, *sid, t1, t2, tags, tag_ranges, tally, &mut out,
                     )?;
                 }
             }
@@ -836,7 +898,17 @@ impl OdhTable {
         let mut groups: Vec<u32> = mg_groups.into_iter().collect();
         groups.sort_unstable();
         for gid in groups {
-            self.scan_mg_container(&mg, GroupId(gid), t1, t2, tags, sources, tag_ranges, &mut out)?;
+            self.scan_mg_container(
+                &mg,
+                GroupId(gid),
+                t1,
+                t2,
+                tags,
+                sources,
+                tag_ranges,
+                tally,
+                &mut out,
+            )?;
             let g = self.buffers.lock_mg(gid);
             if let Some(buf) = g.get(&gid) {
                 for (id, ts, values) in buf.rows_in_range(t1, t2, tags, None) {
@@ -860,6 +932,7 @@ impl OdhTable {
         t2: i64,
         tags: &[usize],
         tag_ranges: &[(usize, f64, f64)],
+        tally: &mut ReadTally,
         out: &mut Vec<ScanPoint>,
     ) -> Result<()> {
         let lo = KeyBuf::new()
@@ -869,8 +942,8 @@ impl OdhTable {
         let hi = KeyBuf::new().push_u64(source.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
         for rid in container.rids_in_range(&lo, &hi)? {
-            let entry = self.fetch_cached(container, rid)?;
-            self.emit_cached(&entry, t1, t2, tags, None, tag_ranges, out)?;
+            let entry = self.fetch_cached(container, rid, tally)?;
+            self.emit_cached(&entry, t1, t2, tags, None, tag_ranges, tally, out)?;
         }
         Ok(())
     }
@@ -886,14 +959,15 @@ impl OdhTable {
         tags: &[usize],
         filter: Option<&HashSet<SourceId>>,
         tag_ranges: &[(usize, f64, f64)],
+        tally: &mut ReadTally,
         out: &mut Vec<ScanPoint>,
     ) -> Result<()> {
         let lo = KeyBuf::new().push_u32(group.0).push_i64(t1.saturating_sub(mg.max_span())).build();
         let hi = KeyBuf::new().push_u32(group.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
         for rid in mg.rids_in_range(&lo, &hi)? {
-            let entry = self.fetch_cached(mg, rid)?;
-            self.emit_cached(&entry, t1, t2, tags, filter, tag_ranges, out)?;
+            let entry = self.fetch_cached(mg, rid, tally)?;
+            self.emit_cached(&entry, t1, t2, tags, filter, tag_ranges, tally, out)?;
         }
         Ok(())
     }
@@ -901,15 +975,19 @@ impl OdhTable {
     /// Fetch a sealed batch through the decode cache: a hit returns the
     /// shared entry (decoded columns and all); a miss deserializes the
     /// record, admits it, and lets the caller decode lazily.
-    fn fetch_cached(&self, container: &Container, rid: u64) -> Result<Arc<CachedBatch>> {
-        use std::sync::atomic::Ordering::Relaxed;
+    fn fetch_cached(
+        &self,
+        container: &Container,
+        rid: u64,
+        tally: &mut ReadTally,
+    ) -> Result<Arc<CachedBatch>> {
         let key = (container.id(), rid);
         if let Some(entry) = self.cache.get(key) {
-            self.stats.cache_hits.fetch_add(1, Relaxed);
+            tally.cache_hits += 1;
             self.meter.cpu(self.meter.costs.buffer_hit);
             return Ok(entry);
         }
-        self.stats.cache_misses.fetch_add(1, Relaxed);
+        tally.cache_misses += 1;
         let batch = container.get_batch(rid)?;
         let entry = Arc::new(CachedBatch::new(batch, self.cfg.schema.tag_count()));
         self.cache.insert(key, entry.clone());
@@ -923,6 +1001,7 @@ impl OdhTable {
         &self,
         entry: &CachedBatch,
         tags: &[usize],
+        tally: &mut ReadTally,
     ) -> Result<Vec<Arc<Vec<Option<f64>>>>> {
         let (cols, decoded) = entry.cols_for(tags)?;
         if decoded {
@@ -930,7 +1009,7 @@ impl OdhTable {
             // tag-oriented saving.
             let projected = entry.batch.blob().projected_bytes(tags)? as f64;
             self.meter.cpu(self.meter.costs.point_decode * projected / 8.0);
-            self.stats.blob_decodes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            tally.blob_decodes += 1;
         } else {
             self.meter.cpu(self.meter.costs.buffer_hit);
         }
@@ -947,6 +1026,7 @@ impl OdhTable {
         tags: &[usize],
         filter: Option<&HashSet<SourceId>>,
         tag_ranges: &[(usize, f64, f64)],
+        tally: &mut ReadTally,
         out: &mut Vec<ScanPoint>,
     ) -> Result<()> {
         let batch = &entry.batch;
@@ -962,16 +1042,12 @@ impl OdhTable {
         for &(tag, lo, hi) in tag_ranges {
             match batch.blob().tag_bounds(tag)? {
                 None => {
-                    self.stats
-                        .batches_zone_pruned
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    tally.batches_zone_pruned += 1;
                     return Ok(());
                 }
                 Some((bmin, bmax)) => {
                     if bmax < lo || bmin > hi {
-                        self.stats
-                            .batches_zone_pruned
-                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        tally.batches_zone_pruned += 1;
                         return Ok(());
                     }
                 }
@@ -982,7 +1058,7 @@ impl OdhTable {
                 return Ok(());
             }
         }
-        let cols = self.project_cached(entry, tags)?;
+        let cols = self.project_cached(entry, tags, tally)?;
         match batch {
             Batch::Mg(b) => {
                 for (row, &t) in entry.ts.iter().enumerate() {
@@ -1026,7 +1102,7 @@ impl OdhTable {
         t2: Timestamp,
         tags: &[usize],
     ) -> Result<RangeAggregate> {
-        self.read_consistent(|t| t.aggregate_range_once(source, t1, t2, tags))
+        self.read_consistent(|t, tally| t.aggregate_range_once(source, t1, t2, tags, tally))
     }
 
     /// One optimistic pass of [`OdhTable::aggregate_range`]; only valid if
@@ -1037,6 +1113,7 @@ impl OdhTable {
         t1: Timestamp,
         t2: Timestamp,
         tags: &[usize],
+        tally: &mut ReadTally,
     ) -> Result<RangeAggregate> {
         let (t1, t2) = (t1.micros(), t2.micros());
         let mut agg = RangeAggregate { rows: 0, tags: vec![TagSummary::empty(); tags.len()] };
@@ -1058,7 +1135,7 @@ impl OdhTable {
                 let hi = KeyBuf::new().push_u64(sid.0).push_i64(t2).build();
                 self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
                 for rid in container.rids_in_range(&lo, &hi)? {
-                    self.aggregate_batch(container, rid, t1, t2, tags, None, &mut agg)?;
+                    self.aggregate_batch(container, rid, t1, t2, tags, None, tally, &mut agg)?;
                 }
                 if meta.ingest == Structure::Mg {
                     let mg = self.mg.read().clone();
@@ -1070,7 +1147,16 @@ impl OdhTable {
                     let hi = KeyBuf::new().push_u32(meta.group.0).push_i64(t2).build();
                     self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
                     for rid in mg.rids_in_range(&lo, &hi)? {
-                        self.aggregate_batch(&mg, rid, t1, t2, tags, Some(&filter), &mut agg)?;
+                        self.aggregate_batch(
+                            &mg,
+                            rid,
+                            t1,
+                            t2,
+                            tags,
+                            Some(&filter),
+                            tally,
+                            &mut agg,
+                        )?;
                     }
                     let g = self.buffers.lock_mg(meta.group.0);
                     if let Some(buf) = g.get(&meta.group.0) {
@@ -1098,14 +1184,14 @@ impl OdhTable {
                     self.meter
                         .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
                     for rid in container.all_rids()? {
-                        self.aggregate_batch(container, rid, t1, t2, tags, None, &mut agg)?;
+                        self.aggregate_batch(container, rid, t1, t2, tags, None, tally, &mut agg)?;
                     }
                 }
                 let mg = self.mg.read().clone();
                 if mg.record_count() > 0 {
                     self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
                     for rid in mg.all_rids()? {
-                        self.aggregate_batch(&mg, rid, t1, t2, tags, None, &mut agg)?;
+                        self.aggregate_batch(&mg, rid, t1, t2, tags, None, tally, &mut agg)?;
                     }
                 }
                 let (per_source, groups) = {
@@ -1155,9 +1241,10 @@ impl OdhTable {
         t2: i64,
         tags: &[usize],
         filter: Option<&HashSet<SourceId>>,
+        tally: &mut ReadTally,
         agg: &mut RangeAggregate,
     ) -> Result<()> {
-        let entry = self.fetch_cached(container, rid)?;
+        let entry = self.fetch_cached(container, rid, tally)?;
         let batch = &entry.batch;
         let (b_begin, b_end) = batch.time_range();
         if b_end < t1 || b_begin > t2 {
@@ -1176,13 +1263,11 @@ impl OdhTable {
                 for (i, &tag) in tags.iter().enumerate() {
                     agg.tags[i].merge(&sums[tag]);
                 }
-                self.stats
-                    .summary_answered_batches
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                tally.summary_answered_batches += 1;
                 return Ok(());
             }
         }
-        let cols = self.project_cached(&entry, tags)?;
+        let cols = self.project_cached(&entry, tags, tally)?;
         match batch {
             Batch::Mg(b) => {
                 for (row, &t) in entry.ts.iter().enumerate() {
@@ -1223,7 +1308,7 @@ impl OdhTable {
     fn note_scan(&self, out: &[ScanPoint]) {
         let points: u64 =
             out.iter().map(|p| p.values.iter().filter(|v| v.is_some()).count() as u64).sum();
-        self.stats.points_scanned.fetch_add(points, std::sync::atomic::Ordering::Relaxed);
+        self.stats.points_scanned.add(points);
     }
 
     /// On-disk footprint of the three containers.

@@ -94,6 +94,46 @@ struct Stripe {
     buf: Vec<u8>,
     appends: u64,
     bytes_appended: u64,
+    /// Appends/bytes already settled into the shared registry counters —
+    /// the settle happens per group commit, keeping the per-append path
+    /// free of shared-cache-line traffic.
+    settled_appends: u64,
+    settled_bytes: u64,
+}
+
+/// Registry handles of one WAL. Counters are cluster-wide (every server
+/// of a cluster shares one meter, hence one registry); they are settled
+/// at group-commit/sync boundaries, so after any [`Wal::sync`] the
+/// registry agrees exactly with [`Wal::stats`].
+struct WalObs {
+    registry: Arc<odh_obs::Registry>,
+    appends: Arc<odh_obs::Counter>,
+    bytes: Arc<odh_obs::Counter>,
+    group_commits: Arc<odh_obs::Counter>,
+    syncs: Arc<odh_obs::Counter>,
+    /// Append latency, sampled 1-in-[`APPEND_SAMPLE`] (per stripe) so the
+    /// hot path pays no clock reads on the other appends.
+    append_hist: Arc<odh_obs::Histogram>,
+    fsync_hist: Arc<odh_obs::Histogram>,
+}
+
+/// Sample rate for append-latency spans (power of two; the stripe-local
+/// append count selects).
+const APPEND_SAMPLE: u64 = 64;
+
+impl WalObs {
+    fn new(meter: &ResourceMeter) -> WalObs {
+        let registry = meter.registry().clone();
+        WalObs {
+            appends: registry.counter("odh_wal_appends_total", &[]),
+            bytes: registry.counter("odh_wal_bytes_total", &[]),
+            group_commits: registry.counter("odh_wal_group_commits_total", &[]),
+            syncs: registry.counter("odh_wal_syncs_total", &[]),
+            append_hist: registry.histogram("odh_wal_append_seconds", &[]),
+            fsync_hist: registry.histogram("odh_wal_fsync_seconds", &[]),
+            registry,
+        }
+    }
 }
 
 /// The write-ahead log of one data server.
@@ -108,6 +148,7 @@ pub struct Wal {
     group_commit_bytes: usize,
     group_commits: AtomicU64,
     syncs: AtomicU64,
+    obs: WalObs,
 }
 
 #[inline]
@@ -154,6 +195,7 @@ impl Wal {
         next_lsn: u64,
         durable: u64,
     ) -> Wal {
+        let obs = WalObs::new(&meter);
         Wal {
             log,
             meter,
@@ -163,6 +205,7 @@ impl Wal {
             group_commit_bytes: GROUP_COMMIT_BYTES,
             group_commits: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            obs,
         }
     }
 
@@ -223,6 +266,10 @@ impl Wal {
         write_body: impl FnOnce(&mut Vec<u8>),
     ) -> Result<u64> {
         let mut s = self.stripes[stripe].lock();
+        let _span = s
+            .appends
+            .is_multiple_of(APPEND_SAMPLE)
+            .then(|| self.obs.registry.span("wal_append", &self.obs.append_hist));
         // LSN assignment and encoding are atomic under the stripe lock, so
         // within a stripe (hence within a source) file order is LSN order.
         let lsn = self.next_lsn.fetch_add(1, Ordering::AcqRel);
@@ -255,6 +302,11 @@ impl Wal {
             return Ok(());
         }
         self.group_commits.fetch_add(1, Ordering::Relaxed);
+        self.obs.group_commits.inc();
+        self.obs.appends.add(s.appends - s.settled_appends);
+        self.obs.bytes.add(s.bytes_appended - s.settled_bytes);
+        s.settled_appends = s.appends;
+        s.settled_bytes = s.bytes_appended;
         self.meter.wal_write(s.buf.len());
         let r = self.log.append(&s.buf);
         s.buf.clear();
@@ -269,8 +321,12 @@ impl Wal {
         for stripe in &self.stripes {
             self.flush_stripe(&mut stripe.lock())?;
         }
-        self.log.sync()?;
+        {
+            let _span = self.obs.registry.span("wal_fsync", &self.obs.fsync_hist);
+            self.log.sync()?;
+        }
         self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.obs.syncs.inc();
         self.meter.wal_sync();
         self.durable_lsn.fetch_max(target, Ordering::AcqRel);
         Ok(target)

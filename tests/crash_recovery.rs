@@ -111,16 +111,32 @@ fn ingest_until_crash(
     Outcome { sent, acked, triggered: plan.triggered() }
 }
 
+/// Counters the recovery path publishes to the observability registry,
+/// read back per trial so each injected fault can be matched against
+/// what recovery *reported* doing, not just the data it produced.
+struct RecoveryMetrics {
+    replayed: u64,
+    truncated_events: u64,
+}
+
 /// Recover from the surviving media and check the durability contract.
+/// Returns the recovery counters for fault-specific assertions.
 fn verify_recovery(
     disk: Arc<MemDisk>,
     log: Arc<MemLog>,
     outcome: &Outcome,
     require_acked: bool,
+    checkpointed: bool,
     label: &str,
-) {
-    let server = DataServer::open_with_wal(0, ResourceMeter::unmetered(), disk, POOL_FRAMES, log)
+) -> RecoveryMetrics {
+    let meter = ResourceMeter::unmetered();
+    let server = DataServer::open_with_wal(0, meter.clone(), disk, POOL_FRAMES, log)
         .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+    let registry = meter.registry();
+    let metrics = RecoveryMetrics {
+        replayed: registry.sum_counter("odh_recovery_replayed_records_total"),
+        truncated_events: registry.sum_counter("odh_recovery_truncated_tail_events_total"),
+    };
     let table = match server.table("plant") {
         Ok(t) => t,
         Err(_) => {
@@ -128,9 +144,10 @@ fn verify_recovery(
             // nothing was ever acknowledged.
             let acked_total: usize = outcome.acked.values().sum();
             assert_eq!(acked_total, 0, "{label}: acked records lost with the table");
-            return;
+            return metrics;
         }
     };
+    let mut recovered_total = 0u64;
     for s in 0..SOURCES {
         let sent = outcome.sent.get(&s).copied().unwrap_or(0);
         let acked = outcome.acked.get(&s).copied().unwrap_or(0);
@@ -138,6 +155,7 @@ fn verify_recovery(
             .historical_scan(SourceId(s), Timestamp(0), Timestamp(i64::MAX), &[0, 1])
             .map(|r| r.into_iter().map(|p| (p.ts.micros(), p.values[0].unwrap())).collect())
             .unwrap_or_else(|_| Vec::<(i64, f64)>::new());
+        recovered_total += rows.len() as u64;
         // No duplicates: timestamps are unique per source, so a strict
         // increase proves each record appears at most once.
         for w in rows.windows(2) {
@@ -161,23 +179,46 @@ fn verify_recovery(
             );
         }
     }
+    // The recovery counters must account for the data actually produced.
+    // Without a checkpoint nothing was flushed to heap pages before the
+    // crash, so every recovered row came from WAL replay — the reported
+    // replay count is exact. With a checkpoint, the image supplies some
+    // rows, so replay can only account for a subset.
+    if checkpointed {
+        assert!(
+            metrics.replayed <= recovered_total,
+            "{label}: recovery reported {} replayed records but only {recovered_total} exist",
+            metrics.replayed
+        );
+    } else {
+        assert_eq!(
+            metrics.replayed, recovered_total,
+            "{label}: replayed-record counter disagrees with the recovered row count"
+        );
+    }
     // The recovered server keeps ingesting and acknowledging.
     let next = outcome.sent.values().copied().max().unwrap_or(0);
     table.put(&record(0, next)).unwrap();
     server.sync().unwrap();
     let rows = table.historical_scan(SourceId(0), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
     assert!(!rows.is_empty(), "{label}: recovered server lost post-recovery writes");
+    metrics
 }
 
-/// Returns whether the injected fault actually fired before the stream
-/// ended (callers assert that a sweep crashed at least once — a sweep
-/// whose faults all land past the end would test nothing).
+struct Trial {
+    /// Did the injected fault fire before the stream ended? (Callers
+    /// assert that a sweep crashed at least once — a sweep whose faults
+    /// all land past the end would test nothing.)
+    crashed: bool,
+    metrics: RecoveryMetrics,
+}
+
 fn run_trial(
     seed: u64,
     mode: FaultMode,
     ops_before_fault: u64,
     checkpoint_at: Option<usize>,
-) -> bool {
+) -> Trial {
     let label = format!(
         "seed {seed} mode {mode:?} fault-after {ops_before_fault} checkpoint {checkpoint_at:?}"
     );
@@ -190,8 +231,15 @@ fn run_trial(
     // Silent corruption may destroy acknowledged bytes — recovery must
     // detect and truncate, but can't resurrect them.
     let require_acked = mode != FaultMode::FlipBit;
-    verify_recovery(disk_media, log_media, &outcome, require_acked, &label);
-    outcome.triggered
+    let metrics = verify_recovery(
+        disk_media,
+        log_media,
+        &outcome,
+        require_acked,
+        checkpoint_at.is_some(),
+        &label,
+    );
+    Trial { crashed: outcome.triggered, metrics }
 }
 
 #[test]
@@ -205,7 +253,18 @@ fn clean_crash_without_fault_keeps_every_acked_record() {
         let outcome = ingest_until_crash(disk, log, &plan, None);
         assert_eq!(outcome.sent.values().sum::<usize>(), RECORDS);
         assert_eq!(outcome.acked, outcome.sent, "final sync acks everything");
-        verify_recovery(disk_media, log_media, &outcome, true, &format!("benign seed {seed}"));
+        let metrics = verify_recovery(
+            disk_media,
+            log_media,
+            &outcome,
+            true,
+            false,
+            &format!("benign seed {seed}"),
+        );
+        // A cleanly synced log ends on a frame boundary: recovery must
+        // not report a truncated tail it didn't have.
+        assert_eq!(metrics.truncated_events, 0, "benign seed {seed}: phantom tail truncation");
+        assert_eq!(metrics.replayed, RECORDS as u64, "benign seed {seed}: replay count");
     }
 }
 
@@ -215,7 +274,7 @@ fn kill_faults_lose_nothing_acknowledged() {
         // Spread fault points across setup, early syncs, and the tail.
         let crashed = [3, 20, 60, 150]
             .iter()
-            .filter(|&&ops| run_trial(seed, FaultMode::Kill, ops + seed % 7, None))
+            .filter(|&&ops| run_trial(seed, FaultMode::Kill, ops + seed % 7, None).crashed)
             .count();
         assert!(crashed >= 1, "seed {seed}: no Kill fault fired mid-stream");
     }
@@ -224,22 +283,33 @@ fn kill_faults_lose_nothing_acknowledged() {
 #[test]
 fn torn_tail_writes_are_truncated_not_replayed() {
     for seed in seeds() {
-        let crashed = [5, 25, 70, 140]
+        let trials: Vec<Trial> = [5, 25, 70, 140]
             .iter()
-            .filter(|&&ops| run_trial(seed, FaultMode::Torn, ops + seed % 5, None))
-            .count();
+            .map(|&ops| run_trial(seed, FaultMode::Torn, ops + seed % 5, None))
+            .collect();
+        let crashed = trials.iter().filter(|t| t.crashed).count();
         assert!(crashed >= 1, "seed {seed}: no Torn fault fired mid-stream");
+        // A torn append leaves a partial frame at the tail; recovery must
+        // *report* truncating it, not just quietly survive. At least one
+        // crashed trial in the sweep must surface the event.
+        let truncations: u64 = trials.iter().map(|t| t.metrics.truncated_events).sum();
+        assert!(truncations >= 1, "seed {seed}: torn tails recovered but never reported");
     }
 }
 
 #[test]
 fn flipped_bits_are_detected_and_truncated() {
     for seed in seeds() {
-        let crashed = [4, 30, 90]
+        let trials: Vec<Trial> = [4, 30, 90]
             .iter()
-            .filter(|&&ops| run_trial(seed, FaultMode::FlipBit, ops + seed % 11, None))
-            .count();
+            .map(|&ops| run_trial(seed, FaultMode::FlipBit, ops + seed % 11, None))
+            .collect();
+        let crashed = trials.iter().filter(|t| t.crashed).count();
         assert!(crashed >= 1, "seed {seed}: no FlipBit fault fired mid-stream");
+        // Detected corruption is reported through the same truncation
+        // counter — the sweep must surface at least one event.
+        let truncations: u64 = trials.iter().map(|t| t.metrics.truncated_events).sum();
+        assert!(truncations >= 1, "seed {seed}: corruption truncated but never reported");
     }
 }
 
@@ -251,10 +321,10 @@ fn checkpoint_mid_stream_never_duplicates_replayed_rows() {
         // the rows the image already holds.
         let mut crashed = 0;
         for ops in [40, 160, 240, 400] {
-            crashed +=
-                run_trial(seed, FaultMode::Kill, ops + seed % 13, Some(RECORDS / 2)) as usize;
-            crashed +=
-                run_trial(seed, FaultMode::Torn, ops + seed % 13, Some(RECORDS / 2)) as usize;
+            crashed += run_trial(seed, FaultMode::Kill, ops + seed % 13, Some(RECORDS / 2)).crashed
+                as usize;
+            crashed += run_trial(seed, FaultMode::Torn, ops + seed % 13, Some(RECORDS / 2)).crashed
+                as usize;
         }
         assert!(crashed >= 1, "seed {seed}: no fault fired around the checkpoint");
     }
