@@ -1,0 +1,70 @@
+//! Compression-kernel + seal-pipeline sweep behind `BENCH_compress.json`.
+//!
+//! Runs every codec in its frozen byte-at-a-time `reference` arm and its
+//! word-at-a-time `kernel` arm (buffer-reusing `*_into` entry points),
+//! counting heap allocations per arm through a counting global
+//! allocator, then measures multi-threaded ingest with the off-thread
+//! seal pipeline on vs off. `compress_gate` replays this sweep in CI and
+//! enforces zero steady-state kernel allocations, the 2x speedup floor,
+//! and the pipeline-beats-inline property.
+//!
+//! Knobs: `COMPRESS_BENCH_N`, `COMPRESS_BENCH_ITERS`,
+//! `SEAL_BENCH_WRITERS`, `SEAL_BENCH_ROWS`, `SEAL_BENCH_REPS`.
+
+use odh_bench::kernels::CompressBenchReport;
+use odh_bench::kernels::{compress_kernel_bench, print_compress_points, seal_queue_bench};
+use odh_bench::{banner, save_json};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation (alloc/realloc/alloc_zeroed) so the
+/// sweep can prove the kernel arms are allocation-free at steady state.
+/// Lives in the binary because `#[global_allocator]` in the library
+/// would tax every other bench bin too.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    banner(
+        "Compression kernels + seal pipeline",
+        "zero-alloc encode/decode and off-thread batch sealing",
+    );
+    let kernels = compress_kernel_bench(alloc_count);
+    let seal_queue = match seal_queue_bench() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: seal-queue sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = CompressBenchReport { kernels, seal_queue };
+    print_compress_points(&report);
+    let path = save_json("BENCH_compress", &report);
+    println!("\nsaved: {}", path.display());
+}

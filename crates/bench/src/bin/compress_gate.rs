@@ -1,0 +1,212 @@
+//! CI performance gate over the compression kernels and seal pipeline.
+//!
+//! Re-runs the `compress_bench` sweep and checks it three ways:
+//!
+//! - **Allocation gates** (deterministic, always enforced): every
+//!   `kernel` arm must report **zero** heap allocations in its timed
+//!   loop — the buffer-reusing `*_into` entry points are allocation-free
+//!   at steady state, counted through this binary's global allocator.
+//! - **Speedup gates** (in-run, hardware-independent): the XOR and
+//!   quantize kernels must beat the frozen reference implementations by
+//!   at least `COMPRESS_GATE_MIN_SPEEDUP` (default 2.0x) on both encode
+//!   and decode; the remaining codecs must stay within
+//!   `COMPRESS_GATE_OTHERS_FLOOR` (default 0.7x) of the reference —
+//!   delta-of-delta decode of a mostly-on-schedule stream is one the
+//!   byte-at-a-time reference already handles near memory speed, so
+//!   "not slower" there would gate on scheduler noise. The seal
+//!   pipeline must reach
+//!   `SEAL_GATE_MIN_RATIO` (default 0.9) of inline ingest throughput —
+//!   on multi-core hardware it wins outright (the committed baseline
+//!   shows the headline ratio); the loose CI floor only tolerates
+//!   shared-runner scheduling noise, not a real regression.
+//! - **Regression gate**: per matching (op, arm), current `mb_per_sec`
+//!   must stay within `BENCH_GATE_TOLERANCE_PCT` (default 50%) of the
+//!   committed `results/BENCH_compress.json`.
+//!
+//! The fresh sweep is saved as `results/BENCH_compress_current.json` for
+//! CI artifact upload. Exits non-zero on any failure; a missing baseline
+//! is an error (regenerate with `cargo run --release --bin compress_bench`).
+
+use odh_bench::kernels::{compress_kernel_bench, print_compress_points, seal_queue_bench};
+use odh_bench::kernels::{CompressBenchPoint, CompressBenchReport};
+use odh_bench::{banner, results_dir, save_json};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Same counting allocator as `compress_bench` — duplicated here because
+/// `#[global_allocator]` must live in the binary, not the shared library.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn find<'a>(
+    points: &'a [CompressBenchPoint],
+    op: &str,
+    arm: &str,
+) -> Option<&'a CompressBenchPoint> {
+    points.iter().find(|p| p.op == op && p.arm == arm)
+}
+
+fn main() {
+    banner("Compression kernel gate", "CI guard on zero-alloc kernels + seal pipeline");
+    let tolerance = env_f64("BENCH_GATE_TOLERANCE_PCT", 50.0);
+    let min_speedup = env_f64("COMPRESS_GATE_MIN_SPEEDUP", 2.0);
+    let others_floor = env_f64("COMPRESS_GATE_OTHERS_FLOOR", 0.7);
+    let seal_ratio = env_f64("SEAL_GATE_MIN_RATIO", 0.9);
+
+    let baseline_path = results_dir().join("BENCH_compress.json");
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        }
+    };
+    let baseline: CompressBenchReport = match serde_json::from_str(&baseline_json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "FAIL: baseline {} does not parse ({e}); regenerate it with \
+                 `cargo run --release --bin compress_bench`",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let kernels = compress_kernel_bench(alloc_count);
+    let seal_queue = match seal_queue_bench() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: seal-queue sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let current = CompressBenchReport { kernels, seal_queue };
+    let path = save_json("BENCH_compress_current", &current);
+    println!("current sweep saved: {}", path.display());
+    print_compress_points(&current);
+    println!();
+
+    let mut failures = 0u32;
+    let mut check = |ok: bool, what: &str| {
+        println!("  {} {what}", if ok { "ok    " } else { "FAILED" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // Allocation gates — kernel arms must be allocation-free after warm-up.
+    for p in current.kernels.iter().filter(|p| p.arm == "kernel") {
+        check(
+            p.allocs == 0,
+            &format!("{} kernel arm allocates nothing ({} allocs)", p.op, p.allocs),
+        );
+    }
+
+    // Speedup gates — in-run kernel-vs-reference, robust to CI hardware.
+    let ops: Vec<String> = {
+        let mut seen: Vec<String> = Vec::new();
+        for p in &current.kernels {
+            if !seen.contains(&p.op) {
+                seen.push(p.op.clone());
+            }
+        }
+        seen
+    };
+    for op in &ops {
+        let floor = if op.starts_with("xor") || op.starts_with("quantize") {
+            min_speedup
+        } else {
+            others_floor
+        };
+        match (find(&current.kernels, op, "reference"), find(&current.kernels, op, "kernel")) {
+            (Some(r), Some(k)) => {
+                let speedup = k.mb_per_sec / r.mb_per_sec.max(1e-9);
+                check(
+                    speedup >= floor,
+                    &format!("{op} kernel >= {floor:.1}x reference (got {speedup:.2}x)"),
+                );
+            }
+            _ => check(false, &format!("{op} has both reference and kernel arms")),
+        }
+    }
+
+    // Seal pipeline gate — off-thread sealing must hold up under
+    // multi-threaded ingest (and on multi-core hardware, win).
+    let inline = current.seal_queue.iter().find(|p| p.arm == "inline");
+    let pipeline = current.seal_queue.iter().find(|p| p.arm == "pipeline");
+    match (inline, pipeline) {
+        (Some(i), Some(p)) => {
+            let ratio = p.rows_per_sec / i.rows_per_sec.max(1e-9);
+            check(
+                ratio >= seal_ratio,
+                &format!("seal pipeline >= {seal_ratio:.2}x inline ingest (got {ratio:.2}x)"),
+            );
+        }
+        _ => check(false, "seal-queue sweep has inline and pipeline arms"),
+    }
+
+    // Regression gate — throughput tolerance per (op, arm) vs baseline.
+    println!(
+        "\n{:>18} {:>10} {:>10} {:>10} {:>8}  gate",
+        "op", "arm", "base MB/s", "now MB/s", "delta"
+    );
+    for p in &current.kernels {
+        let (delta_pct, ok, base) = match find(&baseline.kernels, &p.op, &p.arm) {
+            Some(b) => {
+                let d = (p.mb_per_sec / b.mb_per_sec.max(1e-9) - 1.0) * 100.0;
+                (d, d >= -tolerance, b.mb_per_sec)
+            }
+            // New op with no baseline: nothing to regress against.
+            None => (0.0, true, f64::NAN),
+        };
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "{:>18} {:>10} {:>10.1} {:>10.1} {:>+7.1}%  {}",
+            p.op,
+            p.arm,
+            base,
+            p.mb_per_sec,
+            delta_pct,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gate check(s) failed");
+        std::process::exit(1);
+    }
+    println!("PASS");
+}

@@ -22,6 +22,8 @@ use odh_types::{Result, Row, SourceClass, SourceId};
 use std::path::PathBuf;
 use std::sync::Arc;
 
+pub mod kernels;
+
 /// Core count every benchmark system is modeled with (the paper's
 /// benchmark machine: "an 8-core 4060 MHz Power PC").
 pub const BENCH_CORES: u32 = 8;
@@ -317,7 +319,7 @@ fn ingest_bench_cluster(spec: &TdSpec, durable: bool) -> Result<Arc<odh_core::Cl
 }
 
 /// Median of a sample (sorts in place; midpoint average for even sizes).
-fn median(xs: &mut [f64]) -> f64 {
+pub fn median(xs: &mut [f64]) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let n = xs.len();
     if n == 0 {

@@ -1,6 +1,23 @@
-//! Bit-granular I/O, MSB-first, with a 64-bit accumulator so multi-bit
-//! writes/reads cost a few shifts instead of a loop per bit (the XOR codec
-//! pushes ~70 bits per float through here on the ingest hot path).
+//! Bit-granular I/O, MSB-first, word-at-a-time.
+//!
+//! The XOR codec pushes ~70 bits per float through here on the seal hot
+//! path, so both directions work on a 64-bit accumulator and move whole
+//! words, not bytes:
+//!
+//! - [`BitWriter`] keeps pending bits **left-aligned** in a `u64` and
+//!   flushes eight bytes at once (`to_be_bytes`) whenever the accumulator
+//!   fills. It appends into a caller-owned `Vec<u8>`, so steady-state
+//!   encoding with a reused output buffer performs no allocation here.
+//! - [`BitReader`] is positional (a bit cursor over the slice) and serves
+//!   any ≤ 32-bit field with a single unaligned 8-byte big-endian load
+//!   plus two shifts; only the last < 8 bytes of a buffer take the
+//!   byte-gather slow path.
+//!
+//! The emitted stream is the canonical MSB-first layout with a
+//! zero-padded final byte — byte-identical to the historical
+//! byte-at-a-time writer (see `crate::reference`), which is what keeps
+//! sealed v1/v2 blobs on disk decodable and is proven by the
+//! format-stability proptests.
 
 use odh_types::{OdhError, Result};
 
@@ -13,22 +30,25 @@ fn mask(n: u8) -> u64 {
     }
 }
 
-/// Appends bits MSB-first into a byte vector.
-#[derive(Debug, Default)]
-pub struct BitWriter {
-    buf: Vec<u8>,
-    /// Pending bits, right-aligned in `acc` (always < 8 after a write).
+/// Appends bits MSB-first into a borrowed byte vector.
+#[derive(Debug)]
+pub struct BitWriter<'a> {
+    out: &'a mut Vec<u8>,
+    /// `out.len()` when this writer started; bits before it are not ours.
+    start: usize,
+    /// Pending bits, left-aligned (bit 63 is the next bit of the stream).
+    /// Unused low bits are always zero.
     acc: u64,
-    nbits: u8,
+    /// Number of pending bits in `acc`; invariant `nbits < 64` between
+    /// calls.
+    nbits: u32,
 }
 
-impl BitWriter {
-    pub fn new() -> BitWriter {
-        BitWriter::default()
-    }
-
-    pub fn with_capacity(bytes: usize) -> BitWriter {
-        BitWriter { buf: Vec::with_capacity(bytes), acc: 0, nbits: 0 }
+impl<'a> BitWriter<'a> {
+    /// Start a bit stream appended to `out` (existing bytes are kept).
+    pub fn new(out: &'a mut Vec<u8>) -> BitWriter<'a> {
+        let start = out.len();
+        BitWriter { out, start, acc: 0, nbits: 0 }
     }
 
     #[inline]
@@ -40,51 +60,89 @@ impl BitWriter {
     #[inline]
     pub fn write_bits(&mut self, v: u64, n: u8) {
         debug_assert!(n <= 64);
-        if n > 32 {
-            self.write_chunk(v >> 32, n - 32);
-            self.write_chunk(v, 32);
-        } else {
-            self.write_chunk(v, n);
-        }
-    }
-
-    /// `n` ≤ 32, so `acc` (< 8 pending bits) never overflows on the shift.
-    #[inline]
-    fn write_chunk(&mut self, v: u64, n: u8) {
         if n == 0 {
             return;
         }
-        self.acc = (self.acc << n) | (v & mask(n));
-        self.nbits += n;
-        while self.nbits >= 8 {
-            self.nbits -= 8;
-            self.buf.push((self.acc >> self.nbits) as u8);
+        let v = v & mask(n);
+        let free = 64 - self.nbits;
+        let n = n as u32;
+        if n < free {
+            self.acc |= v << (free - n);
+            self.nbits += n;
+        } else {
+            // Top `free` bits of `v` complete the word; flush it whole.
+            let spill = n - free; // 0..=63
+            self.acc |= v >> spill;
+            self.out.extend_from_slice(&self.acc.to_be_bytes());
+            if spill == 0 {
+                self.acc = 0;
+            } else {
+                self.acc = v << (64 - spill);
+            }
+            self.nbits = spill;
         }
     }
 
     /// Total bits written so far.
     pub fn bit_len(&self) -> usize {
-        self.buf.len() * 8 + self.nbits as usize
+        (self.out.len() - self.start) * 8 + self.nbits as usize
     }
 
-    pub fn finish(mut self) -> Vec<u8> {
-        if self.nbits > 0 {
-            let pad = 8 - self.nbits;
-            self.buf.push(((self.acc << pad) & 0xFF) as u8);
+    /// Flush pending bits, zero-padding the final byte.
+    pub fn finish(self) {
+        let mut acc = self.acc;
+        let mut left = self.nbits;
+        while left > 0 {
+            self.out.push((acc >> 56) as u8);
+            acc <<= 8;
+            left = left.saturating_sub(8);
         }
-        self.buf
     }
 }
 
-/// Reads bits MSB-first from a byte slice.
+/// The next ≤ 57 bits of `buf` starting at bit `bitpos`, left-aligned
+/// (bit 63 of the result is the bit at `bitpos`); bits past the end of
+/// the buffer read as zero.
+///
+/// This is the raw ingredient of the branch-light decoder loops in the
+/// XOR and delta codecs: one unaligned load serves a value's control
+/// bits *and* its payload, and instead of bounds-checking every field
+/// the caller audits its final bit position against the buffer once,
+/// after the loop (zero-padding makes overruns produce a position past
+/// the end, never a panic).
+#[inline]
+pub(crate) fn peek_word(buf: &[u8], bitpos: usize) -> u64 {
+    let byte = bitpos >> 3;
+    let off = (bitpos & 7) as u32;
+    let w = if byte + 8 <= buf.len() {
+        u64::from_be_bytes(buf[byte..byte + 8].try_into().unwrap())
+    } else if byte < buf.len() {
+        let mut tmp = [0u8; 8];
+        tmp[..buf.len() - byte].copy_from_slice(&buf[byte..]);
+        u64::from_be_bytes(tmp)
+    } else {
+        0
+    };
+    w << off
+}
+
+/// Reads bits MSB-first from a byte slice through a 64-bit accumulator.
+///
+/// The accumulator keeps the next `have` stream bits **left-aligned**
+/// (bit 63 first) with all lower bits zero, and refills by absorbing up
+/// to eight bytes with a single unaligned big-endian load — so single-bit
+/// reads (the common case in the XOR and delta-of-delta streams) cost a
+/// shift and a subtract, and a memory load is paid once per ~7 bytes
+/// consumed, not once per field.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     buf: &'a [u8],
-    /// Next byte to pull into the accumulator.
+    /// Next byte of `buf` to absorb into the accumulator.
     next: usize,
+    /// Pending bits, left-aligned; bits below `have` are always zero.
     acc: u64,
-    /// Valid bits in `acc` (right-aligned).
-    have: u8,
+    /// Number of valid bits in `acc`.
+    have: u32,
 }
 
 impl<'a> BitReader<'a> {
@@ -92,9 +150,40 @@ impl<'a> BitReader<'a> {
         BitReader { buf, next: 0, acc: 0, have: 0 }
     }
 
+    /// Absorb as many whole bytes as fit the accumulator.
+    #[inline]
+    fn refill(&mut self) {
+        if self.next + 8 <= self.buf.len() {
+            let w = u64::from_be_bytes(self.buf[self.next..self.next + 8].try_into().unwrap());
+            // Whole bytes that fit: 0..=8. Keep only the top `take * 8`
+            // bits of the load: lower bytes belong to the next refill and
+            // the below-`have` zero invariant must hold.
+            let take = (64 - self.have) >> 3;
+            let kept = if take == 8 { w } else { w & !(u64::MAX >> (take * 8)) };
+            self.acc |= kept >> self.have;
+            self.have += take * 8;
+            self.next += take as usize;
+        } else {
+            while self.have <= 56 && self.next < self.buf.len() {
+                self.acc |= (self.buf[self.next] as u64) << (56 - self.have);
+                self.have += 8;
+                self.next += 1;
+            }
+        }
+    }
+
     #[inline]
     pub fn read_bit(&mut self) -> Result<bool> {
-        Ok(self.read_bits(1)? == 1)
+        if self.have == 0 {
+            self.refill();
+            if self.have == 0 {
+                return Err(OdhError::Corrupt("bit stream overrun".into()));
+            }
+        }
+        let bit = self.acc >> 63;
+        self.acc <<= 1;
+        self.have -= 1;
+        Ok(bit == 1)
     }
 
     #[inline]
@@ -109,24 +198,35 @@ impl<'a> BitReader<'a> {
         }
     }
 
-    /// `n` ≤ 32; `acc` holds < 8 residual bits before refills, so at most
-    /// 39 + 8 bits are ever resident — no overflow.
+    /// Look at the next `n` ≤ 32 bits without consuming them, zero-padded
+    /// past the end of the stream. Callers that advance on the strength
+    /// of a peek must bounds-check separately (e.g. via [`Self::read_bits`]
+    /// or a final [`Self::remaining_bits`] audit).
+    #[inline]
+    pub fn peek_bits(&mut self, n: u8) -> u64 {
+        debug_assert!((1..=32).contains(&n));
+        if self.have < n as u32 {
+            self.refill();
+        }
+        self.acc >> (64 - n as u32)
+    }
+
     #[inline]
     fn read_chunk(&mut self, n: u8) -> Result<u64> {
         if n == 0 {
             return Ok(0);
         }
-        while self.have < n {
-            let byte = *self
-                .buf
-                .get(self.next)
-                .ok_or_else(|| OdhError::Corrupt("bit stream overrun".into()))?;
-            self.next += 1;
-            self.acc = (self.acc << 8) | byte as u64;
-            self.have += 8;
+        let n = n as u32;
+        if self.have < n {
+            self.refill();
+            if self.have < n {
+                return Err(OdhError::Corrupt("bit stream overrun".into()));
+            }
         }
+        let v = self.acc >> (64 - n);
+        self.acc <<= n;
         self.have -= n;
-        Ok((self.acc >> self.have) & mask(n))
+        Ok(v)
     }
 
     pub fn remaining_bits(&self) -> usize {
@@ -138,15 +238,20 @@ impl<'a> BitReader<'a> {
 mod tests {
     use super::*;
 
+    fn finish_vec(w: BitWriter<'_>) {
+        w.finish();
+    }
+
     #[test]
     fn round_trip_mixed_widths() {
-        let mut w = BitWriter::new();
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
         w.write_bit(true);
         w.write_bits(0b1011, 4);
         w.write_bits(u64::MAX, 64);
         w.write_bits(0, 3);
         w.write_bits(42, 7);
-        let bytes = w.finish();
+        finish_vec(w);
         let mut r = BitReader::new(&bytes);
         assert!(r.read_bit().unwrap());
         assert_eq!(r.read_bits(4).unwrap(), 0b1011);
@@ -157,12 +262,23 @@ mod tests {
 
     #[test]
     fn bit_len_tracks_exactly() {
-        let mut w = BitWriter::new();
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
         assert_eq!(w.bit_len(), 0);
         w.write_bits(1, 1);
         assert_eq!(w.bit_len(), 1);
         w.write_bits(0, 9);
         assert_eq!(w.bit_len(), 10);
+    }
+
+    #[test]
+    fn appends_after_existing_bytes() {
+        let mut bytes = vec![0xAA, 0xBB];
+        let mut w = BitWriter::new(&mut bytes);
+        w.write_bits(0b101, 3);
+        assert_eq!(w.bit_len(), 3);
+        w.finish();
+        assert_eq!(bytes, vec![0xAA, 0xBB, 0b1010_0000]);
     }
 
     #[test]
@@ -183,14 +299,16 @@ mod tests {
     #[test]
     fn msb_first_byte_layout() {
         // 0b101 then 0b00001 → byte 0b10100001.
-        let mut w = BitWriter::new();
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
         w.write_bits(0b101, 3);
         w.write_bits(0b00001, 5);
-        assert_eq!(w.finish(), vec![0b1010_0001]);
+        finish_vec(w);
+        assert_eq!(bytes, vec![0b1010_0001]);
     }
 
     #[test]
-    fn remaining_bits_counts_accumulator() {
+    fn remaining_bits_counts_position() {
         let mut r = BitReader::new(&[0xFF, 0x00]);
         assert_eq!(r.remaining_bits(), 16);
         r.read_bits(3).unwrap();
@@ -208,14 +326,35 @@ mod tests {
             let n = (x % 64 + 1) as u8;
             fields.push((x >> 7 & mask(n), n));
         }
-        let mut w = BitWriter::new();
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
         for &(v, n) in &fields {
             w.write_bits(v, n);
         }
-        let bytes = w.finish();
+        finish_vec(w);
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &fields {
             assert_eq!(r.read_bits(n).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn matches_reference_writer_bit_for_bit() {
+        let mut x = 0xDEADu64;
+        let mut fields = Vec::new();
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n = (x % 64 + 1) as u8;
+            fields.push((x >> 5 & mask(n), n));
+        }
+        let mut new_bytes = Vec::new();
+        let mut w = BitWriter::new(&mut new_bytes);
+        let mut r = crate::reference::BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+            r.write_bits(v, n);
+        }
+        finish_vec(w);
+        assert_eq!(new_bytes, r.finish());
     }
 }

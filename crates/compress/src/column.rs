@@ -6,7 +6,13 @@
 //! preferred codec cannot beat falls back to the next one, and raw is the
 //! universal fallback. The chosen codec id is returned alongside the bytes
 //! and stored in the blob's per-tag section header.
+//!
+//! [`encode_column_into`] trial-encodes candidates directly into the
+//! caller's output buffer and truncates back losers, so selection costs
+//! no intermediate allocation; [`decode_column_into`] fills a
+//! caller-owned value vector, staging linear spikes in the [`Scratch`].
 
+use crate::scratch::Scratch;
 use crate::variability::is_smooth;
 use crate::varint;
 use crate::{linear, quantize, xor};
@@ -37,6 +43,16 @@ impl Codec {
             _ => Err(OdhError::Corrupt(format!("unknown codec id {v}"))),
         }
     }
+
+    /// Stable label for metrics and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Codec::Raw => "raw",
+            Codec::Linear => "linear",
+            Codec::Quantize => "quantize",
+            Codec::Xor => "xor",
+        }
+    }
 }
 
 /// Compression policy for a schema type (ODH configuration metadata).
@@ -48,79 +64,119 @@ pub enum Policy {
     Lossy { max_dev: f64 },
 }
 
-/// Encode one column. `ts` must parallel `vals`; linear compression is only
-/// chosen when timestamps are strictly increasing (its interpolation model
-/// requires it).
-pub fn encode_column(ts: &[i64], vals: &[f64], policy: Policy) -> (Codec, Vec<u8>) {
+/// Encode one column, appending the winning candidate's bytes to `out`
+/// and returning its codec id. `ts` must parallel `vals`; linear
+/// compression is only chosen when timestamps are strictly increasing
+/// (its interpolation model requires it). Losing trial encodings are
+/// truncated back off `out`, so the byte stream is exactly the winner's.
+pub fn encode_column_into(
+    ts: &[i64],
+    vals: &[f64],
+    policy: Policy,
+    scratch: &mut Scratch,
+    out: &mut Vec<u8>,
+) -> Codec {
     debug_assert_eq!(ts.len(), vals.len());
     let raw_len = vals.len() * 8;
+    let start = out.len();
     match policy {
         Policy::Lossless => {
-            let enc = xor::encode(vals);
-            if enc.len() < raw_len + 8 {
-                (Codec::Xor, enc)
+            xor::encode_into(vals, out);
+            if out.len() - start < raw_len + 8 {
+                Codec::Xor
             } else {
-                (Codec::Raw, encode_raw(vals))
+                out.truncate(start);
+                encode_raw_into(vals, out);
+                Codec::Raw
             }
         }
         Policy::Lossy { max_dev } => {
             if max_dev <= 0.0 {
-                return encode_column(ts, vals, Policy::Lossless);
+                return encode_column_into(ts, vals, Policy::Lossless, scratch, out);
             }
             let monotone = ts.windows(2).all(|w| w[0] < w[1]);
             if monotone && is_smooth(vals) && vals.iter().all(|v| v.is_finite()) {
-                let spikes = linear::compress(ts, vals, max_dev);
-                let enc = linear::encode(&spikes);
-                if enc.len() < raw_len {
-                    return (Codec::Linear, enc);
+                linear::compress_into(ts, vals, max_dev, &mut scratch.spikes);
+                linear::encode_into(&scratch.spikes, out);
+                if out.len() - start < raw_len {
+                    return Codec::Linear;
                 }
+                out.truncate(start);
             }
-            if let Some(enc) = quantize::encode(vals, max_dev) {
-                if enc.len() < raw_len {
-                    return (Codec::Quantize, enc);
+            if quantize::encode_into(vals, max_dev, out) {
+                if out.len() - start < raw_len {
+                    return Codec::Quantize;
                 }
+                out.truncate(start);
             }
             // Fall back to the lossless path (never worse than raw + ε).
-            encode_column(ts, vals, Policy::Lossless)
+            encode_column_into(ts, vals, Policy::Lossless, scratch, out)
         }
     }
 }
 
-/// Decode a column starting at `pos`, advancing it. `ts` must be the same
-/// timestamps used at encode time (the blob stores them separately).
-pub fn decode_column(codec: Codec, buf: &[u8], pos: &mut usize, ts: &[i64]) -> Result<Vec<f64>> {
+/// Encode one column into a fresh vector.
+pub fn encode_column(ts: &[i64], vals: &[f64], policy: Policy) -> (Codec, Vec<u8>) {
+    let mut scratch = Scratch::new();
+    let mut out = Vec::with_capacity(vals.len() * 2 + 16);
+    let codec = encode_column_into(ts, vals, policy, &mut scratch, &mut out);
+    (codec, out)
+}
+
+/// Decode a column starting at `pos` into `out` (cleared first),
+/// advancing `pos`. `ts` must be the same timestamps used at encode time
+/// (the blob stores them separately).
+pub fn decode_column_into(
+    codec: Codec,
+    buf: &[u8],
+    pos: &mut usize,
+    ts: &[i64],
+    scratch: &mut Scratch,
+    out: &mut Vec<f64>,
+) -> Result<()> {
     match codec {
-        Codec::Raw => decode_raw_at(buf, pos),
+        Codec::Raw => decode_raw_at_into(buf, pos, out),
         Codec::Linear => {
-            let spikes = linear::decode_at(buf, pos)?;
-            Ok(linear::reconstruct(&spikes, ts))
+            linear::decode_at_into(buf, pos, &mut scratch.spikes)?;
+            linear::reconstruct_into(&scratch.spikes, ts, out);
+            Ok(())
         }
-        Codec::Quantize => quantize::decode_at(buf, pos),
-        Codec::Xor => xor::decode_at(buf, pos),
+        Codec::Quantize => quantize::decode_at_into(buf, pos, out),
+        Codec::Xor => xor::decode_at_into(buf, pos, out),
     }
 }
 
-fn encode_raw(vals: &[f64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(vals.len() * 8 + 4);
-    varint::write_u64(&mut out, vals.len() as u64);
+/// Decode a column starting at `pos` into a fresh vector, advancing `pos`.
+pub fn decode_column(codec: Codec, buf: &[u8], pos: &mut usize, ts: &[i64]) -> Result<Vec<f64>> {
+    let mut scratch = Scratch::new();
+    let mut out = Vec::new();
+    decode_column_into(codec, buf, pos, ts, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+fn encode_raw_into(vals: &[f64], out: &mut Vec<u8>) {
+    out.reserve(vals.len() * 8 + 4);
+    varint::write_u64(out, vals.len() as u64);
     for v in vals {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    out
 }
 
-fn decode_raw_at(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
+fn decode_raw_at_into(buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Result<()> {
+    out.clear();
     let n = varint::read_u64(buf, pos)? as usize;
-    if buf.len() < *pos + n * 8 {
+    let need =
+        n.checked_mul(8).ok_or_else(|| OdhError::Corrupt("raw column count overflows".into()))?;
+    if buf.len().saturating_sub(*pos) < need {
         return Err(OdhError::Corrupt("raw column truncated".into()));
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     for i in 0..n {
         let off = *pos + i * 8;
         out.push(f64::from_le_bytes(buf[off..off + 8].try_into().unwrap()));
     }
-    *pos += n * 8;
-    Ok(out)
+    *pos += need;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -222,5 +278,28 @@ mod tests {
         let (codec, bytes) = encode_column(&[], &[], Policy::Lossy { max_dev: 0.1 });
         let mut pos = 0;
         assert!(decode_column(codec, &bytes, &mut pos, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn into_appends_after_existing_bytes() {
+        let ts = ramp_ts(64);
+        let vals: Vec<f64> = (0..64).map(|i| (i as f64 * 0.9).cos()).collect();
+        let mut scratch = Scratch::new();
+        let mut out = vec![0xEE; 5];
+        let codec = encode_column_into(&ts, &vals, Policy::Lossless, &mut scratch, &mut out);
+        assert_eq!(&out[..5], &[0xEE; 5]);
+        let (codec2, fresh) = encode_column(&ts, &vals, Policy::Lossless);
+        assert_eq!(codec, codec2);
+        assert_eq!(&out[5..], &fresh[..]);
+    }
+
+    #[test]
+    fn raw_oversized_count_is_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, u64::MAX / 2);
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        assert!(decode_raw_at_into(&buf, &mut pos, &mut out).is_err());
     }
 }

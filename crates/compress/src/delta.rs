@@ -15,7 +15,7 @@
 //!
 //! Layout: `varint n ; varint unit ; zigzag-varint first ; bit stream`.
 
-use crate::bits::{BitReader, BitWriter};
+use crate::bits::{self, BitWriter};
 use crate::varint;
 use odh_types::{OdhError, Result};
 
@@ -27,25 +27,30 @@ fn gcd(a: u64, b: u64) -> u64 {
     }
 }
 
-/// Encode a timestamp sequence in microseconds.
-pub fn encode_timestamps(ts: &[i64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(ts.len() / 4 + 16);
-    varint::write_u64(&mut out, ts.len() as u64);
+/// Encode a timestamp sequence in microseconds, appending to `out`.
+pub fn encode_timestamps_into(ts: &[i64], out: &mut Vec<u8>) {
+    varint::write_u64(out, ts.len() as u64);
     if ts.is_empty() {
-        return out;
+        return;
     }
-    // Unit: GCD of all deltas (0 when there is at most one point).
+    // Unit: GCD of all deltas (0 when there is at most one point). Once
+    // the GCD collapses to 1 it can never recover, so stop scanning —
+    // on microsecond-jittered clocks this skips almost the whole pass.
     let mut unit = 0u64;
     for w in ts.windows(2) {
         unit = gcd(unit, (w[1] - w[0]).unsigned_abs());
+        if unit == 1 {
+            break;
+        }
     }
     let unit = unit.max(1);
-    varint::write_u64(&mut out, unit);
-    varint::write_i64(&mut out, ts[0]);
+    varint::write_u64(out, unit);
+    varint::write_i64(out, ts[0]);
     if ts.len() == 1 {
-        return out;
+        return;
     }
-    let mut w = BitWriter::with_capacity(ts.len() / 2);
+    out.reserve(ts.len() / 2 + 8);
+    let mut w = BitWriter::new(out);
     let mut prev = ts[0];
     let mut prev_delta = 0i64;
     for &t in &ts[1..] {
@@ -55,50 +60,37 @@ pub fn encode_timestamps(ts: &[i64]) -> Vec<u8> {
         prev = t;
         prev_delta = delta;
     }
-    out.extend_from_slice(&w.finish());
+    w.finish();
+}
+
+/// Encode a timestamp sequence into a fresh vector.
+pub fn encode_timestamps(ts: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ts.len() / 4 + 16);
+    encode_timestamps_into(ts, &mut out);
     out
 }
 
 /// Gorilla-style variable-width encoding of one second difference.
-fn write_dod(w: &mut BitWriter, dod: i64) {
+fn write_dod(w: &mut BitWriter<'_>, dod: i64) {
     let z = varint::zigzag(dod);
     if z == 0 {
         w.write_bit(false); // '0'
     } else if z < (1 << 7) {
-        w.write_bits(0b10, 2);
-        w.write_bits(z, 7);
+        w.write_bits(0b10 << 7 | z, 9);
     } else if z < (1 << 12) {
-        w.write_bits(0b110, 3);
-        w.write_bits(z, 12);
+        w.write_bits(0b110 << 12 | z, 15);
     } else if z < (1 << 20) {
-        w.write_bits(0b1110, 4);
-        w.write_bits(z, 20);
+        w.write_bits(0b1110 << 20 | z, 24);
     } else if z < (1 << 32) {
-        w.write_bits(0b11110, 5);
-        w.write_bits(z, 32);
+        w.write_bits(0b11110 << 32 | z, 37);
     } else {
         w.write_bits(0b11111, 5);
         w.write_bits(z, 64);
     }
 }
 
-fn read_dod(r: &mut BitReader<'_>) -> Result<i64> {
-    if !r.read_bit()? {
-        return Ok(0);
-    }
-    let z = if !r.read_bit()? {
-        r.read_bits(7)?
-    } else if !r.read_bit()? {
-        r.read_bits(12)?
-    } else if !r.read_bit()? {
-        r.read_bits(20)?
-    } else if !r.read_bit()? {
-        r.read_bits(32)?
-    } else {
-        r.read_bits(64)?
-    };
-    Ok(varint::unzigzag(z))
-}
+/// Payload width per prefix class ('0', '10', '110', '1110', '11110').
+const CLASS_WIDTH: [u32; 5] = [0, 7, 12, 20, 32];
 
 /// Decode [`encode_timestamps`] output.
 pub fn decode_timestamps(buf: &[u8]) -> Result<Vec<i64>> {
@@ -110,31 +102,90 @@ pub fn decode_timestamps(buf: &[u8]) -> Result<Vec<i64>> {
     Ok(ts)
 }
 
-/// Decode a timestamp block starting at `pos`, advancing it past the block.
-pub fn decode_timestamps_at(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+/// Decode a timestamp block starting at `pos` into `out` (cleared first),
+/// advancing `pos` past the block.
+pub fn decode_timestamps_at_into(buf: &[u8], pos: &mut usize, out: &mut Vec<i64>) -> Result<()> {
+    out.clear();
     let n = varint::read_u64(buf, pos)? as usize;
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok(());
     }
     let unit = varint::read_u64(buf, pos)?.max(1) as i64;
     let first = varint::read_i64(buf, pos)?;
-    let mut out = Vec::with_capacity(n);
+    // Every point after the first costs at least one bit.
+    if n - 1 > (buf.len() - *pos) * 8 {
+        return Err(OdhError::Corrupt("timestamp block count exceeds payload".into()));
+    }
+    out.reserve(n);
     out.push(first);
     if n == 1 {
-        return Ok(out);
+        return Ok(());
     }
-    let mut r = BitReader::new(&buf[*pos..]);
+    // Raw bit-cursor loop: one `peek_word` load covers a point's prefix
+    // class *and* its payload for every class but the 64-bit escape
+    // (5 + 32 = 37 bits ≤ the 57-bit peek guarantee). Bounds are audited
+    // once after the loop — `peek_word` zero-pads past the end, so a
+    // truncated stream overruns the audit instead of panicking.
+    let tail = &buf[*pos..];
+    let total_bits = tail.len() * 8;
+    let mut bp = 0usize;
     let mut prev = first;
     let mut prev_delta = 0i64;
-    for _ in 1..n {
-        let dod = read_dod(&mut r)?;
-        let delta = prev_delta + dod;
-        prev += delta * unit;
+    let mut i = 1usize;
+    while i < n {
+        let w = bits::peek_word(tail, bp);
+        if w >> 63 == 0 {
+            // A '0' prefix is a whole point (dod = 0), so a run of zero
+            // bits is a run of on-schedule points — count them all from
+            // this one load. Only the top `64 - (bp & 7)` bits of the
+            // peek are stream bits; the cap keeps fake trailing zeros
+            // (shifted-in padding) from being counted.
+            let valid = 64 - (bp & 7);
+            let run = (w.leading_zeros() as usize).min(valid).min(n - i);
+            bp += run;
+            // The run is an arithmetic sequence; the exact-size iterator
+            // extend writes it without per-element capacity checks and
+            // with independent (vectorizable) multiplies.
+            let step = prev_delta.wrapping_mul(unit);
+            let base = prev;
+            out.extend((1..=run as i64).map(|k| base.wrapping_add(step.wrapping_mul(k))));
+            prev = base.wrapping_add(step.wrapping_mul(run as i64));
+            i += run;
+            continue;
+        }
+        let ones = (!w).leading_zeros();
+        let dod = if ones <= 4 {
+            let width = CLASS_WIDTH[ones as usize];
+            let z = (w << (ones + 1)) >> (64 - width);
+            bp += (ones + 1 + width) as usize;
+            varint::unzigzag(z)
+        } else {
+            bp += 5;
+            let hi = bits::peek_word(tail, bp) >> 32;
+            bp += 32;
+            let lo = bits::peek_word(tail, bp) >> 32;
+            bp += 32;
+            varint::unzigzag(hi << 32 | lo)
+        };
+        // Wrapping: corrupt input must surface as bad values or a later
+        // Corrupt error, never as an arithmetic panic.
+        let delta = prev_delta.wrapping_add(dod);
+        prev = prev.wrapping_add(delta.wrapping_mul(unit));
         out.push(prev);
         prev_delta = delta;
+        i += 1;
     }
-    let used_bits = (buf.len() - *pos) * 8 - r.remaining_bits();
-    *pos += used_bits.div_ceil(8);
+    if bp > total_bits {
+        return Err(OdhError::Corrupt("bit stream overrun".into()));
+    }
+    *pos += bp.div_ceil(8);
+    Ok(())
+}
+
+/// Decode a timestamp block starting at `pos`, advancing it past the block.
+pub fn decode_timestamps_at(buf: &[u8], pos: &mut usize) -> Result<Vec<i64>> {
+    let mut out = Vec::new();
+    decode_timestamps_at_into(buf, pos, &mut out)?;
     Ok(out)
 }
 
@@ -216,5 +267,35 @@ mod tests {
         let ts = decode_timestamps_at(&buf, &mut pos).unwrap();
         assert_eq!(ts, vec![10, 20]);
         assert_eq!(pos, tail);
+    }
+
+    #[test]
+    fn oversized_count_is_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, u64::MAX); // n
+        varint::write_u64(&mut buf, 1); // unit
+        varint::write_i64(&mut buf, 0); // first
+        buf.extend_from_slice(&[0u8; 4]);
+        let mut pos = 0;
+        assert!(decode_timestamps_at(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn matches_reference_encoder() {
+        let mut t = 1_700_000_000_000_000i64;
+        let mut x = 5u64;
+        let mut ts = Vec::new();
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            t += match x % 5 {
+                0 => 20_000,
+                1 => 20_001,
+                2 => 21_500,
+                3 => 4_000_000,
+                _ => -((x % 1000) as i64),
+            };
+            ts.push(t);
+        }
+        assert_eq!(encode_timestamps(&ts), crate::reference::delta_encode_timestamps(&ts));
     }
 }

@@ -20,15 +20,28 @@
 //!   "4-to-16-fold" code shrink);
 //! - [`xor`]: Gorilla XOR lossless float codec;
 //! - [`variability`]: the fluctuation score driving codec selection;
-//! - [`mod@column`]: the policy-driven column codec used by ValueBlobs.
+//! - [`mod@column`]: the policy-driven column codec used by ValueBlobs;
+//! - [`scratch`]: reusable staging buffers for the zero-allocation
+//!   `*_into` entry points;
+//! - [`reference`]: the original byte-at-a-time implementations, kept as
+//!   the executable format specification and bench baseline.
+//!
+//! Every codec exposes two API shapes: an `*_into` form that appends into
+//! caller-owned buffers (allocation-free at steady state, used by the
+//! seal pipeline and decode cache), and a thin allocating wrapper with
+//! the historical signature.
 
 pub mod bits;
 pub mod column;
 pub mod delta;
 pub mod linear;
 pub mod quantize;
+pub mod reference;
+pub mod scratch;
 pub mod variability;
 pub mod varint;
 pub mod xor;
 
-pub use column::{decode_column, encode_column, Codec, Policy};
+pub use column::{decode_column, decode_column_into, encode_column, encode_column_into};
+pub use column::{Codec, Policy};
+pub use scratch::Scratch;

@@ -25,19 +25,20 @@ pub struct Spike {
     pub v: f64,
 }
 
-/// Compress `(ts, vals)` into spike points with `|recon - v| <= max_dev`.
-pub fn compress(ts: &[i64], vals: &[f64], max_dev: f64) -> Vec<Spike> {
+/// Compress `(ts, vals)` into spike points appended to `spikes` (cleared
+/// first), with `|recon - v| <= max_dev`.
+pub fn compress_into(ts: &[i64], vals: &[f64], max_dev: f64, spikes: &mut Vec<Spike>) {
     assert_eq!(ts.len(), vals.len());
     assert!(max_dev >= 0.0);
+    spikes.clear();
     let n = ts.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let mut spikes = Vec::with_capacity(8);
     let mut pivot = Spike { t: ts[0], v: vals[0] };
     spikes.push(pivot);
     if n == 1 {
-        return spikes;
+        return;
     }
 
     let mut slope_lo = f64::NEG_INFINITY;
@@ -97,6 +98,12 @@ pub fn compress(ts: &[i64], vals: &[f64], max_dev: f64) -> Vec<Spike> {
         let slope = mid_slope(slope_lo, slope_hi);
         spikes.push(Spike { t: last.t, v: pivot.v + slope * (last.t - pivot.t) as f64 });
     }
+}
+
+/// Compress `(ts, vals)` into a fresh spike vector.
+pub fn compress(ts: &[i64], vals: &[f64], max_dev: f64) -> Vec<Spike> {
+    let mut spikes = Vec::with_capacity(8);
+    compress_into(ts, vals, max_dev, &mut spikes);
     spikes
 }
 
@@ -109,13 +116,14 @@ fn mid_slope(lo: f64, hi: f64) -> f64 {
     }
 }
 
-/// Reconstruct values at `ts` from spike points (linear interpolation;
-/// constant extrapolation beyond the ends).
-pub fn reconstruct(spikes: &[Spike], ts: &[i64]) -> Vec<f64> {
-    let mut out = Vec::with_capacity(ts.len());
+/// Reconstruct values at `ts` from spike points into `out` (cleared
+/// first; linear interpolation, constant extrapolation beyond the ends).
+pub fn reconstruct_into(spikes: &[Spike], ts: &[i64], out: &mut Vec<f64>) {
+    out.clear();
     if spikes.is_empty() {
-        return out;
+        return;
     }
+    out.reserve(ts.len());
     let mut seg = 0usize;
     for &t in ts {
         while seg + 1 < spikes.len() && spikes[seg + 1].t < t {
@@ -136,44 +144,69 @@ pub fn reconstruct(spikes: &[Spike], ts: &[i64]) -> Vec<f64> {
         };
         out.push(v);
     }
+}
+
+/// Reconstruct values at `ts` into a fresh vector.
+pub fn reconstruct(spikes: &[Spike], ts: &[i64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(ts.len());
+    reconstruct_into(spikes, ts, &mut out);
     out
 }
 
-/// Serialize spikes: count, delta-coded timestamps, raw f64 values.
-pub fn encode(spikes: &[Spike]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(spikes.len() * 10 + 8);
-    varint::write_u64(&mut out, spikes.len() as u64);
+/// Serialize spikes appended to `out`: count, delta-coded timestamps, raw
+/// f64 values.
+pub fn encode_into(spikes: &[Spike], out: &mut Vec<u8>) {
+    out.reserve(spikes.len() * 10 + 8);
+    varint::write_u64(out, spikes.len() as u64);
     let mut prev = 0i64;
     for s in spikes {
-        varint::write_i64(&mut out, s.t - prev);
+        varint::write_i64(out, s.t - prev);
         prev = s.t;
     }
     for s in spikes {
         out.extend_from_slice(&s.v.to_le_bytes());
     }
+}
+
+/// Serialize spikes into a fresh vector.
+pub fn encode(spikes: &[Spike]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(spikes.len() * 10 + 8);
+    encode_into(spikes, &mut out);
     out
+}
+
+/// Deserialize [`encode`] output starting at `pos` into `spikes` (cleared
+/// first), advancing `pos` past the block.
+pub fn decode_at_into(buf: &[u8], pos: &mut usize, spikes: &mut Vec<Spike>) -> Result<()> {
+    spikes.clear();
+    let n = varint::read_u64(buf, pos)? as usize;
+    // Each spike costs at least one timestamp byte plus eight value bytes.
+    if n > buf.len().saturating_sub(*pos) {
+        return Err(OdhError::Corrupt("linear block count exceeds payload".into()));
+    }
+    spikes.reserve(n);
+    let mut prev = 0i64;
+    for _ in 0..n {
+        prev = prev.wrapping_add(varint::read_i64(buf, pos)?);
+        spikes.push(Spike { t: prev, v: 0.0 });
+    }
+    let need = n * 8;
+    if buf.len() - *pos < need {
+        spikes.clear();
+        return Err(OdhError::Corrupt("linear block truncated".into()));
+    }
+    for (i, s) in spikes.iter_mut().enumerate() {
+        let off = *pos + i * 8;
+        s.v = f64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+    }
+    *pos += need;
+    Ok(())
 }
 
 /// Deserialize [`encode`] output starting at `pos`.
 pub fn decode_at(buf: &[u8], pos: &mut usize) -> Result<Vec<Spike>> {
-    let n = varint::read_u64(buf, pos)? as usize;
-    let mut ts = Vec::with_capacity(n);
-    let mut prev = 0i64;
-    for _ in 0..n {
-        prev += varint::read_i64(buf, pos)?;
-        ts.push(prev);
-    }
-    let need = n * 8;
-    if buf.len() < *pos + need {
-        return Err(OdhError::Corrupt("linear block truncated".into()));
-    }
-    let mut spikes = Vec::with_capacity(n);
-    for (i, &t) in ts.iter().enumerate() {
-        let off = *pos + i * 8;
-        let v = f64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-        spikes.push(Spike { t, v });
-    }
-    *pos += need;
+    let mut spikes = Vec::new();
+    decode_at_into(buf, pos, &mut spikes)?;
     Ok(spikes)
 }
 
@@ -274,10 +307,27 @@ mod tests {
     }
 
     #[test]
+    fn oversized_count_is_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, u64::MAX);
+        buf.extend_from_slice(&[0u8; 8]);
+        let mut pos = 0;
+        assert!(decode_at(&buf, &mut pos).is_err());
+    }
+
+    #[test]
     fn empty_and_single_point() {
         assert!(compress(&[], &[], 0.1).is_empty());
         let s = compress(&[5], &[1.5], 0.1);
         assert_eq!(s, vec![Spike { t: 5, v: 1.5 }]);
         assert_eq!(reconstruct(&s, &[5]), vec![1.5]);
+    }
+
+    #[test]
+    fn matches_reference_encoder() {
+        let ts: Vec<i64> = (0..2000).map(|i| i * 500).collect();
+        let vals: Vec<f64> = (0..2000).map(|i| (i as f64 * 0.004).sin() * 30.0).collect();
+        let spikes = compress(&ts, &vals, 0.05);
+        assert_eq!(encode(&spikes), crate::reference::linear_encode(&spikes));
     }
 }

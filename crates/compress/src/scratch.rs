@@ -1,0 +1,36 @@
+//! Reusable staging buffers for allocation-free encode/decode.
+//!
+//! Every `*_into` codec entry point takes a [`Scratch`] (or writes into a
+//! caller-owned output buffer directly). A `Scratch` owns the intermediate
+//! vectors a codec needs — linear spike staging, timestamp/value staging
+//! for blob assembly — so steady-state sealing and decoding touch the
+//! allocator zero times once the buffers have grown to the working-set
+//! size. One `Scratch` per seal worker (or thread-local for synchronous
+//! paths); they are cheap to create and never shrink.
+
+use crate::linear::Spike;
+
+/// Caller-owned staging for the `*_into` codec APIs.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Spike staging for the linear codec (encode trial and decode).
+    pub(crate) spikes: Vec<Spike>,
+    /// Timestamp staging (blob per-tag present rows; delta decode).
+    pub ts: Vec<i64>,
+    /// Value staging (blob per-tag present rows; column decode).
+    pub vals: Vec<f64>,
+}
+
+impl Scratch {
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// Bytes currently held across all staging buffers (for introspection
+    /// and leak hunting in tests; not on any hot path).
+    pub fn capacity_bytes(&self) -> usize {
+        self.spikes.capacity() * std::mem::size_of::<Spike>()
+            + self.ts.capacity() * 8
+            + self.vals.capacity() * 8
+    }
+}

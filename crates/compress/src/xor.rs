@@ -6,19 +6,23 @@
 //! opening a new window ('11' + 5 leading-zero bits + 6 length bits).
 //! This is the lossless path of the compressor (§3: "both of the
 //! algorithms support lossless compression").
+//!
+//! The `*_into` entry points append to / fill caller-owned buffers; the
+//! byte stream they produce is identical to [`crate::reference`] (proven
+//! by the format-stability proptests).
 
-use crate::bits::{BitReader, BitWriter};
+use crate::bits::{self, BitWriter};
 use crate::varint;
-use odh_types::Result;
+use odh_types::{OdhError, Result};
 
-/// Losslessly encode `vals`.
-pub fn encode(vals: &[f64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(vals.len() * 2 + 8);
-    varint::write_u64(&mut out, vals.len() as u64);
+/// Losslessly encode `vals`, appending to `out`.
+pub fn encode_into(vals: &[f64], out: &mut Vec<u8>) {
+    varint::write_u64(out, vals.len() as u64);
     if vals.is_empty() {
-        return out;
+        return;
     }
-    let mut w = BitWriter::with_capacity(vals.len());
+    out.reserve(vals.len() * 2 + 8);
+    let mut w = BitWriter::new(out);
     let mut prev = vals[0].to_bits();
     w.write_bits(prev, 64);
     let mut prev_lead = 65u8; // invalid: forces a fresh window
@@ -31,58 +35,138 @@ pub fn encode(vals: &[f64]) -> Vec<u8> {
             w.write_bit(false);
             continue;
         }
-        w.write_bit(true);
         let lead = (xor.leading_zeros() as u8).min(31);
         let trail = xor.trailing_zeros() as u8;
         let len = 64 - lead - trail;
         if prev_lead <= lead && lead + len <= prev_lead + prev_len {
             // Previous window [prev_lead, prev_lead+prev_len) covers this
-            // XOR's meaningful bits.
-            w.write_bit(false);
-            w.write_bits(xor >> (64 - prev_lead - prev_len), prev_len);
+            // XOR's meaningful bits. Controls '1','0' + payload in one go
+            // when they fit a single field.
+            if prev_len <= 62 {
+                w.write_bits(0b10 << prev_len | (xor >> (64 - prev_lead - prev_len)), prev_len + 2);
+            } else {
+                w.write_bits(0b10, 2);
+                w.write_bits(xor >> (64 - prev_lead - prev_len), prev_len);
+            }
         } else {
-            w.write_bit(true);
-            w.write_bits(lead as u64, 5);
-            // len is in 1..=64; store len-1 in 6 bits.
-            w.write_bits((len - 1) as u64, 6);
+            // Controls '1','1' + 5-bit lead + 6-bit (len-1) in one field.
+            w.write_bits(0b11 << 11 | (lead as u64) << 6 | (len - 1) as u64, 13);
             w.write_bits(xor >> trail, len);
             prev_lead = lead;
             prev_len = len;
         }
     }
-    out.extend_from_slice(&w.finish());
+    w.finish();
+}
+
+/// Losslessly encode `vals` into a fresh vector.
+pub fn encode(vals: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 2 + 8);
+    encode_into(vals, &mut out);
     out
+}
+
+/// Decode an XOR block starting at `pos` into `out` (cleared first),
+/// advancing `pos` past the block.
+pub fn decode_at_into(buf: &[u8], pos: &mut usize, out: &mut Vec<f64>) -> Result<()> {
+    out.clear();
+    let n = varint::read_u64(buf, pos)? as usize;
+    if n == 0 {
+        return Ok(());
+    }
+    let tail = &buf[*pos..];
+    let total_bits = tail.len() * 8;
+    // Every value after the first costs at least one bit; a count beyond
+    // that is corrupt (and would otherwise drive a huge reservation).
+    if n - 1 > total_bits || total_bits < 64 {
+        return Err(OdhError::Corrupt("xor block count exceeds payload".into()));
+    }
+    out.reserve(n);
+    // Raw bit-cursor loop over `peek_word`: a single unaligned load
+    // serves the control bits, the window header, and (for windows up to
+    // ~6 bytes) the payload of one value. Bounds are audited once after
+    // the loop — `peek_word` zero-pads past the end, so a truncated
+    // stream decodes into garbage values and then fails the audit,
+    // exactly where the checked reader would have errored.
+    let mut prev = (bits::peek_word(tail, 0) >> 32) << 32 | bits::peek_word(tail, 32) >> 32;
+    let mut bp = 64usize;
+    out.push(f64::from_bits(prev));
+    let mut len = 0u8;
+    let mut shift = 0u8;
+    let mut i = 1usize;
+    while i < n {
+        let w = bits::peek_word(tail, bp);
+        if w >> 63 == 0 {
+            // A '0' control is a whole repeated value, so a run of zero
+            // bits is a run of repeats — count them all from this one
+            // load. Only the top `64 - (bp & 7)` bits of the peek are
+            // stream bits; the cap keeps fake trailing zeros (shifted-in
+            // padding) from being counted.
+            let valid = 64 - (bp & 7);
+            let run = (w.leading_zeros() as usize).min(valid).min(n - i);
+            bp += run;
+            out.resize(out.len() + run, f64::from_bits(prev));
+            i += run;
+            continue;
+        }
+        if w >> 62 == 0b11 {
+            // '11' + 5 lead bits + 6 length bits in the same word.
+            let lead = ((w >> 57) & 0x1F) as u8;
+            len = ((w >> 51) & 0x3F) as u8 + 1;
+            if lead + len > 64 {
+                return Err(OdhError::Corrupt("xor bit window exceeds 64 bits".into()));
+            }
+            shift = 64 - lead - len;
+            bp += 13;
+            let meaningful = if len <= 44 {
+                let v = (w << 13) >> (64 - len as u32);
+                bp += len as usize;
+                v
+            } else {
+                wide_field(tail, &mut bp, len)
+            };
+            prev ^= meaningful << shift;
+        } else {
+            // '10': the previous window still applies.
+            let meaningful = if len == 0 {
+                bp += 2;
+                0
+            } else if len <= 55 {
+                let v = (w << 2) >> (64 - len as u32);
+                bp += 2 + len as usize;
+                v
+            } else {
+                bp += 2;
+                wide_field(tail, &mut bp, len)
+            };
+            prev ^= meaningful << shift;
+        }
+        out.push(f64::from_bits(prev));
+        i += 1;
+    }
+    if bp > total_bits {
+        return Err(OdhError::Corrupt("bit stream overrun".into()));
+    }
+    // Consume this block's bytes (bit stream is byte-padded at the end).
+    *pos += bp.div_ceil(8);
+    Ok(())
+}
+
+/// A payload field of 45..=64 bits at `*bp`, split across two peeks.
+#[inline]
+fn wide_field(tail: &[u8], bp: &mut usize, len: u8) -> u64 {
+    let hi_bits = len as u32 - 32;
+    let hi = bits::peek_word(tail, *bp) >> (64 - hi_bits);
+    *bp += hi_bits as usize;
+    let lo = bits::peek_word(tail, *bp) >> 32;
+    *bp += 32;
+    hi << 32 | lo
 }
 
 /// Decode an XOR block starting at `pos`, advancing it.
 pub fn decode_at(buf: &[u8], pos: &mut usize) -> Result<Vec<f64>> {
-    let n = varint::read_u64(buf, pos)? as usize;
-    if n == 0 {
-        return Ok(Vec::new());
-    }
-    let mut r = BitReader::new(&buf[*pos..]);
-    let mut out = Vec::with_capacity(n);
-    let mut prev = r.read_bits(64)?;
-    out.push(f64::from_bits(prev));
-    let mut lead = 0u8;
-    let mut len = 0u8;
-    for _ in 1..n {
-        if !r.read_bit()? {
-            out.push(f64::from_bits(prev));
-            continue;
-        }
-        if r.read_bit()? {
-            lead = r.read_bits(5)? as u8;
-            len = r.read_bits(6)? as u8 + 1;
-        }
-        let meaningful = r.read_bits(len)?;
-        let xor = meaningful << (64 - lead - len);
-        prev ^= xor;
-        out.push(f64::from_bits(prev));
-    }
-    // Consume this block's bytes (bit stream is byte-padded at the end).
-    let used_bits = buf[*pos..].len() * 8 - r.remaining_bits();
-    *pos += used_bits.div_ceil(8);
+    let mut out = Vec::new();
+    decode_at_into(buf, pos, &mut out)?;
     Ok(out)
 }
 
@@ -151,5 +235,41 @@ mod tests {
         assert_eq!(pos, a.len());
         let second = decode_at(&buf, &mut pos).unwrap();
         assert_eq!(second, vec![9.0, 8.0]);
+    }
+
+    #[test]
+    fn into_reuses_the_buffer() {
+        let enc = encode(&[1.5, 2.5, 3.5]);
+        let mut out = Vec::with_capacity(16);
+        for _ in 0..3 {
+            let mut pos = 0;
+            decode_at_into(&enc, &mut pos, &mut out).unwrap();
+            assert_eq!(out, vec![1.5, 2.5, 3.5]);
+        }
+    }
+
+    #[test]
+    fn oversized_count_is_corrupt_not_oom() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, u64::MAX);
+        buf.extend_from_slice(&[0u8; 16]);
+        let mut pos = 0;
+        assert!(decode_at(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn matches_reference_encoder() {
+        let mut x = 17u64;
+        let vals: Vec<f64> = (0..4000)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if x.is_multiple_of(3) {
+                    42.0 // runs of identical values
+                } else {
+                    (i as f64 * 0.1).sin() * 50.0
+                }
+            })
+            .collect();
+        assert_eq!(encode(&vals), crate::reference::xor_encode(&vals));
     }
 }

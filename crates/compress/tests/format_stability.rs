@@ -1,0 +1,196 @@
+//! Format-stability proptests: the word-at-a-time kernels must be
+//! byte-identical to the reference (pre-optimization) encoders, and must
+//! decode every reference-encoded stream — so sealed v1/v2 batches on
+//! disk keep decoding unchanged, forever.
+//!
+//! `odh_compress::reference` is the executable specification: a frozen
+//! copy of the original byte-at-a-time implementations.
+
+use odh_compress::linear::Spike;
+use odh_compress::{delta, linear, quantize, reference, xor, Scratch};
+use proptest::prelude::*;
+
+fn increasing_ts(len: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(1i64..5_000_000, len).prop_map(|gaps| {
+        let mut t = 1_600_000_000_000_000i64;
+        gaps.into_iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+/// Sensor-ish values: mixes of runs, ramps, and noise exercise every XOR
+/// control path (zero XOR, window reuse, fresh window).
+fn sensor_vals(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(42.0),
+            -1e6f64..1e6,
+            (-1e3f64..1e3).prop_map(|v| (v * 64.0).round() / 64.0),
+        ],
+        len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn bit_writer_matches_reference(
+        fields in prop::collection::vec((any::<u64>(), 1u8..=64), 0..200),
+    ) {
+        let mut new_bytes = Vec::new();
+        let mut w = odh_compress::bits::BitWriter::new(&mut new_bytes);
+        let mut r = reference::BitWriter::new();
+        for &(v, n) in &fields {
+            w.write_bits(v, n);
+            r.write_bits(v, n);
+        }
+        w.finish();
+        prop_assert_eq!(new_bytes, r.finish());
+    }
+
+    #[test]
+    fn bit_reader_agrees_with_reference(
+        bytes in prop::collection::vec(any::<u8>(), 0..128),
+        widths in prop::collection::vec(1u8..=64, 0..64),
+    ) {
+        let mut new_r = odh_compress::bits::BitReader::new(&bytes);
+        let mut ref_r = reference::BitReader::new(&bytes);
+        for &n in &widths {
+            match (new_r.read_bits(n), ref_r.read_bits(n)) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(_), Err(_)) => break, // both overran at the same point
+                (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+            }
+            prop_assert_eq!(new_r.remaining_bits(), ref_r.remaining_bits());
+        }
+    }
+
+    #[test]
+    fn xor_encoding_is_byte_identical(vals in sensor_vals(300)) {
+        prop_assert_eq!(xor::encode(&vals), reference::xor_encode(&vals));
+    }
+
+    #[test]
+    fn new_decoder_reads_reference_xor_streams(vals in sensor_vals(300)) {
+        // A stream sealed by the old engine must decode bit-exactly.
+        let old = reference::xor_encode(&vals);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        xor::decode_at_into(&old, &mut pos, &mut out).unwrap();
+        prop_assert_eq!(pos, old.len());
+        for (v, r) in vals.iter().zip(&out) {
+            prop_assert_eq!(v.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn reference_decoder_reads_new_xor_streams(vals in sensor_vals(300)) {
+        // And symmetrically: an old engine reading a new stream (rolling
+        // downgrade) sees identical bytes, hence identical values.
+        let new = xor::encode(&vals);
+        let mut pos = 0;
+        let out = reference::xor_decode_at(&new, &mut pos).unwrap();
+        prop_assert_eq!(pos, new.len());
+        for (v, r) in vals.iter().zip(&out) {
+            prop_assert_eq!(v.to_bits(), r.to_bits());
+        }
+    }
+
+    #[test]
+    fn quantize_encoding_is_byte_identical(
+        vals in prop::collection::vec(-1e5f64..1e5, 0..300),
+        dev in 1e-4f64..50.0,
+    ) {
+        prop_assert_eq!(quantize::encode(&vals, dev), reference::quantize_encode(&vals, dev));
+    }
+
+    #[test]
+    fn quantize_decoders_agree_on_reference_streams(
+        vals in prop::collection::vec(-1e5f64..1e5, 1..300),
+        dev in 1e-4f64..50.0,
+    ) {
+        if let Some(old) = reference::quantize_encode(&vals, dev) {
+            let mut pos = 0;
+            let mut out = Vec::new();
+            quantize::decode_at_into(&old, &mut pos, &mut out).unwrap();
+            let mut ref_pos = 0;
+            let ref_out = reference::quantize_decode_at(&old, &mut ref_pos).unwrap();
+            prop_assert_eq!(pos, ref_pos);
+            prop_assert_eq!(out, ref_out);
+        }
+    }
+
+    #[test]
+    fn delta_encoding_is_byte_identical(ts in prop::collection::vec(any::<i32>(), 0..300)) {
+        let ts: Vec<i64> = ts.into_iter().map(|t| t as i64).collect();
+        prop_assert_eq!(delta::encode_timestamps(&ts), reference::delta_encode_timestamps(&ts));
+    }
+
+    #[test]
+    fn delta_decoder_reads_reference_streams(ts in prop::collection::vec(any::<i32>(), 1..300)) {
+        let ts: Vec<i64> = ts.into_iter().map(|t| t as i64).collect();
+        let old = reference::delta_encode_timestamps(&ts);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        delta::decode_timestamps_at_into(&old, &mut pos, &mut out).unwrap();
+        prop_assert_eq!(out, ts);
+    }
+
+    #[test]
+    fn linear_encoding_is_byte_identical(
+        (ts, vals) in (2usize..100).prop_flat_map(|n| {
+            (increasing_ts(n), prop::collection::vec(-1e5f64..1e5, n))
+        }),
+        dev in 0.0f64..10.0,
+    ) {
+        let spikes = linear::compress(&ts, &vals, dev);
+        prop_assert_eq!(linear::encode(&spikes), reference::linear_encode(&spikes));
+    }
+
+    #[test]
+    fn linear_decoder_reads_reference_streams(
+        spikes in prop::collection::vec(
+            (any::<i32>(), -1e6f64..1e6).prop_map(|(t, v)| Spike { t: t as i64, v }),
+            0..100,
+        ),
+    ) {
+        let old = reference::linear_encode(&spikes);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        linear::decode_at_into(&old, &mut pos, &mut out).unwrap();
+        prop_assert_eq!(pos, old.len());
+        prop_assert_eq!(out.len(), spikes.len());
+        for (a, b) in spikes.iter().zip(&out) {
+            prop_assert_eq!(a.t, b.t);
+            prop_assert_eq!(a.v.to_bits(), b.v.to_bits());
+        }
+    }
+
+    #[test]
+    fn column_into_matches_allocating_wrapper(
+        (ts, vals) in (0usize..120).prop_flat_map(|n| {
+            (increasing_ts(n), prop::collection::vec(-1e6f64..1e6, n))
+        }),
+        dev in prop::option::of(1e-3f64..10.0),
+    ) {
+        let policy = match dev {
+            None => odh_compress::Policy::Lossless,
+            Some(d) => odh_compress::Policy::Lossy { max_dev: d },
+        };
+        let (codec_a, bytes_a) = odh_compress::encode_column(&ts, &vals, policy);
+        let mut scratch = Scratch::new();
+        let mut bytes_b = Vec::new();
+        // Reuse the same scratch and output across iterations to prove
+        // state from one column never leaks into the next.
+        for _ in 0..2 {
+            bytes_b.clear();
+            let codec_b =
+                odh_compress::encode_column_into(&ts, &vals, policy, &mut scratch, &mut bytes_b);
+            prop_assert_eq!(codec_a, codec_b);
+            prop_assert_eq!(&bytes_a, &bytes_b);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Fuzz-style hardening tests: every decoder must return
+//! `OdhError::Corrupt` (or succeed) on arbitrary and truncated input —
+//! never panic, never attempt an absurd allocation. The storage engine
+//! feeds decoders bytes straight off disk; a flipped bit in a blob must
+//! surface as an error the recovery path can handle.
+
+use odh_compress::{column, delta, linear, quantize, xor, Codec, Scratch};
+use proptest::prelude::*;
+
+/// Every decoder entry point, driven off one byte slice. Success is
+/// allowed (random bytes can be a valid tiny block); panics and runaway
+/// allocations are the failure mode under test.
+fn drive_all_decoders(buf: &[u8]) {
+    let mut scratch = Scratch::new();
+    let mut vals = Vec::new();
+    let mut ts = Vec::new();
+    let mut spikes = Vec::new();
+
+    let mut pos = 0;
+    let _ = xor::decode_at_into(buf, &mut pos, &mut vals);
+    let mut pos = 0;
+    let _ = quantize::decode_at_into(buf, &mut pos, &mut vals);
+    let mut pos = 0;
+    let _ = delta::decode_timestamps_at_into(buf, &mut pos, &mut ts);
+    let _ = delta::decode_timestamps(buf);
+    let mut pos = 0;
+    let _ = linear::decode_at_into(buf, &mut pos, &mut spikes);
+    let recon_ts: Vec<i64> = (0..8).map(|i| i * 1000).collect();
+    for codec in [Codec::Raw, Codec::Linear, Codec::Quantize, Codec::Xor] {
+        let mut pos = 0;
+        let _ =
+            column::decode_column_into(codec, buf, &mut pos, &recon_ts, &mut scratch, &mut vals);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn random_bytes_never_panic(buf in prop::collection::vec(any::<u8>(), 0..512)) {
+        drive_all_decoders(&buf);
+    }
+
+    #[test]
+    fn truncations_of_valid_xor_blocks_never_panic(
+        vals in prop::collection::vec(any::<f64>(), 0..64),
+        cut in 0usize..200,
+    ) {
+        let enc = xor::encode(&vals);
+        let cut = cut.min(enc.len());
+        drive_all_decoders(&enc[..cut]);
+    }
+
+    #[test]
+    fn truncations_of_valid_quantize_blocks_never_panic(
+        vals in prop::collection::vec(-1e6f64..1e6, 0..64),
+        cut in 0usize..200,
+    ) {
+        if let Some(enc) = quantize::encode(&vals, 0.01) {
+            let cut = cut.min(enc.len());
+            drive_all_decoders(&enc[..cut]);
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_delta_blocks_never_panic(
+        ts in prop::collection::vec(any::<i32>(), 0..64),
+        cut in 0usize..200,
+    ) {
+        let ts: Vec<i64> = ts.into_iter().map(|t| t as i64).collect();
+        let enc = delta::encode_timestamps(&ts);
+        let cut = cut.min(enc.len());
+        drive_all_decoders(&enc[..cut]);
+    }
+
+    #[test]
+    fn bit_flips_in_valid_blocks_never_panic(
+        vals in prop::collection::vec(-1e6f64..1e6, 1..64),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let mut enc = xor::encode(&vals);
+        let i = flip_byte % enc.len();
+        enc[i] ^= 1 << flip_bit;
+        drive_all_decoders(&enc);
+    }
+
+    #[test]
+    fn headers_with_wild_counts_are_rejected_not_allocated(
+        count in (1u64 << 32)..u64::MAX,
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // A corrupt count must bounce off the payload-plausibility check
+        // before any reservation happens.
+        let mut buf = Vec::new();
+        odh_compress::varint::write_u64(&mut buf, count);
+        buf.extend_from_slice(&tail);
+        let mut vals = Vec::new();
+        let mut pos = 0;
+        prop_assert!(xor::decode_at_into(&buf, &mut pos, &mut vals).is_err());
+        let mut pos = 0;
+        prop_assert!(quantize::decode_at_into(&buf, &mut pos, &mut vals).is_err());
+        let mut ts = Vec::new();
+        let mut pos = 0;
+        prop_assert!(delta::decode_timestamps_at_into(&buf, &mut pos, &mut ts).is_err());
+        let mut spikes = Vec::new();
+        let mut pos = 0;
+        prop_assert!(linear::decode_at_into(&buf, &mut pos, &mut spikes).is_err());
+    }
+}

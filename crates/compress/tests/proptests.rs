@@ -52,11 +52,12 @@ proptest! {
 
     #[test]
     fn bit_io_round_trips(fields in prop::collection::vec((any::<u64>(), 1u8..=64), 0..50)) {
-        let mut w = BitWriter::new();
+        let mut bytes = Vec::new();
+        let mut w = BitWriter::new(&mut bytes);
         for &(v, n) in &fields {
             w.write_bits(v & (u64::MAX >> (64 - n)), n);
         }
-        let bytes = w.finish();
+        w.finish();
         let mut r = BitReader::new(&bytes);
         for &(v, n) in &fields {
             prop_assert_eq!(r.read_bits(n).unwrap(), v & (u64::MAX >> (64 - n)));

@@ -215,8 +215,10 @@ impl DataServer {
         {
             let mut g = server.tables.write();
             for (name, snap) in &catalog {
-                let table = OdhTable::restore(server.pool.clone(), server.meter.clone(), snap)?;
-                g.insert(name.clone(), Arc::new(table));
+                let table =
+                    Arc::new(OdhTable::restore(server.pool.clone(), server.meter.clone(), snap)?);
+                table.start_seal_pipeline();
+                g.insert(name.clone(), table);
             }
         }
         Ok((server, checkpoint_lsn))
@@ -262,6 +264,7 @@ impl DataServer {
                     }
                     let t = Arc::new(OdhTable::create(self.pool.clone(), self.meter.clone(), cfg)?);
                     t.attach_wal(wal.clone(), *table, false)?;
+                    t.start_seal_pipeline();
                     g.insert(name, t.clone());
                     drop(g);
                     by_id.insert(*table, t);
@@ -414,6 +417,7 @@ impl DataServer {
             let tid = g.values().filter_map(|t| t.wal_table_id()).max().map_or(0, |m| m + 1);
             table.attach_wal(wal.clone(), tid, true)?;
         }
+        table.start_seal_pipeline();
         g.insert(name, table.clone());
         Ok(table)
     }

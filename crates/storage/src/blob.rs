@@ -27,9 +27,10 @@
 //! the codec payload covers only the present rows (paired with their
 //! timestamps for linear compression).
 
-use odh_compress::column::{decode_column, encode_column, Codec, Policy};
-use odh_compress::varint;
+use odh_compress::column::{decode_column_into, encode_column_into, Codec, Policy};
+use odh_compress::{varint, Scratch};
 use odh_types::{OdhError, Result};
+use std::cell::RefCell;
 
 /// An encoded ValueBlob plus decode helpers.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,32 +50,108 @@ struct Section {
     max: f64,
 }
 
+/// Reusable staging for blob encode/decode: the codec-level
+/// [`Scratch`] plus the blob layer's own buffers (present-row staging,
+/// section bytes, parsed header). One per seal worker / reader thread —
+/// steady-state encode and decode touch no allocator beyond the blob's
+/// own output vector.
+pub struct SealScratch {
+    codec: Scratch,
+    present_ts: Vec<i64>,
+    present_vals: Vec<f64>,
+    /// Encode: all sections (bitmap + payload), back to back; decode:
+    /// unused.
+    secs_buf: Vec<u8>,
+    /// Encode: per-tag descriptors with `offset` into `secs_buf`;
+    /// decode: the parsed header.
+    descs: Vec<Section>,
+    hdr_buf: Vec<u8>,
+    /// Columns sealed per codec since the last [`Self::take_codec_counts`],
+    /// indexed by `Codec as u8`.
+    codec_counts: [u64; 4],
+}
+
+impl SealScratch {
+    pub fn new() -> SealScratch {
+        SealScratch {
+            codec: Scratch::new(),
+            present_ts: Vec::new(),
+            present_vals: Vec::new(),
+            secs_buf: Vec::new(),
+            descs: Vec::new(),
+            hdr_buf: Vec::new(),
+            codec_counts: [0; 4],
+        }
+    }
+
+    /// Drain the per-codec sealed-column counters (for metrics).
+    pub fn take_codec_counts(&mut self) -> [u64; 4] {
+        std::mem::take(&mut self.codec_counts)
+    }
+
+    /// Names parallel to [`Self::take_codec_counts`] slots.
+    pub fn codec_names() -> [&'static str; 4] {
+        [Codec::Raw.name(), Codec::Linear.name(), Codec::Quantize.name(), Codec::Xor.name()]
+    }
+}
+
+impl Default for SealScratch {
+    fn default() -> Self {
+        SealScratch::new()
+    }
+}
+
+thread_local! {
+    /// Fallback scratch for the allocating wrappers: call sites that do
+    /// not thread their own [`SealScratch`] still reuse buffers across
+    /// calls on the same thread.
+    static TLS_SCRATCH: RefCell<SealScratch> = RefCell::new(SealScratch::new());
+}
+
+/// Run `f` with this thread's shared [`SealScratch`].
+pub fn with_tls_scratch<R>(f: impl FnOnce(&mut SealScratch) -> R) -> R {
+    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
 impl ValueBlob {
     /// Encode `columns[tag][row]` (all columns `n_points` long) sampled at
     /// `ts[row]`.
     pub fn encode(ts: &[i64], columns: &[Vec<Option<f64>>], policy: Policy) -> ValueBlob {
+        with_tls_scratch(|scratch| ValueBlob::encode_with(ts, columns, policy, scratch))
+    }
+
+    /// [`ValueBlob::encode`] with caller-owned scratch. The only heap
+    /// allocation in steady state (warm scratch) is the returned blob's
+    /// byte vector, sized exactly once.
+    pub fn encode_with(
+        ts: &[i64],
+        columns: &[Vec<Option<f64>>],
+        policy: Policy,
+        scratch: &mut SealScratch,
+    ) -> ValueBlob {
         let n = ts.len();
-        let mut header = Vec::with_capacity(16 + columns.len() * 4);
-        varint::write_u64(&mut header, n as u64);
-        varint::write_u64(&mut header, columns.len() as u64);
-        let mut sections: Vec<Vec<u8>> = Vec::with_capacity(columns.len());
-        let mut descs: Vec<(Codec, bool, f64, f64)> = Vec::with_capacity(columns.len());
-        let mut present_ts: Vec<i64> = Vec::with_capacity(n);
-        let mut present_vals: Vec<f64> = Vec::with_capacity(n);
+        scratch.hdr_buf.clear();
+        scratch.secs_buf.clear();
+        scratch.descs.clear();
+        varint::write_u64(&mut scratch.hdr_buf, n as u64);
+        varint::write_u64(&mut scratch.hdr_buf, columns.len() as u64);
         for col in columns {
             debug_assert_eq!(col.len(), n);
             let nulls = col.iter().any(|v| v.is_none());
-            present_ts.clear();
-            present_vals.clear();
-            let mut bitmap = if nulls { vec![0u8; n.div_ceil(8)] } else { Vec::new() };
+            scratch.present_ts.clear();
+            scratch.present_vals.clear();
+            let sec_start = scratch.secs_buf.len();
+            if nulls {
+                scratch.secs_buf.resize(sec_start + n.div_ceil(8), 0);
+            }
             let (mut lo, mut hi) = (f64::NAN, f64::NAN);
             for (i, v) in col.iter().enumerate() {
                 if let Some(x) = v {
                     if nulls {
-                        bitmap[i / 8] |= 1 << (i % 8);
+                        scratch.secs_buf[sec_start + i / 8] |= 1 << (i % 8);
                     }
-                    present_ts.push(ts[i]);
-                    present_vals.push(*x);
+                    scratch.present_ts.push(ts[i]);
+                    scratch.present_vals.push(*x);
                     if lo.is_nan() || *x < lo {
                         lo = *x;
                     }
@@ -83,29 +160,39 @@ impl ValueBlob {
                     }
                 }
             }
-            let (codec, payload) = encode_column(&present_ts, &present_vals, policy);
+            let codec = encode_column_into(
+                &scratch.present_ts,
+                &scratch.present_vals,
+                policy,
+                &mut scratch.codec,
+                &mut scratch.secs_buf,
+            );
+            scratch.codec_counts[codec as usize] += 1;
             // Lossy codecs may reconstruct slightly outside the raw range;
             // widen the zone by the policy's deviation bound.
             if let Policy::Lossy { max_dev } = policy {
                 lo -= max_dev;
                 hi += max_dev;
             }
-            let mut section = bitmap;
-            section.extend_from_slice(&payload);
-            descs.push((codec, nulls, lo, hi));
-            sections.push(section);
+            scratch.descs.push(Section {
+                codec,
+                has_nulls: nulls,
+                offset: sec_start,
+                len: scratch.secs_buf.len() - sec_start,
+                min: lo,
+                max: hi,
+            });
         }
-        for (i, (codec, nulls, lo, hi)) in descs.iter().enumerate() {
-            header.push(*codec as u8);
-            header.push(*nulls as u8);
-            varint::write_u64(&mut header, sections[i].len() as u64);
-            header.extend_from_slice(&lo.to_le_bytes());
-            header.extend_from_slice(&hi.to_le_bytes());
+        for sec in &scratch.descs {
+            scratch.hdr_buf.push(sec.codec as u8);
+            scratch.hdr_buf.push(sec.has_nulls as u8);
+            varint::write_u64(&mut scratch.hdr_buf, sec.len as u64);
+            scratch.hdr_buf.extend_from_slice(&sec.min.to_le_bytes());
+            scratch.hdr_buf.extend_from_slice(&sec.max.to_le_bytes());
         }
-        let mut bytes = header;
-        for s in &sections {
-            bytes.extend_from_slice(s);
-        }
+        let mut bytes = Vec::with_capacity(scratch.hdr_buf.len() + scratch.secs_buf.len());
+        bytes.extend_from_slice(&scratch.hdr_buf);
+        bytes.extend_from_slice(&scratch.secs_buf);
         ValueBlob { bytes }
     }
 
@@ -130,21 +217,37 @@ impl ValueBlob {
     /// Only the selected sections are decoded; the others are skipped via
     /// their header lengths — the tag-oriented saving.
     pub fn decode_tags(&self, ts: &[i64], tags: &[usize]) -> Result<Vec<Vec<Option<f64>>>> {
-        let (n, secs) = self.parse_header()?;
+        with_tls_scratch(|scratch| {
+            let mut out = Vec::with_capacity(tags.len());
+            for &tag in tags {
+                let mut col = Vec::new();
+                self.decode_tag_into(ts, tag, scratch, &mut col)?;
+                out.push(col);
+            }
+            Ok(out)
+        })
+    }
+
+    /// Decode one tag column into `out` (cleared first). Steady-state
+    /// (warm scratch, pre-sized `out`) this performs no allocation.
+    pub fn decode_tag_into(
+        &self,
+        ts: &[i64],
+        tag: usize,
+        scratch: &mut SealScratch,
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<()> {
+        let n = self.parse_header_into(&mut scratch.descs)?;
         if n != ts.len() {
             return Err(OdhError::Corrupt(format!(
                 "blob has {n} rows, caller supplied {} timestamps",
                 ts.len()
             )));
         }
-        let mut out = Vec::with_capacity(tags.len());
-        for &tag in tags {
-            let sec = *secs.get(tag).ok_or_else(|| {
-                OdhError::Schema(format!("tag {tag} out of range ({} tags)", secs.len()))
-            })?;
-            out.push(self.decode_section(sec, n, ts)?);
-        }
-        Ok(out)
+        let sec = *scratch.descs.get(tag).ok_or_else(|| {
+            OdhError::Schema(format!("tag {tag} out of range ({} tags)", scratch.descs.len()))
+        })?;
+        self.decode_section_into(sec, n, ts, scratch, out)
     }
 
     /// Bytes a projection of `tags` actually touches (header + selected
@@ -176,14 +279,21 @@ impl ValueBlob {
     }
 
     fn parse_header(&self) -> Result<(usize, Vec<Section>)> {
+        let mut secs = Vec::new();
+        let n = self.parse_header_into(&mut secs)?;
+        Ok((n, secs))
+    }
+
+    /// Parse the header into `secs` (cleared first), returning `n_points`.
+    fn parse_header_into(&self, secs: &mut Vec<Section>) -> Result<usize> {
+        secs.clear();
         let mut pos = 0usize;
         let n = varint::read_u64(&self.bytes, &mut pos)? as usize;
         let n_tags = varint::read_u64(&self.bytes, &mut pos)? as usize;
         if n_tags > 100_000 {
             return Err(OdhError::Corrupt(format!("implausible tag count {n_tags}")));
         }
-        let mut secs = Vec::with_capacity(n_tags);
-        let mut lens = Vec::with_capacity(n_tags);
+        secs.reserve(n_tags);
         for _ in 0..n_tags {
             let codec = Codec::from_u8(
                 *self
@@ -204,20 +314,31 @@ impl ValueBlob {
             let min = f64::from_le_bytes(self.bytes[pos..pos + 8].try_into().unwrap());
             let max = f64::from_le_bytes(self.bytes[pos + 8..pos + 16].try_into().unwrap());
             pos += 16;
-            lens.push((codec, has_nulls, len, min, max));
+            // `offset` is provisional (section lengths, not positions) until
+            // the fix-up pass below.
+            secs.push(Section { codec, has_nulls, offset: 0, len, min, max });
         }
         let mut offset = pos;
-        for (codec, has_nulls, len, min, max) in lens {
-            secs.push(Section { codec, has_nulls, offset, len, min, max });
-            offset += len;
+        for sec in secs.iter_mut() {
+            sec.offset = offset;
+            offset = offset
+                .checked_add(sec.len)
+                .ok_or_else(|| OdhError::Corrupt("blob section length overflow".into()))?;
         }
         if offset > self.bytes.len() {
             return Err(OdhError::Corrupt("blob sections overrun buffer".into()));
         }
-        Ok((n, secs))
+        Ok(n)
     }
 
-    fn decode_section(&self, sec: Section, n: usize, ts: &[i64]) -> Result<Vec<Option<f64>>> {
+    fn decode_section_into(
+        &self,
+        sec: Section,
+        n: usize,
+        ts: &[i64],
+        scratch: &mut SealScratch,
+        out: &mut Vec<Option<f64>>,
+    ) -> Result<()> {
         let mut pos = sec.offset;
         let end = sec.offset + sec.len;
         let (bitmap, present): (Option<&[u8]>, usize) = if sec.has_nulls {
@@ -233,23 +354,38 @@ impl ValueBlob {
             (None, n)
         };
         // Timestamps of present rows (linear codec reconstructs at these).
-        let present_ts: Vec<i64> = match bitmap {
-            None => ts.to_vec(),
-            Some(bm) => (0..n).filter(|i| bm[i / 8] >> (i % 8) & 1 == 1).map(|i| ts[i]).collect(),
+        let present_ts: &[i64] = match bitmap {
+            None => ts,
+            Some(bm) => {
+                scratch.present_ts.clear();
+                scratch
+                    .present_ts
+                    .extend((0..n).filter(|i| bm[i / 8] >> (i % 8) & 1 == 1).map(|i| ts[i]));
+                &scratch.present_ts
+            }
         };
         debug_assert_eq!(present_ts.len(), present);
-        let vals = decode_column(sec.codec, &self.bytes[..end], &mut pos, &present_ts)?;
+        decode_column_into(
+            sec.codec,
+            &self.bytes[..end],
+            &mut pos,
+            present_ts,
+            &mut scratch.codec,
+            &mut scratch.present_vals,
+        )?;
+        let vals = &scratch.present_vals;
         if vals.len() != present {
             return Err(OdhError::Corrupt(format!(
                 "section decoded {} values, bitmap says {present}",
                 vals.len()
             )));
         }
-        let mut out = vec![None; n];
+        out.clear();
+        out.resize(n, None);
         match bitmap {
             None => {
-                for (i, v) in vals.into_iter().enumerate() {
-                    out[i] = Some(v);
+                for (slot, &v) in out.iter_mut().zip(vals) {
+                    *slot = Some(v);
                 }
             }
             Some(bm) => {
@@ -262,7 +398,7 @@ impl ValueBlob {
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -56,15 +56,17 @@ impl SourceBuffer {
     }
 
     /// Take the contents, leaving an empty buffer with the same shape.
-    /// Returns `(timestamps, cols, last_lsn)` — the seal records
-    /// `last_lsn` as the source's sealed low-water mark.
-    pub fn take(&mut self) -> (Vec<i64>, Vec<Vec<Option<f64>>>, u64) {
+    /// Returns `(timestamps, cols, first_lsn, last_lsn)` — the seal
+    /// records `last_lsn` as the source's sealed low-water mark, and
+    /// `first_lsn` keeps queued-but-unsealed rows inside the WAL's
+    /// checkpoint-truncation bound while they sit in the seal pipeline.
+    pub fn take(&mut self) -> (Vec<i64>, Vec<Vec<Option<f64>>>, u64, u64) {
         let ts = std::mem::take(&mut self.ts);
         let cols = self.cols.iter_mut().map(std::mem::take).collect();
-        let last = self.last_lsn;
+        let (first, last) = (self.first_lsn, self.last_lsn);
         self.first_lsn = 0;
         self.last_lsn = 0;
-        (ts, cols, last)
+        (ts, cols, first, last)
     }
 
     /// Rows with `t1 <= ts <= t2`, projected to `tags`, for dirty reads.
@@ -84,8 +86,8 @@ impl SourceBuffer {
 }
 
 /// What [`MgBuffer::take`] drains: `(timestamps, source ids, per-tag
-/// columns, last WAL LSN)`.
-pub type MgDrain = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64);
+/// columns, first WAL LSN, last WAL LSN)`.
+pub type MgDrain = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64, u64);
 
 /// Row-accumulating buffer for one Mixed-Grouping group: rows from many
 /// sources interleaved in arrival (≈ timestamp) order.
@@ -132,15 +134,16 @@ impl MgBuffer {
         self.ts.is_empty()
     }
 
-    /// `(timestamps, source ids, per-tag columns, last WAL LSN)`.
+    /// `(timestamps, source ids, per-tag columns, first LSN, last LSN)`.
     pub fn take(&mut self) -> MgDrain {
-        let last = self.last_lsn;
+        let (first, last) = (self.first_lsn, self.last_lsn);
         self.first_lsn = 0;
         self.last_lsn = 0;
         (
             std::mem::take(&mut self.ts),
             std::mem::take(&mut self.ids),
             self.cols.iter_mut().map(std::mem::take).collect(),
+            first,
             last,
         )
     }
@@ -179,8 +182,8 @@ mod tests {
         b.push(20, &[Some(2.0), Some(9.0)], 6);
         assert_eq!(b.len(), 2);
         assert_eq!((b.first_lsn, b.last_lsn), (5, 6));
-        let (ts, cols, last) = b.take();
-        assert_eq!(last, 6);
+        let (ts, cols, first, last) = b.take();
+        assert_eq!((first, last), (5, 6));
         assert_eq!(ts, vec![10, 20]);
         assert_eq!(cols[0], vec![Some(1.0), Some(2.0)]);
         assert_eq!(cols[1], vec![None, Some(9.0)]);
@@ -219,8 +222,8 @@ mod tests {
     fn mg_take_clears_ids_too() {
         let mut b = MgBuffer::new(1, 4);
         b.push(SourceId(5), 1, &[None], 9);
-        let (ts, ids, cols, last) = b.take();
-        assert_eq!(last, 9);
+        let (ts, ids, cols, first, last) = b.take();
+        assert_eq!((first, last), (9, 9));
         assert_eq!((ts.len(), ids.len(), cols[0].len()), (1, 1, 1));
         assert!(b.is_empty());
         assert!(b.ids.is_empty());

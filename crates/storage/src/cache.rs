@@ -66,16 +66,25 @@ impl CachedBatch {
     /// Decoded columns for `tags` (parallel to it). Returns `true` in the
     /// second slot when any tag had to be decoded now — i.e. this call
     /// paid a blob decode; `false` means the request was fully warm.
+    ///
+    /// Misses decode straight into the entry's own column vector (one
+    /// exact-sized allocation per tag, which the cache retains); all
+    /// intermediate decode state lives in the thread's [`SealScratch`].
     pub fn cols_for(&self, tags: &[usize]) -> Result<(Vec<SharedCol>, bool)> {
         let mut g = self.cols.lock();
-        let missing: Vec<usize> = tags.iter().copied().filter(|t| !g.contains_key(t)).collect();
-        let decoded = !missing.is_empty();
-        if decoded {
-            let fresh = self.batch.blob().decode_tags(&self.ts, &missing)?;
-            for (tag, col) in missing.into_iter().zip(fresh) {
+        let mut decoded = false;
+        crate::blob::with_tls_scratch(|scratch| -> Result<()> {
+            for &tag in tags {
+                if g.contains_key(&tag) {
+                    continue;
+                }
+                decoded = true;
+                let mut col = Vec::new();
+                self.batch.blob().decode_tag_into(&self.ts, tag, scratch, &mut col)?;
                 g.insert(tag, Arc::new(col));
             }
-        }
+            Ok(())
+        })?;
         Ok((tags.iter().map(|t| g[t].clone()).collect(), decoded))
     }
 

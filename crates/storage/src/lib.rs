@@ -29,6 +29,7 @@ pub mod buffer;
 pub mod cache;
 pub mod container;
 pub mod reorg;
+pub mod seal;
 pub mod select;
 pub mod snapshot;
 pub mod stats;
@@ -37,7 +38,7 @@ pub mod table;
 pub mod wal;
 
 pub use batch::TagSummary;
-pub use blob::ValueBlob;
+pub use blob::{SealScratch, ValueBlob};
 pub use cache::DecodeCache;
 pub use select::Structure;
 pub use snapshot::{TableConfigSnapshot, TableSnapshot};

@@ -50,6 +50,11 @@ pub struct TableConfigSnapshot {
     /// Decoded-batch cache budget; `None` in pre-read-path snapshots
     /// (treated as the default).
     pub decode_cache_bytes: Option<usize>,
+    /// Seal pipeline worker count; `None` in pre-pipeline snapshots
+    /// (treated as the default).
+    pub seal_workers: Option<usize>,
+    /// Seal queue depth; `None` in pre-pipeline snapshots.
+    pub seal_queue_depth: Option<usize>,
 }
 
 impl From<&TableConfig> for TableConfigSnapshot {
@@ -61,6 +66,8 @@ impl From<&TableConfig> for TableConfigSnapshot {
             mg_group_size: c.mg_group_size,
             strict_snapshot: Some(c.strict_snapshot),
             decode_cache_bytes: Some(c.decode_cache_bytes),
+            seal_workers: Some(c.seal_workers),
+            seal_queue_depth: Some(c.seal_queue_depth),
         }
     }
 }
@@ -74,6 +81,10 @@ impl From<&TableConfigSnapshot> for TableConfig {
             .with_strict_snapshot(s.strict_snapshot.unwrap_or(false))
             .with_decode_cache_bytes(
                 s.decode_cache_bytes.unwrap_or(crate::table::DEFAULT_DECODE_CACHE_BYTES),
+            )
+            .with_seal_workers(s.seal_workers.unwrap_or_else(crate::table::default_seal_workers))
+            .with_seal_queue_depth(
+                s.seal_queue_depth.unwrap_or(crate::table::DEFAULT_SEAL_QUEUE_DEPTH),
             )
     }
 }
@@ -89,6 +100,9 @@ impl OdhTable {
     /// them), and the persisted counters are reduced by the buffered rows
     /// that replay will re-count.
     pub fn snapshot(&self) -> Result<TableSnapshot> {
+        // Settle the seal pipeline first: queued batches land in their
+        // containers (and the image), instead of counting as buffered.
+        self.drain_seals()?;
         let buffered = self.buffered_points();
         let lenient = self.wal_table_id().is_some() && !self.config().strict_snapshot;
         if buffered > 0 && !lenient {

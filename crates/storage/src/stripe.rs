@@ -32,11 +32,11 @@ use std::sync::Arc;
 pub const SHARD_COUNT: usize = 16;
 
 /// Rows drained from one per-source buffer:
-/// `(timestamps, cols[tag][row], last_lsn)`.
-pub type DrainedRows = (Vec<i64>, Vec<Vec<Option<f64>>>, u64);
+/// `(timestamps, cols[tag][row], first_lsn, last_lsn)`.
+pub type DrainedRows = (Vec<i64>, Vec<Vec<Option<f64>>>, u64, u64);
 /// Rows drained from one MG buffer:
-/// `(timestamps, ids, cols[tag][row], last_lsn)`.
-pub type DrainedMgRows = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64);
+/// `(timestamps, ids, cols[tag][row], first_lsn, last_lsn)`.
+pub type DrainedMgRows = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64, u64);
 
 /// The open ingest buffers of one table, striped across independent locks.
 pub struct StripedBuffers {

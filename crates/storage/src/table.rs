@@ -11,6 +11,7 @@ use crate::blob::ValueBlob;
 use crate::buffer::{MgBuffer, SourceBuffer};
 use crate::cache::{CachedBatch, DecodeCache};
 use crate::container::Container;
+use crate::seal::{JobKind, PendingSeal, SealPipeline, Wake};
 use crate::select::{historical_structure, ingestion_structure, Structure};
 use crate::stats::{MeterIoHook, ReadTally, StorageStats};
 use crate::stripe::StripedBuffers;
@@ -27,6 +28,17 @@ use std::sync::Arc;
 
 /// Default byte budget of the decoded-batch cache.
 pub const DEFAULT_DECODE_CACHE_BYTES: usize = 32 << 20;
+
+/// Default bound of the off-thread seal queue (jobs, not bytes — each job
+/// is one buffer's worth of rows, so memory is `depth * batch_size` rows
+/// at worst).
+pub const DEFAULT_SEAL_QUEUE_DEPTH: usize = 32;
+
+/// Default seal worker count: enough to keep blob encoding off the
+/// ingest path without oversubscribing small hosts.
+pub(crate) fn default_seal_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(4)
+}
 
 /// Configuration of one operational table.
 #[derive(Debug, Clone)]
@@ -46,6 +58,15 @@ pub struct TableConfig {
     /// Byte budget of the decoded-batch cache (see [`crate::cache`]);
     /// 0 disables caching.
     pub decode_cache_bytes: usize,
+    /// Worker threads that encode and install sealed batches off the
+    /// ingest path (see [`crate::seal`]); `0` seals inline on the
+    /// ingesting thread — the pre-pipeline behaviour, kept for ablation.
+    /// The pool only starts once [`OdhTable::start_seal_pipeline`] runs
+    /// (tables constructed outside an `Arc` always stay inline).
+    pub seal_workers: usize,
+    /// Bounded seal-queue depth; a full queue falls back to inline
+    /// sealing (backpressure, never unbounded memory).
+    pub seal_queue_depth: usize,
 }
 
 impl TableConfig {
@@ -57,6 +78,8 @@ impl TableConfig {
             mg_group_size: 1000,
             strict_snapshot: false,
             decode_cache_bytes: DEFAULT_DECODE_CACHE_BYTES,
+            seal_workers: default_seal_workers(),
+            seal_queue_depth: DEFAULT_SEAL_QUEUE_DEPTH,
         }
     }
 
@@ -84,6 +107,18 @@ impl TableConfig {
 
     pub fn with_decode_cache_bytes(mut self, bytes: usize) -> TableConfig {
         self.decode_cache_bytes = bytes;
+        self
+    }
+
+    /// `0` disables the off-thread pipeline (inline sealing).
+    pub fn with_seal_workers(mut self, n: usize) -> TableConfig {
+        self.seal_workers = n;
+        self
+    }
+
+    pub fn with_seal_queue_depth(mut self, d: usize) -> TableConfig {
+        assert!(d >= 1);
+        self.seal_queue_depth = d;
         self
     }
 }
@@ -167,6 +202,17 @@ pub(crate) struct SourceMeta {
     pub group: GroupId,
 }
 
+/// One fully-encoded, serialized batch ready for a container insert. The
+/// expensive work (sort, blob encode, summary, serialize) happens while
+/// building one of these — installing is a key/value insert, so seal
+/// workers hold the reader-blocking ticket only across the install.
+struct BuiltBatch {
+    key: Vec<u8>,
+    bytes: Vec<u8>,
+    span: i64,
+    structure: Structure,
+}
+
 /// Process-unique table instance id: the `inst` metric label that keeps
 /// same-named tables on different servers from aliasing in the registry.
 static NEXT_TABLE_INST: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -174,19 +220,37 @@ static NEXT_TABLE_INST: std::sync::atomic::AtomicU64 = std::sync::atomic::Atomic
 /// Span histograms of one table (taxonomy in DESIGN.md §Observability).
 pub(crate) struct TableObs {
     pub registry: Arc<odh_obs::Registry>,
-    /// Batch seal latency (buffer take → container insert).
+    /// Batch seal latency (encode + container insert, queue wait excluded).
     pub seal: Arc<odh_obs::Histogram>,
     /// Whole-table reorganization latency.
     pub reorg: Arc<odh_obs::Histogram>,
+    /// Jobs handed to the off-thread seal pipeline.
+    pub queue_enqueued: Arc<odh_obs::Counter>,
+    /// Full-queue fallbacks to inline sealing (backpressure events).
+    pub queue_fallback: Arc<odh_obs::Counter>,
+    /// Seal jobs taken off the ingest path but not yet installed.
+    pub queue_depth: Arc<odh_obs::Gauge>,
+    /// Enqueue → worker-pickup latency.
+    pub queue_wait: Arc<odh_obs::Histogram>,
+    /// Columns sealed per codec choice, indexed by codec id.
+    pub codec_cols: [Arc<odh_obs::Counter>; 4],
 }
 
 impl TableObs {
     fn new(meter: &ResourceMeter, table: &str) -> TableObs {
         let registry = meter.registry().clone();
         let labels = [("table", table)];
+        let codec_cols = crate::blob::SealScratch::codec_names().map(|codec| {
+            registry.counter("odh_seal_codec_columns_total", &[("table", table), ("codec", codec)])
+        });
         TableObs {
             seal: registry.histogram("odh_seal_seconds", &labels),
             reorg: registry.histogram("odh_reorg_seconds", &labels),
+            queue_enqueued: registry.counter("odh_seal_queue_enqueued_total", &labels),
+            queue_fallback: registry.counter("odh_seal_queue_fallback_total", &labels),
+            queue_depth: registry.gauge("odh_seal_queue_depth", &labels),
+            queue_wait: registry.histogram("odh_seal_queue_wait_seconds", &labels),
+            codec_cols,
             registry,
         }
     }
@@ -214,6 +278,9 @@ pub struct OdhTable {
     pub(crate) obs: TableObs,
     /// Decoded sealed-batch cache shared by every scan of this table.
     pub(crate) cache: DecodeCache,
+    /// Off-thread seal pipeline, set once by
+    /// [`OdhTable::start_seal_pipeline`]. `None` means inline sealing.
+    seal_pipe: std::sync::OnceLock<Arc<SealPipeline>>,
     /// Write-ahead log binding, set once by [`OdhTable::attach_wal`].
     wal: std::sync::OnceLock<WalBinding>,
     /// Per-source / per-MG-group sealed low-water marks: the highest WAL
@@ -257,6 +324,7 @@ impl OdhTable {
             stats,
             obs,
             cache: DecodeCache::new(cfg.decode_cache_bytes),
+            seal_pipe: std::sync::OnceLock::new(),
             wal: std::sync::OnceLock::new(),
             sealed: parking_lot::Mutex::new(HashMap::new()),
             mg_sealed: parking_lot::Mutex::new(HashMap::new()),
@@ -297,6 +365,7 @@ impl OdhTable {
             stats,
             obs,
             cache: DecodeCache::new(cfg.decode_cache_bytes),
+            seal_pipe: std::sync::OnceLock::new(),
             wal: std::sync::OnceLock::new(),
             sealed: parking_lot::Mutex::new(HashMap::new()),
             mg_sealed: parking_lot::Mutex::new(HashMap::new()),
@@ -459,14 +528,15 @@ impl OdhTable {
                 buf.push(record.ts.micros(), &record.values, lsn);
                 if buf.len() >= self.cfg.batch_size {
                     // Ticket before the take: readers must find these rows
-                    // in the buffer or the container at every instant.
+                    // in the buffer, the seal queue, or the container at
+                    // every instant.
                     let _seal = self.seals.begin();
-                    let (ts, cols, last_lsn) = buf.take();
+                    let (ts, cols, first_lsn, last_lsn) = buf.take();
                     // Seal outside the shard lock: blob encoding is the
                     // expensive part, and other sources on this shard can
                     // keep ingesting meanwhile.
                     drop(g);
-                    self.seal_source_batch(record.source, meta, ts, cols, last_lsn)?;
+                    self.dispatch_source_seal(record.source, meta, ts, cols, first_lsn, last_lsn)?;
                 }
             }
             Structure::Mg => {
@@ -489,9 +559,9 @@ impl OdhTable {
                 buf.push(record.source, record.ts.micros(), &record.values, lsn);
                 if buf.len() >= self.cfg.batch_size {
                     let _seal = self.seals.begin();
-                    let (ts, ids, cols, last_lsn) = buf.take();
+                    let (ts, ids, cols, first_lsn, last_lsn) = buf.take();
                     drop(g);
-                    self.seal_mg_batch(meta.group, ts, ids, cols, last_lsn)?;
+                    self.dispatch_mg_seal(meta.group, ts, ids, cols, first_lsn, last_lsn)?;
                 }
             }
         }
@@ -509,26 +579,50 @@ impl OdhTable {
     /// and sealed batches remain recoverable via the log until the next
     /// checkpoint truncates it.
     pub fn flush(&self) -> Result<()> {
-        // One ticket for the whole drain: `drain_sources` empties every
-        // buffer before the first batch lands, so readers must wait it out.
-        let _seal = self.seals.begin();
-        for (id, (ts, cols, last_lsn)) in self.buffers.drain_sources() {
-            let meta = *self.sources.read().get(&id).unwrap();
-            self.seal_source_batch(SourceId(id), meta, ts, cols, last_lsn)?;
+        {
+            // One ticket for the whole drain: `drain_sources` empties every
+            // buffer before the first batch lands, so readers must wait it
+            // out. Scoped so the ticket is released before the pipeline
+            // barrier below — workers take their own install tickets.
+            let _seal = self.seals.begin();
+            for (id, (ts, cols, _first, last_lsn)) in self.buffers.drain_sources() {
+                let meta = *self.sources.read().get(&id).unwrap();
+                self.seal_source_batch(SourceId(id), meta, ts, cols, last_lsn)?;
+            }
+            for (gid, (ts, ids, cols, _first, last_lsn)) in self.buffers.drain_mg() {
+                self.seal_mg_batch(GroupId(gid), ts, ids, cols, last_lsn)?;
+            }
         }
-        for (gid, (ts, ids, cols, last_lsn)) in self.buffers.drain_mg() {
-            self.seal_mg_batch(GroupId(gid), ts, ids, cols, last_lsn)?;
-        }
+        // Barrier: every batch handed to the seal pipeline before this
+        // flush is installed (or its error surfaced) before we return.
+        self.drain_seals()?;
         if self.wal_binding().is_some() {
             return Ok(());
         }
         self.pool.flush_all()
     }
 
-    /// Smallest WAL LSN still sitting in an open ingest buffer, if any —
-    /// the bound on how far a checkpoint may truncate the log.
+    /// Wait for every queued/in-flight seal job to finish. The first
+    /// worker error since the last drain is returned here (the rows of a
+    /// failed job stay readable in the pending set and recoverable via
+    /// the WAL).
+    pub(crate) fn drain_seals(&self) -> Result<()> {
+        match self.seal_pipe.get() {
+            Some(p) => p.drain(),
+            None => Ok(()),
+        }
+    }
+
+    /// Smallest WAL LSN still sitting in an open ingest buffer *or* an
+    /// unfinished seal job, if any — the bound on how far a checkpoint may
+    /// truncate the log.
     pub fn min_open_lsn(&self) -> Option<u64> {
-        self.buffers.min_first_lsn()
+        let buffered = self.buffers.min_first_lsn();
+        let queued = self.seal_pipe.get().and_then(|p| p.min_first_lsn());
+        match (buffered, queued) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Rows and non-NULL points in open buffers (for lenient snapshots).
@@ -536,11 +630,154 @@ impl OdhTable {
         self.buffers.buffered_totals()
     }
 
-    /// Seal a per-source buffer into RTS (splitting at interval breaks) or
-    /// IRTS batches. `last_lsn` is the WAL LSN of the newest row being
-    /// sealed (0 without a WAL): once the batch lands in its container the
-    /// source's sealed low-water mark advances so recovery never replays
-    /// these rows a second time.
+    /// Hand a full per-source buffer to the seal pipeline, or seal inline
+    /// when there is no pipeline / the queue is full (backpressure).
+    fn dispatch_source_seal(
+        &self,
+        source: SourceId,
+        meta: SourceMeta,
+        ts: Vec<i64>,
+        cols: Vec<Vec<Option<f64>>>,
+        first_lsn: u64,
+        last_lsn: u64,
+    ) -> Result<()> {
+        let (ts, cols) = match self.seal_pipe.get() {
+            Some(pipe) => {
+                match pipe
+                    .try_enqueue(PendingSeal::source(source, meta, ts, cols, first_lsn, last_lsn))
+                {
+                    Ok(()) => {
+                        self.obs.queue_enqueued.inc();
+                        self.obs.queue_depth.set(pipe.pending_len() as i64);
+                        return Ok(());
+                    }
+                    Err(job) => {
+                        self.obs.queue_fallback.inc();
+                        (job.ts, job.cols)
+                    }
+                }
+            }
+            None => (ts, cols),
+        };
+        self.seal_source_batch(source, meta, ts, cols, last_lsn)
+    }
+
+    /// MG counterpart of [`OdhTable::dispatch_source_seal`].
+    fn dispatch_mg_seal(
+        &self,
+        group: GroupId,
+        ts: Vec<i64>,
+        ids: Vec<SourceId>,
+        cols: Vec<Vec<Option<f64>>>,
+        first_lsn: u64,
+        last_lsn: u64,
+    ) -> Result<()> {
+        let (ts, ids, cols) = match self.seal_pipe.get() {
+            Some(pipe) => {
+                match pipe.try_enqueue(PendingSeal::mg(group, ts, ids, cols, first_lsn, last_lsn)) {
+                    Ok(()) => {
+                        self.obs.queue_enqueued.inc();
+                        self.obs.queue_depth.set(pipe.pending_len() as i64);
+                        return Ok(());
+                    }
+                    Err(job) => {
+                        self.obs.queue_fallback.inc();
+                        (job.ts, job.ids, job.cols)
+                    }
+                }
+            }
+            None => (ts, ids, cols),
+        };
+        self.seal_mg_batch(group, ts, ids, cols, last_lsn)
+    }
+
+    /// Start the off-thread seal pipeline: `seal_workers` threads that
+    /// encode and install batches handed off by [`OdhTable::put`]. A no-op
+    /// when `seal_workers == 0` (inline/ablation mode) or when the pipeline
+    /// is already running. Workers hold only a `Weak` reference, so
+    /// dropping the last `Arc<OdhTable>` shuts the pool down.
+    pub fn start_seal_pipeline(self: &Arc<Self>) {
+        if self.cfg.seal_workers == 0 || self.seal_pipe.get().is_some() {
+            return;
+        }
+        let pipe = Arc::new(SealPipeline::new(self.cfg.seal_queue_depth.max(1)));
+        if self.seal_pipe.set(pipe.clone()).is_err() {
+            return;
+        }
+        for i in 0..self.cfg.seal_workers {
+            let pipe = pipe.clone();
+            let weak = Arc::downgrade(self);
+            std::thread::Builder::new()
+                .name(format!("odh-seal-{i}"))
+                .spawn(move || loop {
+                    match pipe.next_job(std::time::Duration::from_millis(50)) {
+                        Wake::Shutdown => return,
+                        Wake::Idle => {
+                            if weak.strong_count() == 0 {
+                                return;
+                            }
+                        }
+                        Wake::Job(job) => {
+                            let Some(table) = weak.upgrade() else {
+                                pipe.complete(Ok(()));
+                                return;
+                            };
+                            let res = table.process_seal_job(&pipe, &job);
+                            pipe.complete(res);
+                        }
+                    }
+                })
+                .expect("spawn seal worker");
+        }
+    }
+
+    /// Worker body: encode the job's rows into serialized batches (slow,
+    /// no ticket), then install them and retire the job from the pending
+    /// set under one short seal ticket — to readers the rows move from
+    /// "pending" to "sealed" atomically.
+    fn process_seal_job(&self, pipe: &SealPipeline, job: &PendingSeal) -> Result<()> {
+        self.obs.queue_wait.record(job.enqueued_at.elapsed().as_nanos() as u64);
+        let _span = self.obs.registry.span("seal", &self.obs.seal);
+        match job.kind {
+            JobKind::Source { source, meta } => {
+                let batches =
+                    self.build_source_batches(source, meta, job.ts.clone(), job.cols.clone())?;
+                {
+                    let _t = self.seals.begin();
+                    self.install_built(&batches)?;
+                    pipe.remove_pending(job.id);
+                }
+                self.advance_sealed(source, job.last_lsn);
+            }
+            JobKind::Mg { group } => {
+                let batch =
+                    self.build_mg_batch(group, job.ts.clone(), job.ids.clone(), job.cols.clone())?;
+                {
+                    let _t = self.seals.begin();
+                    if let Some(b) = &batch {
+                        self.install_built(std::slice::from_ref(b))?;
+                    }
+                    pipe.remove_pending(job.id);
+                }
+                self.advance_mg_sealed(group, job.last_lsn);
+            }
+        }
+        self.obs.queue_depth.set(pipe.pending_len() as i64);
+        Ok(())
+    }
+
+    /// Seal jobs currently queued or in flight — readers merge these rows
+    /// exactly like open ingest buffers (they left their buffer but are
+    /// not yet in a container).
+    fn pending_seals(&self) -> Vec<Arc<PendingSeal>> {
+        self.seal_pipe.get().map(|p| p.pending_snapshot()).unwrap_or_default()
+    }
+
+    /// Seal a per-source buffer inline: build then install on this thread.
+    /// `last_lsn` is the WAL LSN of the newest row being sealed (0 without
+    /// a WAL): once the batch lands in its container the source's sealed
+    /// low-water mark advances so recovery never replays these rows a
+    /// second time.
     fn seal_source_batch(
         &self,
         source: SourceId,
@@ -550,26 +787,43 @@ impl OdhTable {
         last_lsn: u64,
     ) -> Result<()> {
         let _span = self.obs.registry.span("seal", &self.obs.seal);
-        self.seal_source_rows(source, meta, ts, cols)?;
-        if last_lsn > 0 {
-            let mut sealed = self.sealed.lock();
-            let e = sealed.entry(source.0).or_insert(0);
-            *e = (*e).max(last_lsn);
-        }
+        let batches = self.build_source_batches(source, meta, ts, cols)?;
+        self.install_built(&batches)?;
+        self.advance_sealed(source, last_lsn);
         Ok(())
     }
 
-    fn seal_source_rows(
+    fn seal_mg_batch(
+        &self,
+        group: GroupId,
+        ts: Vec<i64>,
+        ids: Vec<SourceId>,
+        cols: Vec<Vec<Option<f64>>>,
+        last_lsn: u64,
+    ) -> Result<()> {
+        let _span = self.obs.registry.span("seal", &self.obs.seal);
+        if let Some(b) = self.build_mg_batch(group, ts, ids, cols)? {
+            self.install_built(std::slice::from_ref(&b))?;
+        }
+        self.advance_mg_sealed(group, last_lsn);
+        Ok(())
+    }
+
+    /// Encode one source's rows into serialized RTS batches (splitting at
+    /// interval breaks) or one IRTS batch. Pure build — nothing becomes
+    /// visible until [`OdhTable::install_built`].
+    fn build_source_batches(
         &self,
         source: SourceId,
         meta: SourceMeta,
         mut ts: Vec<i64>,
         mut cols: Vec<Vec<Option<f64>>>,
-    ) -> Result<()> {
+    ) -> Result<Vec<BuiltBatch>> {
         if ts.is_empty() {
-            return Ok(());
+            return Ok(Vec::new());
         }
         sort_rows(&mut ts, None, &mut cols);
+        let mut out = Vec::new();
         match (meta.ingest, meta.class.interval()) {
             (Structure::Rts, Some(interval)) => {
                 let dt = interval.micros();
@@ -594,12 +848,14 @@ impl OdhTable {
                         summaries: Some(summarize_columns(&run_cols)),
                     };
                     self.note_batch(&batch.blob, &run_cols);
-                    let span = batch.end() - batch.begin;
-                    self.charge_batch_write(&self.rts);
-                    self.rts.insert(&batch.key(), &batch.serialize(), span)?;
+                    out.push(BuiltBatch {
+                        key: batch.key(),
+                        bytes: batch.serialize(),
+                        span: batch.end() - batch.begin,
+                        structure: Structure::Rts,
+                    });
                     run_start = i;
                 }
-                Ok(())
             }
             _ => {
                 // Irregular (or regular source mis-declared without an
@@ -615,24 +871,29 @@ impl OdhTable {
                 };
                 self.note_batch(&batch.blob, &cols);
                 let span = batch.end - batch.begin;
-                self.charge_batch_write(&self.irts);
-                self.irts.insert(&batch.key(), &batch.serialize(), span)
+                out.push(BuiltBatch {
+                    key: batch.key(),
+                    bytes: batch.serialize(),
+                    span,
+                    structure: Structure::Irts,
+                });
             }
         }
+        self.note_codec_counts();
+        Ok(out)
     }
 
-    fn seal_mg_batch(
+    /// Encode one MG group's rows into a serialized MG batch.
+    fn build_mg_batch(
         &self,
         group: GroupId,
         mut ts: Vec<i64>,
         mut ids: Vec<SourceId>,
         mut cols: Vec<Vec<Option<f64>>>,
-        last_lsn: u64,
-    ) -> Result<()> {
+    ) -> Result<Option<BuiltBatch>> {
         if ts.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
-        let _span = self.obs.registry.span("seal", &self.obs.seal);
         sort_rows(&mut ts, Some(&mut ids), &mut cols);
         let blob = ValueBlob::encode(&ts, &cols, self.cfg.policy);
         let batch = MgBatch {
@@ -646,19 +907,70 @@ impl OdhTable {
         };
         self.note_batch(&batch.blob, &cols);
         let span = batch.end - batch.begin;
-        // Hold the generation lock across the insert: the reorganizer swaps
-        // generations under the write lock, so an insert can never land in
-        // an already-drained container (it either completes before the swap
-        // and is drained, or starts after and goes to the fresh one).
-        let mg = self.mg.read();
-        self.charge_batch_write(&mg);
-        mg.insert(&batch.key(), &batch.serialize(), span)?;
+        self.note_codec_counts();
+        Ok(Some(BuiltBatch {
+            key: batch.key(),
+            bytes: batch.serialize(),
+            span,
+            structure: Structure::Mg,
+        }))
+    }
+
+    /// Install pre-serialized batches into their containers. Fast (no
+    /// encoding) — the seal pipeline calls this under a seal ticket.
+    fn install_built(&self, batches: &[BuiltBatch]) -> Result<()> {
+        for b in batches {
+            match b.structure {
+                Structure::Rts => {
+                    self.charge_batch_write(&self.rts);
+                    self.rts.insert(&b.key, &b.bytes, b.span)?;
+                }
+                Structure::Irts => {
+                    self.charge_batch_write(&self.irts);
+                    self.irts.insert(&b.key, &b.bytes, b.span)?;
+                }
+                Structure::Mg => {
+                    // Hold the generation lock across the insert: the
+                    // reorganizer swaps generations under the write lock,
+                    // so an insert can never land in an already-drained
+                    // container (it either completes before the swap and
+                    // is drained, or starts after and goes to the fresh
+                    // one).
+                    let mg = self.mg.read();
+                    self.charge_batch_write(&mg);
+                    mg.insert(&b.key, &b.bytes, b.span)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance a source's sealed low-water mark (recovery idempotence).
+    fn advance_sealed(&self, source: SourceId, last_lsn: u64) {
+        if last_lsn > 0 {
+            let mut sealed = self.sealed.lock();
+            let e = sealed.entry(source.0).or_insert(0);
+            *e = (*e).max(last_lsn);
+        }
+    }
+
+    fn advance_mg_sealed(&self, group: GroupId, last_lsn: u64) {
         if last_lsn > 0 {
             let mut sealed = self.mg_sealed.lock();
             let e = sealed.entry(group.0).or_insert(0);
             *e = (*e).max(last_lsn);
         }
-        Ok(())
+    }
+
+    /// Drain the thread-local codec tallies accumulated while encoding
+    /// into the per-codec column counters.
+    fn note_codec_counts(&self) {
+        let counts = crate::blob::with_tls_scratch(|s| s.take_codec_counts());
+        for (c, n) in self.obs.codec_cols.iter().zip(counts) {
+            if n > 0 {
+                c.add(n);
+            }
+        }
     }
 
     fn note_batch(&self, blob: &ValueBlob, cols: &[Vec<Option<f64>>]) {
@@ -762,6 +1074,13 @@ impl OdhTable {
                 for (ts, values) in buf.rows_in_range(t1, t2, tags) {
                     out.push(ScanPoint { source, ts: Timestamp(ts), values });
                 }
+            }
+        }
+        // Rows handed to the seal pipeline but not yet installed are merged
+        // like open buffers — dirty-read isolation covers the queue too.
+        for job in self.pending_seals() {
+            for (id, ts, values) in job.rows_in_range(t1, t2, tags, Some(source)) {
+                out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
             }
         }
         out.sort_unstable_by_key(|p| p.ts);
@@ -915,6 +1234,14 @@ impl OdhTable {
                     if sources.is_none_or(|f| f.contains(&id)) {
                         out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
                     }
+                }
+            }
+        }
+        // Queued-but-unsealed rows (see historical_scan_once).
+        for job in self.pending_seals() {
+            for (id, ts, values) in job.rows_in_range(t1, t2, tags, None) {
+                if sources.is_none_or(|f| f.contains(&id)) {
+                    out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
                 }
             }
         }
@@ -1172,6 +1499,11 @@ impl OdhTable {
                         }
                     }
                 }
+                for job in self.pending_seals() {
+                    for (_, _, values) in job.rows_in_range(t1, t2, tags, Some(sid)) {
+                        agg.add_row(&values);
+                    }
+                }
             }
             None => {
                 // Whole-table aggregate: walk every sealed batch (the time
@@ -1222,6 +1554,11 @@ impl OdhTable {
                         for (_, _, values) in buf.rows_in_range(t1, t2, tags, None) {
                             agg.add_row(&values);
                         }
+                    }
+                }
+                for job in self.pending_seals() {
+                    for (_, _, values) in job.rows_in_range(t1, t2, tags, None) {
+                        agg.add_row(&values);
                     }
                 }
             }
@@ -1319,6 +1656,16 @@ impl OdhTable {
     /// Per-structure record counts `(rts, irts, mg)`.
     pub fn record_counts(&self) -> (u64, u64, u64) {
         (self.rts.record_count(), self.irts.record_count(), self.mg.read().record_count())
+    }
+}
+
+impl Drop for OdhTable {
+    fn drop(&mut self) {
+        // Wake and retire the seal workers; any still-queued jobs are
+        // recoverable via the WAL (acked rows were logged before enqueue).
+        if let Some(pipe) = self.seal_pipe.get() {
+            pipe.shutdown();
+        }
     }
 }
 
@@ -1684,6 +2031,115 @@ mod tests {
         let snap = t.stats().snapshot();
         assert_eq!(snap.cache_hits, Some(0));
         assert_eq!(snap.cache_misses, Some(8), "every fetch misses with a zero budget");
+    }
+
+    fn pipelined_table(b: usize, workers: usize, depth: usize) -> Arc<OdhTable> {
+        let pool = BufferPool::new(Arc::new(MemDisk::new()), 512);
+        let meter = ResourceMeter::unmetered();
+        let schema = SchemaType::new("env", ["temperature", "wind"]);
+        let t = Arc::new(
+            OdhTable::create(
+                pool,
+                meter,
+                TableConfig::new(schema)
+                    .with_batch_size(b)
+                    .with_seal_workers(workers)
+                    .with_seal_queue_depth(depth),
+            )
+            .unwrap(),
+        );
+        t.start_seal_pipeline();
+        t
+    }
+
+    #[test]
+    fn pipelined_seal_matches_inline_results() {
+        let t = pipelined_table(16, 2, 8);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000);
+        t.flush().unwrap();
+        let pts =
+            t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
+        assert_eq!(pts.len(), 100);
+        assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
+        assert_eq!(pts[3].values, vec![Some(3.0), Some(-3.0)]);
+        let (rts, _, _) = t.record_counts();
+        assert!(rts >= 6, "batches sealed through the pipeline, got {rts}");
+    }
+
+    #[test]
+    fn queued_rows_stay_visible_before_drain() {
+        // Depth 1 and 0 workers would deadlock a drain, so use a real
+        // worker but a batch small enough that jobs queue up: every row
+        // must be readable at every moment regardless of queue state.
+        let t = pipelined_table(4, 1, 16);
+        t.register_source(SourceId(9), SourceClass::irregular_high()).unwrap();
+        for i in 0..64i64 {
+            t.put(&Record::dense(SourceId(9), Timestamp(i * 100), [i as f64, 0.0])).unwrap();
+            let pts =
+                t.historical_scan(SourceId(9), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+            assert_eq!(pts.len() as i64, i + 1, "row lost at i={i}");
+            let agg = t
+                .aggregate_range(Some(SourceId(9)), Timestamp(0), Timestamp(i64::MAX), &[0])
+                .unwrap();
+            assert_eq!(agg.rows as i64, i + 1);
+        }
+        t.flush().unwrap();
+        let pts = t.historical_scan(SourceId(9), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), 64);
+    }
+
+    #[test]
+    fn full_queue_falls_back_inline() {
+        // Zero workers with a started pipeline is impossible (start is a
+        // no-op), so emulate a stuck queue: enqueue directly until full,
+        // then verify put() falls back inline rather than erroring.
+        let t = pipelined_table(4, 1, 1);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        for i in 0..256i64 {
+            t.put(&Record::dense(SourceId(1), Timestamp(i * 50), [1.0, 2.0])).unwrap();
+        }
+        t.flush().unwrap();
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), 256, "no rows lost under backpressure");
+    }
+
+    #[test]
+    fn serial_mode_never_starts_workers() {
+        let t = pipelined_table(8, 0, 4);
+        assert!(t.seal_pipe.get().is_none(), "seal_workers=0 must stay inline");
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        for i in 0..32i64 {
+            t.put(&Record::dense(SourceId(1), Timestamp(i * 50), [1.0, 2.0])).unwrap();
+        }
+        t.flush().unwrap();
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), 32);
+    }
+
+    #[test]
+    fn mg_seals_flow_through_pipeline() {
+        let t = pipelined_table(10, 2, 8);
+        for id in 0..20u64 {
+            t.register_source(SourceId(id), SourceClass::regular_low(Duration::from_minutes(15)))
+                .unwrap();
+        }
+        for sweep in 0..4i64 {
+            for id in 0..20u64 {
+                t.put(&Record::dense(
+                    SourceId(id),
+                    Timestamp::from_secs(900 * (sweep + 1)),
+                    [id as f64, 0.0],
+                ))
+                .unwrap();
+            }
+        }
+        t.flush().unwrap();
+        let (_, _, mg) = t.record_counts();
+        assert_eq!(mg, 8, "80 rows / batch 10 = 8 MG batches");
+        let pts = t.slice_scan(Timestamp(0), Timestamp(i64::MAX), &[0], None).unwrap();
+        assert_eq!(pts.len(), 80);
     }
 
     #[test]
