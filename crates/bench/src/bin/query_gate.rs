@@ -107,6 +107,35 @@ fn main() {
         _ => check(false, "pushdown and rowpath points present"),
     }
 
+    // Vectorized-execution gates. The in-run speedup compares the same
+    // warm-cache aggregate with pushdown ablated for both sides, so the
+    // only variable is columnar versus tuple-at-a-time execution — an
+    // apples-to-apples ratio that is stable on shared CI hardware.
+    let speedup_floor = env_pct("VEC_SPEEDUP_FLOOR", 1.5);
+    match (find(&current, "vec_scan_agg"), find(&current, "row_scan_agg")) {
+        (Some(v), Some(r)) => {
+            let ratio = v.qps / r.qps.max(1e-9);
+            check(
+                ratio >= speedup_floor,
+                &format!(
+                    "vectorized scan+aggregate >= {speedup_floor}x row path in-run \
+                     (got {ratio:.2}x)"
+                ),
+            );
+        }
+        _ => check(false, "vec_scan_agg and row_scan_agg points present"),
+    }
+    match find(&current, "bucket_pushdown_aligned") {
+        Some(p) => {
+            check(p.blob_decodes == 0, "batch-aligned time_bucket decodes zero blobs");
+            check(p.summary_answered_batches > 0, "batch-aligned time_bucket uses summaries");
+        }
+        None => check(false, "bucket_pushdown_aligned point present"),
+    }
+    for op in ["vec_downsample", "vec_last_point", "vec_gap_fill", "vec_asof_join"] {
+        check(find(&current, op).is_some(), &format!("{op} template point present"));
+    }
+
     // Regression gate — wall-time tolerance per op against the baseline.
     println!("\n{:>24} {:>10} {:>10} {:>8}  gate", "op", "base qps", "now qps", "delta");
     for p in &current {

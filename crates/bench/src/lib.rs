@@ -659,16 +659,54 @@ pub fn query_path_bench() -> Result<Vec<QueryBenchPoint>> {
     let mut out = Vec::new();
     out.push(run("agg_full_pushdown", full_agg, true)?);
     out.push(run("agg_boundary_pushdown", boundary_agg, true)?);
+    // Row-path ablation: both pushdown and vectorized execution off, so
+    // the point keeps measuring the original tuple-at-a-time fold.
     odh_sql::set_aggregate_pushdown(false);
+    odh_sql::set_vectorized(false);
     let ablation = (|| -> Result<()> {
         out.push(run("agg_full_rowpath_cold", full_agg, true)?);
         out.push(run("agg_full_rowpath_warm", full_agg, false)?);
         Ok(())
     })();
+    odh_sql::set_vectorized(true);
     odh_sql::set_aggregate_pushdown(true);
     ablation?;
     out.push(run("scan_cold", scan, true)?);
     out.push(run("scan_warm", scan, false)?);
+
+    // Vectorized section: the gated pair (same aggregate, warm cache,
+    // summary pushdown ablated for both, differing only in the vectorized
+    // toggle) plus the four time-series operator templates from WS2.
+    odh_sql::set_aggregate_pushdown(false);
+    let pair = (|| -> Result<()> {
+        out.push(run("vec_scan_agg", full_agg, false)?);
+        odh_sql::set_vectorized(false);
+        out.push(run("row_scan_agg", full_agg, false)?);
+        Ok(())
+    })();
+    odh_sql::set_vectorized(true);
+    odh_sql::set_aggregate_pushdown(true);
+    pair?;
+
+    let per_source = (points / sources.max(1)) as i64;
+    let meta = DatasetMeta { sources, t0: 0, t1: (per_source - 1).max(1) * 1_000_000 };
+    let names =
+        OpNames { table: "qb_v".into(), ts: "timestamp".into(), id: "id".into(), tag: "t0".into() };
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(42);
+    for (op, tpl) in [
+        ("vec_downsample", iotx::ws2::Template::Vq1),
+        ("vec_last_point", iotx::ws2::Template::Vq2),
+        ("vec_gap_fill", iotx::ws2::Template::Vq3),
+        ("vec_asof_join", iotx::ws2::Template::Vq4),
+    ] {
+        let sql = iotx::ws2::instantiate(tpl, &names, &meta, &mut rng);
+        out.push(run(op, &sql, false)?);
+    }
+    // Downsample whose interval matches the 128-point seal grid: every
+    // bucket is covered by whole batches and answers from summaries.
+    let aligned = "select time_bucket(128000000, timestamp), COUNT(*), AVG(t0) from qb_v \
+                   group by time_bucket(128000000, timestamp)";
+    out.push(run("bucket_pushdown_aligned", aligned, true)?);
     Ok(out)
 }
 

@@ -270,6 +270,10 @@ pub struct Historian {
     meter: Arc<ResourceMeter>,
     sql_plan_hist: Arc<odh_obs::Histogram>,
     sql_exec_hist: Arc<odh_obs::Histogram>,
+    sql_vec_queries: Arc<odh_obs::Counter>,
+    sql_vec_batches: Arc<odh_obs::Counter>,
+    sql_vec_rows: Arc<odh_obs::Counter>,
+    sql_vec_selected: Arc<odh_obs::Counter>,
 }
 
 impl Historian {
@@ -288,7 +292,33 @@ impl Historian {
         let registry = meter.registry();
         let sql_plan_hist = registry.histogram("odh_sql_plan_seconds", &[]);
         let sql_exec_hist = registry.histogram("odh_sql_exec_seconds", &[]);
-        Historian { engine, cluster, router, meter, sql_plan_hist, sql_exec_hist }
+        let sql_vec_queries = registry.counter("odh_sql_vectorized_queries_total", &[]);
+        let sql_vec_batches = registry.counter("odh_sql_vectorized_batches_total", &[]);
+        let sql_vec_rows = registry.counter("odh_sql_vectorized_rows_total", &[]);
+        let sql_vec_selected = registry.counter("odh_sql_vectorized_selected_rows_total", &[]);
+        Historian {
+            engine,
+            cluster,
+            router,
+            meter,
+            sql_plan_hist,
+            sql_exec_hist,
+            sql_vec_queries,
+            sql_vec_batches,
+            sql_vec_rows,
+            sql_vec_selected,
+        }
+    }
+
+    /// Fold one execution profile into the vectorized-execution counters.
+    fn note_vectorized(&self, profile: &odh_sql::ExecProfile) {
+        if !profile.used_vectorized {
+            return;
+        }
+        self.sql_vec_queries.add(1);
+        self.sql_vec_batches.add(profile.vectorized_batches);
+        self.sql_vec_rows.add(profile.vectorized_rows_in);
+        self.sql_vec_selected.add(profile.vectorized_rows_selected);
     }
 
     /// Quick single-server, unmetered historian.
@@ -357,6 +387,7 @@ impl Historian {
         let (result, _, profile) = self.engine.query_profiled(query)?;
         self.sql_plan_hist.record(profile.plan_nanos);
         self.sql_exec_hist.record(profile.exec_nanos);
+        self.note_vectorized(&profile);
         registry.note_duration("sql_exec", profile.exec_nanos);
         Ok(result)
     }
@@ -378,6 +409,7 @@ impl Historian {
         let (result, plan, profile) = self.engine.query_profiled(query)?;
         self.sql_plan_hist.record(profile.plan_nanos);
         self.sql_exec_hist.record(profile.exec_nanos);
+        self.note_vectorized(&profile);
         registry.note_duration("sql_exec", profile.exec_nanos);
         let mut out = plan;
         if !out.ends_with('\n') {

@@ -28,19 +28,38 @@ pub struct OpNames {
     pub ts: String,
     /// Source-id column (`id` / `t_ca_id` / `sensorid`).
     pub id: String,
+    /// Representative tag column the time-series operators aggregate
+    /// (`t_chrg` / `airtemperature`).
+    pub tag: String,
 }
 
 impl OpNames {
     pub fn odh(table: &str) -> OpNames {
-        OpNames { table: format!("{table}_v"), ts: "timestamp".into(), id: "id".into() }
+        let tag = if table == "observation" { "airtemperature" } else { "t_chrg" };
+        OpNames {
+            table: format!("{table}_v"),
+            ts: "timestamp".into(),
+            id: "id".into(),
+            tag: tag.into(),
+        }
     }
 
     pub fn rdb_trade() -> OpNames {
-        OpNames { table: "trade".into(), ts: "t_dts".into(), id: "t_ca_id".into() }
+        OpNames {
+            table: "trade".into(),
+            ts: "t_dts".into(),
+            id: "t_ca_id".into(),
+            tag: "t_chrg".into(),
+        }
     }
 
     pub fn rdb_observation() -> OpNames {
-        OpNames { table: "observation".into(), ts: "timestamp".into(), id: "sensorid".into() }
+        OpNames {
+            table: "observation".into(),
+            ts: "timestamp".into(),
+            id: "sensorid".into(),
+            tag: "airtemperature".into(),
+        }
     }
 }
 
@@ -56,7 +75,8 @@ pub struct QueryTarget<'a> {
     pub cores: u32,
 }
 
-/// The eight templates.
+/// The eight relational templates plus the four vectorized time-series
+/// operator templates (downsample, last-point, gap-fill, as-of join).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Template {
     Tq1,
@@ -67,11 +87,20 @@ pub enum Template {
     Lq2,
     Lq3,
     Lq4,
+    /// Downsample: `time_bucket` GROUP BY over the whole table.
+    Vq1,
+    /// Last point per source: `LAST(tag) GROUP BY id`.
+    Vq2,
+    /// Gap-filled downsample of one source over a slice window.
+    Vq3,
+    /// AS-OF self-join of one source over a slice window.
+    Vq4,
 }
 
 impl Template {
     pub const TD: [Template; 4] = [Template::Tq1, Template::Tq2, Template::Tq3, Template::Tq4];
     pub const LD: [Template; 4] = [Template::Lq1, Template::Lq2, Template::Lq3, Template::Lq4];
+    pub const VEC: [Template; 4] = [Template::Vq1, Template::Vq2, Template::Vq3, Template::Vq4];
 
     pub fn id(self) -> &'static str {
         match self {
@@ -83,6 +112,10 @@ impl Template {
             Template::Lq2 => "LQ2",
             Template::Lq3 => "LQ3",
             Template::Lq4 => "LQ4",
+            Template::Vq1 => "VQ1",
+            Template::Vq2 => "VQ2",
+            Template::Vq3 => "VQ3",
+            Template::Vq4 => "VQ4",
         }
     }
 
@@ -93,6 +126,10 @@ impl Template {
             Template::Tq2 | Template::Lq2 => "slice query",
             Template::Tq3 | Template::Lq3 => "single data source involved",
             Template::Tq4 | Template::Lq4 => "multiple data sources involved",
+            Template::Vq1 => "downsample query",
+            Template::Vq2 => "last-point query",
+            Template::Vq3 => "gap-fill query",
+            Template::Vq4 => "as-of join query",
         }
     }
 }
@@ -123,6 +160,13 @@ impl DatasetMeta {
 
     fn random_source(&self, rng: &mut StdRng) -> u64 {
         rng.gen::<u64>() % self.sources.max(1)
+    }
+
+    /// Downsample interval: 16–128 buckets over the dataset span, so
+    /// result cardinality stays scale-independent.
+    fn random_bucket(&self, rng: &mut StdRng) -> i64 {
+        let buckets = 16i64 << (rng.gen::<u32>() % 4);
+        ((self.t1 - self.t0).max(1) / buckets).max(1)
     }
 }
 
@@ -175,6 +219,38 @@ pub fn instantiate(
                 "select {ts}, o.{id}, airtemperature from {t} o, linkedsensor l \
                  where l.sensorid = o.{id} and sensorname = '{}'",
                 crate::ld::station_name(meta.random_source(rng))
+            )
+        }
+        Template::Vq1 => {
+            let b = meta.random_bucket(rng);
+            format!(
+                "select time_bucket({b}, {ts}), COUNT(*), AVG({tag}) from {t} \
+                 group by time_bucket({b}, {ts})",
+                tag = names.tag
+            )
+        }
+        Template::Vq2 => {
+            format!("select {id}, LAST({tag}) from {t} group by {id}", tag = names.tag)
+        }
+        Template::Vq3 => {
+            let (a, b) = meta.random_window(rng);
+            let bucket = ((b.micros() - a.micros()) / 32).max(1);
+            format!(
+                "select time_bucket_gapfill({bucket}, {ts}), interpolate(AVG({tag})) from {t} \
+                 where {id} = {src} and {ts} between '{a}' and '{b}' \
+                 group by time_bucket_gapfill({bucket}, {ts})",
+                tag = names.tag,
+                src = meta.random_source(rng)
+            )
+        }
+        Template::Vq4 => {
+            let (a, b) = meta.random_window(rng);
+            format!(
+                "select x.{ts}, x.{tag}, y.{tag} from {t} x asof join {t} y \
+                 on x.{id} = y.{id} and x.{ts} >= y.{ts} \
+                 where x.{id} = {src} and x.{ts} between '{a}' and '{b}'",
+                tag = names.tag,
+                src = meta.random_source(rng)
             )
         }
         Template::Lq4 => {
@@ -295,6 +371,10 @@ mod tests {
             let sql = instantiate(tpl, &ld_names, &meta(), &mut rng);
             odh_sql::parser::parse(&sql).unwrap_or_else(|e| panic!("{}: {sql}\n{e}", tpl.id()));
         }
+        for tpl in Template::VEC {
+            let sql = instantiate(tpl, &names, &meta(), &mut rng);
+            odh_sql::parser::parse(&sql).unwrap_or_else(|e| panic!("{}: {sql}\n{e}", tpl.id()));
+        }
         // Determinism.
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
@@ -339,5 +419,22 @@ mod tests {
         assert_eq!(Template::Tq2.id(), "TQ2");
         assert_eq!(Template::Tq2.comment(), "slice query");
         assert_eq!(Template::Lq4.comment(), "multiple data sources involved");
+        assert_eq!(Template::Vq1.id(), "VQ1");
+        assert_eq!(Template::Vq3.comment(), "gap-fill query");
+    }
+
+    #[test]
+    fn vectorized_templates_use_time_series_operators() {
+        let names = OpNames::odh("observation");
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = meta();
+        let sql = instantiate(Template::Vq1, &names, &m, &mut rng);
+        assert!(sql.contains("time_bucket(") && sql.contains("airtemperature"), "{sql}");
+        let sql = instantiate(Template::Vq2, &names, &m, &mut rng);
+        assert!(sql.contains("LAST(airtemperature)") && sql.contains("group by id"), "{sql}");
+        let sql = instantiate(Template::Vq3, &names, &m, &mut rng);
+        assert!(sql.contains("time_bucket_gapfill(") && sql.contains("interpolate("), "{sql}");
+        let sql = instantiate(Template::Vq4, &names, &m, &mut rng);
+        assert!(sql.contains("asof join"), "{sql}");
     }
 }

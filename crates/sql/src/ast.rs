@@ -48,6 +48,8 @@ pub enum AggFunc {
     Avg,
     Min,
     Max,
+    /// Most recent value by (timestamp, source) within the group.
+    Last,
 }
 
 impl AggFunc {
@@ -58,6 +60,7 @@ impl AggFunc {
             "AVG" => AggFunc::Avg,
             "MIN" => AggFunc::Min,
             "MAX" => AggFunc::Max,
+            "LAST" => AggFunc::Last,
             _ => return None,
         })
     }
@@ -69,8 +72,28 @@ impl AggFunc {
             AggFunc::Avg => "AVG",
             AggFunc::Min => "MIN",
             AggFunc::Max => "MAX",
+            AggFunc::Last => "LAST",
         }
     }
+}
+
+/// `time_bucket(interval_us, ts_col)` — with `gapfill` set for the
+/// `time_bucket_gapfill` spelling, which emits a row for every bucket in
+/// the observed range (missing buckets get COUNT 0 / NULL aggregates,
+/// optionally linearly interpolated via `interpolate(AGG(col))`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketSpec {
+    pub interval_us: i64,
+    pub col: ColumnName,
+    pub gapfill: bool,
+}
+
+/// `<left> ASOF JOIN <right> ON <conjuncts>` — aligns each left row with
+/// the most recent right row at or before its timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsofClause {
+    pub right: TableRef,
+    pub on: Vec<Predicate>,
 }
 
 /// One item of the SELECT list.
@@ -80,8 +103,11 @@ pub enum SelectItem {
     Wildcard,
     /// A plain column.
     Column(ColumnName),
-    /// `AGG(col)` or `COUNT(*)` (`None` column).
-    Aggregate { func: AggFunc, col: Option<ColumnName> },
+    /// `AGG(col)` or `COUNT(*)` (`None` column); `interpolate` marks the
+    /// `interpolate(AGG(col))` wrapper used with gap-filled buckets.
+    Aggregate { func: AggFunc, col: Option<ColumnName>, interpolate: bool },
+    /// The `time_bucket(...)` expression (must match the GROUP BY spec).
+    Bucket(BucketSpec),
 }
 
 /// One FROM entry: `TRADE t`.
@@ -110,8 +136,14 @@ pub struct OrderBy {
 pub struct Select {
     pub items: Vec<SelectItem>,
     pub from: Vec<TableRef>,
+    /// `ASOF JOIN` clause; its right table joins `from` as an extra
+    /// binding during planning.
+    pub asof: Option<AsofClause>,
     pub predicates: Vec<Predicate>,
     pub group_by: Vec<ColumnName>,
+    /// `GROUP BY time_bucket(...)` spec (plain columns stay in
+    /// `group_by`).
+    pub bucket: Option<BucketSpec>,
     pub order_by: Vec<OrderBy>,
     pub limit: Option<usize>,
 }

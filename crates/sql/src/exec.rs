@@ -5,11 +5,23 @@
 //! provider exposes an index on the join column) or hash-join (build on
 //! the new table). Residual predicates run as soon as their bindings are
 //! bound; aggregates, ORDER BY, and LIMIT finish the pipeline.
+//!
+//! Single-table aggregate shapes get two faster routes, tried in order:
+//! native pushdown (`bucket_scan` / `aggregate_scan`, answered from
+//! seal-time summaries), then the *vectorized* path — the provider hands
+//! back typed [`crate::column::ColumnBatch`]es, residual predicates run
+//! as selection-vector kernels, and aggregates fold columns directly with
+//! no per-row [`Row`] materialization. The row pivot happens only at the
+//! final result boundary. ASOF JOIN and multi-table joins stay on the
+//! row pipeline.
 
 use crate::ast::{AggFunc, CmpOp};
-use crate::planner::{ColRef, OutputItem, Plan, ROperand, RPred};
+use crate::column::{
+    count_valid, datum_bytes, filter_cmp, numeric_agg, CmpKernel, ColVec, ColumnBatch,
+};
+use crate::planner::{AsofSpec, ColRef, OutputItem, Plan, ROperand, RPred};
 use crate::provider::{AggRequest, ColumnFilter, ScanRequest};
-use odh_types::{Datum, OdhError, Result, Row};
+use odh_types::{DataType, Datum, OdhError, Result, Row, Timestamp};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
@@ -35,11 +47,14 @@ pub struct OpStats {
     pub op: String,
     /// Rows the operator emitted downstream.
     pub rows: u64,
-    /// Approximate bytes of those rows (8 per numeric cell, string
-    /// length for text, 1 per NULL).
+    /// Real bytes of those rows (per-cell sizes including string headers
+    /// and payloads — see [`crate::column::datum_bytes`]).
     pub bytes: u64,
     /// Wall-clock time inside the operator.
     pub nanos: u64,
+    /// Extra operator-specific `key=value` tokens (batch counts,
+    /// selection-vector selectivity, …). Empty for row-path operators.
+    pub extra: String,
 }
 
 /// What one execution actually did, operator by operator.
@@ -48,6 +63,14 @@ pub struct ExecProfile {
     pub ops: Vec<OpStats>,
     /// Whether the aggregate fast path answered the query natively.
     pub used_aggregate_pushdown: bool,
+    /// Whether the vectorized columnar path executed the query.
+    pub used_vectorized: bool,
+    /// Column batches the vectorized path consumed.
+    pub vectorized_batches: u64,
+    /// Rows entering the vectorized residual filters.
+    pub vectorized_rows_in: u64,
+    /// Rows surviving the selection vectors (fed to the aggregate kernels).
+    pub vectorized_rows_selected: u64,
     /// Time spent in parse + plan + optimize (filled by the engine).
     pub plan_nanos: u64,
     /// Total execution time (filled by the engine).
@@ -56,23 +79,35 @@ pub struct ExecProfile {
 
 impl ExecProfile {
     fn note(&mut self, op: impl Into<String>, rows: &[Row], started: std::time::Instant) {
+        self.note_ext(op, rows, started, String::new());
+    }
+
+    fn note_ext(
+        &mut self,
+        op: impl Into<String>,
+        rows: &[Row],
+        started: std::time::Instant,
+        extra: String,
+    ) {
         self.ops.push(OpStats {
             op: op.into(),
             rows: rows.len() as u64,
             bytes: rows.iter().map(approx_row_bytes).sum(),
             nanos: started.elapsed().as_nanos() as u64,
+            extra,
         });
     }
 
-    /// One line per operator: `op=<name> rows=<n> bytes=<n> time=<n>ns`.
+    /// One line per operator: `op=<name> rows=<n> bytes=<n> [extra] time=<n>ns`.
     /// Timings vary run to run; consumers comparing output (golden tests)
     /// normalize the `time=` token.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for o in &self.ops {
+            let sep = if o.extra.is_empty() { "" } else { " " };
             out.push_str(&format!(
-                "op={} rows={} bytes={} time={}ns\n",
-                o.op, o.rows, o.bytes, o.nanos
+                "op={} rows={} bytes={}{sep}{} time={}ns\n",
+                o.op, o.rows, o.bytes, o.extra, o.nanos
             ));
         }
         out
@@ -80,14 +115,7 @@ impl ExecProfile {
 }
 
 fn approx_row_bytes(r: &Row) -> u64 {
-    r.cells()
-        .iter()
-        .map(|d| match d {
-            Datum::Null => 1u64,
-            Datum::Str(s) => s.len() as u64,
-            _ => 8,
-        })
-        .sum()
+    r.cells().iter().map(datum_bytes).sum()
 }
 
 /// Run an optimized plan.
@@ -104,9 +132,67 @@ pub fn execute_profiled(plan: &Plan) -> Result<(QueryResult, ExecProfile)> {
     Ok((result, prof))
 }
 
+/// Output column names in SELECT order.
+fn output_columns(plan: &Plan) -> Vec<String> {
+    plan.output
+        .iter()
+        .map(|o| match o {
+            OutputItem::Col { name, .. } | OutputItem::Agg { name, .. } => name.clone(),
+            OutputItem::Bucket { name } => name.clone(),
+        })
+        .collect()
+}
+
 fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
     let order = &plan.join_order;
     let first = order[0];
+
+    // Bucket pushdown: `GROUP BY time_bucket(...)` with summary-answerable
+    // aggregates goes straight to the provider, which merges seal-time
+    // summaries per bucket (decoding only batches that straddle a bucket
+    // boundary).
+    if let Some(aggs) = bucket_pushdown_request(plan).filter(|_| aggregate_pushdown_enabled()) {
+        let started = std::time::Instant::now();
+        let b = plan.bucket.expect("bucket_pushdown_request requires a bucket");
+        if let Some(buckets) = plan.bindings[first]
+            .provider
+            .bucket_scan(&plan.pushdown[first], b.col.column, b.interval_us, &aggs)
+            .transpose()?
+        {
+            let dtype = plan.bindings[first].provider.schema().columns[b.col.column].dtype;
+            let n_buckets = buckets.len();
+            let mut rows = Vec::with_capacity(n_buckets);
+            for (start, aggs_cells) in buckets {
+                let mut cells = Vec::with_capacity(plan.output.len());
+                let mut agg_i = 0usize;
+                for o in &plan.output {
+                    match o {
+                        OutputItem::Bucket { .. } => cells.push(bucket_key_datum(start, dtype)),
+                        OutputItem::Agg { .. } => {
+                            cells.push(aggs_cells[agg_i].clone());
+                            agg_i += 1;
+                        }
+                        OutputItem::Col { .. } => unreachable!("bucket pushdown excludes columns"),
+                    }
+                }
+                rows.push(Row::new(cells));
+            }
+            if b.gapfill {
+                rows = gap_fill_rows(plan, rows)?;
+            }
+            if let Some(limit) = plan.limit {
+                rows.truncate(limit);
+            }
+            prof.used_aggregate_pushdown = true;
+            prof.note_ext(
+                format!("bucket_pushdown {}", plan.bindings[first].provider.name()),
+                &rows,
+                started,
+                format!("buckets={n_buckets}"),
+            );
+            return Ok(QueryResult { columns: output_columns(plan), rows });
+        }
+    }
 
     // Aggregate pushdown: a single-table, aggregate-only query whose WHERE
     // clause is fully absorbed by the pushed filters can be answered by the
@@ -119,13 +205,7 @@ fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
             .aggregate_scan(&plan.pushdown[first], &aggs)
             .transpose()?
         {
-            let columns = plan
-                .output
-                .iter()
-                .map(|o| match o {
-                    OutputItem::Col { name, .. } | OutputItem::Agg { name, .. } => name.clone(),
-                })
-                .collect();
+            let columns = output_columns(plan);
             let mut rows = vec![Row::new(cells)];
             if let Some(limit) = plan.limit {
                 rows.truncate(limit);
@@ -137,6 +217,14 @@ fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
                 started,
             );
             return Ok(QueryResult { columns, rows });
+        }
+    }
+
+    // Vectorized columnar path: single-table aggregate shapes fold typed
+    // column batches directly — no Row materialization until the result.
+    if vectorized_enabled() {
+        if let Some(result) = try_vectorized(plan, prof)? {
+            return Ok(result);
         }
     }
 
@@ -162,6 +250,21 @@ fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
     let mut bound = vec![first];
     current.retain(|row| residuals_hold(plan, &bound, row));
     prof.note(format!("scan {}", plan.bindings[first].provider.name()), &current, scan_started);
+
+    // ASOF JOIN replaces the generic join loop: match each left row with
+    // the latest right row at-or-before its timestamp (per partition).
+    if let Some(spec) = plan.asof {
+        let asof_started = std::time::Instant::now();
+        current = asof_join(plan, spec, current)?;
+        bound.push(1);
+        current.retain(|row| residuals_hold(plan, &bound, row));
+        prof.note(
+            format!("asof_join {}", plan.bindings[1].provider.name()),
+            &current,
+            asof_started,
+        );
+        return finish(plan, prof, current);
+    }
 
     // Join the rest.
     for &b in order.iter().skip(1) {
@@ -238,34 +341,20 @@ fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
         prof.note(format!("{join_op} {}", provider.name()), &current, join_started);
     }
 
-    // Aggregate or project.
-    let has_agg = plan.output.iter().any(|o| matches!(o, OutputItem::Agg { .. }));
-    let mut columns: Vec<String> = plan
-        .output
-        .iter()
-        .map(|o| match o {
-            OutputItem::Col { name, .. } | OutputItem::Agg { name, .. } => name.clone(),
-        })
-        .collect();
+    finish(plan, prof, current)
+}
+
+/// Shared pipeline tail: aggregate or project, then ORDER BY and LIMIT.
+fn finish(plan: &Plan, prof: &mut ExecProfile, mut current: Vec<Row>) -> Result<QueryResult> {
+    let has_agg =
+        plan.bucket.is_some() || plan.output.iter().any(|o| matches!(o, OutputItem::Agg { .. }));
+    let mut columns = output_columns(plan);
     let mut rows: Vec<Row>;
     let finish_started = std::time::Instant::now();
     if has_agg {
-        rows = aggregate(plan, &current)?;
-        // ORDER BY on aggregate output: sort by matching group-by column
-        // position in the output list.
-        if !plan.order_by.is_empty() {
-            let keys: Vec<(usize, bool)> = plan
-                .order_by
-                .iter()
-                .filter_map(|(c, desc)| {
-                    plan.output
-                        .iter()
-                        .position(|o| matches!(o, OutputItem::Col { col, .. } if col == c))
-                        .map(|i| (i, *desc))
-                })
-                .collect();
-            rows.sort_by(|a, b| compare_rows(a, b, &keys));
-        }
+        let groups = accumulate_rows(plan, &current)?;
+        rows = finalize_groups(plan, groups)?;
+        rows = order_aggregate_output(plan, rows)?;
         prof.note("aggregate", &rows, finish_started);
     } else {
         if !plan.order_by.is_empty() {
@@ -278,7 +367,7 @@ fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
             .iter()
             .map(|o| match o {
                 OutputItem::Col { col, .. } => plan.combined_offset(*col),
-                OutputItem::Agg { .. } => unreachable!(),
+                OutputItem::Agg { .. } | OutputItem::Bucket { .. } => unreachable!(),
             })
             .collect();
         rows = current.iter().map(|r| r.project(&proj)).collect();
@@ -293,6 +382,28 @@ fn run(plan: &Plan, prof: &mut ExecProfile) -> Result<QueryResult> {
         columns = vec!["?".into()];
     }
     Ok(QueryResult { columns, rows })
+}
+
+/// Gap-fill (if requested), then ORDER BY over aggregate output (sort by
+/// matching group-by column position in the output list).
+fn order_aggregate_output(plan: &Plan, mut rows: Vec<Row>) -> Result<Vec<Row>> {
+    if plan.bucket.is_some_and(|b| b.gapfill) {
+        rows = gap_fill_rows(plan, rows)?;
+    }
+    if !plan.order_by.is_empty() {
+        let keys: Vec<(usize, bool)> = plan
+            .order_by
+            .iter()
+            .filter_map(|(c, desc)| {
+                plan.output
+                    .iter()
+                    .position(|o| matches!(o, OutputItem::Col { col, .. } if col == c))
+                    .map(|i| (i, *desc))
+            })
+            .collect();
+        rows.sort_by(|a, b| compare_rows(a, b, &keys));
+    }
+    Ok(rows)
 }
 
 /// The aggregate-pushdown request for a plan whose *shape* allows a native
@@ -314,24 +425,80 @@ pub fn aggregate_pushdown_enabled() -> bool {
     AGG_PUSHDOWN_ENABLED.load(std::sync::atomic::Ordering::SeqCst)
 }
 
+/// Process-wide ablation switch for the vectorized columnar path. On by
+/// default; benches flip it off to measure row-at-a-time execution.
+static VECTORIZED_ENABLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Enable or disable vectorized execution process-wide (ablation knob —
+/// not meant for concurrent toggling while queries run).
+pub fn set_vectorized(enabled: bool) {
+    VECTORIZED_ENABLED.store(enabled, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Whether the vectorized columnar path is currently enabled.
+pub fn vectorized_enabled() -> bool {
+    VECTORIZED_ENABLED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
 /// every residual predicate already implied by a pushed filter (so no row
 /// the provider aggregates was meant to be dropped). `None` otherwise.
 /// Whether the provider actually accepts is its own decision.
 pub(crate) fn aggregate_pushdown_request(plan: &Plan) -> Option<Vec<AggRequest>> {
-    if plan.bindings.len() != 1 || !plan.group_by.is_empty() || plan.output.is_empty() {
+    if plan.bindings.len() != 1
+        || !plan.group_by.is_empty()
+        || plan.output.is_empty()
+        || plan.bucket.is_some()
+        || plan.asof.is_some()
+    {
         return None;
     }
     let aggs: Option<Vec<AggRequest>> = plan
         .output
         .iter()
         .map(|o| match o {
+            // LAST needs the actual newest row, not a mergeable summary —
+            // providers can't answer it from aggregates.
+            OutputItem::Agg { func: AggFunc::Last, .. } => None,
             OutputItem::Agg { func, input, .. } => {
                 Some(AggRequest { func: *func, input: input.map(|c| c.column) })
             }
-            OutputItem::Col { .. } => None,
+            OutputItem::Col { .. } | OutputItem::Bucket { .. } => None,
         })
         .collect();
     let aggs = aggs?;
+    if plan.residual.iter().all(|p| residual_absorbed(plan, p)) {
+        Some(aggs)
+    } else {
+        None
+    }
+}
+
+/// Like [`aggregate_pushdown_request`] but for `GROUP BY time_bucket(...)`
+/// shapes: one table, no other grouping, outputs only the bucket and
+/// summary-mergeable aggregates, WHERE fully absorbed by pushed filters.
+pub(crate) fn bucket_pushdown_request(plan: &Plan) -> Option<Vec<AggRequest>> {
+    plan.bucket?;
+    if plan.bindings.len() != 1
+        || !plan.group_by.is_empty()
+        || plan.output.is_empty()
+        || plan.asof.is_some()
+    {
+        return None;
+    }
+    let mut aggs = Vec::new();
+    for o in &plan.output {
+        match o {
+            OutputItem::Bucket { .. } => {}
+            OutputItem::Agg { func: AggFunc::Last, .. } => return None,
+            OutputItem::Agg { func, input, .. } => {
+                aggs.push(AggRequest { func: *func, input: input.map(|c| c.column) });
+            }
+            OutputItem::Col { .. } => return None,
+        }
+    }
+    if aggs.is_empty() {
+        return None;
+    }
     if plan.residual.iter().all(|p| residual_absorbed(plan, p)) {
         Some(aggs)
     } else {
@@ -439,16 +606,10 @@ fn pred_bound(p: &RPred, bound: &[usize]) -> bool {
     })
 }
 
-#[allow(clippy::match_like_matches_macro)] // the truth table reads better spelled out
 fn eval_pred(plan: &Plan, p: &RPred, row: &Row) -> bool {
     let l = operand_value(plan, &p.left, row);
     let r = operand_value(plan, &p.right, row);
-    match (l.sql_cmp(&r), p.op) {
-        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
-        (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq) => true,
-        (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq) => true,
-        _ => false,
-    }
+    cmp_holds(l.sql_cmp(&r), p.op)
 }
 
 fn operand_value(plan: &Plan, o: &ROperand, row: &Row) -> Datum {
@@ -495,72 +656,188 @@ fn type_rank(d: &Datum) -> u8 {
     }
 }
 
-/// GROUP BY + aggregates (or global aggregates with no GROUP BY).
-fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
-    struct AggState {
-        count: u64,
-        sum: f64,
-        min: Option<Datum>,
-        max: Option<Datum>,
-    }
-    let group_offsets: Vec<usize> =
-        plan.group_by.iter().map(|c| plan.combined_offset(*c)).collect();
-    let mut groups: HashMap<Vec<Datum>, Vec<AggState>> = HashMap::new();
-    let agg_inputs: Vec<Option<usize>> = plan
-        .output
-        .iter()
-        .filter_map(|o| match o {
-            OutputItem::Agg { input, .. } => Some(input.map(|c| plan.combined_offset(c))),
-            OutputItem::Col { .. } => None,
-        })
-        .collect();
+/// Running state of one aggregate in one group — shared between the row
+/// and vectorized paths so both finalize identically.
+struct AggState {
+    count: u64,
+    sum: f64,
+    min: Option<Datum>,
+    max: Option<Datum>,
+    /// LAST: value at the greatest `(ts, id)` key observed, ties going to
+    /// the later observation.
+    last: Option<(i64, i64, Datum)>,
+}
 
-    for row in rows {
-        let key: Vec<Datum> = group_offsets.iter().map(|&o| row.get(o).clone()).collect();
-        let states = groups.entry(key).or_insert_with(|| {
-            agg_inputs
-                .iter()
-                .map(|_| AggState { count: 0, sum: 0.0, min: None, max: None })
-                .collect()
-        });
-        for (st, input) in states.iter_mut().zip(&agg_inputs) {
-            let v = match input {
-                None => Some(Datum::I64(1)), // COUNT(*)
-                Some(off) => {
-                    let d = row.get(*off);
-                    if d.is_null() {
-                        None
-                    } else {
-                        Some(d.clone())
-                    }
-                }
-            };
-            if let Some(d) = v {
-                st.count += 1;
-                if let Some(x) = d.as_f64() {
-                    st.sum += x;
-                }
-                if st.min.as_ref().is_none_or(|m| d.sql_cmp(m) == Some(Ordering::Less)) {
-                    st.min = Some(d.clone());
-                }
-                if st.max.as_ref().is_none_or(|m| d.sql_cmp(m) == Some(Ordering::Greater)) {
-                    st.max = Some(d);
-                }
+impl AggState {
+    fn new() -> Self {
+        AggState { count: 0, sum: 0.0, min: None, max: None, last: None }
+    }
+
+    /// Fold one non-NULL value. `at` carries the `(ts, id)` ordering key
+    /// for LAST (`None` for the other functions).
+    fn observe(&mut self, d: Datum, at: Option<(i64, i64)>) {
+        self.count += 1;
+        if let Some(x) = d.as_f64() {
+            self.sum += x;
+        }
+        if self.min.as_ref().is_none_or(|m| d.sql_cmp(m) == Some(Ordering::Less)) {
+            self.min = Some(d.clone());
+        }
+        if self.max.as_ref().is_none_or(|m| d.sql_cmp(m) == Some(Ordering::Greater)) {
+            self.max = Some(d.clone());
+        }
+        if let Some((ts, id)) = at {
+            if self.last.as_ref().is_none_or(|(lts, lid, _)| (ts, id) >= (*lts, *lid)) {
+                self.last = Some((ts, id, d));
             }
         }
     }
-    // A global aggregate over zero rows still yields one row.
-    if groups.is_empty() && plan.group_by.is_empty() {
-        groups.insert(
-            Vec::new(),
-            agg_inputs
-                .iter()
-                .map(|_| AggState { count: 0, sum: 0.0, min: None, max: None })
-                .collect(),
-        );
-    }
 
-    let mut out = Vec::with_capacity(groups.len());
+    fn finalize(&self, func: AggFunc) -> Datum {
+        match func {
+            AggFunc::Count => Datum::I64(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::F64(self.sum)
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Datum::Null
+                } else {
+                    Datum::F64(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Datum::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Datum::Null),
+            AggFunc::Last => self.last.as_ref().map(|(_, _, d)| d.clone()).unwrap_or(Datum::Null),
+        }
+    }
+}
+
+/// One aggregate output, resolved to combined-row offsets (for a single
+/// binding those equal plain column indices, which is what the vectorized
+/// path relies on).
+struct AggSpec {
+    func: AggFunc,
+    /// Input column offset (`None` for `COUNT(*)`).
+    input: Option<usize>,
+    /// For LAST: offsets of the `(ts column, id column)` ordering key of
+    /// the input's binding (either may be missing).
+    last_at: Option<(Option<usize>, Option<usize>)>,
+}
+
+fn agg_specs(plan: &Plan) -> Vec<AggSpec> {
+    plan.output
+        .iter()
+        .filter_map(|o| match o {
+            OutputItem::Agg { func, input, .. } => {
+                let binding = input.map(|c| c.binding).unwrap_or(0);
+                let last_at =
+                    matches!(func, AggFunc::Last).then(|| last_key_offsets(plan, binding));
+                Some(AggSpec {
+                    func: *func,
+                    input: input.map(|c| plan.combined_offset(c)),
+                    last_at,
+                })
+            }
+            OutputItem::Col { .. } | OutputItem::Bucket { .. } => None,
+        })
+        .collect()
+}
+
+/// Combined offsets of the `(ts, id)` LAST-ordering key of one binding:
+/// its first Ts-typed column and its leading I64 id column (the VTI
+/// layout: `[id, timestamp, tags...]`).
+fn last_key_offsets(plan: &Plan, binding: usize) -> (Option<usize>, Option<usize>) {
+    let schema = plan.bindings[binding].provider.schema();
+    let ts = schema
+        .columns
+        .iter()
+        .position(|c| c.dtype == DataType::Ts)
+        .map(|column| plan.combined_offset(ColRef { binding, column }));
+    let id = (schema.columns.first().map(|c| c.dtype) == Some(DataType::I64))
+        .then(|| plan.combined_offset(ColRef { binding, column: 0 }));
+    (ts, id)
+}
+
+/// Microsecond (or plain integer) view of a bucket / ordering key cell.
+fn row_key_i64(d: &Datum) -> Option<i64> {
+    match d {
+        Datum::Ts(t) => Some(t.0),
+        Datum::I64(v) => Some(*v),
+        _ => None,
+    }
+}
+
+/// A bucket start as a datum of the bucket column's type.
+fn bucket_key_datum(start: i64, dtype: DataType) -> Datum {
+    if dtype == DataType::Ts {
+        Datum::Ts(Timestamp(start))
+    } else {
+        Datum::I64(start)
+    }
+}
+
+/// Bucket a row cell: floor its value to the interval, keeping the
+/// column's type. NULL timestamps land in a NULL bucket.
+fn bucket_datum_of(d: &Datum, interval_us: i64, dtype: DataType) -> Datum {
+    match row_key_i64(d) {
+        Some(v) => bucket_key_datum(v.div_euclid(interval_us) * interval_us, dtype),
+        None => Datum::Null,
+    }
+}
+
+/// Row-path accumulation: fold combined rows into per-group aggregate
+/// states. Group-key layout: `[bucket_start?] ++ group_by datums`.
+fn accumulate_rows(plan: &Plan, rows: &[Row]) -> Result<HashMap<Vec<Datum>, Vec<AggState>>> {
+    let group_offsets: Vec<usize> =
+        plan.group_by.iter().map(|c| plan.combined_offset(*c)).collect();
+    let bucket = plan.bucket.map(|b| {
+        let dtype = plan.bindings[b.col.binding].provider.schema().columns[b.col.column].dtype;
+        (plan.combined_offset(b.col), b.interval_us, dtype)
+    });
+    let specs = agg_specs(plan);
+    let mut groups: HashMap<Vec<Datum>, Vec<AggState>> = HashMap::new();
+    for row in rows {
+        let mut key = Vec::with_capacity(group_offsets.len() + usize::from(bucket.is_some()));
+        if let Some((off, interval, dtype)) = bucket {
+            key.push(bucket_datum_of(row.get(off), interval, dtype));
+        }
+        key.extend(group_offsets.iter().map(|&o| row.get(o).clone()));
+        let states =
+            groups.entry(key).or_insert_with(|| specs.iter().map(|_| AggState::new()).collect());
+        for (st, spec) in states.iter_mut().zip(&specs) {
+            let d = match spec.input {
+                None => Datum::I64(1), // COUNT(*)
+                Some(off) => {
+                    let d = row.get(off);
+                    if d.is_null() {
+                        continue;
+                    }
+                    d.clone()
+                }
+            };
+            let at = spec.last_at.map(|(ts_off, id_off)| {
+                let ts = ts_off.and_then(|o| row_key_i64(row.get(o))).unwrap_or(i64::MIN);
+                let id = id_off.and_then(|o| row_key_i64(row.get(o))).unwrap_or(0);
+                (ts, id)
+            });
+            st.observe(d, at);
+        }
+    }
+    // A global aggregate over zero rows still yields one row.
+    if groups.is_empty() && plan.group_by.is_empty() && plan.bucket.is_none() {
+        groups.insert(Vec::new(), specs.iter().map(|_| AggState::new()).collect());
+    }
+    Ok(groups)
+}
+
+/// Turn per-group states into output rows, sorted by group key.
+fn finalize_groups(plan: &Plan, groups: HashMap<Vec<Datum>, Vec<AggState>>) -> Result<Vec<Row>> {
+    let key_base = usize::from(plan.bucket.is_some());
     let mut keys: Vec<Vec<Datum>> = groups.keys().cloned().collect();
     keys.sort_by(|a, b| {
         for (x, y) in a.iter().zip(b) {
@@ -571,47 +848,433 @@ fn aggregate(plan: &Plan, rows: &[Row]) -> Result<Vec<Row>> {
         }
         Ordering::Equal
     });
+    let mut out = Vec::with_capacity(keys.len());
     for key in keys {
         let states = &groups[&key];
         let mut cells = Vec::with_capacity(plan.output.len());
         let mut agg_i = 0usize;
         for o in &plan.output {
             match o {
+                OutputItem::Bucket { .. } => cells.push(key[0].clone()),
                 OutputItem::Col { col, .. } => {
                     // Must be a GROUP BY column.
                     let pos = plan.group_by.iter().position(|g| g == col).ok_or_else(|| {
                         OdhError::Plan("non-aggregated column must appear in GROUP BY".into())
                     })?;
-                    cells.push(key[pos].clone());
+                    cells.push(key[key_base + pos].clone());
                 }
                 OutputItem::Agg { func, .. } => {
-                    let st = &states[agg_i];
+                    cells.push(states[agg_i].finalize(*func));
                     agg_i += 1;
-                    cells.push(match func {
-                        AggFunc::Count => Datum::I64(st.count as i64),
-                        AggFunc::Sum => {
-                            if st.count == 0 {
-                                Datum::Null
-                            } else {
-                                Datum::F64(st.sum)
-                            }
-                        }
-                        AggFunc::Avg => {
-                            if st.count == 0 {
-                                Datum::Null
-                            } else {
-                                Datum::F64(st.sum / st.count as f64)
-                            }
-                        }
-                        AggFunc::Min => st.min.clone().unwrap_or(Datum::Null),
-                        AggFunc::Max => st.max.clone().unwrap_or(Datum::Null),
-                    });
                 }
             }
         }
         out.push(Row::new(cells));
     }
     Ok(out)
+}
+
+/// Cap on how many buckets gap-fill may materialize (guards a tiny
+/// interval over a huge time range from allocating unboundedly).
+const GAP_FILL_MAX_BUCKETS: i64 = 4 << 20;
+
+/// Fill missing buckets between the observed min and max bucket: COUNT
+/// becomes 0, other aggregates NULL. Outputs marked `interpolate(...)`
+/// then get NULL cells between two non-NULL neighbours replaced by linear
+/// interpolation over bucket distance.
+fn gap_fill_rows(plan: &Plan, rows: Vec<Row>) -> Result<Vec<Row>> {
+    let b = plan.bucket.ok_or_else(|| OdhError::Plan("gap_fill requires time_bucket".into()))?;
+    let bucket_pos =
+        plan.output.iter().position(|o| matches!(o, OutputItem::Bucket { .. })).ok_or_else(
+            || OdhError::Plan("time_bucket_gapfill requires selecting time_bucket".into()),
+        )?;
+    let dtype = plan.bindings[b.col.binding].provider.schema().columns[b.col.column].dtype;
+    // NULL-bucket rows (NULL timestamps) pass through ahead of the filled
+    // range, matching the NULLs-first group ordering.
+    let mut null_rows = Vec::new();
+    let mut by_bucket: std::collections::BTreeMap<i64, Row> = std::collections::BTreeMap::new();
+    for r in rows {
+        match row_key_i64(r.get(bucket_pos)) {
+            Some(k) => {
+                by_bucket.insert(k, r);
+            }
+            None => null_rows.push(r),
+        }
+    }
+    let Some((&lo, _)) = by_bucket.iter().next() else {
+        return Ok(null_rows);
+    };
+    let (&hi, _) = by_bucket.iter().next_back().expect("non-empty map");
+    if (hi - lo) / b.interval_us >= GAP_FILL_MAX_BUCKETS {
+        return Err(OdhError::Plan(format!(
+            "gap_fill would materialize more than {GAP_FILL_MAX_BUCKETS} buckets"
+        )));
+    }
+    let mut filled = null_rows;
+    let fill_from = filled.len();
+    let mut k = lo;
+    loop {
+        match by_bucket.remove(&k) {
+            Some(r) => filled.push(r),
+            None => {
+                let mut cells = vec![Datum::Null; plan.output.len()];
+                cells[bucket_pos] = bucket_key_datum(k, dtype);
+                for (i, o) in plan.output.iter().enumerate() {
+                    if matches!(o, OutputItem::Agg { func: AggFunc::Count, .. }) {
+                        cells[i] = Datum::I64(0);
+                    }
+                }
+                filled.push(Row::new(cells));
+            }
+        }
+        if k >= hi {
+            break;
+        }
+        match k.checked_add(b.interval_us) {
+            Some(next) => k = next,
+            None => break,
+        }
+    }
+    // Linear interpolation of requested outputs across the filled range.
+    for (i, o) in plan.output.iter().enumerate() {
+        if !matches!(o, OutputItem::Agg { interpolate: true, .. }) {
+            continue;
+        }
+        let known: Vec<(usize, f64)> = filled[fill_from..]
+            .iter()
+            .enumerate()
+            .filter_map(|(j, r)| r.get(i).as_f64().map(|v| (fill_from + j, v)))
+            .collect();
+        for w in known.windows(2) {
+            let ((j0, v0), (j1, v1)) = (w[0], w[1]);
+            for (j, row) in filled.iter_mut().enumerate().take(j1).skip(j0 + 1) {
+                if row.get(i).is_null() {
+                    let t = (j - j0) as f64 / (j1 - j0) as f64;
+                    let mut cells = row.cells().to_vec();
+                    cells[i] = Datum::F64(v0 + (v1 - v0) * t);
+                    *row = Row::new(cells);
+                }
+            }
+        }
+    }
+    Ok(filled)
+}
+
+/// ASOF JOIN: pair each left (binding 0) combined row with the latest
+/// right (binding 1) row whose `right_ts` is at-or-before (`<` when
+/// strict) the left row's `left_ts`, within the optional equality
+/// partition. Unmatched left rows keep their NULL right cells.
+fn asof_join(plan: &Plan, spec: AsofSpec, current: Vec<Row>) -> Result<Vec<Row>> {
+    let req = ScanRequest { filters: plan.pushdown[1].clone(), needed: plan.needed[1].clone() };
+    let right_rows = plan.bindings[1].provider.scan(&req)?;
+    let right_off = plan.bindings[0].provider.schema().arity();
+    let r_eq_col = spec.eq.map(|(_, r)| r.column);
+    // Partition → (ts, arrival index), sorted so ties at equal ts resolve
+    // to the later-scanned row.
+    let mut parts: HashMap<Datum, Vec<(i64, usize)>> = HashMap::new();
+    for (idx, r) in right_rows.iter().enumerate() {
+        let Some(ts) = row_key_i64(r.get(spec.right_ts.column)) else { continue };
+        let key = match r_eq_col {
+            Some(c) => {
+                let k = r.get(c);
+                if k.is_null() {
+                    continue; // NULL partitions never match
+                }
+                k.clone()
+            }
+            None => Datum::Null, // single-partition sentinel
+        };
+        parts.entry(key).or_default().push((ts, idx));
+    }
+    for v in parts.values_mut() {
+        v.sort_unstable();
+    }
+    let l_ts_off = plan.combined_offset(spec.left_ts);
+    let l_eq_off = spec.eq.map(|(l, _)| plan.combined_offset(l));
+    let mut out = Vec::with_capacity(current.len());
+    for row in current {
+        let mut matched: Option<&Row> = None;
+        if let Some(lts) = row_key_i64(row.get(l_ts_off)) {
+            let key = match l_eq_off {
+                Some(off) => {
+                    let k = row.get(off);
+                    if k.is_null() {
+                        None
+                    } else {
+                        Some(k.clone())
+                    }
+                }
+                None => Some(Datum::Null),
+            };
+            if let Some(part) = key.and_then(|k| parts.get(&k)) {
+                let cut =
+                    part.partition_point(|&(ts, _)| if spec.strict { ts < lts } else { ts <= lts });
+                if cut > 0 {
+                    matched = Some(&right_rows[part[cut - 1].1]);
+                }
+            }
+        }
+        out.push(match matched {
+            Some(m) => splice(&row, m, right_off),
+            None => row,
+        });
+    }
+    Ok(out)
+}
+
+fn cmp_kernel(op: CmpOp) -> CmpKernel {
+    match op {
+        CmpOp::Eq => CmpKernel::Eq,
+        CmpOp::Neq => CmpKernel::Neq,
+        CmpOp::Lt => CmpKernel::Lt,
+        CmpOp::Gt => CmpKernel::Gt,
+        CmpOp::Le => CmpKernel::Le,
+        CmpOp::Ge => CmpKernel::Ge,
+    }
+}
+
+/// SQL three-valued comparison collapsed to a boolean (UNKNOWN → false).
+#[allow(clippy::match_like_matches_macro)] // the truth table reads better spelled out
+fn cmp_holds(ord: Option<Ordering>, op: CmpOp) -> bool {
+    match (ord, op) {
+        (Some(Ordering::Equal), CmpOp::Eq | CmpOp::Le | CmpOp::Ge) => true,
+        (Some(Ordering::Less), CmpOp::Lt | CmpOp::Le | CmpOp::Neq) => true,
+        (Some(Ordering::Greater), CmpOp::Gt | CmpOp::Ge | CmpOp::Neq) => true,
+        _ => false,
+    }
+}
+
+/// Refine `sel` by one residual predicate (single-binding plans only, so
+/// combined offsets are plain column indices).
+fn apply_residual_vec(p: &RPred, batch: &ColumnBatch, sel: &mut Vec<u32>) {
+    match (&p.left, &p.right) {
+        (ROperand::Col(c), ROperand::Lit(v)) => {
+            filter_cmp(&batch.cols[c.column], cmp_kernel(p.op), v, sel, |d| {
+                cmp_holds(d.sql_cmp(v), p.op)
+            });
+        }
+        (ROperand::Lit(v), ROperand::Col(c)) => {
+            let op = flip_cmp(p.op);
+            filter_cmp(&batch.cols[c.column], cmp_kernel(op), v, sel, |d| {
+                cmp_holds(d.sql_cmp(v), op)
+            });
+        }
+        (ROperand::Col(a), ROperand::Col(b)) => {
+            let (ca, cb) = (a.column, b.column);
+            sel.retain(|&i| {
+                let l = batch.cols[ca].datum(i as usize, batch.dtypes[ca]);
+                let r = batch.cols[cb].datum(i as usize, batch.dtypes[cb]);
+                cmp_holds(l.sql_cmp(&r), p.op)
+            });
+        }
+        (ROperand::Lit(a), ROperand::Lit(b)) => {
+            if !cmp_holds(a.sql_cmp(b), p.op) {
+                sel.clear();
+            }
+        }
+    }
+}
+
+/// The `(ts, id)` LAST-ordering key of row `i` in a batch.
+fn batch_last_key(
+    batch: &ColumnBatch,
+    ts_c: Option<usize>,
+    id_c: Option<usize>,
+    i: usize,
+) -> (i64, i64) {
+    let ts = ts_c.and_then(|c| batch.cols[c].i64_at(i)).unwrap_or(i64::MIN);
+    let id = id_c.and_then(|c| batch.cols[c].i64_at(i)).unwrap_or(0);
+    (ts, id)
+}
+
+/// Generic per-datum fold for one aggregate over the selected rows (the
+/// path for string columns, typed MIN/MAX, and LAST).
+fn fold_datums(st: &mut AggState, spec: &AggSpec, batch: &ColumnBatch, sel: &[u32]) {
+    let c = spec.input.expect("fold_datums requires an input column");
+    let (col, dtype) = (&batch.cols[c], batch.dtypes[c]);
+    for &i in sel {
+        let i = i as usize;
+        let d = col.datum(i, dtype);
+        if d.is_null() {
+            continue;
+        }
+        let at = spec.last_at.map(|(ts_c, id_c)| batch_last_key(batch, ts_c, id_c, i));
+        st.observe(d, at);
+    }
+}
+
+/// Vectorized global (ungrouped) aggregation over one batch.
+fn update_global(states: &mut [AggState], specs: &[AggSpec], batch: &ColumnBatch, sel: &[u32]) {
+    for (st, spec) in states.iter_mut().zip(specs) {
+        let Some(c) = spec.input else {
+            st.count += sel.len() as u64; // COUNT(*)
+            continue;
+        };
+        let col = &batch.cols[c];
+        let dtype = batch.dtypes[c];
+        match spec.func {
+            AggFunc::Count => st.count += count_valid(col, sel).max(0) as u64,
+            AggFunc::Sum | AggFunc::Avg => match numeric_agg(col, sel) {
+                Some(n) => {
+                    st.count += n.count.max(0) as u64;
+                    st.sum += n.sum;
+                }
+                None => fold_datums(st, spec, batch, sel),
+            },
+            // MIN/MAX keep the column's datum type, so the f64 kernel only
+            // applies where the row path would also produce F64 datums.
+            AggFunc::Min | AggFunc::Max
+                if dtype == DataType::F64 || matches!(col, ColVec::Shared { .. }) =>
+            {
+                match numeric_agg(col, sel) {
+                    Some(n) if n.count > 0 => {
+                        st.count += n.count as u64;
+                        st.sum += n.sum;
+                        let lo = Datum::F64(n.min);
+                        if st.min.as_ref().is_none_or(|m| lo.sql_cmp(m) == Some(Ordering::Less)) {
+                            st.min = Some(lo);
+                        }
+                        let hi = Datum::F64(n.max);
+                        if st.max.as_ref().is_none_or(|m| hi.sql_cmp(m) == Some(Ordering::Greater))
+                        {
+                            st.max = Some(hi);
+                        }
+                    }
+                    Some(_) => {}
+                    None => fold_datums(st, spec, batch, sel),
+                }
+            }
+            _ => fold_datums(st, spec, batch, sel),
+        }
+    }
+}
+
+/// Vectorized grouped accumulation (bucket and/or GROUP BY keys) over the
+/// selected rows of one batch.
+fn accumulate_selected(
+    groups: &mut HashMap<Vec<Datum>, Vec<AggState>>,
+    specs: &[AggSpec],
+    batch: &ColumnBatch,
+    sel: &[u32],
+    bucket: Option<(usize, i64, DataType)>,
+    group_cols: &[usize],
+) {
+    for &i in sel {
+        let i = i as usize;
+        let mut key = Vec::with_capacity(group_cols.len() + usize::from(bucket.is_some()));
+        if let Some((c, interval, dtype)) = bucket {
+            key.push(match batch.cols[c].i64_at(i) {
+                Some(v) => bucket_key_datum(v.div_euclid(interval) * interval, dtype),
+                None => Datum::Null,
+            });
+        }
+        for &g in group_cols {
+            key.push(batch.cols[g].datum(i, batch.dtypes[g]));
+        }
+        let states =
+            groups.entry(key).or_insert_with(|| specs.iter().map(|_| AggState::new()).collect());
+        for (st, spec) in states.iter_mut().zip(specs) {
+            let d = match spec.input {
+                None => Datum::I64(1), // COUNT(*)
+                Some(c) => {
+                    let d = batch.cols[c].datum(i, batch.dtypes[c]);
+                    if d.is_null() {
+                        continue;
+                    }
+                    d
+                }
+            };
+            let at = spec.last_at.map(|(ts_c, id_c)| batch_last_key(batch, ts_c, id_c, i));
+            st.observe(d, at);
+        }
+    }
+}
+
+/// Attempt the vectorized columnar path. `Ok(None)` when the plan shape
+/// doesn't qualify or the provider has no columnar scan.
+fn try_vectorized(plan: &Plan, prof: &mut ExecProfile) -> Result<Option<QueryResult>> {
+    if plan.bindings.len() != 1 || plan.asof.is_some() {
+        return Ok(None);
+    }
+    let has_agg =
+        plan.bucket.is_some() || plan.output.iter().any(|o| matches!(o, OutputItem::Agg { .. }));
+    if !has_agg {
+        return Ok(None); // pure projections stay on the row path
+    }
+    let provider = &plan.bindings[0].provider;
+    let started = std::time::Instant::now();
+    let req = ScanRequest { filters: plan.pushdown[0].clone(), needed: plan.needed[0].clone() };
+    let Some(scan) = provider.scan_columnar(&req).transpose()? else {
+        return Ok(None);
+    };
+    let schema = provider.schema();
+    let specs = agg_specs(plan);
+    let bucket =
+        plan.bucket.map(|b| (b.col.column, b.interval_us, schema.columns[b.col.column].dtype));
+    let group_cols: Vec<usize> = plan.group_by.iter().map(|c| c.column).collect();
+    let global = bucket.is_none() && group_cols.is_empty();
+    let any_last = specs.iter().any(|s| s.last_at.is_some());
+    let all_last = !specs.is_empty() && specs.iter().all(|s| s.last_at.is_some());
+
+    let mut batches = scan.batches;
+    // LAST wants newest batches first: the global short-circuit below can
+    // then stop once every state is newer than everything left.
+    if any_last && batches.iter().all(|b| b.ts_range.is_some()) {
+        batches.sort_by_key(|b| std::cmp::Reverse(b.ts_range.map(|(_, hi)| hi)));
+    }
+
+    let mut groups: HashMap<Vec<Datum>, Vec<AggState>> = HashMap::new();
+    let mut global_states: Vec<AggState> = specs.iter().map(|_| AggState::new()).collect();
+    let (mut n_batches, mut rows_in, mut rows_sel) = (0u64, 0u64, 0u64);
+    for batch in &batches {
+        if global && all_last {
+            if let Some((_, hi)) = batch.ts_range {
+                if global_states
+                    .iter()
+                    .all(|st| st.last.as_ref().is_some_and(|(ts, _, _)| *ts >= hi))
+                {
+                    break; // every LAST is already newer than anything left
+                }
+            }
+        }
+        n_batches += 1;
+        rows_in += batch.len as u64;
+        let mut sel = batch.full_selection();
+        for p in &plan.residual {
+            apply_residual_vec(p, batch, &mut sel);
+            if sel.is_empty() {
+                break;
+            }
+        }
+        rows_sel += sel.len() as u64;
+        if sel.is_empty() {
+            continue;
+        }
+        if global {
+            update_global(&mut global_states, &specs, batch, &sel);
+        } else {
+            accumulate_selected(&mut groups, &specs, batch, &sel, bucket, &group_cols);
+        }
+    }
+    if global {
+        groups.insert(Vec::new(), global_states);
+    }
+    let rows = finalize_groups(plan, groups)?;
+    let mut rows = order_aggregate_output(plan, rows)?;
+    if let Some(limit) = plan.limit {
+        rows.truncate(limit);
+    }
+    prof.used_vectorized = true;
+    prof.vectorized_batches += n_batches;
+    prof.vectorized_rows_in += rows_in;
+    prof.vectorized_rows_selected += rows_sel;
+    prof.note_ext(
+        format!("vectorized_agg {}", provider.name()),
+        &rows,
+        started,
+        format!("batches={n_batches} rows_in={rows_in} rows_selected={rows_sel}"),
+    );
+    Ok(Some(QueryResult { columns: output_columns(plan), rows }))
 }
 
 #[cfg(test)]
@@ -869,6 +1532,145 @@ mod tests {
             (0..10).map(|j| 3.0 + j as f64 * 10.0).sum::<f64>()
         );
         assert_eq!(native.calls.load(Relaxed), 2, "SUM declined natively");
+    }
+
+    /// Serializes tests that flip the process-wide vectorized toggle.
+    static VEC_TOGGLE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn time_bucket_groups_rows() {
+        let e = engine();
+        // trade ts = i seconds → 10s buckets hold 10 rows each.
+        let r = e
+            .query(
+                "select time_bucket(10000000, t_dts), COUNT(*), AVG(t_chrg) from trade \
+                 group by time_bucket(10000000, t_dts)",
+            )
+            .unwrap();
+        assert_eq!(r.columns[0], "time_bucket");
+        assert_eq!(r.rows.len(), 10);
+        assert_eq!(r.rows[0].get(0), &Datum::Ts(Timestamp(0)));
+        assert_eq!(r.rows[0].get(1), &Datum::I64(10));
+        // Bucket 0 holds charges 0.0..4.5 → avg 2.25.
+        assert_eq!(r.rows[0].get(2).as_f64().unwrap(), 2.25);
+        assert_eq!(r.rows[9].get(0), &Datum::Ts(Timestamp(90_000_000)));
+    }
+
+    #[test]
+    fn last_aggregate_global_and_grouped() {
+        let e = engine();
+        let r = e.query("select LAST(t_chrg) from trade").unwrap();
+        assert_eq!(r.rows[0].get(0), &Datum::F64(49.5), "newest row's charge");
+        let r = e
+            .query("select t_ca_id, LAST(t_chrg) from trade group by t_ca_id order by t_ca_id")
+            .unwrap();
+        assert_eq!(r.rows.len(), 10);
+        // Group 0 holds rows 0,10,…,90; the newest (i=90) has charge 45.0.
+        assert_eq!(r.rows[0].get(1), &Datum::F64(45.0));
+        assert_eq!(r.rows[9].get(1), &Datum::F64(49.5));
+    }
+
+    #[test]
+    fn gap_fill_and_interpolate() {
+        let e = SqlEngine::new();
+        let t = MemTable::new(RelSchema::new("m", [("ts", DataType::Ts), ("v", DataType::F64)]));
+        t.insert(Row::new(vec![Datum::Ts(Timestamp(0)), Datum::F64(1.0)]));
+        t.insert(Row::new(vec![Datum::Ts(Timestamp(30)), Datum::F64(7.0)]));
+        e.register(t);
+        let r = e
+            .query(
+                "select time_bucket_gapfill(10, ts), COUNT(v), interpolate(AVG(v)) from m \
+                 group by time_bucket_gapfill(10, ts)",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 4, "buckets 0,10,20,30");
+        assert_eq!(r.rows[1].get(0), &Datum::Ts(Timestamp(10)));
+        assert_eq!(r.rows[1].get(1), &Datum::I64(0), "gap bucket COUNT is 0");
+        assert_eq!(r.rows[1].get(2).as_f64().unwrap(), 3.0, "linear between 1 and 7");
+        assert_eq!(r.rows[2].get(2).as_f64().unwrap(), 5.0);
+        assert_eq!(r.rows[3].get(2).as_f64().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn asof_join_matches_latest_at_or_before() {
+        let e = SqlEngine::new();
+        let quotes = MemTable::new(RelSchema::new(
+            "quotes",
+            [("q_id", DataType::I64), ("q_ts", DataType::Ts), ("q_px", DataType::F64)],
+        ));
+        for (id, ts, px) in [(1, 10, 100.0), (1, 20, 101.0), (2, 15, 50.0)] {
+            quotes.insert(Row::new(vec![Datum::I64(id), Datum::Ts(Timestamp(ts)), Datum::F64(px)]));
+        }
+        let trades = MemTable::new(RelSchema::new(
+            "trades",
+            [("tr_id", DataType::I64), ("tr_ts", DataType::Ts)],
+        ));
+        for (id, ts) in [(1, 12), (1, 25), (2, 14), (2, 15)] {
+            trades.insert(Row::new(vec![Datum::I64(id), Datum::Ts(Timestamp(ts))]));
+        }
+        e.register(quotes);
+        e.register(trades);
+        let r = e
+            .query(
+                "select tr_ts, q_px from trades t asof join quotes q \
+                 on q.q_id = t.tr_id and q.q_ts <= t.tr_ts",
+            )
+            .unwrap();
+        let got: Vec<Option<f64>> = r.rows.iter().map(|row| row.get(1).as_f64()).collect();
+        // (1,12)→100 at ts10; (1,25)→101 at ts20; (2,14)→no quote yet (NULL);
+        // (2,15)→50 at ts15 (inclusive).
+        assert_eq!(got, vec![Some(100.0), Some(101.0), None, Some(50.0)]);
+        // Strict variant: (2,15) no longer matches the equal-ts quote.
+        let r = e
+            .query(
+                "select tr_ts, q_px from trades t asof join quotes q \
+                 on q.q_id = t.tr_id and q.q_ts < t.tr_ts",
+            )
+            .unwrap();
+        let got: Vec<Option<f64>> = r.rows.iter().map(|row| row.get(1).as_f64()).collect();
+        assert_eq!(got, vec![Some(100.0), Some(101.0), None, None]);
+    }
+
+    #[test]
+    fn vectorized_and_row_paths_agree() {
+        let _g = VEC_TOGGLE.lock().unwrap();
+        let e = engine();
+        let queries = [
+            "select COUNT(*), SUM(t_chrg), MIN(t_chrg), MAX(t_chrg), AVG(t_chrg) from trade \
+             where t_ca_id > 2 and t_chrg < 40.0",
+            "select t_ca_id, COUNT(*), SUM(t_chrg) from trade group by t_ca_id order by t_ca_id",
+            "select time_bucket(25000000, t_dts), COUNT(*) from trade \
+             group by time_bucket(25000000, t_dts)",
+            "select LAST(t_chrg) from trade where t_ca_id = 7",
+        ];
+        for q in queries {
+            set_vectorized(true);
+            let (vec_res, _, vec_prof) = e.query_profiled(q).unwrap();
+            set_vectorized(false);
+            let (row_res, _, row_prof) = e.query_profiled(q).unwrap();
+            set_vectorized(true);
+            assert!(vec_prof.used_vectorized, "vectorized path must engage for {q}");
+            assert!(!row_prof.used_vectorized);
+            assert_eq!(vec_res, row_res, "paths disagree on {q}");
+        }
+    }
+
+    #[test]
+    fn vectorized_profile_reports_batches_and_selectivity() {
+        let _g = VEC_TOGGLE.lock().unwrap();
+        set_vectorized(true);
+        let e = engine();
+        // `<>` can't be pushed down, so it runs as a selection-vector
+        // kernel — the profile shows rows entering vs surviving it.
+        let (_, _, prof) =
+            e.query_profiled("select COUNT(*) from trade where t_ca_id <> 3").unwrap();
+        assert!(prof.used_vectorized);
+        assert_eq!(prof.vectorized_rows_in, 100);
+        assert_eq!(prof.vectorized_rows_selected, 90);
+        assert!(prof.vectorized_batches >= 1);
+        let rendered = prof.render();
+        assert!(rendered.contains("op=vectorized_agg trade"), "{rendered}");
+        assert!(rendered.contains("rows_in=100 rows_selected=90"), "{rendered}");
     }
 
     #[test]

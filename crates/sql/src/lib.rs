@@ -17,15 +17,23 @@
 //! accessed*) → [`exec`] (index-nested-loop or hash joins, residual
 //! filters, aggregates, ORDER BY/LIMIT).
 //!
-//! Dialect: `SELECT` lists (columns, `*`, `COUNT/SUM/AVG/MIN/MAX`),
-//! comma-separated `FROM` with aliases (implicit joins, as the paper's
-//! examples are written), `WHERE` conjunctions of `=`, `<>`, `<`, `>`,
-//! `<=`, `>=`, `BETWEEN`, `GROUP BY`, `ORDER BY`, `LIMIT`. Identifiers are
-//! case-insensitive; string literals compared to TIMESTAMP columns are
+//! Dialect: `SELECT` lists (columns, `*`, `COUNT/SUM/AVG/MIN/MAX/LAST`,
+//! `time_bucket(interval_us, col)` / `time_bucket_gapfill(...)` with
+//! `interpolate(AGG(col))`), comma-separated `FROM` with aliases (implicit
+//! joins, as the paper's examples are written), `ASOF JOIN ... ON`,
+//! `WHERE` conjunctions of `=`, `<>`, `<`, `>`, `<=`, `>=`, `BETWEEN`,
+//! `GROUP BY` (including `time_bucket`), `ORDER BY`, `LIMIT`. Identifiers
+//! are case-insensitive; string literals compared to TIMESTAMP columns are
 //! parsed as SQL timestamps.
+//!
+//! Execution is vectorized for single-table aggregate shapes: providers
+//! that implement [`provider::TableProvider::scan_columnar`] hand the
+//! executor [`column::ColumnBatch`]es and the residual WHERE clause runs
+//! as selection-vector kernels (see [`column`]).
 
 pub mod ast;
 pub mod catalog;
+pub mod column;
 pub mod exec;
 pub mod optimizer;
 pub mod parser;
@@ -35,10 +43,12 @@ pub mod stats;
 pub mod token;
 
 pub use catalog::Catalog;
+pub use column::{ColVec, ColumnBatch};
 pub use exec::{
-    aggregate_pushdown_enabled, set_aggregate_pushdown, ExecProfile, OpStats, QueryResult,
+    aggregate_pushdown_enabled, set_aggregate_pushdown, set_vectorized, vectorized_enabled,
+    ExecProfile, OpStats, QueryResult,
 };
-pub use provider::{AggRequest, ColumnFilter, MemTable, ScanRequest, TableProvider};
+pub use provider::{AggRequest, ColumnFilter, ColumnarScan, MemTable, ScanRequest, TableProvider};
 
 use odh_types::Result;
 use std::sync::Arc;

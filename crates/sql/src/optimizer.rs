@@ -37,6 +37,13 @@ pub fn optimize(mut plan: Plan) -> Plan {
         plan.estimated_cost = agg_cost.unwrap_or_else(|| scan_cost(&plan, 0));
         return plan;
     }
+    // ASOF JOIN fixes the roles: binding 0 is the probe side, binding 1
+    // the build side — no order enumeration.
+    if plan.asof.is_some() {
+        plan.join_order = vec![0, 1];
+        plan.estimated_cost = scan_cost(&plan, 0) + scan_cost(&plan, 1);
+        return plan;
+    }
     let mut best: Option<(f64, Vec<usize>)> = None;
     let mut order: Vec<usize> = (0..n).collect();
     permute(&mut order, 0, &mut |cand| {

@@ -80,6 +80,17 @@ impl Parser {
         }
         self.expect_kw("from")?;
         let mut from = vec![self.table_ref()?];
+        let mut asof = None;
+        if self.eat_kw("asof") {
+            self.expect_kw("join")?;
+            let right = self.table_ref()?;
+            self.expect_kw("on")?;
+            let mut on = vec![self.predicate()?];
+            while self.eat_kw("and") {
+                on.push(self.predicate()?);
+            }
+            asof = Some(AsofClause { right, on });
+        }
         while self.eat(&Token::Comma) {
             from.push(self.table_ref()?);
         }
@@ -91,11 +102,23 @@ impl Parser {
             }
         }
         let mut group_by = Vec::new();
+        let mut bucket = None;
         if self.eat_kw("group") {
             self.expect_kw("by")?;
-            group_by.push(self.column_name()?);
-            while self.eat(&Token::Comma) {
-                group_by.push(self.column_name()?);
+            loop {
+                match self.bucket_spec()? {
+                    Some(spec) => {
+                        if bucket.replace(spec).is_some() {
+                            return Err(OdhError::Parse(
+                                "at most one time_bucket per GROUP BY".into(),
+                            ));
+                        }
+                    }
+                    None => group_by.push(self.column_name()?),
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
             }
         }
         let mut order_by = Vec::new();
@@ -122,14 +145,73 @@ impl Parser {
                 other => return Err(OdhError::Parse(format!("bad LIMIT value {other:?}"))),
             }
         }
-        Ok(Select { items, from, predicates, group_by, order_by, limit })
+        Ok(Select { items, from, asof, predicates, group_by, bucket, order_by, limit })
+    }
+
+    /// `time_bucket(<interval µs>, <col>)` / `time_bucket_gapfill(...)` if
+    /// the next tokens spell one; `None` leaves the cursor untouched.
+    fn bucket_spec(&mut self) -> Result<Option<BucketSpec>> {
+        let gapfill = match self.peek() {
+            Token::Ident(s) if s.eq_ignore_ascii_case("time_bucket") => false,
+            Token::Ident(s) if s.eq_ignore_ascii_case("time_bucket_gapfill") => true,
+            _ => return Ok(None),
+        };
+        if self.tokens.get(self.pos + 1) != Some(&Token::LParen) {
+            return Ok(None);
+        }
+        self.pos += 2; // name + (
+        let interval_us = match self.literal()? {
+            Literal::Number(n) if n > 0.0 && n.fract() == 0.0 => n as i64,
+            other => {
+                return Err(OdhError::Parse(format!(
+                    "time_bucket interval must be a positive integer (µs), got {other:?}"
+                )))
+            }
+        };
+        if !self.eat(&Token::Comma) {
+            return Err(OdhError::Parse("expected ',' after time_bucket interval".into()));
+        }
+        let col = self.column_name()?;
+        if !self.eat(&Token::RParen) {
+            return Err(OdhError::Parse("expected ')' after time_bucket column".into()));
+        }
+        Ok(Some(BucketSpec { interval_us, col, gapfill }))
     }
 
     fn select_item(&mut self) -> Result<SelectItem> {
         if self.eat(&Token::Star) {
             return Ok(SelectItem::Wildcard);
         }
-        // Aggregate? IDENT '('
+        if let Some(spec) = self.bucket_spec()? {
+            return Ok(SelectItem::Bucket(spec));
+        }
+        // `interpolate(AGG(col))` — gap-fill wrapper around an aggregate.
+        if let Token::Ident(name) = self.peek().clone() {
+            if name.eq_ignore_ascii_case("interpolate")
+                && self.tokens.get(self.pos + 1) == Some(&Token::LParen)
+            {
+                self.pos += 2; // name + (
+                let inner = self.aggregate_item()?.ok_or_else(|| {
+                    OdhError::Parse("interpolate() expects an aggregate argument".into())
+                })?;
+                if !self.eat(&Token::RParen) {
+                    return Err(OdhError::Parse("expected ')' after interpolate".into()));
+                }
+                if let SelectItem::Aggregate { func, col, .. } = inner {
+                    return Ok(SelectItem::Aggregate { func, col, interpolate: true });
+                }
+                unreachable!("aggregate_item only returns Aggregate");
+            }
+        }
+        if let Some(item) = self.aggregate_item()? {
+            return Ok(item);
+        }
+        Ok(SelectItem::Column(self.column_name()?))
+    }
+
+    /// `AGG '(' ... ')'` if the next tokens spell one; `None` leaves the
+    /// cursor untouched.
+    fn aggregate_item(&mut self) -> Result<Option<SelectItem>> {
         if let Token::Ident(name) = self.peek().clone() {
             if let Some(func) = AggFunc::parse(&name) {
                 if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
@@ -138,11 +220,11 @@ impl Parser {
                     if !self.eat(&Token::RParen) {
                         return Err(OdhError::Parse("expected ')' after aggregate".into()));
                     }
-                    return Ok(SelectItem::Aggregate { func, col });
+                    return Ok(Some(SelectItem::Aggregate { func, col, interpolate: false }));
                 }
             }
         }
-        Ok(SelectItem::Column(self.column_name()?))
+        Ok(None)
     }
 
     fn table_ref(&mut self) -> Result<TableRef> {
@@ -150,7 +232,7 @@ impl Parser {
         // Optional alias: a bare identifier that is not a clause keyword.
         let alias = match self.peek() {
             Token::Ident(s)
-                if !["where", "group", "order", "limit", "on", "and"]
+                if !["where", "group", "order", "limit", "on", "and", "asof", "join"]
                     .iter()
                     .any(|k| s.eq_ignore_ascii_case(k)) =>
             {
@@ -305,7 +387,73 @@ mod tests {
         assert_eq!(s.group_by.len(), 1);
         assert!(s.order_by[0].desc);
         assert_eq!(s.limit, Some(10));
-        assert_eq!(s.items[1], SelectItem::Aggregate { func: AggFunc::Count, col: None });
+        assert_eq!(
+            s.items[1],
+            SelectItem::Aggregate { func: AggFunc::Count, col: None, interpolate: false }
+        );
+    }
+
+    #[test]
+    fn parses_time_bucket_group() {
+        let s = parse(
+            "select time_bucket(60000000, timestamp), AVG(speed) from v \
+             group by time_bucket(60000000, timestamp)",
+        )
+        .unwrap();
+        let b = s.bucket.expect("bucket spec");
+        assert_eq!(b.interval_us, 60_000_000);
+        assert_eq!(b.col.column, "timestamp");
+        assert!(!b.gapfill);
+        assert!(matches!(&s.items[0], SelectItem::Bucket(spec) if !spec.gapfill));
+        assert!(s.group_by.is_empty());
+        // gapfill spelling + interpolate wrapper
+        let s = parse(
+            "select time_bucket_gapfill(1000, ts), interpolate(AVG(v)) from m \
+             group by time_bucket_gapfill(1000, ts)",
+        )
+        .unwrap();
+        assert!(s.bucket.unwrap().gapfill);
+        assert!(matches!(
+            &s.items[1],
+            SelectItem::Aggregate { func: AggFunc::Avg, interpolate: true, .. }
+        ));
+        // Bad shapes are rejected.
+        assert!(parse("select time_bucket(0, ts) from m group by time_bucket(0, ts)").is_err());
+        assert!(parse("select interpolate(x) from m").is_err());
+        assert!(parse("select * from m group by time_bucket(5, ts), time_bucket(7, ts)").is_err());
+    }
+
+    #[test]
+    fn parses_last_aggregate() {
+        let s = parse("select id, LAST(speed) from v group by id").unwrap();
+        assert_eq!(
+            s.items[1],
+            SelectItem::Aggregate {
+                func: AggFunc::Last,
+                col: Some(ColumnName { qualifier: None, column: "speed".into() }),
+                interpolate: false
+            }
+        );
+    }
+
+    #[test]
+    fn parses_asof_join() {
+        let s = parse(
+            "select a.timestamp, a.speed, b.rpm from va a asof join vb b \
+             on a.id = b.id and a.timestamp >= b.timestamp \
+             where a.speed > 50 order by a.timestamp limit 10",
+        )
+        .unwrap();
+        let asof = s.asof.expect("asof clause");
+        assert_eq!(asof.right.binding_name(), "b");
+        assert_eq!(asof.on.len(), 2);
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.predicates.len(), 1);
+        assert_eq!(s.limit, Some(10));
+        // Alias must not swallow the ASOF keyword.
+        let s = parse("select * from va asof join vb on va.ts >= vb.ts").unwrap();
+        assert_eq!(s.from[0].alias, None);
+        assert!(s.asof.is_some());
     }
 
     #[test]

@@ -48,8 +48,39 @@ pub struct JoinEdge {
 /// Resolved output item.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OutputItem {
-    Col { col: ColRef, name: String },
-    Agg { func: ast::AggFunc, input: Option<ColRef>, name: String },
+    Col {
+        col: ColRef,
+        name: String,
+    },
+    Agg {
+        func: ast::AggFunc,
+        input: Option<ColRef>,
+        name: String,
+        interpolate: bool,
+    },
+    /// The `time_bucket(...)` group expression.
+    Bucket {
+        name: String,
+    },
+}
+
+/// Resolved `GROUP BY time_bucket(...)` spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanBucket {
+    pub interval_us: i64,
+    pub col: ColRef,
+    pub gapfill: bool,
+}
+
+/// Resolved ASOF JOIN: align each binding-0 row with the latest binding-1
+/// row whose `right_ts` is ≤ (`<` when `strict`) the row's `left_ts`,
+/// within the optional `eq` partition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsofSpec {
+    pub left_ts: ColRef,
+    pub right_ts: ColRef,
+    pub strict: bool,
+    pub eq: Option<(ColRef, ColRef)>,
 }
 
 /// The logical plan handed to the optimizer and executor.
@@ -67,6 +98,10 @@ pub struct Plan {
     pub residual: Vec<RPred>,
     pub output: Vec<OutputItem>,
     pub group_by: Vec<ColRef>,
+    /// `GROUP BY time_bucket(...)` spec, grouped ahead of `group_by`.
+    pub bucket: Option<PlanBucket>,
+    /// ASOF JOIN spec (always binding 0 = left, binding 1 = right).
+    pub asof: Option<AsofSpec>,
     pub order_by: Vec<(ColRef, bool)>,
     pub limit: Option<usize>,
     /// Filled by the optimizer: the estimated cost of the chosen order.
@@ -107,6 +142,8 @@ impl Plan {
                 .join(", ");
             if step == 0 {
                 s.push_str(&format!("scan {}", bt.binding_name));
+            } else if self.asof.is_some() {
+                s.push_str(&format!(" -> asof join {}", bt.binding_name));
             } else {
                 s.push_str(&format!(" -> join {}", bt.binding_name));
             }
@@ -124,8 +161,12 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
     if stmt.from.is_empty() {
         return Err(OdhError::Plan("FROM clause is empty".into()));
     }
-    let bindings: Result<Vec<BoundTable>> = stmt
-        .from
+    if stmt.asof.is_some() && stmt.from.len() != 1 {
+        return Err(OdhError::Plan("ASOF JOIN takes exactly one left table".into()));
+    }
+    let from: Vec<&ast::TableRef> =
+        stmt.from.iter().chain(stmt.asof.iter().map(|a| &a.right)).collect();
+    let bindings: Result<Vec<BoundTable>> = from
         .iter()
         .map(|tr| {
             Ok(BoundTable {
@@ -141,6 +182,10 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
     let mut joins = Vec::new();
     let mut residual = Vec::new();
 
+    // With ASOF, filters on the right side must NOT be pushed into its
+    // scan: dropping right rows before alignment would change which row
+    // is "most recent" for a left row. They stay residual-only.
+    let no_push = |b: usize| stmt.asof.is_some() && b == 1;
     for pred in &stmt.predicates {
         match pred {
             ast::Predicate::Between { col, lo, hi } => {
@@ -148,14 +193,16 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
                 let dtype = resolver.dtype(c);
                 let lo = coerce(lo, dtype)?;
                 let hi = coerce(hi, dtype)?;
-                push_filter(
-                    &mut pushdown[c.binding],
-                    c.column,
-                    ColumnFilter::Range {
-                        lo: Some((lo.clone(), true)),
-                        hi: Some((hi.clone(), true)),
-                    },
-                );
+                if !no_push(c.binding) {
+                    push_filter(
+                        &mut pushdown[c.binding],
+                        c.column,
+                        ColumnFilter::Range {
+                            lo: Some((lo.clone(), true)),
+                            hi: Some((hi.clone(), true)),
+                        },
+                    );
+                }
                 residual.push(RPred {
                     left: ROperand::Col(c),
                     op: CmpOp::Ge,
@@ -171,18 +218,24 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
                 let l = resolver.resolve_operand(left, right)?;
                 let r = resolver.resolve_operand(right, left)?;
                 match (&l, &r, op) {
-                    (ROperand::Col(a), ROperand::Col(b), CmpOp::Eq) if a.binding != b.binding => {
+                    (ROperand::Col(a), ROperand::Col(b), CmpOp::Eq)
+                        if a.binding != b.binding && stmt.asof.is_none() =>
+                    {
                         joins.push(JoinEdge { left: *a, right: *b });
                     }
                     (ROperand::Col(c), ROperand::Lit(v), _) => {
-                        if let Some(f) = filter_from_cmp(*op, v, false) {
-                            push_filter(&mut pushdown[c.binding], c.column, f);
+                        if !no_push(c.binding) {
+                            if let Some(f) = filter_from_cmp(*op, v, false) {
+                                push_filter(&mut pushdown[c.binding], c.column, f);
+                            }
                         }
                         residual.push(RPred { left: l.clone(), op: *op, right: r.clone() });
                     }
                     (ROperand::Lit(v), ROperand::Col(c), _) => {
-                        if let Some(f) = filter_from_cmp(*op, v, true) {
-                            push_filter(&mut pushdown[c.binding], c.column, f);
+                        if !no_push(c.binding) {
+                            if let Some(f) = filter_from_cmp(*op, v, true) {
+                                push_filter(&mut pushdown[c.binding], c.column, f);
+                            }
                         }
                         residual.push(RPred { left: l.clone(), op: *op, right: r.clone() });
                     }
@@ -190,6 +243,71 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
                 }
             }
         }
+    }
+
+    // Resolve the ASOF ON conjuncts: exactly one cross-binding timestamp
+    // inequality, plus at most one cross-binding equality (the partition
+    // key, e.g. `a.id = b.id`).
+    let mut asof: Option<AsofSpec> = None;
+    if let Some(clause) = &stmt.asof {
+        let mut ts_cond: Option<(ColRef, ColRef, bool)> = None;
+        let mut eq: Option<(ColRef, ColRef)> = None;
+        for pred in &clause.on {
+            let ast::Predicate::Cmp { left: Operand::Column(lc), op, right: Operand::Column(rc) } =
+                pred
+            else {
+                return Err(OdhError::Plan(
+                    "ASOF ON accepts only column-to-column comparisons".into(),
+                ));
+            };
+            let l = resolver.resolve(lc)?;
+            let r = resolver.resolve(rc)?;
+            if l.binding == r.binding {
+                return Err(OdhError::Plan("ASOF ON must compare across the two tables".into()));
+            }
+            // Normalize so the pair is (left-table col, right-table col).
+            let (a, b, op) = if l.binding == 0 { (l, r, *op) } else { (r, l, flip_cmp(*op)) };
+            match op {
+                CmpOp::Eq => {
+                    if eq.replace((a, b)).is_some() {
+                        return Err(OdhError::Plan("ASOF ON allows one partition equality".into()));
+                    }
+                }
+                CmpOp::Ge | CmpOp::Gt => {
+                    if ts_cond.replace((a, b, op == CmpOp::Gt)).is_some() {
+                        return Err(OdhError::Plan(
+                            "ASOF ON allows one timestamp inequality".into(),
+                        ));
+                    }
+                }
+                _ => {
+                    return Err(OdhError::Plan(
+                        "ASOF ON timestamp condition must be `left >= right` (or >)".into(),
+                    ))
+                }
+            }
+        }
+        let (left_ts, right_ts, strict) = ts_cond.ok_or_else(|| {
+            OdhError::Plan("ASOF ON needs a `left.ts >= right.ts` condition".into())
+        })?;
+        asof = Some(AsofSpec { left_ts, right_ts, strict, eq });
+    }
+
+    // Resolve the GROUP BY time_bucket(...) spec.
+    let mut bucket: Option<PlanBucket> = None;
+    if let Some(spec) = &stmt.bucket {
+        let col = resolver.resolve(&spec.col)?;
+        let dtype = resolver.dtype(col);
+        if !matches!(dtype, DataType::Ts | DataType::I64) {
+            return Err(OdhError::Plan(format!(
+                "time_bucket column '{}' must be a timestamp or integer",
+                spec.col.column
+            )));
+        }
+        if spec.gapfill && !stmt.group_by.is_empty() {
+            return Err(OdhError::Plan("time_bucket_gapfill supports bucket-only grouping".into()));
+        }
+        bucket = Some(PlanBucket { interval_us: spec.interval_us, col, gapfill: spec.gapfill });
     }
 
     // Output items.
@@ -210,13 +328,46 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
                 let col = resolver.resolve(c)?;
                 output.push(OutputItem::Col { col, name: c.column.clone() });
             }
-            SelectItem::Aggregate { func, col } => {
+            SelectItem::Aggregate { func, col, interpolate } => {
                 let input = col.as_ref().map(|c| resolver.resolve(c)).transpose()?;
+                if *func == ast::AggFunc::Last && input.is_none() {
+                    return Err(OdhError::Plan("LAST needs a column argument".into()));
+                }
+                if *interpolate {
+                    let ok = bucket.map(|b| b.gapfill).unwrap_or(false);
+                    if !ok {
+                        return Err(OdhError::Plan(
+                            "interpolate() requires GROUP BY time_bucket_gapfill".into(),
+                        ));
+                    }
+                }
                 let name = match col {
                     Some(c) => format!("{}({})", func.name(), c.column),
                     None => format!("{}(*)", func.name()),
                 };
-                output.push(OutputItem::Agg { func: *func, input, name });
+                output.push(OutputItem::Agg {
+                    func: *func,
+                    input,
+                    name,
+                    interpolate: *interpolate,
+                });
+            }
+            SelectItem::Bucket(spec) => {
+                let matches_group = stmt
+                    .bucket
+                    .as_ref()
+                    .map(|g| {
+                        g.interval_us == spec.interval_us
+                            && g.col == spec.col
+                            && g.gapfill == spec.gapfill
+                    })
+                    .unwrap_or(false);
+                if !matches_group {
+                    return Err(OdhError::Plan(
+                        "time_bucket in SELECT must match the GROUP BY spec".into(),
+                    ));
+                }
+                output.push(OutputItem::Bucket { name: "time_bucket".into() });
             }
         }
     }
@@ -236,7 +387,30 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
         match item {
             OutputItem::Col { col, .. } => note(*col, &mut needed),
             OutputItem::Agg { input: Some(col), .. } => note(*col, &mut needed),
-            OutputItem::Agg { input: None, .. } => {}
+            OutputItem::Agg { input: None, .. } | OutputItem::Bucket { .. } => {}
+        }
+    }
+    if let Some(b) = &bucket {
+        note(b.col, &mut needed);
+    }
+    if let Some(a) = &asof {
+        note(a.left_ts, &mut needed);
+        note(a.right_ts, &mut needed);
+        if let Some((l, r)) = a.eq {
+            note(l, &mut needed);
+            note(r, &mut needed);
+        }
+    }
+    // LAST orders values by the binding's timestamp column (tie-broken by
+    // the id column), so both must be materialized.
+    if output.iter().any(|o| matches!(o, OutputItem::Agg { func: ast::AggFunc::Last, .. })) {
+        for (bi, b) in bindings.iter().enumerate() {
+            let schema = b.provider.schema();
+            for (ci, col) in schema.columns.iter().enumerate() {
+                if col.dtype == DataType::Ts || ci == 0 {
+                    note(ColRef { binding: bi, column: ci }, &mut needed);
+                }
+            }
         }
     }
     for p in &residual {
@@ -276,10 +450,22 @@ pub fn plan(catalog: &Catalog, stmt: &Select) -> Result<Plan> {
         residual,
         output,
         group_by,
+        bucket,
+        asof,
         order_by,
         limit: stmt.limit,
         estimated_cost: 0.0,
     })
+}
+
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
 }
 
 struct Resolver<'a> {
@@ -511,6 +697,90 @@ mod tests {
         assert_eq!(p.combined_arity(), 5);
         assert_eq!(p.combined_offset(ColRef { binding: 1, column: 1 }), 4);
         assert_eq!(p.output.len(), 5, "wildcard expands over both tables");
+    }
+
+    #[test]
+    fn bucket_resolution_and_validation() {
+        let c = catalog();
+        let p = plan(
+            &c,
+            &parse(
+                "select time_bucket(1000000, t_dts), COUNT(*) from trade \
+                 group by time_bucket(1000000, t_dts)",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let b = p.bucket.unwrap();
+        assert_eq!(b.interval_us, 1_000_000);
+        assert_eq!(b.col, ColRef { binding: 0, column: 0 });
+        assert!(p.needed[0].contains(&0), "bucket column is needed");
+        assert!(matches!(p.output[0], OutputItem::Bucket { .. }));
+        // SELECT bucket must match the GROUP BY spec.
+        assert!(plan(
+            &c,
+            &parse(
+                "select time_bucket(2000000, t_dts) from trade group by time_bucket(1000000, t_dts)"
+            )
+            .unwrap()
+        )
+        .is_err());
+        // Bucketing a string column is rejected.
+        assert!(plan(
+            &c,
+            &parse("select COUNT(*) from account group by time_bucket(1000000, ca_name)").unwrap()
+        )
+        .is_err());
+        // interpolate() without gapfill is rejected.
+        assert!(plan(
+            &c,
+            &parse(
+                "select interpolate(AVG(t_chrg)) from trade group by time_bucket(1000000, t_dts)"
+            )
+            .unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn asof_resolution_and_right_side_pushdown_suppression() {
+        let c = catalog();
+        let p = plan(
+            &c,
+            &parse(
+                "select t.t_chrg from trade t asof join trade u \
+                 on t.t_ca_id = u.t_ca_id and t.t_dts >= u.t_dts \
+                 where u.t_chrg > 3 and t.t_chrg > 1",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let a = p.asof.unwrap();
+        assert_eq!(a.left_ts, ColRef { binding: 0, column: 0 });
+        assert_eq!(a.right_ts, ColRef { binding: 1, column: 0 });
+        assert!(!a.strict);
+        assert_eq!(
+            a.eq,
+            Some((ColRef { binding: 0, column: 1 }, ColRef { binding: 1, column: 1 }))
+        );
+        // Left-side filter pushes; right-side filter must stay residual.
+        assert_eq!(p.pushdown[0].len(), 1);
+        assert!(p.pushdown[1].is_empty(), "right-side filters never push through ASOF");
+        assert_eq!(p.residual.len(), 2);
+        // Reversed spelling normalizes, `>` means strict.
+        let p = plan(
+            &c,
+            &parse("select t.t_chrg from trade t asof join trade u on u.t_dts < t.t_dts").unwrap(),
+        )
+        .unwrap();
+        assert!(p.asof.unwrap().strict);
+        // Missing timestamp condition is rejected.
+        assert!(plan(
+            &c,
+            &parse("select t.t_chrg from trade t asof join trade u on t.t_ca_id = u.t_ca_id")
+                .unwrap()
+        )
+        .is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! which the executor uses for index-nested-loop joins.
 
 use crate::stats::ColumnStats;
-use odh_types::{Datum, RelSchema, Result, Row};
+use odh_types::{DataType, Datum, RelSchema, Result, Row};
 use parking_lot::RwLock;
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -105,6 +105,11 @@ impl ScanRequest {
     }
 }
 
+/// The result of a columnar scan: typed batches, no `Row` materialized.
+pub struct ColumnarScan {
+    pub batches: Vec<crate::column::ColumnBatch>,
+}
+
 /// The VTI contract.
 #[allow(clippy::type_complexity)]
 pub trait TableProvider: Send + Sync {
@@ -122,6 +127,33 @@ pub trait TableProvider: Send + Sync {
     /// return a superset (the executor re-applies every predicate) and may
     /// leave non-`needed` cells NULL.
     fn scan(&self, req: &ScanRequest) -> Result<Vec<Row>>;
+
+    /// Columnar variant of [`TableProvider::scan`]: typed column vectors,
+    /// no per-row materialization. Same superset contract — the vectorized
+    /// executor re-applies every residual predicate through selection
+    /// vectors, so providers may skip row-level filtering entirely (ODH
+    /// virtual tables hand out decode-cache column slices as-is, including
+    /// rows of other sources in an MG batch). `None` declines and the
+    /// executor stays on the row path.
+    fn scan_columnar(&self, _req: &ScanRequest) -> Option<Result<ColumnarScan>> {
+        None
+    }
+
+    /// Answer `GROUP BY time_bucket(interval_us, col)` aggregates natively:
+    /// one `(bucket start, finalized aggregates)` row per non-empty bucket,
+    /// ascending. Accepting providers must honor `filters` exactly (as with
+    /// [`TableProvider::aggregate_scan`]); ODH virtual tables merge
+    /// seal-time summaries of batches that fall wholly inside one bucket
+    /// and decode only bucket-straddling batches. `None` declines.
+    fn bucket_scan(
+        &self,
+        _filters: &[(usize, ColumnFilter)],
+        _bucket_col: usize,
+        _interval_us: i64,
+        _aggs: &[AggRequest],
+    ) -> Option<Result<Vec<(i64, Vec<Datum>)>>> {
+        None
+    }
 
     /// Answer `aggs` natively under `filters`, without materializing rows.
     ///
@@ -218,6 +250,27 @@ impl MemTable {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Observed mean row width in bytes (real string sizes, not 8/cell).
+    fn row_bytes(&self) -> f64 {
+        self.stats.read().iter().map(|s| s.avg_bytes()).sum::<f64>().max(1.0)
+    }
+}
+
+/// Bitmap with every bit set except the listed NULL slots (`None` when
+/// the column has no NULLs).
+fn validity_from_nulls(nulls: &[usize], len: usize) -> Option<Vec<u64>> {
+    if nulls.is_empty() {
+        return None;
+    }
+    let mut bits = crate::column::empty_bitmap(len);
+    for i in 0..len {
+        crate::column::set_bit(&mut bits, i);
+    }
+    for &i in nulls {
+        bits[i >> 6] &= !(1u64 << (i & 63));
+    }
+    Some(bits)
 }
 
 impl TableProvider for MemTable {
@@ -239,12 +292,12 @@ impl TableProvider for MemTable {
     }
 
     fn estimate_cost(&self, req: &ScanRequest) -> f64 {
-        // Memory table: cost ≈ rows touched × row width. Filters do not
+        // Memory table: cost ≈ rows touched × *observed* row width (real
+        // per-column byte sizes — string cells price header + payload, so
+        // string-heavy scans are no longer undercounted). Filters do not
         // reduce touched rows (no ordering), only output.
-        self.len() as f64 * self.schema.arity() as f64 * 8.0 * {
-            let _ = req;
-            1.0
-        }
+        let _ = req;
+        self.len() as f64 * self.row_bytes()
     }
 
     fn scan(&self, req: &ScanRequest) -> Result<Vec<Row>> {
@@ -256,10 +309,71 @@ impl TableProvider for MemTable {
             .collect())
     }
 
+    fn scan_columnar(&self, req: &ScanRequest) -> Option<Result<ColumnarScan>> {
+        use crate::column::{ColVec, ColumnBatch, BATCH_SIZE};
+        let rows = self.rows.read();
+        let keep: Vec<usize> = (0..rows.len())
+            .filter(|&i| req.filters.iter().all(|(c, f)| f.matches(rows[i].get(*c))))
+            .collect();
+        let dtypes: Vec<DataType> = self.schema.columns.iter().map(|c| c.dtype).collect();
+        let mut batches = Vec::with_capacity(keep.len().div_ceil(BATCH_SIZE).max(1));
+        for chunk in keep.chunks(BATCH_SIZE.max(1)) {
+            let len = chunk.len();
+            let mut cols = Vec::with_capacity(dtypes.len());
+            for (ci, &dt) in dtypes.iter().enumerate() {
+                if !req.needed.contains(&ci) {
+                    cols.push(ColVec::Absent);
+                    continue;
+                }
+                let mut nulls: Vec<usize> = Vec::new();
+                let col = match dt {
+                    DataType::I64 | DataType::Ts => {
+                        let mut data = vec![0i64; len];
+                        for (slot, &ri) in chunk.iter().enumerate() {
+                            match rows[ri].get(ci) {
+                                Datum::I64(v) => data[slot] = *v,
+                                Datum::Ts(t) => data[slot] = t.0,
+                                Datum::Null => nulls.push(slot),
+                                _ => return None, // loosely-typed cell: row path
+                            }
+                        }
+                        ColVec::I64 { data, validity: validity_from_nulls(&nulls, len) }
+                    }
+                    DataType::F64 => {
+                        let mut data = vec![0f64; len];
+                        for (slot, &ri) in chunk.iter().enumerate() {
+                            match rows[ri].get(ci) {
+                                Datum::F64(v) => data[slot] = *v,
+                                Datum::I64(v) => data[slot] = *v as f64,
+                                Datum::Null => nulls.push(slot),
+                                _ => return None,
+                            }
+                        }
+                        ColVec::F64 { data, validity: validity_from_nulls(&nulls, len) }
+                    }
+                    DataType::Str => {
+                        let mut data: Vec<std::sync::Arc<str>> = vec!["".into(); len];
+                        for (slot, &ri) in chunk.iter().enumerate() {
+                            match rows[ri].get(ci) {
+                                Datum::Str(s) => data[slot] = s.clone(),
+                                Datum::Null => nulls.push(slot),
+                                _ => return None,
+                            }
+                        }
+                        ColVec::Str { data, validity: validity_from_nulls(&nulls, len) }
+                    }
+                };
+                cols.push(col);
+            }
+            batches.push(ColumnBatch { len, dtypes: dtypes.clone(), cols, ts_range: None });
+        }
+        Some(Ok(ColumnarScan { batches }))
+    }
+
     fn probe_cost(&self, column: usize) -> Option<f64> {
         if self.indexes.read().contains_key(&column) {
             let st = self.stats.read();
-            Some(st[column].rows_per_key() * self.schema.arity() as f64 * 8.0)
+            Some(st[column].rows_per_key() * self.row_bytes())
         } else {
             None
         }

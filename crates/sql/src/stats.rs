@@ -55,12 +55,16 @@ pub struct ColumnStats {
     pub nulls: u64,
     pub min: Option<f64>,
     pub max: Option<f64>,
+    /// Actual accumulated cell bytes (strings at header + payload), so
+    /// cost estimates stop undercounting string-heavy columns.
+    pub bytes: u64,
     hll: HyperLogLog,
 }
 
 impl ColumnStats {
     pub fn observe(&mut self, d: &Datum) {
         self.count += 1;
+        self.bytes += crate::column::datum_bytes(d);
         if d.is_null() {
             self.nulls += 1;
             return;
@@ -76,6 +80,15 @@ impl ColumnStats {
 
     pub fn distinct(&self) -> f64 {
         self.hll.estimate().max(1.0)
+    }
+
+    /// Mean bytes per cell actually observed (8 when nothing observed).
+    pub fn avg_bytes(&self) -> f64 {
+        if self.count == 0 {
+            8.0
+        } else {
+            self.bytes as f64 / self.count as f64
+        }
     }
 
     /// Expected rows matching per distinct key (for index-probe costing).

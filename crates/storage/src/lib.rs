@@ -43,5 +43,5 @@ pub use cache::DecodeCache;
 pub use select::Structure;
 pub use snapshot::{TableConfigSnapshot, TableSnapshot};
 pub use stats::StorageStats;
-pub use table::{OdhTable, RangeAggregate, ScanPoint, TableConfig};
+pub use table::{ColumnarChunk, OdhTable, RangeAggregate, ScanPoint, TableConfig};
 pub use wal::{Wal, WalEntry, WalFrame, WalRecovery, WalStats};

@@ -45,7 +45,7 @@ fn vehicle_historian() -> Historian {
     h
 }
 
-const QUERIES: [&str; 5] = [
+const QUERIES: [&str; 9] = [
     // Whole-fleet aggregate: answered entirely from seal-time summaries.
     "select COUNT(*), AVG(speed), MAX(rpm) from vehicle_data_v",
     // Range aggregate cutting batches mid-way: boundary batches decode.
@@ -56,6 +56,23 @@ const QUERIES: [&str; 5] = [
     "select speed, rpm from vehicle_data_v order by rpm desc limit 5",
     // Re-scan: the decode cache answers, zero fresh decodes.
     "select timestamp, speed from vehicle_data_v where id = 2",
+    // Downsample aligned with the 16-row batch grid: every bucket is
+    // covered by whole batches, answered from summaries without decode.
+    "select time_bucket(16000000, timestamp), COUNT(*), AVG(speed) from vehicle_data_v \
+     group by time_bucket(16000000, timestamp)",
+    // Last-point per vehicle: the vectorized path with newest-first
+    // batch order and early exit.
+    "select id, LAST(speed) from vehicle_data_v group by id",
+    // Gap-filled downsample of one vehicle (dense fixture: no holes,
+    // but the operator pipeline is exercised end to end).
+    "select time_bucket_gapfill(16000000, timestamp), AVG(fuel) from vehicle_data_v \
+     where id = 0 and timestamp between 0 and 95000000 \
+     group by time_bucket_gapfill(16000000, timestamp)",
+    // AS-OF self-join: each sample paired with the freshest sample at
+    // or before it for the same vehicle.
+    "select a.timestamp, a.speed, b.rpm from vehicle_data_v a asof join vehicle_data_v b \
+     on a.id = b.id and a.timestamp >= b.timestamp \
+     where a.id = 1 and a.timestamp between 0 and 10000000",
 ];
 
 /// Replace every wall-clock token (`time=…ns`, `plan_time=…ns`,
@@ -105,21 +122,23 @@ fn explain_analyze_matches_golden() {
     );
 }
 
+fn attribution(report: &str, key: &str) -> u64 {
+    report
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .expect("attribution line present")
+        .parse()
+        .unwrap()
+}
+
 /// The PR's acceptance check: the same aggregate with pushdown enabled
-/// reports zero blob decodes from the registry; with the ablation switch
-/// off it decodes every covered batch.
+/// reports zero blob decodes from the registry; ablating pushdown drops
+/// to the vectorized path (which decodes every batch); ablating that too
+/// falls back to the row scan.
 #[test]
 fn pushdown_ablation_flips_registry_decode_attribution() {
     let _g = PUSHDOWN_LOCK.lock().unwrap();
     let q = "select COUNT(*), AVG(speed), MAX(rpm) from vehicle_data_v";
-    let attribution = |report: &str, key: &str| -> u64 {
-        report
-            .lines()
-            .find_map(|l| l.strip_prefix(&format!("{key}=")))
-            .expect("attribution line present")
-            .parse()
-            .unwrap()
-    };
 
     let h = vehicle_historian();
     let report = h.explain_analyze(q).unwrap();
@@ -127,14 +146,56 @@ fn pushdown_ablation_flips_registry_decode_attribution() {
     assert_eq!(attribution(&report, "summary_answered_batches"), 24, "{report}");
     assert_eq!(attribution(&report, "blob_decodes"), 0, "{report}");
 
-    // Fresh historian (cold decode cache), pushdown ablated: the identical
-    // query decodes every one of the 24 sealed batches.
+    // Fresh historian (cold decode cache), pushdown ablated: vectorized
+    // execution takes over and decodes every one of the 24 sealed batches.
     let h = vehicle_historian();
     odh_sql::set_aggregate_pushdown(false);
     let report = h.explain_analyze(q);
     odh_sql::set_aggregate_pushdown(true);
     let report = report.unwrap();
+    assert!(report.contains("op=vectorized_agg vehicle_data_v"), "{report}");
+    assert_eq!(attribution(&report, "summary_answered_batches"), 0, "{report}");
+    assert_eq!(attribution(&report, "blob_decodes"), 24, "{report}");
+
+    // Both ablated: the original row path, same decode bill.
+    let h = vehicle_historian();
+    odh_sql::set_aggregate_pushdown(false);
+    odh_sql::set_vectorized(false);
+    let report = h.explain_analyze(q);
+    odh_sql::set_aggregate_pushdown(true);
+    odh_sql::set_vectorized(true);
+    let report = report.unwrap();
     assert!(report.contains("op=scan vehicle_data_v"), "{report}");
     assert_eq!(attribution(&report, "summary_answered_batches"), 0, "{report}");
     assert_eq!(attribution(&report, "blob_decodes"), 24, "{report}");
+}
+
+/// Tentpole acceptance: `time_bucket` whose buckets are covered by whole
+/// batches answers from seal-time summaries — zero blob decodes — and
+/// the vectorized profile reports batch/selectivity attribution.
+#[test]
+fn time_bucket_over_covered_batches_decodes_nothing() {
+    let _g = PUSHDOWN_LOCK.lock().unwrap();
+    let h = vehicle_historian();
+    let report = h
+        .explain_analyze(
+            "select time_bucket(16000000, timestamp), COUNT(*), AVG(speed) from vehicle_data_v \
+             group by time_bucket(16000000, timestamp)",
+        )
+        .unwrap();
+    assert!(report.contains("op=bucket_pushdown vehicle_data_v"), "{report}");
+    assert!(report.contains("buckets=6"), "{report}");
+    assert_eq!(attribution(&report, "summary_answered_batches"), 24, "{report}");
+    assert_eq!(attribution(&report, "blob_decodes"), 0, "{report}");
+
+    // The vectorized fallback (pushdown ablated) reports batch counts
+    // and selection-vector selectivity in its operator line.
+    let h = vehicle_historian();
+    odh_sql::set_aggregate_pushdown(false);
+    let report = h.explain_analyze("select id, LAST(speed) from vehicle_data_v group by id");
+    odh_sql::set_aggregate_pushdown(true);
+    let report = report.unwrap();
+    assert!(report.contains("op=vectorized_agg vehicle_data_v"), "{report}");
+    assert!(report.contains("batches="), "{report}");
+    assert!(report.contains("rows_selected="), "{report}");
 }

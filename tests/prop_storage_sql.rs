@@ -9,6 +9,26 @@ use odh_sql::SqlEngine;
 use odh_storage::TableConfig;
 use odh_types::{Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
 use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global execution toggles
+/// (vectorized / aggregate pushdown) so legs never interleave.
+static TOGGLE: Mutex<()> = Mutex::new(());
+
+/// Row-set equality with a relative tolerance on floats: SUM/AVG may
+/// associate differently between the row-at-a-time and vectorized paths.
+fn rows_close(a: &[Row], b: &[Row]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.cells().len() == y.cells().len()
+                && x.cells().iter().zip(y.cells()).all(|(p, q)| match (p, q) {
+                    (Datum::F64(u), Datum::F64(v)) => {
+                        (u - v).abs() <= 1e-6 * u.abs().max(v.abs()).max(1.0)
+                    }
+                    _ => p == q,
+                })
+        })
+}
 
 /// Arbitrary operational stream: (source 0..4, ts, value, maybe-null).
 fn arb_stream() -> impl Strategy<Value = Vec<(u64, i64, f64, bool)>> {
@@ -257,6 +277,184 @@ proptest! {
         prop_assert_eq!(r.rows.len(), expect);
         for row in &r.rows {
             prop_assert_eq!(row.get(0), row.get(1));
+        }
+    }
+
+    /// Tentpole equivalence: every aggregate/group-by/bucket/gap-fill query
+    /// must return the same rows whether it runs through the vectorized
+    /// columnar path or the row-at-a-time fallback — including NULL-dense
+    /// columns, empty tables, and empty buckets.
+    #[test]
+    fn vectorized_matches_row_path_on_random_tables(
+        rows in prop::collection::vec(
+            (0i64..4, 0i64..1000, prop::option::of(-100.0f64..100.0)),
+            0..100,
+        ),
+        bucket in prop_oneof![Just(1_000i64), Just(7_777i64), Just(50_000i64)],
+    ) {
+        let engine = SqlEngine::new();
+        let t = MemTable::new(RelSchema::new(
+            "t",
+            [
+                ("g", odh_types::DataType::I64),
+                ("ts", odh_types::DataType::Ts),
+                ("v", odh_types::DataType::F64),
+            ],
+        ));
+        for (i, &(g, jitter, v)) in rows.iter().enumerate() {
+            // Unique per row so LAST has no tie-break ambiguity between paths.
+            let ts = i as i64 * 1_000 + jitter;
+            t.insert(Row::new(vec![
+                Datum::I64(g),
+                Datum::Ts(Timestamp(ts)),
+                v.map(Datum::F64).unwrap_or(Datum::Null),
+            ]));
+        }
+        engine.register(t);
+        let queries = [
+            "select COUNT(*), COUNT(v), SUM(v), AVG(v), MIN(v), MAX(v) from t".to_string(),
+            "select g, COUNT(*), SUM(v), MIN(v), MAX(v) from t group by g".to_string(),
+            "select g, LAST(v) from t group by g".to_string(),
+            format!(
+                "select time_bucket({bucket}, ts), COUNT(*), AVG(v) from t \
+                 group by time_bucket({bucket}, ts)"
+            ),
+            format!(
+                "select time_bucket_gapfill({bucket}, ts), COUNT(v), interpolate(AVG(v)) \
+                 from t group by time_bucket_gapfill({bucket}, ts)"
+            ),
+        ];
+        let _g = TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        for q in &queries {
+            odh_sql::set_vectorized(true);
+            let vec_r = engine.query(q);
+            odh_sql::set_vectorized(false);
+            let row_r = engine.query(q);
+            odh_sql::set_vectorized(true);
+            let (vec_r, row_r) = (vec_r.unwrap(), row_r.unwrap());
+            prop_assert!(
+                rows_close(&vec_r.rows, &row_r.rows),
+                "query `{}`: vectorized {:?} != row {:?}",
+                q, vec_r.rows, row_r.rows
+            );
+        }
+    }
+
+    /// `time_bucket` over the historian must agree across all three
+    /// execution tiers — summary pushdown, vectorized decode, row-at-a-time
+    /// decode — and match a naive per-bucket fold of the raw stream,
+    /// whether buckets are summary-covered or straddle batch boundaries.
+    #[test]
+    fn time_bucket_pushdown_matches_decode_paths(
+        stream in arb_stream(),
+        win in (0i64..500_000, 1i64..250_000),
+        interval in prop_oneof![
+            Just(1_000i64), Just(16_000i64), Just(80_000i64), Just(300_000i64)
+        ],
+    ) {
+        let h = Historian::builder().servers(2).build().unwrap();
+        h.define_schema_type(
+            TableConfig::new(SchemaType::new("p", ["v"]))
+                .with_batch_size(8)
+                .with_mg_group_size(2),
+        )
+        .unwrap();
+        for id in 0..4u64 {
+            h.register_source("p", SourceId(id), SourceClass::irregular_high()).unwrap();
+        }
+        let w = h.writer("p").unwrap();
+        for &(id, ts, v, null) in &stream {
+            let values = if null { vec![None] } else { vec![Some(v)] };
+            w.write(&Record::new(SourceId(id), Timestamp(ts), values)).unwrap();
+        }
+        h.flush().unwrap();
+
+        let (t1, t2) = (win.0, win.0 + win.1);
+        let sql = format!(
+            "select time_bucket({interval}, timestamp), COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) \
+             from p_v where timestamp between '{}' and '{}' \
+             group by time_bucket({interval}, timestamp)",
+            Timestamp(t1),
+            Timestamp(t2)
+        );
+        let _g = TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        odh_sql::set_aggregate_pushdown(true);
+        odh_sql::set_vectorized(true);
+        let pushed = h.sql(&sql);
+        odh_sql::set_aggregate_pushdown(false);
+        let vectorized = h.sql(&sql);
+        odh_sql::set_vectorized(false);
+        let row = h.sql(&sql);
+        odh_sql::set_vectorized(true);
+        odh_sql::set_aggregate_pushdown(true);
+        drop(_g);
+        let (pushed, vectorized, row) = (pushed.unwrap(), vectorized.unwrap(), row.unwrap());
+        prop_assert!(
+            rows_close(&pushed.rows, &vectorized.rows),
+            "pushdown {:?} != vectorized {:?}", pushed.rows, vectorized.rows
+        );
+        prop_assert!(
+            rows_close(&pushed.rows, &row.rows),
+            "pushdown {:?} != row path {:?}", pushed.rows, row.rows
+        );
+        // Naive model: bucket starts and COUNT(*) from the raw stream.
+        let mut naive: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+        for &(_, ts, _, _) in &stream {
+            if (t1..=t2).contains(&ts) {
+                *naive.entry(ts.div_euclid(interval) * interval).or_default() += 1;
+            }
+        }
+        prop_assert_eq!(pushed.rows.len(), naive.len());
+        for (r, (b, n)) in pushed.rows.iter().zip(&naive) {
+            prop_assert_eq!(r.get(0), &Datum::Ts(Timestamp(*b)));
+            prop_assert_eq!(r.get(1), &Datum::I64(*n));
+        }
+    }
+
+    /// AS-OF join vs a naive nested loop: for every left row, the right
+    /// row with the greatest timestamp at or before it within the same
+    /// partition (later arrival wins timestamp ties), NULL when none.
+    #[test]
+    fn asof_join_matches_naive_nested_loop(
+        left in prop::collection::vec((0i64..3, 0i64..500), 0..40),
+        right in prop::collection::vec((0i64..3, 0i64..500, -50.0f64..50.0), 0..40),
+    ) {
+        let engine = SqlEngine::new();
+        let a = MemTable::new(RelSchema::new(
+            "a",
+            [("k", odh_types::DataType::I64), ("ts", odh_types::DataType::Ts)],
+        ));
+        for &(k, ts) in &left {
+            a.insert(Row::new(vec![Datum::I64(k), Datum::Ts(Timestamp(ts))]));
+        }
+        let b = MemTable::new(RelSchema::new(
+            "b",
+            [
+                ("k", odh_types::DataType::I64),
+                ("ts", odh_types::DataType::Ts),
+                ("v", odh_types::DataType::F64),
+            ],
+        ));
+        for &(k, ts, v) in &right {
+            b.insert(Row::new(vec![Datum::I64(k), Datum::Ts(Timestamp(ts)), Datum::F64(v)]));
+        }
+        engine.register(a);
+        engine.register(b);
+        let r = engine
+            .query("select a.k, a.ts, b.v from a asof join b on a.k = b.k and a.ts >= b.ts")
+            .unwrap();
+        prop_assert_eq!(r.rows.len(), left.len());
+        for (row, &(k, lts)) in r.rows.iter().zip(&left) {
+            prop_assert_eq!(row.get(0), &Datum::I64(k));
+            prop_assert_eq!(row.get(1), &Datum::Ts(Timestamp(lts)));
+            let expect = right
+                .iter()
+                .enumerate()
+                .filter(|(_, (rk, rts, _))| *rk == k && *rts <= lts)
+                .max_by_key(|(idx, (_, rts, _))| (*rts, *idx))
+                .map(|(_, (_, _, v))| Datum::F64(*v))
+                .unwrap_or(Datum::Null);
+            prop_assert_eq!(row.get(2), &expect);
         }
     }
 }
