@@ -1,0 +1,26 @@
+//! Fragmentation-vs-compacted query benchmark.
+//!
+//! Builds a table the way slow sources fragment one — thousands of tiny
+//! sealed batches — measures representative query shapes cold, runs one
+//! generational compaction pass, and re-measures the same shapes on the
+//! same (now compacted) table. Persists `results/BENCH_compact.json`,
+//! which the `compact_gate` binary holds CI against.
+
+use odh_bench::{banner, compact_path_bench, print_compact_report, save_json};
+
+fn main() {
+    banner(
+        "Fragmentation vs compacted generations",
+        "data lifecycle: small-batch merge, summary regeneration",
+    );
+    let report = match compact_path_bench() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: compaction sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_compact_report(&report);
+    let path = save_json("BENCH_compact", &report);
+    println!("saved: {}", path.display());
+}

@@ -1,0 +1,180 @@
+//! CI gate over the committed compaction baseline.
+//!
+//! Re-runs the fragmentation-vs-compacted sweep and checks it against the
+//! committed `results/BENCH_compact.json`:
+//!
+//! - **Batch-count gates** (deterministic, exact): the fragmented
+//!   workload must produce exactly the baseline's sealed-batch count, and
+//!   one compaction pass must reduce it to exactly the baseline's
+//!   compacted count — the merge policy is deterministic, so any drift
+//!   means the compactor's selection or chunking changed.
+//! - **Counter gates**: both aggregate arms stay summary-answered
+//!   (zero blob decodes), and compaction must *shrink* the number of
+//!   batches the aggregate consults.
+//! - **In-run speedup floors**: the compacted table must answer every
+//!   query shape at least `COMPACT_SPEEDUP_FLOOR`x (default 1.2x) faster
+//!   than the fragmented one, and the summary-answered aggregate shapes
+//!   at least `COMPACT_AGG_SPEEDUP_FLOOR`x (default 5x) — ratios taken
+//!   inside a single run, so hardware-independent. (Measured on one
+//!   core: scan ~1.6x, aggregates ~30-45x.)
+//! - **Regression gate**: per op and arm, current qps must stay within
+//!   `BENCH_GATE_TOLERANCE_PCT` (default 50%) of the baseline; the loose
+//!   default reflects shared CI hardware.
+//!
+//! The fresh sweep is saved as `results/BENCH_compact_current.json` for
+//! artifact upload. Exits non-zero on any failure; a missing baseline is
+//! an error (regenerate with `cargo run --release --bin compact_bench`).
+
+use odh_bench::{banner, compact_path_bench, print_compact_report, results_dir, save_json};
+use odh_bench::{CompactBenchOp, CompactBenchReport};
+
+fn env_pct(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn find<'a>(r: &'a CompactBenchReport, op: &str) -> Option<&'a CompactBenchOp> {
+    r.ops.iter().find(|o| o.op == op)
+}
+
+fn main() {
+    banner("Compaction performance gate", "CI guard on the generational compactor");
+    let tolerance = env_pct("BENCH_GATE_TOLERANCE_PCT", 50.0);
+    let speedup_floor = env_pct("COMPACT_SPEEDUP_FLOOR", 1.2);
+    let agg_speedup_floor = env_pct("COMPACT_AGG_SPEEDUP_FLOOR", 5.0);
+
+    let baseline_path = results_dir().join("BENCH_compact.json");
+    let baseline_json = match std::fs::read_to_string(&baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        }
+    };
+    let baseline: CompactBenchReport = match serde_json::from_str(&baseline_json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "FAIL: baseline {} does not parse ({e}); regenerate it with \
+                 `cargo run --release --bin compact_bench`",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+
+    let current = match compact_path_bench() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL: compaction sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = save_json("BENCH_compact_current", &current);
+    println!("current sweep saved: {}", path.display());
+    print_compact_report(&current);
+    println!();
+
+    let mut failures = 0u32;
+    let mut check = |ok: bool, what: &str| {
+        println!("  {} {what}", if ok { "ok    " } else { "FAILED" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // Batch-count gates — the workload and merge policy are
+    // deterministic, so these hold exactly.
+    check(
+        current.batches_before == baseline.batches_before,
+        &format!(
+            "fragmented batch count matches baseline exactly \
+             ({} vs {})",
+            current.batches_before, baseline.batches_before
+        ),
+    );
+    check(
+        current.batches_after == baseline.batches_after,
+        &format!(
+            "compacted batch count matches baseline exactly ({} vs {})",
+            current.batches_after, baseline.batches_after
+        ),
+    );
+    check(
+        current.batches_after < current.batches_before,
+        "compaction reduces the sealed-batch count",
+    );
+    check(current.merged_batches > 0, "compaction merged small batches");
+
+    // Counter gates — pushdown must survive (and shrink) the rewrite.
+    match find(&current, "agg_pushdown_cold") {
+        Some(o) => {
+            check(o.frag_blob_decodes == 0, "fragmented aggregate is summary-answered");
+            check(o.compact_blob_decodes == 0, "compacted aggregate is summary-answered");
+            check(
+                o.compact_summary_answered < o.frag_summary_answered,
+                "compacted aggregate consults fewer batch summaries",
+            );
+        }
+        None => check(false, "agg_pushdown_cold point present"),
+    }
+    match find(&current, "bucket_aligned_cold") {
+        Some(o) => {
+            check(
+                o.compact_blob_decodes == 0,
+                "aligned time_bucket stays decode-free after compaction",
+            );
+        }
+        None => check(false, "bucket_aligned_cold point present"),
+    }
+
+    // In-run speedup floors — fragmented and compacted arms run back to
+    // back in this process, so the ratios are hardware-independent. The
+    // summary-answered shapes must clear the much higher aggregate floor:
+    // their cost is per-batch, so the win tracks the batch reduction.
+    for o in &current.ops {
+        let floor = if o.compact_summary_answered > 0 { agg_speedup_floor } else { speedup_floor };
+        check(
+            o.speedup >= floor,
+            &format!("{}: compacted >= {floor}x fragmented in-run ({:.2}x)", o.op, o.speedup),
+        );
+    }
+
+    // Regression gate — qps tolerance per op and arm against the baseline.
+    println!(
+        "\n{:>22} {:>6} {:>10} {:>10} {:>8}  gate",
+        "op", "arm", "base qps", "now qps", "delta"
+    );
+    for o in &current.ops {
+        let base = find(&baseline, &o.op);
+        for (arm, now_qps, base_qps) in [
+            ("frag", o.frag_qps, base.map(|b| b.frag_qps)),
+            ("comp", o.compact_qps, base.map(|b| b.compact_qps)),
+        ] {
+            let (delta_pct, ok, bq) = match base_qps {
+                Some(bq) => {
+                    let d = (now_qps / bq.max(1e-9) - 1.0) * 100.0;
+                    (d, d >= -tolerance, bq)
+                }
+                None => (0.0, true, f64::NAN),
+            };
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:>22} {:>6} {:>10.1} {:>10.1} {:>+7.1}%  {}",
+                o.op,
+                arm,
+                bq,
+                now_qps,
+                delta_pct,
+                if ok { "ok" } else { "REGRESSED" }
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gate check(s) failed");
+        std::process::exit(1);
+    }
+    println!("PASS");
+}

@@ -741,6 +741,193 @@ pub fn print_query_points(reports: &[QueryBenchPoint]) {
     }
 }
 
+// ------------------------------------------------------------ compaction --
+
+/// One query shape measured on the *same* table before and after one
+/// compaction pass. Both arms run cold (decode caches cleared per
+/// repetition), so the contrast isolates per-batch overhead — B-tree
+/// descents, heap fetches, summary consults, blob decodes — which is
+/// exactly what fragmentation multiplies and compaction collapses.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CompactBenchOp {
+    pub op: String,
+    pub frag_wall_secs: f64,
+    pub frag_qps: f64,
+    pub compact_wall_secs: f64,
+    pub compact_qps: f64,
+    /// frag_wall / compact_wall — the in-run fragmentation tax.
+    pub speedup: f64,
+    pub frag_summary_answered: u64,
+    pub compact_summary_answered: u64,
+    pub frag_blob_decodes: u64,
+    pub compact_blob_decodes: u64,
+}
+
+/// The fragmentation-vs-compacted sweep behind `results/BENCH_compact.json`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CompactBenchReport {
+    pub sources: u64,
+    pub points: u64,
+    /// Rows per sealed fragment in the fragmented phase.
+    pub per_flush: u64,
+    /// Sealed batches across the cluster before / after the pass. The
+    /// workload is deterministic, so CI gates these exactly.
+    pub batches_before: u64,
+    pub batches_after: u64,
+    pub reduction_factor: f64,
+    pub compact_secs: f64,
+    pub merged_batches: u64,
+    pub produced_batches: u64,
+    pub ops: Vec<CompactBenchOp>,
+}
+
+fn cluster_batches(h: &Historian, schema: &str) -> u64 {
+    h.cluster()
+        .servers()
+        .iter()
+        .filter_map(|s| s.table(schema).ok())
+        .map(|t| t.total_batches())
+        .sum()
+}
+
+/// Build the compaction-bench historian: `COMPACT_SOURCES` regular
+/// 1 Hz sources (default 12) with `COMPACT_POINTS` rows each (default
+/// 1536), sealed into tiny `COMPACT_FLUSH_EVERY`-row fragments (default 8)
+/// by flushing mid-fill — the slow-source fragmentation pattern the
+/// compactor exists for (each source ends up with ~192 eight-row batches
+/// instead of six full ones).
+pub fn compact_bench_historian() -> Result<(Arc<Historian>, u64, u64, u64)> {
+    let sources: u64 =
+        std::env::var("COMPACT_SOURCES").ok().and_then(|v| v.parse().ok()).unwrap_or(12);
+    let per_source: i64 =
+        std::env::var("COMPACT_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(1536);
+    let per_flush: i64 =
+        std::env::var("COMPACT_FLUSH_EVERY").ok().and_then(|v| v.parse().ok()).unwrap_or(8);
+    let h = Arc::new(Historian::builder().servers(2).metered_cores(BENCH_CORES).build()?);
+    h.define_schema_type(
+        TableConfig::new(odh_types::SchemaType::new("cb", ["t0", "t1"])).with_batch_size(256),
+    )?;
+    for s in 0..sources {
+        h.register_source(
+            "cb",
+            SourceId(s),
+            SourceClass::regular_high(odh_types::Duration::from_secs(1)),
+        )?;
+    }
+    let w = h.writer("cb")?;
+    for i in 0..per_source {
+        for s in 0..sources {
+            let x = i as f64;
+            w.write(&odh_types::Record::dense(
+                SourceId(s),
+                odh_types::Timestamp(i * 1_000_000),
+                [x, x * 0.25 - s as f64],
+            ))?;
+        }
+        // The fragmenting flush: seals whatever each source buffered.
+        if (i + 1) % per_flush == 0 {
+            h.flush()?;
+        }
+    }
+    h.flush()?;
+    Ok((h, sources, (per_source as u64) * sources, per_flush as u64))
+}
+
+/// Run the fragmentation-vs-compacted sweep: measure each query shape on
+/// the fragmented table, run one compaction pass, re-measure on the same
+/// (now compacted) table.
+pub fn compact_path_bench() -> Result<CompactBenchReport> {
+    let (h, sources, points, per_flush) = compact_bench_historian()?;
+    let repeats: usize =
+        std::env::var("COMPACT_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(9);
+    // Bucket width = 1024 s, the compacted batch span: aligned before
+    // (tiny batches nest inside buckets) and after (merged batches tile
+    // them), so both arms stay summary-answered and the contrast is pure
+    // batch count.
+    let shapes: [(&str, &str); 3] = [
+        ("scan_cold", "select t0, t1 from cb_v"),
+        ("agg_pushdown_cold", "select COUNT(*), SUM(t0), AVG(t1) from cb_v"),
+        (
+            "bucket_aligned_cold",
+            "select time_bucket(1024000000, timestamp), COUNT(*), AVG(t0) from cb_v \
+             group by time_bucket(1024000000, timestamp)",
+        ),
+    ];
+    let run =
+        |op: &str, sql: &str| run_query_point(&h, "cb", op, sql, repeats, true, sources, points);
+
+    let batches_before = cluster_batches(&h, "cb");
+    let mut frag = Vec::new();
+    for (op, sql) in shapes {
+        frag.push(run(op, sql)?);
+    }
+
+    let t0 = std::time::Instant::now();
+    let pass = h.compact()?;
+    let compact_secs = t0.elapsed().as_secs_f64();
+    let batches_after = cluster_batches(&h, "cb");
+
+    let mut ops = Vec::new();
+    for ((op, sql), f) in shapes.iter().zip(&frag) {
+        let c = run(op, sql)?;
+        ops.push(CompactBenchOp {
+            op: op.to_string(),
+            frag_wall_secs: f.wall_secs,
+            frag_qps: f.qps,
+            compact_wall_secs: c.wall_secs,
+            compact_qps: c.qps,
+            speedup: f.wall_secs / c.wall_secs.max(1e-9),
+            frag_summary_answered: f.summary_answered_batches,
+            compact_summary_answered: c.summary_answered_batches,
+            frag_blob_decodes: f.blob_decodes,
+            compact_blob_decodes: c.blob_decodes,
+        });
+    }
+    Ok(CompactBenchReport {
+        sources,
+        points,
+        per_flush,
+        batches_before,
+        batches_after,
+        reduction_factor: batches_before as f64 / batches_after.max(1) as f64,
+        compact_secs,
+        merged_batches: pass.merged_batches,
+        produced_batches: pass.produced_batches,
+        ops,
+    })
+}
+
+/// Shared table printer for the compaction sweep and its gate.
+pub fn print_compact_report(r: &CompactBenchReport) {
+    println!(
+        "batches: {} -> {} ({:.1}x reduction), pass {:.1} ms \
+         ({} merged -> {} produced)",
+        r.batches_before,
+        r.batches_after,
+        r.reduction_factor,
+        r.compact_secs * 1e3,
+        r.merged_batches,
+        r.produced_batches
+    );
+    println!(
+        "{:>22} {:>12} {:>12} {:>8} {:>9} {:>9} {:>8} {:>8}",
+        "op", "frag ms", "compact ms", "speedup", "summ(f)", "summ(c)", "dec(f)", "dec(c)"
+    );
+    for o in &r.ops {
+        println!(
+            "{:>22} {:>12.3} {:>12.3} {:>7.2}x {:>9} {:>9} {:>8} {:>8}",
+            o.op,
+            o.frag_wall_secs * 1e3,
+            o.compact_wall_secs * 1e3,
+            o.speedup,
+            o.frag_summary_answered,
+            o.compact_summary_answered,
+            o.frag_blob_decodes,
+            o.compact_blob_decodes
+        );
+    }
+}
+
 // -------------------------------------------------------------- results --
 
 /// Repo-level `results/` directory.

@@ -204,6 +204,15 @@ impl Cluster {
         Ok(moved)
     }
 
+    /// Run one generational compaction pass on every server.
+    pub fn compact(&self) -> Result<odh_storage::CompactReport> {
+        let mut report = odh_storage::CompactReport::default();
+        for s in &self.servers {
+            report.absorb(&s.compact()?);
+        }
+        Ok(report)
+    }
+
     pub fn storage_bytes(&self) -> u64 {
         self.servers.iter().map(|s| s.storage_bytes()).sum()
     }

@@ -237,6 +237,9 @@ pub struct ExplainStats {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub blob_decodes: u64,
+    /// Cold-tier batches read (always cache-bypassing; see the storage
+    /// crate's compaction module).
+    pub cold_batches_scanned: u64,
 }
 
 impl ExplainStats {
@@ -249,17 +252,21 @@ impl ExplainStats {
             cache_hits: later.cache_hits.saturating_sub(self.cache_hits),
             cache_misses: later.cache_misses.saturating_sub(self.cache_misses),
             blob_decodes: later.blob_decodes.saturating_sub(self.blob_decodes),
+            cold_batches_scanned: later
+                .cold_batches_scanned
+                .saturating_sub(self.cold_batches_scanned),
         }
     }
 }
 
 /// Registry counters whose per-query movement EXPLAIN ANALYZE reports
 /// (summed across all tables and servers).
-const ATTRIBUTION_COUNTERS: [&str; 4] = [
+const ATTRIBUTION_COUNTERS: [&str; 5] = [
     "odh_table_summary_answered_batches_total",
     "odh_table_cache_hits_total",
     "odh_table_cache_misses_total",
     "odh_table_blob_decodes_total",
+    "odh_table_cold_batches_scanned_total",
 ];
 
 /// The ODH system.
@@ -500,6 +507,15 @@ impl Historian {
         self.cluster.reorganize()
     }
 
+    /// Run one generational compaction pass across the cluster (merge
+    /// small sealed batches, demote cold generations, drop expired ones).
+    /// Background workers do this on their own when tables are configured
+    /// with a compaction interval; this is the manual/administrative
+    /// trigger. Returns the summed per-table reports.
+    pub fn compact(&self) -> Result<odh_storage::CompactReport> {
+        self.cluster.compact()
+    }
+
     /// Total on-disk operational storage (Table 7 metric).
     pub fn storage_bytes(&self) -> u64 {
         self.cluster.storage_bytes()
@@ -517,6 +533,7 @@ impl Historian {
                 out.cache_hits += snap.cache_hits.unwrap_or(0);
                 out.cache_misses += snap.cache_misses.unwrap_or(0);
                 out.blob_decodes += snap.blob_decodes.unwrap_or(0);
+                out.cold_batches_scanned += snap.cold_batches_scanned.unwrap_or(0);
             }
         }
         out

@@ -218,6 +218,7 @@ impl DataServer {
                 let table =
                     Arc::new(OdhTable::restore(server.pool.clone(), server.meter.clone(), snap)?);
                 table.start_seal_pipeline();
+                table.start_compactor();
                 g.insert(name.clone(), table);
             }
         }
@@ -265,6 +266,7 @@ impl DataServer {
                     let t = Arc::new(OdhTable::create(self.pool.clone(), self.meter.clone(), cfg)?);
                     t.attach_wal(wal.clone(), *table, false)?;
                     t.start_seal_pipeline();
+                    t.start_compactor();
                     g.insert(name, t.clone());
                     drop(g);
                     by_id.insert(*table, t);
@@ -418,6 +420,7 @@ impl DataServer {
             table.attach_wal(wal.clone(), tid, true)?;
         }
         table.start_seal_pipeline();
+        table.start_compactor();
         g.insert(name, table.clone());
         Ok(table)
     }
@@ -450,6 +453,17 @@ impl DataServer {
             moved += t.reorganize()?;
         }
         Ok(moved)
+    }
+
+    /// Run one compaction pass over every table (see
+    /// [`odh_storage::compact`]); reports are summed.
+    pub fn compact(&self) -> Result<odh_storage::CompactReport> {
+        let tables: Vec<_> = self.tables.read().values().cloned().collect();
+        let mut report = odh_storage::CompactReport::default();
+        for t in tables {
+            report.absorb(&t.compact()?);
+        }
+        Ok(report)
     }
 }
 

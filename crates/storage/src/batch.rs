@@ -341,6 +341,34 @@ impl Batch {
             Batch::Mg(_) => None,
         }
     }
+
+    /// B-tree key of this batch in its container.
+    pub fn key(&self) -> Vec<u8> {
+        match self {
+            Batch::Rts(b) => b.key(),
+            Batch::Irts(b) => b.key(),
+            Batch::Mg(b) => b.key(),
+        }
+    }
+
+    /// Re-serialize to the heap payload form (the compactor copies
+    /// already-large batches between generations without re-encoding).
+    pub fn serialize(&self) -> Vec<u8> {
+        match self {
+            Batch::Rts(b) => b.serialize(),
+            Batch::Irts(b) => b.serialize(),
+            Batch::Mg(b) => b.serialize(),
+        }
+    }
+
+    /// Explicit timestamps of every point (materialized for RTS).
+    pub fn timestamps(&self) -> Vec<i64> {
+        match self {
+            Batch::Rts(b) => b.timestamps(),
+            Batch::Irts(b) => b.timestamps.clone(),
+            Batch::Mg(b) => b.timestamps.clone(),
+        }
+    }
 }
 
 fn bounds(ts: &[i64]) -> Result<(i64, i64)> {

@@ -27,6 +27,7 @@ pub mod batch;
 pub mod blob;
 pub mod buffer;
 pub mod cache;
+pub mod compact;
 pub mod container;
 pub mod reorg;
 pub mod seal;
@@ -40,6 +41,7 @@ pub mod wal;
 pub use batch::TagSummary;
 pub use blob::{SealScratch, ValueBlob};
 pub use cache::DecodeCache;
+pub use compact::CompactReport;
 pub use select::Structure;
 pub use snapshot::{TableConfigSnapshot, TableSnapshot};
 pub use stats::StorageStats;

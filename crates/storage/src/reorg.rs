@@ -72,6 +72,9 @@ impl OdhTable {
                 let chunk_ts = &ts[start..end];
                 let chunk_cols: Vec<Vec<Option<f64>>> =
                     cols.iter().map(|c| c[start..end].to_vec()).collect();
+                // Hold the generation lock across each insert so the
+                // rewritten batch can never land in a generation the
+                // compactor has already swapped out (see `install_built`).
                 match class.interval() {
                     Some(interval) if is_regular_run(chunk_ts, interval.micros()) => {
                         let blob = ValueBlob::encode(chunk_ts, &chunk_cols, policy);
@@ -84,7 +87,7 @@ impl OdhTable {
                             summaries: Some(summarize_columns(&chunk_cols)),
                         };
                         let span = batch.end() - batch.begin;
-                        self.rts.insert(&batch.key(), &batch.serialize(), span)?;
+                        self.rts.read().insert(&batch.key(), &batch.serialize(), span)?;
                     }
                     _ => {
                         let blob = ValueBlob::encode(chunk_ts, &chunk_cols, policy);
@@ -97,7 +100,7 @@ impl OdhTable {
                             summaries: Some(summarize_columns(&chunk_cols)),
                         };
                         let span = batch.end - batch.begin;
-                        self.irts.insert(&batch.key(), &batch.serialize(), span)?;
+                        self.irts.read().insert(&batch.key(), &batch.serialize(), span)?;
                     }
                 }
                 self.stats.batches_reorganized.inc();
@@ -114,11 +117,11 @@ impl OdhTable {
     }
 }
 
-fn is_regular_run(ts: &[i64], interval: i64) -> bool {
+pub(crate) fn is_regular_run(ts: &[i64], interval: i64) -> bool {
     ts.windows(2).all(|w| w[1] - w[0] == interval)
 }
 
-fn sort_by_ts(ts: &mut [i64], cols: &mut [Vec<Option<f64>>]) {
+pub(crate) fn sort_by_ts(ts: &mut [i64], cols: &mut [Vec<Option<f64>>]) {
     if ts.windows(2).all(|w| w[0] <= w[1]) {
         return;
     }

@@ -26,6 +26,9 @@ pub struct TableSnapshot {
     pub rts: ContainerSnapshot,
     pub irts: ContainerSnapshot,
     pub mg: ContainerSnapshot,
+    /// Cold-tier generation; `None` in pre-compaction snapshots (an empty
+    /// cold container is created on restore).
+    pub cold: Option<ContainerSnapshot>,
     pub reorganized: bool,
     pub stats: StatsSnapshot,
     /// Sealed low-water marks (highest container-sealed WAL LSN) per
@@ -55,6 +58,14 @@ pub struct TableConfigSnapshot {
     pub seal_workers: Option<usize>,
     /// Seal queue depth; `None` in pre-pipeline snapshots.
     pub seal_queue_depth: Option<usize>,
+    /// Compaction knobs; all `None` in pre-compaction snapshots
+    /// (treated as the defaults: merge below batch_size, target 4×,
+    /// no cold tier, no TTL, manual compaction only).
+    pub compact_min_batch: Option<usize>,
+    pub compact_target_batch: Option<usize>,
+    pub cold_after_us: Option<i64>,
+    pub retention_ttl_us: Option<i64>,
+    pub compact_interval_ms: Option<u64>,
 }
 
 impl From<&TableConfig> for TableConfigSnapshot {
@@ -68,13 +79,18 @@ impl From<&TableConfig> for TableConfigSnapshot {
             decode_cache_bytes: Some(c.decode_cache_bytes),
             seal_workers: Some(c.seal_workers),
             seal_queue_depth: Some(c.seal_queue_depth),
+            compact_min_batch: Some(c.compact_min_batch),
+            compact_target_batch: Some(c.compact_target_batch),
+            cold_after_us: Some(c.cold_after_us),
+            retention_ttl_us: Some(c.retention_ttl_us),
+            compact_interval_ms: Some(c.compact_interval_ms),
         }
     }
 }
 
 impl From<&TableConfigSnapshot> for TableConfig {
     fn from(s: &TableConfigSnapshot) -> Self {
-        TableConfig::new(s.schema.clone())
+        let mut cfg = TableConfig::new(s.schema.clone())
             .with_batch_size(s.batch_size)
             .with_policy(s.policy)
             .with_mg_group_size(s.mg_group_size)
@@ -85,7 +101,15 @@ impl From<&TableConfigSnapshot> for TableConfig {
             .with_seal_workers(s.seal_workers.unwrap_or_else(crate::table::default_seal_workers))
             .with_seal_queue_depth(
                 s.seal_queue_depth.unwrap_or(crate::table::DEFAULT_SEAL_QUEUE_DEPTH),
-            )
+            );
+        // Raw microsecond/knob fields round-trip directly (the builders
+        // exist for the Duration-typed public API).
+        cfg.compact_min_batch = s.compact_min_batch.unwrap_or(0);
+        cfg.compact_target_batch = s.compact_target_batch.unwrap_or(0);
+        cfg.cold_after_us = s.cold_after_us.unwrap_or(0);
+        cfg.retention_ttl_us = s.retention_ttl_us.unwrap_or(0);
+        cfg.compact_interval_ms = s.compact_interval_ms.unwrap_or(0);
+        cfg
     }
 }
 
@@ -125,12 +149,17 @@ impl OdhTable {
         let mut mg_sealed: Vec<(u32, u64)> =
             self.mg_sealed.lock().iter().map(|(&g, &l)| (g, l)).collect();
         mg_sealed.sort_unstable();
+        // Exclude a concurrent compaction pass: a checkpoint must not
+        // capture one generation pre-swap and another post-swap (points
+        // would be doubled or lost in the image).
+        let _no_compact = self.compact_lock.lock();
         Ok(TableSnapshot {
             config: TableConfigSnapshot::from(self.config()),
             sources,
-            rts: self.rts.snapshot(),
-            irts: self.irts.snapshot(),
+            rts: self.rts.read().snapshot(),
+            irts: self.irts.read().snapshot(),
             mg: self.mg.read().snapshot(),
+            cold: Some(self.cold.read().snapshot()),
             reorganized: self.reorganized.load(std::sync::atomic::Ordering::Acquire),
             stats,
             sealed: Some(sealed),
@@ -146,6 +175,12 @@ impl OdhTable {
         snap: &TableSnapshot,
     ) -> Result<OdhTable> {
         pool.set_hook(Arc::new(MeterIoHook(meter.clone())));
+        let cold = match &snap.cold {
+            Some(c) => Container::restore(pool.clone(), c),
+            // Pre-compaction snapshot: start with an empty cold tier (the
+            // structure tag is nominal — cold batches self-describe).
+            None => Container::create(pool.clone(), crate::select::Structure::Irts)?,
+        };
         let table = OdhTable::from_parts(
             TableConfig::from(&snap.config),
             pool.clone(),
@@ -153,6 +188,7 @@ impl OdhTable {
             Container::restore(pool.clone(), &snap.rts),
             Container::restore(pool.clone(), &snap.irts),
             Container::restore(pool, &snap.mg),
+            cold,
             snap.reorganized,
             StorageStats::from_snapshot(&snap.stats),
         );

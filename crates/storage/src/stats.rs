@@ -45,6 +45,11 @@ pub struct StorageStats {
     /// ValueBlob tag-section decode events (one per batch whose requested
     /// tags were not already decoded in cache).
     pub blob_decodes: Arc<Counter>,
+    /// Cold-tier batches read during scans/aggregates. Cold reads bypass
+    /// the decode cache entirely, so this is the demotion-policy feedback
+    /// signal: a hot query set touching cold batches means `cold_after`
+    /// is too aggressive.
+    pub cold_batches_scanned: Arc<Counter>,
 }
 
 /// Snapshot of [`StorageStats`].
@@ -66,6 +71,8 @@ pub struct StatsSnapshot {
     pub cache_hits: Option<u64>,
     pub cache_misses: Option<u64>,
     pub blob_decodes: Option<u64>,
+    // Added with the compaction/tiering PR; `Option` for old snapshots.
+    pub cold_batches_scanned: Option<u64>,
 }
 
 impl Default for StatsSnapshot {
@@ -85,6 +92,7 @@ impl Default for StatsSnapshot {
             cache_hits: Some(0),
             cache_misses: Some(0),
             blob_decodes: Some(0),
+            cold_batches_scanned: Some(0),
         }
     }
 }
@@ -132,6 +140,7 @@ impl StorageStats {
             ("odh_table_cache_hits_total", &self.cache_hits),
             ("odh_table_cache_misses_total", &self.cache_misses),
             ("odh_table_blob_decodes_total", &self.blob_decodes),
+            ("odh_table_cold_batches_scanned_total", &self.cold_batches_scanned),
         ] {
             registry.adopt_counter(name, labels, counter);
         }
@@ -161,6 +170,7 @@ impl StorageStats {
             cache_hits: Some(self.cache_hits.get()),
             cache_misses: Some(self.cache_misses.get()),
             blob_decodes: Some(self.blob_decodes.get()),
+            cold_batches_scanned: Some(self.cold_batches_scanned.get()),
         }
     }
 }
@@ -177,6 +187,7 @@ pub(crate) struct ReadTally {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub blob_decodes: u64,
+    pub cold_batches_scanned: u64,
 }
 
 impl ReadTally {
@@ -186,6 +197,7 @@ impl ReadTally {
         stats.cache_hits.add(self.cache_hits);
         stats.cache_misses.add(self.cache_misses);
         stats.blob_decodes.add(self.blob_decodes);
+        stats.cold_batches_scanned.add(self.cold_batches_scanned);
     }
 }
 

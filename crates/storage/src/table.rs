@@ -12,7 +12,7 @@ use crate::buffer::{MgBuffer, SourceBuffer};
 use crate::cache::{CachedBatch, DecodeCache};
 use crate::container::Container;
 use crate::seal::{JobKind, PendingSeal, SealPipeline, Wake};
-use crate::select::{historical_structure, ingestion_structure, Structure};
+use crate::select::{ingestion_structure, Structure};
 use crate::stats::{MeterIoHook, ReadTally, StorageStats};
 use crate::stripe::StripedBuffers;
 use crate::wal::Wal;
@@ -67,6 +67,25 @@ pub struct TableConfig {
     /// Bounded seal-queue depth; a full queue falls back to inline
     /// sealing (backpressure, never unbounded memory).
     pub seal_queue_depth: usize,
+    /// Sealed batches smaller than this many rows are compaction
+    /// candidates; `0` means "smaller than `batch_size`" (any batch a
+    /// premature flush truncated). See [`crate::compact`].
+    pub compact_min_batch: usize,
+    /// Row target of a merged generation; `0` means `4 * batch_size`
+    /// (compaction re-encodes candidate runs into windows this big, so
+    /// the codec choice and TagSummary blocks see more context).
+    pub compact_target_batch: usize,
+    /// Age (µs behind the table's max timestamp) after which a batch the
+    /// compactor touches is demoted to the cold generation, whose reads
+    /// bypass the decode cache; `0` disables the cold tier.
+    pub cold_after_us: i64,
+    /// Retention TTL (µs behind the table's max timestamp). Batches whose
+    /// whole span has expired are dropped by the compactor, and reads
+    /// clamp their range to the retention floor; `0` keeps data forever.
+    pub retention_ttl_us: i64,
+    /// Background compaction period (ms); `0` means no worker — callers
+    /// drive [`OdhTable::compact`] explicitly.
+    pub compact_interval_ms: u64,
 }
 
 impl TableConfig {
@@ -80,6 +99,11 @@ impl TableConfig {
             decode_cache_bytes: DEFAULT_DECODE_CACHE_BYTES,
             seal_workers: default_seal_workers(),
             seal_queue_depth: DEFAULT_SEAL_QUEUE_DEPTH,
+            compact_min_batch: 0,
+            compact_target_batch: 0,
+            cold_after_us: 0,
+            retention_ttl_us: 0,
+            compact_interval_ms: 0,
         }
     }
 
@@ -120,6 +144,57 @@ impl TableConfig {
         assert!(d >= 1);
         self.seal_queue_depth = d;
         self
+    }
+
+    /// `0` means "smaller than `batch_size`".
+    pub fn with_compact_min_batch(mut self, rows: usize) -> TableConfig {
+        self.compact_min_batch = rows;
+        self
+    }
+
+    /// `0` means `4 * batch_size`.
+    pub fn with_compact_target_batch(mut self, rows: usize) -> TableConfig {
+        self.compact_target_batch = rows;
+        self
+    }
+
+    /// Demote batches older than `age` (behind the max ingested timestamp)
+    /// to the cold generation on the next compaction.
+    pub fn with_cold_after(mut self, age: odh_types::Duration) -> TableConfig {
+        assert!(age.micros() >= 0);
+        self.cold_after_us = age.micros();
+        self
+    }
+
+    /// Drop data older than `ttl` behind the max ingested timestamp.
+    pub fn with_retention_ttl(mut self, ttl: odh_types::Duration) -> TableConfig {
+        assert!(ttl.micros() >= 0);
+        self.retention_ttl_us = ttl.micros();
+        self
+    }
+
+    /// `0` disables the background compactor (manual compaction only).
+    pub fn with_compact_interval_ms(mut self, ms: u64) -> TableConfig {
+        self.compact_interval_ms = ms;
+        self
+    }
+
+    /// Resolved small-batch threshold (see [`TableConfig::compact_min_batch`]).
+    pub fn compact_min_rows(&self) -> usize {
+        if self.compact_min_batch == 0 {
+            self.batch_size
+        } else {
+            self.compact_min_batch
+        }
+    }
+
+    /// Resolved merged-generation row target.
+    pub fn compact_target_rows(&self) -> usize {
+        if self.compact_target_batch == 0 {
+            self.batch_size.saturating_mul(4)
+        } else {
+            self.compact_target_batch
+        }
     }
 }
 
@@ -205,15 +280,18 @@ impl ColumnarChunk {
 /// reader can walk a container before the insert and the buffer after the
 /// take, missing whole batches (counts go backwards under live writers).
 #[derive(Default)]
-struct SealSync {
+pub(crate) struct SealSync {
     started: std::sync::atomic::AtomicU64,
     done: std::sync::atomic::AtomicU64,
 }
 
 impl SealSync {
     /// Writer side: RAII ticket held from before the buffer take until the
-    /// batch is queryable (dropped on error paths too).
-    fn begin(&self) -> SealTicket<'_> {
+    /// batch is queryable (dropped on error paths too). The compactor
+    /// holds one across its generation swaps for the same reason: any
+    /// composite read that overlaps the swap retries, so a reader can
+    /// never see a batch in both its old and new generation (or neither).
+    pub(crate) fn begin(&self) -> SealTicket<'_> {
         self.started.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         SealTicket(self)
     }
@@ -230,7 +308,7 @@ impl SealSync {
     }
 }
 
-struct SealTicket<'a>(&'a SealSync);
+pub(crate) struct SealTicket<'a>(&'a SealSync);
 
 impl Drop for SealTicket<'_> {
     fn drop(&mut self) {
@@ -277,6 +355,18 @@ pub(crate) struct TableObs {
     pub queue_wait: Arc<odh_obs::Histogram>,
     /// Columns sealed per codec choice, indexed by codec id.
     pub codec_cols: [Arc<odh_obs::Counter>; 4],
+    /// Whole-table compaction latency (select + merge + swap).
+    pub compact: Arc<odh_obs::Histogram>,
+    /// Completed compaction passes.
+    pub compact_runs: Arc<odh_obs::Counter>,
+    /// Small batches consumed by merges.
+    pub compact_merged: Arc<odh_obs::Counter>,
+    /// Whole batches dropped by TTL retention (no decode, no summary).
+    pub compact_expired: Arc<odh_obs::Counter>,
+    /// Batches demoted to the cold generation.
+    pub compact_demoted: Arc<odh_obs::Counter>,
+    /// Batches currently resident in the cold generation.
+    pub cold_batches: Arc<odh_obs::Gauge>,
 }
 
 impl TableObs {
@@ -294,6 +384,12 @@ impl TableObs {
             queue_depth: registry.gauge("odh_seal_queue_depth", &labels),
             queue_wait: registry.histogram("odh_seal_queue_wait_seconds", &labels),
             codec_cols,
+            compact: registry.histogram("odh_compact_seconds", &labels),
+            compact_runs: registry.counter("odh_compact_runs_total", &labels),
+            compact_merged: registry.counter("odh_compact_merged_batches_total", &labels),
+            compact_expired: registry.counter("odh_compact_expired_batches_total", &labels),
+            compact_demoted: registry.counter("odh_compact_demoted_batches_total", &labels),
+            cold_batches: registry.gauge("odh_compact_cold_batches", &labels),
             registry,
         }
     }
@@ -304,15 +400,28 @@ pub struct OdhTable {
     cfg: TableConfig,
     pool: Arc<BufferPool>,
     meter: Arc<ResourceMeter>,
-    pub(crate) rts: Container,
-    pub(crate) irts: Container,
+    /// Hot per-source generations. Like `mg`, each is an immutable-batch
+    /// container behind a generation lock: the compactor builds a merged
+    /// replacement off to the side and swaps it in under the write lock
+    /// (see [`crate::compact`]).
+    pub(crate) rts: RwLock<Arc<Container>>,
+    pub(crate) irts: RwLock<Arc<Container>>,
     pub(crate) mg: RwLock<Arc<Container>>,
+    /// Cold generation: batches the compactor demoted for age. Reads
+    /// bypass the decode cache and load lazily through the pager.
+    pub(crate) cold: RwLock<Arc<Container>>,
     pub(crate) sources: RwLock<HashMap<u64, SourceMeta>>,
     /// Open ingest buffers, lock-striped so concurrent writers to
     /// different sources don't contend (see [`crate::stripe`]).
     buffers: StripedBuffers,
     /// Seal seqlock: keeps buffer→container moves atomic to readers.
-    seals: SealSync,
+    pub(crate) seals: SealSync,
+    /// Serializes compaction passes with each other and with
+    /// [`OdhTable::snapshot`] (a checkpoint must not capture one
+    /// generation pre-swap and another post-swap).
+    pub(crate) compact_lock: parking_lot::Mutex<()>,
+    /// Background compactor, set once by [`OdhTable::start_compactor`].
+    pub(crate) compactor: std::sync::OnceLock<crate::compact::CompactorHandle>,
     /// Set once [`OdhTable::reorganize`] has run: slice scans must then also
     /// consult the per-source containers for MG sources.
     pub(crate) reorganized: std::sync::atomic::AtomicBool,
@@ -353,9 +462,13 @@ impl OdhTable {
         stats.register_into(meter.registry(), &cfg.schema.name, inst);
         let obs = TableObs::new(&meter, &cfg.schema.name);
         Ok(OdhTable {
-            rts: Container::create(pool.clone(), Structure::Rts)?,
-            irts: Container::create(pool.clone(), Structure::Irts)?,
+            rts: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Rts)?)),
+            irts: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Irts)?)),
             mg: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Mg)?)),
+            // The cold generation holds demoted per-source batches of
+            // either kind; batches self-describe, so the container's
+            // structure tag is nominal.
+            cold: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Irts)?)),
             sources: RwLock::new(HashMap::new()),
             buffers: StripedBuffers::with_obs(
                 Arc::new(ConcurrencyStats::default()),
@@ -363,6 +476,8 @@ impl OdhTable {
                 meter.registry().histogram("odh_ingest_shard_acquire_seconds", &[]),
             ),
             seals: SealSync::default(),
+            compact_lock: parking_lot::Mutex::new(()),
+            compactor: std::sync::OnceLock::new(),
             reorganized: std::sync::atomic::AtomicBool::new(false),
             stats,
             obs,
@@ -387,16 +502,19 @@ impl OdhTable {
         rts: Container,
         irts: Container,
         mg: Container,
+        cold: Container,
         reorganized: bool,
         stats: StorageStats,
     ) -> OdhTable {
         let inst = NEXT_TABLE_INST.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         stats.register_into(meter.registry(), &cfg.schema.name, inst);
         let obs = TableObs::new(&meter, &cfg.schema.name);
+        obs.cold_batches.set(cold.record_count() as i64);
         OdhTable {
-            rts,
-            irts,
+            rts: RwLock::new(Arc::new(rts)),
+            irts: RwLock::new(Arc::new(irts)),
             mg: RwLock::new(Arc::new(mg)),
+            cold: RwLock::new(Arc::new(cold)),
             sources: RwLock::new(HashMap::new()),
             buffers: StripedBuffers::with_obs(
                 Arc::new(ConcurrencyStats::default()),
@@ -404,6 +522,8 @@ impl OdhTable {
                 meter.registry().histogram("odh_ingest_shard_acquire_seconds", &[]),
             ),
             seals: SealSync::default(),
+            compact_lock: parking_lot::Mutex::new(()),
+            compactor: std::sync::OnceLock::new(),
             reorganized: std::sync::atomic::AtomicBool::new(reorganized),
             stats,
             obs,
@@ -962,28 +1082,20 @@ impl OdhTable {
     /// Install pre-serialized batches into their containers. Fast (no
     /// encoding) — the seal pipeline calls this under a seal ticket.
     fn install_built(&self, batches: &[BuiltBatch]) -> Result<()> {
+        // Hold the generation lock across each insert: the reorganizer
+        // (MG) and the compactor (RTS/IRTS) swap generations under the
+        // write lock, so an insert can never land in an already-swapped
+        // container unseen — it either completes before the swap (and the
+        // compactor's latecomer pass carries it over) or starts after and
+        // goes to the fresh generation.
         for b in batches {
-            match b.structure {
-                Structure::Rts => {
-                    self.charge_batch_write(&self.rts);
-                    self.rts.insert(&b.key, &b.bytes, b.span)?;
-                }
-                Structure::Irts => {
-                    self.charge_batch_write(&self.irts);
-                    self.irts.insert(&b.key, &b.bytes, b.span)?;
-                }
-                Structure::Mg => {
-                    // Hold the generation lock across the insert: the
-                    // reorganizer swaps generations under the write lock,
-                    // so an insert can never land in an already-drained
-                    // container (it either completes before the swap and
-                    // is drained, or starts after and goes to the fresh
-                    // one).
-                    let mg = self.mg.read();
-                    self.charge_batch_write(&mg);
-                    mg.insert(&b.key, &b.bytes, b.span)?;
-                }
-            }
+            let g = match b.structure {
+                Structure::Rts => self.rts.read(),
+                Structure::Irts => self.irts.read(),
+                Structure::Mg => self.mg.read(),
+            };
+            self.charge_batch_write(&g);
+            g.insert(&b.key, &b.bytes, b.span)?;
         }
         Ok(())
     }
@@ -1007,7 +1119,7 @@ impl OdhTable {
 
     /// Drain the thread-local codec tallies accumulated while encoding
     /// into the per-codec column counters.
-    fn note_codec_counts(&self) {
+    pub(crate) fn note_codec_counts(&self) {
         let counts = crate::blob::with_tls_scratch(|s| s.take_codec_counts());
         for (c, n) in self.obs.codec_cols.iter().zip(counts) {
             if n > 0 {
@@ -1024,7 +1136,7 @@ impl OdhTable {
         self.stats.raw_bytes.add(raw);
     }
 
-    fn charge_batch_write(&self, container: &Container) {
+    pub(crate) fn charge_batch_write(&self, container: &Container) {
         let c = &self.meter.costs;
         self.meter.cpu(c.btree_node_visit * container.index_height() as f64 + c.btree_leaf_insert);
     }
@@ -1080,16 +1192,23 @@ impl OdhTable {
             .read()
             .get(&source.0)
             .ok_or_else(|| OdhError::NotFound(format!("{source} not registered")))?;
-        let (t1, t2) = (t1.micros(), t2.micros());
+        let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut out = Vec::new();
 
-        // Primary per-source container (for low-frequency sources this is
-        // where the reorganizer put the sealed history).
-        let container = match historical_structure(meta.class) {
-            Structure::Rts => &self.rts,
-            _ => &self.irts,
-        };
-        self.scan_source_container(container, source, t1, t2, tags, tag_ranges, tally, &mut out)?;
+        // Per-source generations. The compactor may re-type a merged
+        // window (an RTS run whose merge spans a gap re-seals as IRTS),
+        // so both hot generations are consulted regardless of source
+        // class, plus the cold generation for demoted history; descents
+        // into a generation holding nothing for this source cost a
+        // header-cheap index probe.
+        for (container, cold) in &self.read_gens() {
+            if container.record_count() == 0 {
+                continue;
+            }
+            self.scan_source_container(
+                container, *cold, source, t1, t2, tags, tag_ranges, tally, &mut out,
+            )?;
+        }
         // Low-frequency sources may also have not-yet-reorganized MG data.
         if meta.ingest == Structure::Mg {
             let mg = self.mg.read().clone();
@@ -1197,7 +1316,7 @@ impl OdhTable {
         tag_ranges: &[(usize, f64, f64)],
         tally: &mut ReadTally,
     ) -> Result<Vec<ScanPoint>> {
-        let (t1, t2) = (t1.micros(), t2.micros());
+        let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut out = Vec::new();
         // Partition registered sources by slice structure.
         let mut per_source: Vec<SourceId> = Vec::new();
@@ -1230,20 +1349,20 @@ impl OdhTable {
         // scale). When the source population outnumbers the batch records
         // (early life, scaled runs), one sequential container scan with
         // time pruning is strictly cheaper than N descents.
-        for container in [&self.rts, &self.irts] {
+        for (container, cold) in &self.read_gens() {
             if per_source.is_empty() || container.record_count() == 0 {
                 continue;
             }
             if (per_source.len() as u64) > container.record_count() {
                 self.meter.cpu(self.meter.costs.buffer_hit * container.record_count() as f64);
                 for rid in container.all_rids()? {
-                    let entry = self.fetch_cached(container, rid, tally)?;
+                    let entry = self.fetch_cached(container, rid, *cold, tally)?;
                     self.emit_cached(&entry, t1, t2, tags, sources, tag_ranges, tally, &mut out)?;
                 }
             } else {
                 for sid in &per_source {
                     self.scan_source_container(
-                        container, *sid, t1, t2, tags, tag_ranges, tally, &mut out,
+                        container, *cold, *sid, t1, t2, tags, tag_ranges, tally, &mut out,
                     )?;
                 }
             }
@@ -1330,7 +1449,7 @@ impl OdhTable {
         tag_ranges: &[(usize, f64, f64)],
         tally: &mut ReadTally,
     ) -> Result<Vec<ColumnarChunk>> {
-        let (t1, t2) = (t1.micros(), t2.micros());
+        let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut out = Vec::new();
         let mut per_source: Vec<SourceId> = Vec::new();
         let mut mg_groups: HashSet<u32> = HashSet::new();
@@ -1357,14 +1476,14 @@ impl OdhTable {
         }
         per_source.sort_unstable();
         // Same sequential-vs-descent choice as `slice_scan_once`.
-        for container in [&self.rts, &self.irts] {
+        for (container, cold) in &self.read_gens() {
             if per_source.is_empty() || container.record_count() == 0 {
                 continue;
             }
             if (per_source.len() as u64) > container.record_count() {
                 self.meter.cpu(self.meter.costs.buffer_hit * container.record_count() as f64);
                 for rid in container.all_rids()? {
-                    let entry = self.fetch_cached(container, rid, tally)?;
+                    let entry = self.fetch_cached(container, rid, *cold, tally)?;
                     self.emit_columnar(&entry, t1, t2, tags, sources, tag_ranges, tally, &mut out)?;
                 }
             } else {
@@ -1377,7 +1496,7 @@ impl OdhTable {
                     self.meter
                         .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
                     for rid in container.rids_in_range(&lo, &hi)? {
-                        let entry = self.fetch_cached(container, rid, tally)?;
+                        let entry = self.fetch_cached(container, rid, *cold, tally)?;
                         self.emit_columnar(
                             &entry, t1, t2, tags, None, tag_ranges, tally, &mut out,
                         )?;
@@ -1400,7 +1519,7 @@ impl OdhTable {
             let hi = KeyBuf::new().push_u32(gid).push_i64(t2).build();
             self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
             for rid in mg.rids_in_range(&lo, &hi)? {
-                let entry = self.fetch_cached(&mg, rid, tally)?;
+                let entry = self.fetch_cached(&mg, rid, false, tally)?;
                 self.emit_columnar(&entry, t1, t2, tags, sources, tag_ranges, tally, &mut out)?;
             }
             let g = self.buffers.lock_mg(gid);
@@ -1515,6 +1634,7 @@ impl OdhTable {
     fn scan_source_container(
         &self,
         container: &Container,
+        cold: bool,
         source: SourceId,
         t1: i64,
         t2: i64,
@@ -1530,7 +1650,7 @@ impl OdhTable {
         let hi = KeyBuf::new().push_u64(source.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
         for rid in container.rids_in_range(&lo, &hi)? {
-            let entry = self.fetch_cached(container, rid, tally)?;
+            let entry = self.fetch_cached(container, rid, cold, tally)?;
             self.emit_cached(&entry, t1, t2, tags, None, tag_ranges, tally, out)?;
         }
         Ok(())
@@ -1554,7 +1674,7 @@ impl OdhTable {
         let hi = KeyBuf::new().push_u32(group.0).push_i64(t2).build();
         self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
         for rid in mg.rids_in_range(&lo, &hi)? {
-            let entry = self.fetch_cached(mg, rid, tally)?;
+            let entry = self.fetch_cached(mg, rid, false, tally)?;
             self.emit_cached(&entry, t1, t2, tags, filter, tag_ranges, tally, out)?;
         }
         Ok(())
@@ -1563,12 +1683,23 @@ impl OdhTable {
     /// Fetch a sealed batch through the decode cache: a hit returns the
     /// shared entry (decoded columns and all); a miss deserializes the
     /// record, admits it, and lets the caller decode lazily.
+    ///
+    /// `cold` fetches bypass the cache entirely — neither probed nor
+    /// admitted — so demoted history is loaded lazily through the pager
+    /// per query and can never evict the hot working set. That byte-for-
+    /// byte asymmetry *is* the tier boundary.
     fn fetch_cached(
         &self,
         container: &Container,
         rid: u64,
+        cold: bool,
         tally: &mut ReadTally,
     ) -> Result<Arc<CachedBatch>> {
+        if cold {
+            tally.cold_batches_scanned += 1;
+            let batch = container.get_batch(rid)?;
+            return Ok(Arc::new(CachedBatch::new(batch, self.cfg.schema.tag_count())));
+        }
         let key = (container.id(), rid);
         if let Some(entry) = self.cache.get(key) {
             tally.cache_hits += 1;
@@ -1703,7 +1834,7 @@ impl OdhTable {
         tags: &[usize],
         tally: &mut ReadTally,
     ) -> Result<RangeAggregate> {
-        let (t1, t2) = (t1.micros(), t2.micros());
+        let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut agg = RangeAggregate { rows: 0, tags: vec![TagSummary::empty(); tags.len()] };
         match source {
             Some(sid) => {
@@ -1712,18 +1843,23 @@ impl OdhTable {
                     .read()
                     .get(&sid.0)
                     .ok_or_else(|| OdhError::NotFound(format!("{sid} not registered")))?;
-                let container = match historical_structure(meta.class) {
-                    Structure::Rts => &self.rts,
-                    _ => &self.irts,
-                };
-                let lo = KeyBuf::new()
-                    .push_u64(sid.0)
-                    .push_i64(t1.saturating_sub(container.max_span()))
-                    .build();
-                let hi = KeyBuf::new().push_u64(sid.0).push_i64(t2).build();
-                self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
-                for rid in container.rids_in_range(&lo, &hi)? {
-                    self.aggregate_batch(container, rid, t1, t2, tags, None, tally, &mut agg)?;
+                // All per-source generations (see `historical_scan_once`).
+                for (container, cold) in &self.read_gens() {
+                    if container.record_count() == 0 {
+                        continue;
+                    }
+                    let lo = KeyBuf::new()
+                        .push_u64(sid.0)
+                        .push_i64(t1.saturating_sub(container.max_span()))
+                        .build();
+                    let hi = KeyBuf::new().push_u64(sid.0).push_i64(t2).build();
+                    self.meter
+                        .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
+                    for rid in container.rids_in_range(&lo, &hi)? {
+                        self.aggregate_batch(
+                            container, rid, *cold, t1, t2, tags, None, tally, &mut agg,
+                        )?;
+                    }
                 }
                 if meta.ingest == Structure::Mg {
                     let mg = self.mg.read().clone();
@@ -1738,6 +1874,7 @@ impl OdhTable {
                         self.aggregate_batch(
                             &mg,
                             rid,
+                            false,
                             t1,
                             t2,
                             tags,
@@ -1770,21 +1907,23 @@ impl OdhTable {
                 // Whole-table aggregate: walk every sealed batch (the time
                 // reject in `aggregate_batch` skips non-intersecting ones
                 // at header cost) plus every open buffer.
-                for container in [&self.rts, &self.irts] {
+                for (container, cold) in &self.read_gens() {
                     if container.record_count() == 0 {
                         continue;
                     }
                     self.meter
                         .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
                     for rid in container.all_rids()? {
-                        self.aggregate_batch(container, rid, t1, t2, tags, None, tally, &mut agg)?;
+                        self.aggregate_batch(
+                            container, rid, *cold, t1, t2, tags, None, tally, &mut agg,
+                        )?;
                     }
                 }
                 let mg = self.mg.read().clone();
                 if mg.record_count() > 0 {
                     self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
                     for rid in mg.all_rids()? {
-                        self.aggregate_batch(&mg, rid, t1, t2, tags, None, tally, &mut agg)?;
+                        self.aggregate_batch(&mg, rid, false, t1, t2, tags, None, tally, &mut agg)?;
                     }
                 }
                 let (per_source, groups) = {
@@ -1835,6 +1974,7 @@ impl OdhTable {
         &self,
         container: &Container,
         rid: u64,
+        cold: bool,
         t1: i64,
         t2: i64,
         tags: &[usize],
@@ -1842,7 +1982,7 @@ impl OdhTable {
         tally: &mut ReadTally,
         agg: &mut RangeAggregate,
     ) -> Result<()> {
-        let entry = self.fetch_cached(container, rid, tally)?;
+        let entry = self.fetch_cached(container, rid, cold, tally)?;
         let batch = &entry.batch;
         let (b_begin, b_end) = batch.time_range();
         if b_end < t1 || b_begin > t2 {
@@ -1935,7 +2075,7 @@ impl OdhTable {
         tags: &[usize],
         tally: &mut ReadTally,
     ) -> Result<BTreeMap<i64, RangeAggregate>> {
-        let (t1, t2) = (t1.micros(), t2.micros());
+        let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut map = BTreeMap::new();
         match source {
             Some(sid) => {
@@ -1944,28 +2084,32 @@ impl OdhTable {
                     .read()
                     .get(&sid.0)
                     .ok_or_else(|| OdhError::NotFound(format!("{sid} not registered")))?;
-                let container = match historical_structure(meta.class) {
-                    Structure::Rts => &self.rts,
-                    _ => &self.irts,
-                };
-                let lo = KeyBuf::new()
-                    .push_u64(sid.0)
-                    .push_i64(t1.saturating_sub(container.max_span()))
-                    .build();
-                let hi = KeyBuf::new().push_u64(sid.0).push_i64(t2).build();
-                self.meter.cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
-                for rid in container.rids_in_range(&lo, &hi)? {
-                    self.bucket_batch(
-                        container,
-                        rid,
-                        t1,
-                        t2,
-                        interval_us,
-                        tags,
-                        None,
-                        tally,
-                        &mut map,
-                    )?;
+                // All per-source generations (see `historical_scan_once`).
+                for (container, cold) in &self.read_gens() {
+                    if container.record_count() == 0 {
+                        continue;
+                    }
+                    let lo = KeyBuf::new()
+                        .push_u64(sid.0)
+                        .push_i64(t1.saturating_sub(container.max_span()))
+                        .build();
+                    let hi = KeyBuf::new().push_u64(sid.0).push_i64(t2).build();
+                    self.meter
+                        .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
+                    for rid in container.rids_in_range(&lo, &hi)? {
+                        self.bucket_batch(
+                            container,
+                            rid,
+                            *cold,
+                            t1,
+                            t2,
+                            interval_us,
+                            tags,
+                            None,
+                            tally,
+                            &mut map,
+                        )?;
+                    }
                 }
                 if meta.ingest == Structure::Mg {
                     let mg = self.mg.read().clone();
@@ -1980,6 +2124,7 @@ impl OdhTable {
                         self.bucket_batch(
                             &mg,
                             rid,
+                            false,
                             t1,
                             t2,
                             interval_us,
@@ -2010,7 +2155,7 @@ impl OdhTable {
                 }
             }
             None => {
-                for container in [&self.rts, &self.irts] {
+                for (container, cold) in &self.read_gens() {
                     if container.record_count() == 0 {
                         continue;
                     }
@@ -2020,6 +2165,7 @@ impl OdhTable {
                         self.bucket_batch(
                             container,
                             rid,
+                            *cold,
                             t1,
                             t2,
                             interval_us,
@@ -2037,6 +2183,7 @@ impl OdhTable {
                         self.bucket_batch(
                             &mg,
                             rid,
+                            false,
                             t1,
                             t2,
                             interval_us,
@@ -2095,6 +2242,7 @@ impl OdhTable {
         &self,
         container: &Container,
         rid: u64,
+        cold: bool,
         t1: i64,
         t2: i64,
         interval_us: i64,
@@ -2103,7 +2251,7 @@ impl OdhTable {
         tally: &mut ReadTally,
         map: &mut BTreeMap<i64, RangeAggregate>,
     ) -> Result<()> {
-        let entry = self.fetch_cached(container, rid, tally)?;
+        let entry = self.fetch_cached(container, rid, cold, tally)?;
         let batch = &entry.batch;
         let (b_begin, b_end) = batch.time_range();
         if b_end < t1 || b_begin > t2 {
@@ -2156,20 +2304,79 @@ impl OdhTable {
         &self.cache
     }
 
+    /// Current hot per-source generations `(rts, irts)`.
+    pub(crate) fn hot_gens(&self) -> [Arc<Container>; 2] {
+        [self.rts.read().clone(), self.irts.read().clone()]
+    }
+
+    /// Current cold generation.
+    pub(crate) fn cold_gen(&self) -> Arc<Container> {
+        self.cold.read().clone()
+    }
+
+    /// Every per-source generation a read must consult, coldest last,
+    /// with its cache-bypass flag. Each clone takes its lock briefly and
+    /// independently; the seal seqlock (the compactor swaps under a
+    /// ticket) makes a torn view — one generation pre-swap, another
+    /// post-swap — retry instead of misreading.
+    pub(crate) fn read_gens(&self) -> [(Arc<Container>, bool); 3] {
+        let [rts, irts] = self.hot_gens();
+        [(rts, false), (irts, false), (self.cold_gen(), true)]
+    }
+
+    /// Retention floor: rows strictly below this timestamp (µs) have
+    /// expired. `None` when no TTL is configured or nothing was ingested.
+    pub fn retention_floor(&self) -> Option<i64> {
+        let ttl = self.cfg.retention_ttl_us;
+        if ttl <= 0 {
+            return None;
+        }
+        let max = self.stats.max_ts.load(std::sync::atomic::Ordering::Relaxed);
+        (max != i64::MIN).then(|| max.saturating_sub(ttl))
+    }
+
+    /// Clamp a query's lower bound to the retention floor, so expired
+    /// rows stay invisible whether or not the compactor has physically
+    /// dropped their batches yet.
+    fn clamp_retention(&self, t1: i64) -> i64 {
+        match self.retention_floor() {
+            Some(floor) => t1.max(floor),
+            None => t1,
+        }
+    }
+
+    /// Batches in the cold generation.
+    pub fn cold_record_count(&self) -> u64 {
+        self.cold_gen().record_count()
+    }
+
     fn note_scan(&self, out: &[ScanPoint]) {
         let points: u64 =
             out.iter().map(|p| p.values.iter().filter(|v| v.is_some()).count() as u64).sum();
         self.stats.points_scanned.add(points);
     }
 
-    /// On-disk footprint of the three containers.
+    /// On-disk footprint of the live generations (hot + cold + MG).
     pub fn size_bytes(&self) -> u64 {
-        self.rts.size_bytes() + self.irts.size_bytes() + self.mg.read().size_bytes()
+        let [rts, irts] = self.hot_gens();
+        rts.size_bytes()
+            + irts.size_bytes()
+            + self.mg.read().size_bytes()
+            + self.cold_gen().size_bytes()
     }
 
-    /// Per-structure record counts `(rts, irts, mg)`.
+    /// Per-structure record counts `(rts, irts, mg)` of the hot
+    /// generations; the cold tier is [`OdhTable::cold_record_count`].
     pub fn record_counts(&self) -> (u64, u64, u64) {
-        (self.rts.record_count(), self.irts.record_count(), self.mg.read().record_count())
+        let [rts, irts] = self.hot_gens();
+        (rts.record_count(), irts.record_count(), self.mg.read().record_count())
+    }
+
+    /// Sealed batches across every generation (hot + cold + MG) — the
+    /// fragmentation measure the compaction benchmark gates on.
+    pub fn total_batches(&self) -> u64 {
+        let (r, i, m) = self.record_counts();
+        r + i + m + self.cold_record_count()
     }
 }
 
@@ -2179,6 +2386,9 @@ impl Drop for OdhTable {
         // recoverable via the WAL (acked rows were logged before enqueue).
         if let Some(pipe) = self.seal_pipe.get() {
             pipe.shutdown();
+        }
+        if let Some(c) = self.compactor.get() {
+            c.shutdown();
         }
     }
 }

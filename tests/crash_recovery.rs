@@ -396,6 +396,211 @@ fn acked_rows_queued_in_seal_pipeline_survive_crash() {
     }
 }
 
+/// Compaction-heavy table: tiny sealed batches that all qualify as
+/// "small" (the merge threshold sits above the batch size), so every
+/// manual `compact()` call rewrites generations while faults are armed.
+fn compacting_cfg() -> TableConfig {
+    table_cfg().with_compact_min_batch(16).with_compact_target_batch(64)
+}
+
+/// Like [`ingest_until_crash`], but runs a generational compaction pass
+/// every `compact_every` records (between barriers), so injected faults
+/// land before, during, and after generation rewrites. A deliberately
+/// small pool forces evictions of the fresh generations' pages, pushing
+/// compaction's own writes through the fault-injecting disk. Returns the
+/// outcome plus how many batches compaction merged before the crash.
+fn ingest_with_compaction_until_crash(
+    disk: Arc<FailDisk>,
+    log: Arc<FailWal>,
+    plan: &Arc<FaultPlan>,
+    checkpoint_at: Option<usize>,
+    compact_every: usize,
+) -> (Outcome, u64) {
+    let server = DataServer::with_disk_wal(0, ResourceMeter::unmetered(), disk, 64, log).unwrap();
+    let mut merged = 0u64;
+    let mut sent: HashMap<u64, usize> = HashMap::new();
+    let mut acked: HashMap<u64, usize> = HashMap::new();
+    let table = match server.create_table(compacting_cfg()) {
+        Ok(t) => t,
+        Err(_) => return (Outcome { sent, acked, triggered: plan.triggered() }, merged),
+    };
+    for s in 0..SOURCES {
+        let class =
+            if s % 2 == 0 { SourceClass::irregular_high() } else { SourceClass::irregular_low() };
+        if table.register_source(SourceId(s), class).is_err() {
+            return (Outcome { sent, acked, triggered: plan.triggered() }, merged);
+        }
+    }
+    for i in 0..RECORDS {
+        let s = i as u64 % SOURCES;
+        if table.put(&record(s, i / SOURCES as usize)).is_err() {
+            return (Outcome { sent, acked, triggered: plan.triggered() }, merged);
+        }
+        *sent.entry(s).or_insert(0) += 1;
+        if (i + 1) % compact_every == 0 {
+            match table.compact() {
+                Ok(report) => merged += report.merged_batches,
+                // A fault inside the rewrite: crash with the pass half done.
+                Err(_) => return (Outcome { sent, acked, triggered: plan.triggered() }, merged),
+            }
+        }
+        let barrier_ok = if Some(i) == checkpoint_at {
+            server.checkpoint().is_ok()
+        } else if (i + 1) % SYNC_EVERY == 0 {
+            server.sync().is_ok()
+        } else {
+            continue;
+        };
+        if barrier_ok {
+            acked = sent.clone();
+        } else {
+            return (Outcome { sent, acked, triggered: plan.triggered() }, merged);
+        }
+    }
+    if server.sync().is_ok() {
+        acked = sent.clone();
+    }
+    (Outcome { sent, acked, triggered: plan.triggered() }, merged)
+}
+
+fn run_compaction_trial(
+    seed: u64,
+    mode: FaultMode,
+    ops_before_fault: u64,
+    checkpoint_at: Option<usize>,
+) -> (Trial, u64) {
+    let label = format!(
+        "seed {seed} mode {mode:?} fault-after {ops_before_fault} \
+         checkpoint {checkpoint_at:?} (compacting)"
+    );
+    let disk_media = Arc::new(MemDisk::new());
+    let log_media = Arc::new(MemLog::new());
+    let plan = FaultPlan::new(seed, mode, ops_before_fault);
+    let disk = Arc::new(FailDisk::new(disk_media.clone(), plan.clone()));
+    let log = Arc::new(FailWal::new(log_media.clone(), plan.clone()));
+    let (outcome, merged) = ingest_with_compaction_until_crash(disk, log, &plan, checkpoint_at, 40);
+    let metrics =
+        verify_recovery(disk_media, log_media, &outcome, true, checkpoint_at.is_some(), &label);
+    (Trial { crashed: outcome.triggered, metrics }, merged)
+}
+
+/// Kill and torn-write faults landing around (and, via the small pool's
+/// eviction traffic, inside) generation rewrites: compaction must never
+/// widen the durability contract. Nothing acknowledged is lost, nothing
+/// is duplicated — a half-applied swap would surface as both.
+#[test]
+fn kill_and_torn_faults_mid_compaction_lose_nothing() {
+    for seed in seeds() {
+        let mut crashed = 0usize;
+        let mut merged = 0u64;
+        for &ops in &[10, 45, 110, 200, 320] {
+            for mode in [FaultMode::Kill, FaultMode::Torn] {
+                let (trial, m) = run_compaction_trial(seed, mode, ops + seed % 9, None);
+                crashed += trial.crashed as usize;
+                merged += m;
+            }
+        }
+        assert!(crashed >= 1, "seed {seed}: no fault fired mid-stream with compaction running");
+        assert!(merged >= 1, "seed {seed}: no trial compacted anything before its fault");
+    }
+}
+
+/// The checkpoint interleaving: compaction passes both before and after
+/// a mid-stream checkpoint, with faults landing across the whole stream.
+/// Replay over the (possibly compacted) checkpoint image must still
+/// produce exactly the acked stream.
+#[test]
+fn compaction_around_checkpoint_never_duplicates_rows() {
+    for seed in seeds() {
+        let mut crashed = 0usize;
+        for &ops in &[60, 180, 300, 450] {
+            for mode in [FaultMode::Kill, FaultMode::Torn] {
+                let (trial, _) =
+                    run_compaction_trial(seed, mode, ops + seed % 13, Some(RECORDS / 2));
+                crashed += trial.crashed as usize;
+            }
+        }
+        assert!(crashed >= 1, "seed {seed}: no fault fired around the compacting checkpoint");
+    }
+}
+
+/// A compacted state that was never checkpointed is a half-written
+/// generation from the recovery protocol's point of view: its pages are
+/// unreferenced by the last durable checkpoint, so recovery must discard
+/// it and rebuild the fragmented pre-compaction state from checkpoint +
+/// WAL — exactly, with no trace of the abandoned rewrite.
+#[test]
+fn uncheckpointed_generation_is_discarded_on_recovery() {
+    for seed in seeds() {
+        let disk_media = Arc::new(MemDisk::new());
+        let log_media = Arc::new(MemLog::new());
+        let plan = FaultPlan::benign();
+        let disk = Arc::new(FailDisk::new(disk_media.clone(), plan.clone()));
+        let log = Arc::new(FailWal::new(log_media.clone(), plan.clone()));
+        let batches_fragmented;
+        let rows_sent = RECORDS + seed as usize % 10;
+        {
+            let server =
+                DataServer::with_disk_wal(0, ResourceMeter::unmetered(), disk, POOL_FRAMES, log)
+                    .unwrap();
+            let table = server.create_table(compacting_cfg()).unwrap();
+            for s in 0..SOURCES {
+                table.register_source(SourceId(s), SourceClass::irregular_high()).unwrap();
+            }
+            for i in 0..rows_sent {
+                let s = i as u64 % SOURCES;
+                table.put(&record(s, i / SOURCES as usize)).unwrap();
+            }
+            // The fragmented state becomes the durable truth.
+            server.checkpoint().unwrap();
+            batches_fragmented = table.total_batches();
+            // Rewrite generations in memory, then crash before any
+            // checkpoint can commit the swap.
+            let report = table.compact().unwrap();
+            assert!(report.merged_batches > 0, "seed {seed}: compaction had nothing to merge");
+            assert!(table.total_batches() < batches_fragmented);
+        }
+        let server = DataServer::open_with_wal(
+            0,
+            ResourceMeter::unmetered(),
+            disk_media,
+            POOL_FRAMES,
+            log_media,
+        )
+        .unwrap();
+        let table = server.table("plant").unwrap();
+        assert_eq!(
+            table.total_batches(),
+            batches_fragmented,
+            "seed {seed}: recovery resurrected the uncheckpointed generation"
+        );
+        let mut total = 0usize;
+        for s in 0..SOURCES {
+            let rows = table
+                .historical_scan(SourceId(s), Timestamp(0), Timestamp(i64::MAX), &[0])
+                .unwrap();
+            for w in rows.windows(2) {
+                assert!(w[0].ts < w[1].ts, "seed {seed}: source {s} duplicated rows");
+            }
+            total += rows.len();
+        }
+        assert_eq!(total, rows_sent, "seed {seed}: rows lost across the abandoned compaction");
+        // The discarded rewrite must not poison later lifecycle work: a
+        // fresh pass on the recovered server merges the same fragments.
+        let report = table.compact().unwrap();
+        assert!(report.merged_batches > 0, "seed {seed}: recovered table no longer compacts");
+        assert!(table.total_batches() < batches_fragmented);
+        let mut total_after = 0usize;
+        for s in 0..SOURCES {
+            total_after += table
+                .historical_scan(SourceId(s), Timestamp(0), Timestamp(i64::MAX), &[0])
+                .unwrap()
+                .len();
+        }
+        assert_eq!(total_after, rows_sent, "seed {seed}: post-recovery compaction lost rows");
+    }
+}
+
 /// `flush` is a deterministic pipeline barrier: once it returns, no rows
 /// remain buffered or queued, and a strict snapshot succeeds immediately.
 #[test]

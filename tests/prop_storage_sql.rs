@@ -411,6 +411,113 @@ proptest! {
         }
     }
 
+    /// Generational compaction is invisible to queries: scans, window
+    /// aggregates, and time_bucket folds return the same answers before
+    /// and after a compaction pass (including cold demotion of old
+    /// generations), across all three execution tiers — summary
+    /// pushdown, vectorized decode, row-at-a-time decode — on random
+    /// fragmented tables.
+    #[test]
+    fn compaction_preserves_query_results(
+        stream in arb_stream(),
+        win in (0i64..500_000, 1i64..250_000),
+    ) {
+        let h = Historian::builder().servers(2).build().unwrap();
+        h.define_schema_type(
+            TableConfig::new(SchemaType::new("p", ["v"]))
+                .with_batch_size(8)
+                .with_mg_group_size(2)
+                // Sealed 8-row batches sit below the merge threshold, so
+                // the pass rewrites every sealed generation; old batches
+                // also demote to the cold tier, so the post arm reads
+                // through it.
+                .with_compact_min_batch(16)
+                .with_compact_target_batch(64)
+                .with_cold_after(odh_types::Duration::from_micros(100_000)),
+        )
+        .unwrap();
+        for id in 0..4u64 {
+            h.register_source("p", SourceId(id), SourceClass::irregular_high()).unwrap();
+        }
+        let w = h.writer("p").unwrap();
+        for &(id, ts, v, null) in &stream {
+            let values = if null { vec![None] } else { vec![Some(v)] };
+            w.write(&Record::new(SourceId(id), Timestamp(ts), values)).unwrap();
+        }
+        h.flush().unwrap();
+
+        let (t1, t2) = (win.0, win.0 + win.1);
+        let scan_sql = format!(
+            "select id, timestamp, v from p_v where timestamp between '{}' and '{}'",
+            Timestamp(t1),
+            Timestamp(t2)
+        );
+        let agg_sql = format!(
+            "select COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) from p_v \
+             where timestamp between '{}' and '{}'",
+            Timestamp(t1),
+            Timestamp(t2)
+        );
+        let bucket_sql = format!(
+            "select time_bucket(16000, timestamp), COUNT(*), COUNT(v), AVG(v) from p_v \
+             where timestamp between '{}' and '{}' \
+             group by time_bucket(16000, timestamp)",
+            Timestamp(t1),
+            Timestamp(t2)
+        );
+        let tiers = [(true, true), (false, true), (false, false)];
+        let _g = TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        let run = |sql: &str| -> Vec<Vec<Row>> {
+            tiers
+                .iter()
+                .map(|&(pushdown, vectorized)| {
+                    odh_sql::set_aggregate_pushdown(pushdown);
+                    odh_sql::set_vectorized(vectorized);
+                    h.sql(sql).unwrap().rows
+                })
+                .collect()
+        };
+        // Scan rows may legally reorder across equal timestamps when the
+        // batch layout changes; compare as multisets.
+        let sorted = |mut rows: Vec<Row>| -> Vec<String> {
+            rows.sort_by_key(|r| format!("{r:?}"));
+            rows.into_iter().map(|r| format!("{r:?}")).collect()
+        };
+
+        let scan_before = run(&scan_sql);
+        let agg_before = run(&agg_sql);
+        let bucket_before = run(&bucket_sql);
+        h.compact().unwrap();
+        let scan_after = run(&scan_sql);
+        let agg_after = run(&agg_sql);
+        let bucket_after = run(&bucket_sql);
+        odh_sql::set_aggregate_pushdown(true);
+        odh_sql::set_vectorized(true);
+        drop(_g);
+
+        for (i, (&(pushdown, vectorized), (before, after))) in
+            tiers.iter().zip(scan_before.into_iter().zip(scan_after)).enumerate()
+        {
+            prop_assert_eq!(
+                sorted(before),
+                sorted(after),
+                "tier {i} (pushdown={pushdown} vectorized={vectorized}): scan changed"
+            );
+        }
+        for (i, (before, after)) in agg_before.iter().zip(&agg_after).enumerate() {
+            prop_assert!(
+                rows_close(before, after),
+                "tier {}: aggregates changed: {:?} != {:?}", i, before, after
+            );
+        }
+        for (i, (before, after)) in bucket_before.iter().zip(&bucket_after).enumerate() {
+            prop_assert!(
+                rows_close(before, after),
+                "tier {}: time_bucket changed: {:?} != {:?}", i, before, after
+            );
+        }
+    }
+
     /// AS-OF join vs a naive nested loop: for every left row, the right
     /// row with the greatest timestamp at or before it within the same
     /// partition (later arrival wins timestamp ties), NULL when none.
