@@ -21,7 +21,7 @@
 //! `cargo run --release --bin fig5 -- --threads 1,2,4,8`).
 
 use odh_bench::IngestBenchPoint;
-use odh_bench::{banner, parallel_ingest_bench, parse_threads_arg, results_dir, save_json};
+use odh_bench::{banner, load_baseline, parallel_ingest_bench, parse_threads_arg, save_json};
 
 fn env_pct(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -32,25 +32,10 @@ fn main() {
     let tolerance = env_pct("BENCH_GATE_TOLERANCE_PCT", 20.0);
     let wal_cap = env_pct("BENCH_GATE_WAL_OVERHEAD_PCT", 25.0);
 
-    let baseline_path = results_dir().join("BENCH_ingest.json");
-    let baseline_json = match std::fs::read_to_string(&baseline_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
-            std::process::exit(1);
-        }
-    };
-    let baseline: Vec<IngestBenchPoint> = match serde_json::from_str(&baseline_json) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!(
-                "FAIL: baseline {} does not parse ({e}); regenerate it with \
-                 `cargo run --release --bin fig5 -- --threads 1,2,4,8`",
-                baseline_path.display()
-            );
-            std::process::exit(1);
-        }
-    };
+    let baseline: Vec<IngestBenchPoint> = load_baseline(
+        "BENCH_ingest",
+        "cargo run --release -p odh-bench --bin fig5 -- --threads 1,2,4,8",
+    );
 
     let threads = parse_threads_arg().unwrap_or_else(|| vec![1, 2, 4, 8]);
     let current = match parallel_ingest_bench(&threads) {

@@ -25,7 +25,7 @@
 //! artifact upload. Exits non-zero on any failure; a missing baseline is
 //! an error (regenerate with `cargo run --release --bin compact_bench`).
 
-use odh_bench::{banner, compact_path_bench, print_compact_report, results_dir, save_json};
+use odh_bench::{banner, compact_path_bench, load_baseline, print_compact_report, save_json};
 use odh_bench::{CompactBenchOp, CompactBenchReport};
 
 fn env_pct(name: &str, default: f64) -> f64 {
@@ -42,25 +42,8 @@ fn main() {
     let speedup_floor = env_pct("COMPACT_SPEEDUP_FLOOR", 1.2);
     let agg_speedup_floor = env_pct("COMPACT_AGG_SPEEDUP_FLOOR", 5.0);
 
-    let baseline_path = results_dir().join("BENCH_compact.json");
-    let baseline_json = match std::fs::read_to_string(&baseline_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
-            std::process::exit(1);
-        }
-    };
-    let baseline: CompactBenchReport = match serde_json::from_str(&baseline_json) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!(
-                "FAIL: baseline {} does not parse ({e}); regenerate it with \
-                 `cargo run --release --bin compact_bench`",
-                baseline_path.display()
-            );
-            std::process::exit(1);
-        }
-    };
+    let baseline: CompactBenchReport =
+        load_baseline("BENCH_compact", "cargo run --release -p odh-bench --bin compact_bench");
 
     let current = match compact_path_bench() {
         Ok(c) => c,

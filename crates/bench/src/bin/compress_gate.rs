@@ -29,7 +29,7 @@
 
 use odh_bench::kernels::{compress_kernel_bench, print_compress_points, seal_queue_bench};
 use odh_bench::kernels::{CompressBenchPoint, CompressBenchReport};
-use odh_bench::{banner, results_dir, save_json};
+use odh_bench::{banner, load_baseline, save_json};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -83,25 +83,8 @@ fn main() {
     let others_floor = env_f64("COMPRESS_GATE_OTHERS_FLOOR", 0.7);
     let seal_ratio = env_f64("SEAL_GATE_MIN_RATIO", 0.9);
 
-    let baseline_path = results_dir().join("BENCH_compress.json");
-    let baseline_json = match std::fs::read_to_string(&baseline_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
-            std::process::exit(1);
-        }
-    };
-    let baseline: CompressBenchReport = match serde_json::from_str(&baseline_json) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!(
-                "FAIL: baseline {} does not parse ({e}); regenerate it with \
-                 `cargo run --release --bin compress_bench`",
-                baseline_path.display()
-            );
-            std::process::exit(1);
-        }
-    };
+    let baseline: CompressBenchReport =
+        load_baseline("BENCH_compress", "cargo run --release -p odh-bench --bin compress_bench");
 
     let kernels = compress_kernel_bench(alloc_count);
     let seal_queue = match seal_queue_bench() {

@@ -1,0 +1,61 @@
+//! Wire-ingest sweep behind `BENCH_net.json`.
+//!
+//! Pushes the paper's Table-1-style session mix (10% high-frequency
+//! single-source streams, 90% low-frequency multi-source trickles)
+//! through a loopback [`odh_net::NetServer`] and compares rows/s against
+//! the same stream via in-process `write_batch`, then measures decode
+//! allocations per frame and durability of acked frames under a
+//! mid-stream WAL kill. `net_gate` replays this sweep in CI.
+//!
+//! Knobs: `NET_SESSIONS` (default 1000), `NET_CONCURRENCY` (default 64),
+//! `DURABILITY_SEED`.
+
+use odh_bench::{banner, net_bench, print_net_report, save_json};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so the sweep can prove the frame decode
+/// path is allocation-free at steady state. Lives in the binary because
+/// `#[global_allocator]` in the library would tax every other bench bin.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn main() {
+    banner("Wire-protocol ingest", "streaming front door vs in-process write_batch");
+    let report = match net_bench(alloc_count) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: wire sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_net_report(&report);
+    let path = save_json("BENCH_net", &report);
+    println!("\nsaved: {}", path.display());
+}

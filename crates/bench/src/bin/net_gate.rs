@@ -1,0 +1,137 @@
+//! CI performance gate over the committed wire-ingest baseline.
+//!
+//! Re-runs the wire sweep and checks it three ways against the committed
+//! `results/BENCH_net.json`:
+//!
+//! - **Throughput-ratio gate** (in-run, hardware-independent): wire
+//!   rows/s must reach `NET_GATE_MIN_RATIO` (default 0.7) of the
+//!   in-process `write_batch` rows/s measured in the same process.
+//! - **Invariant gates** (deterministic, always enforced): the
+//!   steady-state decode path allocates exactly zero per frame, and a
+//!   mid-stream WAL kill loses exactly zero rows of acked frames.
+//! - **Regression gate**: current wire rows/s must stay within
+//!   `BENCH_GATE_TOLERANCE_PCT` (default 50%) of the baseline. Loose
+//!   because CI hardware varies; the in-run ratio carries the hard
+//!   guarantee.
+//!
+//! The fresh sweep is saved as `results/BENCH_net_current.json` for CI
+//! artifact upload. Exits non-zero on any failure; a missing baseline is
+//! an error (seed with `cargo run --release -p odh-bench --bin net_bench`).
+
+use odh_bench::{banner, load_baseline, net_bench, print_net_report, save_json, NetBenchReport};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Same counting allocator as `net_bench` — duplicated here because
+/// `#[global_allocator]` must live in the binary, not the shared library.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    banner("Wire-ingest gate", "CI guard on the streaming front door");
+    let tolerance = env_f64("BENCH_GATE_TOLERANCE_PCT", 50.0);
+    let min_ratio = env_f64("NET_GATE_MIN_RATIO", 0.7);
+
+    let baseline: NetBenchReport =
+        load_baseline("BENCH_net", "cargo run --release -p odh-bench --bin net_bench");
+
+    let current = match net_bench(alloc_count) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL: wire sweep errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = save_json("BENCH_net_current", &current);
+    println!("current sweep saved: {}", path.display());
+    print_net_report(&current);
+    println!();
+
+    let mut failures = 0u32;
+    let mut check = |ok: bool, what: &str| {
+        println!("  {} {what}", if ok { "ok    " } else { "FAILED" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // In-run throughput ratio — both arms ran back to back in this
+    // process, so the ratio is hardware-independent.
+    check(
+        current.wire_vs_inproc >= min_ratio,
+        &format!(
+            "wire ingest >= {min_ratio}x in-process write_batch in-run \
+             ({:.3}x: {:.0} vs {:.0} rows/s)",
+            current.wire_vs_inproc, current.wire_rows_per_sec, current.inproc_rows_per_sec
+        ),
+    );
+
+    // Invariant gates — exact, no tolerance.
+    check(
+        current.decode_allocs_per_frame == 0.0,
+        &format!(
+            "steady-state decode path is allocation-free ({:.3} allocs/frame)",
+            current.decode_allocs_per_frame
+        ),
+    );
+    check(
+        current.fault_acked_lost == 0,
+        &format!(
+            "WAL kill mid-stream loses zero acked rows \
+             ({} acked, {} recovered)",
+            current.fault_acked_rows, current.fault_recovered_rows
+        ),
+    );
+    check(current.server_acks > 0, "server piggybacked acks on commit rounds");
+    check(
+        current.server_commits <= current.server_acks,
+        "group commit: at most one commit round per ack",
+    );
+
+    // Regression gate — wire rows/s against the committed baseline.
+    let delta = (current.wire_rows_per_sec / baseline.wire_rows_per_sec.max(1e-9) - 1.0) * 100.0;
+    check(
+        delta >= -tolerance,
+        &format!(
+            "wire rows/s within {tolerance}% of baseline \
+             ({:.0} vs {:.0}, {delta:+.1}%)",
+            current.wire_rows_per_sec, baseline.wire_rows_per_sec
+        ),
+    );
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gate check(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nPASS: wire-ingest gates hold");
+}

@@ -14,6 +14,7 @@
 //!   workload's pushdown and row-scan queries instead of the exposition.
 
 use odh_core::Historian;
+use odh_net::{NetClient, NetServer, NetServerConfig};
 use odh_storage::TableConfig;
 use odh_types::{Record, SchemaType, SourceClass, SourceId, Timestamp};
 
@@ -57,7 +58,47 @@ fn run_workload() -> Historian {
     h.sql("select COUNT(*), SUM(temperature) from environ_data_v").expect("pushdown query");
     h.sql("select temperature from environ_data_v").expect("row query");
     h.sql("select temperature from environ_data_v").expect("warm row query");
+    // One loopback wire session so the odh_net_* front-door metrics show.
+    let mut server =
+        NetServer::serve(h.cluster().clone(), NetServerConfig::default()).expect("net server");
+    let mut client =
+        NetClient::connect(server.local_addr(), "environ_data", 2).expect("net client");
+    let batch: Vec<Record> = (0..32i64)
+        .map(|i| {
+            Record::dense(SourceId(i as u64 % 4), Timestamp(200_000_000 + i * 1_000), [1.0, 2.0])
+        })
+        .collect();
+    client.send_batch(&batch).expect("wire batch");
+    client.finish().expect("wire finish");
+    server.shutdown();
     h
+}
+
+/// EXPLAIN-style attribution for the wire front door: what the loopback
+/// session cost, read back from the registry the server recorded into.
+fn print_net_attribution(h: &Historian) {
+    let reg = h.cluster().meter().registry();
+    println!("== wire ingest (odh_net_*)");
+    for name in [
+        "odh_net_sessions_total",
+        "odh_net_frames_total",
+        "odh_net_rows_total",
+        "odh_net_bytes_read_total",
+        "odh_net_bytes_written_total",
+        "odh_net_acks_total",
+        "odh_net_commits_total",
+        "odh_net_backpressure_events_total",
+        "odh_net_errors_total",
+    ] {
+        println!("{name:>36} {}", reg.counter_value(name, &[]).unwrap_or(0));
+    }
+    let decode = reg.histogram("odh_net_frame_decode_us", &[]);
+    println!(
+        "{:>36} p50={}us p99={}us",
+        "odh_net_frame_decode_us",
+        decode.percentile(0.50),
+        decode.percentile(0.99)
+    );
 }
 
 /// Metric names appearing in an exposition: strip `{labels}` and the
@@ -85,6 +126,7 @@ fn main() {
             println!("== {sql}");
             println!("{}", h.explain_analyze(sql).expect("explain analyze"));
         }
+        print_net_attribution(&h);
         return;
     }
     let text = h.metrics_text();

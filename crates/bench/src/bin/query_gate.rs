@@ -19,7 +19,7 @@
 //! an error (regenerate with `cargo run --release --bin query`).
 
 use odh_bench::QueryBenchPoint;
-use odh_bench::{banner, print_query_points, query_path_bench, results_dir, save_json};
+use odh_bench::{banner, load_baseline, print_query_points, query_path_bench, save_json};
 
 fn env_pct(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -33,25 +33,8 @@ fn main() {
     banner("Read-path performance gate", "CI guard on summary pushdown + decode cache");
     let tolerance = env_pct("BENCH_GATE_TOLERANCE_PCT", 50.0);
 
-    let baseline_path = results_dir().join("BENCH_query.json");
-    let baseline_json = match std::fs::read_to_string(&baseline_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("FAIL: cannot read baseline {}: {e}", baseline_path.display());
-            std::process::exit(1);
-        }
-    };
-    let baseline: Vec<QueryBenchPoint> = match serde_json::from_str(&baseline_json) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!(
-                "FAIL: baseline {} does not parse ({e}); regenerate it with \
-                 `cargo run --release --bin query`",
-                baseline_path.display()
-            );
-            std::process::exit(1);
-        }
-    };
+    let baseline: Vec<QueryBenchPoint> =
+        load_baseline("BENCH_query", "cargo run --release -p odh-bench --bin query");
 
     let current = match query_path_bench() {
         Ok(c) => c,

@@ -23,6 +23,11 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 pub mod kernels;
+pub mod netbench;
+
+pub use netbench::{
+    decode_alloc_bench, net_bench, net_fault_bench, print_net_report, NetBenchReport,
+};
 
 /// Core count every benchmark system is modeled with (the paper's
 /// benchmark machine: "an 8-core 4060 MHz Power PC").
@@ -944,6 +949,35 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
         std::fs::write(&path, json).ok();
     }
     path
+}
+
+/// Load a committed baseline report from `results/<name>.json` for a
+/// gate binary. A missing or unparsable baseline is an operator error,
+/// not a panic: print what to run to seed it, then exit non-zero so CI
+/// fails with an actionable message.
+pub fn load_baseline<T: serde::Deserialize>(name: &str, seed_cmd: &str) -> T {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!(
+                "FAIL: no committed baseline at {} ({e}); \
+                 run `{seed_cmd}` to seed the baseline, then commit the file",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    match serde_json::from_str(&json) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "FAIL: baseline {} does not parse ({e}); regenerate it with `{seed_cmd}`",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Print a header for a harness binary.

@@ -42,6 +42,15 @@ impl TypeStats {
         self.max_ts.fetch_max(ts.micros(), Ordering::Relaxed);
     }
 
+    /// Run counterpart of [`TypeStats::note_record`]: `records` records
+    /// spanning `[min_ts, max_ts]` with `points` non-null values in total.
+    pub fn note_run(&self, min_ts: i64, max_ts: i64, records: u64, points: u64) {
+        self.records.fetch_add(records, Ordering::Relaxed);
+        self.points.fetch_add(points, Ordering::Relaxed);
+        self.min_ts.fetch_min(min_ts, Ordering::Relaxed);
+        self.max_ts.fetch_max(max_ts, Ordering::Relaxed);
+    }
+
     /// Global time span covered, in microseconds (0 when empty).
     pub fn span_us(&self) -> i64 {
         let lo = self.min_ts.load(Ordering::Relaxed);

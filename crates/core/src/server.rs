@@ -431,6 +431,12 @@ impl DataServer {
         })
     }
 
+    /// Snapshot of every table handle on this server (admission control
+    /// reads seal-queue depths across all of them).
+    pub fn tables(&self) -> Vec<Arc<OdhTable>> {
+        self.tables.read().values().cloned().collect()
+    }
+
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
     }

@@ -77,6 +77,35 @@ impl OdhWriter {
         Ok(())
     }
 
+    /// Ingest a columnar run of same-source records (`cols[tag][row]`)
+    /// without materializing `Record`s. Routing, metering, and the
+    /// storage-side locks are paid once per run instead of once per row;
+    /// the ingested rows and statistics are identical to a `write` loop.
+    pub fn write_cols(
+        &self,
+        source: odh_types::SourceId,
+        ts: &[i64],
+        cols: &[Vec<Option<f64>>],
+    ) -> Result<u64> {
+        let n = ts.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        // The per-row path drives the clock to each record's timestamp in
+        // turn; the net effect is the run's last timestamp.
+        self.meter.set_now(ts[n - 1]);
+        self.tables[self.table_of(source.0)].put_cols(source, ts, cols)?;
+        if let Some(stats) = &self.stats {
+            let points: u64 =
+                cols.iter().map(|c| c.iter().filter(|v| v.is_some()).count() as u64).sum();
+            let (min_ts, max_ts) =
+                ts.iter().fold((i64::MAX, i64::MIN), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+            stats.note_run(min_ts, max_ts, n as u64, points);
+        }
+        self.written.fetch_add(n as u64, Ordering::Relaxed);
+        Ok(n as u64)
+    }
+
     /// Ingest a batch of records on the calling thread. Returns the
     /// number ingested.
     pub fn write_batch(&self, records: &[Record]) -> Result<u64> {

@@ -1,0 +1,116 @@
+//! `odh-server` — stand up a historian behind the wire protocol.
+//!
+//! ```text
+//! odh-server --addr 127.0.0.1:4711 --servers 2 \
+//!     --schema environ_data:temperature,wind [--disk-dir ./odh-data]
+//! ```
+//!
+//! Each `--schema name:tag1,tag2,...` defines one schema type clients
+//! can HELLO into. Sources are auto-registered on first write (as
+//! irregular/high-frequency). Runs until SIGINT/SIGTERM kills the
+//! process; durability comes from the WAL, so a hard kill loses only
+//! unacked frames.
+
+use odh_core::Historian;
+use odh_net::{NetServer, NetServerConfig};
+use odh_storage::TableConfig;
+use odh_types::SchemaType;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: odh-server [--addr HOST:PORT] [--servers N] [--disk-dir DIR] \
+         [--max-sessions N] [--window N] --schema name:tag1,tag2 [--schema ...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4711".to_string();
+    let mut servers = 1usize;
+    let mut disk_dir: Option<String> = None;
+    let mut max_sessions = 4096usize;
+    let mut window = 64u32;
+    let mut schemas: Vec<(String, Vec<String>)> = Vec::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--addr" => {
+                addr = need(i);
+                i += 2;
+            }
+            "--servers" => {
+                servers = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--disk-dir" => {
+                disk_dir = Some(need(i));
+                i += 2;
+            }
+            "--max-sessions" => {
+                max_sessions = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--window" => {
+                window = need(i).parse().unwrap_or_else(|_| usage());
+                i += 2;
+            }
+            "--schema" => {
+                let spec = need(i);
+                let (name, tags) = spec.split_once(':').unwrap_or_else(|| usage());
+                let tags: Vec<String> = tags.split(',').map(|t| t.trim().to_string()).collect();
+                if name.is_empty() || tags.iter().any(|t| t.is_empty()) {
+                    usage();
+                }
+                schemas.push((name.to_string(), tags));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if schemas.is_empty() {
+        usage();
+    }
+
+    let mut builder = Historian::builder().servers(servers).durable(true);
+    if let Some(dir) = &disk_dir {
+        builder = builder.disk_dir(dir);
+    }
+    let historian = match builder.build() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("odh-server: failed to open historian: {e}");
+            std::process::exit(1);
+        }
+    };
+    for (name, tags) in &schemas {
+        let cfg = TableConfig::new(SchemaType::new(name.clone(), tags.iter().cloned()));
+        if let Err(e) = historian.define_schema_type(cfg) {
+            eprintln!("odh-server: schema '{name}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("odh-server: schema '{name}' ({} tags)", tags.len());
+    }
+
+    let cfg = NetServerConfig { addr, max_sessions, window, ..NetServerConfig::default() };
+    let server = match NetServer::serve(historian.cluster().clone(), cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("odh-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "odh-server: listening on {} ({} data server{})",
+        server.local_addr(),
+        servers,
+        if servers == 1 { "" } else { "s" }
+    );
+    // Serve until the process is killed; the WAL makes that safe.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,269 @@
+//! Blocking wire-protocol client.
+//!
+//! One `NetClient` is one session: single-threaded, credit-throttled,
+//! reusing one encode buffer and one read buffer across every frame.
+//! Sends block when the server's credit window is exhausted
+//! ([`ClientStats::backpressure_waits`] counts those stalls) and
+//! otherwise drain acks opportunistically so latency accounting stays
+//! close to the wire.
+
+use crate::frame::{self, Frame, ReadStatus, WIRE_VERSION};
+use odh_obs::Histogram;
+use odh_types::{OdhError, Record, Result};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Client-side session counters, plus the ack-latency histogram
+/// (microseconds from frame write to ack receipt).
+#[derive(Default)]
+pub struct ClientStats {
+    pub frames_sent: u64,
+    pub rows_sent: u64,
+    pub bytes_sent: u64,
+    pub bytes_received: u64,
+    pub acks_received: u64,
+    /// Times a send blocked on zero credit.
+    pub backpressure_waits: u64,
+    /// Last seal-queue depth the server reported.
+    pub last_queue_depth: u32,
+    /// Last WAL lag the server reported.
+    pub last_wal_lag: u64,
+    pub ack_latency_us: Histogram,
+}
+
+/// Final report returned by [`NetClient::finish`].
+pub struct ClientReport {
+    /// Highest batch seq the server durably acked.
+    pub acked_seq: u64,
+    pub stats: ClientStats,
+}
+
+pub struct NetClient {
+    stream: TcpStream,
+    ntags: usize,
+    next_seq: u64,
+    acked_seq: u64,
+    /// Total frames of credit granted by the server.
+    granted: u64,
+    enc_buf: Vec<u8>,
+    rd_buf: Vec<u8>,
+    /// (seq, send instant) of unacked frames, for latency accounting.
+    inflight: VecDeque<(u64, Instant)>,
+    initial_window: u32,
+    pub stats: ClientStats,
+}
+
+const BLOCKING_TIMEOUT: Duration = Duration::from_secs(30);
+const DRAIN_TIMEOUT: Duration = Duration::from_millis(1);
+// Mid-frame stall tolerance, in read-timeout units.
+const IDLE_BUDGET: u32 = 1000;
+
+impl NetClient {
+    /// Connect and run the handshake for one schema type with `ntags`
+    /// tag slots per record.
+    pub fn connect(addr: SocketAddr, schema: &str, ntags: usize) -> Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(BLOCKING_TIMEOUT))?;
+        let mut c = NetClient {
+            stream,
+            ntags,
+            next_seq: 1,
+            acked_seq: 0,
+            granted: 0,
+            enc_buf: Vec::new(),
+            rd_buf: Vec::new(),
+            inflight: VecDeque::new(),
+            initial_window: 0,
+            stats: ClientStats::default(),
+        };
+        c.enc_buf.clear();
+        frame::encode_hello(&mut c.enc_buf, ntags as u16, schema);
+        c.stream.write_all(&c.enc_buf)?;
+        match c.read_one(true)? {
+            Some(Reply::HelloOk { version, credit }) => {
+                if version != WIRE_VERSION {
+                    return Err(OdhError::Unsupported(format!(
+                        "server speaks wire version {version}, client {WIRE_VERSION}"
+                    )));
+                }
+                c.granted = credit as u64;
+                c.initial_window = credit;
+                Ok(c)
+            }
+            Some(Reply::Ack) | Some(Reply::Bye) => {
+                Err(OdhError::Corrupt("wire: unexpected frame during handshake".into()))
+            }
+            None => Err(OdhError::Io("handshake timed out".into())),
+        }
+    }
+
+    /// Credit remaining before the next send must block.
+    pub fn credit(&self) -> u64 {
+        self.granted.saturating_sub(self.next_seq - 1)
+    }
+
+    /// Highest durably-acked batch seq so far.
+    pub fn acked_seq(&self) -> u64 {
+        self.acked_seq
+    }
+
+    /// Seq the next [`NetClient::send_batch`] will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Encode and send `records` as one batch frame. Blocks while the
+    /// credit window is exhausted. Returns the frame's seq.
+    pub fn send_batch(&mut self, records: &[Record]) -> Result<u64> {
+        while self.credit() == 0 {
+            self.stats.backpressure_waits += 1;
+            if self.read_one(true)?.is_none() {
+                return Err(OdhError::Io("timed out waiting for credit".into()));
+            }
+        }
+        let seq = self.next_seq;
+        self.enc_buf.clear();
+        frame::encode_batch(&mut self.enc_buf, seq, self.ntags, records)?;
+        self.stream.write_all(&self.enc_buf)?;
+        self.next_seq += 1;
+        self.inflight.push_back((seq, Instant::now()));
+        self.stats.frames_sent += 1;
+        self.stats.rows_sent += records.len() as u64;
+        self.stats.bytes_sent += self.enc_buf.len() as u64;
+        // Opportunistically drain buffered acks once the window is half
+        // spent, so latency samples are taken near arrival time.
+        if self.credit() <= (self.initial_window / 2) as u64 {
+            self.drain_available()?;
+        }
+        Ok(seq)
+    }
+
+    /// Send one pre-encoded `BATCH` frame (built by
+    /// [`frame::encode_batch`] with `seq` equal to this session's
+    /// [`NetClient::next_seq`]); `rows` is its row count. Replay shape
+    /// for harnesses that pre-generate wire traffic: no re-encode on the
+    /// hot path, but credit, inflight, and ack accounting identical to
+    /// [`NetClient::send_batch`].
+    pub fn send_encoded(&mut self, bytes: &[u8], rows: u64) -> Result<u64> {
+        if bytes.len() < frame::FRAME_HDR + 9 || bytes[frame::FRAME_HDR] != frame::KIND_BATCH {
+            return Err(OdhError::Config("send_encoded: not a single BATCH frame".into()));
+        }
+        let at = frame::FRAME_HDR + 1;
+        let seq = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        if seq != self.next_seq {
+            return Err(OdhError::Config(format!(
+                "send_encoded: frame carries seq {seq}, session expects {}",
+                self.next_seq
+            )));
+        }
+        while self.credit() == 0 {
+            self.stats.backpressure_waits += 1;
+            if self.read_one(true)?.is_none() {
+                return Err(OdhError::Io("timed out waiting for credit".into()));
+            }
+        }
+        self.stream.write_all(bytes)?;
+        self.next_seq += 1;
+        self.inflight.push_back((seq, Instant::now()));
+        self.stats.frames_sent += 1;
+        self.stats.rows_sent += rows;
+        self.stats.bytes_sent += bytes.len() as u64;
+        if self.credit() <= (self.initial_window / 2) as u64 {
+            self.drain_available()?;
+        }
+        Ok(seq)
+    }
+
+    /// Block until every sent frame is acked (without closing).
+    pub fn wait_all_acked(&mut self) -> Result<()> {
+        while self.acked_seq + 1 < self.next_seq {
+            if self.read_one(true)?.is_none() {
+                return Err(OdhError::Io("timed out waiting for ack".into()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Send BYE, wait for the final ack + BYE_OK, and return the session
+    /// report.
+    pub fn finish(mut self) -> Result<ClientReport> {
+        self.enc_buf.clear();
+        frame::encode_bye(&mut self.enc_buf);
+        self.stream.write_all(&self.enc_buf)?;
+        loop {
+            match self.read_one(true)? {
+                Some(Reply::Bye) => break,
+                Some(_) => {}
+                None => return Err(OdhError::Io("timed out waiting for BYE_OK".into())),
+            }
+        }
+        Ok(ClientReport { acked_seq: self.acked_seq, stats: self.stats })
+    }
+
+    /// Read frames until the socket has nothing buffered.
+    fn drain_available(&mut self) -> Result<()> {
+        self.stream.set_read_timeout(Some(DRAIN_TIMEOUT))?;
+        let r = loop {
+            match self.read_one(false) {
+                Ok(Some(_)) => continue,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_read_timeout(Some(BLOCKING_TIMEOUT))?;
+        r
+    }
+
+    /// Read and process one server frame. `Ok(None)` = idle timeout.
+    /// `expect_blocking` only affects which timeout produced the idle.
+    fn read_one(&mut self, _expect_blocking: bool) -> Result<Option<Reply>> {
+        let mut buf = std::mem::take(&mut self.rd_buf);
+        let st = frame::read_frame(&mut self.stream, &mut buf, IDLE_BUDGET);
+        self.rd_buf = buf;
+        match st? {
+            ReadStatus::Idle => Ok(None),
+            ReadStatus::Eof => Err(OdhError::Io("server closed the connection".into())),
+            ReadStatus::Frame(len) => {
+                self.stats.bytes_received += (frame::FRAME_HDR + len) as u64;
+                match frame::decode_frame(&self.rd_buf[..len])? {
+                    Frame::Ack { seq, grant, queue_depth, wal_lag } => {
+                        let now = Instant::now();
+                        while let Some(&(s, at)) = self.inflight.front() {
+                            if s > seq {
+                                break;
+                            }
+                            self.stats
+                                .ack_latency_us
+                                .record(now.duration_since(at).as_micros() as u64);
+                            self.inflight.pop_front();
+                        }
+                        self.acked_seq = self.acked_seq.max(seq);
+                        self.granted += grant as u64;
+                        self.stats.acks_received += 1;
+                        self.stats.last_queue_depth = queue_depth;
+                        self.stats.last_wal_lag = wal_lag;
+                        Ok(Some(Reply::Ack))
+                    }
+                    Frame::HelloOk { version, credit } => {
+                        Ok(Some(Reply::HelloOk { version, credit }))
+                    }
+                    Frame::ByeOk => Ok(Some(Reply::Bye)),
+                    Frame::Error { code, msg } => Err(frame::error_from_code(code, msg)),
+                    Frame::Hello { .. } | Frame::Batch(_) | Frame::Bye => {
+                        Err(OdhError::Corrupt("wire: server sent a client frame".into()))
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Internal reply classification for the client's read loop.
+enum Reply {
+    Ack,
+    HelloOk { version: u16, credit: u32 },
+    Bye,
+}

@@ -1,0 +1,25 @@
+//! Network ingest front door — §"write interfaces" of the paper, over a
+//! real client/server boundary.
+//!
+//! The historian in the paper is fed by thousands of field devices over
+//! the network; this crate is that front door for the reproduction: a
+//! length+CRC32-framed streaming protocol over plain TCP (no async
+//! runtime — thread-per-connection with a bounded accept pool), speaking
+//! a zero-copy columnar batch format that decodes straight into the
+//! ingest writer's record shape with no per-row allocation. Acks ride
+//! the WAL group-commit clock, and a credit window backpressures clients
+//! when the seal queue or WAL lag grows.
+//!
+//! - [`frame`]: the wire grammar (envelope, frame kinds, columnar batch
+//!   layout, hardened decoders).
+//! - [`server`]: [`NetServer`] — accept pool, per-session ingest loops,
+//!   and the committer thread that turns group commits into acks.
+//! - [`client`]: [`NetClient`] — a blocking, credit-aware session.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{ClientReport, ClientStats, NetClient};
+pub use frame::{BatchView, ColScratch, Frame, Scratch, MAX_FRAME, WIRE_VERSION};
+pub use server::{NetServer, NetServerConfig};

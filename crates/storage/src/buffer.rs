@@ -47,6 +47,32 @@ impl SourceBuffer {
         }
     }
 
+    /// Columnar counterpart of [`SourceBuffer::push`]: append `rows` of a
+    /// same-source run (`cols[tag][row]`) with one extend per column.
+    /// `first_lsn`/`last_lsn` bound the run's WAL records, exactly as the
+    /// per-row path records them.
+    pub fn push_run(
+        &mut self,
+        ts: &[i64],
+        cols: &[Vec<Option<f64>>],
+        rows: std::ops::Range<usize>,
+        first_lsn: u64,
+        last_lsn: u64,
+    ) {
+        debug_assert_eq!(cols.len(), self.cols.len());
+        if rows.is_empty() {
+            return;
+        }
+        if self.ts.is_empty() {
+            self.first_lsn = first_lsn;
+        }
+        self.last_lsn = last_lsn;
+        self.ts.extend_from_slice(&ts[rows.clone()]);
+        for (col, src) in self.cols.iter_mut().zip(cols) {
+            col.extend_from_slice(&src[rows.clone()]);
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.ts.len()
     }
@@ -123,6 +149,32 @@ impl MgBuffer {
         self.ids.push(source);
         for (col, v) in self.cols.iter_mut().zip(values) {
             col.push(*v);
+        }
+    }
+
+    /// Columnar counterpart of [`MgBuffer::push`]: append `rows` of a
+    /// same-source run (`cols[tag][row]`) with one extend per column.
+    pub fn push_run(
+        &mut self,
+        source: SourceId,
+        ts: &[i64],
+        cols: &[Vec<Option<f64>>],
+        rows: std::ops::Range<usize>,
+        first_lsn: u64,
+        last_lsn: u64,
+    ) {
+        debug_assert_eq!(cols.len(), self.cols.len());
+        if rows.is_empty() {
+            return;
+        }
+        if self.ts.is_empty() {
+            self.first_lsn = first_lsn;
+        }
+        self.last_lsn = last_lsn;
+        self.ts.extend_from_slice(&ts[rows.clone()]);
+        self.ids.resize(self.ids.len() + rows.len(), source);
+        for (col, src) in self.cols.iter_mut().zip(cols) {
+            col.extend_from_slice(&src[rows.clone()]);
         }
     }
 

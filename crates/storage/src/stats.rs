@@ -154,6 +154,17 @@ impl StorageStats {
         self.max_ts.fetch_max(ts_us, Ordering::Relaxed);
     }
 
+    /// Record a run of `records` accepted records spanning
+    /// `[min_ts_us, max_ts_us]` with `points` non-null values in total —
+    /// one atomic round for what [`TableStats::note_put`] would count
+    /// row by row.
+    pub fn note_put_run(&self, min_ts_us: i64, max_ts_us: i64, records: u64, points: u64) {
+        self.points_ingested.add(points);
+        self.records_ingested.add(records);
+        self.min_ts.fetch_min(min_ts_us, Ordering::Relaxed);
+        self.max_ts.fetch_max(max_ts_us, Ordering::Relaxed);
+    }
+
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             points_ingested: self.points_ingested.get(),

@@ -6,6 +6,7 @@
 //! `cargo run -p odh-bench --bin obs_dump -- --names`).
 
 use odh_core::Historian;
+use odh_net::{NetClient, NetServer, NetServerConfig};
 use odh_storage::TableConfig;
 use odh_types::{Duration, Record, SchemaType, SourceClass, SourceId, Timestamp};
 
@@ -48,6 +49,17 @@ fn full_workload() -> Historian {
     h.sql("select COUNT(*), SUM(temperature) from environ_data_v").unwrap();
     h.sql("select temperature from environ_data_v").unwrap();
     h.sql("select temperature from environ_data_v").unwrap();
+    // One loopback wire session so the odh_net_* front-door metrics show.
+    let mut server = NetServer::serve(h.cluster().clone(), NetServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.local_addr(), "environ_data", 2).unwrap();
+    let batch: Vec<Record> = (0..32i64)
+        .map(|i| {
+            Record::dense(SourceId(i as u64 % 4), Timestamp(200_000_000 + i * 1_000), [1.0, 2.0])
+        })
+        .collect();
+    client.send_batch(&batch).unwrap();
+    client.finish().unwrap();
+    server.shutdown();
     h
 }
 
