@@ -20,6 +20,9 @@
 
 use odh_bench::QueryBenchPoint;
 use odh_bench::{banner, load_baseline, print_query_points, query_path_bench, save_json};
+use odh_core::Historian;
+use odh_storage::{DeletePredicate, TableConfig};
+use odh_types::{Record, SchemaType, SourceClass, SourceId, Timestamp};
 
 fn env_pct(name: &str, default: f64) -> f64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -88,6 +91,50 @@ fn main() {
             check(push.blob_decodes < row.blob_decodes, "pushdown decodes less than the row path");
         }
         _ => check(false, "pushdown and rowpath points present"),
+    }
+
+    // Hostile-ingest counter gates — deterministic, baseline-free: late
+    // arrivals must be routed through the side buffer, and a tombstone
+    // must knock exactly the overlapping batches off the summary fast
+    // path (pushdown soundness under deletes).
+    {
+        let h = Historian::builder().build().unwrap();
+        h.define_schema_type(TableConfig::new(SchemaType::new("g", ["v"])).with_batch_size(16))
+            .unwrap();
+        h.register_source("g", SourceId(1), SourceClass::irregular_high()).unwrap();
+        let w = h.writer("g").unwrap();
+        for i in 0..128i64 {
+            w.write(&Record::dense(SourceId(1), Timestamp(1_000_000 + i * 10_000), [i as f64]))
+                .unwrap();
+        }
+        // Barrier first so every seal (and its watermark advance) has
+        // landed; the next row is then deterministically late.
+        h.flush().unwrap();
+        w.write(&Record::dense(SourceId(1), Timestamp(999), [0.0])).unwrap();
+        h.flush().unwrap();
+        let sum = |name: &str| h.registry().sum_counter(name);
+        check(sum("odh_ooo_side_rows_total") == 1, "late arrival routed through the side buffer");
+        let q = "select COUNT(*), SUM(v), MIN(v), MAX(v) from g_v";
+        let (s0, d0) =
+            (sum("odh_table_summary_answered_batches_total"), sum("odh_table_blob_decodes_total"));
+        h.sql(q).unwrap();
+        let (s1, d1) =
+            (sum("odh_table_summary_answered_batches_total"), sum("odh_table_blob_decodes_total"));
+        check(d1 - d0 == 0, "clean aggregate decodes zero blobs");
+        check(s1 - s0 > 0, "clean aggregate answers from summaries");
+        // Tombstone inside exactly one sealed batch.
+        h.delete("g", &DeletePredicate::all_sources(1_170_000, 1_190_000)).unwrap();
+        h.sql(q).unwrap();
+        let (s2, d2) =
+            (sum("odh_table_summary_answered_batches_total"), sum("odh_table_blob_decodes_total"));
+        check(d2 - d1 == 1, "tombstoned aggregate decodes exactly the overlapping batch");
+        check(s2 - s1 == (s1 - s0) - 1, "non-overlapping batches keep the summary fast path");
+        check(sum("odh_tombstone_masked_rows_total") > 0, "tombstone masking is attributed");
+        let report = h.explain_analyze(q).unwrap();
+        check(
+            report.contains("tombstone_masked_rows="),
+            "EXPLAIN ANALYZE attributes tombstone filtering",
+        );
     }
 
     // Vectorized-execution gates. The in-run speedup compares the same

@@ -213,6 +213,37 @@ impl Cluster {
         Ok(moved)
     }
 
+    /// Apply a predicate delete to a schema type. Source-list predicates
+    /// resolve to the owning servers (partition elimination); a pure
+    /// time-range delete fans out to the whole fleet. The deletes are
+    /// WAL-framed per server; `sync` afterwards for a durability barrier.
+    pub fn delete(&self, schema_type: &str, pred: &odh_storage::DeletePredicate) -> Result<()> {
+        match &pred.sources {
+            Some(list) => {
+                // Dedupe by server so one shard gets one tombstone even
+                // when several listed sources live on it.
+                let group_size =
+                    self.type_config(schema_type).map(|c| c.mg_group_size).unwrap_or(1000).max(1);
+                let mut hit: Vec<usize> = Vec::new();
+                for s in list {
+                    let idx = ((s.0 / group_size) % self.servers.len() as u64) as usize;
+                    if !hit.contains(&idx) {
+                        hit.push(idx);
+                    }
+                }
+                for idx in hit {
+                    self.servers[idx].table(schema_type)?.delete(pred)?;
+                }
+            }
+            None => {
+                for s in &self.servers {
+                    s.table(schema_type)?.delete(pred)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Run one generational compaction pass on every server.
     pub fn compact(&self) -> Result<odh_storage::CompactReport> {
         let mut report = odh_storage::CompactReport::default();

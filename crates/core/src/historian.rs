@@ -261,12 +261,13 @@ impl ExplainStats {
 
 /// Registry counters whose per-query movement EXPLAIN ANALYZE reports
 /// (summed across all tables and servers).
-const ATTRIBUTION_COUNTERS: [&str; 5] = [
+const ATTRIBUTION_COUNTERS: [&str; 6] = [
     "odh_table_summary_answered_batches_total",
     "odh_table_cache_hits_total",
     "odh_table_cache_misses_total",
     "odh_table_blob_decodes_total",
     "odh_table_cold_batches_scanned_total",
+    "odh_tombstone_masked_rows_total",
 ];
 
 /// The ODH system.
@@ -430,7 +431,10 @@ impl Historian {
             profile.exec_nanos
         ));
         for (name, b) in ATTRIBUTION_COUNTERS.iter().zip(before) {
-            let short = name.trim_start_matches("odh_table_").trim_end_matches("_total");
+            let short = name
+                .trim_start_matches("odh_table_")
+                .trim_start_matches("odh_")
+                .trim_end_matches("_total");
             out.push_str(&format!("{short}={}\n", registry.sum_counter(name).saturating_sub(b)));
         }
         Ok(out)
@@ -514,6 +518,17 @@ impl Historian {
     /// trigger. Returns the summed per-table reports.
     pub fn compact(&self) -> Result<odh_storage::CompactReport> {
         self.cluster.compact()
+    }
+
+    /// Delete by predicate: install a [`odh_storage::Tombstone`] on every
+    /// shard of `schema_type` the predicate can reach (source-list
+    /// predicates use partition elimination), then sync so the delete is
+    /// durable before this returns. Matching rows vanish from every read
+    /// tier immediately; the next compaction pass resolves them
+    /// physically (see [`Historian::compact`]).
+    pub fn delete(&self, schema_type: &str, pred: &odh_storage::DeletePredicate) -> Result<()> {
+        self.cluster.delete(schema_type, pred)?;
+        self.sync()
     }
 
     /// Total on-disk operational storage (Table 7 metric).

@@ -247,7 +247,10 @@ impl DataServer {
         }
         for frame in frames {
             if frame.lsn <= checkpoint_lsn {
-                if matches!(frame.entry, WalEntry::Point { .. }) {
+                if matches!(
+                    frame.entry,
+                    WalEntry::Point { .. } | WalEntry::LatePoint { .. } | WalEntry::Delete { .. }
+                ) {
                     obs.skipped.inc();
                 }
                 continue;
@@ -298,6 +301,46 @@ impl DataServer {
                         eprintln!(
                             "server {}: WAL replay skipped point for unknown table {table} (never \
                              acknowledged)",
+                            self.id
+                        )
+                    }
+                },
+                WalEntry::LatePoint { table, record } => match by_id.get(table) {
+                    Some(t) => match t.replay_put_late(record, frame.lsn) {
+                        Ok(true) => obs.replayed.inc(),
+                        Ok(false) => obs.skipped.inc(),
+                        Err(e) if e.kind() == "not_found" => {
+                            obs.skipped.inc();
+                            eprintln!(
+                                "server {}: WAL replay skipped late point at LSN {} ({e}; never \
+                                 acknowledged)",
+                                self.id, frame.lsn
+                            )
+                        }
+                        Err(e) => return Err(e),
+                    },
+                    None => {
+                        obs.skipped.inc();
+                        eprintln!(
+                            "server {}: WAL replay skipped late point for unknown table {table} \
+                             (never acknowledged)",
+                            self.id
+                        )
+                    }
+                },
+                WalEntry::Delete { table, predicate } => match by_id.get(table) {
+                    Some(t) => {
+                        if t.replay_delete(predicate, frame.lsn) {
+                            obs.replayed.inc()
+                        } else {
+                            obs.skipped.inc()
+                        }
+                    }
+                    None => {
+                        obs.skipped.inc();
+                        eprintln!(
+                            "server {}: WAL replay skipped delete for unknown table {table} \
+                             (never acknowledged)",
                             self.id
                         )
                     }

@@ -88,6 +88,49 @@ impl CachedBatch {
         Ok((tags.iter().map(|t| g[t].clone()).collect(), decoded))
     }
 
+    /// [`CachedBatch::cols_for`] with pass-local fills: tags already
+    /// decoded in the shared entry come from it, tags this pass decoded
+    /// earlier come from `overlay`, and fresh decodes go into `overlay`
+    /// instead of the entry. The optimistic read pass installs the
+    /// overlay only when it validates (`ReadTally`), so a discarded
+    /// retry can neither warm the shared entry nor skew the attribution
+    /// of the pass whose result is returned.
+    pub(crate) fn cols_for_overlay(
+        self: &Arc<Self>,
+        tags: &[usize],
+        overlay: &mut HashMap<(usize, usize), (Arc<CachedBatch>, SharedCol)>,
+    ) -> Result<(Vec<SharedCol>, bool)> {
+        let g = self.cols.lock();
+        let entry_key = Arc::as_ptr(self) as usize;
+        let mut decoded = false;
+        let mut out = Vec::with_capacity(tags.len());
+        crate::blob::with_tls_scratch(|scratch| -> Result<()> {
+            for &tag in tags {
+                if let Some(c) = g.get(&tag) {
+                    out.push(c.clone());
+                } else if let Some((_, c)) = overlay.get(&(entry_key, tag)) {
+                    out.push(c.clone());
+                } else {
+                    decoded = true;
+                    let mut col = Vec::new();
+                    self.batch.blob().decode_tag_into(&self.ts, tag, scratch, &mut col)?;
+                    let c: SharedCol = Arc::new(col);
+                    overlay.insert((entry_key, tag), (self.clone(), c.clone()));
+                    out.push(c);
+                }
+            }
+            Ok(())
+        })?;
+        Ok((out, decoded))
+    }
+
+    /// Install a column decoded by a validated pass (see
+    /// [`CachedBatch::cols_for_overlay`]). First writer wins so an Arc
+    /// another thread already shares is never replaced.
+    pub(crate) fn install_col(&self, tag: usize, col: SharedCol) {
+        self.cols.lock().entry(tag).or_insert(col);
+    }
+
     /// Bytes this entry charges against its shard's budget.
     pub fn bytes(&self) -> usize {
         self.bytes

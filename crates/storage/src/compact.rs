@@ -58,12 +58,27 @@
 //! the summary layer is ever consulted — and reads clamp their lower bound
 //! to the retention floor so a query can never see a half-dropped window.
 //!
+//! ## Tombstone resolution
+//!
+//! Compaction is also where predicate deletes ([`crate::delete`]) become
+//! physical. The pass snapshots the tombstone list up front; every hot
+//! batch the list could touch is forced through the merge path regardless
+//! of size, and masked rows are filtered out as the batch decodes (cold
+//! batches are rewritten in place the same way). Afterwards — under the
+//! same phase-B ticket as the swaps — a snapshot tombstone is *retired*
+//! when no unrewritten copy of its rows can remain: no latecomer batch
+//! copied raw overlaps it, no rows sit in open/side buffers or queued
+//! seal jobs, and the MG generation (which this pass never rewrites —
+//! [`OdhTable::reorganize`] owns it) provably holds none of its sources.
+//! Tombstones installed mid-pass are kept verbatim.
+//!
 //! [`TableConfig::with_cold_after`]: crate::table::TableConfig::with_cold_after
 //! [`TableConfig::with_retention_ttl`]: crate::table::TableConfig::with_retention_ttl
 
 use crate::batch::{summarize_columns, Batch, IrtsBatch, RtsBatch};
 use crate::blob::ValueBlob;
 use crate::container::Container;
+use crate::delete::{masks_batch, masks_row, Tombstone};
 use crate::reorg::{is_regular_run, sort_by_ts};
 use crate::select::Structure;
 use crate::table::OdhTable;
@@ -84,6 +99,10 @@ pub struct CompactReport {
     pub expired_batches: u64,
     /// Batches demoted to the cold tier this pass.
     pub demoted_batches: u64,
+    /// Rows physically dropped while resolving tombstones.
+    pub tombstone_rows_resolved: u64,
+    /// Tombstones retired as fully resolved this pass.
+    pub tombstones_retired: u64,
     /// Hot + cold batch count before / after the pass.
     pub batches_before: u64,
     pub batches_after: u64,
@@ -92,7 +111,11 @@ pub struct CompactReport {
 impl CompactReport {
     /// Did the pass change anything worth reporting?
     pub fn changed(&self) -> bool {
-        self.merged_batches > 0 || self.expired_batches > 0 || self.demoted_batches > 0
+        self.merged_batches > 0
+            || self.expired_batches > 0
+            || self.demoted_batches > 0
+            || self.tombstone_rows_resolved > 0
+            || self.tombstones_retired > 0
     }
 
     /// Fold another table's (or server's) report into this one.
@@ -102,6 +125,8 @@ impl CompactReport {
         self.copied_batches += o.copied_batches;
         self.expired_batches += o.expired_batches;
         self.demoted_batches += o.demoted_batches;
+        self.tombstone_rows_resolved += o.tombstone_rows_resolved;
+        self.tombstones_retired += o.tombstones_retired;
         self.batches_before += o.batches_before;
         self.batches_after += o.batches_after;
     }
@@ -132,6 +157,10 @@ impl OdhTable {
         let policy = self.config().policy;
         let min_rows = self.config().compact_min_rows();
         let target_rows = self.config().compact_target_rows();
+        // Snapshot the tombstone list: this pass resolves exactly these.
+        // Deletes issued mid-pass stay installed and mask at read time;
+        // the next pass resolves them.
+        let tombs = self.tombstones();
 
         // ---- Phase A: build replacements without blocking ingest. ----
         let old_rts = self.rts.read().clone();
@@ -161,12 +190,17 @@ impl OdhTable {
         }
 
         // Cold batches are already compact: copy forward, dropping the
-        // expired. Only the compactor writes cold (passes are serialized
-        // by compact_lock), so cold has no latecomers to chase.
+        // expired and rewriting the tombstoned without their masked rows.
+        // Only the compactor writes cold (passes are serialized by
+        // compact_lock), so cold has no latecomers to chase.
         for b in old_cold.scan_all()? {
-            let (_, end) = b.time_range();
+            let (begin, end) = b.time_range();
             if floor.is_some_and(|f| end < f) {
                 report.expired_batches += 1;
+                continue;
+            }
+            if masks_batch(&tombs, b.source(), begin, end) {
+                self.rewrite_cold(&b, &tombs, policy, &fresh_cold, &mut report)?;
                 continue;
             }
             self.insert_raw(&fresh_cold, &b)?;
@@ -178,14 +212,18 @@ impl OdhTable {
             let interval = self.source_class(SourceId(src)).and_then(|c| c.interval());
             let mut run: Option<SourceRun> = None;
             for b in batches {
-                let (_, end) = b.time_range();
+                let (begin, end) = b.time_range();
                 // Retention first: an expired batch is dropped whole,
                 // without decoding — the summary layer never sees it.
                 if floor.is_some_and(|f| end < f) {
                     report.expired_batches += 1;
                     continue;
                 }
-                if b.n_points() < min_rows {
+                // A batch a tombstone could touch is forced through the
+                // merge path whatever its size: decoding is the only way
+                // to drop exactly the masked rows.
+                let doomed = masks_batch(&tombs, b.source(), begin, end);
+                if b.n_points() < min_rows || doomed {
                     // Small batch: stage it for merging.
                     let r = run.get_or_insert_with(|| SourceRun {
                         ts: Vec::new(),
@@ -194,9 +232,22 @@ impl OdhTable {
                     });
                     let ts = b.timestamps();
                     let cols = b.blob().decode_tags(&ts, &all_tags)?;
-                    r.ts.extend_from_slice(&ts);
-                    for (acc, col) in r.cols.iter_mut().zip(&cols) {
-                        acc.extend_from_slice(col);
+                    if doomed {
+                        for (row, &t) in ts.iter().enumerate() {
+                            if masks_row(&tombs, SourceId(src), t) {
+                                report.tombstone_rows_resolved += 1;
+                                continue;
+                            }
+                            r.ts.push(t);
+                            for (acc, col) in r.cols.iter_mut().zip(&cols) {
+                                acc.push(col[row]);
+                            }
+                        }
+                    } else {
+                        r.ts.extend_from_slice(&ts);
+                        for (acc, col) in r.cols.iter_mut().zip(&cols) {
+                            acc.extend_from_slice(col);
+                        }
                     }
                     r.input_batches += 1;
                     if r.ts.len() >= target_rows {
@@ -263,6 +314,7 @@ impl OdhTable {
         // One seqlock ticket across every swap: an overlapping composite
         // read retries, so it can never observe a batch in both its old
         // and new generation, or in neither.
+        let mut latecomer_spans: Vec<(Option<SourceId>, i64, i64)> = Vec::new();
         {
             let _ticket = self.seals.begin();
             for (slot, fresh, seen) in
@@ -275,6 +327,8 @@ impl OdhTable {
                 for rid in g.all_rids()? {
                     if !seen.contains(&rid) {
                         let b = g.get_batch(rid)?;
+                        let (begin, end) = b.time_range();
+                        latecomer_spans.push((b.source(), begin, end));
                         self.insert_raw(fresh, &b)?;
                     }
                 }
@@ -282,6 +336,8 @@ impl OdhTable {
             }
             let mut g = self.cold.write();
             *g = fresh_cold.clone();
+            drop(g);
+            report.tombstones_retired = self.retire_resolved(&tombs, &latecomer_spans);
         }
         // Retired generations are unreachable; give their decode-cache
         // budget back to live batches. Done last: in-flight reads holding
@@ -297,7 +353,91 @@ impl OdhTable {
         self.obs.compact_merged.add(report.merged_batches);
         self.obs.compact_expired.add(report.expired_batches);
         self.obs.compact_demoted.add(report.demoted_batches);
+        self.stats.tombstone_resolved_rows.add(report.tombstone_rows_resolved);
+        self.stats.tombstones_retired.add(report.tombstones_retired);
         Ok(report)
+    }
+
+    /// Rewrite one tombstone-overlapped cold batch without its masked
+    /// rows (dropped whole if nothing survives). Cold is out of the
+    /// summary fast path anyway, so the rewrite re-encodes as IRTS
+    /// without consulting the source class.
+    fn rewrite_cold(
+        &self,
+        b: &Batch,
+        tombs: &[Tombstone],
+        policy: odh_compress::column::Policy,
+        fresh_cold: &Container,
+        report: &mut CompactReport,
+    ) -> Result<()> {
+        let src = b.source().expect("cold holds only per-source batches");
+        let all_tags: Vec<usize> = (0..self.schema().tag_count()).collect();
+        let ts = b.timestamps();
+        let cols = b.blob().decode_tags(&ts, &all_tags)?;
+        let mut keep_ts: Vec<i64> = Vec::with_capacity(ts.len());
+        let mut keep_cols: Vec<Vec<Option<f64>>> = vec![Vec::new(); cols.len()];
+        for (row, &t) in ts.iter().enumerate() {
+            if masks_row(tombs, src, t) {
+                report.tombstone_rows_resolved += 1;
+                continue;
+            }
+            keep_ts.push(t);
+            for (acc, col) in keep_cols.iter_mut().zip(&cols) {
+                acc.push(col[row]);
+            }
+        }
+        if keep_ts.is_empty() {
+            return Ok(());
+        }
+        let blob = ValueBlob::encode(&keep_ts, &keep_cols, policy);
+        let batch = Batch::Irts(IrtsBatch {
+            source: src,
+            begin: keep_ts[0],
+            end: *keep_ts.last().unwrap(),
+            timestamps: keep_ts,
+            blob,
+            summaries: Some(summarize_columns(&keep_cols)),
+        });
+        self.insert_raw(fresh_cold, &batch)?;
+        report.produced_batches += 1;
+        report.merged_batches += 1;
+        Ok(())
+    }
+
+    /// Retire the snapshot tombstones this pass fully resolved. Runs under
+    /// the phase-B ticket, after the swaps: the fresh generations hold no
+    /// masked rows, so a tombstone is still needed only if matching rows
+    /// might survive somewhere the pass did not rewrite — a latecomer
+    /// batch copied raw, an open/side ingest buffer, a queued seal job, or
+    /// the MG generation (never touched here; reorganize owns it).
+    fn retire_resolved(
+        &self,
+        tombs: &[Tombstone],
+        latecomer_spans: &[(Option<SourceId>, i64, i64)],
+    ) -> u64 {
+        if tombs.is_empty() {
+            return 0;
+        }
+        let mg_rows = self.mg.read().record_count();
+        let sources = self.sources.read();
+        let buffered = self.buffered_points();
+        let queued = self.seal_queue_depth();
+        self.retire_tombstones(|t| {
+            // Installed mid-pass: keep verbatim, next pass resolves it.
+            if !tombs.contains(t) {
+                return true;
+            }
+            let mg_safe = mg_rows == 0
+                || t.pred.sources.as_ref().is_some_and(|list| {
+                    list.iter()
+                        .all(|s| !sources.get(&s.0).is_some_and(|m| m.ingest == Structure::Mg))
+                });
+            let latecomer_clear = !latecomer_spans
+                .iter()
+                .any(|&(src, begin, end)| t.pred.overlaps_batch(src, begin, end));
+            let resolved = buffered == 0 && queued == 0 && mg_safe && latecomer_clear;
+            !resolved
+        })
     }
 
     /// Newest-point cutoff below which a batch is demoted to cold.
@@ -650,6 +790,64 @@ mod tests {
         assert!(t.obs.compact_runs.get() > 0, "worker ran at least one pass");
         assert_eq!(scan_all(&t, 1).len(), 120);
         drop(t); // Drop joins the worker; must not hang or panic.
+    }
+
+    #[test]
+    fn compaction_resolves_and_retires_tombstones() {
+        let t = table(base_cfg());
+        fragment(&t, 1, 240, 5, 1_000_000);
+        t.delete(&crate::delete::DeletePredicate::all_sources(10_000_000, 19_000_000)).unwrap();
+        assert_eq!(t.tombstones().len(), 1);
+        let masked = scan_all(&t, 1);
+        assert_eq!(masked.len(), 230, "10 rows masked pre-compaction");
+        let rep = t.compact().unwrap();
+        assert_eq!(rep.tombstone_rows_resolved, 10);
+        assert_eq!(rep.tombstones_retired, 1);
+        assert!(t.tombstones().is_empty(), "fully resolved tombstone retired");
+        assert_eq!(scan_all(&t, 1), masked, "post-resolution scan identical to masked scan");
+        assert_eq!(t.stats().tombstone_resolved_rows.get(), 10);
+        assert_eq!(t.stats().tombstones_retired.get(), 1);
+        // Re-inserting into the resolved range is visible again.
+        t.put(&Record::dense(SourceId(1), Timestamp(15_000_000), [7.0, -7.0])).unwrap();
+        t.flush().unwrap();
+        assert_eq!(scan_all(&t, 1).len(), 231);
+    }
+
+    #[test]
+    fn tombstone_overlapping_cold_batches_is_resolved_in_place() {
+        let t =
+            table(base_cfg().with_compact_min_batch(1).with_cold_after(Duration::from_secs(100)));
+        fragment(&t, 1, 300, 50, 1_000_000);
+        t.compact().unwrap();
+        assert!(t.cold_record_count() > 0);
+        // Delete a slice that lives entirely in the cold tier by now.
+        t.delete(&crate::delete::DeletePredicate::for_sources(0, 9_000_000, [SourceId(1)]))
+            .unwrap();
+        let masked = scan_all(&t, 1);
+        assert_eq!(masked.len(), 290);
+        let rep = t.compact().unwrap();
+        assert_eq!(rep.tombstone_rows_resolved, 10);
+        assert_eq!(rep.tombstones_retired, 1);
+        assert_eq!(scan_all(&t, 1), masked);
+    }
+
+    #[test]
+    fn unsealed_rows_block_tombstone_retirement() {
+        let t = table(base_cfg());
+        fragment(&t, 1, 100, 5, 1_000_000);
+        // One un-flushed row keeps the open buffer non-empty: the pass
+        // must resolve sealed rows but keep the tombstone active.
+        t.put(&Record::dense(SourceId(1), Timestamp(100_000_000), [1.0, 2.0])).unwrap();
+        t.delete(&crate::delete::DeletePredicate::all_sources(0, 5_000_000)).unwrap();
+        let rep = t.compact().unwrap();
+        assert_eq!(rep.tombstone_rows_resolved, 6);
+        assert_eq!(rep.tombstones_retired, 0, "open-buffer rows block retirement");
+        assert_eq!(t.tombstones().len(), 1);
+        t.flush().unwrap();
+        let rep = t.compact().unwrap();
+        assert_eq!(rep.tombstone_rows_resolved, 0, "already resolved");
+        assert_eq!(rep.tombstones_retired, 1);
+        assert!(t.tombstones().is_empty());
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod buffer;
 pub mod cache;
 pub mod compact;
 pub mod container;
+pub mod delete;
 pub mod reorg;
 pub mod seal;
 pub mod select;
@@ -42,6 +43,7 @@ pub use batch::TagSummary;
 pub use blob::{SealScratch, ValueBlob};
 pub use cache::DecodeCache;
 pub use compact::CompactReport;
+pub use delete::{DeletePredicate, Tombstone};
 pub use select::Structure;
 pub use snapshot::{TableConfigSnapshot, TableSnapshot};
 pub use stats::StorageStats;

@@ -39,6 +39,14 @@ pub struct TableSnapshot {
     pub mg_sealed: Option<Vec<(u32, u64)>>,
     /// The table id this table logs WAL frames under, when durable.
     pub wal_table_id: Option<u16>,
+    /// Side-buffer sealed low-water marks per source (late-arrival path);
+    /// `None` in pre-hostile-ingest snapshots.
+    pub late_sealed: Option<Vec<(u64, u64)>>,
+    /// Active (unresolved) tombstones at checkpoint time.
+    pub tombstones: Option<Vec<crate::delete::Tombstone>>,
+    /// Highest delete LSN ever applied — replay skips delete frames at or
+    /// below it so a retired tombstone cannot resurrect.
+    pub tombstone_sealed: Option<u64>,
 }
 
 /// Serializable form of [`TableConfig`].
@@ -149,6 +157,9 @@ impl OdhTable {
         let mut mg_sealed: Vec<(u32, u64)> =
             self.mg_sealed.lock().iter().map(|(&g, &l)| (g, l)).collect();
         mg_sealed.sort_unstable();
+        let mut late_sealed: Vec<(u64, u64)> =
+            self.late_sealed.lock().iter().map(|(&s, &l)| (s, l)).collect();
+        late_sealed.sort_unstable();
         // Exclude a concurrent compaction pass: a checkpoint must not
         // capture one generation pre-swap and another post-swap (points
         // would be doubled or lost in the image).
@@ -165,6 +176,9 @@ impl OdhTable {
             sealed: Some(sealed),
             mg_sealed: Some(mg_sealed),
             wal_table_id: self.wal_table_id(),
+            late_sealed: Some(late_sealed),
+            tombstones: Some(self.tombstones().as_ref().clone()),
+            tombstone_sealed: Some(self.tombstone_sealed.load(std::sync::atomic::Ordering::SeqCst)),
         })
     }
 
@@ -200,6 +214,13 @@ impl OdhTable {
         // the WAL is only bound after restore.)
         table.sealed.lock().extend(snap.sealed.iter().flatten().copied());
         table.mg_sealed.lock().extend(snap.mg_sealed.iter().flatten().copied());
+        table.late_sealed.lock().extend(snap.late_sealed.iter().flatten().copied());
+        for t in snap.tombstones.iter().flatten() {
+            table.restore_tombstone(t.clone());
+        }
+        table
+            .tombstone_sealed
+            .store(snap.tombstone_sealed.unwrap_or(0), std::sync::atomic::Ordering::SeqCst);
         if let Some(tid) = snap.wal_table_id {
             let _ = table.restored_wal_table_id.set(tid);
         }
@@ -285,6 +306,40 @@ mod tests {
         assert_eq!(t.snapshot().err().unwrap().kind(), "config");
         t.flush().unwrap();
         assert!(t.snapshot().is_ok());
+    }
+
+    #[test]
+    fn tombstones_and_late_marks_survive_snapshot_restore() {
+        let path = tmp("hostile.pages");
+        let snap_json;
+        {
+            let disk = Arc::new(FileDisk::create(&path).unwrap());
+            let pool = BufferPool::new(disk, 256);
+            let t = OdhTable::create(
+                pool.clone(),
+                ResourceMeter::unmetered(),
+                TableConfig::new(SchemaType::new("m", ["a", "b"])).with_batch_size(16),
+            )
+            .unwrap();
+            t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+            for i in 0..40i64 {
+                t.put(&Record::dense(SourceId(1), Timestamp(i * 1_000_000), [i as f64, 0.0]))
+                    .unwrap();
+            }
+            t.flush().unwrap();
+            t.delete(&crate::delete::DeletePredicate::all_sources(5_000_000, 9_000_000)).unwrap();
+            snap_json = serde_json::to_string(&t.snapshot().unwrap()).unwrap();
+            pool.flush_all().unwrap();
+        }
+        let disk = Arc::new(FileDisk::open(&path).unwrap());
+        let pool = BufferPool::new(disk, 256);
+        let snap: TableSnapshot = serde_json::from_str(&snap_json).unwrap();
+        let t = OdhTable::restore(pool, ResourceMeter::unmetered(), &snap).unwrap();
+        assert_eq!(t.tombstones().len(), 1, "tombstone restored");
+        let pts =
+            t.historical_scan(SourceId(1), Timestamp(i64::MIN), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), 35, "restored tombstone still masks");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

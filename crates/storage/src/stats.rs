@@ -1,8 +1,10 @@
 //! Storage statistics and the sim-meter I/O bridge.
 
+use crate::cache::{CachedBatch, SharedCol};
 use odh_obs::{Counter, Registry};
 use odh_pager::pool::IoHook;
 use odh_sim::ResourceMeter;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
@@ -50,6 +52,19 @@ pub struct StorageStats {
     /// signal: a hot query set touching cold batches means `cold_after`
     /// is too aggressive.
     pub cold_batches_scanned: Arc<Counter>,
+    /// Out-of-order rows routed to a side buffer (arrived below the
+    /// source's seal watermark).
+    pub ooo_side_rows: Arc<Counter>,
+    /// Side buffers sealed into late batches.
+    pub ooo_side_batches: Arc<Counter>,
+    /// Delete predicates applied as tombstones.
+    pub tombstone_deletes: Arc<Counter>,
+    /// Rows hidden by tombstone filters on the read path.
+    pub tombstone_masked_rows: Arc<Counter>,
+    /// Rows physically removed by compaction resolving tombstones.
+    pub tombstone_resolved_rows: Arc<Counter>,
+    /// Tombstones retired after compaction proved no matches remain.
+    pub tombstones_retired: Arc<Counter>,
 }
 
 /// Snapshot of [`StorageStats`].
@@ -73,6 +88,13 @@ pub struct StatsSnapshot {
     pub blob_decodes: Option<u64>,
     // Added with the compaction/tiering PR; `Option` for old snapshots.
     pub cold_batches_scanned: Option<u64>,
+    // Added with the hostile-ingest PR; `Option` for old snapshots.
+    pub ooo_side_rows: Option<u64>,
+    pub ooo_side_batches: Option<u64>,
+    pub tombstone_deletes: Option<u64>,
+    pub tombstone_masked_rows: Option<u64>,
+    pub tombstone_resolved_rows: Option<u64>,
+    pub tombstones_retired: Option<u64>,
 }
 
 impl Default for StatsSnapshot {
@@ -93,6 +115,12 @@ impl Default for StatsSnapshot {
             cache_misses: Some(0),
             blob_decodes: Some(0),
             cold_batches_scanned: Some(0),
+            ooo_side_rows: Some(0),
+            ooo_side_batches: Some(0),
+            tombstone_deletes: Some(0),
+            tombstone_masked_rows: Some(0),
+            tombstone_resolved_rows: Some(0),
+            tombstones_retired: Some(0),
         }
     }
 }
@@ -108,6 +136,12 @@ impl StorageStats {
         st.batches_written.store(s.batches_written);
         st.blob_bytes.store(s.blob_bytes);
         st.raw_bytes.store(s.raw_bytes);
+        st.ooo_side_rows.store(s.ooo_side_rows.unwrap_or(0));
+        st.ooo_side_batches.store(s.ooo_side_batches.unwrap_or(0));
+        st.tombstone_deletes.store(s.tombstone_deletes.unwrap_or(0));
+        st.tombstone_masked_rows.store(s.tombstone_masked_rows.unwrap_or(0));
+        st.tombstone_resolved_rows.store(s.tombstone_resolved_rows.unwrap_or(0));
+        st.tombstones_retired.store(s.tombstones_retired.unwrap_or(0));
         st
     }
 
@@ -141,6 +175,14 @@ impl StorageStats {
             ("odh_table_cache_misses_total", &self.cache_misses),
             ("odh_table_blob_decodes_total", &self.blob_decodes),
             ("odh_table_cold_batches_scanned_total", &self.cold_batches_scanned),
+            // Hostile-ingest counters keep their own prefixes: they are
+            // scenario counters (disorder + deletes), not table plumbing.
+            ("odh_ooo_side_rows_total", &self.ooo_side_rows),
+            ("odh_ooo_side_batches_total", &self.ooo_side_batches),
+            ("odh_tombstone_deletes_total", &self.tombstone_deletes),
+            ("odh_tombstone_masked_rows_total", &self.tombstone_masked_rows),
+            ("odh_tombstone_resolved_rows_total", &self.tombstone_resolved_rows),
+            ("odh_tombstone_retired_total", &self.tombstones_retired),
         ] {
             registry.adopt_counter(name, labels, counter);
         }
@@ -182,6 +224,12 @@ impl StorageStats {
             cache_misses: Some(self.cache_misses.get()),
             blob_decodes: Some(self.blob_decodes.get()),
             cold_batches_scanned: Some(self.cold_batches_scanned.get()),
+            ooo_side_rows: Some(self.ooo_side_rows.get()),
+            ooo_side_batches: Some(self.ooo_side_batches.get()),
+            tombstone_deletes: Some(self.tombstone_deletes.get()),
+            tombstone_masked_rows: Some(self.tombstone_masked_rows.get()),
+            tombstone_resolved_rows: Some(self.tombstone_resolved_rows.get()),
+            tombstones_retired: Some(self.tombstones_retired.get()),
         }
     }
 }
@@ -191,7 +239,14 @@ impl StorageStats {
 /// `OdhTable::read_consistent`). Keeping the scratch local makes the
 /// published counters exact under concurrent sealing: a discarded retry
 /// contributes nothing.
-#[derive(Debug, Default)]
+///
+/// Decode-cache **admissions** are buffered here too, keyed by
+/// `(container id, rid)` with their admission order, and installed into
+/// the shared cache only when the pass commits. A discarded pass must
+/// leave no trace: if its decodes stayed in the cache, the retry would
+/// hit where a quiescent run misses, and the committed hit/miss/decode
+/// counts would drift from the exactness the counters promise.
+#[derive(Default)]
 pub(crate) struct ReadTally {
     pub summary_answered_batches: u64,
     pub batches_zone_pruned: u64,
@@ -199,6 +254,11 @@ pub(crate) struct ReadTally {
     pub cache_misses: u64,
     pub blob_decodes: u64,
     pub cold_batches_scanned: u64,
+    pub tombstone_masked_rows: u64,
+    pub admissions: HashMap<(u64, u64), (usize, Arc<CachedBatch>)>,
+    /// Columns this pass decoded inside *already-shared* cache entries,
+    /// keyed by `(entry address, tag)` — installed with the admissions.
+    pub fills: HashMap<(usize, usize), (Arc<CachedBatch>, SharedCol)>,
 }
 
 impl ReadTally {
@@ -209,6 +269,7 @@ impl ReadTally {
         stats.cache_misses.add(self.cache_misses);
         stats.blob_decodes.add(self.blob_decodes);
         stats.cold_batches_scanned.add(self.cold_batches_scanned);
+        stats.tombstone_masked_rows.add(self.tombstone_masked_rows);
     }
 }
 

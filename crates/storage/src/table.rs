@@ -11,6 +11,7 @@ use crate::blob::ValueBlob;
 use crate::buffer::{MgBuffer, SourceBuffer};
 use crate::cache::{CachedBatch, DecodeCache};
 use crate::container::Container;
+use crate::delete::{masks_batch, masks_row, DeletePredicate, Tombstone};
 use crate::seal::{JobKind, PendingSeal, SealPipeline, Wake};
 use crate::select::{ingestion_structure, Structure};
 use crate::stats::{MeterIoHook, ReadTally, StorageStats};
@@ -443,6 +444,29 @@ pub struct OdhTable {
     /// The WAL table id recorded in the snapshot this table was restored
     /// from, if any — recovery re-attaches the log under the same id.
     pub(crate) restored_wal_table_id: std::sync::OnceLock<u16>,
+    /// Side buffers for late arrivals (DESIGN.md "Hostile ingest"): rows
+    /// older than their source's seal watermark accumulate here instead of
+    /// polluting the in-order open buffer, and seal as small IRTS batches
+    /// the compactor later merges back into time-ordered generations.
+    side_buffers: StripedBuffers,
+    /// Per-source seal watermark: the max timestamp ever sealed out of a
+    /// source's open buffer. Rows below it are late (see
+    /// [`OdhTable::is_late`]); rows at or above it are in-order. Transient
+    /// (not checkpointed) — after a restore routing self-heals as batches
+    /// seal.
+    watermarks: parking_lot::Mutex<HashMap<u64, i64>>,
+    /// Sealed low-water marks of the side buffers — the late counterpart
+    /// of `sealed`, keyed per source, advanced when a side batch installs.
+    /// Recovery skips `KIND_LATE_POINT` frames at or below these marks.
+    pub(crate) late_sealed: parking_lot::Mutex<HashMap<u64, u64>>,
+    /// Active tombstones, masking matching rows on every read tier until
+    /// a compaction pass resolves them physically. Swapped under a seal
+    /// ticket so optimistic read passes always see a consistent list.
+    tombstones: RwLock<Arc<Vec<Tombstone>>>,
+    /// Highest delete LSN ever applied — the replay-idempotence guard for
+    /// `WalEntry::Delete` frames (a retired tombstone must not resurrect
+    /// when its frame replays after a crash).
+    pub(crate) tombstone_sealed: std::sync::atomic::AtomicU64,
 }
 
 struct WalBinding {
@@ -487,6 +511,11 @@ impl OdhTable {
             sealed: parking_lot::Mutex::new(HashMap::new()),
             mg_sealed: parking_lot::Mutex::new(HashMap::new()),
             restored_wal_table_id: std::sync::OnceLock::new(),
+            side_buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
+            watermarks: parking_lot::Mutex::new(HashMap::new()),
+            late_sealed: parking_lot::Mutex::new(HashMap::new()),
+            tombstones: RwLock::new(Arc::new(Vec::new())),
+            tombstone_sealed: std::sync::atomic::AtomicU64::new(0),
             cfg,
             pool,
             meter,
@@ -533,6 +562,11 @@ impl OdhTable {
             sealed: parking_lot::Mutex::new(HashMap::new()),
             mg_sealed: parking_lot::Mutex::new(HashMap::new()),
             restored_wal_table_id: std::sync::OnceLock::new(),
+            side_buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
+            watermarks: parking_lot::Mutex::new(HashMap::new()),
+            late_sealed: parking_lot::Mutex::new(HashMap::new()),
+            tombstones: RwLock::new(Arc::new(Vec::new())),
+            tombstone_sealed: std::sync::atomic::AtomicU64::new(0),
             cfg,
             pool,
             meter,
@@ -567,9 +601,9 @@ impl OdhTable {
         self.wal.get()
     }
 
-    /// Points currently sitting in unsealed ingest buffers.
+    /// Points currently sitting in unsealed ingest buffers (open + side).
     pub fn buffered_points(&self) -> u64 {
-        self.buffers.points()
+        self.buffers.points() + self.side_buffers.points()
     }
 
     /// Shard-lock and parallelism counters for this table's ingest path.
@@ -672,6 +706,21 @@ impl OdhTable {
             .read()
             .get(&source.0)
             .ok_or_else(|| OdhError::NotFound(format!("{source} not registered")))?;
+        // Disorder slow path: a run containing rows behind the source's
+        // seal watermark is split row-by-row through `put_at`, which
+        // routes each late row to the side buffer. The net server ingests
+        // via `put_cols`, so late wire frames take the same routing as
+        // in-process puts.
+        if meta.ingest != Structure::Mg {
+            let wm = self.watermarks.lock().get(&source.0).copied();
+            if wm.is_some_and(|wm| ts.iter().any(|&t| t < wm)) {
+                for row in 0..n {
+                    let values: Vec<Option<f64>> = cols.iter().map(|c| c[row]).collect();
+                    self.put_at(&Record::new(source, Timestamp(ts[row]), values), None)?;
+                }
+                return Ok(());
+            }
+        }
         self.meter.cpu(self.meter.costs.point_encode * (n * cols.len()) as f64);
         let mut off = 0usize;
         while off < n {
@@ -750,6 +799,19 @@ impl OdhTable {
         self.meter.cpu(self.meter.costs.point_encode * record.values.len() as f64);
         match meta.ingest {
             Structure::Rts | Structure::Irts => {
+                // Late arrival: a row older than this source's watermark
+                // would sort behind rows already sealed, so it detours to
+                // the WAL-covered side buffer instead of skewing the open
+                // buffer's next batch. Replayed frames never re-route —
+                // a recovered `KIND_POINT` row re-enters the open buffer
+                // it originally came from. MG ingest (below) needs no
+                // routing: batch keys, `max_span` index probes, and the
+                // seal-time sort already tolerate cross-source disorder.
+                if replay.is_none() && self.is_late(record.source, record.ts.micros()) {
+                    self.put_side(meta, record, None)?;
+                    self.stats.note_put(record.ts.micros(), record.data_points() as u64);
+                    return Ok(true);
+                }
                 let mut g = self.buffers.lock_source(record.source.0);
                 // WAL append happens *inside* the shard lock: per-source
                 // LSN order then equals buffer order, which is what lets
@@ -813,6 +875,179 @@ impl OdhTable {
         Ok(true)
     }
 
+    /// Replay one recovered late-point frame into the side buffer under
+    /// its original LSN — the late counterpart of [`OdhTable::replay_put`],
+    /// idempotent via the `late_sealed` low-water marks.
+    pub fn replay_put_late(&self, record: &Record, lsn: u64) -> Result<bool> {
+        self.cfg.schema.check_arity(record.values.len())?;
+        let meta = *self
+            .sources
+            .read()
+            .get(&record.source.0)
+            .ok_or_else(|| OdhError::NotFound(format!("{} not registered", record.source)))?;
+        let applied = self.put_side(meta, record, Some(lsn))?;
+        if applied {
+            self.stats.note_put(record.ts.micros(), record.data_points() as u64);
+        }
+        Ok(applied)
+    }
+
+    /// Buffer one late row in its source's side buffer. Logged under
+    /// `KIND_LATE_POINT` inside the side shard lock (per-source LSN order
+    /// equals side-buffer order, mirroring `put_at`); seals inline as one
+    /// small IRTS batch when full — late runs are fragmented by nature,
+    /// and the compactor, not the seal pipeline, is where they merge back
+    /// into full time-ordered generations.
+    fn put_side(&self, meta: SourceMeta, record: &Record, replay: Option<u64>) -> Result<bool> {
+        let source = record.source;
+        let mut g = self.side_buffers.lock_source(source.0);
+        let lsn = match replay {
+            Some(l) => {
+                if l <= self.late_sealed.lock().get(&source.0).copied().unwrap_or(0) {
+                    return Ok(false);
+                }
+                l
+            }
+            None => match self.wal_binding() {
+                Some(b) => b.wal.append_late_point(b.table_id, record)?,
+                None => 0,
+            },
+        };
+        let buf = g
+            .entry(source.0)
+            .or_insert_with(|| SourceBuffer::new(self.cfg.schema.tag_count(), self.cfg.batch_size));
+        buf.push(record.ts.micros(), &record.values, lsn);
+        self.stats.ooo_side_rows.inc();
+        if buf.len() >= self.cfg.batch_size {
+            let _seal = self.seals.begin();
+            let (ts, cols, _first, last_lsn) = buf.take();
+            drop(g);
+            self.seal_side_batch(source, meta, ts, cols, last_lsn)?;
+        }
+        Ok(true)
+    }
+
+    /// Seal one side buffer's rows as an IRTS batch (even for RTS-class
+    /// sources: a late run rarely has exact spacing, and the compactor
+    /// re-types merged windows anyway), then advance the source's
+    /// `late_sealed` low-water mark.
+    fn seal_side_batch(
+        &self,
+        source: SourceId,
+        meta: SourceMeta,
+        ts: Vec<i64>,
+        cols: Vec<Vec<Option<f64>>>,
+        last_lsn: u64,
+    ) -> Result<()> {
+        let _span = self.obs.registry.span("seal", &self.obs.seal);
+        let irts = SourceMeta { ingest: Structure::Irts, ..meta };
+        let batches = self.build_source_batches(source, irts, ts, cols)?;
+        self.install_built(&batches)?;
+        if last_lsn > 0 {
+            let mut sealed = self.late_sealed.lock();
+            let e = sealed.entry(source.0).or_insert(0);
+            *e = (*e).max(last_lsn);
+        }
+        self.stats.ooo_side_batches.inc();
+        Ok(())
+    }
+
+    /// Advance `source`'s seal watermark to at least `ts`.
+    fn note_watermark(&self, source: SourceId, ts: i64) {
+        let mut w = self.watermarks.lock();
+        let e = w.entry(source.0).or_insert(i64::MIN);
+        *e = (*e).max(ts);
+    }
+
+    /// Is a row at `ts` late for `source` — would it sort behind rows
+    /// already sealed out of the open buffer? Disorder *within* the open
+    /// buffer (the accepted disorder window: up to `batch_size` rows
+    /// since the last seal) is not late — the seal-time sort absorbs it.
+    fn is_late(&self, source: SourceId, ts: i64) -> bool {
+        self.watermarks.lock().get(&source.0).is_some_and(|&w| ts < w)
+    }
+
+    /// The active tombstone list (a cheap shared snapshot).
+    pub fn tombstones(&self) -> Arc<Vec<Tombstone>> {
+        self.tombstones.read().clone()
+    }
+
+    /// Delete by predicate. The predicate is logged to the WAL (durable
+    /// at the next [`Wal::sync`], like ingest) and installed as a
+    /// [`Tombstone`] that masks matching rows — already-sealed and
+    /// late-arriving alike — on every read tier until a compaction pass
+    /// resolves it physically (see [`crate::delete`]).
+    pub fn delete(&self, pred: &DeletePredicate) -> Result<()> {
+        if pred.t2 < pred.t1 {
+            return Err(OdhError::Config(format!(
+                "delete range inverted: [{}, {}]",
+                pred.t1, pred.t2
+            )));
+        }
+        let lsn = match self.wal_binding() {
+            Some(b) => b.wal.append_delete(b.table_id, pred)?,
+            None => 0,
+        };
+        self.apply_tombstone(pred.clone(), lsn);
+        Ok(())
+    }
+
+    /// Install a tombstone under a seal ticket, so any optimistic read
+    /// pass that overlapped the install retries against the new list.
+    fn apply_tombstone(&self, pred: DeletePredicate, lsn: u64) {
+        let _t = self.seals.begin();
+        let mut g = self.tombstones.write();
+        if lsn > 0 && g.iter().any(|t| t.lsn == lsn) {
+            return;
+        }
+        let mut list = g.as_ref().clone();
+        list.push(Tombstone { pred, lsn });
+        *g = Arc::new(list);
+        self.tombstone_sealed.fetch_max(lsn, std::sync::atomic::Ordering::SeqCst);
+        self.stats.tombstone_deletes.inc();
+    }
+
+    /// Replay one recovered delete frame. Frames at or below the
+    /// checkpoint's applied-delete mark are skipped — without this, a
+    /// tombstone retired by compaction would resurrect on replay and mask
+    /// rows legitimately re-inserted into its range. Returns whether the
+    /// tombstone was installed.
+    pub fn replay_delete(&self, pred: &DeletePredicate, lsn: u64) -> bool {
+        if lsn > 0 && lsn <= self.tombstone_sealed.load(std::sync::atomic::Ordering::SeqCst) {
+            return false;
+        }
+        self.apply_tombstone(pred.clone(), lsn);
+        true
+    }
+
+    /// Re-install a checkpointed tombstone during restore: no WAL append,
+    /// no delete-counter bump (the stats snapshot already carries it), no
+    /// seal ticket (the table has no readers yet).
+    pub(crate) fn restore_tombstone(&self, t: Tombstone) {
+        let mut g = self.tombstones.write();
+        let mut list = g.as_ref().clone();
+        list.push(t);
+        *g = Arc::new(list);
+    }
+
+    /// Drop every tombstone for which `keep` returns false (compaction
+    /// retirement). The caller must hold a seal ticket so any read pass
+    /// overlapping the swap retries against the new list. Returns how
+    /// many tombstones were retired.
+    pub(crate) fn retire_tombstones(&self, keep: impl Fn(&Tombstone) -> bool) -> u64 {
+        let mut g = self.tombstones.write();
+        let before = g.len();
+        if before == 0 {
+            return 0;
+        }
+        let list: Vec<Tombstone> = g.iter().filter(|t| keep(t)).cloned().collect();
+        let retired = (before - list.len()) as u64;
+        if retired > 0 {
+            *g = Arc::new(list);
+        }
+        retired
+    }
+
     /// Seal every open buffer into batches (end of ingest, or checkpoints).
     /// Shards are drained one at a time; sealing happens outside any shard
     /// lock, so ingest to untouched shards proceeds during a flush.
@@ -835,6 +1070,10 @@ impl OdhTable {
             }
             for (gid, (ts, ids, cols, _first, last_lsn)) in self.buffers.drain_mg() {
                 self.seal_mg_batch(GroupId(gid), ts, ids, cols, last_lsn)?;
+            }
+            for (id, (ts, cols, _first, last_lsn)) in self.side_buffers.drain_sources() {
+                let meta = *self.sources.read().get(&id).unwrap();
+                self.seal_side_batch(SourceId(id), meta, ts, cols, last_lsn)?;
             }
         }
         // Barrier: every batch handed to the seal pipeline before this
@@ -869,16 +1108,17 @@ impl OdhTable {
     /// truncate the log.
     pub fn min_open_lsn(&self) -> Option<u64> {
         let buffered = self.buffers.min_first_lsn();
+        let side = self.side_buffers.min_first_lsn();
         let queued = self.seal_pipe.get().and_then(|p| p.min_first_lsn());
-        match (buffered, queued) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+        [buffered, side, queued].into_iter().flatten().min()
     }
 
-    /// Rows and non-NULL points in open buffers (for lenient snapshots).
+    /// Rows and non-NULL points in open buffers, side buffers included
+    /// (for lenient snapshots).
     pub(crate) fn buffered_totals(&self) -> (u64, u64) {
-        self.buffers.buffered_totals()
+        let (r1, p1) = self.buffers.buffered_totals();
+        let (r2, p2) = self.side_buffers.buffered_totals();
+        (r1 + r2, p1 + p2)
     }
 
     /// Hand a full per-source buffer to the seal pipeline, or seal inline
@@ -1074,6 +1314,10 @@ impl OdhTable {
             return Ok(Vec::new());
         }
         sort_rows(&mut ts, None, &mut cols);
+        // Every per-source seal advances the disorder watermark (`max` —
+        // side batches of old rows can't lower it): rows arriving below
+        // it from now on are late and detour to the side buffer.
+        self.note_watermark(source, *ts.last().unwrap());
         let mut out = Vec::new();
         match (meta.ingest, meta.class.interval()) {
             (Structure::Rts, Some(interval)) => {
@@ -1319,7 +1563,17 @@ impl OdhTable {
                 }
             }
         } else {
-            let g = self.buffers.lock_source(source.0);
+            {
+                let g = self.buffers.lock_source(source.0);
+                if let Some(buf) = g.get(&source.0) {
+                    for (ts, values) in buf.rows_in_range(t1, t2, tags) {
+                        out.push(ScanPoint { source, ts: Timestamp(ts), values });
+                    }
+                }
+            }
+            // Late rows waiting in the side buffer are as visible as any
+            // open-buffer row (dirty-read isolation).
+            let g = self.side_buffers.lock_source(source.0);
             if let Some(buf) = g.get(&source.0) {
                 for (ts, values) in buf.rows_in_range(t1, t2, tags) {
                     out.push(ScanPoint { source, ts: Timestamp(ts), values });
@@ -1333,6 +1587,7 @@ impl OdhTable {
                 out.push(ScanPoint { source: id, ts: Timestamp(ts), values });
             }
         }
+        self.mask_points(tally, &mut out);
         out.sort_unstable_by_key(|p| p.ts);
         Ok(out)
     }
@@ -1359,6 +1614,18 @@ impl OdhTable {
             let out = read(self, &mut tally);
             if out.is_err() || self.seals.still(epoch) {
                 tally.commit(&self.stats);
+                // Install this pass's decode-cache admissions in the
+                // order the scan produced them (eviction order matters
+                // when a big scan overflows the budget), then the
+                // columns it decoded inside already-shared entries.
+                let mut admitted: Vec<_> = tally.admissions.into_iter().collect();
+                admitted.sort_unstable_by_key(|(_, (order, _))| *order);
+                for (key, (_, entry)) in admitted {
+                    self.cache.insert(key, entry);
+                }
+                for ((_, tag), (entry, col)) in tally.fills {
+                    entry.install_col(tag, col);
+                }
                 return out;
             }
         }
@@ -1456,7 +1723,15 @@ impl OdhTable {
             }
         }
         for sid in &per_source {
-            let g = self.buffers.lock_source(sid.0);
+            {
+                let g = self.buffers.lock_source(sid.0);
+                if let Some(buf) = g.get(&sid.0) {
+                    for (ts, values) in buf.rows_in_range(t1, t2, tags) {
+                        out.push(ScanPoint { source: *sid, ts: Timestamp(ts), values });
+                    }
+                }
+            }
+            let g = self.side_buffers.lock_source(sid.0);
             if let Some(buf) = g.get(&sid.0) {
                 for (ts, values) in buf.rows_in_range(t1, t2, tags) {
                     out.push(ScanPoint { source: *sid, ts: Timestamp(ts), values });
@@ -1495,6 +1770,7 @@ impl OdhTable {
                 }
             }
         }
+        self.mask_points(tally, &mut out);
         out.sort_unstable_by_key(|p| (p.ts, p.source));
         Ok(out)
     }
@@ -1593,7 +1869,14 @@ impl OdhTable {
             }
         }
         for sid in &per_source {
-            let g = self.buffers.lock_source(sid.0);
+            {
+                let g = self.buffers.lock_source(sid.0);
+                if let Some(buf) = g.get(&sid.0) {
+                    let rows = buf.rows_in_range(t1, t2, tags).map(|(t, v)| (None, t, v));
+                    out.extend(owned_chunk(tags.len(), Some(*sid), rows));
+                }
+            }
+            let g = self.side_buffers.lock_source(sid.0);
             if let Some(buf) = g.get(&sid.0) {
                 let rows = buf.rows_in_range(t1, t2, tags).map(|(t, v)| (None, t, v));
                 out.extend(owned_chunk(tags.len(), Some(*sid), rows));
@@ -1626,14 +1909,70 @@ impl OdhTable {
                 .map(|(id, t, v)| (Some(id), t, v));
             out.extend(owned_chunk(tags.len(), None, rows));
         }
+        self.mask_chunks(tally, &mut out);
         Ok(out)
+    }
+
+    /// Drop tombstoned rows from a row-scan result, counting the masked
+    /// rows into the tally.
+    fn mask_points(&self, tally: &mut ReadTally, out: &mut Vec<ScanPoint>) {
+        let tombs = self.tombstones();
+        if tombs.is_empty() {
+            return;
+        }
+        let before = out.len();
+        out.retain(|p| !masks_row(&tombs, p.source, p.ts.micros()));
+        tally.tombstone_masked_rows += (before - out.len()) as u64;
+    }
+
+    /// Drop tombstoned rows from columnar chunks. A chunk with no masked
+    /// rows passes through untouched (zero-copy with the decode cache is
+    /// preserved); a partially-masked chunk is rebuilt as owned columns.
+    fn mask_chunks(&self, tally: &mut ReadTally, out: &mut Vec<ColumnarChunk>) {
+        let tombs = self.tombstones();
+        if tombs.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < out.len() {
+            let ch = &out[i];
+            let masked: Vec<bool> = ch
+                .ts
+                .iter()
+                .enumerate()
+                .map(|(row, &t)| {
+                    let src = ch.source.unwrap_or_else(|| ch.ids.as_ref().unwrap()[row]);
+                    masks_row(&tombs, src, t)
+                })
+                .collect();
+            let n_masked = masked.iter().filter(|&&m| m).count();
+            if n_masked == 0 {
+                i += 1;
+                continue;
+            }
+            tally.tombstone_masked_rows += n_masked as u64;
+            if n_masked == ch.len() {
+                out.remove(i);
+                continue;
+            }
+            let keep: Vec<usize> = (0..ch.len()).filter(|&r| !masked[r]).collect();
+            let ts: Vec<i64> = keep.iter().map(|&r| ch.ts[r]).collect();
+            let ids = ch.ids.as_ref().map(|ids| keep.iter().map(|&r| ids[r]).collect());
+            let cols = ch
+                .cols
+                .iter()
+                .map(|c| Arc::new(keep.iter().map(|&r| c[ch.start + r]).collect::<Vec<_>>()))
+                .collect();
+            out[i] = ColumnarChunk { source: ch.source, ids, ts, cols, start: 0 };
+            i += 1;
+        }
     }
 
     /// Emit a cached batch's in-range span as one [`ColumnarChunk`].
     #[allow(clippy::too_many_arguments)]
     fn emit_columnar(
         &self,
-        entry: &CachedBatch,
+        entry: &Arc<CachedBatch>,
         t1: i64,
         t2: i64,
         tags: &[usize],
@@ -1794,10 +2133,18 @@ impl OdhTable {
             self.meter.cpu(self.meter.costs.buffer_hit);
             return Ok(entry);
         }
+        // A batch this pass already admitted is a hit too — but the entry
+        // stays in the tally until the pass validates, so a discarded
+        // retry cannot warm the cache (see `ReadTally`).
+        if let Some((_, entry)) = tally.admissions.get(&key) {
+            tally.cache_hits += 1;
+            self.meter.cpu(self.meter.costs.buffer_hit);
+            return Ok(entry.clone());
+        }
         tally.cache_misses += 1;
         let batch = container.get_batch(rid)?;
         let entry = Arc::new(CachedBatch::new(batch, self.cfg.schema.tag_count()));
-        self.cache.insert(key, entry.clone());
+        tally.admissions.insert(key, (tally.admissions.len(), entry.clone()));
         Ok(entry)
     }
 
@@ -1806,11 +2153,11 @@ impl OdhTable {
     /// decode event.
     fn project_cached(
         &self,
-        entry: &CachedBatch,
+        entry: &Arc<CachedBatch>,
         tags: &[usize],
         tally: &mut ReadTally,
     ) -> Result<Vec<Arc<Vec<Option<f64>>>>> {
-        let (cols, decoded) = entry.cols_for(tags)?;
+        let (cols, decoded) = entry.cols_for_overlay(tags, &mut tally.fills)?;
         if decoded {
             // Charge decode proportional to the *projected* bytes — the
             // tag-oriented saving.
@@ -1827,7 +2174,7 @@ impl OdhTable {
     #[allow(clippy::too_many_arguments)]
     fn emit_cached(
         &self,
-        entry: &CachedBatch,
+        entry: &Arc<CachedBatch>,
         t1: i64,
         t2: i64,
         tags: &[usize],
@@ -1923,6 +2270,7 @@ impl OdhTable {
         tally: &mut ReadTally,
     ) -> Result<RangeAggregate> {
         let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
+        let tombs = self.tombstones();
         let mut agg = RangeAggregate { rows: 0, tags: vec![TagSummary::empty(); tags.len()] };
         match source {
             Some(sid) => {
@@ -1945,7 +2293,7 @@ impl OdhTable {
                         .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
                     for rid in container.rids_in_range(&lo, &hi)? {
                         self.aggregate_batch(
-                            container, rid, *cold, t1, t2, tags, None, tally, &mut agg,
+                            container, rid, *cold, t1, t2, tags, None, &tombs, tally, &mut agg,
                         )?;
                     }
                 }
@@ -1967,26 +2315,51 @@ impl OdhTable {
                             t2,
                             tags,
                             Some(&filter),
+                            &tombs,
                             tally,
                             &mut agg,
                         )?;
                     }
                     let g = self.buffers.lock_mg(meta.group.0);
                     if let Some(buf) = g.get(&meta.group.0) {
-                        for (_, _, values) in buf.rows_in_range(t1, t2, tags, Some(sid)) {
+                        for (_, t, values) in buf.rows_in_range(t1, t2, tags, Some(sid)) {
+                            if masks_row(&tombs, sid, t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             agg.add_row(&values);
                         }
                     }
                 } else {
-                    let g = self.buffers.lock_source(sid.0);
+                    {
+                        let g = self.buffers.lock_source(sid.0);
+                        if let Some(buf) = g.get(&sid.0) {
+                            for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                                if masks_row(&tombs, sid, t) {
+                                    tally.tombstone_masked_rows += 1;
+                                    continue;
+                                }
+                                agg.add_row(&values);
+                            }
+                        }
+                    }
+                    let g = self.side_buffers.lock_source(sid.0);
                     if let Some(buf) = g.get(&sid.0) {
-                        for (_, values) in buf.rows_in_range(t1, t2, tags) {
+                        for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                            if masks_row(&tombs, sid, t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             agg.add_row(&values);
                         }
                     }
                 }
                 for job in self.pending_seals() {
-                    for (_, _, values) in job.rows_in_range(t1, t2, tags, Some(sid)) {
+                    for (_, t, values) in job.rows_in_range(t1, t2, tags, Some(sid)) {
+                        if masks_row(&tombs, sid, t) {
+                            tally.tombstone_masked_rows += 1;
+                            continue;
+                        }
                         agg.add_row(&values);
                     }
                 }
@@ -2003,7 +2376,7 @@ impl OdhTable {
                         .cpu(self.meter.costs.btree_node_visit * container.index_height() as f64);
                     for rid in container.all_rids()? {
                         self.aggregate_batch(
-                            container, rid, *cold, t1, t2, tags, None, tally, &mut agg,
+                            container, rid, *cold, t1, t2, tags, None, &tombs, tally, &mut agg,
                         )?;
                     }
                 }
@@ -2011,7 +2384,9 @@ impl OdhTable {
                 if mg.record_count() > 0 {
                     self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
                     for rid in mg.all_rids()? {
-                        self.aggregate_batch(&mg, rid, false, t1, t2, tags, None, tally, &mut agg)?;
+                        self.aggregate_batch(
+                            &mg, rid, false, t1, t2, tags, None, &tombs, tally, &mut agg,
+                        )?;
                     }
                 }
                 let (per_source, groups) = {
@@ -2029,9 +2404,25 @@ impl OdhTable {
                     (per_source, groups)
                 };
                 for id in per_source {
-                    let g = self.buffers.lock_source(id);
+                    {
+                        let g = self.buffers.lock_source(id);
+                        if let Some(buf) = g.get(&id) {
+                            for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                                if masks_row(&tombs, SourceId(id), t) {
+                                    tally.tombstone_masked_rows += 1;
+                                    continue;
+                                }
+                                agg.add_row(&values);
+                            }
+                        }
+                    }
+                    let g = self.side_buffers.lock_source(id);
                     if let Some(buf) = g.get(&id) {
-                        for (_, values) in buf.rows_in_range(t1, t2, tags) {
+                        for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                            if masks_row(&tombs, SourceId(id), t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             agg.add_row(&values);
                         }
                     }
@@ -2039,13 +2430,21 @@ impl OdhTable {
                 for gid in groups {
                     let g = self.buffers.lock_mg(gid);
                     if let Some(buf) = g.get(&gid) {
-                        for (_, _, values) in buf.rows_in_range(t1, t2, tags, None) {
+                        for (id, t, values) in buf.rows_in_range(t1, t2, tags, None) {
+                            if masks_row(&tombs, id, t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             agg.add_row(&values);
                         }
                     }
                 }
                 for job in self.pending_seals() {
-                    for (_, _, values) in job.rows_in_range(t1, t2, tags, None) {
+                    for (id, t, values) in job.rows_in_range(t1, t2, tags, None) {
+                        if masks_row(&tombs, id, t) {
+                            tally.tombstone_masked_rows += 1;
+                            continue;
+                        }
                         agg.add_row(&values);
                     }
                 }
@@ -2055,8 +2454,9 @@ impl OdhTable {
     }
 
     /// Fold one sealed batch into `agg`: summary fast path when the range
-    /// fully covers the batch and no per-row filter applies; cached decode
-    /// otherwise.
+    /// fully covers the batch, no per-row filter applies, and no tombstone
+    /// could mask a row (a summary cannot subtract deleted rows — the
+    /// pushdown-soundness rule); cached decode otherwise.
     #[allow(clippy::too_many_arguments)]
     fn aggregate_batch(
         &self,
@@ -2067,6 +2467,7 @@ impl OdhTable {
         t2: i64,
         tags: &[usize],
         filter: Option<&HashSet<SourceId>>,
+        tombs: &[Tombstone],
         tally: &mut ReadTally,
         agg: &mut RangeAggregate,
     ) -> Result<()> {
@@ -2083,7 +2484,8 @@ impl OdhTable {
         }
         let fully_covered = b_begin >= t1 && b_end <= t2;
         let filtered_mg = filter.is_some() && batch.source().is_none();
-        if fully_covered && !filtered_mg {
+        let tombstoned = masks_batch(tombs, batch.source(), b_begin, b_end);
+        if fully_covered && !filtered_mg && !tombstoned {
             if let Some(sums) = batch.summaries() {
                 agg.rows += batch.n_points() as u64;
                 for (i, &tag) in tags.iter().enumerate() {
@@ -2100,10 +2502,15 @@ impl OdhTable {
                     if t < t1 || t > t2 {
                         continue;
                     }
+                    let id = b.ids[row];
                     if let Some(f) = filter {
-                        if !f.contains(&b.ids[row]) {
+                        if !f.contains(&id) {
                             continue;
                         }
+                    }
+                    if tombstoned && masks_row(tombs, id, t) {
+                        tally.tombstone_masked_rows += 1;
+                        continue;
                     }
                     agg.rows += 1;
                     for (i, col) in cols.iter().enumerate() {
@@ -2112,8 +2519,14 @@ impl OdhTable {
                 }
             }
             _ => {
+                // Per-source batch: `source()` is always `Some` here.
+                let src = batch.source();
                 for (row, &t) in entry.ts.iter().enumerate() {
                     if t < t1 || t > t2 {
+                        continue;
+                    }
+                    if tombstoned && src.is_some_and(|s| masks_row(tombs, s, t)) {
+                        tally.tombstone_masked_rows += 1;
                         continue;
                     }
                     agg.rows += 1;
@@ -2164,6 +2577,7 @@ impl OdhTable {
         tally: &mut ReadTally,
     ) -> Result<BTreeMap<i64, RangeAggregate>> {
         let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
+        let tombs = self.tombstones();
         let mut map = BTreeMap::new();
         match source {
             Some(sid) => {
@@ -2194,6 +2608,7 @@ impl OdhTable {
                             interval_us,
                             tags,
                             None,
+                            &tombs,
                             tally,
                             &mut map,
                         )?;
@@ -2218,6 +2633,7 @@ impl OdhTable {
                             interval_us,
                             tags,
                             Some(&filter),
+                            &tombs,
                             tally,
                             &mut map,
                         )?;
@@ -2225,19 +2641,43 @@ impl OdhTable {
                     let g = self.buffers.lock_mg(meta.group.0);
                     if let Some(buf) = g.get(&meta.group.0) {
                         for (_, t, values) in buf.rows_in_range(t1, t2, tags, Some(sid)) {
+                            if masks_row(&tombs, sid, t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
                         }
                     }
                 } else {
-                    let g = self.buffers.lock_source(sid.0);
+                    {
+                        let g = self.buffers.lock_source(sid.0);
+                        if let Some(buf) = g.get(&sid.0) {
+                            for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                                if masks_row(&tombs, sid, t) {
+                                    tally.tombstone_masked_rows += 1;
+                                    continue;
+                                }
+                                bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
+                            }
+                        }
+                    }
+                    let g = self.side_buffers.lock_source(sid.0);
                     if let Some(buf) = g.get(&sid.0) {
                         for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                            if masks_row(&tombs, sid, t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
                         }
                     }
                 }
                 for job in self.pending_seals() {
                     for (_, t, values) in job.rows_in_range(t1, t2, tags, Some(sid)) {
+                        if masks_row(&tombs, sid, t) {
+                            tally.tombstone_masked_rows += 1;
+                            continue;
+                        }
                         bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
                     }
                 }
@@ -2259,6 +2699,7 @@ impl OdhTable {
                             interval_us,
                             tags,
                             None,
+                            &tombs,
                             tally,
                             &mut map,
                         )?;
@@ -2277,6 +2718,7 @@ impl OdhTable {
                             interval_us,
                             tags,
                             None,
+                            &tombs,
                             tally,
                             &mut map,
                         )?;
@@ -2297,9 +2739,25 @@ impl OdhTable {
                     (per_source, groups)
                 };
                 for id in per_source {
-                    let g = self.buffers.lock_source(id);
+                    {
+                        let g = self.buffers.lock_source(id);
+                        if let Some(buf) = g.get(&id) {
+                            for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                                if masks_row(&tombs, SourceId(id), t) {
+                                    tally.tombstone_masked_rows += 1;
+                                    continue;
+                                }
+                                bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
+                            }
+                        }
+                    }
+                    let g = self.side_buffers.lock_source(id);
                     if let Some(buf) = g.get(&id) {
                         for (t, values) in buf.rows_in_range(t1, t2, tags) {
+                            if masks_row(&tombs, SourceId(id), t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
                         }
                     }
@@ -2307,13 +2765,21 @@ impl OdhTable {
                 for gid in groups {
                     let g = self.buffers.lock_mg(gid);
                     if let Some(buf) = g.get(&gid) {
-                        for (_, t, values) in buf.rows_in_range(t1, t2, tags, None) {
+                        for (id, t, values) in buf.rows_in_range(t1, t2, tags, None) {
+                            if masks_row(&tombs, id, t) {
+                                tally.tombstone_masked_rows += 1;
+                                continue;
+                            }
                             bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
                         }
                     }
                 }
                 for job in self.pending_seals() {
-                    for (_, t, values) in job.rows_in_range(t1, t2, tags, None) {
+                    for (id, t, values) in job.rows_in_range(t1, t2, tags, None) {
+                        if masks_row(&tombs, id, t) {
+                            tally.tombstone_masked_rows += 1;
+                            continue;
+                        }
                         bucket_slot(&mut map, interval_us, tags.len(), t).add_row(&values);
                     }
                 }
@@ -2323,8 +2789,8 @@ impl OdhTable {
     }
 
     /// Fold one sealed batch into per-bucket aggregates: summary fast path
-    /// when the batch is fully covered, unfiltered, and spans one bucket;
-    /// cached decode otherwise.
+    /// when the batch is fully covered, unfiltered, untombstoned, and
+    /// spans one bucket; cached decode otherwise.
     #[allow(clippy::too_many_arguments)]
     fn bucket_batch(
         &self,
@@ -2336,6 +2802,7 @@ impl OdhTable {
         interval_us: i64,
         tags: &[usize],
         filter: Option<&HashSet<SourceId>>,
+        tombs: &[Tombstone],
         tally: &mut ReadTally,
         map: &mut BTreeMap<i64, RangeAggregate>,
     ) -> Result<()> {
@@ -2353,7 +2820,8 @@ impl OdhTable {
         let fully_covered = b_begin >= t1 && b_end <= t2;
         let filtered_mg = filter.is_some() && batch.source().is_none();
         let single_bucket = b_begin.div_euclid(interval_us) == b_end.div_euclid(interval_us);
-        if fully_covered && !filtered_mg && single_bucket {
+        let tombstoned = masks_batch(tombs, batch.source(), b_begin, b_end);
+        if fully_covered && !filtered_mg && single_bucket && !tombstoned {
             if let Some(sums) = batch.summaries() {
                 let slot = bucket_slot(map, interval_us, tags.len(), b_begin);
                 slot.rows += batch.n_points() as u64;
@@ -2369,12 +2837,24 @@ impl OdhTable {
             Batch::Mg(b) => Some(&b.ids),
             _ => None,
         };
+        // Per-source batches resolve every row to the batch's source.
+        let bsrc = batch.source().unwrap_or(SourceId(u64::MAX));
         for (row, &t) in entry.ts.iter().enumerate() {
             if t < t1 || t > t2 {
                 continue;
             }
             if let (Some(f), Some(ids)) = (filter, ids) {
                 if !f.contains(&ids[row]) {
+                    continue;
+                }
+            }
+            if tombstoned {
+                let src = match ids {
+                    Some(ids) => ids[row],
+                    None => bsrc,
+                };
+                if masks_row(tombs, src, t) {
+                    tally.tombstone_masked_rows += 1;
                     continue;
                 }
             }
@@ -2838,6 +3318,163 @@ mod tests {
         let times: Vec<i64> = pts.iter().map(|p| p.ts.micros()).collect();
         assert_eq!(times, vec![10, 20, 30, 40]);
         assert_eq!(pts[0].values[0], Some(10.0));
+        // Disorder inside the open buffer is absorbed by the seal-time
+        // sort — it never touches the late-arrival side path.
+        assert_eq!(t.stats().ooo_side_rows.get(), 0);
+    }
+
+    #[test]
+    fn late_rows_route_to_side_buffer_and_stay_readable() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        for ts in [10i64, 20, 30, 40] {
+            t.put(&Record::dense(SourceId(1), Timestamp(ts), [ts as f64, 0.0])).unwrap();
+        }
+        // Buffer full → sealed inline; the watermark is now 40.
+        assert_eq!(t.buffered_points(), 0);
+        t.put(&Record::dense(SourceId(1), Timestamp(5), [5.0, 0.0])).unwrap();
+        assert_eq!(t.stats().ooo_side_rows.get(), 1, "pre-watermark row took the side path");
+        assert_eq!(t.buffered_points(), 1, "side rows count as buffered");
+        // Unsealed side rows are already visible, in order.
+        let times: Vec<i64> = t
+            .historical_scan(SourceId(1), Timestamp(0), Timestamp(100), &[0])
+            .unwrap()
+            .iter()
+            .map(|p| p.ts.micros())
+            .collect();
+        assert_eq!(times, vec![5, 10, 20, 30, 40]);
+        // And flush seals them into a queryable batch.
+        t.flush().unwrap();
+        assert_eq!(t.buffered_points(), 0);
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(100), &[0, 1]).unwrap();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].ts.micros(), 5);
+        assert_eq!(pts[0].values[0], Some(5.0));
+    }
+
+    #[test]
+    fn full_side_buffer_seals_inline_as_irts() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::regular_high(Duration::from_hz(10.0))).unwrap();
+        // Seal one regular batch (100ms period): watermark = 1.3s.
+        put_regular(&t, 1, 4, 100_000);
+        // Four late rows fill and seal the side buffer without a flush.
+        for ts in [1i64, 2, 3, 4] {
+            t.put(&Record::dense(SourceId(1), Timestamp(ts), [ts as f64, 0.0])).unwrap();
+        }
+        assert_eq!(t.stats().ooo_side_rows.get(), 4);
+        assert_eq!(t.stats().ooo_side_batches.get(), 1, "side buffer sealed at capacity");
+        assert_eq!(t.buffered_points(), 0);
+        // Late seals are forced IRTS (their timestamps are arbitrary),
+        // alongside the RTS batch from the in-order run.
+        let (rts, irts, _) = t.record_counts();
+        assert_eq!((rts, irts), (1, 1));
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), 8);
+        assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn put_cols_run_with_late_rows_lands_all_rows() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::irregular_high()).unwrap();
+        for ts in [10i64, 20, 30, 40] {
+            t.put(&Record::dense(SourceId(1), Timestamp(ts), [ts as f64, 0.0])).unwrap();
+        }
+        // A columnar run mixing late (5, 15) and fresh (50, 60) rows:
+        // the run detects disorder and falls back to per-row routing.
+        let ts = [5i64, 15, 50, 60];
+        let cols: Vec<Vec<Option<f64>>> =
+            vec![ts.iter().map(|&x| Some(x as f64)).collect(), vec![Some(0.0); 4]];
+        t.put_cols(SourceId(1), &ts, &cols).unwrap();
+        assert_eq!(t.stats().ooo_side_rows.get(), 2);
+        t.flush().unwrap();
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(100), &[0]).unwrap();
+        let times: Vec<i64> = pts.iter().map(|p| p.ts.micros()).collect();
+        assert_eq!(times, vec![5, 10, 15, 20, 30, 40, 50, 60]);
+        assert_eq!(t.stats().snapshot().points_ingested, 16, "8 records × 2 tags");
+    }
+
+    #[test]
+    fn mg_sources_never_take_the_side_path() {
+        let t = table(4);
+        t.register_source(SourceId(1), SourceClass::regular_low(Duration::from_minutes(15)))
+            .unwrap();
+        for ts in [900i64, 1800, 2700, 3600] {
+            t.put(&Record::dense(SourceId(1), Timestamp::from_secs(ts), [1.0, 2.0])).unwrap();
+        }
+        t.flush().unwrap();
+        // An MG row older than everything sealed: timestamp-keyed MG
+        // batches tolerate disorder natively, no side buffer involved.
+        t.put(&Record::dense(SourceId(1), Timestamp::from_secs(450), [1.0, 2.0])).unwrap();
+        t.flush().unwrap();
+        assert_eq!(t.stats().ooo_side_rows.get(), 0);
+        let pts = t.historical_scan(SourceId(1), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(pts.len(), 5);
+        assert!(pts.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn delete_masks_rows_on_every_read_tier() {
+        let t = table(16);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000); // ts = 1_000_000 + i·10_000
+        t.flush().unwrap();
+        // Delete rows i ∈ [20, 25].
+        let pred = crate::delete::DeletePredicate::all_sources(1_200_000, 1_250_000);
+        t.delete(&pred).unwrap();
+        assert_eq!(t.stats().tombstone_deletes.get(), 1);
+        let masked_ts = |lo: i64, hi: i64, ts: i64| ts >= lo && ts <= hi;
+        // Row tier.
+        let pts =
+            t.historical_scan(SourceId(5), Timestamp(0), Timestamp(i64::MAX), &[0, 1]).unwrap();
+        assert_eq!(pts.len(), 94);
+        assert!(pts.iter().all(|p| !masked_ts(1_200_000, 1_250_000, p.ts.micros())));
+        // Slice tier.
+        let pts = t.slice_scan(Timestamp(0), Timestamp(i64::MAX), &[0], None).unwrap();
+        assert_eq!(pts.len(), 94);
+        // Columnar tier.
+        let chunks = t.scan_columnar(Timestamp(0), Timestamp(i64::MAX), &[0], None, &[]).unwrap();
+        let rows: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(rows, 94);
+        // Aggregate tier: count and sum exclude the masked rows.
+        let agg =
+            t.aggregate_range(Some(SourceId(5)), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap();
+        assert_eq!(agg.tags[0].count, 94);
+        let expect: i64 = (0..100).filter(|i| !(20..=25).contains(i)).sum();
+        assert_eq!(agg.tags[0].sum, expect as f64);
+        // Bucket tier: the bucket holding the deleted span shrinks.
+        let buckets = t
+            .bucket_aggregate(Some(SourceId(5)), Timestamp(0), Timestamp(i64::MAX), 1_000_000, &[0])
+            .unwrap();
+        let total: u64 = buckets.values().map(|a| a.tags[0].count).sum();
+        assert_eq!(total, 94);
+        assert!(t.stats().tombstone_masked_rows.get() > 0);
+    }
+
+    #[test]
+    fn tombstone_overlap_disables_summary_fast_path() {
+        let t = table(16);
+        t.register_source(SourceId(5), SourceClass::regular_high(Duration::from_hz(100.0)))
+            .unwrap();
+        put_regular(&t, 5, 100, 10_000);
+        t.flush().unwrap(); // 7 sealed batches
+        let agg = |t: &OdhTable| {
+            t.aggregate_range(Some(SourceId(5)), Timestamp(0), Timestamp(i64::MAX), &[0]).unwrap()
+        };
+        let base = agg(&t);
+        let s0 = t.stats().summary_answered_batches.get();
+        let d0 = t.stats().blob_decodes.get();
+        // Tombstone inside batch 1 (rows 16..31): that batch must fall
+        // off the summary fast path and decode; the other six must not.
+        t.delete(&crate::delete::DeletePredicate::all_sources(1_200_000, 1_250_000)).unwrap();
+        let masked = agg(&t);
+        assert_eq!(masked.tags[0].count, base.tags[0].count - 6);
+        let s1 = t.stats().summary_answered_batches.get();
+        let d1 = t.stats().blob_decodes.get();
+        assert_eq!(s1 - s0, 6, "six clean batches still summary-answered");
+        assert_eq!(d1 - d0, 1, "exactly the overlapping batch decoded");
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! - **Frames.** Every entry is `len:u32 | crc32:u32 | payload`, where the
 //!   payload is `lsn:u64 | kind:u8 | body`. LSNs are assigned from one
 //!   atomic counter, so they are globally monotone; the CRC covers the
-//!   whole payload. Three kinds exist: point appends, table definitions,
-//!   and source registrations — enough to rebuild a server from an empty
-//!   disk image.
+//!   whole payload. Five kinds exist: point appends, table definitions,
+//!   source registrations, predicate deletes, and late (out-of-order)
+//!   point appends — enough to rebuild a server from an empty disk image.
+//!   Late points carry their own kind because they seal through the
+//!   side-buffer path and are guarded by a *separate* per-source replay
+//!   low-water mark (`late_sealed`): open-buffer and side-buffer LSNs of
+//!   one source interleave, so a single mark could not cover both without
+//!   losing whichever stream sealed later.
 //! - **Group commit per stripe.** Appends encode into one of
 //!   [`WAL_STRIPES`] staging buffers selected by the same multiplicative
 //!   hash as the ingest shards, so the WAL adds no cross-source lock
@@ -28,6 +33,7 @@
 //! - **Checkpoints.** [`Wal::truncate_through`] drops every frame at or
 //!   below the checkpoint's low-water-mark LSN and keeps the tail.
 
+use crate::delete::DeletePredicate;
 use crate::snapshot::TableConfigSnapshot;
 use odh_pager::log::LogStore;
 use odh_sim::ResourceMeter;
@@ -50,13 +56,37 @@ const MAX_FRAME: usize = 1 << 20;
 const KIND_POINT: u8 = 1;
 const KIND_TABLE_DEF: u8 = 2;
 const KIND_SOURCE: u8 = 3;
+const KIND_DELETE: u8 = 4;
+const KIND_LATE_POINT: u8 = 5;
 
 /// One recovered WAL entry.
 #[derive(Debug, Clone)]
 pub enum WalEntry {
-    Point { table: u16, record: Record },
-    TableDef { table: u16, config: TableConfigSnapshot },
-    Source { table: u16, source: SourceId, class: SourceClass },
+    Point {
+        table: u16,
+        record: Record,
+    },
+    TableDef {
+        table: u16,
+        config: TableConfigSnapshot,
+    },
+    Source {
+        table: u16,
+        source: SourceId,
+        class: SourceClass,
+    },
+    Delete {
+        table: u16,
+        predicate: DeletePredicate,
+    },
+    /// A point that arrived below its source's seal watermark and was
+    /// routed to the side buffer. Identical body to `Point`; the distinct
+    /// kind routes replay back through the side buffer so the two
+    /// per-source low-water marks stay independent.
+    LatePoint {
+        table: u16,
+        record: Record,
+    },
 }
 
 /// A parsed frame: the entry plus its LSN.
@@ -213,7 +243,20 @@ impl Wal {
     /// `record.source` across this call and the buffer push, which makes
     /// per-source LSN order identical to buffer order.
     pub fn append_point(&self, table: u16, record: &Record) -> Result<u64> {
-        self.append(stripe_of(record.source.0), KIND_POINT, |buf| {
+        self.append_point_kind(KIND_POINT, table, record)
+    }
+
+    /// Append one late (out-of-order) point. Same body as
+    /// [`Wal::append_point`], distinct kind: replay routes it into the
+    /// side buffer under the `late_sealed` low-water mark. The caller must
+    /// hold the **side-buffer** shard lock of `record.source` across this
+    /// call and the side-buffer push.
+    pub fn append_late_point(&self, table: u16, record: &Record) -> Result<u64> {
+        self.append_point_kind(KIND_LATE_POINT, table, record)
+    }
+
+    fn append_point_kind(&self, kind: u8, table: u16, record: &Record) -> Result<u64> {
+        self.append(stripe_of(record.source.0), kind, |buf| {
             buf.extend_from_slice(&table.to_le_bytes());
             buf.extend_from_slice(&record.source.0.to_le_bytes());
             buf.extend_from_slice(&record.ts.micros().to_le_bytes());
@@ -311,6 +354,17 @@ impl Wal {
         let json = serde_json::to_vec(config)
             .map_err(|e| OdhError::Corrupt(format!("wal: encode table def: {e}")))?;
         self.append(0, KIND_TABLE_DEF, |buf| {
+            buf.extend_from_slice(&table.to_le_bytes());
+            buf.extend_from_slice(&json);
+        })
+    }
+
+    /// Append a predicate delete. The tombstone becomes durable (hence
+    /// acknowledgeable) at the next [`Wal::sync`], like any point.
+    pub fn append_delete(&self, table: u16, predicate: &DeletePredicate) -> Result<u64> {
+        let json = serde_json::to_vec(predicate)
+            .map_err(|e| OdhError::Corrupt(format!("wal: encode delete predicate: {e}")))?;
+        self.append(0, KIND_DELETE, |buf| {
             buf.extend_from_slice(&table.to_le_bytes());
             buf.extend_from_slice(&json);
         })
@@ -513,39 +567,56 @@ fn parse_frames(bytes: &[u8]) -> (Vec<WalFrame>, usize, Option<String>) {
     (raw.into_iter().map(|(f, _)| f).collect(), good, reason)
 }
 
+/// Decode the shared `Point`/`LatePoint` frame body.
+fn decode_point_body(body: &[u8]) -> Result<(u16, Record)> {
+    let short = || OdhError::Corrupt("wal: truncated frame body".into());
+    if body.len() < 20 {
+        return Err(short());
+    }
+    let table = u16::from_le_bytes(body[0..2].try_into().unwrap());
+    let source = u64::from_le_bytes(body[2..10].try_into().unwrap());
+    let ts = i64::from_le_bytes(body[10..18].try_into().unwrap());
+    let n = u16::from_le_bytes(body[18..20].try_into().unwrap()) as usize;
+    let bm_len = n.div_ceil(8);
+    if body.len() < 20 + bm_len {
+        return Err(short());
+    }
+    let bitmap = &body[20..20 + bm_len];
+    let mut values = Vec::with_capacity(n);
+    let mut voff = 20 + bm_len;
+    for i in 0..n {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            if body.len() < voff + 8 {
+                return Err(short());
+            }
+            values.push(Some(f64::from_le_bytes(body[voff..voff + 8].try_into().unwrap())));
+            voff += 8;
+        } else {
+            values.push(None);
+        }
+    }
+    Ok((table, Record::new(SourceId(source), Timestamp(ts), values)))
+}
+
 fn decode_entry(kind: u8, body: &[u8]) -> Result<WalEntry> {
     let short = || OdhError::Corrupt("wal: truncated frame body".into());
     match kind {
         KIND_POINT => {
-            if body.len() < 20 {
+            let (table, record) = decode_point_body(body)?;
+            Ok(WalEntry::Point { table, record })
+        }
+        KIND_LATE_POINT => {
+            let (table, record) = decode_point_body(body)?;
+            Ok(WalEntry::LatePoint { table, record })
+        }
+        KIND_DELETE => {
+            if body.len() < 2 {
                 return Err(short());
             }
             let table = u16::from_le_bytes(body[0..2].try_into().unwrap());
-            let source = u64::from_le_bytes(body[2..10].try_into().unwrap());
-            let ts = i64::from_le_bytes(body[10..18].try_into().unwrap());
-            let n = u16::from_le_bytes(body[18..20].try_into().unwrap()) as usize;
-            let bm_len = n.div_ceil(8);
-            if body.len() < 20 + bm_len {
-                return Err(short());
-            }
-            let bitmap = &body[20..20 + bm_len];
-            let mut values = Vec::with_capacity(n);
-            let mut voff = 20 + bm_len;
-            for i in 0..n {
-                if bitmap[i / 8] & (1 << (i % 8)) != 0 {
-                    if body.len() < voff + 8 {
-                        return Err(short());
-                    }
-                    values.push(Some(f64::from_le_bytes(body[voff..voff + 8].try_into().unwrap())));
-                    voff += 8;
-                } else {
-                    values.push(None);
-                }
-            }
-            Ok(WalEntry::Point {
-                table,
-                record: Record::new(SourceId(source), Timestamp(ts), values),
-            })
+            let predicate: DeletePredicate = serde_json::from_slice(&body[2..])
+                .map_err(|e| OdhError::Corrupt(format!("wal: delete predicate: {e}")))?;
+            Ok(WalEntry::Delete { table, predicate })
         }
         KIND_TABLE_DEF => {
             if body.len() < 2 {
@@ -679,6 +750,37 @@ mod tests {
                 assert_eq!(record.values, vec![Some(3.0), None, Some(-1.0)]);
             }
             e => panic!("expected point, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn late_point_and_delete_frames_round_trip() {
+        let (log, wal) = mem_wal();
+        wal.append_late_point(3, &point(7, 41)).unwrap();
+        let pred = DeletePredicate::for_sources(10, 20, [SourceId(7), SourceId(9)]);
+        wal.append_delete(3, &pred).unwrap();
+        wal.append_delete(4, &DeletePredicate::all_sources(i64::MIN, 0)).unwrap();
+        wal.sync().unwrap();
+        let (_, rec) = Wal::open(log, ResourceMeter::unmetered()).unwrap();
+        assert_eq!(rec.frames.len(), 3);
+        match &rec.frames[0].entry {
+            WalEntry::LatePoint { table, record } => {
+                assert_eq!(*table, 3);
+                assert_eq!(record.source, SourceId(7));
+                assert_eq!(record.ts, Timestamp(41));
+            }
+            e => panic!("expected late point, got {e:?}"),
+        }
+        match &rec.frames[1].entry {
+            WalEntry::Delete { table, predicate } => {
+                assert_eq!(*table, 3);
+                assert_eq!(*predicate, pred);
+            }
+            e => panic!("expected delete, got {e:?}"),
+        }
+        match &rec.frames[2].entry {
+            WalEntry::Delete { predicate, .. } => assert_eq!(predicate.sources, None),
+            e => panic!("expected delete, got {e:?}"),
         }
     }
 

@@ -27,7 +27,7 @@ use odh_pager::disk::MemDisk;
 use odh_pager::log::MemLog;
 use odh_pager::{FailDisk, FailWal, FaultMode, FaultPlan};
 use odh_sim::ResourceMeter;
-use odh_storage::TableConfig;
+use odh_storage::{DeletePredicate, TableConfig};
 use odh_types::{Record, SchemaType, SourceClass, SourceId, Timestamp};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -598,6 +598,326 @@ fn uncheckpointed_generation_is_discarded_on_recovery() {
                 .len();
         }
         assert_eq!(total_after, rows_sent, "seed {seed}: post-recovery compaction lost rows");
+    }
+}
+
+/// Predicate deletes interleave with ingest every `DELETE_EVERY` records,
+/// each targeting a range of already-sealed per-source indices, so the
+/// injected faults land before, during, and after the `KIND_DELETE` WAL
+/// appends.
+const DELETE_EVERY: usize = 60;
+
+struct DeleteOutcome {
+    sent: HashMap<u64, usize>,
+    acked: HashMap<u64, usize>,
+    /// Time ranges deleted, in issue order.
+    deletes_sent: Vec<(i64, i64)>,
+    /// Prefix of `deletes_sent` covered by a successful barrier.
+    deletes_acked: usize,
+    triggered: bool,
+}
+
+fn ingest_with_deletes_until_crash(
+    disk: Arc<FailDisk>,
+    log: Arc<FailWal>,
+    plan: &Arc<FaultPlan>,
+) -> DeleteOutcome {
+    let mut out = DeleteOutcome {
+        sent: HashMap::new(),
+        acked: HashMap::new(),
+        deletes_sent: Vec::new(),
+        deletes_acked: 0,
+        triggered: false,
+    };
+    let crash = |mut out: DeleteOutcome, plan: &Arc<FaultPlan>| {
+        out.triggered = plan.triggered();
+        out
+    };
+    let server =
+        DataServer::with_disk_wal(0, ResourceMeter::unmetered(), disk, POOL_FRAMES, log).unwrap();
+    let table = match server.create_table(table_cfg()) {
+        Ok(t) => t,
+        Err(_) => return crash(out, plan),
+    };
+    for s in 0..SOURCES {
+        let class =
+            if s % 2 == 0 { SourceClass::irregular_high() } else { SourceClass::irregular_low() };
+        if table.register_source(SourceId(s), class).is_err() {
+            return crash(out, plan);
+        }
+    }
+    for i in 0..RECORDS {
+        let s = i as u64 % SOURCES;
+        if table.put(&record(s, i / SOURCES as usize)).is_err() {
+            return crash(out, plan);
+        }
+        *out.sent.entry(s).or_insert(0) += 1;
+        if (i + 1) % DELETE_EVERY == 0 {
+            // Delete per-source indices [hi/4, hi/2] — strictly behind the
+            // write frontier, so the tombstone's "timeless while active"
+            // semantics never mask rows written after it.
+            let hi = i / SOURCES as usize;
+            let range = (hi as i64 / 4 * 1_000, hi as i64 / 2 * 1_000 + 2);
+            if table.delete(&DeletePredicate::all_sources(range.0, range.1)).is_err() {
+                return crash(out, plan);
+            }
+            out.deletes_sent.push(range);
+        }
+        if (i + 1) % SYNC_EVERY == 0 {
+            if server.sync().is_ok() {
+                out.acked = out.sent.clone();
+                out.deletes_acked = out.deletes_sent.len();
+            } else {
+                return crash(out, plan);
+            }
+        }
+    }
+    if server.sync().is_ok() {
+        out.acked = out.sent.clone();
+        out.deletes_acked = out.deletes_sent.len();
+    }
+    crash(out, plan)
+}
+
+/// Recover and check the hostile-ingest durability contract for deletes:
+/// nothing acked is lost *outside the deleted ranges*, nothing is
+/// resurrected *inside an acked deleted range*, nothing is duplicated.
+/// An unacked delete may or may not have applied (its frame may not have
+/// reached the media), so rows inside a merely-sent range are exempt from
+/// the presence requirement but still checked for duplicates.
+fn verify_delete_recovery(
+    disk: Arc<MemDisk>,
+    log: Arc<MemLog>,
+    outcome: &DeleteOutcome,
+    require_acked: bool,
+    label: &str,
+) {
+    let server = DataServer::open_with_wal(0, ResourceMeter::unmetered(), disk, POOL_FRAMES, log)
+        .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+    let table = match server.table("plant") {
+        Ok(t) => t,
+        Err(_) => {
+            let acked_total: usize = outcome.acked.values().sum();
+            assert_eq!(acked_total, 0, "{label}: acked records lost with the table");
+            return;
+        }
+    };
+    let acked_deleted = |ts: i64| {
+        outcome.deletes_sent[..outcome.deletes_acked]
+            .iter()
+            .any(|&(t1, t2)| (t1..=t2).contains(&ts))
+    };
+    let sent_deleted =
+        |ts: i64| outcome.deletes_sent.iter().any(|&(t1, t2)| (t1..=t2).contains(&ts));
+    for s in 0..SOURCES {
+        let rows: Vec<(i64, f64)> = table
+            .historical_scan(SourceId(s), Timestamp(0), Timestamp(i64::MAX), &[0])
+            .map(|r| r.into_iter().map(|p| (p.ts.micros(), p.values[0].unwrap())).collect())
+            .unwrap_or_default();
+        for w in rows.windows(2) {
+            assert!(w[0].0 < w[1].0, "{label}: source {s} duplicate/reordered rows: {w:?}");
+        }
+        let present: std::collections::HashSet<i64> = rows.iter().map(|&(ts, _)| ts).collect();
+        let sent = outcome.sent.get(&s).copied().unwrap_or(0);
+        for &(ts, v) in &rows {
+            // Every recovered row was actually sent...
+            let k = (ts - 1) / 1_000;
+            assert!(
+                ts == k * 1_000 + 1 && v == k as f64 && (k as usize) < sent,
+                "{label}: source {s} recovered a row never sent: ({ts}, {v})"
+            );
+            // ...and no acked delete is undone by recovery.
+            assert!(!acked_deleted(ts), "{label}: source {s} resurrected deleted row at {ts}");
+        }
+        if require_acked {
+            for k in 0..outcome.acked.get(&s).copied().unwrap_or(0) {
+                let ts = k as i64 * 1_000 + 1;
+                if !sent_deleted(ts) {
+                    assert!(present.contains(&ts), "{label}: source {s} lost acked row at {ts}");
+                }
+            }
+        }
+    }
+    // The recovered server still accepts deletes and writes.
+    table.delete(&DeletePredicate::all_sources(0, 1)).unwrap();
+    let next = outcome.sent.values().copied().max().unwrap_or(0);
+    table.put(&record(0, next + 1)).unwrap();
+    server.sync().unwrap();
+}
+
+fn run_delete_trial(seed: u64, mode: FaultMode, ops_before_fault: u64) -> DeleteOutcome {
+    let label = format!("seed {seed} mode {mode:?} fault-after {ops_before_fault} (deleting)");
+    let disk_media = Arc::new(MemDisk::new());
+    let log_media = Arc::new(MemLog::new());
+    let plan = FaultPlan::new(seed, mode, ops_before_fault);
+    let disk = Arc::new(FailDisk::new(disk_media.clone(), plan.clone()));
+    let log = Arc::new(FailWal::new(log_media.clone(), plan.clone()));
+    let outcome = ingest_with_deletes_until_crash(disk, log, &plan);
+    verify_delete_recovery(disk_media, log_media, &outcome, true, &label);
+    outcome
+}
+
+/// Kill and torn-write faults landing around `KIND_DELETE` WAL appends:
+/// acked tombstones survive recovery (no resurrected rows), unacked
+/// tombstones are atomic (fully applied or fully absent), and the data
+/// contract is unchanged.
+#[test]
+fn kill_and_torn_faults_mid_delete_lose_nothing() {
+    for seed in seeds() {
+        let mut crashed = 0usize;
+        let mut deletes_acked = 0usize;
+        for &ops in &[15, 55, 120, 260] {
+            for mode in [FaultMode::Kill, FaultMode::Torn] {
+                let o = run_delete_trial(seed, mode, ops + seed % 7);
+                crashed += o.triggered as usize;
+                deletes_acked += o.deletes_acked;
+            }
+        }
+        assert!(crashed >= 1, "seed {seed}: no fault fired mid-stream with deletes running");
+        assert!(deletes_acked >= 1, "seed {seed}: no trial acked a delete before its fault");
+    }
+}
+
+struct SideOutcome {
+    /// (ts, value) accepted per source, in arrival order.
+    sent: HashMap<u64, Vec<(i64, f64)>>,
+    acked: HashMap<u64, Vec<(i64, f64)>>,
+    late_acked: usize,
+    triggered: bool,
+}
+
+/// Ingest where every other per-source index also emits a row 16 indices
+/// behind the write frontier — far below the seal watermark, so it takes
+/// the side-buffer path (`KIND_LATE_POINT` WAL frames) and periodically
+/// fills and seals side batches while faults are armed.
+fn ingest_with_late_rows_until_crash(
+    disk: Arc<FailDisk>,
+    log: Arc<FailWal>,
+    plan: &Arc<FaultPlan>,
+) -> SideOutcome {
+    let mut out = SideOutcome {
+        sent: HashMap::new(),
+        acked: HashMap::new(),
+        late_acked: 0,
+        triggered: false,
+    };
+    let crash = |mut out: SideOutcome, plan: &Arc<FaultPlan>| {
+        out.triggered = plan.triggered();
+        out
+    };
+    let server =
+        DataServer::with_disk_wal(0, ResourceMeter::unmetered(), disk, POOL_FRAMES, log).unwrap();
+    let table = match server.create_table(table_cfg()) {
+        Ok(t) => t,
+        Err(_) => return crash(out, plan),
+    };
+    for s in 0..SOURCES {
+        // All per-source (IRTS): the side path exists for the ordered
+        // structures; MG tolerates disorder natively.
+        if table.register_source(SourceId(s), SourceClass::irregular_high()).is_err() {
+            return crash(out, plan);
+        }
+    }
+    let mut late_sent = 0usize;
+    for i in 0..RECORDS {
+        let s = i as u64 % SOURCES;
+        let k = i / SOURCES as usize;
+        if table.put(&record(s, k)).is_err() {
+            return crash(out, plan);
+        }
+        out.sent.entry(s).or_default().push((k as i64 * 1_000 + 1, k as f64));
+        if k >= 16 && k.is_multiple_of(2) {
+            let lk = (k - 16) as i64;
+            let (ts, v) = (lk * 1_000 + 500, lk as f64 + 0.5);
+            if table.put(&Record::dense(SourceId(s), Timestamp(ts), [v, s as f64])).is_err() {
+                return crash(out, plan);
+            }
+            out.sent.entry(s).or_default().push((ts, v));
+            late_sent += 1;
+        }
+        if (i + 1) % SYNC_EVERY == 0 {
+            if server.sync().is_ok() {
+                out.acked = out.sent.clone();
+                out.late_acked = late_sent;
+            } else {
+                return crash(out, plan);
+            }
+        }
+    }
+    if server.sync().is_ok() {
+        out.acked = out.sent.clone();
+        out.late_acked = late_sent;
+    }
+    crash(out, plan)
+}
+
+fn run_side_buffer_trial(seed: u64, mode: FaultMode, ops_before_fault: u64) -> SideOutcome {
+    let label = format!("seed {seed} mode {mode:?} fault-after {ops_before_fault} (side-buffer)");
+    let disk_media = Arc::new(MemDisk::new());
+    let log_media = Arc::new(MemLog::new());
+    let plan = FaultPlan::new(seed, mode, ops_before_fault);
+    let disk = Arc::new(FailDisk::new(disk_media.clone(), plan.clone()));
+    let log = Arc::new(FailWal::new(log_media.clone(), plan.clone()));
+    let outcome = ingest_with_late_rows_until_crash(disk, log, &plan);
+    // Recover and check: acked ⊆ recovered ⊆ sent, per source, no dupes.
+    let server = DataServer::open_with_wal(
+        0,
+        ResourceMeter::unmetered(),
+        disk_media,
+        POOL_FRAMES,
+        log_media,
+    )
+    .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+    let table = match server.table("plant") {
+        Ok(t) => t,
+        Err(_) => {
+            let acked_total: usize = outcome.acked.values().map(|v| v.len()).sum();
+            assert_eq!(acked_total, 0, "{label}: acked records lost with the table");
+            return outcome;
+        }
+    };
+    for s in 0..SOURCES {
+        let rows: Vec<(i64, f64)> = table
+            .historical_scan(SourceId(s), Timestamp(0), Timestamp(i64::MAX), &[0])
+            .map(|r| r.into_iter().map(|p| (p.ts.micros(), p.values[0].unwrap())).collect())
+            .unwrap_or_default();
+        for w in rows.windows(2) {
+            assert!(w[0].0 < w[1].0, "{label}: source {s} duplicate/reordered rows: {w:?}");
+        }
+        let sent: HashMap<i64, f64> =
+            outcome.sent.get(&s).map(|v| v.iter().copied().collect()).unwrap_or_default();
+        let present: std::collections::HashSet<i64> = rows.iter().map(|&(ts, _)| ts).collect();
+        for &(ts, v) in &rows {
+            assert_eq!(
+                sent.get(&ts),
+                Some(&v),
+                "{label}: source {s} recovered a row never sent: ({ts}, {v})"
+            );
+        }
+        for &(ts, _) in outcome.acked.get(&s).map(|v| v.as_slice()).unwrap_or_default() {
+            assert!(present.contains(&ts), "{label}: source {s} lost acked row at {ts}");
+        }
+    }
+    outcome
+}
+
+/// Kill and torn-write faults landing around `KIND_LATE_POINT` appends
+/// and side-buffer seals: acknowledged late arrivals survive recovery in
+/// the correct time order, with no duplicates from replay re-routing.
+#[test]
+fn kill_and_torn_faults_mid_side_buffer_seal_lose_nothing() {
+    for seed in seeds() {
+        let mut crashed = 0usize;
+        let mut late_acked = 0usize;
+        for &ops in &[20, 70, 150, 300] {
+            for mode in [FaultMode::Kill, FaultMode::Torn] {
+                let o = run_side_buffer_trial(seed, mode, ops + seed % 7);
+                crashed += o.triggered as usize;
+                late_acked += o.late_acked;
+            }
+        }
+        assert!(crashed >= 1, "seed {seed}: no fault fired mid-stream with late arrivals");
+        assert!(late_acked >= 1, "seed {seed}: no trial acked a late arrival before its fault");
     }
 }
 

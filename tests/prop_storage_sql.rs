@@ -6,7 +6,7 @@
 use odh_core::Historian;
 use odh_sql::provider::MemTable;
 use odh_sql::SqlEngine;
-use odh_storage::TableConfig;
+use odh_storage::{DeletePredicate, TableConfig};
 use odh_types::{Datum, Record, RelSchema, Row, SchemaType, SourceClass, SourceId, Timestamp};
 use proptest::prelude::*;
 use std::sync::Mutex;
@@ -33,6 +33,88 @@ fn rows_close(a: &[Row], b: &[Row]) -> bool {
 /// Arbitrary operational stream: (source 0..4, ts, value, maybe-null).
 fn arb_stream() -> impl Strategy<Value = Vec<(u64, i64, f64, bool)>> {
     prop::collection::vec((0u64..4, 0i64..500_000, -100.0f64..100.0, any::<bool>()), 1..120)
+}
+
+/// Fisher–Yates permutation of `0..n` driven by a splitmix64 stream: the
+/// vendored proptest stand-in has no shuffle combinator, so arrival
+/// orders are derived from a sampled seed.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        idx.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    idx
+}
+
+/// Historian for the hostile-ingest equivalence arms: small batches so
+/// shuffles cross seal boundaries, a merge threshold above the batch size
+/// so compaction rewrites every sealed generation, and early cold
+/// demotion so the post-compaction arm reads through the cold tier too.
+fn hostile_historian() -> Historian {
+    let h = Historian::builder().servers(2).build().unwrap();
+    h.define_schema_type(
+        TableConfig::new(SchemaType::new("p", ["v"]))
+            .with_batch_size(8)
+            .with_mg_group_size(2)
+            .with_compact_min_batch(16)
+            .with_compact_target_batch(64)
+            .with_cold_after(odh_types::Duration::from_micros(100_000)),
+    )
+    .unwrap();
+    for id in 0..4u64 {
+        h.register_source("p", SourceId(id), SourceClass::irregular_high()).unwrap();
+    }
+    h
+}
+
+fn write_stream(h: &Historian, stream: impl IntoIterator<Item = (u64, i64, f64, bool)>) {
+    let w = h.writer("p").unwrap();
+    for (id, ts, v, null) in stream {
+        let values = if null { vec![None] } else { vec![Some(v)] };
+        w.write(&Record::new(SourceId(id), Timestamp(ts), values)).unwrap();
+    }
+    h.flush().unwrap();
+}
+
+/// Two historians must be observationally identical on every execution
+/// tier: full scans compared as multisets (equal-timestamp rows may
+/// legally reorder with batch layout), aggregates and `time_bucket` folds
+/// with float tolerance. The caller holds `TOGGLE`; toggles are left on
+/// the last tier — the caller restores the defaults.
+fn equivalence_check(a: &Historian, b: &Historian) -> Result<(), String> {
+    let scan = "select id, timestamp, v from p_v";
+    let agg = "select COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(v) from p_v";
+    let bucket = "select time_bucket(16000, timestamp), COUNT(*), COUNT(v), SUM(v) from p_v \
+                  group by time_bucket(16000, timestamp)";
+    let sorted = |mut rows: Vec<Row>| -> Vec<String> {
+        rows.sort_by_key(|r| format!("{r:?}"));
+        rows.into_iter().map(|r| format!("{r:?}")).collect()
+    };
+    for (pushdown, vectorized) in [(true, true), (false, true), (false, false)] {
+        odh_sql::set_aggregate_pushdown(pushdown);
+        odh_sql::set_vectorized(vectorized);
+        let tier = format!("pushdown={pushdown} vectorized={vectorized}");
+        let (sa, sb) = (a.sql(scan).unwrap().rows, b.sql(scan).unwrap().rows);
+        if sorted(sa.clone()) != sorted(sb.clone()) {
+            return Err(format!("{tier}: scans differ:\n  {sa:?}\n  {sb:?}"));
+        }
+        let (aa, ab) = (a.sql(agg).unwrap().rows, b.sql(agg).unwrap().rows);
+        if !rows_close(&aa, &ab) {
+            return Err(format!("{tier}: aggregates differ: {aa:?} != {ab:?}"));
+        }
+        let (ba, bb) = (a.sql(bucket).unwrap().rows, b.sql(bucket).unwrap().rows);
+        if !rows_close(&ba, &bb) {
+            return Err(format!("{tier}: time_bucket differs: {ba:?} != {bb:?}"));
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -515,6 +597,75 @@ proptest! {
                 rows_close(before, after),
                 "tier {}: time_bucket changed: {:?} != {:?}", i, before, after
             );
+        }
+    }
+
+    /// Hostile-ingest equivalence (see tests/hostile_ingest.rs for the
+    /// deterministic scenario matrix): an arbitrary permutation of the
+    /// stream — including arrivals far behind the seal watermark, which
+    /// take the side-buffer path — must converge to the same queryable
+    /// state as time-ordered ingest, across all three execution tiers,
+    /// before and after a compaction pass (with cold demotion enabled).
+    #[test]
+    fn shuffled_and_late_ingest_equals_ordered_ingest(
+        stream in arb_stream(),
+        seed in any::<u64>(),
+    ) {
+        let mut in_order = stream.clone();
+        in_order.sort_by_key(|&(id, ts, _, _)| (ts, id));
+        let ordered = hostile_historian();
+        write_stream(&ordered, in_order);
+        let hostile = hostile_historian();
+        write_stream(&hostile, permutation(stream.len(), seed).into_iter().map(|i| stream[i]));
+
+        let _g = TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        let pre = equivalence_check(&ordered, &hostile);
+        ordered.compact().unwrap();
+        hostile.compact().unwrap();
+        let post = equivalence_check(&ordered, &hostile);
+        odh_sql::set_aggregate_pushdown(true);
+        odh_sql::set_vectorized(true);
+        drop(_g);
+        if let Err(why) = pre {
+            panic!("pre-compaction: {why}");
+        }
+        if let Err(why) = post {
+            panic!("post-compaction: {why}");
+        }
+    }
+
+    /// Tombstone equivalence: deleting `[t1, t2]` must leave the system
+    /// observationally identical to never having written those rows —
+    /// masked reads before compaction, physically resolved after it —
+    /// across all three execution tiers.
+    #[test]
+    fn tombstoned_rows_equal_never_inserted_rows(
+        stream in arb_stream(),
+        win in (0i64..500_000, 1i64..250_000),
+    ) {
+        let (t1, t2) = (win.0, win.0 + win.1);
+        let full = hostile_historian();
+        write_stream(&full, stream.iter().copied());
+        full.delete("p", &DeletePredicate::all_sources(t1, t2)).unwrap();
+        let sparse = hostile_historian();
+        write_stream(
+            &sparse,
+            stream.iter().copied().filter(|&(_, ts, _, _)| !(t1..=t2).contains(&ts)),
+        );
+
+        let _g = TOGGLE.lock().unwrap_or_else(|e| e.into_inner());
+        let pre = equivalence_check(&full, &sparse);
+        full.compact().unwrap();
+        sparse.compact().unwrap();
+        let post = equivalence_check(&full, &sparse);
+        odh_sql::set_aggregate_pushdown(true);
+        odh_sql::set_vectorized(true);
+        drop(_g);
+        if let Err(why) = pre {
+            panic!("masked (pre-compaction): {why}");
+        }
+        if let Err(why) = post {
+            panic!("resolved (post-compaction): {why}");
         }
     }
 
