@@ -1,0 +1,60 @@
+//! Million-source scale harness — seeds `results/BENCH_scale.json`.
+//!
+//! See `crates/bench/src/scalebench.rs` for what is measured. Knobs:
+//! `SCALE_SWEEP` (cardinality ladder, default `10000,100000,1000000`),
+//! `SCALE_LEGACY_SOURCES`, `SCALE_SHAPE_SOURCES`, `SCALE_CHURN_SOURCES`,
+//! `SCALE_TD_SOURCES`, `TD_SECS`.
+
+use odh_bench::{banner, print_scale_report, save_json, scale_bench};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Live-byte tracking allocator: allocations minus deallocations. Lives
+/// in the binary because `#[global_allocator]` cannot live in the lib.
+struct LiveAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for LiveAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_add(new_size as u64, Ordering::Relaxed);
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: LiveAlloc = LiveAlloc;
+
+fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+fn main() {
+    banner(
+        "Million-source scale harness",
+        "§2 source spectrum at fleet scale: sharded registry + buffer memory diet",
+    );
+    let report = match scale_bench(live_bytes) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: scale harness errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    print_scale_report(&report);
+    let path = save_json("BENCH_scale", &report);
+    println!("\nsaved: {}", path.display());
+}

@@ -1,0 +1,169 @@
+//! CI gate over the committed million-source scale baseline.
+//!
+//! Re-runs the scale harness (typically with a tiny `SCALE_SWEEP` in CI)
+//! and checks two layers against `results/BENCH_scale.json`:
+//!
+//! - **Baseline shape gates** (on the committed file): the committed
+//!   sweep reached ≥ `SCALE_GATE_MIN_SOURCES` (default 1,000,000)
+//!   registered sources, its memory-diet ratio is ≥
+//!   `SCALE_GATE_MIN_DIET` (default 3.0x), and its ingest regression arm
+//!   stayed within ±10% of the committed `BENCH_ingest.json`.
+//! - **Current-run gates**: exact counters (every sweep point registered
+//!   exactly what it asked for; churn pruned exactly the aged-out
+//!   block), a resident-bytes ceiling per active source
+//!   (`SCALE_GATE_MAX_BYTES_PER_SOURCE`, default 2048), the diet ratio
+//!   again on this hardware, and the ingest arm within
+//!   `BENCH_GATE_TOLERANCE_PCT` (default 50%) of the committed scale
+//!   baseline — loose because CI hardware varies.
+//!
+//! The fresh run is saved as `results/BENCH_scale_current.json` for CI
+//! artifact upload. Exits non-zero on any failure.
+
+use odh_bench::ScaleBenchReport;
+use odh_bench::{banner, load_baseline, print_scale_report, save_json, scale_bench};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Same live-byte allocator as `scale_bench` — duplicated because
+/// `#[global_allocator]` must live in the binary, not the shared library.
+struct LiveAlloc;
+
+static LIVE: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for LiveAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        LIVE.fetch_add(new_size as u64, Ordering::Relaxed);
+        LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        LIVE.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: LiveAlloc = LiveAlloc;
+
+fn live_bytes() -> u64 {
+    LIVE.load(Ordering::Relaxed)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    banner("Million-source scale gate", "CI guard on registry memory and scale throughput");
+    let tolerance = env_f64("BENCH_GATE_TOLERANCE_PCT", 50.0);
+    let min_sources = env_f64("SCALE_GATE_MIN_SOURCES", 1_000_000.0) as u64;
+    let min_diet = env_f64("SCALE_GATE_MIN_DIET", 3.0);
+    let max_bytes = env_f64("SCALE_GATE_MAX_BYTES_PER_SOURCE", 2048.0);
+
+    let baseline: ScaleBenchReport =
+        load_baseline("BENCH_scale", "cargo run --release -p odh-bench --bin scale_bench");
+
+    let current = match scale_bench(live_bytes) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL: scale harness errored: {e}");
+            std::process::exit(1);
+        }
+    };
+    let path = save_json("BENCH_scale_current", &current);
+    println!("current run saved: {}", path.display());
+    print_scale_report(&current);
+    println!();
+
+    let mut failures = 0u32;
+    let mut check = |ok: bool, what: &str| {
+        println!("  {} {what}", if ok { "ok    " } else { "FAILED" });
+        if !ok {
+            failures += 1;
+        }
+    };
+
+    // Baseline shape gates — the committed file carries the full sweep.
+    check(
+        baseline.max_sources >= min_sources,
+        &format!("committed sweep reached {} sources (≥ {min_sources})", baseline.max_sources),
+    );
+    check(
+        baseline.diet_ratio >= min_diet,
+        &format!(
+            "committed memory diet {:.2}x (≥ {min_diet}x: {:.1} legacy vs {:.1} B/src)",
+            baseline.diet_ratio, baseline.legacy_bytes_per_source, baseline.bytes_per_source
+        ),
+    );
+    check(
+        baseline.baseline_ingest_pps > 0.0 && (baseline.ingest_vs_baseline - 1.0).abs() <= 0.10,
+        &format!(
+            "committed ingest arm within ±10% of BENCH_ingest ({:.3}x)",
+            baseline.ingest_vs_baseline
+        ),
+    );
+
+    // Exact counter gates on the current run.
+    for p in &current.sweep {
+        check(
+            p.registered == p.sources,
+            &format!("sweep {} registered exactly {} sources", p.sources, p.registered),
+        );
+    }
+    check(
+        current.churn.pruned_sources == current.churn.churn_sources,
+        &format!(
+            "churn pruned exactly the aged-out block ({} of {})",
+            current.churn.pruned_sources, current.churn.churn_sources
+        ),
+    );
+    check(
+        current.churn.reregistered > 0,
+        &format!("pruned ids re-registrable ({} re-registered)", current.churn.reregistered),
+    );
+    check(
+        current.churn.registry_bytes_after < current.churn.registry_bytes_before,
+        &format!(
+            "churn shrank the registry ({} → {} B)",
+            current.churn.registry_bytes_before, current.churn.registry_bytes_after
+        ),
+    );
+
+    // Memory gates on this hardware.
+    check(
+        current.bytes_per_source <= max_bytes,
+        &format!(
+            "active source costs {:.1} B resident (ceiling {max_bytes})",
+            current.bytes_per_source
+        ),
+    );
+    check(
+        current.diet_ratio >= min_diet,
+        &format!("memory diet holds in-run ({:.2}x ≥ {min_diet}x)", current.diet_ratio),
+    );
+
+    // Throughput regression gate vs the committed scale baseline.
+    let delta = (current.ingest_pps / baseline.ingest_pps.max(1e-9) - 1.0) * 100.0;
+    check(
+        delta >= -tolerance,
+        &format!(
+            "ingest arm within {tolerance}% of committed baseline \
+             ({:.0} vs {:.0} pps, {delta:+.1}%)",
+            current.ingest_pps, baseline.ingest_pps
+        ),
+    );
+
+    if failures > 0 {
+        eprintln!("FAIL: {failures} gate check(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nPASS: million-source scale gates hold");
+}

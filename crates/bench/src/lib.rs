@@ -24,10 +24,12 @@ use std::sync::Arc;
 
 pub mod kernels;
 pub mod netbench;
+pub mod scalebench;
 
 pub use netbench::{
     decode_alloc_bench, net_bench, net_fault_bench, print_net_report, NetBenchReport,
 };
+pub use scalebench::{print_scale_report, scale_bench, ScaleBenchReport};
 
 /// Core count every benchmark system is modeled with (the paper's
 /// benchmark machine: "an 8-core 4060 MHz Power PC").

@@ -259,6 +259,20 @@ impl ExplainStats {
     }
 }
 
+/// Cluster-wide resident metadata cost (see
+/// [`Historian::memory_footprint`]). At fleet scale these two numbers
+/// dominate the historian's heap: the sharded source registry holds one
+/// packed record per registered source, and the open buffers hold
+/// whatever rows have not been sealed into batches yet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Bytes held by the sharded source registries (per-source class,
+    /// seal, and watermark records).
+    pub source_registry_bytes: u64,
+    /// Bytes held by open (unsealed) ingest buffers, per-source and MG.
+    pub open_buffer_bytes: u64,
+}
+
 /// Registry counters whose per-query movement EXPLAIN ANALYZE reports
 /// (summed across all tables and servers).
 const ATTRIBUTION_COUNTERS: [&str; 6] = [
@@ -536,6 +550,21 @@ impl Historian {
         self.cluster.storage_bytes()
     }
 
+    /// Resident per-source metadata cost across the cluster — the two
+    /// numbers that bound a fleet-scale deployment: sharded source
+    /// registry bytes and open (unsealed) buffer bytes, summed over
+    /// every server's tables. Refreshes the `odh_table_*_bytes` gauges
+    /// so a metrics scrape right after this call agrees with it.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let mut out = MemoryFootprint::default();
+        for s in self.cluster.servers() {
+            let (registry, buffers) = s.memory_footprint();
+            out.source_registry_bytes += registry;
+            out.open_buffer_bytes += buffers;
+        }
+        out
+    }
+
     /// Current read-path counters for `schema_type`, summed across the
     /// servers holding it (see [`ExplainStats`]).
     pub fn explain_stats(&self, schema_type: &str) -> ExplainStats {
@@ -559,6 +588,38 @@ impl Historian {
 mod tests {
     use super::*;
     use odh_types::{DataType, Datum, Record, Row, SchemaType, Timestamp};
+
+    /// The fleet-scale memory window: registration grows the registry
+    /// arm, buffered rows grow the open-buffer arm, and a flush drains
+    /// the latter back down (sealed batches live in the pool, not the
+    /// buffers).
+    #[test]
+    fn memory_footprint_tracks_registration_and_buffering() {
+        let h = Historian::builder().servers(2).build().unwrap();
+        h.define_schema_type(TableConfig::new(SchemaType::new("env", ["t"]))).unwrap();
+        let empty = h.memory_footprint();
+        for id in 0..256u64 {
+            h.register_source("env", SourceId(id), SourceClass::irregular_high()).unwrap();
+        }
+        let registered = h.memory_footprint();
+        assert!(registered.source_registry_bytes > empty.source_registry_bytes);
+        let w = h.writer("env").unwrap();
+        for i in 0..64i64 {
+            w.write(&Record::dense(SourceId(3), Timestamp::from_secs(i), [i as f64])).unwrap();
+        }
+        let buffered = h.memory_footprint();
+        assert!(buffered.open_buffer_bytes > registered.open_buffer_bytes);
+        w.flush().unwrap();
+        let flushed = h.memory_footprint();
+        assert!(flushed.open_buffer_bytes < buffered.open_buffer_bytes);
+        // The gauges a scrape would see agree with the struct.
+        let reg = h.registry();
+        assert_eq!(
+            reg.sum_gauge("odh_table_source_registry_bytes"),
+            flushed.source_registry_bytes as i64
+        );
+        assert_eq!(reg.sum_gauge("odh_table_open_buffer_bytes"), flushed.open_buffer_bytes as i64);
+    }
 
     /// End-to-end: the paper's §3 example query over environ_data_v +
     /// sensor_info.

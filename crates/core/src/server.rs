@@ -514,6 +514,20 @@ impl DataServer {
         }
         Ok(report)
     }
+
+    /// Resident metadata cost of this server, summed over its tables:
+    /// `(source registry bytes, open buffer bytes)`. Refreshes the
+    /// `odh_table_*_bytes` gauges as a side effect so a scrape right
+    /// after this call sees the same numbers.
+    pub fn memory_footprint(&self) -> (u64, u64) {
+        let (mut registry, mut buffers) = (0u64, 0u64);
+        for t in self.tables.read().values() {
+            t.refresh_memory_gauges();
+            registry += t.registry_bytes() as u64;
+            buffers += t.open_buffer_bytes() as u64;
+        }
+        (registry, buffers)
+    }
 }
 
 #[cfg(test)]

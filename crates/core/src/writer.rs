@@ -64,6 +64,23 @@ impl OdhWriter {
         ((source_id / self.group_size) % self.tables.len() as u64) as usize
     }
 
+    /// Register a source on its owning table through the writer's
+    /// pre-resolved handles. Same routing and statistics as
+    /// [`Cluster::register_source`](crate::Cluster::register_source),
+    /// minus the per-call catalog lookup — onboarding a million-source
+    /// fleet pays the name resolution once, at writer creation.
+    pub fn register_source(
+        &self,
+        source: odh_types::SourceId,
+        class: odh_types::SourceClass,
+    ) -> Result<()> {
+        self.tables[self.table_of(source.0)].register_source(source, class)?;
+        if let Some(stats) = &self.stats {
+            stats.sources.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
     /// Ingest one record; drives the virtual clock forward to its
     /// timestamp. Takes `&self`: the writer is safe to share across
     /// ingest threads.
@@ -261,6 +278,22 @@ mod tests {
         }
         // Virtual clock advanced with the data.
         assert_eq!(c.meter().now_us(), 89 * 1_000_000);
+    }
+
+    #[test]
+    fn writer_registers_on_the_owning_table() {
+        let c = env_cluster(3, 0);
+        let w = OdhWriter::new(c.clone(), "env").unwrap();
+        for id in 0..9u64 {
+            w.register_source(SourceId(id), SourceClass::irregular_high()).unwrap();
+        }
+        // Same routing as record ingest: each server owns its share, and
+        // a write to a writer-registered source lands without error.
+        for s in c.servers() {
+            assert_eq!(s.table("env").unwrap().source_count(), 3);
+        }
+        w.write(&Record::dense(SourceId(7), Timestamp::from_secs(1), [1.0])).unwrap();
+        assert_eq!(c.type_stats("env").unwrap().sources.load(Ordering::Relaxed), 9);
     }
 
     #[test]

@@ -359,6 +359,20 @@ impl Registry {
             .sum()
     }
 
+    /// Sum of every gauge registered under base name `name`, across all
+    /// label sets (0 when none exist) — the cluster-wide view of a
+    /// per-table gauge like `odh_table_source_registry_bytes`.
+    pub fn sum_gauge(&self, name: &str) -> i64 {
+        let m = self.metrics.lock().unwrap();
+        m.iter()
+            .filter(|(k, _)| split_key(k).0 == name)
+            .map(|(_, metric)| match metric {
+                Metric::Gauge(g) => g.get(),
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// Enable or disable span timing (counters are unaffected — they are
     /// the engine's own statistics and must stay exact either way).
     pub fn set_enabled(&self, on: bool) {

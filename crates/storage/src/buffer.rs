@@ -5,15 +5,127 @@
 //! 'dirty read' isolation level to access uncommitted rows from concurrent
 //! insertions": scans read these buffers directly, so freshly ingested
 //! points are visible before their batch is sealed.
+//!
+//! ## Memory diet
+//!
+//! Values used to sit in `Vec<Vec<Option<f64>>>` — 16 B per slot (8 for
+//! the float, 8 for the discriminant) eagerly reserved for *every* tag of
+//! *every* open buffer. At a million registered sources that layout is a
+//! memory wall: a two-tag schema paid ~2.5 KB per source before a single
+//! batch sealed. [`TagCol`] replaces it with a dense `Vec<f64>` plus a
+//! validity bitmap (1 bit/row — the same shape the sealed `ValueBlob`
+//! uses downstream), and columns are allocated **lazily on the first
+//! non-NULL write**: a tag a source never reports costs nothing. Rows
+//! before the first non-NULL are backfilled as NULLs at allocation time,
+//! so every allocated column stays row-aligned with `ts`.
 
 use odh_types::SourceId;
+
+/// One tag's buffered values: dense floats plus a validity bitmap (bit
+/// `row % 64` of word `row / 64` set ⇔ the row holds a value; NULL rows
+/// store `0.0` to keep the vector row-aligned).
+#[derive(Debug, Clone, Default)]
+pub struct TagCol {
+    values: Vec<f64>,
+    valid: Vec<u64>,
+}
+
+impl TagCol {
+    /// A column allocated late: `rows` already-buffered rows are
+    /// backfilled as NULLs so the column lines up with `ts`.
+    fn backfilled(rows: usize) -> TagCol {
+        TagCol { values: vec![0.0; rows], valid: vec![0; rows.div_ceil(64)] }
+    }
+
+    fn push(&mut self, v: Option<f64>) {
+        let row = self.values.len();
+        if row.is_multiple_of(64) {
+            self.valid.push(0);
+        }
+        match v {
+            Some(x) => {
+                self.values.push(x);
+                self.valid[row / 64] |= 1 << (row % 64);
+            }
+            None => self.values.push(0.0),
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, row: usize) -> Option<f64> {
+        (self.valid[row / 64] >> (row % 64) & 1 == 1).then(|| self.values[row])
+    }
+
+    pub fn non_null(&self) -> usize {
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Expand back to the `Option<f64>` row form the seal path consumes.
+    fn into_options(self, rows: usize) -> Vec<Option<f64>> {
+        debug_assert_eq!(self.values.len(), rows);
+        (0..rows).map(|r| self.get(r)).collect()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.values.capacity() * std::mem::size_of::<f64>()
+            + self.valid.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+/// Push one row's value into a lazily-allocated column slot at `row`.
+#[inline]
+fn push_value(slot: &mut Option<TagCol>, row: usize, v: Option<f64>) {
+    match (slot.as_mut(), v) {
+        (Some(col), v) => col.push(v),
+        (None, Some(_)) => {
+            let col = slot.insert(TagCol::backfilled(row));
+            col.push(v);
+        }
+        // All-NULL so far: the column stays unallocated.
+        (None, None) => {}
+    }
+}
+
+/// Append `rows` of one source column into a lazily-allocated slot whose
+/// buffer already holds `base` rows.
+fn push_run_value(
+    slot: &mut Option<TagCol>,
+    base: usize,
+    src: &[Option<f64>],
+    rows: std::ops::Range<usize>,
+) {
+    if slot.is_none() && src[rows.clone()].iter().all(|v| v.is_none()) {
+        return;
+    }
+    let col = slot.get_or_insert_with(|| TagCol::backfilled(base));
+    for v in &src[rows] {
+        col.push(*v);
+    }
+}
+
+fn cols_into_options(cols: &mut [Option<TagCol>], rows: usize) -> Vec<Vec<Option<f64>>> {
+    cols.iter_mut()
+        .map(|slot| match slot.take() {
+            Some(col) => col.into_options(rows),
+            None => vec![None; rows],
+        })
+        .collect()
+}
+
+fn cols_non_null(cols: &[Option<TagCol>]) -> usize {
+    cols.iter().flatten().map(TagCol::non_null).sum()
+}
+
+fn cols_heap_bytes(cols: &[Option<TagCol>]) -> usize {
+    std::mem::size_of_val(cols) + cols.iter().flatten().map(TagCol::heap_bytes).sum::<usize>()
+}
 
 /// Row-accumulating buffer for one source (RTS/IRTS paths).
 #[derive(Debug, Clone)]
 pub struct SourceBuffer {
     pub ts: Vec<i64>,
-    /// `cols[tag][row]`.
-    pub cols: Vec<Vec<Option<f64>>>,
+    /// `cols[tag]`, allocated on first non-NULL write.
+    cols: Vec<Option<TagCol>>,
     /// WAL LSN of the oldest / newest unsealed row (0 when empty or when
     /// the table has no WAL). Rows arrive in LSN order (the shard lock is
     /// held across append + push), so these bound every row in between.
@@ -23,13 +135,14 @@ pub struct SourceBuffer {
 
 impl SourceBuffer {
     pub fn new(tags: usize, capacity: usize) -> SourceBuffer {
-        // Cap the eager reservation: with tens of thousands of slow
-        // sources, full-batch preallocation would burn hundreds of MB
-        // before a single batch seals.
-        let cap = capacity.min(64);
+        // Near-zero eager reservation: at a million open buffers even a
+        // 64-row timestamp pre-reserve is half a gigabyte. Doubling
+        // growth reaches a full batch in a handful of reallocs, so slow
+        // sources pay only for rows they actually hold.
+        let cap = capacity.min(8);
         SourceBuffer {
             ts: Vec::with_capacity(cap),
-            cols: (0..tags).map(|_| Vec::with_capacity(cap)).collect(),
+            cols: vec![None; tags],
             first_lsn: 0,
             last_lsn: 0,
         }
@@ -41,9 +154,10 @@ impl SourceBuffer {
             self.first_lsn = lsn;
         }
         self.last_lsn = lsn;
+        let row = self.ts.len();
         self.ts.push(ts);
-        for (col, v) in self.cols.iter_mut().zip(values) {
-            col.push(*v);
+        for (slot, v) in self.cols.iter_mut().zip(values) {
+            push_value(slot, row, *v);
         }
     }
 
@@ -67,9 +181,10 @@ impl SourceBuffer {
             self.first_lsn = first_lsn;
         }
         self.last_lsn = last_lsn;
+        let base = self.ts.len();
         self.ts.extend_from_slice(&ts[rows.clone()]);
-        for (col, src) in self.cols.iter_mut().zip(cols) {
-            col.extend_from_slice(&src[rows.clone()]);
+        for (slot, src) in self.cols.iter_mut().zip(cols) {
+            push_run_value(slot, base, src, rows.clone());
         }
     }
 
@@ -81,18 +196,43 @@ impl SourceBuffer {
         self.ts.is_empty()
     }
 
-    /// Take the contents, leaving an empty buffer with the same shape.
-    /// Returns `(timestamps, cols, first_lsn, last_lsn)` — the seal
-    /// records `last_lsn` as the source's sealed low-water mark, and
-    /// `first_lsn` keeps queued-but-unsealed rows inside the WAL's
-    /// checkpoint-truncation bound while they sit in the seal pipeline.
+    pub fn tag_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Non-NULL points currently buffered.
+    pub fn non_null(&self) -> usize {
+        cols_non_null(&self.cols)
+    }
+
+    /// Heap bytes currently held (capacity, not length — this is what the
+    /// memory-accounting gauges report).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<SourceBuffer>()
+            + self.ts.capacity() * std::mem::size_of::<i64>()
+            + cols_heap_bytes(&self.cols)
+    }
+
+    /// Take the contents, leaving an empty buffer with the same shape
+    /// (columns drop back to unallocated — a drained buffer costs as
+    /// little as a fresh one). Returns `(timestamps, cols, first_lsn,
+    /// last_lsn)` — the seal records `last_lsn` as the source's sealed
+    /// low-water mark, and `first_lsn` keeps queued-but-unsealed rows
+    /// inside the WAL's checkpoint-truncation bound while they sit in the
+    /// seal pipeline.
     pub fn take(&mut self) -> (Vec<i64>, Vec<Vec<Option<f64>>>, u64, u64) {
+        let rows = self.ts.len();
         let ts = std::mem::take(&mut self.ts);
-        let cols = self.cols.iter_mut().map(std::mem::take).collect();
+        let cols = cols_into_options(&mut self.cols, rows);
         let (first, last) = (self.first_lsn, self.last_lsn);
         self.first_lsn = 0;
         self.last_lsn = 0;
         (ts, cols, first, last)
+    }
+
+    #[inline]
+    fn value_at(&self, tag: usize, row: usize) -> Option<f64> {
+        self.cols[tag].as_ref().and_then(|c| c.get(row))
     }
 
     /// Rows with `t1 <= ts <= t2`, projected to `tags`, for dirty reads.
@@ -106,7 +246,7 @@ impl SourceBuffer {
             if t < t1 || t > t2 {
                 return None;
             }
-            Some((t, tags.iter().map(|&tag| self.cols[tag][row]).collect()))
+            Some((t, tags.iter().map(|&tag| self.value_at(tag, row)).collect()))
         })
     }
 }
@@ -121,7 +261,7 @@ pub type MgDrain = (Vec<i64>, Vec<SourceId>, Vec<Vec<Option<f64>>>, u64, u64);
 pub struct MgBuffer {
     pub ts: Vec<i64>,
     pub ids: Vec<SourceId>,
-    pub cols: Vec<Vec<Option<f64>>>,
+    cols: Vec<Option<TagCol>>,
     /// See [`SourceBuffer::first_lsn`].
     pub first_lsn: u64,
     pub last_lsn: u64,
@@ -129,11 +269,12 @@ pub struct MgBuffer {
 
 impl MgBuffer {
     pub fn new(tags: usize, capacity: usize) -> MgBuffer {
-        let cap = capacity.min(64);
+        // See [`SourceBuffer::new`] on the small eager reservation.
+        let cap = capacity.min(8);
         MgBuffer {
             ts: Vec::with_capacity(cap),
             ids: Vec::with_capacity(cap),
-            cols: (0..tags).map(|_| Vec::with_capacity(cap)).collect(),
+            cols: vec![None; tags],
             first_lsn: 0,
             last_lsn: 0,
         }
@@ -145,10 +286,11 @@ impl MgBuffer {
             self.first_lsn = lsn;
         }
         self.last_lsn = lsn;
+        let row = self.ts.len();
         self.ts.push(ts);
         self.ids.push(source);
-        for (col, v) in self.cols.iter_mut().zip(values) {
-            col.push(*v);
+        for (slot, v) in self.cols.iter_mut().zip(values) {
+            push_value(slot, row, *v);
         }
     }
 
@@ -171,10 +313,11 @@ impl MgBuffer {
             self.first_lsn = first_lsn;
         }
         self.last_lsn = last_lsn;
+        let base = self.ts.len();
         self.ts.extend_from_slice(&ts[rows.clone()]);
         self.ids.resize(self.ids.len() + rows.len(), source);
-        for (col, src) in self.cols.iter_mut().zip(cols) {
-            col.extend_from_slice(&src[rows.clone()]);
+        for (slot, src) in self.cols.iter_mut().zip(cols) {
+            push_run_value(slot, base, src, rows.clone());
         }
     }
 
@@ -186,18 +329,41 @@ impl MgBuffer {
         self.ts.is_empty()
     }
 
+    pub fn tag_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Non-NULL points currently buffered.
+    pub fn non_null(&self) -> usize {
+        cols_non_null(&self.cols)
+    }
+
+    /// Heap bytes currently held (capacity, not length).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<MgBuffer>()
+            + self.ts.capacity() * std::mem::size_of::<i64>()
+            + self.ids.capacity() * std::mem::size_of::<SourceId>()
+            + cols_heap_bytes(&self.cols)
+    }
+
     /// `(timestamps, source ids, per-tag columns, first LSN, last LSN)`.
     pub fn take(&mut self) -> MgDrain {
+        let rows = self.ts.len();
         let (first, last) = (self.first_lsn, self.last_lsn);
         self.first_lsn = 0;
         self.last_lsn = 0;
         (
             std::mem::take(&mut self.ts),
             std::mem::take(&mut self.ids),
-            self.cols.iter_mut().map(std::mem::take).collect(),
+            cols_into_options(&mut self.cols, rows),
             first,
             last,
         )
+    }
+
+    #[inline]
+    fn value_at(&self, tag: usize, row: usize) -> Option<f64> {
+        self.cols[tag].as_ref().and_then(|c| c.get(row))
     }
 
     /// Rows with `t1 <= ts <= t2` and (optionally) a specific source.
@@ -218,7 +384,7 @@ impl MgBuffer {
                     return None;
                 }
             }
-            Some((id, t, tags.iter().map(|&tag| self.cols[tag][row]).collect()))
+            Some((id, t, tags.iter().map(|&tag| self.value_at(tag, row)).collect()))
         })
     }
 }
@@ -226,6 +392,7 @@ impl MgBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn source_buffer_accumulates_and_takes() {
@@ -233,6 +400,7 @@ mod tests {
         b.push(10, &[Some(1.0), None], 5);
         b.push(20, &[Some(2.0), Some(9.0)], 6);
         assert_eq!(b.len(), 2);
+        assert_eq!(b.non_null(), 3);
         assert_eq!((b.first_lsn, b.last_lsn), (5, 6));
         let (ts, cols, first, last) = b.take();
         assert_eq!((first, last), (5, 6));
@@ -240,7 +408,7 @@ mod tests {
         assert_eq!(cols[0], vec![Some(1.0), Some(2.0)]);
         assert_eq!(cols[1], vec![None, Some(9.0)]);
         assert!(b.is_empty());
-        assert_eq!(b.cols.len(), 2, "shape preserved after take");
+        assert_eq!(b.tag_count(), 2, "shape preserved after take");
         b.push(30, &[None, None], 7);
         assert_eq!((b.first_lsn, b.last_lsn), (7, 7));
         assert_eq!(b.len(), 1);
@@ -255,6 +423,45 @@ mod tests {
         let rows: Vec<_> = b.rows_in_range(25, 55, &[1]).collect();
         assert_eq!(rows.len(), 3); // 30, 40, 50
         assert_eq!(rows[0], (30, vec![Some(-3.0)]));
+    }
+
+    #[test]
+    fn late_allocated_column_backfills_nulls() {
+        let mut b = SourceBuffer::new(2, 8);
+        // 70 all-NULL rows on tag 1 — crosses a bitmap word boundary
+        // before the column is ever allocated.
+        for i in 0..70 {
+            b.push(i, &[Some(i as f64), None], i as u64 + 1);
+        }
+        assert_eq!(b.non_null(), 70);
+        b.push(70, &[None, Some(7.0)], 71);
+        assert_eq!(b.non_null(), 71);
+        let rows: Vec<_> = b.rows_in_range(69, 70, &[0, 1]).collect();
+        assert_eq!(rows[0], (69, vec![Some(69.0), None]));
+        assert_eq!(rows[1], (70, vec![None, Some(7.0)]));
+        let (_, cols, _, _) = b.take();
+        assert_eq!(cols[1][..70], vec![None; 70][..]);
+        assert_eq!(cols[1][70], Some(7.0));
+    }
+
+    #[test]
+    fn untouched_tags_stay_unallocated() {
+        let mut b = SourceBuffer::new(4, 64);
+        for i in 0..32 {
+            b.push(i, &[Some(1.0), None, None, None], 1);
+        }
+        let one_col = b.approx_bytes();
+        let mut wide = SourceBuffer::new(4, 64);
+        for i in 0..32 {
+            wide.push(i, &[Some(1.0), Some(2.0), Some(3.0), Some(4.0)], 1);
+        }
+        assert!(
+            one_col < wide.approx_bytes(),
+            "NULL-only tags must not allocate: {one_col} vs {}",
+            wide.approx_bytes()
+        );
+        let (_, cols, _, _) = b.take();
+        assert_eq!(cols[3], vec![None; 32]);
     }
 
     #[test]
@@ -279,5 +486,107 @@ mod tests {
         assert_eq!((ts.len(), ids.len(), cols[0].len()), (1, 1, 1));
         assert!(b.is_empty());
         assert!(b.ids.is_empty());
+    }
+
+    // --- bitmap-vs-Option<f64> equivalence proptests (NULL-dense) ---
+
+    /// Rows of (ts, per-tag values) with NULLs weighted heavily: the
+    /// bitmap representation must round-trip exactly what the old
+    /// `Vec<Option<f64>>` columns stored.
+    fn rows_strategy(tags: usize) -> impl Strategy<Value = Vec<(i64, Vec<Option<f64>>)>> {
+        let value = prop_oneof![
+            3 => Just(None),
+            1 => (-1e6f64..1e6).prop_map(Some),
+        ];
+        proptest::collection::vec((0i64..1_000_000, proptest::collection::vec(value, tags)), 0..200)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn source_buffer_matches_option_columns(rows in rows_strategy(3)) {
+            let tags = 3;
+            let mut b = SourceBuffer::new(tags, 8);
+            // Reference model: the old representation.
+            let mut model: Vec<Vec<Option<f64>>> = vec![Vec::new(); tags];
+            let mut ts_model = Vec::new();
+            for (i, (t, vals)) in rows.iter().enumerate() {
+                b.push(*t, vals, i as u64 + 1);
+                ts_model.push(*t);
+                for (tag, v) in vals.iter().enumerate() {
+                    model[tag].push(*v);
+                }
+            }
+            let want_points: usize =
+                model.iter().map(|c| c.iter().filter(|v| v.is_some()).count()).sum();
+            prop_assert_eq!(b.non_null(), want_points);
+            // Projection equivalence before take.
+            let all: Vec<_> = b.rows_in_range(i64::MIN, i64::MAX, &[0, 1, 2]).collect();
+            for (row, (t, vals)) in all.iter().enumerate() {
+                prop_assert_eq!(*t, ts_model[row]);
+                for tag in 0..tags {
+                    prop_assert_eq!(vals[tag], model[tag][row]);
+                }
+            }
+            // Drain equivalence.
+            let (ts, cols, ..) = b.take();
+            prop_assert_eq!(ts, ts_model);
+            for tag in 0..tags {
+                prop_assert_eq!(&cols[tag], &model[tag]);
+            }
+        }
+
+        #[test]
+        fn source_buffer_push_run_matches_push(rows in rows_strategy(2), split in 0usize..200) {
+            let tags = 2;
+            let split = split.min(rows.len());
+            // Per-row path.
+            let mut by_row = SourceBuffer::new(tags, 8);
+            for (i, (t, vals)) in rows.iter().enumerate() {
+                by_row.push(*t, vals, i as u64 + 1);
+            }
+            // Columnar path, split into two runs at an arbitrary point.
+            let ts_all: Vec<i64> = rows.iter().map(|(t, _)| *t).collect();
+            let mut cols_all: Vec<Vec<Option<f64>>> = vec![Vec::new(); tags];
+            for (_, vals) in &rows {
+                for (tag, v) in vals.iter().enumerate() {
+                    cols_all[tag].push(*v);
+                }
+            }
+            let mut by_run = SourceBuffer::new(tags, 8);
+            by_run.push_run(&ts_all, &cols_all, 0..split, 1, split as u64);
+            by_run.push_run(&ts_all, &cols_all, split..rows.len(), split as u64 + 1, rows.len() as u64);
+            prop_assert_eq!(by_row.non_null(), by_run.non_null());
+            let (ts_a, cols_a, ..) = by_row.take();
+            let (ts_b, cols_b, ..) = by_run.take();
+            prop_assert_eq!(ts_a, ts_b);
+            prop_assert_eq!(cols_a, cols_b);
+        }
+
+        #[test]
+        fn mg_buffer_matches_option_columns(rows in rows_strategy(2)) {
+            let tags = 2;
+            let mut b = MgBuffer::new(tags, 8);
+            let mut model: Vec<Vec<Option<f64>>> = vec![Vec::new(); tags];
+            for (i, (t, vals)) in rows.iter().enumerate() {
+                b.push(SourceId(i as u64 % 5), *t, vals, i as u64 + 1);
+                for (tag, v) in vals.iter().enumerate() {
+                    model[tag].push(*v);
+                }
+            }
+            let all: Vec<_> = b.rows_in_range(i64::MIN, i64::MAX, &[0, 1], None).collect();
+            prop_assert_eq!(all.len(), rows.len());
+            for (row, (id, _, vals)) in all.iter().enumerate() {
+                prop_assert_eq!(*id, SourceId(row as u64 % 5));
+                for tag in 0..tags {
+                    prop_assert_eq!(vals[tag], model[tag][row]);
+                }
+            }
+            let (_, ids, cols, ..) = b.take();
+            prop_assert_eq!(ids.len(), rows.len());
+            for tag in 0..tags {
+                prop_assert_eq!(&cols[tag], &model[tag]);
+            }
+        }
     }
 }

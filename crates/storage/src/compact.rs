@@ -103,6 +103,9 @@ pub struct CompactReport {
     pub tombstone_rows_resolved: u64,
     /// Tombstones retired as fully resolved this pass.
     pub tombstones_retired: u64,
+    /// Source registry records reclaimed because the source's whole
+    /// history expired (see [`OdhTable::prune_expired_sources`]).
+    pub pruned_sources: u64,
     /// Hot + cold batch count before / after the pass.
     pub batches_before: u64,
     pub batches_after: u64,
@@ -116,6 +119,7 @@ impl CompactReport {
             || self.demoted_batches > 0
             || self.tombstone_rows_resolved > 0
             || self.tombstones_retired > 0
+            || self.pruned_sources > 0
     }
 
     /// Fold another table's (or server's) report into this one.
@@ -127,6 +131,7 @@ impl CompactReport {
         self.demoted_batches += o.demoted_batches;
         self.tombstone_rows_resolved += o.tombstone_rows_resolved;
         self.tombstones_retired += o.tombstones_retired;
+        self.pruned_sources += o.pruned_sources;
         self.batches_before += o.batches_before;
         self.batches_after += o.batches_after;
     }
@@ -346,6 +351,11 @@ impl OdhTable {
         self.decode_cache().invalidate_container(old_rts.id());
         self.decode_cache().invalidate_container(old_irts.id());
 
+        // With expired batches gone, sources whose whole history fell
+        // behind the retention floor no longer need registry records.
+        report.pruned_sources = self.prune_expired_sources();
+        self.refresh_memory_gauges();
+
         report.batches_after =
             fresh_rts.record_count() + fresh_irts.record_count() + fresh_cold.record_count();
         self.obs.cold_batches.set(fresh_cold.record_count() as i64);
@@ -419,7 +429,6 @@ impl OdhTable {
             return 0;
         }
         let mg_rows = self.mg.read().record_count();
-        let sources = self.sources.read();
         let buffered = self.buffered_points();
         let queued = self.seal_queue_depth();
         self.retire_tombstones(|t| {
@@ -429,8 +438,9 @@ impl OdhTable {
             }
             let mg_safe = mg_rows == 0
                 || t.pred.sources.as_ref().is_some_and(|list| {
-                    list.iter()
-                        .all(|s| !sources.get(&s.0).is_some_and(|m| m.ingest == Structure::Mg))
+                    list.iter().all(|s| {
+                        !self.registry.meta(s.0).is_some_and(|m| m.ingest == Structure::Mg)
+                    })
                 });
             let latecomer_clear = !latecomer_spans
                 .iter()
@@ -733,6 +743,38 @@ mod tests {
         assert!(pts.iter().all(|p| p.ts.0 >= floor));
         // And the newest rows are intact.
         assert_eq!(pts.last().unwrap().ts, Timestamp(299 * 1_000_000));
+    }
+
+    #[test]
+    fn ttl_prune_reclaims_expired_source_registry_records() {
+        let t = table(base_cfg().with_retention_ttl(Duration::from_secs(100)));
+        // An irregular (per-source-ingest) source whose whole history
+        // will fall behind the retention floor.
+        t.register_source(SourceId(7), SourceClass::irregular_high()).unwrap();
+        for i in 0..32i64 {
+            t.put(&Record::dense(SourceId(7), Timestamp(i * 1_000_000), [1.0, 2.0])).unwrap();
+        }
+        t.flush().unwrap();
+        // A live source far in the future pushes the floor past
+        // everything source 7 ever wrote.
+        fragment(&t, 1, 50, 50, 1_000_000_000);
+        assert_eq!(t.source_count(), 2);
+        let rep = t.compact().unwrap();
+        assert!(rep.expired_batches > 0, "source 7's batches dropped whole");
+        assert_eq!(rep.pruned_sources, 1, "registry record reclaimed with the data");
+        assert_eq!(t.source_count(), 1);
+        assert!(t.source_class(SourceId(7)).is_none());
+        // A second pass finds nothing left to prune.
+        assert_eq!(t.compact().unwrap().pruned_sources, 0);
+        // The id can come back: re-registration starts from a clean
+        // record and ingests normally.
+        t.register_source(SourceId(7), SourceClass::irregular_high()).unwrap();
+        t.put(&Record::dense(SourceId(7), Timestamp(49_000 * 1_000_000), [5.0, 6.0])).unwrap();
+        t.flush().unwrap();
+        let pts = scan_all(&t, 7);
+        assert_eq!(pts.len(), 1, "old rows gone, new row visible");
+        // The still-live source keeps its record.
+        assert!(t.source_class(SourceId(1)).is_some());
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod cache;
 pub mod compact;
 pub mod container;
 pub mod delete;
+pub mod registry;
 pub mod reorg;
 pub mod seal;
 pub mod select;

@@ -142,24 +142,16 @@ impl OdhTable {
                 "snapshot with unsealed ingest buffers; flush first".into(),
             ));
         }
-        let mut sources: Vec<(u64, SourceClass)> =
-            self.sources.read().iter().map(|(&id, m)| (id, m.class)).collect();
-        sources.sort_unstable_by_key(|(id, _)| *id);
+        let sources = self.registry.snapshot_sources();
         let mut stats = self.stats.snapshot();
         if buffered > 0 {
             let (records, points) = self.buffered_totals();
             stats.records_ingested = stats.records_ingested.saturating_sub(records);
             stats.points_ingested = stats.points_ingested.saturating_sub(points);
         }
-        let mut sealed: Vec<(u64, u64)> =
-            self.sealed.lock().iter().map(|(&s, &l)| (s, l)).collect();
-        sealed.sort_unstable();
-        let mut mg_sealed: Vec<(u32, u64)> =
-            self.mg_sealed.lock().iter().map(|(&g, &l)| (g, l)).collect();
-        mg_sealed.sort_unstable();
-        let mut late_sealed: Vec<(u64, u64)> =
-            self.late_sealed.lock().iter().map(|(&s, &l)| (s, l)).collect();
-        late_sealed.sort_unstable();
+        let sealed = self.registry.snapshot_sealed();
+        let mg_sealed = self.registry.snapshot_mg_sealed();
+        let late_sealed = self.registry.snapshot_late_sealed();
         // Exclude a concurrent compaction pass: a checkpoint must not
         // capture one generation pre-swap and another post-swap (points
         // would be doubled or lost in the image).
@@ -212,9 +204,9 @@ impl OdhTable {
         // Restore the sealed low-water marks so WAL replay stays idempotent
         // after re-attaching the log. (register_source above never logs:
         // the WAL is only bound after restore.)
-        table.sealed.lock().extend(snap.sealed.iter().flatten().copied());
-        table.mg_sealed.lock().extend(snap.mg_sealed.iter().flatten().copied());
-        table.late_sealed.lock().extend(snap.late_sealed.iter().flatten().copied());
+        table.registry.restore_sealed(snap.sealed.iter().flatten().copied());
+        table.registry.restore_mg_sealed(snap.mg_sealed.iter().flatten().copied());
+        table.registry.restore_late_sealed(snap.late_sealed.iter().flatten().copied());
         for t in snap.tombstones.iter().flatten() {
             table.restore_tombstone(t.clone());
         }

@@ -51,9 +51,11 @@ pub struct StripedBuffers {
 
 /// Stripe selection: Fibonacci multiplicative hash, top bits. Contiguous
 /// id blocks (meters numbered sequentially per feeder area) spread evenly
-/// instead of landing on neighboring stripes.
+/// instead of landing on neighboring stripes. Shared with
+/// [`crate::registry::SourceRegistry`] so a row's metadata record lives
+/// in the registry shard with the same index as its buffer shard.
 #[inline]
-fn shard_of(key: u64) -> usize {
+pub(crate) fn shard_of(key: u64) -> usize {
     (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 59) as usize & (SHARD_COUNT - 1)
 }
 
@@ -123,22 +125,38 @@ impl StripedBuffers {
     /// (the WAL replay re-counts exactly these rows).
     pub fn buffered_totals(&self) -> (u64, u64) {
         let (mut records, mut points) = (0u64, 0u64);
-        let mut tally_cols = |len: usize, cols: &[Vec<Option<f64>>]| {
-            records += len as u64;
-            points +=
-                cols.iter().map(|c| c.iter().filter(|v| v.is_some()).count() as u64).sum::<u64>();
-        };
         for shard in &self.source {
             for b in self.lock_counted(shard).values() {
-                tally_cols(b.len(), &b.cols);
+                records += b.len() as u64;
+                points += b.non_null() as u64;
             }
         }
         for shard in &self.mg {
             for b in self.lock_counted(shard).values() {
-                tally_cols(b.len(), &b.cols);
+                records += b.len() as u64;
+                points += b.non_null() as u64;
             }
         }
         (records, points)
+    }
+
+    /// Approximate heap bytes held by all open buffers plus the shard
+    /// hash tables themselves — the `odh_table_open_buffer_bytes` gauge.
+    pub fn approx_bytes(&self) -> usize {
+        let src_slot = std::mem::size_of::<(u64, SourceBuffer)>() + 8;
+        let mg_slot = std::mem::size_of::<(u32, MgBuffer)>() + 8;
+        let mut n = 0usize;
+        for shard in &self.source {
+            let g = self.lock_counted(shard);
+            n += g.capacity() * src_slot;
+            n += g.values().map(SourceBuffer::approx_bytes).sum::<usize>();
+        }
+        for shard in &self.mg {
+            let g = self.lock_counted(shard);
+            n += g.capacity() * mg_slot;
+            n += g.values().map(MgBuffer::approx_bytes).sum::<usize>();
+        }
+        n
     }
 
     /// Smallest `first_lsn` across all non-empty buffers — one past the

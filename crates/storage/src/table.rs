@@ -24,7 +24,7 @@ use odh_pager::stats::ConcurrencyStats;
 use odh_sim::ResourceMeter;
 use odh_types::{GroupId, OdhError, Record, Result, SchemaType, SourceClass, SourceId, Timestamp};
 use parking_lot::RwLock;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Default byte budget of the decoded-batch cache.
@@ -368,6 +368,17 @@ pub(crate) struct TableObs {
     pub compact_demoted: Arc<odh_obs::Counter>,
     /// Batches currently resident in the cold generation.
     pub cold_batches: Arc<odh_obs::Gauge>,
+    /// Approximate resident bytes of per-source metadata (the sharded
+    /// registry) — the per-source fixed cost the scale harness tracks.
+    pub source_registry_bytes: Arc<odh_obs::Gauge>,
+    /// Approximate resident bytes of open ingest buffers (open + side).
+    pub open_buffer_bytes: Arc<odh_obs::Gauge>,
+    /// This table's last published contributions to the two memory
+    /// gauges. The gauges are keyed by table *name*, so several servers'
+    /// tables share one handle; each table publishes the delta against
+    /// what it last reported and the shared gauge sums correctly.
+    published_registry_bytes: std::sync::atomic::AtomicI64,
+    published_buffer_bytes: std::sync::atomic::AtomicI64,
 }
 
 impl TableObs {
@@ -391,6 +402,10 @@ impl TableObs {
             compact_expired: registry.counter("odh_compact_expired_batches_total", &labels),
             compact_demoted: registry.counter("odh_compact_demoted_batches_total", &labels),
             cold_batches: registry.gauge("odh_compact_cold_batches", &labels),
+            source_registry_bytes: registry.gauge("odh_table_source_registry_bytes", &labels),
+            open_buffer_bytes: registry.gauge("odh_table_open_buffer_bytes", &labels),
+            published_registry_bytes: std::sync::atomic::AtomicI64::new(0),
+            published_buffer_bytes: std::sync::atomic::AtomicI64::new(0),
             registry,
         }
     }
@@ -411,7 +426,14 @@ pub struct OdhTable {
     /// Cold generation: batches the compactor demoted for age. Reads
     /// bypass the decode cache and load lazily through the pager.
     pub(crate) cold: RwLock<Arc<Container>>,
-    pub(crate) sources: RwLock<HashMap<u64, SourceMeta>>,
+    /// Per-source metadata — class/structure/group, sealed low-water
+    /// marks, seal watermark, and late-sealed marks — packed into one
+    /// record per source and striped identically to `buffers` (see
+    /// [`crate::registry`]). Replaces the five global maps the table
+    /// used to keep (`sources`, `sealed`, `mg_sealed`, `watermarks`,
+    /// `late_sealed`), which serialized every ingest path on shared
+    /// mutexes and leaked entries after TTL retention dropped a source.
+    pub(crate) registry: crate::registry::SourceRegistry,
     /// Open ingest buffers, lock-striped so concurrent writers to
     /// different sources don't contend (see [`crate::stripe`]).
     buffers: StripedBuffers,
@@ -436,11 +458,6 @@ pub struct OdhTable {
     seal_pipe: std::sync::OnceLock<Arc<SealPipeline>>,
     /// Write-ahead log binding, set once by [`OdhTable::attach_wal`].
     wal: std::sync::OnceLock<WalBinding>,
-    /// Per-source / per-MG-group sealed low-water marks: the highest WAL
-    /// LSN whose row has been sealed into a container. Recovery skips
-    /// replayed frames at or below these marks — the idempotence guard.
-    pub(crate) sealed: parking_lot::Mutex<HashMap<u64, u64>>,
-    pub(crate) mg_sealed: parking_lot::Mutex<HashMap<u32, u64>>,
     /// The WAL table id recorded in the snapshot this table was restored
     /// from, if any — recovery re-attaches the log under the same id.
     pub(crate) restored_wal_table_id: std::sync::OnceLock<u16>,
@@ -449,16 +466,6 @@ pub struct OdhTable {
     /// polluting the in-order open buffer, and seal as small IRTS batches
     /// the compactor later merges back into time-ordered generations.
     side_buffers: StripedBuffers,
-    /// Per-source seal watermark: the max timestamp ever sealed out of a
-    /// source's open buffer. Rows below it are late (see
-    /// [`OdhTable::is_late`]); rows at or above it are in-order. Transient
-    /// (not checkpointed) — after a restore routing self-heals as batches
-    /// seal.
-    watermarks: parking_lot::Mutex<HashMap<u64, i64>>,
-    /// Sealed low-water marks of the side buffers — the late counterpart
-    /// of `sealed`, keyed per source, advanced when a side batch installs.
-    /// Recovery skips `KIND_LATE_POINT` frames at or below these marks.
-    pub(crate) late_sealed: parking_lot::Mutex<HashMap<u64, u64>>,
     /// Active tombstones, masking matching rows on every read tier until
     /// a compaction pass resolves them physically. Swapped under a seal
     /// ticket so optimistic read passes always see a consistent list.
@@ -493,7 +500,7 @@ impl OdhTable {
             // either kind; batches self-describe, so the container's
             // structure tag is nominal.
             cold: RwLock::new(Arc::new(Container::create(pool.clone(), Structure::Irts)?)),
-            sources: RwLock::new(HashMap::new()),
+            registry: crate::registry::SourceRegistry::new(Arc::new(ConcurrencyStats::default())),
             buffers: StripedBuffers::with_obs(
                 Arc::new(ConcurrencyStats::default()),
                 meter.registry().clone(),
@@ -508,12 +515,8 @@ impl OdhTable {
             cache: DecodeCache::new(cfg.decode_cache_bytes),
             seal_pipe: std::sync::OnceLock::new(),
             wal: std::sync::OnceLock::new(),
-            sealed: parking_lot::Mutex::new(HashMap::new()),
-            mg_sealed: parking_lot::Mutex::new(HashMap::new()),
             restored_wal_table_id: std::sync::OnceLock::new(),
             side_buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
-            watermarks: parking_lot::Mutex::new(HashMap::new()),
-            late_sealed: parking_lot::Mutex::new(HashMap::new()),
             tombstones: RwLock::new(Arc::new(Vec::new())),
             tombstone_sealed: std::sync::atomic::AtomicU64::new(0),
             cfg,
@@ -544,7 +547,7 @@ impl OdhTable {
             irts: RwLock::new(Arc::new(irts)),
             mg: RwLock::new(Arc::new(mg)),
             cold: RwLock::new(Arc::new(cold)),
-            sources: RwLock::new(HashMap::new()),
+            registry: crate::registry::SourceRegistry::new(Arc::new(ConcurrencyStats::default())),
             buffers: StripedBuffers::with_obs(
                 Arc::new(ConcurrencyStats::default()),
                 meter.registry().clone(),
@@ -559,12 +562,8 @@ impl OdhTable {
             cache: DecodeCache::new(cfg.decode_cache_bytes),
             seal_pipe: std::sync::OnceLock::new(),
             wal: std::sync::OnceLock::new(),
-            sealed: parking_lot::Mutex::new(HashMap::new()),
-            mg_sealed: parking_lot::Mutex::new(HashMap::new()),
             restored_wal_table_id: std::sync::OnceLock::new(),
             side_buffers: StripedBuffers::new(Arc::new(ConcurrencyStats::default())),
-            watermarks: parking_lot::Mutex::new(HashMap::new()),
-            late_sealed: parking_lot::Mutex::new(HashMap::new()),
             tombstones: RwLock::new(Arc::new(Vec::new())),
             tombstone_sealed: std::sync::atomic::AtomicU64::new(0),
             cfg,
@@ -631,51 +630,75 @@ impl OdhTable {
         &self.pool
     }
 
-    /// Declare a data source (the configuration component's metadata).
-    pub fn register_source(&self, id: SourceId, class: SourceClass) -> Result<()> {
-        let mut g = self.sources.write();
-        if g.contains_key(&id.0) {
-            return Err(OdhError::Config(format!("{id} already registered")));
-        }
-        // Log before inserting, under the registry lock: a registration is
-        // only acknowledged once its frame is in the WAL stream, and every
-        // point of this source is appended strictly after it.
-        if let Some(b) = self.wal_binding() {
-            b.wal.append_source(b.table_id, id, &class)?;
-        }
-        let meta = SourceMeta {
+    fn meta_for(&self, id: SourceId, class: SourceClass) -> SourceMeta {
+        SourceMeta {
             class,
             ingest: ingestion_structure(class),
             group: GroupId((id.0 / self.cfg.mg_group_size) as u32),
-        };
-        g.insert(id.0, meta);
-        Ok(())
+        }
+    }
+
+    /// Declare a data source (the configuration component's metadata).
+    pub fn register_source(&self, id: SourceId, class: SourceClass) -> Result<()> {
+        // Log before inserting, under the registry shard lock: a
+        // registration is only acknowledged once its frame is in the WAL
+        // stream, and every point of this source is appended after it.
+        self.registry.register(id, self.meta_for(id, class), || match self.wal_binding() {
+            Some(b) => b.wal.append_source(b.table_id, id, &class).map(|_| ()),
+            None => Ok(()),
+        })
     }
 
     /// Re-register a source during recovery without re-logging it (its
     /// frame is already in the WAL or the catalog). Idempotent.
     pub fn adopt_source(&self, id: SourceId, class: SourceClass) {
-        let mut g = self.sources.write();
-        g.entry(id.0).or_insert_with(|| SourceMeta {
-            class,
-            ingest: ingestion_structure(class),
-            group: GroupId((id.0 / self.cfg.mg_group_size) as u32),
-        });
+        self.registry.adopt(id, self.meta_for(id, class));
     }
 
     pub fn source_count(&self) -> usize {
-        self.sources.read().len()
+        self.registry.len()
     }
 
     pub fn source_class(&self, id: SourceId) -> Option<SourceClass> {
-        self.sources.read().get(&id.0).map(|m| m.class)
+        self.registry.class_of(id.0)
     }
 
     /// All registered source ids (ascending).
     pub fn source_ids(&self) -> Vec<SourceId> {
-        let mut v: Vec<SourceId> = self.sources.read().keys().map(|&k| SourceId(k)).collect();
-        v.sort_unstable();
-        v
+        self.registry.ids()
+    }
+
+    /// Shard-lock counters for the metadata registry (separate from the
+    /// ingest-buffer counters returned by [`OdhTable::concurrency`]).
+    pub fn registry_concurrency(&self) -> &Arc<ConcurrencyStats> {
+        self.registry.concurrency()
+    }
+
+    /// Approximate resident bytes of per-source metadata.
+    pub fn registry_bytes(&self) -> usize {
+        self.registry.approx_bytes()
+    }
+
+    /// Approximate resident bytes of open ingest buffers (open + side).
+    pub fn open_buffer_bytes(&self) -> usize {
+        self.buffers.approx_bytes() + self.side_buffers.approx_bytes()
+    }
+
+    /// Refresh the memory-accounting gauges. Called from the flush and
+    /// compact paths (and by callers at will) rather than per put —
+    /// walking every shard is too expensive for the hot path.
+    pub fn refresh_memory_gauges(&self) {
+        // Delta-publish (swap + add): the gauge handle is shared between
+        // every server's table of this name, so an absolute `set` would
+        // be last-writer-wins. The swap keeps concurrent refreshes of
+        // the same table coherent — deltas telescope to the latest value.
+        let reg = self.registry.approx_bytes() as i64;
+        let prev =
+            self.obs.published_registry_bytes.swap(reg, std::sync::atomic::Ordering::Relaxed);
+        self.obs.source_registry_bytes.add(reg - prev);
+        let buf = self.open_buffer_bytes() as i64;
+        let prev = self.obs.published_buffer_bytes.swap(buf, std::sync::atomic::Ordering::Relaxed);
+        self.obs.open_buffer_bytes.add(buf - prev);
     }
 
     /// Ingest one operational record. With a WAL attached the record is
@@ -701,25 +724,21 @@ impl OdhTable {
         if cols.iter().any(|c| c.len() != n) {
             return Err(OdhError::Config("put_cols: ragged column lengths".into()));
         }
-        let meta = *self
-            .sources
-            .read()
-            .get(&source.0)
+        let (meta, wm) = self
+            .registry
+            .meta_and_watermark(source.0)
             .ok_or_else(|| OdhError::NotFound(format!("{source} not registered")))?;
         // Disorder slow path: a run containing rows behind the source's
         // seal watermark is split row-by-row through `put_at`, which
         // routes each late row to the side buffer. The net server ingests
         // via `put_cols`, so late wire frames take the same routing as
         // in-process puts.
-        if meta.ingest != Structure::Mg {
-            let wm = self.watermarks.lock().get(&source.0).copied();
-            if wm.is_some_and(|wm| ts.iter().any(|&t| t < wm)) {
-                for row in 0..n {
-                    let values: Vec<Option<f64>> = cols.iter().map(|c| c[row]).collect();
-                    self.put_at(&Record::new(source, Timestamp(ts[row]), values), None)?;
-                }
-                return Ok(());
+        if meta.ingest != Structure::Mg && wm.is_some_and(|wm| ts.iter().any(|&t| t < wm)) {
+            for row in 0..n {
+                let values: Vec<Option<f64>> = cols.iter().map(|c| c[row]).collect();
+                self.put_at(&Record::new(source, Timestamp(ts[row]), values), None)?;
             }
+            return Ok(());
         }
         self.meter.cpu(self.meter.costs.point_encode * (n * cols.len()) as f64);
         let mut off = 0usize;
@@ -791,11 +810,7 @@ impl OdhTable {
 
     fn put_at(&self, record: &Record, replay: Option<u64>) -> Result<bool> {
         self.cfg.schema.check_arity(record.values.len())?;
-        let meta = *self
-            .sources
-            .read()
-            .get(&record.source.0)
-            .ok_or_else(|| OdhError::NotFound(format!("{} not registered", record.source)))?;
+        let meta = self.registry.require(record.source)?;
         self.meter.cpu(self.meter.costs.point_encode * record.values.len() as f64);
         match meta.ingest {
             Structure::Rts | Structure::Irts => {
@@ -818,7 +833,7 @@ impl OdhTable {
                 // recovery reproduce arrival order exactly.
                 let lsn = match replay {
                     Some(l) => {
-                        if l <= self.sealed.lock().get(&record.source.0).copied().unwrap_or(0) {
+                        if l <= self.registry.sealed_lsn(record.source.0) {
                             return Ok(false);
                         }
                         l
@@ -849,7 +864,7 @@ impl OdhTable {
                 let mut g = self.buffers.lock_mg(meta.group.0);
                 let lsn = match replay {
                     Some(l) => {
-                        if l <= self.mg_sealed.lock().get(&meta.group.0).copied().unwrap_or(0) {
+                        if l <= self.registry.mg_sealed_lsn(meta.group.0) {
                             return Ok(false);
                         }
                         l
@@ -880,11 +895,7 @@ impl OdhTable {
     /// idempotent via the `late_sealed` low-water marks.
     pub fn replay_put_late(&self, record: &Record, lsn: u64) -> Result<bool> {
         self.cfg.schema.check_arity(record.values.len())?;
-        let meta = *self
-            .sources
-            .read()
-            .get(&record.source.0)
-            .ok_or_else(|| OdhError::NotFound(format!("{} not registered", record.source)))?;
+        let meta = self.registry.require(record.source)?;
         let applied = self.put_side(meta, record, Some(lsn))?;
         if applied {
             self.stats.note_put(record.ts.micros(), record.data_points() as u64);
@@ -903,7 +914,7 @@ impl OdhTable {
         let mut g = self.side_buffers.lock_source(source.0);
         let lsn = match replay {
             Some(l) => {
-                if l <= self.late_sealed.lock().get(&source.0).copied().unwrap_or(0) {
+                if l <= self.registry.late_sealed_lsn(source.0) {
                     return Ok(false);
                 }
                 l
@@ -943,20 +954,14 @@ impl OdhTable {
         let irts = SourceMeta { ingest: Structure::Irts, ..meta };
         let batches = self.build_source_batches(source, irts, ts, cols)?;
         self.install_built(&batches)?;
-        if last_lsn > 0 {
-            let mut sealed = self.late_sealed.lock();
-            let e = sealed.entry(source.0).or_insert(0);
-            *e = (*e).max(last_lsn);
-        }
+        self.registry.advance_late_sealed(source.0, last_lsn);
         self.stats.ooo_side_batches.inc();
         Ok(())
     }
 
     /// Advance `source`'s seal watermark to at least `ts`.
     fn note_watermark(&self, source: SourceId, ts: i64) {
-        let mut w = self.watermarks.lock();
-        let e = w.entry(source.0).or_insert(i64::MIN);
-        *e = (*e).max(ts);
+        self.registry.note_watermark(source.0, ts);
     }
 
     /// Is a row at `ts` late for `source` — would it sort behind rows
@@ -964,7 +969,7 @@ impl OdhTable {
     /// buffer (the accepted disorder window: up to `batch_size` rows
     /// since the last seal) is not late — the seal-time sort absorbs it.
     fn is_late(&self, source: SourceId, ts: i64) -> bool {
-        self.watermarks.lock().get(&source.0).is_some_and(|&w| ts < w)
+        self.registry.is_late(source.0, ts)
     }
 
     /// The active tombstone list (a cheap shared snapshot).
@@ -1065,24 +1070,38 @@ impl OdhTable {
             // barrier below — workers take their own install tickets.
             let _seal = self.seals.begin();
             for (id, (ts, cols, _first, last_lsn)) in self.buffers.drain_sources() {
-                let meta = *self.sources.read().get(&id).unwrap();
+                let meta = self.drained_meta(id);
                 self.seal_source_batch(SourceId(id), meta, ts, cols, last_lsn)?;
             }
             for (gid, (ts, ids, cols, _first, last_lsn)) in self.buffers.drain_mg() {
                 self.seal_mg_batch(GroupId(gid), ts, ids, cols, last_lsn)?;
             }
             for (id, (ts, cols, _first, last_lsn)) in self.side_buffers.drain_sources() {
-                let meta = *self.sources.read().get(&id).unwrap();
+                let meta = self.drained_meta(id);
                 self.seal_side_batch(SourceId(id), meta, ts, cols, last_lsn)?;
             }
         }
         // Barrier: every batch handed to the seal pipeline before this
         // flush is installed (or its error surfaced) before we return.
         self.drain_seals()?;
+        self.refresh_memory_gauges();
         if self.wal_binding().is_some() {
             return Ok(());
         }
         self.pool.flush_all()
+    }
+
+    /// Metadata for a drained buffer's source. A source pruned between
+    /// the drain and this lookup (TTL prune racing a flush) falls back to
+    /// a synthesized IRTS meta: sealing any source's rows as IRTS is
+    /// always valid — the side path does exactly that for every class —
+    /// and the compactor re-types merged windows later.
+    fn drained_meta(&self, id: u64) -> SourceMeta {
+        self.registry.meta(id).unwrap_or(SourceMeta {
+            class: SourceClass::irregular_high(),
+            ingest: Structure::Irts,
+            group: GroupId((id / self.cfg.mg_group_size) as u32),
+        })
     }
 
     /// Wait for every queued/in-flight seal job to finish. The first
@@ -1434,19 +1453,11 @@ impl OdhTable {
 
     /// Advance a source's sealed low-water mark (recovery idempotence).
     fn advance_sealed(&self, source: SourceId, last_lsn: u64) {
-        if last_lsn > 0 {
-            let mut sealed = self.sealed.lock();
-            let e = sealed.entry(source.0).or_insert(0);
-            *e = (*e).max(last_lsn);
-        }
+        self.registry.advance_sealed(source.0, last_lsn);
     }
 
     fn advance_mg_sealed(&self, group: GroupId, last_lsn: u64) {
-        if last_lsn > 0 {
-            let mut sealed = self.mg_sealed.lock();
-            let e = sealed.entry(group.0).or_insert(0);
-            *e = (*e).max(last_lsn);
-        }
+        self.registry.advance_mg_sealed(group.0, last_lsn);
     }
 
     /// Drain the thread-local codec tallies accumulated while encoding
@@ -1519,11 +1530,7 @@ impl OdhTable {
         tag_ranges: &[(usize, f64, f64)],
         tally: &mut ReadTally,
     ) -> Result<Vec<ScanPoint>> {
-        let meta = *self
-            .sources
-            .read()
-            .get(&source.0)
-            .ok_or_else(|| OdhError::NotFound(format!("{source} not registered")))?;
+        let meta = self.registry.require(source)?;
         let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut out = Vec::new();
 
@@ -1673,32 +1680,10 @@ impl OdhTable {
     ) -> Result<Vec<ScanPoint>> {
         let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut out = Vec::new();
-        // Partition registered sources by slice structure.
-        let mut per_source: Vec<SourceId> = Vec::new();
-        let mut mg_groups: HashSet<u32> = HashSet::new();
+        // Partition registered sources by slice structure (reorganized
+        // MG history lives in per-source batches).
         let reorganized = self.reorganized.load(std::sync::atomic::Ordering::Acquire);
-        {
-            let g = self.sources.read();
-            for (&id, meta) in g.iter() {
-                let sid = SourceId(id);
-                if let Some(f) = sources {
-                    if !f.contains(&sid) {
-                        continue;
-                    }
-                }
-                match meta.ingest {
-                    Structure::Mg => {
-                        mg_groups.insert(meta.group.0);
-                        // Reorganized history lives in per-source batches.
-                        if reorganized {
-                            per_source.push(sid);
-                        }
-                    }
-                    _ => per_source.push(sid),
-                }
-            }
-        }
-        per_source.sort_unstable();
+        let (per_source, mg_groups) = self.registry.partition(sources, reorganized);
         // Per-source index descents pay off when a few sources carry long
         // histories (many batch records each — the steady state at paper
         // scale). When the source population outnumbers the batch records
@@ -1739,9 +1724,7 @@ impl OdhTable {
             }
         }
         let mg = self.mg.read().clone();
-        let mut groups: Vec<u32> = mg_groups.into_iter().collect();
-        groups.sort_unstable();
-        for gid in groups {
+        for gid in mg_groups {
             self.scan_mg_container(
                 &mg,
                 GroupId(gid),
@@ -1815,30 +1798,8 @@ impl OdhTable {
     ) -> Result<Vec<ColumnarChunk>> {
         let (t1, t2) = (self.clamp_retention(t1.micros()), t2.micros());
         let mut out = Vec::new();
-        let mut per_source: Vec<SourceId> = Vec::new();
-        let mut mg_groups: HashSet<u32> = HashSet::new();
         let reorganized = self.reorganized.load(std::sync::atomic::Ordering::Acquire);
-        {
-            let g = self.sources.read();
-            for (&id, meta) in g.iter() {
-                let sid = SourceId(id);
-                if let Some(f) = sources {
-                    if !f.contains(&sid) {
-                        continue;
-                    }
-                }
-                match meta.ingest {
-                    Structure::Mg => {
-                        mg_groups.insert(meta.group.0);
-                        if reorganized {
-                            per_source.push(sid);
-                        }
-                    }
-                    _ => per_source.push(sid),
-                }
-            }
-        }
-        per_source.sort_unstable();
+        let (per_source, mg_groups) = self.registry.partition(sources, reorganized);
         // Same sequential-vs-descent choice as `slice_scan_once`.
         for (container, cold) in &self.read_gens() {
             if per_source.is_empty() || container.record_count() == 0 {
@@ -1883,9 +1844,7 @@ impl OdhTable {
             }
         }
         let mg = self.mg.read().clone();
-        let mut groups: Vec<u32> = mg_groups.into_iter().collect();
-        groups.sort_unstable();
-        for gid in groups {
+        for gid in mg_groups {
             let lo = KeyBuf::new().push_u32(gid).push_i64(t1.saturating_sub(mg.max_span())).build();
             let hi = KeyBuf::new().push_u32(gid).push_i64(t2).build();
             self.meter.cpu(self.meter.costs.btree_node_visit * mg.index_height() as f64);
@@ -2274,11 +2233,7 @@ impl OdhTable {
         let mut agg = RangeAggregate { rows: 0, tags: vec![TagSummary::empty(); tags.len()] };
         match source {
             Some(sid) => {
-                let meta = *self
-                    .sources
-                    .read()
-                    .get(&sid.0)
-                    .ok_or_else(|| OdhError::NotFound(format!("{sid} not registered")))?;
+                let meta = self.registry.require(sid)?;
                 // All per-source generations (see `historical_scan_once`).
                 for (container, cold) in &self.read_gens() {
                     if container.record_count() == 0 {
@@ -2389,26 +2344,13 @@ impl OdhTable {
                         )?;
                     }
                 }
-                let (per_source, groups) = {
-                    let g = self.sources.read();
-                    let mut per_source = Vec::new();
-                    let mut groups = HashSet::new();
-                    for (&id, meta) in g.iter() {
-                        match meta.ingest {
-                            Structure::Mg => {
-                                groups.insert(meta.group.0);
-                            }
-                            _ => per_source.push(id),
-                        }
-                    }
-                    (per_source, groups)
-                };
-                for id in per_source {
+                let (per_source, groups) = self.registry.partition(None, false);
+                for sid in per_source {
                     {
-                        let g = self.buffers.lock_source(id);
-                        if let Some(buf) = g.get(&id) {
+                        let g = self.buffers.lock_source(sid.0);
+                        if let Some(buf) = g.get(&sid.0) {
                             for (t, values) in buf.rows_in_range(t1, t2, tags) {
-                                if masks_row(&tombs, SourceId(id), t) {
+                                if masks_row(&tombs, sid, t) {
                                     tally.tombstone_masked_rows += 1;
                                     continue;
                                 }
@@ -2416,10 +2358,10 @@ impl OdhTable {
                             }
                         }
                     }
-                    let g = self.side_buffers.lock_source(id);
-                    if let Some(buf) = g.get(&id) {
+                    let g = self.side_buffers.lock_source(sid.0);
+                    if let Some(buf) = g.get(&sid.0) {
                         for (t, values) in buf.rows_in_range(t1, t2, tags) {
-                            if masks_row(&tombs, SourceId(id), t) {
+                            if masks_row(&tombs, sid, t) {
                                 tally.tombstone_masked_rows += 1;
                                 continue;
                             }
@@ -2581,11 +2523,7 @@ impl OdhTable {
         let mut map = BTreeMap::new();
         match source {
             Some(sid) => {
-                let meta = *self
-                    .sources
-                    .read()
-                    .get(&sid.0)
-                    .ok_or_else(|| OdhError::NotFound(format!("{sid} not registered")))?;
+                let meta = self.registry.require(sid)?;
                 // All per-source generations (see `historical_scan_once`).
                 for (container, cold) in &self.read_gens() {
                     if container.record_count() == 0 {
@@ -2724,26 +2662,13 @@ impl OdhTable {
                         )?;
                     }
                 }
-                let (per_source, groups) = {
-                    let g = self.sources.read();
-                    let mut per_source = Vec::new();
-                    let mut groups = HashSet::new();
-                    for (&id, meta) in g.iter() {
-                        match meta.ingest {
-                            Structure::Mg => {
-                                groups.insert(meta.group.0);
-                            }
-                            _ => per_source.push(id),
-                        }
-                    }
-                    (per_source, groups)
-                };
-                for id in per_source {
+                let (per_source, groups) = self.registry.partition(None, false);
+                for sid in per_source {
                     {
-                        let g = self.buffers.lock_source(id);
-                        if let Some(buf) = g.get(&id) {
+                        let g = self.buffers.lock_source(sid.0);
+                        if let Some(buf) = g.get(&sid.0) {
                             for (t, values) in buf.rows_in_range(t1, t2, tags) {
-                                if masks_row(&tombs, SourceId(id), t) {
+                                if masks_row(&tombs, sid, t) {
                                     tally.tombstone_masked_rows += 1;
                                     continue;
                                 }
@@ -2751,10 +2676,10 @@ impl OdhTable {
                             }
                         }
                     }
-                    let g = self.side_buffers.lock_source(id);
-                    if let Some(buf) = g.get(&id) {
+                    let g = self.side_buffers.lock_source(sid.0);
+                    if let Some(buf) = g.get(&sid.0) {
                         for (t, values) in buf.rows_in_range(t1, t2, tags) {
-                            if masks_row(&tombs, SourceId(id), t) {
+                            if masks_row(&tombs, sid, t) {
                                 tally.tombstone_masked_rows += 1;
                                 continue;
                             }
@@ -2911,6 +2836,50 @@ impl OdhTable {
             Some(floor) => t1.max(floor),
             None => t1,
         }
+    }
+
+    /// Reclaim the registry records of sources whose entire history has
+    /// expired: a watermark strictly below the retention floor means every
+    /// row the source ever sealed is already invisible (and the compactor
+    /// drops the batches), so the metadata can go too — the fix for the
+    /// old maps growing without bound under source churn. Returns the
+    /// number of records pruned.
+    ///
+    /// MG sources are never pruned (group seal marks are shared), and the
+    /// pass backs off while seal jobs are in flight — a queued job may
+    /// still advance marks for a candidate. Candidates are re-verified
+    /// per source with the open and side buffer shards locked first (the
+    /// ingest lock order), so a row buffered after the candidate scan
+    /// keeps its source alive. A put racing the removal itself is safe:
+    /// the drained buffer falls back to [`OdhTable::drained_meta`], and
+    /// WAL replay re-adopts the source from its registration frame.
+    pub fn prune_expired_sources(&self) -> u64 {
+        let Some(floor) = self.retention_floor() else { return 0 };
+        if self.seal_queue_depth() > 0 {
+            return 0;
+        }
+        let mut pruned = 0u64;
+        for sid in self.registry.expired(floor) {
+            let mut open = self.buffers.lock_source(sid.0);
+            let mut side = self.side_buffers.lock_source(sid.0);
+            let quiet = open.get(&sid.0).is_none_or(|b| b.is_empty())
+                && side.get(&sid.0).is_none_or(|b| b.is_empty());
+            if quiet
+                && self.registry.remove_if(sid.0, |r| {
+                    r.meta.ingest != Structure::Mg && r.watermark != i64::MIN && r.watermark < floor
+                })
+            {
+                open.remove(&sid.0);
+                side.remove(&sid.0);
+                pruned += 1;
+            }
+        }
+        if pruned > 0 {
+            // Hand the shard tables' slack back: a churn spike must not
+            // pin its high-water capacity forever.
+            self.registry.shrink_idle();
+        }
+        pruned
     }
 
     /// Batches in the cold generation.
